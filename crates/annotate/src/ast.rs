@@ -1,0 +1,286 @@
+//! Abstract syntax tree for the mini-C subset.
+
+/// A type expression as written in source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`, `char`, `short`, `long`, `float`, `double`, with
+    /// signedness folded in (`unsigned int` → `UInt`, …).
+    Scalar(hpm_arch::CScalar),
+    /// `struct name`.
+    Struct(String),
+    /// `T *`.
+    Pointer(Box<TypeExpr>),
+    /// `void` (function return only).
+    Void,
+}
+
+impl TypeExpr {
+    /// Depth of pointer indirection.
+    pub fn pointer_depth(&self) -> u32 {
+        match self {
+            TypeExpr::Pointer(inner) => 1 + inner.pointer_depth(),
+            _ => 0,
+        }
+    }
+}
+
+/// One struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<VarDecl>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A variable declaration (global, local, param, or field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: TypeExpr,
+    /// Array length (`None` for a plain variable).
+    pub array: Option<u64>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Variable reference.
+    Ident(String),
+    /// `a OP b`.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `OP a`.
+    Unary(UnOp, Box<Expr>),
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field`.
+    Member(Box<Expr>, String),
+    /// `base->field`.
+    Arrow(Box<Expr>, String),
+    /// `f(args…)`.
+    Call(String, Vec<Expr>),
+    /// `malloc(count, type)` — parsed from `malloc(n * sizeof(T))` or
+    /// `malloc(sizeof(T))`.
+    Malloc(Box<Expr>, TypeExpr),
+    /// `sizeof(T)` (kept for safety analysis; evaluated per-arch).
+    Sizeof(TypeExpr),
+    /// `(T) e` — a cast; pointer↔int casts are flagged migration-unsafe.
+    Cast(TypeExpr, Box<Expr>),
+}
+
+/// Statements. Each carries its source line for diagnostics/annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// A bare expression statement (usually a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) then else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for (init; cond; step) body` — desugared by the parser into
+    /// `init; while (cond) { body; step; }` is *not* done, so the loop
+    /// header is visible for poll-point insertion.
+    For {
+        /// Init statement (assignment), if any.
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to true).
+        cond: Option<Expr>,
+        /// Step statement, if any.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return expr?;`
+    Return {
+        /// Optional value.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// `free(e);`
+    Free {
+        /// The pointer expression.
+        ptr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `print(expr);` — appends to the process's result digest.
+    Print {
+        /// Optional label.
+        label: Option<String>,
+        /// The value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// Source line of the statement.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::Free { line, .. }
+            | Stmt::Print { line, .. } => *line,
+        }
+    }
+}
+
+/// One function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Parameters.
+    pub params: Vec<VarDecl>,
+    /// Local declarations (mini-C requires all locals at function top,
+    /// like C89).
+    pub locals: Vec<VarDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<VarDecl>,
+    /// Functions (`main` must exist to run).
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_depth() {
+        let t = TypeExpr::Pointer(Box::new(TypeExpr::Pointer(Box::new(TypeExpr::Scalar(
+            hpm_arch::CScalar::Int,
+        )))));
+        assert_eq!(t.pointer_depth(), 2);
+        assert_eq!(TypeExpr::Void.pointer_depth(), 0);
+    }
+
+    #[test]
+    fn stmt_lines() {
+        let s = Stmt::Break { line: 7 };
+        assert_eq!(s.line(), 7);
+    }
+}

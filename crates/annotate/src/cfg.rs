@@ -1,0 +1,390 @@
+//! Statement-level control-flow graph.
+//!
+//! Each simple statement, loop header (condition), and call statement is
+//! a node with `use`/`def` sets over variable names. The graph feeds the
+//! live-variable analysis that the pre-compiler attaches to poll-points.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// Node index in a [`Cfg`].
+pub type NodeId = usize;
+
+/// What kind of program point a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Function entry (a poll-point candidate).
+    Entry,
+    /// Synthetic exit node.
+    Exit,
+    /// An ordinary statement.
+    Plain,
+    /// A loop-condition evaluation — the canonical poll-point site.
+    LoopHeader,
+    /// A statement containing a function call — a potential migration
+    /// pass-through point.
+    CallSite {
+        /// Callee name.
+        callee: String,
+    },
+}
+
+/// One CFG node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Kind of program point.
+    pub kind: NodeKind,
+    /// Source line.
+    pub line: u32,
+    /// Variables read at this point.
+    pub uses: BTreeSet<String>,
+    /// Variables written at this point.
+    pub defs: BTreeSet<String>,
+    /// Successor nodes.
+    pub succs: Vec<NodeId>,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All nodes; index 0 is the entry, index 1 the exit.
+    pub nodes: Vec<Node>,
+    /// Variables whose address is taken anywhere in the function: they
+    /// must be treated as live everywhere (the MSR graph may reach them
+    /// through pointers).
+    pub addr_taken: BTreeSet<String>,
+}
+
+/// Entry node id.
+pub const ENTRY: NodeId = 0;
+/// Exit node id.
+pub const EXIT: NodeId = 1;
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let mut b = Builder { nodes: Vec::new(), addr_taken: BTreeSet::new() };
+        b.node(NodeKind::Entry, f.line); // 0
+        b.node(NodeKind::Exit, f.line); // 1
+        let (first, last_open) = b.seq(&f.body, &mut Vec::new(), &mut Vec::new());
+        b.nodes[ENTRY].succs.push(first.unwrap_or(EXIT));
+        for n in last_open {
+            b.nodes[n].succs.push(EXIT);
+        }
+        Cfg { nodes: b.nodes, addr_taken: b.addr_taken }
+    }
+
+    /// Ids of nodes of a given kind.
+    pub fn nodes_of_kind(&self, pred: impl Fn(&NodeKind) -> bool) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| pred(&n.kind))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    addr_taken: BTreeSet<String>,
+}
+
+impl Builder {
+    fn node(&mut self, kind: NodeKind, line: u32) -> NodeId {
+        self.nodes.push(Node { kind, line, uses: BTreeSet::new(), defs: BTreeSet::new(), succs: vec![] });
+        self.nodes.len() - 1
+    }
+
+    /// Lower a statement sequence. Returns (entry node, open ends that
+    /// should fall through to whatever follows). `breaks`/`continues`
+    /// collect unresolved jump sources for the innermost loop.
+    fn seq(
+        &mut self,
+        stmts: &[Stmt],
+        breaks: &mut Vec<NodeId>,
+        continues: &mut Vec<NodeId>,
+    ) -> (Option<NodeId>, Vec<NodeId>) {
+        let mut entry = None;
+        let mut open: Vec<NodeId> = Vec::new();
+        for s in stmts {
+            let (s_entry, s_open) = self.stmt(s, breaks, continues);
+            if let Some(se) = s_entry {
+                if entry.is_none() {
+                    entry = Some(se);
+                }
+                for o in &open {
+                    self.nodes[*o].succs.push(se);
+                }
+                open = s_open;
+            }
+        }
+        (entry, open)
+    }
+
+    fn stmt(
+        &mut self,
+        s: &Stmt,
+        breaks: &mut Vec<NodeId>,
+        continues: &mut Vec<NodeId>,
+    ) -> (Option<NodeId>, Vec<NodeId>) {
+        match s {
+            Stmt::Assign { target, value, line } => {
+                let kind = match find_call(value) {
+                    Some(c) => NodeKind::CallSite { callee: c },
+                    None => NodeKind::Plain,
+                };
+                let n = self.node(kind, *line);
+                self.collect_uses(value, n);
+                self.assign_target(target, n);
+                (Some(n), vec![n])
+            }
+            Stmt::Expr { expr, line } => {
+                let kind = match find_call(expr) {
+                    Some(c) => NodeKind::CallSite { callee: c },
+                    None => NodeKind::Plain,
+                };
+                let n = self.node(kind, *line);
+                self.collect_uses(expr, n);
+                (Some(n), vec![n])
+            }
+            Stmt::Free { ptr, line } | Stmt::Print { value: ptr, line, .. } => {
+                let n = self.node(NodeKind::Plain, *line);
+                self.collect_uses(ptr, n);
+                (Some(n), vec![n])
+            }
+            Stmt::Return { value, line } => {
+                let n = self.node(NodeKind::Plain, *line);
+                if let Some(v) = value {
+                    self.collect_uses(v, n);
+                }
+                self.nodes[n].succs.push(EXIT);
+                (Some(n), vec![]) // nothing falls through a return
+            }
+            Stmt::Break { line } => {
+                let n = self.node(NodeKind::Plain, *line);
+                breaks.push(n);
+                (Some(n), vec![])
+            }
+            Stmt::Continue { line } => {
+                let n = self.node(NodeKind::Plain, *line);
+                continues.push(n);
+                (Some(n), vec![])
+            }
+            Stmt::If { cond, then_body, else_body, line } => {
+                let c = self.node(NodeKind::Plain, *line);
+                self.collect_uses(cond, c);
+                let (t_entry, mut t_open) = self.seq(then_body, breaks, continues);
+                let (e_entry, e_open) = self.seq(else_body, breaks, continues);
+                match t_entry {
+                    Some(te) => self.nodes[c].succs.push(te),
+                    None => t_open.push(c),
+                }
+                match e_entry {
+                    Some(ee) => self.nodes[c].succs.push(ee),
+                    None => t_open.push(c),
+                }
+                t_open.extend(e_open);
+                (Some(c), t_open)
+            }
+            Stmt::While { cond, body, line } => {
+                let h = self.node(NodeKind::LoopHeader, *line);
+                self.collect_uses(cond, h);
+                let mut my_breaks = Vec::new();
+                let mut my_continues = Vec::new();
+                let (b_entry, b_open) = self.seq(body, &mut my_breaks, &mut my_continues);
+                let target = b_entry.unwrap_or(h);
+                self.nodes[h].succs.push(target);
+                for o in b_open {
+                    self.nodes[o].succs.push(h);
+                }
+                for c in my_continues {
+                    self.nodes[c].succs.push(h);
+                }
+                // breaks and the false edge fall through.
+                let mut open = my_breaks;
+                open.push(h);
+                (Some(h), open)
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                let mut entry = None;
+                let mut pre_open: Vec<NodeId> = Vec::new();
+                if let Some(i) = init {
+                    let (ie, io) = self.stmt(i, breaks, continues);
+                    entry = ie;
+                    pre_open = io;
+                }
+                let h = self.node(NodeKind::LoopHeader, *line);
+                if let Some(c) = cond {
+                    self.collect_uses(c, h);
+                }
+                for o in pre_open {
+                    self.nodes[o].succs.push(h);
+                }
+                if entry.is_none() {
+                    entry = Some(h);
+                }
+                let mut my_breaks = Vec::new();
+                let mut my_continues = Vec::new();
+                let (b_entry, b_open) = self.seq(body, &mut my_breaks, &mut my_continues);
+                // step node
+                let step_node = step.as_ref().map(|st| {
+                    let (se, _) = self.stmt(st, &mut Vec::new(), &mut Vec::new());
+                    se.unwrap()
+                });
+                let back = step_node.unwrap_or(h);
+                let body_target = b_entry.unwrap_or(back);
+                self.nodes[h].succs.push(body_target);
+                for o in b_open {
+                    self.nodes[o].succs.push(back);
+                }
+                for c in my_continues {
+                    self.nodes[c].succs.push(back);
+                }
+                if let Some(sn) = step_node {
+                    self.nodes[sn].succs.push(h);
+                }
+                let mut open = my_breaks;
+                open.push(h); // cond-false edge
+                (entry, open)
+            }
+        }
+    }
+
+    fn assign_target(&mut self, target: &Expr, n: NodeId) {
+        match target {
+            Expr::Ident(name) => {
+                self.nodes[n].defs.insert(name.clone());
+            }
+            // *p = …, a[i] = …, p->f = …: the base is *used*.
+            other => self.collect_uses(other, n),
+        }
+    }
+
+    fn collect_uses(&mut self, e: &Expr, n: NodeId) {
+        match e {
+            Expr::Ident(name) => {
+                self.nodes[n].uses.insert(name.clone());
+            }
+            Expr::AddrOf(inner) => {
+                // &x escapes: x must be considered live everywhere.
+                mark_addr_taken(inner, &mut self.addr_taken);
+                self.collect_uses(inner, n);
+            }
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                self.collect_uses(a, n);
+                self.collect_uses(b, n);
+            }
+            Expr::Unary(_, a) | Expr::Deref(a) | Expr::Cast(_, a) => self.collect_uses(a, n),
+            Expr::Member(a, _) | Expr::Arrow(a, _) => self.collect_uses(a, n),
+            Expr::Call(_, args) => {
+                for a in args {
+                    self.collect_uses(a, n);
+                }
+            }
+            Expr::Malloc(c, _) => self.collect_uses(c, n),
+            Expr::Int(_) | Expr::Float(_) | Expr::Sizeof(_) => {}
+        }
+    }
+}
+
+fn mark_addr_taken(e: &Expr, set: &mut BTreeSet<String>) {
+    match e {
+        Expr::Ident(n) => {
+            set.insert(n.clone());
+        }
+        Expr::Index(a, _) | Expr::Member(a, _) => mark_addr_taken(a, set),
+        // &*p, &p->f: no *local's* address is taken (p's value is used).
+        _ => {}
+    }
+}
+
+/// The callee of the outermost call in an expression, if any.
+pub fn find_call(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Call(name, _) => Some(name.clone()),
+        Expr::Binary(_, a, b) | Expr::Index(a, b) => find_call(a).or_else(|| find_call(b)),
+        Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) | Expr::Cast(_, a) => find_call(a),
+        Expr::Member(a, _) | Expr::Arrow(a, _) => find_call(a),
+        Expr::Malloc(c, _) => find_call(c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).unwrap();
+        Cfg::build(p.function("main").unwrap())
+    }
+
+    #[test]
+    fn straight_line() {
+        let c = cfg_of("int main() { int x; x = 1; x = x + 1; return x; }");
+        // entry, exit, 3 statements.
+        assert_eq!(c.nodes.len(), 5);
+        assert_eq!(c.nodes[ENTRY].succs.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_header_found() {
+        let c = cfg_of("int main() { int i; i = 0; while (i < 3) { i = i + 1; } return i; }");
+        let headers = c.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        assert_eq!(headers.len(), 1);
+        let h = headers[0];
+        assert!(c.nodes[h].uses.contains("i"));
+        // Header has two successors (body and fall-through is via open
+        // list, so at least the body edge exists).
+        assert!(!c.nodes[h].succs.is_empty());
+    }
+
+    #[test]
+    fn for_loop_back_edge_through_step() {
+        let c = cfg_of("int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s = s + i; } return s; }");
+        let headers = c.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        assert_eq!(headers.len(), 1);
+        // Some node (the step) must point back to the header.
+        let h = headers[0];
+        assert!(c.nodes.iter().any(|n| n.succs.contains(&h) && n.defs.contains("i")));
+    }
+
+    #[test]
+    fn call_sites_classified() {
+        let c = cfg_of("int f(int a) { return a; }\nint main() { int x; x = f(1); f(2); return x; }");
+        let calls = c.nodes_of_kind(|k| matches!(k, NodeKind::CallSite { .. }));
+        assert_eq!(calls.len(), 2);
+    }
+
+    #[test]
+    fn addr_taken_detected() {
+        let c = cfg_of("int main() { int x; int *p; p = &x; return *p; }");
+        assert!(c.addr_taken.contains("x"));
+        assert!(!c.addr_taken.contains("p"));
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let c = cfg_of(
+            "int main() { int i; i = 0; while (1) { if (i > 3) break; i = i + 1; } return i; }",
+        );
+        // The loop terminates through break: the break node's successor
+        // is whatever follows the loop (the return).
+        let ret = c
+            .nodes
+            .iter()
+            .position(|n| n.succs.contains(&EXIT) && n.uses.contains("i"))
+            .unwrap();
+        assert!(c.nodes.iter().any(|n| n.succs.contains(&ret)));
+    }
+
+    #[test]
+    fn deref_store_uses_base() {
+        let c = cfg_of("int main() { int x; int *p; p = &x; *p = 3; return x; }");
+        // "*p = 3" uses p, defines nothing.
+        let n = c.nodes.iter().find(|n| n.uses.contains("p") && n.defs.is_empty() && n.line == 1);
+        assert!(n.is_some());
+    }
+}

@@ -1,0 +1,1096 @@
+//! Bytecode compiler: annotated mini-C → migratable bytecode.
+//!
+//! The compiler is the back half of the pre-compiler: it lowers each
+//! function to a small stack machine, *inserting poll instructions at
+//! loop headers* and *call markers at call statements*, each carrying the
+//! live-variable set the dataflow analysis computed. The VM (see
+//! [`vm`](crate::vm)) turns those into `save_frame`/`restore_frame`
+//! calls — the expansion of the paper's inserted macros.
+//!
+//! Pre-compiler restrictions (rejected with clear errors, as a real
+//! pre-compiler would either reject or transform):
+//!
+//! * calls may appear only as expression statements or as the entire
+//!   right-hand side of an assignment (so the operand stack is empty at
+//!   every migration pass-through point);
+//! * call arguments must be trap-free (no loads through pointers):
+//!   during re-entry they are re-evaluated before the frame's live data
+//!   is restored.
+
+use crate::ast::*;
+use crate::cfg::{Cfg, NodeKind};
+use crate::liveness::{solve, Liveness};
+use crate::safety::require_safe;
+use crate::sema::{check_names, FuncScope, TypeEnv};
+use crate::CError;
+use hpm_arch::CScalar;
+use hpm_types::{TypeDef, TypeId, TypeTable};
+use std::collections::HashMap;
+
+/// Binary operation kinds (numeric flavor decided by operand values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a double constant.
+    PushF64(f64),
+    /// Push the address of local slot `n`.
+    AddrLocal(usize),
+    /// Push the address of global `n`.
+    AddrGlobal(usize),
+    /// Pop an address, push the scalar stored there.
+    Load,
+    /// Pop an address, pop a value, store it there.
+    Store,
+    /// Pop and discard.
+    Drop,
+    /// Pop index, pop base address, push `base + index * sizeof(elem)`.
+    Index {
+        /// Element type for scaling.
+        elem: TypeId,
+    },
+    /// Pop a struct base address, push `base + offsetof(field)`.
+    FieldAddr {
+        /// The struct type.
+        st: TypeId,
+        /// Field ordinal.
+        field: usize,
+    },
+    /// Pop b, pop a, push `a ∘ b`.
+    Bin(BinKind),
+    /// Pop, push arithmetic negation.
+    Neg,
+    /// Pop, push logical not.
+    Not,
+    /// Pop, convert to the given scalar kind, push.
+    Cvt(CScalar),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Pop; jump if zero/NULL.
+    JumpIfZero(usize),
+    /// Poll-point: at a loop header. `live` are local slot indices.
+    Poll {
+        /// Poll-site id (the pc doubles as the resume point).
+        site: u32,
+        /// Live local slots.
+        live: Vec<usize>,
+    },
+    /// Start of a call statement: the migration pass-through marker.
+    CallMark {
+        /// Site id.
+        site: u32,
+        /// Live local slots at/after the call.
+        live: Vec<usize>,
+    },
+    /// Pop `nargs` arguments (last on top), invoke function `func`.
+    Call {
+        /// Callee index in [`CompiledProgram::functions`].
+        func: usize,
+        /// Argument count.
+        nargs: usize,
+        /// Whether a return value is pushed.
+        returns: bool,
+    },
+    /// Return, optionally carrying the top of stack.
+    Ret {
+        /// Whether a value is returned.
+        has_value: bool,
+    },
+    /// Pop element count, allocate, push the new block's address.
+    Malloc {
+        /// Element type.
+        elem: TypeId,
+    },
+    /// Pop an address, free the heap block.
+    Free,
+    /// Pop a value, append `(label, value)` to the process output.
+    Print {
+        /// Output label.
+        label: Option<String>,
+    },
+    /// Push `sizeof(ty)` on the executing machine.
+    SizeOf {
+        /// The measured type.
+        ty: TypeId,
+    },
+}
+
+/// A compiled function.
+#[derive(Debug, Clone)]
+pub struct CompiledFn {
+    /// Function name.
+    pub name: String,
+    /// Number of parameters (the first slots).
+    pub nparams: usize,
+    /// Slot declarations: (name, element type, count).
+    pub slots: Vec<(String, TypeId, u64)>,
+    /// Whether the function returns a value.
+    pub returns: bool,
+    /// The code.
+    pub code: Vec<Instr>,
+}
+
+/// A compiled program: bytecode + the TI table + global layout.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The TI table (identical on every machine).
+    pub types: TypeTable,
+    /// Globals: (name, element type, count).
+    pub globals: Vec<(String, TypeId, u64)>,
+    /// Functions; `main` is [`CompiledProgram::main`].
+    pub functions: Vec<CompiledFn>,
+    /// Index of `main`.
+    pub main: usize,
+    /// Poll/call sites per function for reporting: (function, pc, kind).
+    pub sites: Vec<(String, usize, String)>,
+}
+
+/// Static expression types for lowering decisions.
+#[derive(Debug, Clone, PartialEq)]
+enum STy {
+    Scalar(CScalar),
+    Ptr(TypeId),    // pointee type id
+    Array(TypeId),  // element type id (decays to Ptr)
+    Struct(TypeId),
+    Void,
+}
+
+/// Compile a parsed program (runs name checks, the safety screen, the
+/// liveness analysis, and lowering).
+pub fn compile_program(program: &Program) -> Result<CompiledProgram, CError> {
+    check_names(program)?;
+    require_safe(program)?;
+    let mut env = TypeEnv::build(program)?;
+
+    let mut globals = Vec::new();
+    let mut global_idx = HashMap::new();
+    for g in &program.globals {
+        let (ty, count) = env.resolve_decl(g)?;
+        global_idx.insert(g.name.clone(), globals.len());
+        globals.push((g.name.clone(), ty, count));
+    }
+
+    let fn_idx: HashMap<String, usize> =
+        program.functions.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
+
+    let mut functions = Vec::new();
+    let mut sites = Vec::new();
+    for f in &program.functions {
+        let cfg = Cfg::build(f);
+        let liveness = solve(f, &cfg);
+        let compiled = FnCompiler::compile(
+            f,
+            &mut env,
+            &global_idx,
+            &globals,
+            &fn_idx,
+            program,
+            &cfg,
+            &liveness,
+            &mut sites,
+        )?;
+        functions.push(compiled);
+    }
+    let main = *fn_idx
+        .get("main")
+        .ok_or_else(|| CError::Sema("program has no main()".into()))?;
+    Ok(CompiledProgram { types: env.table, globals, functions, main, sites })
+}
+
+struct FnCompiler<'a> {
+    env: &'a mut TypeEnv,
+    scope: FuncScope,
+    slot_types: Vec<(TypeId, Option<u64>)>, // (elem type, array count)
+    global_idx: &'a HashMap<String, usize>,
+    globals: &'a [(String, TypeId, u64)],
+    fn_idx: &'a HashMap<String, usize>,
+    program: &'a Program,
+    code: Vec<Instr>,
+    // Live sets per poll/call site, consumed in construction order.
+    header_sites: Vec<Vec<usize>>,
+    call_sites: Vec<Vec<usize>>,
+    next_header: usize,
+    next_call: usize,
+    next_site_id: u32,
+    breaks: Vec<Vec<usize>>,    // patch lists per loop nesting
+    continues: Vec<Vec<usize>>, // jump targets resolved at loop end
+    fname: String,
+}
+
+impl<'a> FnCompiler<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn compile(
+        f: &Function,
+        env: &'a mut TypeEnv,
+        global_idx: &'a HashMap<String, usize>,
+        globals: &'a [(String, TypeId, u64)],
+        fn_idx: &'a HashMap<String, usize>,
+        program: &'a Program,
+        cfg: &Cfg,
+        liveness: &Liveness,
+        sites_out: &mut Vec<(String, usize, String)>,
+    ) -> Result<CompiledFn, CError> {
+        let scope = FuncScope::build(f)?;
+        let mut slot_types = Vec::new();
+        for d in &scope.decls {
+            let (ty, _) = env.resolve_decl(d)?;
+            slot_types.push((ty, d.array));
+        }
+        // Pre-extract live sets in CFG construction order.
+        let mut header_sites = Vec::new();
+        let mut call_sites = Vec::new();
+        for (i, node) in cfg.nodes.iter().enumerate() {
+            let live_names = liveness.live_at_poll(f, i);
+            let to_slots = |names: &[String], scope: &FuncScope| -> Vec<usize> {
+                let mut v: Vec<usize> =
+                    names.iter().filter_map(|n| scope.slots.get(n).copied()).collect();
+                v.sort_unstable();
+                v
+            };
+            match node.kind {
+                NodeKind::LoopHeader => header_sites.push(to_slots(&live_names, &scope)),
+                NodeKind::CallSite { .. } => call_sites.push(to_slots(&live_names, &scope)),
+                _ => {}
+            }
+        }
+        let mut c = FnCompiler {
+            env,
+            scope,
+            slot_types,
+            global_idx,
+            globals,
+            fn_idx,
+            program,
+            code: Vec::new(),
+            header_sites,
+            call_sites,
+            next_header: 0,
+            next_call: 0,
+            next_site_id: 1,
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            fname: f.name.clone(),
+        };
+        for s in &f.body {
+            c.stmt(s)?;
+        }
+        // Implicit return.
+        let returns = f.ret != TypeExpr::Void;
+        if returns {
+            c.code.push(Instr::PushInt(0));
+        }
+        c.code.push(Instr::Ret { has_value: returns });
+
+        for (pc, ins) in c.code.iter().enumerate() {
+            match ins {
+                Instr::Poll { .. } => sites_out.push((f.name.clone(), pc, "loop-header".into())),
+                Instr::CallMark { .. } => sites_out.push((f.name.clone(), pc, "call-site".into())),
+                _ => {}
+            }
+        }
+
+        let slots = c
+            .scope
+            .decls
+            .iter()
+            .zip(&c.slot_types)
+            .map(|(d, (ty, arr))| (d.name.clone(), *ty, arr.unwrap_or(1)))
+            .collect();
+        Ok(CompiledFn {
+            name: f.name.clone(),
+            nparams: f.params.len(),
+            slots,
+            returns,
+            code: c.code,
+        })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CError {
+        CError::Sema(format!("{}: {}", self.fname, msg.into()))
+    }
+
+    // ----- static typing -----
+
+    fn decl_sty(&self, ty: TypeId, array: Option<u64>) -> STy {
+        if array.is_some() {
+            return STy::Array(ty);
+        }
+        match self.env.table.def(ty) {
+            TypeDef::Scalar(s) => STy::Scalar(*s),
+            TypeDef::Pointer(p) => STy::Ptr(*p),
+            TypeDef::Struct { .. } => STy::Struct(ty),
+            TypeDef::Array { elem, .. } => STy::Array(*elem),
+        }
+    }
+
+    fn value_sty(&self, ty: TypeId) -> STy {
+        match self.env.table.def(ty) {
+            TypeDef::Scalar(s) => STy::Scalar(*s),
+            TypeDef::Pointer(p) => STy::Ptr(*p),
+            TypeDef::Struct { .. } => STy::Struct(ty),
+            TypeDef::Array { elem, .. } => STy::Array(*elem),
+        }
+    }
+
+    fn ident_sty(&self, name: &str) -> Result<STy, CError> {
+        if let Some(&slot) = self.scope.slots.get(name) {
+            let (ty, arr) = self.slot_types[slot];
+            return Ok(self.decl_sty(ty, arr));
+        }
+        if let Some(&gi) = self.global_idx.get(name) {
+            let (_, ty, count) = &self.globals[gi];
+            let arr = if *count > 1 { Some(*count) } else { None };
+            return Ok(self.decl_sty(*ty, arr));
+        }
+        Err(self.err(format!("unknown variable '{name}'")))
+    }
+
+    fn type_of(&mut self, e: &Expr) -> Result<STy, CError> {
+        Ok(match e {
+            Expr::Int(_) => STy::Scalar(CScalar::Int),
+            Expr::Float(_) => STy::Scalar(CScalar::Double),
+            Expr::Sizeof(_) => STy::Scalar(CScalar::Int),
+            Expr::Ident(n) => self.ident_sty(n)?,
+            Expr::Deref(inner) => match self.type_of(inner)? {
+                STy::Ptr(p) | STy::Array(p) => self.value_sty(p),
+                other => return Err(self.err(format!("cannot deref {other:?}"))),
+            },
+            Expr::AddrOf(inner) => {
+                let t = self.lvalue_type(inner)?;
+                STy::Ptr(t)
+            }
+            Expr::Index(base, _) => match self.type_of(base)? {
+                STy::Ptr(p) | STy::Array(p) => self.value_sty(p),
+                other => return Err(self.err(format!("cannot index {other:?}"))),
+            },
+            Expr::Member(base, field) => {
+                let st = match self.type_of(base)? {
+                    STy::Struct(s) => s,
+                    other => return Err(self.err(format!(".{field} on {other:?}"))),
+                };
+                self.value_sty(self.field_of(st, field)?.1)
+            }
+            Expr::Arrow(base, field) => {
+                let st = match self.type_of(base)? {
+                    STy::Ptr(p) => p,
+                    other => return Err(self.err(format!("->{field} on {other:?}"))),
+                };
+                self.value_sty(self.field_of(st, field)?.1)
+            }
+            Expr::Call(name, _) => {
+                let fi = self.fn_idx[name.as_str()];
+                let ret = self.program.functions[fi].ret.clone();
+                match ret {
+                    TypeExpr::Void => STy::Void,
+                    t => {
+                        let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
+                        self.value_sty(id)
+                    }
+                }
+            }
+            Expr::Malloc(_, t) => {
+                let t = t.clone();
+                let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
+                STy::Ptr(id)
+            }
+            Expr::Cast(t, _) => match t.clone() {
+                TypeExpr::Void => STy::Void,
+                t => {
+                    let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
+                    self.value_sty(id)
+                }
+            },
+            Expr::Unary(_, a) => self.type_of(a)?,
+            Expr::Binary(op, a, b) => {
+                use BinOp::*;
+                match op {
+                    Lt | Le | Gt | Ge | Eq | Ne | And | Or => STy::Scalar(CScalar::Int),
+                    _ => {
+                        let ta = self.type_of(a)?;
+                        let tb = self.type_of(b)?;
+                        match (&ta, &tb) {
+                            (STy::Ptr(_) | STy::Array(_), _) => ta,
+                            (_, STy::Ptr(_) | STy::Array(_)) => tb,
+                            (STy::Scalar(x), STy::Scalar(y)) => {
+                                if x.is_float() || y.is_float() {
+                                    STy::Scalar(CScalar::Double)
+                                } else {
+                                    STy::Scalar(CScalar::Int)
+                                }
+                            }
+                            _ => return Err(self.err("bad arithmetic operands")),
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    /// Type id of the object an lvalue denotes.
+    fn lvalue_type(&mut self, e: &Expr) -> Result<TypeId, CError> {
+        match e {
+            Expr::Ident(n) => {
+                if let Some(&slot) = self.scope.slots.get(n) {
+                    let (ty, arr) = self.slot_types[slot];
+                    return Ok(match arr {
+                        Some(c) => self.env.table.array_of(ty, c),
+                        None => ty,
+                    });
+                }
+                if let Some(&gi) = self.global_idx.get(n) {
+                    let (_, ty, count) = self.globals[gi].clone();
+                    return Ok(if count > 1 {
+                        self.env.table.array_of(ty, count)
+                    } else {
+                        ty
+                    });
+                }
+                Err(self.err(format!("unknown variable '{n}'")))
+            }
+            Expr::Deref(inner) => match self.type_of(inner)? {
+                STy::Ptr(p) | STy::Array(p) => Ok(p),
+                other => Err(self.err(format!("cannot deref {other:?}"))),
+            },
+            Expr::Index(base, _) => match self.type_of(base)? {
+                STy::Ptr(p) | STy::Array(p) => Ok(p),
+                other => Err(self.err(format!("cannot index {other:?}"))),
+            },
+            Expr::Member(base, field) => {
+                let st = match self.type_of(base)? {
+                    STy::Struct(s) => s,
+                    other => return Err(self.err(format!(".{field} on {other:?}"))),
+                };
+                Ok(self.field_of(st, field)?.1)
+            }
+            Expr::Arrow(base, field) => {
+                let st = match self.type_of(base)? {
+                    STy::Ptr(p) => p,
+                    other => return Err(self.err(format!("->{field} on {other:?}"))),
+                };
+                Ok(self.field_of(st, field)?.1)
+            }
+            other => Err(self.err(format!("not an lvalue: {other:?}"))),
+        }
+    }
+
+    fn field_of(&self, st: TypeId, field: &str) -> Result<(usize, TypeId), CError> {
+        match self.env.table.def(st) {
+            TypeDef::Struct { name, fields } => {
+                let fields = fields
+                    .as_ref()
+                    .ok_or_else(|| self.err(format!("struct {name} incomplete")))?;
+                fields
+                    .iter()
+                    .position(|f| f.name == field)
+                    .map(|i| (i, fields[i].ty))
+                    .ok_or_else(|| self.err(format!("struct {name} has no field '{field}'")))
+            }
+            _ => Err(self.err("member access on non-struct")),
+        }
+    }
+
+    // ----- lowering -----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                if let Some(callee) = crate::cfg::find_call(value) {
+                    // Restricted form: target = f(args);
+                    let Expr::Call(name, args) = value else {
+                        return Err(self.err(format!(
+                            "call to {callee} must be the entire right-hand side"
+                        )));
+                    };
+                    let live = self.take_call_site();
+                    let site = self.site_id();
+                    self.code.push(Instr::CallMark { site, live });
+                    self.emit_call(name, args, true)?;
+                    // Store the return value.
+                    self.lvalue(target)?;
+                    self.code.push(Instr::Store);
+                    return Ok(());
+                }
+                if crate::cfg::find_call(target).is_some() {
+                    return Err(self.err("calls not allowed inside assignment targets"));
+                }
+                self.rvalue(value)?;
+                // Numeric narrowing is handled by the typed store.
+                self.lvalue(target)?;
+                self.code.push(Instr::Store);
+                Ok(())
+            }
+            Stmt::Expr { expr, .. } => {
+                match expr {
+                    Expr::Call(name, args) => {
+                        let live = self.take_call_site();
+                        let site = self.site_id();
+                        self.code.push(Instr::CallMark { site, live });
+                        let returns = self.emit_call(name, args, false)?;
+                        if returns {
+                            self.code.push(Instr::Drop);
+                        }
+                    }
+                    _ => {
+                        if crate::cfg::find_call(expr).is_some() {
+                            return Err(self.err(
+                                "calls are only allowed as statements or assignment right-hand sides",
+                            ));
+                        }
+                        self.rvalue(expr)?;
+                        self.code.push(Instr::Drop);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                self.check_no_call(cond)?;
+                self.rvalue(cond)?;
+                let jz = self.emit_placeholder();
+                for s in then_body {
+                    self.stmt(s)?;
+                }
+                if else_body.is_empty() {
+                    let end = self.code.len();
+                    self.code[jz] = Instr::JumpIfZero(end);
+                } else {
+                    let jend = self.emit_placeholder();
+                    let else_start = self.code.len();
+                    self.code[jz] = Instr::JumpIfZero(else_start);
+                    for s in else_body {
+                        self.stmt(s)?;
+                    }
+                    let end = self.code.len();
+                    self.code[jend] = Instr::Jump(end);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_no_call(cond)?;
+                let live = self.take_header_site();
+                let site = self.site_id();
+                let header = self.code.len();
+                self.code.push(Instr::Poll { site, live });
+                self.rvalue(cond)?;
+                let jz = self.emit_placeholder();
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.code.push(Instr::Jump(header));
+                let end = self.code.len();
+                self.code[jz] = Instr::JumpIfZero(end);
+                for b in self.breaks.pop().unwrap() {
+                    self.code[b] = Instr::Jump(end);
+                }
+                for c in self.continues.pop().unwrap() {
+                    self.code[c] = Instr::Jump(header);
+                }
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let live = self.take_header_site();
+                let site = self.site_id();
+                let header = self.code.len();
+                self.code.push(Instr::Poll { site, live });
+                let jz = match cond {
+                    Some(c) => {
+                        self.check_no_call(c)?;
+                        self.rvalue(c)?;
+                        Some(self.emit_placeholder())
+                    }
+                    None => None,
+                };
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                for s in body {
+                    self.stmt(s)?;
+                }
+                let step_pc = self.code.len();
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.code.push(Instr::Jump(header));
+                let end = self.code.len();
+                if let Some(j) = jz {
+                    self.code[j] = Instr::JumpIfZero(end);
+                }
+                for b in self.breaks.pop().unwrap() {
+                    self.code[b] = Instr::Jump(end);
+                }
+                for c in self.continues.pop().unwrap() {
+                    self.code[c] = Instr::Jump(step_pc);
+                }
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                match value {
+                    Some(v) => {
+                        self.check_no_call(v)?;
+                        self.rvalue(v)?;
+                        self.code.push(Instr::Ret { has_value: true });
+                    }
+                    None => self.code.push(Instr::Ret { has_value: false }),
+                }
+                Ok(())
+            }
+            Stmt::Break { .. } => {
+                let pc = self.emit_placeholder();
+                if self.breaks.is_empty() {
+                    return Err(self.err("break outside loop"));
+                }
+                self.breaks.last_mut().unwrap().push(pc);
+                Ok(())
+            }
+            Stmt::Continue { .. } => {
+                let pc = self.emit_placeholder();
+                if self.continues.is_empty() {
+                    return Err(self.err("continue outside loop"));
+                }
+                self.continues.last_mut().unwrap().push(pc);
+                Ok(())
+            }
+            Stmt::Free { ptr, .. } => {
+                self.check_no_call(ptr)?;
+                self.rvalue(ptr)?;
+                self.code.push(Instr::Free);
+                Ok(())
+            }
+            Stmt::Print { label, value, .. } => {
+                self.check_no_call(value)?;
+                self.rvalue(value)?;
+                self.code.push(Instr::Print { label: label.clone() });
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_placeholder(&mut self) -> usize {
+        self.code.push(Instr::Jump(usize::MAX));
+        self.code.len() - 1
+    }
+
+    fn site_id(&mut self) -> u32 {
+        let id = self.next_site_id;
+        self.next_site_id += 1;
+        id
+    }
+
+    fn take_header_site(&mut self) -> Vec<usize> {
+        let v = self.header_sites.get(self.next_header).cloned().unwrap_or_default();
+        self.next_header += 1;
+        v
+    }
+
+    fn take_call_site(&mut self) -> Vec<usize> {
+        let v = self.call_sites.get(self.next_call).cloned().unwrap_or_default();
+        self.next_call += 1;
+        v
+    }
+
+    fn check_no_call(&self, e: &Expr) -> Result<(), CError> {
+        if let Some(c) = crate::cfg::find_call(e) {
+            return Err(self.err(format!(
+                "call to {c} is only allowed as a statement or assignment right-hand side"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validate that a call argument is trap-free: no loads through
+    /// pointers (it is re-evaluated before restoration during re-entry).
+    fn check_arg_trap_free(&self, e: &Expr) -> Result<(), CError> {
+        match e {
+            Expr::Deref(_) | Expr::Arrow(..) | Expr::Call(..) => Err(self.err(
+                "call arguments must not load through pointers (pre-compiler restriction); \
+                 assign to a temporary first",
+            )),
+            Expr::Index(b, i) => {
+                // &a[i] is fine (pure arithmetic); a[i] as a *value* loads.
+                self.check_arg_trap_free(b)?;
+                self.check_arg_trap_free(i)
+            }
+            Expr::Binary(_, a, b) => {
+                self.check_arg_trap_free(a)?;
+                self.check_arg_trap_free(b)
+            }
+            Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) => self.check_arg_trap_free(a),
+            Expr::Member(a, _) => self.check_arg_trap_free(a),
+            Expr::Malloc(..) => Err(self.err("malloc not allowed in call arguments")),
+            Expr::Int(_) | Expr::Float(_) | Expr::Ident(_) | Expr::Sizeof(_) => Ok(()),
+        }
+    }
+
+    fn emit_call(&mut self, name: &str, args: &[Expr], want_value: bool) -> Result<bool, CError> {
+        let fi = *self
+            .fn_idx
+            .get(name)
+            .ok_or_else(|| self.err(format!("unknown function '{name}'")))?;
+        let returns = self.program.functions[fi].ret != TypeExpr::Void;
+        if want_value && !returns {
+            return Err(self.err(format!("void function {name} used as a value")));
+        }
+        for a in args {
+            self.check_arg_trap_free(a)?;
+            self.rvalue(a)?;
+        }
+        self.code.push(Instr::Call { func: fi, nargs: args.len(), returns });
+        Ok(returns)
+    }
+
+    /// Emit code pushing the *address* of an lvalue.
+    fn lvalue(&mut self, e: &Expr) -> Result<(), CError> {
+        match e {
+            Expr::Ident(n) => {
+                if let Some(&slot) = self.scope.slots.get(n) {
+                    self.code.push(Instr::AddrLocal(slot));
+                    return Ok(());
+                }
+                if let Some(&gi) = self.global_idx.get(n) {
+                    self.code.push(Instr::AddrGlobal(gi));
+                    return Ok(());
+                }
+                Err(self.err(format!("unknown variable '{n}'")))
+            }
+            Expr::Deref(inner) => self.rvalue(inner),
+            Expr::Index(base, idx) => {
+                let elem = match self.type_of(base)? {
+                    STy::Ptr(p) | STy::Array(p) => p,
+                    other => return Err(self.err(format!("cannot index {other:?}"))),
+                };
+                match self.type_of(base)? {
+                    STy::Array(_) => self.lvalue(base)?, // array decays to its address
+                    _ => self.rvalue(base)?,
+                }
+                self.rvalue(idx)?;
+                self.code.push(Instr::Index { elem });
+                Ok(())
+            }
+            Expr::Member(base, field) => {
+                let st = match self.type_of(base)? {
+                    STy::Struct(s) => s,
+                    other => return Err(self.err(format!(".{field} on {other:?}"))),
+                };
+                let (fi, _) = self.field_of(st, field)?;
+                self.lvalue(base)?;
+                self.code.push(Instr::FieldAddr { st, field: fi });
+                Ok(())
+            }
+            Expr::Arrow(base, field) => {
+                let st = match self.type_of(base)? {
+                    STy::Ptr(p) => p,
+                    other => return Err(self.err(format!("->{field} on {other:?}"))),
+                };
+                let (fi, _) = self.field_of(st, field)?;
+                self.rvalue(base)?;
+                self.code.push(Instr::FieldAddr { st, field: fi });
+                Ok(())
+            }
+            other => Err(self.err(format!("not an lvalue: {other:?}"))),
+        }
+    }
+
+    /// Emit code pushing the *value* of an expression.
+    fn rvalue(&mut self, e: &Expr) -> Result<(), CError> {
+        match e {
+            Expr::Int(v) => {
+                self.code.push(Instr::PushInt(*v));
+                Ok(())
+            }
+            Expr::Float(v) => {
+                self.code.push(Instr::PushF64(*v));
+                Ok(())
+            }
+            Expr::Sizeof(t) => {
+                let t = t.clone();
+                let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
+                self.code.push(Instr::SizeOf { ty: id });
+                Ok(())
+            }
+            Expr::Ident(_) => match self.type_of(e)? {
+                STy::Array(_) => self.lvalue(e), // decay
+                _ => {
+                    self.lvalue(e)?;
+                    self.code.push(Instr::Load);
+                    Ok(())
+                }
+            },
+            Expr::Deref(_) | Expr::Index(..) | Expr::Member(..) | Expr::Arrow(..) => {
+                match self.type_of(e)? {
+                    STy::Array(_) => self.lvalue(e), // nested array decays
+                    STy::Struct(_) => Err(self.err("struct values cannot be copied (use pointers)")),
+                    _ => {
+                        self.lvalue(e)?;
+                        self.code.push(Instr::Load);
+                        Ok(())
+                    }
+                }
+            }
+            Expr::AddrOf(inner) => self.lvalue(inner),
+            Expr::Unary(UnOp::Neg, a) => {
+                self.rvalue(a)?;
+                self.code.push(Instr::Neg);
+                Ok(())
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                self.rvalue(a)?;
+                self.code.push(Instr::Not);
+                Ok(())
+            }
+            Expr::Cast(t, a) => {
+                self.rvalue(a)?;
+                if let TypeExpr::Scalar(s) = t {
+                    self.code.push(Instr::Cvt(*s));
+                }
+                // Pointer casts change the static type only.
+                Ok(())
+            }
+            Expr::Malloc(count, t) => {
+                let t = t.clone();
+                let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
+                self.rvalue(count)?;
+                self.code.push(Instr::Malloc { elem: id });
+                Ok(())
+            }
+            Expr::Binary(BinOp::And, a, b) => self.short_circuit(a, b, true),
+            Expr::Binary(BinOp::Or, a, b) => self.short_circuit(a, b, false),
+            Expr::Binary(op, a, b) => {
+                // Pointer ± integer scales by the pointee size.
+                let ta = self.type_of(a)?;
+                let tb = self.type_of(b)?;
+                if matches!(op, BinOp::Add | BinOp::Sub) {
+                    if let (STy::Ptr(p) | STy::Array(p), STy::Scalar(s)) = (&ta, &tb) {
+                        if s.is_integer() {
+                            let elem = *p;
+                            match ta {
+                                STy::Array(_) => self.lvalue(a)?,
+                                _ => self.rvalue(a)?,
+                            }
+                            self.rvalue(b)?;
+                            if *op == BinOp::Sub {
+                                self.code.push(Instr::Neg);
+                            }
+                            self.code.push(Instr::Index { elem });
+                            return Ok(());
+                        }
+                    }
+                    if *op == BinOp::Add {
+                        if let (STy::Scalar(s), STy::Ptr(p) | STy::Array(p)) = (&ta, &tb) {
+                            if s.is_integer() {
+                                let elem = *p;
+                                match tb {
+                                    STy::Array(_) => self.lvalue(b)?,
+                                    _ => self.rvalue(b)?,
+                                }
+                                self.rvalue(a)?;
+                                self.code.push(Instr::Index { elem });
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                self.rvalue(a)?;
+                self.rvalue(b)?;
+                let k = match op {
+                    BinOp::Add => BinKind::Add,
+                    BinOp::Sub => BinKind::Sub,
+                    BinOp::Mul => BinKind::Mul,
+                    BinOp::Div => BinKind::Div,
+                    BinOp::Mod => BinKind::Mod,
+                    BinOp::Lt => BinKind::Lt,
+                    BinOp::Le => BinKind::Le,
+                    BinOp::Gt => BinKind::Gt,
+                    BinOp::Ge => BinKind::Ge,
+                    BinOp::Eq => BinKind::Eq,
+                    BinOp::Ne => BinKind::Ne,
+                    BinOp::And | BinOp::Or => unreachable!("short-circuited above"),
+                };
+                self.code.push(Instr::Bin(k));
+                Ok(())
+            }
+            Expr::Call(..) => Err(self.err(
+                "calls are only allowed as statements or assignment right-hand sides",
+            )),
+        }
+    }
+
+    /// `a && b` / `a || b` with C short-circuit semantics.
+    fn short_circuit(&mut self, a: &Expr, b: &Expr, is_and: bool) -> Result<(), CError> {
+        self.rvalue(a)?;
+        if is_and {
+            let jz = self.emit_placeholder(); // a false → result 0
+            self.rvalue(b)?;
+            let jz2 = self.emit_placeholder();
+            self.code.push(Instr::PushInt(1));
+            let jend = self.emit_placeholder();
+            let fal = self.code.len();
+            self.code[jz] = Instr::JumpIfZero(fal);
+            self.code[jz2] = Instr::JumpIfZero(fal);
+            self.code.push(Instr::PushInt(0));
+            let end = self.code.len();
+            self.code[jend] = Instr::Jump(end);
+        } else {
+            // a || b  ≡  !( !a && !b )
+            self.code.push(Instr::Not);
+            let jz = self.emit_placeholder(); // !a == 0 → a true → result 1
+            self.rvalue(b)?;
+            self.code.push(Instr::Not);
+            let jz2 = self.emit_placeholder();
+            self.code.push(Instr::PushInt(0));
+            let jend = self.emit_placeholder();
+            let tru = self.code.len();
+            self.code[jz] = Instr::JumpIfZero(tru);
+            self.code[jz2] = Instr::JumpIfZero(tru);
+            self.code.push(Instr::PushInt(1));
+            let end = self.code.len();
+            self.code[jend] = Instr::Jump(end);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> CompiledProgram {
+        compile_program(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiles_minimal_main() {
+        let p = compile("int main() { return 42; }");
+        assert_eq!(p.functions[p.main].name, "main");
+        assert!(p.functions[p.main].code.contains(&Instr::PushInt(42)));
+    }
+
+    #[test]
+    fn loop_gets_poll_with_live_set() {
+        let p = compile(
+            "int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) { s = s + i; } return s; }",
+        );
+        let main = &p.functions[p.main];
+        let poll = main
+            .code
+            .iter()
+            .find_map(|i| match i {
+                Instr::Poll { live, .. } => Some(live.clone()),
+                _ => None,
+            })
+            .expect("loop header poll");
+        // i and s are slots 0 and 1.
+        assert_eq!(poll, vec![0, 1]);
+    }
+
+    #[test]
+    fn dead_local_not_in_poll_live_set() {
+        let p = compile(
+            "int main() { int i; int dead; dead = 1; i = 0; while (i < 3) { i = i + 1; } return i; }",
+        );
+        let main = &p.functions[p.main];
+        let poll = main
+            .code
+            .iter()
+            .find_map(|i| match i {
+                Instr::Poll { live, .. } => Some(live.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(poll, vec![0], "only i is live");
+    }
+
+    #[test]
+    fn call_statement_gets_mark() {
+        let p = compile("int f(int a) { return a; }\nint main() { int x; x = f(3); return x; }");
+        let main = &p.functions[p.main];
+        assert!(main.code.iter().any(|i| matches!(i, Instr::CallMark { .. })));
+        assert!(main.code.iter().any(|i| matches!(i, Instr::Call { .. })));
+    }
+
+    #[test]
+    fn nested_call_rejected() {
+        let r = compile_program(
+            &parse("int f(int a) { return a; }\nint main() { int x; x = f(1) + 2; return x; }")
+                .unwrap(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trapful_call_arg_rejected() {
+        let r = compile_program(
+            &parse(
+                "int f(int a) { return a; }\n\
+                 int main() { int *p; int x; x = f(*p); return x; }",
+            )
+            .unwrap(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let p = compile("int main() { int a[10]; int *p; p = a + 3; return 0; }");
+        let main = &p.functions[p.main];
+        assert!(main.code.iter().any(|i| matches!(i, Instr::Index { .. })));
+    }
+
+    #[test]
+    fn struct_member_lowered_to_field_addr() {
+        let p = compile(
+            "struct n { int v; struct n *next; };\n\
+             int main() { struct n *p; p = (struct n *) malloc(sizeof(struct n)); p->v = 3; return p->v; }",
+        );
+        let main = &p.functions[p.main];
+        assert!(main.code.iter().any(|i| matches!(i, Instr::FieldAddr { field: 0, .. })));
+        assert!(main.code.iter().any(|i| matches!(i, Instr::Malloc { .. })));
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let r = compile_program(&parse("int f() { return 1; }").unwrap());
+        assert!(matches!(r, Err(CError::Sema(_))));
+    }
+
+    #[test]
+    fn sites_reported() {
+        let p = compile(
+            "int f(int a) { return a; }\n\
+             int main() { int i; int x; for (i = 0; i < 3; i++) { x = f(i); } return x; }",
+        );
+        let kinds: Vec<&str> = p.sites.iter().map(|(_, _, k)| k.as_str()).collect();
+        assert!(kinds.contains(&"loop-header"));
+        assert!(kinds.contains(&"call-site"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Lexer for the mini-C subset.
+
+use crate::CError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword text.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (for `print`).
+    Str(String),
+    /// Punctuation / operator, e.g. `"->"`, `"+"`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (for diagnostics and annotation output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    // longest first
+    "...", "->", "++", "--", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%", "<", ">",
+    "=", "&", "!", "|", "^", "~",
+];
+
+/// Keywords recognized by the parser (everything else is an identifier).
+pub const KEYWORDS: &[&str] = &[
+    "int", "char", "short", "long", "float", "double", "unsigned", "void", "struct",
+    "union", "if", "else", "while", "for", "return", "break", "continue", "sizeof",
+    "static", "goto", "switch", "print",
+];
+
+/// Tokenize mini-C source.
+pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] as char != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    i += 2;
+                    while i + 1 < bytes.len() {
+                        if bytes[i] as char == '\n' {
+                            line += 1;
+                        }
+                        if bytes[i] as char == '*' && bytes[i + 1] as char == '/' {
+                            i += 2;
+                            continue 'outer;
+                        }
+                        i += 1;
+                    }
+                    return Err(CError::Lex("unterminated comment".into(), line));
+                }
+                _ => {}
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut s = String::new();
+            i += 1;
+            while i < bytes.len() && bytes[i] as char != '"' {
+                let ch = bytes[i] as char;
+                if ch == '\n' {
+                    return Err(CError::Lex("newline in string".into(), start_line));
+                }
+                if ch == '\\' && i + 1 < bytes.len() {
+                    i += 1;
+                    s.push(match bytes[i] as char {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                } else {
+                    s.push(ch);
+                }
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(CError::Lex("unterminated string".into(), start_line));
+            }
+            i += 1;
+            out.push(Token { kind: TokenKind::Str(s), line: start_line });
+            continue;
+        }
+        // Character literal → int.
+        if c == '\'' {
+            if i + 2 < bytes.len() && bytes[i + 2] as char == '\'' {
+                out.push(Token { kind: TokenKind::Int(bytes[i + 1] as i64), line });
+                i += 3;
+                continue;
+            }
+            return Err(CError::Lex("bad character literal".into(), line));
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len() && bytes[i] as char == '.' {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && matches!(bytes[i] as char, 'e' | 'E') {
+                is_float = true;
+                i += 1;
+                if i < bytes.len() && matches!(bytes[i] as char, '+' | '-') {
+                    i += 1;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let kind = if is_float {
+                TokenKind::Float(
+                    text.parse()
+                        .map_err(|_| CError::Lex(format!("bad float '{text}'"), line))?,
+                )
+            } else {
+                TokenKind::Int(
+                    text.parse()
+                        .map_err(|_| CError::Lex(format!("bad int '{text}'"), line))?,
+                )
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_') {
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        // Punctuation.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Token { kind: TokenKind::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CError::Lex(format!("unexpected character '{c}'"), line));
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("int x = 42;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_compound_ops() {
+        let k = kinds("p->next != q && i <= 3");
+        assert!(k.contains(&TokenKind::Punct("->")));
+        assert!(k.contains(&TokenKind::Punct("!=")));
+        assert!(k.contains(&TokenKind::Punct("&&")));
+        assert!(k.contains(&TokenKind::Punct("<=")));
+    }
+
+    #[test]
+    fn floats_and_exponents() {
+        assert_eq!(kinds("10.5")[0], TokenKind::Float(10.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+        assert_eq!(kinds("7")[0], TokenKind::Int(7));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a // line\n /* block\n comment */ b");
+        assert_eq!(k.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        assert_eq!(kinds("\"hi\\n\"")[0], TokenKind::Str("hi\n".into()));
+        assert_eq!(kinds("'A'")[0], TokenKind::Int(65));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+}

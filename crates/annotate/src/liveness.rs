@@ -1,0 +1,218 @@
+//! Live-variable dataflow analysis.
+//!
+//! §2: "At every poll-point, the pre-compiler defines live variables
+//! whose data values are needed for computation beyond the poll-point."
+//!
+//! A classic backward may-analysis over the statement CFG:
+//!
+//! ```text
+//! live_out(n) = ⋃ live_in(s)  for s ∈ succ(n)
+//! live_in(n)  = use(n) ∪ (live_out(n) − def(n))
+//! ```
+//!
+//! Address-taken variables and aggregate (array/struct-valued) locals
+//! are conservatively live everywhere: the MSR graph can reach them
+//! through pointers regardless of scalar liveness.
+
+use crate::ast::Function;
+use crate::cfg::{Cfg, NodeId, NodeKind, ENTRY};
+use std::collections::BTreeSet;
+
+/// Liveness solution for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in` per CFG node.
+    pub live_in: Vec<BTreeSet<String>>,
+    /// `live_out` per CFG node.
+    pub live_out: Vec<BTreeSet<String>>,
+    /// Variables forced live everywhere (address-taken + aggregates).
+    pub always_live: BTreeSet<String>,
+    /// Number of fixpoint iterations taken.
+    pub iterations: u32,
+}
+
+/// Solve liveness for `f` over its CFG.
+pub fn solve(f: &Function, cfg: &Cfg) -> Liveness {
+    let n = cfg.nodes.len();
+    // Aggregates: arrays and struct-valued locals can hold interior
+    // pointers / be pointer targets — always live.
+    let mut always_live: BTreeSet<String> = cfg.addr_taken.clone();
+    for d in f.params.iter().chain(&f.locals) {
+        if d.array.is_some() || matches!(d.ty, crate::ast::TypeExpr::Struct(_)) {
+            always_live.insert(d.name.clone());
+        }
+    }
+
+    let mut live_in: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut live_out: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        // Reverse order converges faster for mostly-forward CFGs.
+        for i in (0..n).rev() {
+            let mut out = BTreeSet::new();
+            for &s in &cfg.nodes[i].succs {
+                out.extend(live_in[s].iter().cloned());
+            }
+            let mut inn: BTreeSet<String> = cfg.nodes[i].uses.clone();
+            for v in &out {
+                if !cfg.nodes[i].defs.contains(v) {
+                    inn.insert(v.clone());
+                }
+            }
+            if out != live_out[i] || inn != live_in[i] {
+                changed = true;
+                live_out[i] = out;
+                live_in[i] = inn;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Liveness { live_in, live_out, always_live, iterations }
+}
+
+impl Liveness {
+    /// The live set the pre-compiler attaches to a poll-point at node
+    /// `at`: variables needed beyond the point, plus the always-live set,
+    /// restricted to names declared in this function (globals are handled
+    /// by the runtime as a separate root set).
+    pub fn live_at_poll(&self, f: &Function, at: NodeId) -> Vec<String> {
+        let declared: BTreeSet<&str> =
+            f.params.iter().chain(&f.locals).map(|d| d.name.as_str()).collect();
+        let mut set: BTreeSet<String> = self.live_in[at]
+            .union(&self.live_out[at])
+            .filter(|v| declared.contains(v.as_str()))
+            .cloned()
+            .collect();
+        for v in &self.always_live {
+            if declared.contains(v.as_str()) {
+                set.insert(v.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Live sets for every poll-point candidate (function entry + loop
+    /// headers) and migration pass-through point (call sites), in CFG
+    /// node order.
+    pub fn poll_sites(&self, f: &Function, cfg: &Cfg) -> Vec<(NodeId, NodeKind, Vec<String>)> {
+        let mut out = Vec::new();
+        for (i, node) in cfg.nodes.iter().enumerate() {
+            let interesting = i == ENTRY
+                || matches!(node.kind, NodeKind::LoopHeader | NodeKind::CallSite { .. });
+            if interesting {
+                out.push((i, node.kind.clone(), self.live_at_poll(f, i)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze(src: &str, func: &str) -> (crate::ast::Program, Cfg, Liveness) {
+        let p = parse(src).unwrap();
+        let f = p.function(func).unwrap().clone();
+        let cfg = Cfg::build(&f);
+        let l = solve(&f, &cfg);
+        (p, cfg, l)
+    }
+
+    #[test]
+    fn dead_variable_not_live_at_loop() {
+        // `dead` is written before the loop and never read again: it
+        // must NOT be in the loop header's live set.
+        let (p, cfg, l) = analyze(
+            "int main() { int i; int s; int dead; dead = 9; s = 0; \
+             while (i < 10) { s = s + i; i = i + 1; } return s; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        let headers = cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        let live = l.live_at_poll(f, headers[0]);
+        assert!(live.contains(&"i".to_string()));
+        assert!(live.contains(&"s".to_string()));
+        assert!(!live.contains(&"dead".to_string()), "{live:?}");
+    }
+
+    #[test]
+    fn addr_taken_always_live() {
+        let (p, cfg, l) = analyze(
+            "int f(int *p) { return *p; }\n\
+             int main() { int x; int i; x = 5; i = 0; \
+             while (i < 3) { i = i + f(&x); } return i; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        let headers = cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        let live = l.live_at_poll(f, headers[0]);
+        assert!(live.contains(&"x".to_string()), "address-taken x must be live: {live:?}");
+    }
+
+    #[test]
+    fn arrays_always_live() {
+        let (p, cfg, l) = analyze(
+            "int main() { int a[10]; int i; i = 0; while (i < 10) { a[i] = i; i = i + 1; } return 0; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        let headers = cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        let live = l.live_at_poll(f, headers[0]);
+        assert!(live.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn live_range_ends_after_last_use() {
+        let (p, _cfg, l) = analyze(
+            "int main() { int a; int b; a = 1; b = a + 1; a = 7; return a; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        // At entry, nothing is live (a defined before use).
+        let live = l.live_at_poll(f, ENTRY);
+        assert!(live.is_empty(), "{live:?}");
+    }
+
+    #[test]
+    fn loop_carried_dependency_live() {
+        let (p, cfg, l) = analyze(
+            "int main() { int acc; int i; acc = 0; i = 0; \
+             for (i = 0; i < 4; i++) { acc = acc + i; } return acc; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        let headers = cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        let live = l.live_at_poll(f, headers[0]);
+        assert!(live.contains(&"acc".to_string()));
+        assert!(live.contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let (_, _, l) = analyze(
+            "int main() { int i; int s; s = 0; \
+             while (i < 10) { while (s < 5) { s = s + 1; } i = i + 1; } return s; }",
+            "main",
+        );
+        assert!(l.iterations < 10, "took {} iterations", l.iterations);
+    }
+
+    #[test]
+    fn poll_sites_enumerated() {
+        let (p, cfg, l) = analyze(
+            "int g(int v) { return v; }\n\
+             int main() { int i; i = 0; while (i < 3) { i = g(i) + 1; } return i; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        let sites = l.poll_sites(f, &cfg);
+        // entry + loop header + call site.
+        assert_eq!(sites.len(), 3, "{sites:?}");
+    }
+}

@@ -1,0 +1,699 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::safety::UnsafeFeature;
+use crate::CError;
+use hpm_arch::CScalar;
+
+/// Parse mini-C source into a [`Program`].
+///
+/// Constructs that can never be made migration-safe (`union`, `goto`,
+/// `switch` with fall-through state, varargs, function pointers) are
+/// rejected here with [`CError::Unsafe`], mirroring the pre-compiler's
+/// screening role.
+pub fn parse(src: &str) -> Result<Program, CError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(CError::Parse(format!("expected '{p}', found {:?}", self.peek()), self.line()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, CError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(CError::Parse(format!("expected identifier, found {other:?}"), self.line())),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if matches!(
+            s.as_str(),
+            "int" | "char" | "short" | "long" | "float" | "double" | "unsigned" | "void" | "struct"
+        ))
+    }
+
+    // ----- types -----
+
+    fn base_type(&mut self) -> Result<TypeExpr, CError> {
+        let line = self.line();
+        if self.eat_kw("struct") {
+            let name = self.ident()?;
+            return Ok(TypeExpr::Struct(name));
+        }
+        if self.eat_kw("union") {
+            return Err(CError::Unsafe(UnsafeFeature::Union { line }));
+        }
+        let unsigned = self.eat_kw("unsigned");
+        let s = match self.bump() {
+            TokenKind::Ident(s) => s,
+            other => return Err(CError::Parse(format!("expected type, found {other:?}"), line)),
+        };
+        let scalar = match (s.as_str(), unsigned) {
+            ("char", false) => CScalar::Char,
+            ("char", true) => CScalar::UChar,
+            ("short", false) => CScalar::Short,
+            ("short", true) => CScalar::UShort,
+            ("int", false) => CScalar::Int,
+            ("int", true) => CScalar::UInt,
+            ("long", false) => CScalar::Long,
+            ("long", true) => CScalar::ULong,
+            ("float", false) => CScalar::Float,
+            ("double", false) => CScalar::Double,
+            ("void", false) => return Ok(TypeExpr::Void),
+            _ => return Err(CError::Parse(format!("unknown type '{s}'"), line)),
+        };
+        Ok(TypeExpr::Scalar(scalar))
+    }
+
+    fn stars(&mut self, mut t: TypeExpr) -> TypeExpr {
+        while self.eat_punct("*") {
+            t = TypeExpr::Pointer(Box::new(t));
+        }
+        t
+    }
+
+    /// `type '*'* IDENT ('[' INT ']')?`
+    fn declarator(&mut self) -> Result<VarDecl, CError> {
+        let line = self.line();
+        let base = self.base_type()?;
+        let ty = self.stars(base);
+        if matches!(self.peek(), TokenKind::Punct("(")) {
+            return Err(CError::Unsafe(UnsafeFeature::FunctionPointer { line }));
+        }
+        let name = self.ident()?;
+        let mut array = None;
+        if self.eat_punct("[") {
+            match self.bump() {
+                TokenKind::Int(n) if n > 0 => array = Some(n as u64),
+                other => {
+                    return Err(CError::Parse(format!("expected array length, found {other:?}"), line))
+                }
+            }
+            self.expect_punct("]")?;
+        }
+        Ok(VarDecl { name, ty, array, line })
+    }
+
+    // ----- top level -----
+
+    fn program(&mut self) -> Result<Program, CError> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            if self.is_kw("union") {
+                return Err(CError::Unsafe(UnsafeFeature::Union { line: self.line() }));
+            }
+            // struct definition: 'struct' IDENT '{'
+            if self.is_kw("struct") && matches!(self.peek2(), TokenKind::Ident(_)) {
+                let save = self.pos;
+                self.bump();
+                let name = self.ident()?;
+                if self.eat_punct("{") {
+                    let line = self.line();
+                    let mut fields = Vec::new();
+                    while !self.eat_punct("}") {
+                        let f = self.declarator()?;
+                        self.expect_punct(";")?;
+                        fields.push(f);
+                    }
+                    self.expect_punct(";")?;
+                    prog.structs.push(StructDef { name, fields, line });
+                    continue;
+                }
+                self.pos = save;
+            }
+            // Function or global: parse declarator-ish prefix.
+            let save = self.pos;
+            let line = self.line();
+            let base = self.base_type()?;
+            let ty = self.stars(base);
+            let name = self.ident()?;
+            if self.eat_punct("(") {
+                let f = self.function_rest(name, ty, line)?;
+                prog.functions.push(f);
+            } else {
+                self.pos = save;
+                let d = self.declarator()?;
+                self.expect_punct(";")?;
+                prog.globals.push(d);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function_rest(&mut self, name: String, ret: TypeExpr, line: u32) -> Result<Function, CError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.is_kw("void") && matches!(self.peek2(), TokenKind::Punct(")")) {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    if matches!(self.peek(), TokenKind::Punct("...")) {
+                        return Err(CError::Unsafe(UnsafeFeature::Varargs { line: self.line() }));
+                    }
+                    let d = self.declarator()?;
+                    params.push(d);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        }
+        self.expect_punct("{")?;
+        // C89 style: all locals first (statements never begin with a
+        // type keyword, so this is unambiguous).
+        let mut locals = Vec::new();
+        while self.is_type_start() {
+            let d = self.declarator()?;
+            self.expect_punct(";")?;
+            locals.push(d);
+        }
+        let body = self.block_body()?;
+        Ok(Function { name, ret, params, locals, body, line })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CError> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    // ----- statements -----
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, CError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CError> {
+        let line = self.line();
+        if self.is_kw("goto") {
+            return Err(CError::Unsafe(UnsafeFeature::Goto { line }));
+        }
+        if self.is_kw("switch") {
+            return Err(CError::Unsafe(UnsafeFeature::Switch { line }));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_body = self.block_or_single()?;
+            let else_body = if self.eat_kw("else") { self.block_or_single()? } else { vec![] };
+            return Ok(Stmt::If { cond, then_body, else_body, line });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block_or_single()?;
+            return Ok(Stmt::While { cond, body, line });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = self.simple_stmt(line)?;
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(self.peek(), TokenKind::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if matches!(self.peek(), TokenKind::Punct(")")) {
+                None
+            } else {
+                Some(Box::new(self.simple_stmt(line)?))
+            };
+            self.expect_punct(")")?;
+            let body = self.block_or_single()?;
+            return Ok(Stmt::For { init, cond, step, body, line });
+        }
+        if self.eat_kw("return") {
+            let value = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            return Ok(Stmt::Return { value, line });
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break { line });
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue { line });
+        }
+        if self.eat_kw("print") {
+            self.expect_punct("(")?;
+            let mut label = None;
+            if let TokenKind::Str(s) = self.peek() {
+                label = Some(s.clone());
+                self.bump();
+                self.expect_punct(",")?;
+            }
+            let value = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Print { label, value, line });
+        }
+        let s = self.simple_stmt(line)?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// Assignment / expression / free / ++ / -- without the trailing `;`.
+    fn simple_stmt(&mut self, line: u32) -> Result<Stmt, CError> {
+        // free(e)
+        if self.is_kw("free") && matches!(self.peek2(), TokenKind::Punct("(")) {
+            self.bump();
+            self.bump();
+            let ptr = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::Free { ptr, line });
+        }
+        let target = self.expr()?;
+        if self.eat_punct("=") {
+            let value = self.expr()?;
+            return Ok(Stmt::Assign { target, value, line });
+        }
+        for (p, op) in [("+=", BinOp::Add), ("-=", BinOp::Sub), ("*=", BinOp::Mul), ("/=", BinOp::Div)] {
+            if self.eat_punct(p) {
+                let rhs = self.expr()?;
+                let value = Expr::Binary(op, Box::new(target.clone()), Box::new(rhs));
+                return Ok(Stmt::Assign { target, value, line });
+            }
+        }
+        if self.eat_punct("++") {
+            let value = Expr::Binary(BinOp::Add, Box::new(target.clone()), Box::new(Expr::Int(1)));
+            return Ok(Stmt::Assign { target, value, line });
+        }
+        if self.eat_punct("--") {
+            let value = Expr::Binary(BinOp::Sub, Box::new(target.clone()), Box::new(Expr::Int(1)));
+            return Ok(Stmt::Assign { target, value, line });
+        }
+        Ok(Stmt::Expr { expr: target, line })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, CError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.and_expr()?;
+        while self.eat_punct("||") {
+            let r = self.and_expr()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.eq_expr()?;
+        while self.eat_punct("&&") {
+            let r = self.eq_expr()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.rel_expr()?;
+        loop {
+            if self.eat_punct("==") {
+                let r = self.rel_expr()?;
+                e = Expr::Binary(BinOp::Eq, Box::new(e), Box::new(r));
+            } else if self.eat_punct("!=") {
+                let r = self.rel_expr()?;
+                e = Expr::Binary(BinOp::Ne, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                return Ok(e);
+            };
+            let r = self.add_expr()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let r = self.mul_expr()?;
+                e = Expr::Binary(BinOp::Add, Box::new(e), Box::new(r));
+            } else if self.eat_punct("-") {
+                let r = self.mul_expr()?;
+                e = Expr::Binary(BinOp::Sub, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                let r = self.unary_expr()?;
+                e = Expr::Binary(BinOp::Mul, Box::new(e), Box::new(r));
+            } else if self.eat_punct("/") {
+                let r = self.unary_expr()?;
+                e = Expr::Binary(BinOp::Div, Box::new(e), Box::new(r));
+            } else if self.eat_punct("%") {
+                let r = self.unary_expr()?;
+                e = Expr::Binary(BinOp::Mod, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Deref(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::AddrOf(Box::new(self.unary_expr()?)));
+        }
+        if self.is_kw("sizeof") {
+            self.bump();
+            self.expect_punct("(")?;
+            let t = self.base_type()?;
+            let t = self.stars(t);
+            self.expect_punct(")")?;
+            return Ok(Expr::Sizeof(t));
+        }
+        // Cast: '(' type-start … ')'
+        if matches!(self.peek(), TokenKind::Punct("(")) {
+            let save = self.pos;
+            self.bump();
+            if self.is_type_start() {
+                let t = self.base_type()?;
+                let t = self.stars(t);
+                if self.eat_punct(")") {
+                    let inner = self.unary_expr()?;
+                    return Ok(Expr::Cast(t, Box::new(inner)));
+                }
+            }
+            self.pos = save;
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat_punct("->") {
+                let f = self.ident()?;
+                e = Expr::Arrow(Box::new(e), f);
+            } else if self.eat_punct(".") {
+                let f = self.ident()?;
+                e = Expr::Member(Box::new(e), f);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    if name == "malloc" {
+                        return self.lower_malloc(args, line);
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                Ok(Expr::Ident(name))
+            }
+            other => Err(CError::Parse(format!("unexpected token {other:?}"), line)),
+        }
+    }
+
+    /// `malloc(sizeof(T))` → 1 element; `malloc(n * sizeof(T))` or
+    /// `malloc(sizeof(T) * n)` → n elements.
+    fn lower_malloc(&mut self, mut args: Vec<Expr>, line: u32) -> Result<Expr, CError> {
+        if args.len() != 1 {
+            return Err(CError::Parse("malloc takes one argument".into(), line));
+        }
+        match args.remove(0) {
+            Expr::Sizeof(t) => Ok(Expr::Malloc(Box::new(Expr::Int(1)), t)),
+            Expr::Binary(BinOp::Mul, a, b) => match (*a, *b) {
+                (Expr::Sizeof(t), n) | (n, Expr::Sizeof(t)) => {
+                    Ok(Expr::Malloc(Box::new(n), t))
+                }
+                _ => Err(CError::Parse(
+                    "malloc argument must involve sizeof(T)".into(),
+                    line,
+                )),
+            },
+            _ => Err(CError::Parse("malloc argument must involve sizeof(T)".into(), line)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_program() {
+        let src = r#"
+            struct node { float data; struct node *link; };
+            struct node *first;
+            struct node *last;
+            void foo(struct node **p, int **q) {
+                *p = (struct node *) malloc(sizeof(struct node));
+                (*p)->data = 10.5;
+                (**q)++;
+            }
+            int main() {
+                int i;
+                int a;
+                int *b;
+                struct node *parray[10];
+                a = 1;
+                b = &a;
+                for (i = 0; i < 10; i++) {
+                    foo(&parray[i], &b);
+                    first = parray[0];
+                    last = parray[i];
+                    first->link = last;
+                    if (i > 0) parray[i]->link = parray[i-1];
+                }
+                return 0;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.functions.len(), 2);
+        let main = p.function("main").unwrap();
+        assert_eq!(main.locals.len(), 4);
+        assert_eq!(main.locals[3].array, Some(10));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int main() { int x; x = 1 + 2 * 3; return x; }").unwrap();
+        let main = p.function("main").unwrap();
+        match &main.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary(BinOp::Add, a, b) => {
+                    assert_eq!(**a, Expr::Int(1));
+                    assert!(matches!(**b, Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("bad tree {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_rejected_as_unsafe() {
+        let r = parse("union u { int a; float b; };");
+        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::Union { .. }))));
+    }
+
+    #[test]
+    fn goto_rejected() {
+        let r = parse("int main() { goto done; }");
+        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::Goto { .. }))));
+    }
+
+    #[test]
+    fn varargs_rejected() {
+        let r = parse("int f(int a, ...) { return 0; }");
+        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::Varargs { .. }))));
+    }
+
+    #[test]
+    fn function_pointer_rejected() {
+        let r = parse("int main() { int (*f)(int); return 0; }");
+        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::FunctionPointer { .. }))));
+    }
+
+    #[test]
+    fn malloc_forms() {
+        let p = parse("int main() { int *a; int *b; a = malloc(sizeof(int)); b = malloc(10 * sizeof(int)); return 0; }").unwrap();
+        let main = p.function("main").unwrap();
+        assert!(matches!(&main.body[0], Stmt::Assign { value: Expr::Malloc(n, _), .. } if **n == Expr::Int(1)));
+        assert!(matches!(&main.body[1], Stmt::Assign { value: Expr::Malloc(n, _), .. } if **n == Expr::Int(10)));
+    }
+
+    #[test]
+    fn malloc_without_sizeof_rejected() {
+        assert!(parse("int main() { int *a; a = malloc(40); return 0; }").is_err());
+    }
+
+    #[test]
+    fn compound_assign_and_incr_desugar() {
+        let p = parse("int main() { int i; i = 0; i += 2; i++; return i; }").unwrap();
+        let main = p.function("main").unwrap();
+        assert!(matches!(&main.body[1], Stmt::Assign { value: Expr::Binary(BinOp::Add, _, _), .. }));
+        assert!(matches!(&main.body[2], Stmt::Assign { value: Expr::Binary(BinOp::Add, _, _), .. }));
+    }
+
+    #[test]
+    fn for_loop_structure() {
+        let p = parse("int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) s += i; return s; }").unwrap();
+        let main = p.function("main").unwrap();
+        match &main.body[1] {
+            Stmt::For { init, cond, step, body, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_with_label() {
+        let p = parse(r#"int main() { int x; x = 3; print("x", x); return 0; }"#).unwrap();
+        let main = p.function("main").unwrap();
+        assert!(matches!(&main.body[1], Stmt::Print { label: Some(l), .. } if l == "x"));
+    }
+
+    #[test]
+    fn free_statement() {
+        let p = parse("int main() { int *a; a = malloc(sizeof(int)); free(a); return 0; }").unwrap();
+        let main = p.function("main").unwrap();
+        assert!(matches!(&main.body[1], Stmt::Free { .. }));
+    }
+}

@@ -1,0 +1,262 @@
+//! Migration-unsafe feature detection.
+//!
+//! The paper (§1): "Smith and Hutchinson [5] have identified the
+//! migration-unsafe features of the C language. With the help of a
+//! compiler, most of the migration-unsafe features can be detected and
+//! avoided." This pass is that screen for mini-C. Some constructs are
+//! rejected during parsing (`union`, `goto`, `switch`, varargs, function
+//! pointers); this pass catches the value-level ones that parse fine:
+//!
+//! * casting a pointer to an integer type (the integer would carry a
+//!   machine-specific address across the migration);
+//! * casting an integer to a pointer type (forging addresses the MSRLT
+//!   cannot translate);
+//! * casting between pointers whose pointee types have different shapes
+//!   (the TI table could mis-restore the target block).
+
+use crate::ast::*;
+use crate::CError;
+
+/// A migration-unsafe feature, with the source line where it occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsafeFeature {
+    /// `union` types: the live variant is unknowable at migration time.
+    Union {
+        /// Source line.
+        line: u32,
+    },
+    /// `goto`: resume points would not dominate their uses.
+    Goto {
+        /// Source line.
+        line: u32,
+    },
+    /// `switch`: fall-through labels complicate resume points (rejected
+    /// in this subset; a full pre-compiler can transform them).
+    Switch {
+        /// Source line.
+        line: u32,
+    },
+    /// Variadic functions: unknown live data at call sites.
+    Varargs {
+        /// Source line.
+        line: u32,
+    },
+    /// Function pointers: code addresses are not portable.
+    FunctionPointer {
+        /// Source line.
+        line: u32,
+    },
+    /// Pointer value cast to an integer type.
+    PointerToInt {
+        /// Source line.
+        line: u32,
+    },
+    /// Integer value cast to a pointer type.
+    IntToPointer {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl std::fmt::Display for UnsafeFeature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsafeFeature::Union { line } => write!(f, "union (line {line})"),
+            UnsafeFeature::Goto { line } => write!(f, "goto (line {line})"),
+            UnsafeFeature::Switch { line } => write!(f, "switch (line {line})"),
+            UnsafeFeature::Varargs { line } => write!(f, "varargs (line {line})"),
+            UnsafeFeature::FunctionPointer { line } => write!(f, "function pointer (line {line})"),
+            UnsafeFeature::PointerToInt { line } => {
+                write!(f, "pointer cast to integer (line {line})")
+            }
+            UnsafeFeature::IntToPointer { line } => {
+                write!(f, "integer cast to pointer (line {line})")
+            }
+        }
+    }
+}
+
+/// Scan a parsed program for migration-unsafe casts.
+///
+/// Cast direction is judged *syntactically*: a cast to an integer type
+/// whose operand is a pointer-shaped expression (`&x`, a pointer
+/// variable, `malloc`, pointer arithmetic) is pointer→int; a cast to a
+/// pointer type whose operand is integer-shaped is int→pointer. Casts
+/// between pointer types (e.g. `(struct node *) malloc(…)`) are safe:
+/// the MSRLT translates them like any other pointer.
+pub fn check_migration_safety(program: &Program) -> Vec<UnsafeFeature> {
+    let mut ck = Checker { program, found: Vec::new(), ptr_vars: Default::default() };
+    for f in &program.functions {
+        ck.ptr_vars.clear();
+        for d in program.globals.iter().chain(&f.params).chain(&f.locals) {
+            if d.ty.pointer_depth() > 0 || d.array.is_some() {
+                ck.ptr_vars.insert(d.name.clone());
+            }
+        }
+        for s in &f.body {
+            ck.stmt(s);
+        }
+    }
+    ck.found
+}
+
+/// Validate a program completely: parse-level rejections happened
+/// already; this returns `Err` if the cast screen finds anything.
+pub fn require_safe(program: &Program) -> Result<(), CError> {
+    match check_migration_safety(program).into_iter().next() {
+        None => Ok(()),
+        Some(u) => Err(CError::Unsafe(u)),
+    }
+}
+
+struct Checker<'a> {
+    #[allow(dead_code)]
+    program: &'a Program,
+    found: Vec<UnsafeFeature>,
+    ptr_vars: std::collections::HashSet<String>,
+}
+
+impl Checker<'_> {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { target, value, line } => {
+                self.expr(target, *line);
+                self.expr(value, *line);
+            }
+            Stmt::Expr { expr, line } => self.expr(expr, *line),
+            Stmt::If { cond, then_body, else_body, line } => {
+                self.expr(cond, *line);
+                for s in then_body.iter().chain(else_body) {
+                    self.stmt(s);
+                }
+            }
+            Stmt::While { cond, body, line } => {
+                self.expr(cond, *line);
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c, *line);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::Return { value, line } => {
+                if let Some(v) = value {
+                    self.expr(v, *line);
+                }
+            }
+            Stmt::Free { ptr, line } => self.expr(ptr, *line),
+            Stmt::Print { value, line, .. } => self.expr(value, *line),
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+        }
+    }
+
+    /// Whether an expression is pointer-shaped (syntactic judgement).
+    fn is_pointerish(&self, e: &Expr) -> bool {
+        match e {
+            Expr::AddrOf(_) | Expr::Malloc(..) => true,
+            Expr::Ident(n) => self.ptr_vars.contains(n),
+            Expr::Cast(t, _) => t.pointer_depth() > 0,
+            Expr::Binary(BinOp::Add | BinOp::Sub, a, b) => {
+                self.is_pointerish(a) || self.is_pointerish(b)
+            }
+            _ => false,
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, line: u32) {
+        match e {
+            Expr::Cast(ty, inner) => {
+                let to_ptr = ty.pointer_depth() > 0;
+                let from_ptr = self.is_pointerish(inner);
+                if !to_ptr && from_ptr && !matches!(ty, TypeExpr::Scalar(s) if s.is_float()) {
+                    self.found.push(UnsafeFeature::PointerToInt { line });
+                }
+                if to_ptr && !from_ptr {
+                    self.found.push(UnsafeFeature::IntToPointer { line });
+                }
+                self.expr(inner, line);
+            }
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                self.expr(a, line);
+                self.expr(b, line);
+            }
+            Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) => self.expr(a, line),
+            Expr::Member(a, _) | Expr::Arrow(a, _) => self.expr(a, line),
+            Expr::Call(_, args) => {
+                for a in args {
+                    self.expr(a, line);
+                }
+            }
+            Expr::Malloc(n, _) => self.expr(n, line),
+            Expr::Int(_) | Expr::Float(_) | Expr::Ident(_) | Expr::Sizeof(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn clean_program_passes() {
+        let p = parse(
+            "struct n { int v; struct n *next; };\n\
+             int main() { struct n *p; p = (struct n *) malloc(sizeof(struct n)); return 0; }",
+        )
+        .unwrap();
+        assert!(check_migration_safety(&p).is_empty());
+        assert!(require_safe(&p).is_ok());
+    }
+
+    #[test]
+    fn pointer_to_int_cast_flagged() {
+        let p = parse("int main() { int x; int *p; p = &x; x = (int) p; return x; }").unwrap();
+        let found = check_migration_safety(&p);
+        assert!(matches!(found[0], UnsafeFeature::PointerToInt { .. }), "{found:?}");
+        assert!(require_safe(&p).is_err());
+    }
+
+    #[test]
+    fn int_to_pointer_cast_flagged() {
+        let p = parse("int main() { int *p; p = (int *) 1234; return 0; }").unwrap();
+        let found = check_migration_safety(&p);
+        assert!(matches!(found[0], UnsafeFeature::IntToPointer { .. }), "{found:?}");
+    }
+
+    #[test]
+    fn addr_of_cast_to_int_flagged() {
+        let p = parse("int main() { int x; long l; l = (long) &x; return 0; }").unwrap();
+        assert_eq!(check_migration_safety(&p).len(), 1);
+    }
+
+    #[test]
+    fn pointer_to_pointer_cast_ok() {
+        let p = parse(
+            "struct a { int x; };\n\
+             int main() { struct a *p; p = (struct a *) malloc(sizeof(struct a)); return 0; }",
+        )
+        .unwrap();
+        assert!(check_migration_safety(&p).is_empty());
+    }
+
+    #[test]
+    fn nested_unsafe_found_in_loops() {
+        let p = parse(
+            "int main() { int i; int *q; for (i = 0; i < 3; i++) { q = (int *) i; } return 0; }",
+        )
+        .unwrap();
+        assert_eq!(check_migration_safety(&p).len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Name and type resolution onto the `hpm-types` TI table.
+
+use crate::ast::*;
+use crate::CError;
+use hpm_types::{Field, TypeId, TypeTable};
+use std::collections::HashMap;
+
+/// Resolved type environment for one program.
+#[derive(Debug, Clone)]
+pub struct TypeEnv {
+    /// The TI table all processes of this program share (deterministic
+    /// construction ⇒ identical `TypeId`s on every machine).
+    pub table: TypeTable,
+    /// Struct tag → type id.
+    pub structs: HashMap<String, TypeId>,
+}
+
+impl TypeEnv {
+    /// Build the TI table from the program's struct definitions, exactly
+    /// as the paper's pre-compiler emits the TI table for the program.
+    pub fn build(program: &Program) -> Result<TypeEnv, CError> {
+        let mut table = TypeTable::new();
+        let mut structs = HashMap::new();
+        // Two passes so structs can reference each other by pointer.
+        for s in &program.structs {
+            let id = table.declare_struct(&s.name);
+            structs.insert(s.name.clone(), id);
+        }
+        let mut env = TypeEnv { table, structs };
+        for s in &program.structs {
+            let mut fields = Vec::new();
+            for f in &s.fields {
+                let fid = env.resolve(&f.ty)?;
+                let fid = match f.array {
+                    Some(n) => env.table.array_of(fid, n),
+                    None => fid,
+                };
+                fields.push(Field::new(&f.name, fid));
+            }
+            let id = env.structs[&s.name];
+            env.table
+                .define_struct(id, fields)
+                .map_err(|e| CError::Sema(format!("struct {}: {e}", s.name)))?;
+        }
+        Ok(env)
+    }
+
+    /// Resolve a source type expression to a TI id.
+    pub fn resolve(&mut self, t: &TypeExpr) -> Result<TypeId, CError> {
+        match t {
+            TypeExpr::Scalar(s) => Ok(self.table.scalar(*s)),
+            TypeExpr::Struct(name) => self
+                .structs
+                .get(name)
+                .copied()
+                .ok_or_else(|| CError::Sema(format!("unknown struct '{name}'"))),
+            TypeExpr::Pointer(inner) => {
+                let p = self.resolve(inner)?;
+                Ok(self.table.pointer_to(p))
+            }
+            TypeExpr::Void => Err(CError::Sema("void has no value type".into())),
+        }
+    }
+
+    /// Resolve a declaration to (element type id, element count).
+    pub fn resolve_decl(&mut self, d: &VarDecl) -> Result<(TypeId, u64), CError> {
+        let ty = self.resolve(&d.ty)?;
+        Ok((ty, d.array.unwrap_or(1)))
+    }
+}
+
+/// Scope information for one function: parameter/local slots in
+/// declaration order (parameters first), plus the global map.
+#[derive(Debug, Clone)]
+pub struct FuncScope {
+    /// Slot name → slot index.
+    pub slots: HashMap<String, usize>,
+    /// Slot declarations in order (params then locals).
+    pub decls: Vec<VarDecl>,
+}
+
+impl FuncScope {
+    /// Build the scope of `f`, checking for duplicates.
+    pub fn build(f: &Function) -> Result<FuncScope, CError> {
+        let mut slots = HashMap::new();
+        let mut decls = Vec::new();
+        for d in f.params.iter().chain(&f.locals) {
+            if slots.insert(d.name.clone(), decls.len()).is_some() {
+                return Err(CError::Sema(format!(
+                    "duplicate variable '{}' in {}",
+                    d.name, f.name
+                )));
+            }
+            decls.push(d.clone());
+        }
+        Ok(FuncScope { slots, decls })
+    }
+}
+
+/// Check that every identifier used in the program resolves to a local,
+/// parameter, global, or function.
+pub fn check_names(program: &Program) -> Result<(), CError> {
+    let globals: HashMap<&str, ()> = program.globals.iter().map(|g| (g.name.as_str(), ())).collect();
+    let funcs: HashMap<&str, usize> =
+        program.functions.iter().map(|f| (f.name.as_str(), f.params.len())).collect();
+    for f in &program.functions {
+        let scope = FuncScope::build(f)?;
+        let mut ck = NameCk { globals: &globals, funcs: &funcs, scope: &scope, fname: &f.name };
+        for s in &f.body {
+            ck.stmt(s)?;
+        }
+    }
+    Ok(())
+}
+
+struct NameCk<'a> {
+    globals: &'a HashMap<&'a str, ()>,
+    funcs: &'a HashMap<&'a str, usize>,
+    scope: &'a FuncScope,
+    fname: &'a str,
+}
+
+impl NameCk<'_> {
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                self.expr(target)?;
+                self.expr(value)
+            }
+            Stmt::Expr { expr, .. } => self.expr(expr),
+            Stmt::If { cond, then_body, else_body, .. } => {
+                self.expr(cond)?;
+                for s in then_body.iter().chain(else_body) {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond)?;
+                for s in body {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.expr(c)?;
+                }
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                for s in body {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Return { value, .. } => value.as_ref().map_or(Ok(()), |v| self.expr(v)),
+            Stmt::Free { ptr, .. } => self.expr(ptr),
+            Stmt::Print { value, .. } => self.expr(value),
+            Stmt::Break { .. } | Stmt::Continue { .. } => Ok(()),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CError> {
+        match e {
+            Expr::Ident(n) => {
+                if self.scope.slots.contains_key(n) || self.globals.contains_key(n.as_str()) {
+                    Ok(())
+                } else {
+                    Err(CError::Sema(format!("unknown variable '{n}' in {}", self.fname)))
+                }
+            }
+            Expr::Call(name, args) => {
+                match self.funcs.get(name.as_str()) {
+                    Some(arity) if *arity == args.len() => {}
+                    Some(arity) => {
+                        return Err(CError::Sema(format!(
+                            "call to {name} with {} args, expected {arity}",
+                            args.len()
+                        )))
+                    }
+                    None => return Err(CError::Sema(format!("unknown function '{name}'"))),
+                }
+                for a in args {
+                    self.expr(a)?;
+                }
+                Ok(())
+            }
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                self.expr(a)?;
+                self.expr(b)
+            }
+            Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) | Expr::Cast(_, a) => self.expr(a),
+            Expr::Member(a, _) | Expr::Arrow(a, _) => self.expr(a),
+            Expr::Malloc(n, _) => self.expr(n),
+            Expr::Int(_) | Expr::Float(_) | Expr::Sizeof(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn builds_recursive_struct_types() {
+        let p = parse(
+            "struct node { float data; struct node *link; };\n\
+             int main() { return 0; }",
+        )
+        .unwrap();
+        let env = TypeEnv::build(&p).unwrap();
+        let node = env.structs["node"];
+        assert!(env.table.is_complete(node));
+        assert!(env.table.contains_pointer(node));
+    }
+
+    #[test]
+    fn unknown_struct_errors() {
+        let p = parse("struct a { struct missing *m; int x; };\nint main() { return 0; }");
+        // `struct missing *m` is fine only if `missing` is declared —
+        // it is not, so resolution fails.
+        let p = p.unwrap();
+        assert!(TypeEnv::build(&p).is_err());
+    }
+
+    #[test]
+    fn duplicate_local_rejected() {
+        let p = parse("int main() { int x; int x; return 0; }").unwrap();
+        assert!(check_names(&p).is_err());
+    }
+
+    #[test]
+    fn unknown_ident_rejected() {
+        let p = parse("int main() { int x; x = y; return 0; }").unwrap();
+        assert!(check_names(&p).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p =
+            parse("int f(int a) { return a; }\nint main() { return f(1, 2); }").unwrap();
+        assert!(check_names(&p).is_err());
+    }
+
+    #[test]
+    fn clean_program_checks() {
+        let p = parse(
+            "int g;\nint f(int a) { return a + g; }\nint main() { int x; x = f(2); return x; }",
+        )
+        .unwrap();
+        check_names(&p).unwrap();
+    }
+}

@@ -1,0 +1,556 @@
+//! The mini-C virtual machine: runs compiled programs as migratable
+//! processes.
+//!
+//! The VM is where the pre-compiler's annotations become runtime
+//! behavior: a [`Instr::Poll`] at a loop header checks for a migration
+//! request and, when one is pending, saves exactly the live variables
+//! the dataflow analysis computed; a [`Instr::CallMark`] records the
+//! resume point for migrations that pass through nested calls. The VM
+//! speaks the same [`MigCtx`] protocol as the hand-annotated workloads,
+//! so a mini-C process migrates between heterogeneous machines with no
+//! VM-specific wire format.
+
+use crate::compile::{compile_program, BinKind, CompiledProgram, Instr};
+use crate::parser::parse;
+use crate::CError;
+use hpm_arch::{CScalar, ScalarValue};
+use hpm_migrate::{Flow, MigCtx, MigError, MigratableProgram, Process};
+use std::sync::Arc;
+
+/// A mini-C program packaged as a migratable process.
+#[derive(Debug, Clone)]
+pub struct MiniCProcess {
+    prog: Arc<CompiledProgram>,
+    output: Vec<(String, String)>,
+    ret: Option<i64>,
+}
+
+impl MiniCProcess {
+    /// Wrap an already-compiled program.
+    pub fn new(prog: Arc<CompiledProgram>) -> Self {
+        MiniCProcess { prog, output: Vec::new(), ret: None }
+    }
+
+    /// Parse, screen, analyze, compile, and wrap source text.
+    pub fn from_source(src: &str) -> Result<Self, CError> {
+        let ast = parse(src)?;
+        let prog = compile_program(&ast)?;
+        Ok(MiniCProcess::new(Arc::new(prog)))
+    }
+
+    /// The compiled program (for inspection).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+}
+
+impl MigratableProgram for MiniCProcess {
+    fn name(&self) -> &'static str {
+        "minic"
+    }
+
+    fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+        proc.space.install_types(self.prog.types.clone());
+        for (name, ty, count) in &self.prog.globals {
+            proc.define_global(name, *ty, *count)?;
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+        // Global addresses in declaration order.
+        let infos = ctx.proc().space.block_infos();
+        let mut globals = Vec::with_capacity(self.prog.globals.len());
+        for (name, _, _) in &self.prog.globals {
+            let addr = infos
+                .iter()
+                .find(|b| b.name.as_deref() == Some(name))
+                .ok_or_else(|| MigError::Protocol(format!("global {name} missing")))?
+                .addr;
+            globals.push(addr);
+        }
+        let prog = Arc::clone(&self.prog);
+        let mut vm = Vm { ctx, prog: &prog, globals, output: &mut self.output };
+        match vm.exec_function(self.prog.main, Vec::new()).map_err(to_mig)? {
+            Exec::Done(v) => {
+                self.ret = v.map(|s| s.as_i64());
+                Ok(Flow::Done)
+            }
+            Exec::Migrate => Ok(Flow::Migrate),
+        }
+    }
+
+    fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+        let mut out = self.output.clone();
+        if let Some(r) = self.ret {
+            out.push(("return".into(), r.to_string()));
+        }
+        Ok(out)
+    }
+}
+
+fn to_mig(e: CError) -> MigError {
+    MigError::Protocol(e.to_string())
+}
+
+enum Exec {
+    Done(Option<ScalarValue>),
+    Migrate,
+}
+
+struct Vm<'c, 'p, 'o> {
+    ctx: &'c mut MigCtx<'p>,
+    prog: &'c Arc<CompiledProgram>,
+    globals: Vec<u64>,
+    output: &'o mut Vec<(String, String)>,
+}
+
+impl Vm<'_, '_, '_> {
+    fn rt(&self, msg: impl Into<String>) -> CError {
+        CError::Runtime(msg.into())
+    }
+
+    fn exec_function(&mut self, fi: usize, args: Vec<ScalarValue>) -> Result<Exec, CError> {
+        let prog = Arc::clone(self.prog);
+        let f = &prog.functions[fi];
+        let frame = self.ctx.enter(&f.name)?;
+        // Declare all slots (identical order on both machines).
+        let mut slots = Vec::with_capacity(f.slots.len());
+        for (name, ty, count) in &f.slots {
+            slots.push(self.ctx.local(frame, name, *ty, *count)?);
+        }
+        // Store arguments into parameter slots. During re-entry these
+        // may be garbage; the frame's restore overwrites what matters.
+        for (i, a) in args.into_iter().enumerate() {
+            self.ctx.proc().space.store_scalar(slots[i], a)?;
+        }
+
+        let mut pc: usize = match self.ctx.resume_point() {
+            Some(rp) => rp as usize,
+            None => 0,
+        };
+        let mut stack: Vec<ScalarValue> = Vec::new();
+        let mut cur_mark: Option<(usize, Vec<u64>)> = None;
+
+        loop {
+            let instr = &f.code[pc];
+            match instr {
+                Instr::PushInt(v) => {
+                    stack.push(ScalarValue::Int(*v));
+                    pc += 1;
+                }
+                Instr::PushF64(v) => {
+                    stack.push(ScalarValue::F64(*v));
+                    pc += 1;
+                }
+                Instr::AddrLocal(n) => {
+                    stack.push(ScalarValue::Ptr(slots[*n]));
+                    pc += 1;
+                }
+                Instr::AddrGlobal(n) => {
+                    stack.push(ScalarValue::Ptr(self.globals[*n]));
+                    pc += 1;
+                }
+                Instr::Load => {
+                    let addr = self.pop(&mut stack)?.as_ptr();
+                    let v = self.ctx.proc().space.load_scalar(addr)?;
+                    stack.push(v);
+                    pc += 1;
+                }
+                Instr::Store => {
+                    let addr = self.pop(&mut stack)?.as_ptr();
+                    let v = self.pop(&mut stack)?;
+                    self.ctx.proc().space.store_scalar(addr, v)?;
+                    pc += 1;
+                }
+                Instr::Drop => {
+                    self.pop(&mut stack)?;
+                    pc += 1;
+                }
+                Instr::Index { elem } => {
+                    let idx = self.pop(&mut stack)?.as_i64();
+                    let base = self.pop(&mut stack)?.as_ptr();
+                    let size = self.ctx.proc().space.layout_of(*elem)?.size as i64;
+                    let addr = (base as i64).wrapping_add(idx.wrapping_mul(size)) as u64;
+                    stack.push(ScalarValue::Ptr(addr));
+                    pc += 1;
+                }
+                Instr::FieldAddr { st, field } => {
+                    let base = self.pop(&mut stack)?.as_ptr();
+                    let off = self.ctx.proc().space.field_offset(*st, *field)?;
+                    stack.push(ScalarValue::Ptr(base + off));
+                    pc += 1;
+                }
+                Instr::Bin(k) => {
+                    let b = self.pop(&mut stack)?;
+                    let a = self.pop(&mut stack)?;
+                    stack.push(self.binop(*k, a, b)?);
+                    pc += 1;
+                }
+                Instr::Neg => {
+                    let a = self.pop(&mut stack)?;
+                    stack.push(match a {
+                        ScalarValue::F64(v) => ScalarValue::F64(-v),
+                        ScalarValue::F32(v) => ScalarValue::F64(-(v as f64)),
+                        other => ScalarValue::Int(-other.as_i64()),
+                    });
+                    pc += 1;
+                }
+                Instr::Not => {
+                    let a = self.pop(&mut stack)?;
+                    stack.push(ScalarValue::Int(if a.is_zero() { 1 } else { 0 }));
+                    pc += 1;
+                }
+                Instr::Cvt(kind) => {
+                    let a = self.pop(&mut stack)?;
+                    stack.push(self.convert(*kind, a));
+                    pc += 1;
+                }
+                Instr::Jump(t) => pc = *t,
+                Instr::JumpIfZero(t) => {
+                    let v = self.pop(&mut stack)?;
+                    if v.is_zero() {
+                        pc = *t;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::Poll { live, .. } => {
+                    // Globals ride with the innermost frame (a Poll save
+                    // always happens in the innermost frame), so resumed
+                    // execution sees them before outer frames restore.
+                    let addrs = self.live_addrs(&slots, live, true);
+                    if self.ctx.frame_is_next_to_restore() {
+                        self.ctx.restore_frame(&addrs)?;
+                    } else if self.ctx.poll() {
+                        self.ctx.save_frame(pc as u32, &addrs)?;
+                        return Ok(Exec::Migrate);
+                    }
+                    pc += 1;
+                }
+                Instr::CallMark { live, .. } => {
+                    cur_mark = Some((pc, self.live_addrs(&slots, live, false)));
+                    pc += 1;
+                }
+                Instr::Call { func, nargs, returns } => {
+                    if stack.len() < *nargs {
+                        return Err(self.rt("operand stack underflow at call"));
+                    }
+                    let args = stack.split_off(stack.len() - nargs);
+                    match self.exec_function(*func, args)? {
+                        Exec::Migrate => {
+                            let (mpc, maddrs) = cur_mark
+                                .clone()
+                                .ok_or_else(|| self.rt("call without CallMark"))?;
+                            self.ctx.save_frame(mpc as u32, &maddrs)?;
+                            return Ok(Exec::Migrate);
+                        }
+                        Exec::Done(v) => {
+                            if *returns {
+                                stack.push(
+                                    v.ok_or_else(|| self.rt("missing return value"))?,
+                                );
+                            }
+                            // Post-call restore: this frame's stream
+                            // section is next once the callee (on the
+                            // recorded chain) has fully restored.
+                            if self.ctx.frame_is_next_to_restore() {
+                                let (_, maddrs) = cur_mark
+                                    .clone()
+                                    .ok_or_else(|| self.rt("restore without CallMark"))?;
+                                self.ctx.restore_frame(&maddrs)?;
+                            }
+                            pc += 1;
+                        }
+                    }
+                }
+                Instr::Ret { has_value } => {
+                    let v = if *has_value { Some(self.pop(&mut stack)?) } else { None };
+                    self.ctx.leave(frame)?;
+                    return Ok(Exec::Done(v));
+                }
+                Instr::Malloc { elem } => {
+                    let count = self.pop(&mut stack)?.as_i64();
+                    if count <= 0 {
+                        return Err(self.rt(format!("malloc of {count} elements")));
+                    }
+                    let addr = self.ctx.proc().malloc(*elem, count as u64)?;
+                    stack.push(ScalarValue::Ptr(addr));
+                    pc += 1;
+                }
+                Instr::Free => {
+                    let addr = self.pop(&mut stack)?.as_ptr();
+                    self.ctx.proc().free(addr)?;
+                    pc += 1;
+                }
+                Instr::Print { label } => {
+                    let v = self.pop(&mut stack)?;
+                    let text = match v {
+                        ScalarValue::F64(f) => format!("{f:?}"),
+                        ScalarValue::F32(f) => format!("{f:?}"),
+                        ScalarValue::Ptr(p) => {
+                            if p == 0 {
+                                "null".to_string()
+                            } else {
+                                "ptr".to_string()
+                            }
+                        }
+                        other => other.as_i64().to_string(),
+                    };
+                    self.output
+                        .push((label.clone().unwrap_or_else(|| "print".into()), text));
+                    pc += 1;
+                }
+                Instr::SizeOf { ty } => {
+                    let size = self.ctx.proc().space.layout_of(*ty)?.size;
+                    stack.push(ScalarValue::Int(size as i64));
+                    pc += 1;
+                }
+            }
+        }
+    }
+
+    fn pop(&self, stack: &mut Vec<ScalarValue>) -> Result<ScalarValue, CError> {
+        stack.pop().ok_or_else(|| self.rt("operand stack underflow"))
+    }
+
+    /// Live block addresses for a poll/call site: the analysis's local
+    /// slots, plus — at innermost-frame poll sites — every global (the
+    /// reachability roots the runtime owns).
+    fn live_addrs(&self, slots: &[u64], live: &[usize], with_globals: bool) -> Vec<u64> {
+        let mut v: Vec<u64> = live.iter().map(|&i| slots[i]).collect();
+        if with_globals {
+            v.extend_from_slice(&self.globals);
+        }
+        v
+    }
+
+    fn binop(&self, k: BinKind, a: ScalarValue, b: ScalarValue) -> Result<ScalarValue, CError> {
+        use ScalarValue::*;
+        let float = matches!(a, F64(_) | F32(_)) || matches!(b, F64(_) | F32(_));
+        Ok(if float {
+            let x = a.as_f64();
+            let y = b.as_f64();
+            match k {
+                BinKind::Add => F64(x + y),
+                BinKind::Sub => F64(x - y),
+                BinKind::Mul => F64(x * y),
+                BinKind::Div => F64(x / y),
+                BinKind::Mod => F64(x % y),
+                BinKind::Lt => Int((x < y) as i64),
+                BinKind::Le => Int((x <= y) as i64),
+                BinKind::Gt => Int((x > y) as i64),
+                BinKind::Ge => Int((x >= y) as i64),
+                BinKind::Eq => Int((x == y) as i64),
+                BinKind::Ne => Int((x != y) as i64),
+            }
+        } else if matches!(a, Ptr(_)) || matches!(b, Ptr(_)) {
+            let x = a.as_ptr();
+            let y = b.as_ptr();
+            match k {
+                BinKind::Eq => Int((x == y) as i64),
+                BinKind::Ne => Int((x != y) as i64),
+                BinKind::Lt => Int((x < y) as i64),
+                BinKind::Le => Int((x <= y) as i64),
+                BinKind::Gt => Int((x > y) as i64),
+                BinKind::Ge => Int((x >= y) as i64),
+                _ => return Err(self.rt("arithmetic on pointers (use indexing)")),
+            }
+        } else {
+            let x = a.as_i64();
+            let y = b.as_i64();
+            match k {
+                BinKind::Add => Int(x.wrapping_add(y)),
+                BinKind::Sub => Int(x.wrapping_sub(y)),
+                BinKind::Mul => Int(x.wrapping_mul(y)),
+                BinKind::Div => {
+                    if y == 0 {
+                        return Err(self.rt("division by zero"));
+                    }
+                    Int(x.wrapping_div(y))
+                }
+                BinKind::Mod => {
+                    if y == 0 {
+                        return Err(self.rt("modulo by zero"));
+                    }
+                    Int(x.wrapping_rem(y))
+                }
+                BinKind::Lt => Int((x < y) as i64),
+                BinKind::Le => Int((x <= y) as i64),
+                BinKind::Gt => Int((x > y) as i64),
+                BinKind::Ge => Int((x >= y) as i64),
+                BinKind::Eq => Int((x == y) as i64),
+                BinKind::Ne => Int((x != y) as i64),
+            }
+        })
+    }
+
+    fn convert(&mut self, kind: CScalar, v: ScalarValue) -> ScalarValue {
+        // Width-exact conversion through the executing machine's layout.
+        let arch = self.ctx.proc().space.arch().clone();
+        let mut buf = Vec::with_capacity(8);
+        arch.encode_scalar(kind, v, &mut buf);
+        arch.decode_scalar(kind, &buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_migrate::{run_migrating, run_straight, Trigger};
+
+    fn run_src(src: &str) -> Vec<(String, String)> {
+        let mut p = MiniCProcess::from_source(src).unwrap();
+        let (r, _) = run_straight(&mut p, Architecture::sparc20()).unwrap();
+        r
+    }
+
+    fn get<'a>(r: &'a [(String, String)], k: &str) -> &'a str {
+        &r.iter().find(|(a, _)| a == k).unwrap_or_else(|| panic!("no key {k} in {r:?}")).1
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let r = run_src("int main() { return 6 * 7; }");
+        assert_eq!(get(&r, "return"), "42");
+    }
+
+    #[test]
+    fn loops_and_prints() {
+        let r = run_src(
+            "int main() { int i; int s; s = 0; for (i = 1; i <= 10; i++) { s = s + i; } \
+             print(\"sum\", s); return 0; }",
+        );
+        assert_eq!(get(&r, "sum"), "55");
+    }
+
+    #[test]
+    fn floats() {
+        let r = run_src(
+            "int main() { double x; x = 1.5; x = x * 4.0; print(\"x\", x); return 0; }",
+        );
+        assert_eq!(get(&r, "x"), "6.0");
+    }
+
+    #[test]
+    fn pointers_and_heap() {
+        let r = run_src(
+            "int main() { int *p; p = malloc(3 * sizeof(int)); p[0] = 7; p[1] = 8; p[2] = 9; \
+             print(\"mid\", p[1]); free(p); return 0; }",
+        );
+        assert_eq!(get(&r, "mid"), "8");
+    }
+
+    #[test]
+    fn struct_linked_list() {
+        let r = run_src(
+            "struct node { int v; struct node *next; };\n\
+             struct node *head;\n\
+             int main() {\n\
+               int i; struct node *n;\n\
+               head = 0;\n\
+               for (i = 0; i < 5; i++) {\n\
+                 n = (struct node *) malloc(sizeof(struct node));\n\
+                 n->v = i; n->next = head; head = n;\n\
+               }\n\
+               i = 0;\n\
+               n = head;\n\
+               while (n != 0) { i = i * 10 + n->v; n = n->next; }\n\
+               print(\"folded\", i);\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(get(&r, "folded"), "43210");
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let r = run_src(
+            "int fib(int n) { int a; int b; if (n < 2) return n; a = fib(n - 1); b = fib(n - 2); return a + b; }\n\
+             int main() { int x; x = fib(12); print(\"fib\", x); return 0; }",
+        );
+        assert_eq!(get(&r, "fib"), "144");
+    }
+
+    #[test]
+    fn short_circuit_protects_deref() {
+        let r = run_src(
+            "struct n { int v; struct n *next; };\n\
+             int main() { struct n *p; p = 0; \
+             if (p != 0 && p->v > 0) { print(\"bad\", 1); } else { print(\"ok\", 1); } return 0; }",
+        );
+        assert_eq!(get(&r, "ok"), "1");
+    }
+
+    #[test]
+    fn migration_of_minic_loop() {
+        let src = "int main() { int i; int s; s = 0; \
+                    for (i = 0; i < 2000; i++) { s = s + i; } \
+                    print(\"sum\", s); return 0; }";
+        let mut p = MiniCProcess::from_source(src).unwrap();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            || MiniCProcess::from_source(src).unwrap(),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(1000),
+        )
+        .unwrap();
+        assert_eq!(expect, run.results, "migrated mini-C run must agree");
+    }
+
+    #[test]
+    fn migration_through_nested_call() {
+        let src = "int work(int n) { int i; int acc; acc = 0; \
+                    for (i = 0; i < n; i++) { acc = acc + i; } return acc; }\n\
+                   int main() { int total; int r; int k; total = 0; \
+                    for (k = 0; k < 10; k++) { r = work(500); total = total + r; } \
+                    print(\"total\", total); return 0; }";
+        let mut p = MiniCProcess::from_source(src).unwrap();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        // Trigger deep inside work(): the chain is main → work.
+        let run = run_migrating(
+            || MiniCProcess::from_source(src).unwrap(),
+            Architecture::dec5000(),
+            Architecture::x86_64_sim(),
+            hpm_net::NetworkModel::ethernet_100(),
+            Trigger::AtPollCount(1700),
+        )
+        .unwrap();
+        assert_eq!(expect, run.results);
+        assert_eq!(run.report.chain_depth, 2, "main → work");
+    }
+
+    #[test]
+    fn migration_of_heap_structures() {
+        let src = "struct node { int v; struct node *next; };\n\
+                   struct node *head;\n\
+                   int main() {\n\
+                     int i; int sum; struct node *n;\n\
+                     head = 0;\n\
+                     for (i = 0; i < 300; i++) {\n\
+                       n = (struct node *) malloc(sizeof(struct node));\n\
+                       n->v = i; n->next = head; head = n;\n\
+                     }\n\
+                     sum = 0;\n\
+                     n = head;\n\
+                     while (n != 0) { sum = sum + n->v; n = n->next; }\n\
+                     print(\"sum\", sum);\n\
+                     return 0;\n\
+                   }";
+        let mut p = MiniCProcess::from_source(src).unwrap();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            || MiniCProcess::from_source(src).unwrap(),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(150), // mid list-build
+        )
+        .unwrap();
+        assert_eq!(expect, run.results);
+        assert!(run.report.collect_stats.blocks_saved > 100, "half the list migrated");
+    }
+}

@@ -1,0 +1,61 @@
+//! Byte-order description.
+
+/// Byte order of a target machine.
+///
+/// The paper's headline heterogeneous pair is truly mixed-endian: the DEC
+/// 5000/120 is little-endian, the SPARC 20 big-endian, so every multi-byte
+/// scalar must be byte-swapped through the machine-independent (XDR,
+/// big-endian) format during migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endianness {
+    /// Least-significant byte at the lowest address (MIPS/Ultrix, x86).
+    Little,
+    /// Most-significant byte at the lowest address (SPARC; also XDR's
+    /// on-the-wire order).
+    Big,
+}
+
+impl Endianness {
+    /// The native byte order of the host running this simulation.
+    pub fn host() -> Endianness {
+        if cfg!(target_endian = "big") {
+            Endianness::Big
+        } else {
+            Endianness::Little
+        }
+    }
+
+    /// The opposite order.
+    pub fn swapped(self) -> Endianness {
+        match self {
+            Endianness::Little => Endianness::Big,
+            Endianness::Big => Endianness::Little,
+        }
+    }
+}
+
+impl std::fmt::Display for Endianness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endianness::Little => write!(f, "little-endian"),
+            Endianness::Big => write!(f, "big-endian"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swapped_is_involution() {
+        assert_eq!(Endianness::Little.swapped(), Endianness::Big);
+        assert_eq!(Endianness::Big.swapped().swapped(), Endianness::Big);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Endianness::Little.to_string(), "little-endian");
+        assert_eq!(Endianness::Big.to_string(), "big-endian");
+    }
+}

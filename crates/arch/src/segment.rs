@@ -1,0 +1,166 @@
+//! Memory segment layout of a simulated process image.
+
+/// The three segments of the paper's process model (Figure 1 shows memory
+/// blocks residing in the *global data*, *heap data*, and per-function
+/// *stack* segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SegmentKind {
+    /// Statically allocated globals (data + bss).
+    Global,
+    /// Dynamically allocated blocks (`malloc`).
+    Heap,
+    /// Function-local variables; grows downward from the segment top.
+    Stack,
+}
+
+impl SegmentKind {
+    /// All segment kinds in canonical order.
+    pub const ALL: [SegmentKind; 3] = [SegmentKind::Global, SegmentKind::Heap, SegmentKind::Stack];
+}
+
+impl std::fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentKind::Global => write!(f, "global"),
+            SegmentKind::Heap => write!(f, "heap"),
+            SegmentKind::Stack => write!(f, "stack"),
+        }
+    }
+}
+
+/// Address range of one segment: `[base, base + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSpan {
+    /// Lowest address of the segment.
+    pub base: u64,
+    /// Extent in bytes.
+    pub size: u64,
+}
+
+impl SegmentSpan {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.size
+    }
+
+    /// Whether `addr` lies inside the segment.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Where the three segments live in a machine's virtual address space.
+///
+/// Differing segment bases between source and destination machines are one
+/// of the reasons raw addresses cannot be shipped: the same logical block
+/// lands at a different numeric address after migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMap {
+    /// Global data segment span.
+    pub global: SegmentSpan,
+    /// Heap segment span.
+    pub heap: SegmentSpan,
+    /// Stack segment span (allocation proceeds downward from `end()`).
+    pub stack: SegmentSpan,
+}
+
+impl SegmentMap {
+    /// A classic 32-bit Unix layout: text/data low, heap above, stack high.
+    pub fn classic_32() -> Self {
+        SegmentMap {
+            global: SegmentSpan { base: 0x0001_0000, size: 0x0400_0000 },  // 64 MiB
+            heap: SegmentSpan { base: 0x1000_0000, size: 0x4000_0000 },    // 1 GiB
+            stack: SegmentSpan { base: 0x7000_0000, size: 0x0400_0000 },   // 64 MiB
+        }
+    }
+
+    /// A 64-bit layout with widely separated segments.
+    pub fn classic_64() -> Self {
+        SegmentMap {
+            global: SegmentSpan { base: 0x0000_0000_0040_0000, size: 0x1000_0000 },
+            heap: SegmentSpan { base: 0x0000_5000_0000_0000, size: 0x10_0000_0000 },
+            stack: SegmentSpan { base: 0x0000_7fff_0000_0000, size: 0x4000_0000 },
+        }
+    }
+
+    /// The span of `kind`.
+    pub fn span(&self, kind: SegmentKind) -> SegmentSpan {
+        match kind {
+            SegmentKind::Global => self.global,
+            SegmentKind::Heap => self.heap,
+            SegmentKind::Stack => self.stack,
+        }
+    }
+
+    /// Which segment (if any) contains `addr`.
+    pub fn classify(&self, addr: u64) -> Option<SegmentKind> {
+        SegmentKind::ALL.into_iter().find(|&k| self.span(k).contains(addr))
+    }
+
+    /// Validates that the three segments do not overlap.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut spans: Vec<(SegmentKind, SegmentSpan)> =
+            SegmentKind::ALL.into_iter().map(|k| (k, self.span(k))).collect();
+        spans.sort_by_key(|(_, s)| s.base);
+        for w in spans.windows(2) {
+            let (ka, a) = w[0];
+            let (kb, b) = w[1];
+            if a.end() > b.base {
+                return Err(format!("segments {ka} and {kb} overlap"));
+            }
+        }
+        for (k, s) in &spans {
+            if s.size == 0 {
+                return Err(format!("segment {k} is empty"));
+            }
+            if s.base == 0 {
+                return Err(format!("segment {k} includes NULL"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_layouts_are_valid() {
+        SegmentMap::classic_32().validate().unwrap();
+        SegmentMap::classic_64().validate().unwrap();
+    }
+
+    #[test]
+    fn classify_addresses() {
+        let m = SegmentMap::classic_32();
+        assert_eq!(m.classify(0x0001_0000), Some(SegmentKind::Global));
+        assert_eq!(m.classify(0x1000_0008), Some(SegmentKind::Heap));
+        assert_eq!(m.classify(0x7100_0000), Some(SegmentKind::Stack));
+        assert_eq!(m.classify(0), None);
+        assert_eq!(m.classify(0xFFFF_FFFF), None);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut m = SegmentMap::classic_32();
+        m.heap.base = m.global.base + 8;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn null_inclusion_detected() {
+        let mut m = SegmentMap::classic_32();
+        m.global.base = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn span_contains_boundaries() {
+        let s = SegmentSpan { base: 100, size: 10 };
+        assert!(s.contains(100));
+        assert!(s.contains(109));
+        assert!(!s.contains(110));
+        assert!(!s.contains(99));
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion bench for the DESIGN.md ablations: MSRLT search strategy
+//! (binary vs linear) and visit-mark strategy (epoch vs hash-set).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpm_arch::Architecture;
+use hpm_core::{Collector, MarkStrategy, Msrlt, SearchStrategy};
+use hpm_migrate::{run_to_migration, Trigger};
+use hpm_workloads::BitonicSort;
+
+fn collect_all(src: &mut hpm_migrate::MigratedSource, msrlt: &mut Msrlt) -> usize {
+    let mut c = Collector::new(&mut src.proc.space, msrlt);
+    for frame in &src.pending {
+        for &addr in &frame.live {
+            c.save_variable(addr).unwrap();
+        }
+    }
+    c.finish().0.len()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    let n = 4_000u64;
+
+    for (name, strategy) in [
+        ("msrlt_binary_search", SearchStrategy::Binary),
+        ("msrlt_linear_search", SearchStrategy::Linear),
+    ] {
+        let mut prog = BitonicSort::new(n);
+        let mut src =
+            run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap();
+        let mut msrlt = Msrlt::with_strategy(strategy);
+        for e in src.proc.msrlt.live_entries() {
+            msrlt.register_at(e.id, e.addr, e.size, e.ty, e.count);
+        }
+        g.bench_function(name, |b| b.iter(|| collect_all(&mut src, &mut msrlt)));
+    }
+
+    for (name, marks) in
+        [("epoch_marks", MarkStrategy::Epoch), ("hashset_marks", MarkStrategy::HashSet)]
+    {
+        let mut prog = BitonicSort::new(n);
+        let mut src =
+            run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut c =
+                    Collector::with_marks(&mut src.proc.space, &mut src.proc.msrlt, marks);
+                for frame in &src.pending {
+                    for &addr in &frame.live {
+                        c.save_variable(addr).unwrap();
+                    }
+                }
+                c.finish().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

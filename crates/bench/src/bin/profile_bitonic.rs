@@ -1,0 +1,59 @@
+//! Ad-hoc microprofile of the hot address-space operations on a large
+//! bitonic process (used to tune the §4 measurement harness).
+use hpm_arch::Architecture;
+use hpm_migrate::{run_to_migration, Trigger};
+use hpm_workloads::BitonicSort;
+use std::time::Instant;
+
+fn main() {
+    let n = 30_000u64;
+    let t0 = Instant::now();
+    let mut prog = BitonicSort::new(n);
+    let mut src =
+        run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap();
+    eprintln!("build phase ({n} inserts): {:?}", t0.elapsed());
+
+    let space = &mut src.proc.space;
+    let infos = space.block_infos();
+    let heap: Vec<u64> = infos.iter().filter(|b| b.name.is_none()).map(|b| b.addr).collect();
+    let reps = 200_000usize;
+
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..reps {
+        acc ^= space.resolve(heap[i % heap.len()] + 4).map(|r| r.offset).unwrap_or(0);
+    }
+    eprintln!("resolve:        {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+
+    let t0 = Instant::now();
+    for i in 0..reps {
+        acc ^= space.leaf_at_addr(heap[i % heap.len()] + 4).unwrap().0;
+    }
+    eprintln!("leaf_at_addr:   {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+
+    let t0 = Instant::now();
+    for i in 0..reps {
+        acc ^= space.elem_addr(heap[i % heap.len()], 1).unwrap();
+    }
+    eprintln!("elem_addr:      {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+
+    let t0 = Instant::now();
+    for i in 0..reps {
+        acc ^= space.load_int(heap[i % heap.len()]).unwrap() as u64;
+    }
+    eprintln!("load_int:       {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+
+    let t0 = Instant::now();
+    for i in 0..reps {
+        space.store_int(heap[i % heap.len()], i as i64).unwrap();
+    }
+    eprintln!("store_int:      {:?}/op", t0.elapsed() / reps as u32);
+
+    let t0 = Instant::now();
+    let mut ms = &mut src.proc.msrlt;
+    for i in 0..reps {
+        acc ^= ms.lookup_addr(heap[i % heap.len()] + 4).map(|(id, _)| id.index as u64).unwrap_or(0);
+    }
+    eprintln!("msrlt lookup:   {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+    let _ = &mut ms;
+}

@@ -1,0 +1,482 @@
+//! # hpm-bench — the paper's evaluation, reproduced
+//!
+//! Shared measurement harness behind the `paper_tables` binary and the
+//! criterion benches. Every table and figure of the paper's §4 maps to a
+//! function here:
+//!
+//! | paper item | function |
+//! |---|---|
+//! | §4.1 heterogeneity validation | [`validation_rows`] |
+//! | Table 1 (Collect/Tx/Restore) | [`table1_rows`] |
+//! | Figure 2(a) linpack scaling | [`fig2a_rows`] |
+//! | Figure 2(b) bitonic scaling | [`fig2b_rows`] |
+//! | §4.2 complexity model | [`complexity_rows`] |
+//! | §4.3 execution overhead | [`overhead_rows`] |
+//! | DESIGN.md ablations | [`ablation_rows`] |
+
+use hpm_arch::Architecture;
+use hpm_core::SearchStrategy;
+use hpm_migrate::{
+    resume_from_image, run_migrating, run_straight, run_to_migration, MigratedSource, Trigger,
+};
+use hpm_net::NetworkModel;
+use hpm_workloads::{diff_results, BitonicSort, Linpack, PollPlacement, TestPointer};
+use std::time::{Duration, Instant};
+
+/// One measured migration: the Collect / Tx / Restore triplet plus
+/// supporting counters.
+#[derive(Debug, Clone)]
+pub struct MigRow {
+    /// Workload label.
+    pub label: String,
+    /// Problem size parameter.
+    pub size: u64,
+    /// Memory-state payload bytes (ΣDᵢ).
+    pub payload_bytes: u64,
+    /// MSR vertices transmitted.
+    pub blocks: u64,
+    /// Data collection wall time.
+    pub collect: Duration,
+    /// Modeled transmission time.
+    pub tx: Duration,
+    /// Data restoration wall time.
+    pub restore: Duration,
+    /// MSRLT searches during collection.
+    pub searches: u64,
+    /// Total search comparison steps.
+    pub search_steps: u64,
+    /// MSRLT registrations during restoration.
+    pub restore_updates: u64,
+}
+
+impl MigRow {
+    /// Collect + Tx + Restore.
+    pub fn total(&self) -> Duration {
+        self.collect + self.tx + self.restore
+    }
+}
+
+fn freeze_linpack(n: u64) -> MigratedSource {
+    let mut prog = Linpack::truncated(n, 4);
+    run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(2))
+        .expect("linpack reaches its migration point")
+}
+
+fn freeze_bitonic(n: u64) -> MigratedSource {
+    let mut prog = BitonicSort::new(n);
+    // Fire on the last insertion poll, so n-1 nodes are live — the
+    // paper's x-axis is "number sorted".
+    run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n))
+        .expect("bitonic reaches its migration point")
+}
+
+/// Measure one frozen source end-to-end on the Table 1 testbed
+/// (Ultra 5 → Ultra 5, 100 Mb/s).
+pub fn measure_frozen<F, P>(
+    label: &str,
+    size: u64,
+    src: &mut MigratedSource,
+    link: NetworkModel,
+    make_dst: F,
+) -> MigRow
+where
+    F: Fn() -> P,
+    P: hpm_migrate::MigratableProgram,
+{
+    // Collection (timed; repeatable because collection never mutates).
+    src.proc.msrlt.reset_stats();
+    let t0 = Instant::now();
+    let (payload, _exec, cstats) = src.collect().expect("collect");
+    let collect = t0.elapsed();
+    let msrlt = src.proc.msrlt.stats();
+
+    let image = src.to_image().expect("image");
+    let tx = link.tx_time(image.len() as u64);
+
+    let mut dst_prog = make_dst();
+    let (_results, dst, _rstats, restore) =
+        resume_from_image(&mut dst_prog, Architecture::ultra5(), &image).expect("resume");
+
+    MigRow {
+        label: label.to_string(),
+        size,
+        payload_bytes: payload.len() as u64,
+        blocks: cstats.blocks_saved,
+        collect,
+        tx,
+        restore,
+        searches: msrlt.searches,
+        search_steps: msrlt.search_steps,
+        restore_updates: dst.msrlt.stats().registrations,
+    }
+}
+
+/// Table 1: linpack 1000×1000 and bitonic 100 000, Ultra 5 pair, 100 Mb/s.
+pub fn table1_rows() -> Vec<MigRow> {
+    let link = NetworkModel::ethernet_100();
+    let mut rows = Vec::new();
+    let n = 1000;
+    let mut src = freeze_linpack(n);
+    rows.push(measure_frozen("linpack 1000x1000", n, &mut src, link, || {
+        Linpack::truncated(n, 4)
+    }));
+    let n = 100_000;
+    let mut src = freeze_bitonic(n);
+    rows.push(measure_frozen("bitonic 100000", n, &mut src, link, || BitonicSort::new(n)));
+    rows
+}
+
+/// Figure 2(a): linpack collection/restoration time vs migrated data
+/// size, for matrix orders 600–1200.
+pub fn fig2a_rows() -> Vec<MigRow> {
+    let link = NetworkModel::ethernet_100();
+    [600u64, 800, 1000, 1200]
+        .iter()
+        .map(|&n| {
+            let mut src = freeze_linpack(n);
+            measure_frozen(&format!("linpack {n}x{n}"), n, &mut src, link, move || {
+                Linpack::truncated(n, 4)
+            })
+        })
+        .collect()
+}
+
+/// Figure 2(b): bitonic collection/restoration time vs number sorted.
+pub fn fig2b_rows() -> Vec<MigRow> {
+    let link = NetworkModel::ethernet_100();
+    [20_000u64, 40_000, 60_000, 80_000, 100_000, 120_000, 140_000]
+        .iter()
+        .map(|&n| {
+            let mut src = freeze_bitonic(n);
+            measure_frozen(&format!("bitonic {n}"), n, &mut src, link, move || {
+                BitonicSort::new(n)
+            })
+        })
+        .collect()
+}
+
+/// §4.1: one heterogeneous migration per workload, DEC 5000 → SPARC 20
+/// over 10 Mb/s, with result digests compared to unmigrated runs.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Workload label.
+    pub label: String,
+    /// Whether results match the unmigrated run exactly.
+    pub consistent: bool,
+    /// Payload bytes.
+    pub payload_bytes: u64,
+    /// Blocks transmitted.
+    pub blocks: u64,
+    /// Pointers transmitted as refs (sharing preserved without
+    /// duplication).
+    pub shared_refs: u64,
+    /// The total migration time (Collect + modeled Tx + Restore).
+    pub migration_time: Duration,
+}
+
+/// Run the §4.1 validation suite.
+pub fn validation_rows() -> Vec<ValidationRow> {
+    let link = NetworkModel::ethernet_10();
+    let mut rows = Vec::new();
+
+    // test_pointer.
+    {
+        let mut p = TestPointer::new();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            TestPointer::new,
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            link,
+            Trigger::AtPollCount(8),
+        )
+        .unwrap();
+        rows.push(ValidationRow {
+            label: "test_pointer".into(),
+            consistent: diff_results(&expect, &run.results).is_none(),
+            payload_bytes: run.report.memory_bytes,
+            blocks: run.report.collect_stats.blocks_saved,
+            shared_refs: run.report.collect_stats.ptr_ref,
+            migration_time: run.report.migration_time(),
+        });
+    }
+    // linpack (full solve at a size the simulator handles quickly).
+    {
+        let n = 200;
+        let mut p = Linpack::full(n);
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            move || Linpack::full(n),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            link,
+            Trigger::AtPollCount(n / 2),
+        )
+        .unwrap();
+        rows.push(ValidationRow {
+            label: format!("linpack {n}x{n}"),
+            consistent: diff_results(&expect, &run.results).is_none(),
+            payload_bytes: run.report.memory_bytes,
+            blocks: run.report.collect_stats.blocks_saved,
+            shared_refs: run.report.collect_stats.ptr_ref,
+            migration_time: run.report.migration_time(),
+        });
+    }
+    // bitonic.
+    {
+        let n = 20_000;
+        let mut p = BitonicSort::new(n);
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            move || BitonicSort::new(n),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            link,
+            Trigger::AtPollCount(n / 2),
+        )
+        .unwrap();
+        rows.push(ValidationRow {
+            label: format!("bitonic {n}"),
+            consistent: diff_results(&expect, &run.results).is_none(),
+            payload_bytes: run.report.memory_bytes,
+            blocks: run.report.collect_stats.blocks_saved,
+            shared_refs: run.report.collect_stats.ptr_ref,
+            migration_time: run.report.migration_time(),
+        });
+    }
+    rows
+}
+
+/// §4.2: instrumented counters demonstrating the complexity model —
+/// collection's MSRLT term is O(n log n), restoration's O(n).
+#[derive(Debug, Clone)]
+pub struct ComplexityRow {
+    /// Workload label.
+    pub label: String,
+    /// Live MSR node count `n`.
+    pub nodes: u64,
+    /// ΣDᵢ payload bytes.
+    pub bytes: u64,
+    /// Collection searches (≈ pointer count).
+    pub searches: u64,
+    /// Total comparison steps (expected ≈ searches × log₂ n).
+    pub steps: u64,
+    /// steps / searches — the empirical log factor.
+    pub steps_per_search: f64,
+    /// log₂(n) for comparison.
+    pub log2_n: f64,
+    /// Restoration MSRLT updates (expected ≈ n, i.e. O(n)).
+    pub restore_updates: u64,
+}
+
+/// Produce the §4.2 table for a bitonic size sweep.
+pub fn complexity_rows() -> Vec<ComplexityRow> {
+    [5_000u64, 20_000, 80_000]
+        .iter()
+        .map(|&n| {
+            let mut src = freeze_bitonic(n);
+            let row = measure_frozen(
+                &format!("bitonic {n}"),
+                n,
+                &mut src,
+                NetworkModel::instant(),
+                move || BitonicSort::new(n),
+            );
+            let searches = row.searches.max(1);
+            ComplexityRow {
+                label: row.label,
+                nodes: row.blocks,
+                bytes: row.payload_bytes,
+                searches: row.searches,
+                steps: row.search_steps,
+                steps_per_search: row.search_steps as f64 / searches as f64,
+                log2_n: (row.blocks.max(2) as f64).log2(),
+                restore_updates: row.restore_updates,
+            }
+        })
+        .collect()
+}
+
+/// §4.3: execution overhead of the annotation mechanisms.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Configuration label.
+    pub label: String,
+    /// Wall time of the complete (unmigrated) run.
+    pub wall: Duration,
+    /// Poll-points executed.
+    pub polls: u64,
+    /// MSRLT registrations performed.
+    pub registrations: u64,
+    /// Overhead relative to the baseline row of the group (%).
+    pub overhead_pct: f64,
+}
+
+/// Measure the two §4.3 overhead factors: poll-point placement (linpack)
+/// and allocation-policy pressure on the MSRLT (bitonic).
+pub fn overhead_rows() -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+
+    // --- poll-point placement on linpack (best of 3: the effect is
+    // small, so take minima to suppress scheduler noise) ---
+    let n = 160;
+    let mut base = Duration::ZERO;
+    for placement in [PollPlacement::None, PollPlacement::OuterLoop, PollPlacement::InnerKernel] {
+        let mut wall = Duration::MAX;
+        let mut polls = 0;
+        let mut registrations = 0;
+        for _ in 0..3 {
+            let mut prog = Linpack::full(n);
+            prog.placement = placement;
+            let t0 = Instant::now();
+            let (_, proc) = run_straight(&mut prog, Architecture::ultra5()).unwrap();
+            wall = wall.min(t0.elapsed());
+            polls = proc.poll_count();
+            registrations = proc.msrlt.stats().registrations;
+        }
+        if placement == PollPlacement::None {
+            base = wall;
+        }
+        rows.push(OverheadRow {
+            label: format!("linpack {n}: poll {placement:?}"),
+            wall,
+            polls,
+            registrations,
+            overhead_pct: pct(wall, base),
+        });
+    }
+
+    // --- allocation policy on bitonic ---
+    let n = 30_000;
+    let mut base = Duration::ZERO;
+    for pooled in [true, false] {
+        let mut prog = if pooled { BitonicSort::pooled(n) } else { BitonicSort::new(n) };
+        let t0 = Instant::now();
+        let (_, proc) = run_straight(&mut prog, Architecture::ultra5()).unwrap();
+        let wall = t0.elapsed();
+        if pooled {
+            base = wall;
+        }
+        rows.push(OverheadRow {
+            label: format!(
+                "bitonic {n}: {} allocation",
+                if pooled { "pooled (smart)" } else { "per-node" }
+            ),
+            wall,
+            polls: proc.poll_count(),
+            registrations: proc.msrlt.stats().registrations,
+            overhead_pct: pct(wall, base),
+        });
+    }
+    rows
+}
+
+fn pct(wall: Duration, base: Duration) -> f64 {
+    if base.is_zero() {
+        return 0.0;
+    }
+    (wall.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+}
+
+/// Ablation measurements for the design choices in DESIGN.md.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub label: String,
+    /// Collection wall time.
+    pub collect: Duration,
+    /// Search comparison steps.
+    pub steps: u64,
+}
+
+/// Compare MSRLT search strategies and visit-mark strategies on a
+/// pointer-rich collection.
+pub fn ablation_rows() -> Vec<AblationRow> {
+    use hpm_core::{Collector, MarkStrategy, Msrlt};
+    let n = 8_000u64;
+    let mut rows = Vec::new();
+    for (label, strategy) in
+        [("binary search", SearchStrategy::Binary), ("linear search", SearchStrategy::Linear)]
+    {
+        let mut src = freeze_bitonic(n);
+        // Rebuild the MSRLT under the chosen strategy.
+        let mut msrlt = Msrlt::with_strategy(strategy);
+        for e in src.proc.msrlt.live_entries() {
+            // Preserve logical ids exactly.
+            msrlt.register_at(e.id, e.addr, e.size, e.ty, e.count);
+        }
+        let t0 = Instant::now();
+        let mut collector = Collector::new(&mut src.proc.space, &mut msrlt);
+        for frame in &src.pending {
+            for &addr in &frame.live {
+                collector.save_variable(addr).unwrap();
+            }
+        }
+        let _ = collector.finish();
+        let collect = t0.elapsed();
+        rows.push(AblationRow { label: format!("msrlt {label}"), collect, steps: msrlt.stats().search_steps });
+    }
+    for (label, marks) in [("epoch marks", MarkStrategy::Epoch), ("hash-set marks", MarkStrategy::HashSet)]
+    {
+        let mut src = freeze_bitonic(n);
+        let t0 = Instant::now();
+        let mut collector =
+            Collector::with_marks(&mut src.proc.space, &mut src.proc.msrlt, marks);
+        for frame in &src.pending {
+            for &addr in &frame.live {
+                collector.save_variable(addr).unwrap();
+            }
+        }
+        let _ = collector.finish();
+        let collect = t0.elapsed();
+        rows.push(AblationRow { label: label.to_string(), collect, steps: 0 });
+    }
+    rows
+}
+
+/// Format seconds compactly.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_frozen_linpack_measures() {
+        let mut src = freeze_linpack(60);
+        let row = measure_frozen("linpack 60", 60, &mut src, NetworkModel::ethernet_100(), || {
+            Linpack::truncated(60, 4)
+        });
+        assert!(row.payload_bytes > 60 * 60 * 8, "{row:?}");
+        assert!(row.collect > Duration::ZERO);
+        assert!(row.restore > Duration::ZERO);
+        assert!(row.tx > Duration::ZERO);
+    }
+
+    #[test]
+    fn small_frozen_bitonic_measures() {
+        let mut src = freeze_bitonic(500);
+        let row = measure_frozen("bitonic 500", 500, &mut src, NetworkModel::ethernet_100(), || {
+            BitonicSort::new(500)
+        });
+        assert!(row.blocks >= 499, "{row:?}");
+        assert!(row.searches > 400, "one search per pointer chased");
+    }
+
+    #[test]
+    fn collection_is_repeatable() {
+        let mut src = freeze_bitonic(300);
+        let (p1, _, s1) = src.collect().unwrap();
+        let (p2, _, s2) = src.collect().unwrap();
+        assert_eq!(p1, p2, "collection must not mutate the process");
+        assert_eq!(s1.blocks_saved, s2.blocks_saved);
+    }
+
+    #[test]
+    fn overhead_pct_math() {
+        assert!((pct(Duration::from_secs(2), Duration::from_secs(1)) - 100.0).abs() < 1e-9);
+        assert_eq!(pct(Duration::from_secs(1), Duration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,584 @@
+//! Data collection: `Save_variable` and `Save_pointer`.
+//!
+//! §3.1: "Save_pointer initiates a depth-first traversal through
+//! connected components of the MSR graph. It examines memory blocks that
+//! are referred to by pointers and then invokes type-specific saving
+//! functions to save their contents. During the traversal, visited memory
+//! blocks are marked so that they are not saved again."
+//!
+//! ## Stream grammar (all items XDR-encoded)
+//!
+//! ```text
+//! item        := VAR_NEW id fp count contents
+//!              | VAR_VISITED id
+//! pointer     := PTR_NULL
+//!              | PTR_REF id offset
+//!              | PTR_NEW id offset fp count contents
+//! contents    := leaf*                       (element order, per TI plan)
+//! leaf        := scalar-in-XDR-form | pointer
+//! id          := group:u32 index:u32
+//! offset      := u64    (leaf ordinal inside the target block)
+//! fp          := u64    (structural type fingerprint of the element type)
+//! count       := u64    (element count of the block)
+//! ```
+//!
+//! The traversal is depth-first *pre-order*: a `PTR_NEW` is immediately
+//! followed by the complete contents of the target block (which may nest
+//! further `PTR_NEW`s), after which the interrupted parent block resumes.
+//! The DFS runs on an explicit work stack, so arbitrarily deep structures
+//! (million-node linked lists) collect without exhausting the call stack.
+
+use crate::fingerprint::type_fingerprint;
+use crate::msrlt::{LogicalId, Msrlt};
+use crate::CoreError;
+use hpm_arch::CScalar;
+use hpm_memory::AddressSpace;
+use hpm_types::plan::{PlanOp, SavePlan};
+use hpm_types::TypeId;
+use hpm_xdr::XdrEncoder;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Stream tag: block saved in place (named live variable), first visit.
+pub(crate) const TAG_VAR_NEW: u32 = 1;
+/// Stream tag: named variable whose block was already saved.
+pub(crate) const TAG_VAR_VISITED: u32 = 2;
+/// Stream tag: NULL pointer.
+pub(crate) const TAG_PTR_NULL: u32 = 3;
+/// Stream tag: pointer to an already-saved block.
+pub(crate) const TAG_PTR_REF: u32 = 4;
+/// Stream tag: pointer to a block saved inline right here.
+pub(crate) const TAG_PTR_NEW: u32 = 5;
+
+/// How visited-block marking is implemented (ablation of a design choice
+/// called out in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarkStrategy {
+    /// Epoch counter stored in each MSRLT entry; clearing is O(1).
+    #[default]
+    Epoch,
+    /// Side hash-set of visited ids.
+    HashSet,
+}
+
+/// Counters for one collection run (§4.2: `Collect = MSRLT_search +
+/// Encode_and_Copy`; search counters live in [`MsrltStats`](crate::MsrltStats)).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CollectStats {
+    /// Memory blocks saved (MSR vertices transmitted).
+    pub blocks_saved: u64,
+    /// Total scalar leaves encoded.
+    pub scalars_encoded: u64,
+    /// Pointers encoded, by kind.
+    pub ptr_null: u64,
+    /// Pointers to already-visited blocks (`PTR_REF`).
+    pub ptr_ref: u64,
+    /// Pointers whose target was saved inline (`PTR_NEW`).
+    pub ptr_new: u64,
+    /// Payload bytes produced.
+    pub bytes_out: u64,
+    /// Time spent in the Encode-and-Copy phase (scalar conversion).
+    pub encode_time: Duration,
+}
+
+struct Cursor {
+    block_addr: u64,
+    plan: Rc<SavePlan>,
+    count: u64,
+    elem_idx: u64,
+    op_idx: usize,
+}
+
+/// One collection session over a process image.
+///
+/// Construct, issue `save_variable`/`save_pointer` calls in live-variable
+/// order (innermost frame first, as the paper's §3.2 walkthrough does),
+/// then [`Collector::finish`].
+pub struct Collector<'a> {
+    space: &'a mut AddressSpace,
+    msrlt: &'a mut Msrlt,
+    enc: XdrEncoder,
+    stats: CollectStats,
+    marks: MarkStrategy,
+    mark_set: std::collections::HashSet<LogicalId>,
+    fp_cache: std::collections::HashMap<TypeId, u64>,
+}
+
+impl<'a> Collector<'a> {
+    /// Begin a collection: starts a fresh visit epoch.
+    pub fn new(space: &'a mut AddressSpace, msrlt: &'a mut Msrlt) -> Self {
+        Self::with_marks(space, msrlt, MarkStrategy::Epoch)
+    }
+
+    /// Begin a collection with an explicit mark strategy.
+    pub fn with_marks(
+        space: &'a mut AddressSpace,
+        msrlt: &'a mut Msrlt,
+        marks: MarkStrategy,
+    ) -> Self {
+        msrlt.begin_epoch();
+        Collector {
+            space,
+            msrlt,
+            enc: XdrEncoder::new(),
+            stats: CollectStats::default(),
+            marks,
+            mark_set: std::collections::HashSet::new(),
+            fp_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    fn fingerprint(&mut self, ty: TypeId) -> u64 {
+        if let Some(&fp) = self.fp_cache.get(&ty) {
+            return fp;
+        }
+        let fp = type_fingerprint(self.space.types(), ty);
+        self.fp_cache.insert(ty, fp);
+        fp
+    }
+
+    fn is_visited(&self, id: LogicalId) -> bool {
+        match self.marks {
+            MarkStrategy::Epoch => self.msrlt.is_visited(id),
+            MarkStrategy::HashSet => self.mark_set.contains(&id),
+        }
+    }
+
+    fn mark(&mut self, id: LogicalId) {
+        match self.marks {
+            MarkStrategy::Epoch => self.msrlt.mark_visited(id),
+            MarkStrategy::HashSet => {
+                self.mark_set.insert(id);
+            }
+        }
+    }
+
+    /// `Save_variable`: save the memory block of a live variable.
+    ///
+    /// `addr` must be the start address of a registered block. Emits the
+    /// block's contents unless the DFS already saved it, in which case
+    /// only a `VAR_VISITED` reference is emitted (the paper: "the node v7
+    /// and its subsequent links and nodes have already been visited").
+    pub fn save_variable(&mut self, addr: u64) -> Result<(), CoreError> {
+        let (id, off) = self
+            .msrlt
+            .lookup_addr(addr)
+            .ok_or(CoreError::UnregisteredPointer(addr))?;
+        if off != 0 {
+            return Err(CoreError::SequenceMismatch(format!(
+                "save_variable at interior address {addr:#x}"
+            )));
+        }
+        if self.is_visited(id) {
+            self.enc.put_u32(TAG_VAR_VISITED);
+            put_id(&mut self.enc, id);
+            return Ok(());
+        }
+        self.mark(id);
+        let entry = self.msrlt.entry(id).unwrap();
+        let (ty, count) = (entry.ty, entry.count);
+        self.enc.put_u32(TAG_VAR_NEW);
+        put_id(&mut self.enc, id);
+        let fp = self.fingerprint(ty);
+        self.enc.put_u64(fp);
+        self.enc.put_u64(count);
+        self.emit_block(addr, ty, count)
+    }
+
+    /// `Save_pointer`: save a pointer *value*, rewriting it to logical
+    /// form and saving the target block graph if not yet visited.
+    pub fn save_pointer(&mut self, ptr: u64) -> Result<(), CoreError> {
+        let mut stack = Vec::new();
+        self.encode_pointer(ptr, &mut stack)?;
+        self.drain(stack)
+    }
+
+    /// Finish, returning the payload and the statistics.
+    pub fn finish(self) -> (Vec<u8>, CollectStats) {
+        let mut stats = self.stats;
+        let bytes = self.enc.into_bytes();
+        stats.bytes_out = bytes.len() as u64;
+        (bytes, stats)
+    }
+
+    /// Payload bytes produced so far.
+    pub fn bytes_so_far(&self) -> usize {
+        self.enc.len()
+    }
+
+    // ----- internals -----
+
+    fn emit_block(&mut self, addr: u64, ty: TypeId, count: u64) -> Result<(), CoreError> {
+        self.stats.blocks_saved += 1;
+        let plan = self.space.plan_for(ty)?;
+        if !plan.has_pointers {
+            return self.encode_block_bulk(addr, &plan, count);
+        }
+        self.drain(vec![Cursor { block_addr: addr, plan, count, elem_idx: 0, op_idx: 0 }])
+    }
+
+    /// Fast path for pointer-free blocks (the linpack case): one address
+    /// resolution and one timing probe for the whole block, then a tight
+    /// native→XDR loop. This is what makes Encode-and-Copy the dominant
+    /// linpack term rather than per-element bookkeeping.
+    fn encode_block_bulk(
+        &mut self,
+        addr: u64,
+        plan: &hpm_types::plan::SavePlan,
+        count: u64,
+    ) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let total = plan.size * count;
+        let arch = self.space.arch().clone();
+        let bytes = self.space.read_bytes(addr, total)?;
+        let mut scalars = 0u64;
+        for elem in 0..count {
+            let elem_base = (elem * plan.size) as usize;
+            for op in &plan.ops {
+                let PlanOp::ScalarRun { offset, kind, count: rc, stride } = op else {
+                    unreachable!("bulk path requires a pointer-free plan");
+                };
+                let size = arch.scalar_size(*kind) as usize;
+                for k in 0..*rc {
+                    let at = elem_base + (*offset + k * *stride) as usize;
+                    let v = arch.decode_scalar(*kind, &bytes[at..at + size]);
+                    put_scalar_xdr(&mut self.enc, *kind, v);
+                }
+                scalars += *rc;
+            }
+        }
+        self.stats.scalars_encoded += scalars;
+        self.stats.encode_time += t0.elapsed();
+        Ok(())
+    }
+
+    fn drain(&mut self, mut stack: Vec<Cursor>) -> Result<(), CoreError> {
+        loop {
+            // Take the next op from the top cursor; borrow of `stack`
+            // ends with this block so pointer handling can push onto it.
+            let next = match stack.last_mut() {
+                None => break,
+                Some(cur) => {
+                    if cur.elem_idx >= cur.count {
+                        stack.pop();
+                        continue;
+                    }
+                    if cur.op_idx >= cur.plan.ops.len() {
+                        cur.elem_idx += 1;
+                        cur.op_idx = 0;
+                        continue;
+                    }
+                    let elem_base = cur.elem_idx * cur.plan.size;
+                    let op = cur.plan.ops[cur.op_idx].clone();
+                    cur.op_idx += 1;
+                    (cur.block_addr, elem_base, op)
+                }
+            };
+            let (block_addr, elem_base, op) = next;
+            match op {
+                PlanOp::ScalarRun { offset, kind, count, stride } => {
+                    self.encode_run(block_addr, elem_base + offset, kind, count, stride)?;
+                }
+                PlanOp::PointerSlot { offset, .. } => {
+                    let ptr = self.read_ptr(block_addr, elem_base + offset)?;
+                    self.encode_pointer(ptr, &mut stack)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_ptr(&mut self, block_addr: u64, offset: u64) -> Result<u64, CoreError> {
+        let size = self.space.arch().pointer_size;
+        let bytes = self.space.read_bytes(block_addr + offset, size)?;
+        Ok(self.space.arch().decode_scalar(CScalar::Ptr, bytes).as_ptr())
+    }
+
+    fn encode_run(
+        &mut self,
+        block_addr: u64,
+        offset: u64,
+        kind: CScalar,
+        count: u64,
+        stride: u64,
+    ) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let arch = self.space.arch().clone();
+        let size = arch.scalar_size(kind) as usize;
+        let total_span = if count == 0 { 0 } else { (count - 1) * stride + size as u64 };
+        let bytes = self.space.read_bytes(block_addr + offset, total_span)?;
+        for k in 0..count {
+            let at = (k * stride) as usize;
+            let v = arch.decode_scalar(kind, &bytes[at..at + size]);
+            put_scalar_xdr(&mut self.enc, kind, v);
+        }
+        self.stats.scalars_encoded += count;
+        self.stats.encode_time += t0.elapsed();
+        Ok(())
+    }
+
+    fn encode_pointer(&mut self, ptr: u64, stack: &mut Vec<Cursor>) -> Result<(), CoreError> {
+        if ptr == 0 {
+            self.stats.ptr_null += 1;
+            self.enc.put_u32(TAG_PTR_NULL);
+            return Ok(());
+        }
+        // THE MSRLT search (counted, timed in MsrltStats).
+        let (id, _byte_off) = self
+            .msrlt
+            .lookup_addr(ptr)
+            .ok_or(CoreError::UnregisteredPointer(ptr))?;
+        // Element ordinal of the pointed-to leaf within the target block.
+        let (leaf_idx, _) = self.space.leaf_at_addr(ptr)?;
+        if self.is_visited(id) {
+            self.stats.ptr_ref += 1;
+            self.enc.put_u32(TAG_PTR_REF);
+            put_id(&mut self.enc, id);
+            self.enc.put_u64(leaf_idx);
+            return Ok(());
+        }
+        self.mark(id);
+        self.stats.ptr_new += 1;
+        self.stats.blocks_saved += 1;
+        let entry = self.msrlt.entry(id).unwrap();
+        let (ty, count, target_addr) = (entry.ty, entry.count, entry.addr);
+        self.enc.put_u32(TAG_PTR_NEW);
+        put_id(&mut self.enc, id);
+        self.enc.put_u64(leaf_idx);
+        let fp = self.fingerprint(ty);
+        self.enc.put_u64(fp);
+        self.enc.put_u64(count);
+        let plan = self.space.plan_for(ty)?;
+        if !plan.has_pointers {
+            self.encode_block_bulk(target_addr, &plan, count)?;
+        } else {
+            stack.push(Cursor { block_addr: target_addr, plan, count, elem_idx: 0, op_idx: 0 });
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn put_id(enc: &mut XdrEncoder, id: LogicalId) {
+    enc.put_u32(id.group);
+    enc.put_u32(id.index);
+}
+
+/// Encode one scalar in its machine-independent XDR form.
+pub(crate) fn put_scalar_xdr(enc: &mut XdrEncoder, kind: CScalar, v: hpm_arch::ScalarValue) {
+    use hpm_arch::XdrForm;
+    match kind.xdr_form() {
+        XdrForm::Int => enc.put_i32(v.as_i64() as i32),
+        XdrForm::UInt => enc.put_u32(v.as_i64() as u32),
+        XdrForm::Hyper => enc.put_i64(v.as_i64()),
+        XdrForm::UHyper => enc.put_u64(v.as_i64() as u64),
+        XdrForm::Float => enc.put_f32(match v {
+            hpm_arch::ScalarValue::F32(f) => f,
+            other => other.as_f64() as f32,
+        }),
+        XdrForm::Double => enc.put_f64(v.as_f64()),
+        XdrForm::LogicalPointer => unreachable!("pointers use PTR_* tags"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_types::Field;
+
+    fn setup() -> (AddressSpace, Msrlt) {
+        (AddressSpace::new(Architecture::dec5000()), Msrlt::new())
+    }
+
+    fn register(space: &AddressSpace, msrlt: &mut Msrlt, addr: u64) -> LogicalId {
+        let info = space.info_at(addr).expect("block exists");
+        msrlt.register(&info)
+    }
+
+    #[test]
+    fn save_scalar_global() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let g = space.define_global("x", int, 1).unwrap();
+        space.store_int(g, -42).unwrap();
+        register(&space, &mut msrlt, g);
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_variable(g).unwrap();
+        let (bytes, stats) = c.finish();
+        assert_eq!(stats.blocks_saved, 1);
+        assert_eq!(stats.scalars_encoded, 1);
+        // TAG_VAR_NEW + id(8) + fp(8) + count(8) + int(4)
+        assert_eq!(bytes.len(), 4 + 8 + 8 + 8 + 4);
+        // Payload int is XDR -42 at the tail.
+        assert_eq!(&bytes[bytes.len() - 4..], (-42i32).to_be_bytes());
+    }
+
+    #[test]
+    fn second_save_emits_visited() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let g = space.define_global("x", int, 1).unwrap();
+        register(&space, &mut msrlt, g);
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_variable(g).unwrap();
+        let len1 = c.bytes_so_far();
+        c.save_variable(g).unwrap();
+        let (bytes, stats) = c.finish();
+        assert_eq!(stats.blocks_saved, 1, "no duplicate save");
+        assert_eq!(bytes.len() - len1, 4 + 8, "VAR_VISITED is tag + id only");
+    }
+
+    #[test]
+    fn null_pointer_encodes_null_tag() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let pi = space.types_mut().pointer_to(int);
+        let g = space.define_global("p", pi, 1).unwrap();
+        register(&space, &mut msrlt, g);
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_variable(g).unwrap();
+        let (_, stats) = c.finish();
+        assert_eq!(stats.ptr_null, 1);
+        assert_eq!(stats.ptr_new, 0);
+    }
+
+    #[test]
+    fn pointer_chase_saves_target_once() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let pi = space.types_mut().pointer_to(int);
+        // int a; int *b = &a; int *c = &a;
+        let a = space.define_global("a", int, 1).unwrap();
+        let b = space.define_global("b", pi, 1).unwrap();
+        let cc = space.define_global("c", pi, 1).unwrap();
+        space.store_int(a, 7).unwrap();
+        space.store_ptr(b, a).unwrap();
+        space.store_ptr(cc, a).unwrap();
+        for addr in [a, b, cc] {
+            register(&space, &mut msrlt, addr);
+        }
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_variable(b).unwrap();
+        c.save_variable(cc).unwrap();
+        c.save_variable(a).unwrap();
+        let (_, stats) = c.finish();
+        assert_eq!(stats.blocks_saved, 3, "a saved once (inline), b, c");
+        assert_eq!(stats.ptr_new, 1, "first pointer inlines a");
+        assert_eq!(stats.ptr_ref, 1, "second pointer references a");
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let (mut space, mut msrlt) = setup();
+        let node = space.types_mut().declare_struct("node");
+        let pnode = space.types_mut().pointer_to(node);
+        let fl = space.types_mut().float();
+        space
+            .types_mut()
+            .define_struct(node, vec![Field::new("data", fl), Field::new("link", pnode)])
+            .unwrap();
+        let n1 = space.malloc(node, 1).unwrap();
+        let n2 = space.malloc(node, 1).unwrap();
+        // n1 → n2 → n1 (cycle)
+        let l1 = space.elem_addr(n1, 1).unwrap();
+        let l2 = space.elem_addr(n2, 1).unwrap();
+        space.store_ptr(l1, n2).unwrap();
+        space.store_ptr(l2, n1).unwrap();
+        register(&space, &mut msrlt, n1);
+        register(&space, &mut msrlt, n2);
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_pointer(n1).unwrap();
+        let (_, stats) = c.finish();
+        assert_eq!(stats.blocks_saved, 2);
+        assert_eq!(stats.ptr_new, 2);
+        assert_eq!(stats.ptr_ref, 1, "back-edge to n1");
+    }
+
+    #[test]
+    fn deep_list_does_not_overflow() {
+        let (mut space, mut msrlt) = setup();
+        let node = space.types_mut().declare_struct("cell");
+        let pnode = space.types_mut().pointer_to(node);
+        let int = space.types_mut().int();
+        space
+            .types_mut()
+            .define_struct(node, vec![Field::new("v", int), Field::new("next", pnode)])
+            .unwrap();
+        const N: usize = 60_000;
+        let mut prev = 0u64;
+        let mut head = 0u64;
+        for i in 0..N {
+            let n = space.malloc(node, 1).unwrap();
+            register(&space, &mut msrlt, n);
+            let v = space.elem_addr(n, 0).unwrap();
+            space.store_int(v, i as i64).unwrap();
+            if prev != 0 {
+                let next = space.elem_addr(prev, 1).unwrap();
+                space.store_ptr(next, n).unwrap();
+            } else {
+                head = n;
+            }
+            prev = n;
+        }
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_pointer(head).unwrap();
+        let (_, stats) = c.finish();
+        assert_eq!(stats.blocks_saved, N as u64);
+    }
+
+    #[test]
+    fn dangling_pointer_detected() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let pi = space.types_mut().pointer_to(int);
+        let p = space.define_global("p", pi, 1).unwrap();
+        register(&space, &mut msrlt, p);
+        // Point into unregistered memory.
+        space.store_ptr(p, 0x1234_5678).unwrap();
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        assert!(matches!(
+            c.save_variable(p),
+            Err(CoreError::UnregisteredPointer(0x1234_5678))
+        ));
+    }
+
+    #[test]
+    fn interior_pointer_offset_is_leaf_ordinal() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let pi = space.types_mut().pointer_to(int);
+        let arr = space.define_global("arr", int, 10).unwrap();
+        let p = space.define_global("p", pi, 1).unwrap();
+        let target = space.elem_addr(arr, 7).unwrap();
+        space.store_ptr(p, target).unwrap();
+        register(&space, &mut msrlt, arr);
+        register(&space, &mut msrlt, p);
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        c.save_variable(p).unwrap();
+        let (bytes, _) = c.finish();
+        // Find the PTR_NEW tag and check the offset field == 7.
+        // Layout: VAR_NEW(4) id(8) fp(8) count(8) | PTR_NEW(4) id(8) off(8) ...
+        let off = u64::from_be_bytes(bytes[40..48].try_into().unwrap());
+        assert_eq!(u32::from_be_bytes(bytes[28..32].try_into().unwrap()), TAG_PTR_NEW);
+        assert_eq!(off, 7);
+    }
+
+    #[test]
+    fn hashset_marks_agree_with_epoch() {
+        for marks in [MarkStrategy::Epoch, MarkStrategy::HashSet] {
+            let (mut space, mut msrlt) = setup();
+            let int = space.types_mut().int();
+            let pi = space.types_mut().pointer_to(int);
+            let a = space.define_global("a", int, 1).unwrap();
+            let b = space.define_global("b", pi, 1).unwrap();
+            space.store_ptr(b, a).unwrap();
+            register(&space, &mut msrlt, a);
+            register(&space, &mut msrlt, b);
+            let mut c = Collector::with_marks(&mut space, &mut msrlt, marks);
+            c.save_variable(b).unwrap();
+            c.save_variable(a).unwrap();
+            let (_, stats) = c.finish();
+            assert_eq!(stats.blocks_saved, 2, "strategy {marks:?}");
+        }
+    }
+}

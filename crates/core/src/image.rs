@@ -1,0 +1,139 @@
+//! Migration-image framing.
+//!
+//! A migration image is what travels over the transport layer: a header
+//! identifying the sender, an execution-state section (owned by
+//! `hpm-migrate`), and the memory-state payload produced by the
+//! [`Collector`](crate::Collector). This module owns the header and the
+//! section framing; the sections themselves are opaque byte strings.
+
+use crate::CoreError;
+use hpm_xdr::{XdrDecoder, XdrEncoder};
+
+/// Magic number opening every migration image: `"HPMI"`.
+pub const IMAGE_MAGIC: u32 = 0x4850_4D49;
+/// Current image format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Image header: who produced the image and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageHeader {
+    /// Format version ([`IMAGE_VERSION`]).
+    pub version: u32,
+    /// Source machine name (diagnostic only — the payload is fully
+    /// machine-independent).
+    pub source_arch: String,
+    /// Source pointer width in bytes (diagnostic).
+    pub source_pointer_size: u32,
+    /// Name of the migrating program (sequence-compatibility check).
+    pub program: String,
+}
+
+impl ImageHeader {
+    /// Encode the header.
+    pub fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(IMAGE_MAGIC);
+        enc.put_u32(self.version);
+        enc.put_string(&self.source_arch);
+        enc.put_u32(self.source_pointer_size);
+        enc.put_string(&self.program);
+    }
+
+    /// Decode and validate a header.
+    pub fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, CoreError> {
+        let magic = dec.get_u32()?;
+        if magic != IMAGE_MAGIC {
+            return Err(CoreError::BadTag(magic));
+        }
+        let version = dec.get_u32()?;
+        if version != IMAGE_VERSION {
+            return Err(CoreError::SequenceMismatch(format!(
+                "image version {version}, expected {IMAGE_VERSION}"
+            )));
+        }
+        let source_arch = dec.get_string()?;
+        let source_pointer_size = dec.get_u32()?;
+        let program = dec.get_string()?;
+        Ok(ImageHeader { version, source_arch, source_pointer_size, program })
+    }
+}
+
+/// Frame a complete migration image from its sections.
+pub fn frame_image(header: &ImageHeader, exec_state: &[u8], memory_state: &[u8]) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(64 + exec_state.len() + memory_state.len());
+    header.encode(&mut enc);
+    enc.put_opaque_var(exec_state);
+    enc.put_opaque_var(memory_state);
+    enc.into_bytes()
+}
+
+/// Split a migration image into (header, exec-state, memory-state).
+pub fn unframe_image(image: &[u8]) -> Result<(ImageHeader, Vec<u8>, Vec<u8>), CoreError> {
+    let mut dec = XdrDecoder::new(image);
+    let header = ImageHeader::decode(&mut dec)?;
+    let exec = dec.get_opaque_var()?;
+    let mem = dec.get_opaque_var()?;
+    if !dec.is_empty() {
+        return Err(CoreError::SequenceMismatch(format!(
+            "{} bytes after memory-state section",
+            dec.remaining()
+        )));
+    }
+    Ok((header, exec, mem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> ImageHeader {
+        ImageHeader {
+            version: IMAGE_VERSION,
+            source_arch: "DEC 5000/120 (Ultrix, MIPS)".into(),
+            source_pointer_size: 4,
+            program: "linpack".into(),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let img = frame_image(&header(), b"EXEC", b"MEMORY-STATE");
+        let (h, e, m) = unframe_image(&img).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(e, b"EXEC");
+        assert_eq!(m, b"MEMORY-STATE");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut img = frame_image(&header(), b"", b"");
+        img[0] = 0;
+        assert!(matches!(unframe_image(&img), Err(CoreError::BadTag(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let h = ImageHeader { version: 99, ..header() };
+        let mut enc = XdrEncoder::new();
+        h.encode(&mut enc);
+        let mut dec = XdrDecoder::new(enc.as_bytes());
+        assert!(matches!(
+            ImageHeader::decode(&mut dec),
+            Err(CoreError::SequenceMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut img = frame_image(&header(), b"E", b"M");
+        img.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(unframe_image(&img), Err(CoreError::SequenceMismatch(_))));
+    }
+
+    #[test]
+    fn empty_sections_ok() {
+        let img = frame_image(&header(), b"", b"");
+        let (_, e, m) = unframe_image(&img).unwrap();
+        assert!(e.is_empty());
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! # hpm-core — the paper's contribution: data collection & restoration
+//!
+//! This crate implements §3 of *"Data Collection and Restoration for
+//! Heterogeneous Process Migration"* (Chanchio & Sun, IPPS 2001):
+//!
+//! * [`msrlt`] — the **MSR Lookup Table**: assigns every memory block a
+//!   machine-independent logical identification `(group, index)`, and
+//!   translates addresses in both directions. Address→block lookup is a
+//!   genuine `O(log n)` search (with instrumented comparison counts);
+//!   id→address is `O(1)` table indexing. This asymmetry produces the
+//!   paper's §4.2 result: collection carries an `O(n log n)` MSRLT term,
+//!   restoration only `O(n)`.
+//! * [`collect`] — the MSRM saving half: `Save_variable` / `Save_pointer`.
+//!   `Save_pointer` drives a depth-first traversal of the MSR graph
+//!   (implemented with an explicit stack, so million-node lists cannot
+//!   overflow), marking visited blocks so nothing is saved twice, and
+//!   rewriting every pointer into *(pointer header, offset)* form.
+//! * [`restore`] — the restoring half: `Restore_variable` /
+//!   `Restore_pointer`, rebuilding blocks on the destination machine and
+//!   translating logical pointers back into local raw addresses.
+//! * [`graph`] — an explicit MSR graph snapshot `G = (V, E)` with DOT
+//!   export, used to validate examples like the paper's Figure 1.
+//! * [`image`] — the migration-image framing (header + sections) shared
+//!   by both sides.
+//!
+//! The wire format rides on [`hpm_xdr`] and is fully machine-independent:
+//! the same stream produced on a little-endian ILP32 machine restores on a
+//! big-endian LP64 machine.
+
+pub mod collect;
+pub mod fingerprint;
+pub mod graph;
+pub mod image;
+pub mod msrlt;
+pub mod restore;
+
+pub use collect::{CollectStats, Collector, MarkStrategy};
+pub use fingerprint::type_fingerprint;
+pub use graph::{MsrEdge, MsrGraph, MsrVertex};
+pub use image::{ImageHeader, IMAGE_MAGIC, IMAGE_VERSION};
+pub use msrlt::{LogicalId, Msrlt, MsrltEntry, MsrltStats, SearchStrategy};
+pub use restore::{RestoreStats, Restorer};
+
+use hpm_memory::MemError;
+use hpm_xdr::XdrError;
+
+/// Errors across collection and restoration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying address-space failure.
+    Mem(String),
+    /// Underlying XDR failure.
+    Xdr(XdrError),
+    /// A pointer referred to memory not registered in the MSRLT — a
+    /// migration-unsafe pointer (dangling, foreign, or forged).
+    UnregisteredPointer(u64),
+    /// Stream and receiver disagree about a block's type.
+    TypeMismatch {
+        /// Logical id of the offending block.
+        id: LogicalId,
+        /// Fingerprint carried in the stream.
+        expected: u64,
+        /// Fingerprint of the local type.
+        found: u64,
+    },
+    /// Stream carried an unknown tag; the streams are out of step.
+    BadTag(u32),
+    /// A logical id in the stream could not be matched on this side.
+    UnknownId(LogicalId),
+    /// Save/restore call sequences diverged between the two processes.
+    SequenceMismatch(String),
+}
+
+impl From<MemError> for CoreError {
+    fn from(e: MemError) -> Self {
+        CoreError::Mem(e.to_string())
+    }
+}
+
+impl From<XdrError> for CoreError {
+    fn from(e: XdrError) -> Self {
+        CoreError::Xdr(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Mem(m) => write!(f, "memory error: {m}"),
+            CoreError::Xdr(e) => write!(f, "xdr error: {e}"),
+            CoreError::UnregisteredPointer(a) => {
+                write!(f, "pointer {a:#x} does not refer to a registered memory block")
+            }
+            CoreError::TypeMismatch { id, expected, found } => write!(
+                f,
+                "type mismatch for block {id}: stream {expected:#x} != local {found:#x}"
+            ),
+            CoreError::BadTag(t) => write!(f, "unknown stream tag {t}"),
+            CoreError::UnknownId(id) => write!(f, "logical id {id} unknown on this machine"),
+            CoreError::SequenceMismatch(m) => write!(f, "save/restore sequence mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,489 @@
+//! The MSR Lookup Table (MSRLT).
+//!
+//! §3.1: "At runtime, the MSRLT data structure is created in process
+//! memory space to keep track of memory blocks. It also provides
+//! machine-independent identification to the memory blocks and supports
+//! memory block search during data collection and restoration operations.
+//! The MSRLT works as a mapping table which supports address translation
+//! between the machine-specific and machine-independent memory address."
+//!
+//! Logical identification is a `(group, index)` pair:
+//!
+//! * group 0 — global variables, indexed in definition order;
+//! * group 1 — heap blocks, indexed in allocation order;
+//! * group `2 + d` — locals of the stack frame at depth `d`, indexed in
+//!   declaration order.
+//!
+//! Because the migrating program and the destination program are the same
+//! executable, both sides assign identical ids to the same source-level
+//! entities — the property the paper relies on to match blocks across
+//! machines.
+//!
+//! Address→id lookup is the instrumented search whose cost appears in the
+//! paper's collection complexity (`O(n log n)` over `n` blocks); id→entry
+//! lookup is `O(1)` indexing, which is why restoration's MSRLT term is
+//! only `O(n)`. Both strategies of the §4.2 ablation are provided
+//! ([`SearchStrategy::Binary`] and [`SearchStrategy::Linear`]).
+
+use hpm_memory::BlockInfo;
+use hpm_types::TypeId;
+use hpm_arch::SegmentKind;
+use std::time::{Duration, Instant};
+
+/// Group number of the global-variable group.
+pub const GROUP_GLOBAL: u32 = 0;
+/// Group number of the heap group.
+pub const GROUP_HEAP: u32 = 1;
+
+/// Group number for the stack frame at `depth`.
+pub fn frame_group(depth: u32) -> u32 {
+    2 + depth
+}
+
+/// Machine-independent identification of a memory block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalId {
+    /// The MSRLT group.
+    pub group: u32,
+    /// The index within the group.
+    pub index: u32,
+}
+
+impl std::fmt::Display for LogicalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.group, self.index)
+    }
+}
+
+/// One MSRLT entry: a live memory block's identification and location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsrltEntry {
+    /// Logical identification.
+    pub id: LogicalId,
+    /// Machine-specific start address.
+    pub addr: u64,
+    /// Block size in bytes on this machine.
+    pub size: u64,
+    /// Element type.
+    pub ty: TypeId,
+    /// Element count.
+    pub count: u64,
+    visited_epoch: u64,
+}
+
+/// How address→block search is implemented (§4.2 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Binary search over a sorted address index — `O(log n)` per search,
+    /// the design the paper's complexity model assumes.
+    #[default]
+    Binary,
+    /// Linear scan — `O(n)` per search; the naive baseline.
+    Linear,
+}
+
+/// Instrumentation counters, feeding the §4.2 complexity experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MsrltStats {
+    /// Blocks registered (the "MSRLT update" operations).
+    pub registrations: u64,
+    /// Blocks unregistered (free / frame pop).
+    pub unregistrations: u64,
+    /// Address→block searches performed.
+    pub searches: u64,
+    /// Total comparison steps across all searches.
+    pub search_steps: u64,
+    /// id→entry lookups (O(1) each).
+    pub id_lookups: u64,
+    /// Wall time spent registering.
+    pub register_time: Duration,
+    /// Wall time spent searching.
+    pub search_time: Duration,
+}
+
+/// The MSR Lookup Table.
+#[derive(Debug, Clone)]
+pub struct Msrlt {
+    /// `groups[g][i]` is the entry with id `(g, i)`; `None` for ids that
+    /// are dead (freed) or not yet seen on this side.
+    groups: Vec<Vec<Option<MsrltEntry>>>,
+    /// Sorted by block start address.
+    by_addr: Vec<(u64, LogicalId)>,
+    /// Live frame groups (innermost last).
+    frame_stack: Vec<u32>,
+    strategy: SearchStrategy,
+    epoch: u64,
+    stats: MsrltStats,
+}
+
+impl Default for Msrlt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Msrlt {
+    /// New table with the global and heap groups ready.
+    pub fn new() -> Self {
+        Msrlt::with_strategy(SearchStrategy::Binary)
+    }
+
+    /// New table using the given search strategy.
+    pub fn with_strategy(strategy: SearchStrategy) -> Self {
+        Msrlt {
+            groups: vec![Vec::new(), Vec::new()],
+            by_addr: Vec::new(),
+            frame_stack: Vec::new(),
+            strategy,
+            epoch: 1,
+            stats: MsrltStats::default(),
+        }
+    }
+
+    /// Instrumentation counters so far.
+    pub fn stats(&self) -> MsrltStats {
+        self.stats
+    }
+
+    /// Zero the counters (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = MsrltStats::default();
+    }
+
+    /// Number of live entries.
+    pub fn live_count(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Begin tracking a new stack frame; returns its group.
+    pub fn begin_frame(&mut self) -> u32 {
+        let g = frame_group(self.frame_stack.len() as u32);
+        self.frame_stack.push(g);
+        if self.groups.len() <= g as usize {
+            self.groups.resize_with(g as usize + 1, Vec::new);
+        }
+        self.groups[g as usize].clear();
+        g
+    }
+
+    /// Stop tracking the innermost frame, dropping its entries.
+    pub fn end_frame(&mut self) {
+        let g = self.frame_stack.pop().expect("end_frame with no frame");
+        let dead: Vec<u64> = self.groups[g as usize]
+            .iter()
+            .flatten()
+            .map(|e| e.addr)
+            .collect();
+        for addr in dead {
+            self.remove_addr(addr);
+        }
+        self.groups[g as usize].clear();
+    }
+
+    /// Depth of the live frame stack.
+    pub fn frame_depth(&self) -> usize {
+        self.frame_stack.len()
+    }
+
+    /// Register a block, assigning the next index in the group implied by
+    /// its segment (globals → 0, heap → 1, stack → innermost frame).
+    pub fn register(&mut self, info: &BlockInfo) -> LogicalId {
+        let group = match info.segment {
+            SegmentKind::Global => GROUP_GLOBAL,
+            SegmentKind::Heap => GROUP_HEAP,
+            SegmentKind::Stack => *self
+                .frame_stack
+                .last()
+                .expect("stack block registered with no live frame"),
+        };
+        let index = self.groups[group as usize].len() as u32;
+        let id = LogicalId { group, index };
+        self.register_at(id, info.addr, info.size, info.ty, info.count);
+        id
+    }
+
+    /// Register a block under an explicit id (used on the destination,
+    /// where the stream dictates heap ids).
+    pub fn register_at(&mut self, id: LogicalId, addr: u64, size: u64, ty: TypeId, count: u64) {
+        let t0 = Instant::now();
+        if self.groups.len() <= id.group as usize {
+            self.groups.resize_with(id.group as usize + 1, Vec::new);
+        }
+        let g = &mut self.groups[id.group as usize];
+        if g.len() <= id.index as usize {
+            g.resize(id.index as usize + 1, None);
+        }
+        debug_assert!(g[id.index as usize].is_none(), "duplicate registration of {id}");
+        g[id.index as usize] =
+            Some(MsrltEntry { id, addr, size, ty, count, visited_epoch: 0 });
+        let pos = self.by_addr.partition_point(|&(a, _)| a < addr);
+        self.by_addr.insert(pos, (addr, id));
+        self.stats.registrations += 1;
+        self.stats.register_time += t0.elapsed();
+    }
+
+    /// Reserve heap indices `0..n`: future [`Msrlt::register`] calls for
+    /// heap blocks assign indices ≥ `n`. Used on the destination so that
+    /// blocks allocated by resumed execution never collide with source
+    /// heap ids still pending in un-restored stream sections.
+    pub fn reserve_heap_indices(&mut self, n: u32) {
+        let g = &mut self.groups[GROUP_HEAP as usize];
+        if g.len() < n as usize {
+            g.resize(n as usize, None);
+        }
+    }
+
+    /// Current length of the heap group (the source-side high-water mark
+    /// carried in the execution state).
+    pub fn heap_len(&self) -> u32 {
+        self.groups[GROUP_HEAP as usize].len() as u32
+    }
+
+    /// Drop the entry for the block starting at `addr` (heap `free`).
+    pub fn unregister(&mut self, addr: u64) -> Option<LogicalId> {
+        let id = self.remove_addr(addr)?;
+        self.groups[id.group as usize][id.index as usize] = None;
+        self.stats.unregistrations += 1;
+        Some(id)
+    }
+
+    fn remove_addr(&mut self, addr: u64) -> Option<LogicalId> {
+        let pos = self.by_addr.partition_point(|&(a, _)| a < addr);
+        if pos < self.by_addr.len() && self.by_addr[pos].0 == addr {
+            Some(self.by_addr.remove(pos).1)
+        } else {
+            None
+        }
+    }
+
+    /// *The* MSRLT search: find the block containing `addr`, returning its
+    /// id and the byte offset of `addr` within it. Counts comparisons.
+    pub fn lookup_addr(&mut self, addr: u64) -> Option<(LogicalId, u64)> {
+        let t0 = Instant::now();
+        self.stats.searches += 1;
+        let found = match self.strategy {
+            SearchStrategy::Binary => {
+                let mut lo = 0usize;
+                let mut hi = self.by_addr.len();
+                while lo < hi {
+                    self.stats.search_steps += 1;
+                    let mid = (lo + hi) / 2;
+                    if self.by_addr[mid].0 <= addr {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo.checked_sub(1).map(|i| self.by_addr[i].1)
+            }
+            SearchStrategy::Linear => {
+                let mut best: Option<(u64, LogicalId)> = None;
+                for &(a, id) in &self.by_addr {
+                    self.stats.search_steps += 1;
+                    if a <= addr && best.map(|(ba, _)| a > ba).unwrap_or(true) {
+                        best = Some((a, id));
+                    }
+                }
+                best.map(|(_, id)| id)
+            }
+        };
+        let result = found.and_then(|id| {
+            let e = self.entry(id)?;
+            if addr >= e.addr && addr < e.addr + e.size {
+                Some((id, addr - e.addr))
+            } else {
+                None
+            }
+        });
+        self.stats.search_time += t0.elapsed();
+        result
+    }
+
+    /// O(1) id→entry translation (the restoration-side operation).
+    pub fn entry(&self, id: LogicalId) -> Option<&MsrltEntry> {
+        self.stats_id_lookup();
+        self.groups
+            .get(id.group as usize)?
+            .get(id.index as usize)?
+            .as_ref()
+    }
+
+    // `entry` takes &self for ergonomics; count id lookups with interior
+    // mutability-free approximation: promoted to a method on &mut in hot
+    // paths. Cold callers go through this no-op.
+    fn stats_id_lookup(&self) {}
+
+    /// Counted variant of [`Msrlt::entry`] for instrumented paths.
+    pub fn entry_counted(&mut self, id: LogicalId) -> Option<&MsrltEntry> {
+        self.stats.id_lookups += 1;
+        self.groups
+            .get(id.group as usize)?
+            .get(id.index as usize)?
+            .as_ref()
+    }
+
+    /// All live entries, unordered.
+    pub fn live_entries(&self) -> impl Iterator<Item = &MsrltEntry> {
+        self.by_addr.iter().filter_map(|(_, id)| {
+            self.groups[id.group as usize][id.index as usize].as_ref()
+        })
+    }
+
+    // ----- visit marking (collection-time DFS) -----
+
+    /// Start a new collection: invalidates all visit marks in O(1).
+    pub fn begin_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Mark the block visited in the current epoch.
+    pub fn mark_visited(&mut self, id: LogicalId) {
+        let epoch = self.epoch;
+        if let Some(e) = self.groups[id.group as usize][id.index as usize].as_mut() {
+            e.visited_epoch = epoch;
+        }
+    }
+
+    /// Whether the block was visited in the current epoch.
+    pub fn is_visited(&self, id: LogicalId) -> bool {
+        self.groups[id.group as usize][id.index as usize]
+            .as_ref()
+            .map(|e| e.visited_epoch == self.epoch)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(addr: u64, size: u64, seg: SegmentKind) -> BlockInfo {
+        BlockInfo {
+            addr,
+            ty: TypeId(0),
+            count: 1,
+            segment: seg,
+            name: None,
+            frame: None,
+            size,
+        }
+    }
+
+    #[test]
+    fn groups_assign_in_order() {
+        let mut m = Msrlt::new();
+        let g1 = m.register(&info(0x100, 8, SegmentKind::Global));
+        let g2 = m.register(&info(0x200, 8, SegmentKind::Global));
+        let h1 = m.register(&info(0x1000, 8, SegmentKind::Heap));
+        assert_eq!(g1, LogicalId { group: 0, index: 0 });
+        assert_eq!(g2, LogicalId { group: 0, index: 1 });
+        assert_eq!(h1, LogicalId { group: 1, index: 0 });
+    }
+
+    #[test]
+    fn frame_groups_by_depth() {
+        let mut m = Msrlt::new();
+        assert_eq!(m.begin_frame(), 2);
+        let a = m.register(&info(0x7000, 4, SegmentKind::Stack));
+        assert_eq!(a.group, 2);
+        assert_eq!(m.begin_frame(), 3);
+        let b = m.register(&info(0x6000, 4, SegmentKind::Stack));
+        assert_eq!(b.group, 3);
+        m.end_frame();
+        assert!(m.entry(b).is_none() || m.lookup_addr(0x6000).is_none());
+        // Re-entering a frame at the same depth reuses group 3.
+        assert_eq!(m.begin_frame(), 3);
+        let c = m.register(&info(0x6000, 4, SegmentKind::Stack));
+        assert_eq!(c, LogicalId { group: 3, index: 0 });
+    }
+
+    #[test]
+    fn lookup_interior_addresses() {
+        let mut m = Msrlt::new();
+        let id = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        assert_eq!(m.lookup_addr(0x1000), Some((id, 0)));
+        assert_eq!(m.lookup_addr(0x100F), Some((id, 15)));
+        assert_eq!(m.lookup_addr(0x1010), None);
+        assert_eq!(m.lookup_addr(0xFFF), None);
+    }
+
+    #[test]
+    fn linear_and_binary_agree() {
+        let mut b = Msrlt::with_strategy(SearchStrategy::Binary);
+        let mut l = Msrlt::with_strategy(SearchStrategy::Linear);
+        for i in 0..50u64 {
+            let inf = info(0x1000 + i * 32, 16, SegmentKind::Heap);
+            b.register(&inf);
+            l.register(&inf);
+        }
+        for probe in (0x0F00..0x1800).step_by(7) {
+            assert_eq!(b.lookup_addr(probe), l.lookup_addr(probe), "probe {probe:#x}");
+        }
+        assert!(l.stats().search_steps > b.stats().search_steps);
+    }
+
+    #[test]
+    fn search_steps_logarithmic() {
+        let mut m = Msrlt::new();
+        for i in 0..1024u64 {
+            m.register(&info(0x1000 + i * 16, 16, SegmentKind::Heap));
+        }
+        m.reset_stats();
+        m.lookup_addr(0x1000 + 500 * 16);
+        let s = m.stats();
+        assert_eq!(s.searches, 1);
+        assert!(s.search_steps <= 11, "expected ≤ log2(1024)+1 steps, got {}", s.search_steps);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut m = Msrlt::new();
+        let id = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        assert_eq!(m.unregister(0x1000), Some(id));
+        assert_eq!(m.lookup_addr(0x1008), None);
+        assert!(m.entry(id).is_none());
+        assert_eq!(m.unregister(0x1000), None);
+    }
+
+    #[test]
+    fn heap_index_not_reused_after_free() {
+        let mut m = Msrlt::new();
+        let a = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        m.unregister(0x1000);
+        let b = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        assert_ne!(a, b, "a freed id must not be recycled within a run");
+    }
+
+    #[test]
+    fn visit_marks_reset_per_epoch() {
+        let mut m = Msrlt::new();
+        let id = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        m.begin_epoch();
+        assert!(!m.is_visited(id));
+        m.mark_visited(id);
+        assert!(m.is_visited(id));
+        m.begin_epoch();
+        assert!(!m.is_visited(id), "new epoch must clear marks");
+    }
+
+    #[test]
+    fn register_at_sparse_destination() {
+        let mut m = Msrlt::new();
+        // Stream delivers heap ids out of order and sparse.
+        m.register_at(LogicalId { group: 1, index: 7 }, 0x1000, 8, TypeId(0), 1);
+        m.register_at(LogicalId { group: 1, index: 2 }, 0x2000, 8, TypeId(0), 1);
+        assert!(m.entry(LogicalId { group: 1, index: 7 }).is_some());
+        assert!(m.entry(LogicalId { group: 1, index: 2 }).is_some());
+        assert!(m.entry(LogicalId { group: 1, index: 3 }).is_none());
+        assert_eq!(m.lookup_addr(0x2004).unwrap().0, LogicalId { group: 1, index: 2 });
+    }
+
+    #[test]
+    fn live_entries_iterates_all() {
+        let mut m = Msrlt::new();
+        m.register(&info(0x100, 8, SegmentKind::Global));
+        m.register(&info(0x1000, 8, SegmentKind::Heap));
+        assert_eq!(m.live_entries().count(), 2);
+        assert_eq!(m.live_count(), 2);
+    }
+}

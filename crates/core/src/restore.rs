@@ -1,0 +1,661 @@
+//! Data restoration: `Restore_variable` and `Restore_pointer`.
+//!
+//! §3.1: "At the destination machine, the function Restore_pointer is
+//! called recursively to rebuild memory blocks in memory space from the
+//! output of Save_pointer. … The functions consult the MSRLT data
+//! structures for appropriate memory locations and restore the memory
+//! block contents there."
+//!
+//! The restorer consumes the stream produced by
+//! [`Collector`](crate::Collector) and mirrors its explicit-stack DFS.
+//! Because every transmitted block carries its logical id, restoration
+//! never searches: named blocks (globals, re-created stack locals) are
+//! found by `O(1)` id lookup, and heap blocks are allocated on first
+//! sight and recorded under the id the stream dictates. This is the §4.2
+//! asymmetry — `Restore = MSRLT_update + Decode_and_Copy` with only an
+//! `O(n)` MSRLT term.
+
+use crate::collect::{TAG_PTR_NEW, TAG_PTR_NULL, TAG_PTR_REF, TAG_VAR_NEW, TAG_VAR_VISITED};
+use crate::fingerprint::type_fingerprint;
+use crate::msrlt::{LogicalId, Msrlt};
+use crate::CoreError;
+use hpm_arch::{CScalar, ScalarValue, XdrForm};
+use hpm_memory::AddressSpace;
+use hpm_types::plan::{PlanOp, SavePlan};
+use hpm_types::TypeId;
+use hpm_xdr::XdrDecoder;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Counters for one restoration run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RestoreStats {
+    /// Blocks whose contents were written.
+    pub blocks_restored: u64,
+    /// Heap blocks allocated on first sight.
+    pub blocks_allocated: u64,
+    /// Scalar leaves decoded.
+    pub scalars_decoded: u64,
+    /// Pointers decoded, by kind.
+    pub ptr_null: u64,
+    /// `PTR_REF` pointers translated by id lookup.
+    pub ptr_ref: u64,
+    /// `PTR_NEW` pointers (target materialized inline).
+    pub ptr_new: u64,
+    /// Payload bytes consumed.
+    pub bytes_in: u64,
+    /// Time spent in the Decode-and-Copy phase.
+    pub decode_time: Duration,
+}
+
+struct Cursor {
+    block_addr: u64,
+    plan: Rc<SavePlan>,
+    count: u64,
+    elem_idx: u64,
+    op_idx: usize,
+}
+
+/// One restoration session over a received migration image.
+pub struct Restorer<'a> {
+    space: &'a mut AddressSpace,
+    msrlt: &'a mut Msrlt,
+    dec: XdrDecoder<'a>,
+    fp_to_type: HashMap<u64, TypeId>,
+    fp_cache: HashMap<TypeId, u64>,
+    stats: RestoreStats,
+}
+
+impl<'a> Restorer<'a> {
+    /// Begin restoring from `payload`.
+    ///
+    /// The fingerprint→type index is built once from the receiver's TI
+    /// table (the receiving executable knows every type the sender can
+    /// transmit — they are the same program).
+    pub fn new(space: &'a mut AddressSpace, msrlt: &'a mut Msrlt, payload: &'a [u8]) -> Self {
+        let mut fp_to_type = HashMap::new();
+        let types = space.types();
+        for i in 0..types.len() {
+            let id = TypeId(i as u32);
+            if types.is_complete(id) {
+                fp_to_type.insert(type_fingerprint(types, id), id);
+            }
+        }
+        Restorer {
+            space,
+            msrlt,
+            dec: XdrDecoder::new(payload),
+            fp_to_type,
+            fp_cache: HashMap::new(),
+            stats: RestoreStats::default(),
+        }
+    }
+
+    fn fingerprint(&mut self, ty: TypeId) -> u64 {
+        if let Some(&fp) = self.fp_cache.get(&ty) {
+            return fp;
+        }
+        let fp = type_fingerprint(self.space.types(), ty);
+        self.fp_cache.insert(ty, fp);
+        fp
+    }
+
+    /// `Restore_variable`: restore the next stream item into the live
+    /// variable block at `addr` (paper: `Restore_variable(&first)`).
+    pub fn restore_variable(&mut self, addr: u64) -> Result<(), CoreError> {
+        let (local_id, off) = self
+            .msrlt
+            .lookup_addr(addr)
+            .ok_or(CoreError::UnregisteredPointer(addr))?;
+        if off != 0 {
+            return Err(CoreError::SequenceMismatch(format!(
+                "restore_variable at interior address {addr:#x}"
+            )));
+        }
+        let tag = self.dec.get_u32()?;
+        match tag {
+            TAG_VAR_VISITED => {
+                let id = get_id(&mut self.dec)?;
+                if id != local_id {
+                    return Err(CoreError::SequenceMismatch(format!(
+                        "VAR_VISITED id {id} but local block is {local_id}"
+                    )));
+                }
+                Ok(())
+            }
+            TAG_VAR_NEW => {
+                let id = get_id(&mut self.dec)?;
+                if id != local_id {
+                    return Err(CoreError::SequenceMismatch(format!(
+                        "VAR_NEW id {id} but local block is {local_id}"
+                    )));
+                }
+                let fp = self.dec.get_u64()?;
+                let count = self.dec.get_u64()?;
+                let entry = self.msrlt.entry(id).ok_or(CoreError::UnknownId(id))?;
+                let (ty, local_count) = (entry.ty, entry.count);
+                let local_fp = self.fingerprint(ty);
+                if local_fp != fp {
+                    return Err(CoreError::TypeMismatch { id, expected: fp, found: local_fp });
+                }
+                if local_count != count {
+                    return Err(CoreError::SequenceMismatch(format!(
+                        "block {id} has {local_count} elements locally but {count} in stream"
+                    )));
+                }
+                self.fill_block(addr, ty, count)
+            }
+            t => Err(CoreError::BadTag(t)),
+        }
+    }
+
+    /// `Restore_pointer`: decode the next pointer item, materializing its
+    /// target graph if needed, and return the machine-specific address
+    /// (paper: `p = Restore_pointer()`).
+    pub fn restore_pointer(&mut self) -> Result<u64, CoreError> {
+        let mut stack = Vec::new();
+        let ptr = self.decode_pointer(&mut stack)?;
+        self.drain(stack)?;
+        Ok(ptr)
+    }
+
+    /// Bytes of the payload consumed so far. Lets a caller that restores
+    /// a stream in several sessions (one per frame) resume at the right
+    /// offset.
+    pub fn consumed(&self) -> usize {
+        self.dec.position()
+    }
+
+    /// Consume the restorer, returning its statistics without requiring
+    /// the payload to be exhausted (per-frame sessions stop mid-stream).
+    pub fn take_stats(mut self) -> RestoreStats {
+        self.stats.bytes_in = self.dec.position() as u64;
+        self.stats
+    }
+
+    /// Finish, returning statistics. Errors if unconsumed payload remains
+    /// (the call sequences diverged).
+    pub fn finish(mut self) -> Result<RestoreStats, CoreError> {
+        self.stats.bytes_in = self.dec.position() as u64;
+        if !self.dec.is_empty() {
+            return Err(CoreError::SequenceMismatch(format!(
+                "{} unconsumed payload bytes",
+                self.dec.remaining()
+            )));
+        }
+        Ok(self.stats)
+    }
+
+    // ----- internals -----
+
+    fn fill_block(&mut self, addr: u64, ty: TypeId, count: u64) -> Result<(), CoreError> {
+        self.stats.blocks_restored += 1;
+        let plan = self.space.plan_for(ty)?;
+        if !plan.has_pointers {
+            return self.decode_block_bulk(addr, &plan, count);
+        }
+        self.drain(vec![Cursor { block_addr: addr, plan, count, elem_idx: 0, op_idx: 0 }])
+    }
+
+    /// Fast path for pointer-free blocks: one write borrow of the block
+    /// and a tight XDR→native loop.
+    fn decode_block_bulk(
+        &mut self,
+        addr: u64,
+        plan: &hpm_types::plan::SavePlan,
+        count: u64,
+    ) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let total = (plan.size * count) as usize;
+        let (arch, bytes) = self.space.arch_and_bytes_mut(addr)?;
+        if bytes.len() < total {
+            return Err(CoreError::Mem(format!("block at {addr:#x} shorter than stream data")));
+        }
+        let mut native = Vec::with_capacity(8);
+        let mut scalars = 0u64;
+        for elem in 0..count {
+            let elem_base = (elem * plan.size) as usize;
+            for op in &plan.ops {
+                let PlanOp::ScalarRun { offset, kind, count: rc, stride } = op else {
+                    unreachable!("bulk path requires a pointer-free plan");
+                };
+                for k in 0..*rc {
+                    let v = get_scalar_xdr(&mut self.dec, *kind)?;
+                    native.clear();
+                    arch.encode_scalar(*kind, v, &mut native);
+                    let at = elem_base + (*offset + k * *stride) as usize;
+                    bytes[at..at + native.len()].copy_from_slice(&native);
+                }
+                scalars += *rc;
+            }
+        }
+        self.stats.scalars_decoded += scalars;
+        self.stats.decode_time += t0.elapsed();
+        Ok(())
+    }
+
+    fn drain(&mut self, mut stack: Vec<Cursor>) -> Result<(), CoreError> {
+        loop {
+            let next = match stack.last_mut() {
+                None => break,
+                Some(cur) => {
+                    if cur.elem_idx >= cur.count {
+                        stack.pop();
+                        continue;
+                    }
+                    if cur.op_idx >= cur.plan.ops.len() {
+                        cur.elem_idx += 1;
+                        cur.op_idx = 0;
+                        continue;
+                    }
+                    let elem_base = cur.elem_idx * cur.plan.size;
+                    let op = cur.plan.ops[cur.op_idx].clone();
+                    cur.op_idx += 1;
+                    (cur.block_addr, elem_base, op)
+                }
+            };
+            let (block_addr, elem_base, op) = next;
+            match op {
+                PlanOp::ScalarRun { offset, kind, count, stride } => {
+                    self.decode_run(block_addr, elem_base + offset, kind, count, stride)?;
+                }
+                PlanOp::PointerSlot { offset, .. } => {
+                    let ptr = self.decode_pointer(&mut stack)?;
+                    self.write_ptr(block_addr, elem_base + offset, ptr)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_run(
+        &mut self,
+        block_addr: u64,
+        offset: u64,
+        kind: CScalar,
+        count: u64,
+        stride: u64,
+    ) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let arch = self.space.arch().clone();
+        let mut native = Vec::with_capacity(8);
+        for k in 0..count {
+            let v = get_scalar_xdr(&mut self.dec, kind)?;
+            native.clear();
+            arch.encode_scalar(kind, v, &mut native);
+            self.space
+                .write_bytes(block_addr + offset + k * stride, &native)?;
+        }
+        self.stats.scalars_decoded += count;
+        self.stats.decode_time += t0.elapsed();
+        Ok(())
+    }
+
+    fn write_ptr(&mut self, block_addr: u64, offset: u64, ptr: u64) -> Result<(), CoreError> {
+        let mut native = Vec::with_capacity(8);
+        self.space
+            .arch()
+            .encode_scalar(CScalar::Ptr, ScalarValue::Ptr(ptr), &mut native);
+        self.space.write_bytes(block_addr + offset, &native)?;
+        Ok(())
+    }
+
+    fn decode_pointer(&mut self, stack: &mut Vec<Cursor>) -> Result<u64, CoreError> {
+        let tag = self.dec.get_u32()?;
+        match tag {
+            TAG_PTR_NULL => {
+                self.stats.ptr_null += 1;
+                Ok(0)
+            }
+            TAG_PTR_REF => {
+                self.stats.ptr_ref += 1;
+                let id = get_id(&mut self.dec)?;
+                let leaf_idx = self.dec.get_u64()?;
+                let entry = self.msrlt.entry_counted(id).ok_or(CoreError::UnknownId(id))?;
+                let addr = entry.addr;
+                Ok(self.space.elem_addr(addr, leaf_idx)?)
+            }
+            TAG_PTR_NEW => {
+                self.stats.ptr_new += 1;
+                let id = get_id(&mut self.dec)?;
+                let leaf_idx = self.dec.get_u64()?;
+                let fp = self.dec.get_u64()?;
+                let count = self.dec.get_u64()?;
+                let addr = match self.msrlt.entry_counted(id) {
+                    Some(e) => {
+                        // A named block that already exists locally
+                        // (global / re-created stack local): validate and
+                        // fill in place.
+                        let (ty, local_count, addr) = (e.ty, e.count, e.addr);
+                        let local_fp = self.fingerprint(ty);
+                        if local_fp != fp {
+                            return Err(CoreError::TypeMismatch {
+                                id,
+                                expected: fp,
+                                found: local_fp,
+                            });
+                        }
+                        if local_count != count {
+                            return Err(CoreError::SequenceMismatch(format!(
+                                "block {id}: {local_count} local vs {count} stream elements"
+                            )));
+                        }
+                        self.push_fill(stack, addr, ty, count)?;
+                        addr
+                    }
+                    None => {
+                        // A heap block: allocate it now (the MSRLT update
+                        // of §4.2) and fill it.
+                        // (bulk fast path applies inside push_fill's
+                        // pointer-free branch below)
+                        let ty = *self
+                            .fp_to_type
+                            .get(&fp)
+                            .ok_or(CoreError::TypeMismatch { id, expected: fp, found: 0 })?;
+                        let addr = self.space.malloc(ty, count)?;
+                        let size = self.space.layout_of(ty)?.size * count;
+                        self.msrlt.register_at(id, addr, size, ty, count);
+                        self.stats.blocks_allocated += 1;
+                        self.push_fill(stack, addr, ty, count)?;
+                        addr
+                    }
+                };
+                Ok(self.space.elem_addr(addr, leaf_idx)?)
+            }
+            t => Err(CoreError::BadTag(t)),
+        }
+    }
+
+    fn push_fill(
+        &mut self,
+        stack: &mut Vec<Cursor>,
+        addr: u64,
+        ty: TypeId,
+        count: u64,
+    ) -> Result<(), CoreError> {
+        self.stats.blocks_restored += 1;
+        let plan = self.space.plan_for(ty)?;
+        if !plan.has_pointers {
+            // The stream inlines the whole block right here; decode it
+            // now so the parent cursor resumes at the right offset.
+            return self.decode_block_bulk(addr, &plan, count);
+        }
+        stack.push(Cursor { block_addr: addr, plan, count, elem_idx: 0, op_idx: 0 });
+        Ok(())
+    }
+}
+
+fn get_id(dec: &mut XdrDecoder<'_>) -> Result<LogicalId, CoreError> {
+    let group = dec.get_u32()?;
+    let index = dec.get_u32()?;
+    Ok(LogicalId { group, index })
+}
+
+/// Decode one scalar from its machine-independent XDR form.
+fn get_scalar_xdr(dec: &mut XdrDecoder<'_>, kind: CScalar) -> Result<ScalarValue, CoreError> {
+    Ok(match kind.xdr_form() {
+        XdrForm::Int => ScalarValue::Int(dec.get_i32()? as i64),
+        XdrForm::UInt => ScalarValue::Uint(dec.get_u32()? as u64),
+        XdrForm::Hyper => ScalarValue::Int(dec.get_i64()?),
+        XdrForm::UHyper => ScalarValue::Uint(dec.get_u64()?),
+        XdrForm::Float => ScalarValue::F32(dec.get_f32()?),
+        XdrForm::Double => ScalarValue::F64(dec.get_f64()?),
+        XdrForm::LogicalPointer => unreachable!("pointers use PTR_* tags"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Collector;
+    use hpm_arch::Architecture;
+    use hpm_memory::BlockInfo;
+    use hpm_types::Field;
+
+    /// Build "the same program image" on a given machine: globals
+    /// `int a; int *b; struct node *head;` — returns (space, msrlt,
+    /// [a, b, head]).
+    fn program(arch: Architecture) -> (AddressSpace, Msrlt, [u64; 3]) {
+        let mut space = AddressSpace::new(arch);
+        let node = space.types_mut().declare_struct("node");
+        let pnode = space.types_mut().pointer_to(node);
+        let fl = space.types_mut().float();
+        space
+            .types_mut()
+            .define_struct(node, vec![Field::new("data", fl), Field::new("link", pnode)])
+            .unwrap();
+        let int = space.types_mut().int();
+        let pi = space.types_mut().pointer_to(int);
+        let a = space.define_global("a", int, 1).unwrap();
+        let b = space.define_global("b", pi, 1).unwrap();
+        let head = space.define_global("head", pnode, 1).unwrap();
+        let mut msrlt = Msrlt::new();
+        for info in space.block_infos() {
+            msrlt.register(&info);
+        }
+        (space, msrlt, [a, b, head])
+    }
+
+    fn reg(space: &AddressSpace, msrlt: &mut Msrlt, addr: u64) {
+        let info: BlockInfo = space.info_at(addr).unwrap();
+        msrlt.register(&info);
+    }
+
+    #[test]
+    fn scalar_and_pointer_roundtrip_heterogeneous() {
+        // DEC (little-endian) → SPARC (big-endian).
+        let (mut src, mut src_lt, [a, b, _]) = program(Architecture::dec5000());
+        src.store_int(a, -1234).unwrap();
+        src.store_ptr(b, a).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(a).unwrap();
+        c.save_variable(b).unwrap();
+        let (payload, _) = c.finish();
+
+        let (mut dst, mut dst_lt, [da, db, _]) = program(Architecture::sparc20());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(da).unwrap();
+        r.restore_variable(db).unwrap();
+        r.finish().unwrap();
+        assert_eq!(dst.load_int(da).unwrap(), -1234);
+        assert_eq!(dst.load_ptr(db).unwrap(), da, "pointer retargeted to dest's a");
+    }
+
+    #[test]
+    fn heap_list_roundtrip() {
+        let (mut src, mut src_lt, [_, _, head]) = program(Architecture::dec5000());
+        let node = src.types().struct_by_name("node").unwrap();
+        // Build head → n1 → n2 → NULL with data 1.5, 2.5.
+        let n1 = src.malloc(node, 1).unwrap();
+        reg(&src, &mut src_lt, n1);
+        let n2 = src.malloc(node, 1).unwrap();
+        reg(&src, &mut src_lt, n2);
+        let d1 = src.elem_addr(n1, 0).unwrap();
+        let l1 = src.elem_addr(n1, 1).unwrap();
+        let d2 = src.elem_addr(n2, 0).unwrap();
+        src.store_f64(d1, 1.5).unwrap();
+        src.store_f64(d2, 2.5).unwrap();
+        src.store_ptr(l1, n2).unwrap();
+        src.store_ptr(head, n1).unwrap();
+
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(head).unwrap();
+        let (payload, cs) = c.finish();
+        assert_eq!(cs.blocks_saved, 3); // head, n1, n2
+
+        let (mut dst, mut dst_lt, [_, _, dhead]) = program(Architecture::x86_64_sim());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(dhead).unwrap();
+        let rs = r.finish().unwrap();
+        assert_eq!(rs.blocks_allocated, 2, "n1, n2 malloc'd on dest");
+
+        let dn1 = dst.load_ptr(dhead).unwrap();
+        assert_ne!(dn1, 0);
+        let dd1 = dst.elem_addr(dn1, 0).unwrap();
+        let dl1 = dst.elem_addr(dn1, 1).unwrap();
+        assert_eq!(dst.load_f64(dd1).unwrap(), 1.5);
+        let dn2 = dst.load_ptr(dl1).unwrap();
+        let dd2 = dst.elem_addr(dn2, 0).unwrap();
+        let dl2 = dst.elem_addr(dn2, 1).unwrap();
+        assert_eq!(dst.load_f64(dd2).unwrap(), 2.5);
+        assert_eq!(dst.load_ptr(dl2).unwrap(), 0, "list terminator survives");
+    }
+
+    #[test]
+    fn shared_target_restores_shared() {
+        // b and head_as_int_ptr both point at a: sharing must survive.
+        let (mut src, mut src_lt, [a, b, _]) = program(Architecture::sparc20());
+        let int = src.types_mut().int();
+        let pi = src.types_mut().pointer_to(int);
+        let c2 = src.define_global("c2", pi, 1).unwrap();
+        reg(&src, &mut src_lt, c2);
+        src.store_int(a, 7).unwrap();
+        src.store_ptr(b, a).unwrap();
+        src.store_ptr(c2, a).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(b).unwrap();
+        c.save_variable(c2).unwrap();
+        let (payload, _) = c.finish();
+
+        let (mut dst, mut dst_lt, [da, db, _]) = program(Architecture::dec5000());
+        let int = dst.types_mut().int();
+        let pi = dst.types_mut().pointer_to(int);
+        let dc2 = dst.define_global("c2", pi, 1).unwrap();
+        reg(&dst, &mut dst_lt, dc2);
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(db).unwrap();
+        r.restore_variable(dc2).unwrap();
+        r.finish().unwrap();
+        let p1 = dst.load_ptr(db).unwrap();
+        let p2 = dst.load_ptr(dc2).unwrap();
+        assert_eq!(p1, p2, "aliasing preserved");
+        assert_eq!(p1, da);
+        assert_eq!(dst.load_int(da).unwrap(), 7);
+    }
+
+    #[test]
+    fn cycle_roundtrip() {
+        let (mut src, mut src_lt, [_, _, head]) = program(Architecture::dec5000());
+        let node = src.types().struct_by_name("node").unwrap();
+        let n1 = src.malloc(node, 1).unwrap();
+        reg(&src, &mut src_lt, n1);
+        let l1 = src.elem_addr(n1, 1).unwrap();
+        src.store_ptr(l1, n1).unwrap(); // self-loop
+        src.store_ptr(head, n1).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(head).unwrap();
+        let (payload, _) = c.finish();
+
+        let (mut dst, mut dst_lt, [_, _, dhead]) = program(Architecture::sparc20());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(dhead).unwrap();
+        r.finish().unwrap();
+        let dn1 = dst.load_ptr(dhead).unwrap();
+        let dl1 = dst.elem_addr(dn1, 1).unwrap();
+        assert_eq!(dst.load_ptr(dl1).unwrap(), dn1, "self-loop preserved");
+    }
+
+    #[test]
+    fn interior_pointer_roundtrip_across_pointer_widths() {
+        // p points at arr[7]; migrate ILP32 → LP64 where the element's
+        // byte offset differs but the leaf ordinal is identical.
+        let (mut src, mut src_lt, _) = program(Architecture::sparc20());
+        let int = src.types_mut().int();
+        let pi = src.types_mut().pointer_to(int);
+        let arr = src.define_global("arr", int, 10).unwrap();
+        let p = src.define_global("p", pi, 1).unwrap();
+        reg(&src, &mut src_lt, arr);
+        reg(&src, &mut src_lt, p);
+        for i in 0..10 {
+            let e = src.elem_addr(arr, i).unwrap();
+            src.store_int(e, (i * i) as i64).unwrap();
+        }
+        let t = src.elem_addr(arr, 7).unwrap();
+        src.store_ptr(p, t).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(p).unwrap();
+        c.save_variable(arr).unwrap();
+        let (payload, _) = c.finish();
+
+        let (mut dst, mut dst_lt, _) = program(Architecture::x86_64_sim());
+        let int = dst.types_mut().int();
+        let pi = dst.types_mut().pointer_to(int);
+        let darr = dst.define_global("arr", int, 10).unwrap();
+        let dp = dst.define_global("p", pi, 1).unwrap();
+        reg(&dst, &mut dst_lt, darr);
+        reg(&dst, &mut dst_lt, dp);
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(dp).unwrap();
+        r.restore_variable(darr).unwrap();
+        r.finish().unwrap();
+        let got = dst.load_ptr(dp).unwrap();
+        assert_eq!(got, dst.elem_addr(darr, 7).unwrap());
+        assert_eq!(dst.load_int(got).unwrap(), 49);
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let (mut src, mut src_lt, [a, _, _]) = program(Architecture::dec5000());
+        src.store_int(a, 1).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(a).unwrap();
+        let (payload, _) = c.finish();
+
+        // Destination program declares `a` as double — different layout.
+        let mut dst = AddressSpace::new(Architecture::sparc20());
+        let d = dst.types_mut().double();
+        let da = dst.define_global("a", d, 1).unwrap();
+        let mut dst_lt = Msrlt::new();
+        for info in dst.block_infos() {
+            dst_lt.register(&info);
+        }
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        assert!(matches!(
+            r.restore_variable(da),
+            Err(CoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let (mut src, mut src_lt, [a, _, _]) = program(Architecture::dec5000());
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(a).unwrap();
+        let (mut payload, _) = c.finish();
+        payload.extend_from_slice(&[0, 0, 0, 0]);
+
+        let (mut dst, mut dst_lt, [da, _, _]) = program(Architecture::sparc20());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(da).unwrap();
+        assert!(matches!(r.finish(), Err(CoreError::SequenceMismatch(_))));
+    }
+
+    #[test]
+    fn restore_pointer_returns_translated_address() {
+        let (mut src, mut src_lt, [a, _, _]) = program(Architecture::dec5000());
+        src.store_int(a, 99).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_pointer(a).unwrap(); // a pointer rvalue to global `a`
+        let (payload, _) = c.finish();
+
+        let (mut dst, mut dst_lt, [da, _, _]) = program(Architecture::sparc20());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        let p = r.restore_pointer().unwrap();
+        r.finish().unwrap();
+        assert_eq!(p, da);
+        assert_eq!(dst.load_int(p).unwrap(), 99);
+    }
+
+    #[test]
+    fn null_restore_pointer() {
+        let (mut src, mut src_lt, _) = program(Architecture::dec5000());
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_pointer(0).unwrap();
+        let (payload, _) = c.finish();
+        let (mut dst, mut dst_lt, _) = program(Architecture::sparc20());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        assert_eq!(r.restore_pointer().unwrap(), 0);
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,908 @@
+//! The simulated address space: segments, allocation, typed access.
+
+use crate::block::{BlockInfo, MemoryBlock};
+use hpm_arch::{Architecture, ScalarValue, SegmentKind};
+use hpm_types::elements::{ElementError, ElementModel, Leaf};
+use hpm_types::layout::{align_up, Layout};
+use hpm_types::plan::{compile_plan, SavePlan};
+use hpm_types::{TypeError, TypeId, TypeTable};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Handle to a pushed stack frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameId(pub u64);
+
+/// An address resolved to its containing block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedAddr {
+    /// Start address of the containing block (its identity).
+    pub block_addr: u64,
+    /// Byte offset of the resolved address within the block.
+    pub offset: u64,
+    /// Arena slot of the block (internal fast path).
+    pub(crate) idx: u32,
+}
+
+/// Errors from address-space operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemError {
+    /// A segment ran out of room.
+    OutOfMemory(SegmentKind),
+    /// The address does not fall inside any live block.
+    BadAddress(u64),
+    /// The address is inside a block but not at a scalar-leaf boundary.
+    NotALeaf(u64),
+    /// `free` of an address that is not a live heap block start.
+    BadFree(u64),
+    /// Frame operations must follow stack discipline (pop the top frame).
+    FrameDiscipline(String),
+    /// Type-system failure (incomplete type etc.).
+    Type(String),
+}
+
+impl From<TypeError> for MemError {
+    fn from(e: TypeError) -> Self {
+        MemError::Type(e.to_string())
+    }
+}
+
+impl From<ElementError> for MemError {
+    fn from(e: ElementError) -> Self {
+        MemError::Type(e.to_string())
+    }
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory(s) => write!(f, "out of memory in {s} segment"),
+            MemError::BadAddress(a) => write!(f, "address {a:#x} is not in any live block"),
+            MemError::NotALeaf(a) => write!(f, "address {a:#x} is not a scalar boundary"),
+            MemError::BadFree(a) => write!(f, "free of non-heap-block address {a:#x}"),
+            MemError::FrameDiscipline(m) => write!(f, "frame discipline violation: {m}"),
+            MemError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Allocation statistics, used by the §4.3 overhead experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of `malloc` calls.
+    pub mallocs: u64,
+    /// Number of `free` calls.
+    pub frees: u64,
+    /// Total bytes ever allocated on the heap.
+    pub heap_bytes_allocated: u64,
+    /// Stack frames pushed.
+    pub frames_pushed: u64,
+    /// Blocks currently live (all segments).
+    pub live_blocks: u64,
+    /// Bytes currently live (all segments).
+    pub live_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    id: FrameId,
+    #[allow(dead_code)]
+    name: String,
+    blocks: Vec<u64>,
+    saved_stack_top: u64,
+}
+
+/// A simulated process address space on one architecture.
+///
+/// Owns the process's TI table ([`TypeTable`]) and memoized layout model,
+/// because a process and its type information are compiled together.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    arch: Architecture,
+    types: TypeTable,
+    model: ElementModel,
+    /// Block storage arena; `None` slots are freed blocks. The map below
+    /// indexes it by start address (compact values keep the B-tree
+    /// cache-friendly: address→block resolution is the hottest operation
+    /// in the simulator).
+    arena: Vec<Option<MemoryBlock>>,
+    by_addr: BTreeMap<u64, u32>,
+    global_top: u64,
+    stack_top: u64,
+    heap_top: u64,
+    /// Sorted, coalesced free spans: (addr, size).
+    free_list: Vec<(u64, u64)>,
+    frames: Vec<Frame>,
+    next_frame: u64,
+    stats: AllocStats,
+    plans: HashMap<TypeId, Rc<SavePlan>>,
+}
+
+impl AddressSpace {
+    /// Fresh empty address space for `arch`.
+    pub fn new(arch: Architecture) -> Self {
+        arch.segments.validate().expect("invalid segment map");
+        let global_top = arch.segments.global.base;
+        let stack_top = arch.segments.stack.end();
+        let heap_top = arch.segments.heap.base;
+        AddressSpace {
+            arch,
+            types: TypeTable::new(),
+            model: ElementModel::new(),
+            arena: Vec::new(),
+            by_addr: BTreeMap::new(),
+            global_top,
+            stack_top,
+            heap_top,
+            free_list: Vec::new(),
+            frames: Vec::new(),
+            next_frame: 0,
+            stats: AllocStats::default(),
+            plans: HashMap::new(),
+        }
+    }
+
+    /// The machine this space simulates.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The process's TI table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Mutable TI table (programs register their types here).
+    pub fn types_mut(&mut self) -> &mut TypeTable {
+        &mut self.types
+    }
+
+    /// Replace the TI table wholesale (used when a pre-compiled program
+    /// carries its own table). Must be called before any allocation.
+    pub fn install_types(&mut self, table: TypeTable) {
+        assert!(self.by_addr.is_empty(), "install_types after allocation");
+        self.types = table;
+        self.model = ElementModel::new();
+        self.plans.clear();
+    }
+
+    /// Byte offset of struct field `field` of `st` on this machine.
+    pub fn field_offset(&mut self, st: TypeId, field: usize) -> Result<u64, MemError> {
+        let offs = self
+            .model
+            .engine
+            .struct_field_offsets(&self.types, &self.arch, st)?;
+        offs.get(field).copied().ok_or_else(|| {
+            MemError::Type(format!("struct has no field ordinal {field}"))
+        })
+    }
+
+    /// Allocation statistics so far.
+    pub fn stats(&self) -> AllocStats {
+        let mut s = self.stats;
+        s.live_blocks = self.by_addr.len() as u64;
+        s.live_bytes = self.live_blocks_iter().map(|b| b.size_bytes()).sum();
+        s
+    }
+
+    fn live_blocks_iter(&self) -> impl Iterator<Item = &MemoryBlock> {
+        self.by_addr.values().filter_map(|&i| self.arena[i as usize].as_ref())
+    }
+
+    #[inline]
+    fn block(&self, idx: u32) -> &MemoryBlock {
+        self.arena[idx as usize].as_ref().expect("live block")
+    }
+
+    #[inline]
+    fn block_mut(&mut self, idx: u32) -> &mut MemoryBlock {
+        self.arena[idx as usize].as_mut().expect("live block")
+    }
+
+    // ----- layout / element queries (memoized per this space) -----
+
+    /// Layout of `ty` on this machine.
+    pub fn layout_of(&mut self, ty: TypeId) -> Result<Layout, MemError> {
+        Ok(self.model.engine.layout(&self.types, &self.arch, ty)?)
+    }
+
+    /// Scalar-leaf count of one value of `ty`.
+    pub fn leaf_count(&mut self, ty: TypeId) -> Result<u64, MemError> {
+        Ok(self.model.leaf_count(&self.types, ty)?)
+    }
+
+    /// Compiled save/restore plan for `ty` (cached).
+    pub fn plan_for(&mut self, ty: TypeId) -> Result<Rc<SavePlan>, MemError> {
+        if let Some(p) = self.plans.get(&ty) {
+            return Ok(Rc::clone(p));
+        }
+        let p = Rc::new(compile_plan(&mut self.model, &self.types, &self.arch, ty)?);
+        self.plans.insert(ty, Rc::clone(&p));
+        Ok(p)
+    }
+
+    // ----- block creation -----
+
+    fn insert_block(&mut self, b: MemoryBlock) -> u64 {
+        let addr = b.addr;
+        // Overlap check against the two neighbours only (the map is
+        // ordered, so those are the only candidates).
+        debug_assert!(
+            self.by_addr
+                .range(..=addr)
+                .next_back()
+                .map(|(_, &i)| self.block(i).end() <= addr)
+                .unwrap_or(true)
+                && self
+                    .by_addr
+                    .range(addr..)
+                    .next()
+                    .map(|(_, &i)| self.block(i).addr >= b.end())
+                    .unwrap_or(true),
+            "block overlap at {addr:#x}"
+        );
+        let idx = self.arena.len() as u32;
+        self.arena.push(Some(b));
+        self.by_addr.insert(addr, idx);
+        addr
+    }
+
+    fn remove_block(&mut self, addr: u64) -> Option<MemoryBlock> {
+        let idx = self.by_addr.remove(&addr)?;
+        self.arena[idx as usize].take()
+    }
+
+    /// Define a global variable block of `count` elements of `ty`.
+    pub fn define_global(
+        &mut self,
+        name: &str,
+        ty: TypeId,
+        count: u64,
+    ) -> Result<u64, MemError> {
+        let l = self.layout_of(ty)?;
+        let size = l.size * count;
+        let addr = align_up(self.global_top, l.align.max(1));
+        if addr + size > self.arch.segments.global.end() {
+            return Err(MemError::OutOfMemory(SegmentKind::Global));
+        }
+        self.global_top = addr + size;
+        Ok(self.insert_block(MemoryBlock {
+            addr,
+            ty,
+            count,
+            segment: SegmentKind::Global,
+            name: Some(name.to_string()),
+            frame: None,
+            bytes: vec![0; size as usize],
+        }))
+    }
+
+    /// Push a stack frame for function `name`.
+    pub fn push_frame(&mut self, name: &str) -> FrameId {
+        let id = FrameId(self.next_frame);
+        self.next_frame += 1;
+        self.stats.frames_pushed += 1;
+        self.frames.push(Frame {
+            id,
+            name: name.to_string(),
+            blocks: Vec::new(),
+            saved_stack_top: self.stack_top,
+        });
+        id
+    }
+
+    /// Define a local variable in the *top* frame (which must be `frame`).
+    ///
+    /// Stack allocation grows downward, like the real machines.
+    pub fn define_local(
+        &mut self,
+        frame: FrameId,
+        name: &str,
+        ty: TypeId,
+        count: u64,
+    ) -> Result<u64, MemError> {
+        let l = self.layout_of(ty)?;
+        let top = self
+            .frames
+            .last()
+            .ok_or_else(|| MemError::FrameDiscipline("no frame pushed".into()))?;
+        if top.id != frame {
+            return Err(MemError::FrameDiscipline(format!(
+                "define_local in frame {:?} but top is {:?}",
+                frame, top.id
+            )));
+        }
+        let size = l.size * count;
+        let addr = (self.stack_top - size) & !(l.align.max(1) - 1);
+        if addr < self.arch.segments.stack.base {
+            return Err(MemError::OutOfMemory(SegmentKind::Stack));
+        }
+        self.stack_top = addr;
+        let frame_no = frame.0;
+        let a = self.insert_block(MemoryBlock {
+            addr,
+            ty,
+            count,
+            segment: SegmentKind::Stack,
+            name: Some(name.to_string()),
+            frame: Some(frame_no),
+            bytes: vec![0; size as usize],
+        });
+        self.frames.last_mut().unwrap().blocks.push(a);
+        Ok(a)
+    }
+
+    /// Pop the top frame, destroying its locals.
+    pub fn pop_frame(&mut self, frame: FrameId) -> Result<(), MemError> {
+        let top = self
+            .frames
+            .last()
+            .ok_or_else(|| MemError::FrameDiscipline("no frame to pop".into()))?;
+        if top.id != frame {
+            return Err(MemError::FrameDiscipline(format!(
+                "pop of {:?} but top is {:?}",
+                frame, top.id
+            )));
+        }
+        let f = self.frames.pop().unwrap();
+        for addr in &f.blocks {
+            self.remove_block(*addr);
+        }
+        self.stack_top = f.saved_stack_top;
+        Ok(())
+    }
+
+    /// Identifier of the innermost live frame.
+    pub fn current_frame(&self) -> Option<FrameId> {
+        self.frames.last().map(|f| f.id)
+    }
+
+    /// Number of live frames.
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Allocate `count` elements of `ty` on the heap (C `malloc`).
+    pub fn malloc(&mut self, ty: TypeId, count: u64) -> Result<u64, MemError> {
+        let l = self.layout_of(ty)?;
+        let size = (l.size * count).max(1);
+        let align = l.align.max(1);
+        self.stats.mallocs += 1;
+        self.stats.heap_bytes_allocated += size;
+        // First-fit over the free list.
+        let mut chosen: Option<usize> = None;
+        for (i, (faddr, fsize)) in self.free_list.iter().enumerate() {
+            let start = align_up(*faddr, align);
+            if start + size <= faddr + fsize {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let addr = if let Some(i) = chosen {
+            let (faddr, fsize) = self.free_list.remove(i);
+            let start = align_up(faddr, align);
+            // Return any unused head/tail to the free list.
+            if start > faddr {
+                self.free_list_insert(faddr, start - faddr);
+            }
+            let tail = (faddr + fsize) - (start + size);
+            if tail > 0 {
+                self.free_list_insert(start + size, tail);
+            }
+            start
+        } else {
+            let start = align_up(self.heap_top, align);
+            if start + size > self.arch.segments.heap.end() {
+                return Err(MemError::OutOfMemory(SegmentKind::Heap));
+            }
+            if start > self.heap_top {
+                // alignment gap is permanently unusable; record as free
+                self.free_list_insert(self.heap_top, start - self.heap_top);
+            }
+            self.heap_top = start + size;
+            start
+        };
+        Ok(self.insert_block(MemoryBlock {
+            addr,
+            ty,
+            count,
+            segment: SegmentKind::Heap,
+            name: None,
+            frame: None,
+            bytes: vec![0; size as usize],
+        }))
+    }
+
+    /// Release a heap block (C `free`).
+    pub fn free(&mut self, addr: u64) -> Result<(), MemError> {
+        match self.by_addr.get(&addr) {
+            Some(&i) if self.block(i).segment == SegmentKind::Heap => {}
+            _ => return Err(MemError::BadFree(addr)),
+        }
+        let b = self.remove_block(addr).unwrap();
+        self.stats.frees += 1;
+        self.free_list_insert(addr, b.size_bytes().max(1));
+        Ok(())
+    }
+
+    fn free_list_insert(&mut self, addr: u64, size: u64) {
+        let pos = self.free_list.partition_point(|&(a, _)| a < addr);
+        self.free_list.insert(pos, (addr, size));
+        // Coalesce with neighbours.
+        if pos + 1 < self.free_list.len() {
+            let (na, ns) = self.free_list[pos + 1];
+            let (ca, cs) = self.free_list[pos];
+            if ca + cs == na {
+                self.free_list[pos] = (ca, cs + ns);
+                self.free_list.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (pa, ps) = self.free_list[pos - 1];
+            let (ca, cs) = self.free_list[pos];
+            if pa + ps == ca {
+                self.free_list[pos - 1] = (pa, ps + cs);
+                self.free_list.remove(pos);
+            }
+        }
+    }
+
+    // ----- resolution & access -----
+
+    /// Find the block containing `addr` (any interior address).
+    pub fn resolve(&self, addr: u64) -> Option<ResolvedAddr> {
+        let (start, &idx) = self.by_addr.range(..=addr).next_back()?;
+        let b = self.block(idx);
+        if b.contains(addr) {
+            Some(ResolvedAddr { block_addr: *start, offset: addr - *start, idx })
+        } else {
+            None
+        }
+    }
+
+    /// The block starting exactly at `block_addr`.
+    pub fn block_at(&self, block_addr: u64) -> Option<&MemoryBlock> {
+        let &idx = self.by_addr.get(&block_addr)?;
+        Some(self.block(idx))
+    }
+
+    /// The block containing `addr`.
+    pub fn block_containing(&self, addr: u64) -> Option<&MemoryBlock> {
+        let r = self.resolve(addr)?;
+        Some(self.block(r.idx))
+    }
+
+    /// Metadata snapshots of all live blocks, in address order.
+    pub fn block_infos(&self) -> Vec<BlockInfo> {
+        self.live_blocks_iter().map(BlockInfo::from).collect()
+    }
+
+    /// Metadata snapshot of the block starting at `addr`.
+    pub fn info_at(&self, addr: u64) -> Option<BlockInfo> {
+        self.block_at(addr).map(BlockInfo::from)
+    }
+
+    /// Number of live blocks.
+    pub fn block_count(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Mutable view of a block's bytes from `addr` to the block end,
+    /// together with the architecture (split borrow for bulk decoders).
+    pub fn arch_and_bytes_mut(&mut self, addr: u64) -> Result<(&Architecture, &mut [u8]), MemError> {
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        let b = self.arena[r.idx as usize].as_mut().expect("live block");
+        Ok((&self.arch, &mut b.bytes[r.offset as usize..]))
+    }
+
+    /// Read `len` bytes at `addr` (must stay within one block).
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], MemError> {
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        let b = self.block(r.idx);
+        if r.offset + len > b.size_bytes() {
+            return Err(MemError::BadAddress(addr + len - 1));
+        }
+        Ok(&b.bytes[r.offset as usize..(r.offset + len) as usize])
+    }
+
+    /// Write bytes at `addr` (must stay within one block).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        let b = self.block_mut(r.idx);
+        let end = r.offset as usize + data.len();
+        if end > b.bytes.len() {
+            return Err(MemError::BadAddress(addr + data.len() as u64 - 1));
+        }
+        b.bytes[r.offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// The scalar leaf (and its index within the block) at `addr`.
+    ///
+    /// The returned leaf's `offset` is relative to the *block* start.
+    pub fn leaf_at_addr(&mut self, addr: u64) -> Result<(u64, Leaf), MemError> {
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        self.leaf_of_resolved(r, addr)
+    }
+
+    fn leaf_of_resolved(&mut self, r: ResolvedAddr, addr: u64) -> Result<(u64, Leaf), MemError> {
+        let b = self.block(r.idx);
+        let (ty, count) = (b.ty, b.count);
+        let elem_size = self.layout_of(ty)?.size;
+        let elem_idx = r.offset / elem_size;
+        if elem_idx >= count {
+            return Err(MemError::BadAddress(addr));
+        }
+        let inner = r.offset % elem_size;
+        let per = self.leaf_count(ty)?;
+        let (li, leaf) = self
+            .model
+            .leaf_index_at_offset(&self.types, &self.arch, ty, inner)
+            .map_err(|_| MemError::NotALeaf(addr))?;
+        Ok((
+            elem_idx * per + li,
+            Leaf { offset: elem_idx * elem_size + leaf.offset, ..leaf },
+        ))
+    }
+
+    /// Address of the `leaf_idx`-th scalar leaf counting from `base`.
+    ///
+    /// `base` may be a block start or any interior *element boundary*
+    /// (e.g. a node inside a pooled arena block): leaves are counted from
+    /// the element `base` points at.
+    pub fn elem_addr(&mut self, base: u64, leaf_idx: u64) -> Result<u64, MemError> {
+        let r = self.resolve(base).ok_or(MemError::BadAddress(base))?;
+        let b = self.block(r.idx);
+        let (ty, count) = (b.ty, b.count);
+        let per = self.leaf_count(ty)?;
+        let elem_size = self.layout_of(ty)?.size;
+        if r.offset % elem_size != 0 {
+            return Err(MemError::NotALeaf(base));
+        }
+        let elem_idx = r.offset / elem_size + leaf_idx / per;
+        if elem_idx >= count {
+            return Err(MemError::BadAddress(base));
+        }
+        let leaf = self
+            .model
+            .leaf_at_index(&self.types, &self.arch, ty, leaf_idx % per)
+            .map_err(|e| MemError::Type(e.to_string()))?;
+        Ok(r.block_addr + elem_idx * elem_size + leaf.offset)
+    }
+
+    /// Load the scalar stored at `addr`, typed by the block's TI entry.
+    pub fn load_scalar(&mut self, addr: u64) -> Result<ScalarValue, MemError> {
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        let (_, leaf) = self.leaf_of_resolved(r, addr)?;
+        let size = self.arch.scalar_size(leaf.kind);
+        let b = self.block(r.idx);
+        let off = leaf.offset as usize;
+        let bytes = &b.bytes[off..off + size as usize];
+        Ok(self.arch.decode_scalar(leaf.kind, bytes))
+    }
+
+    /// Store a scalar at `addr`, converting to the leaf's declared kind.
+    pub fn store_scalar(&mut self, addr: u64, v: ScalarValue) -> Result<(), MemError> {
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        let (_, leaf) = self.leaf_of_resolved(r, addr)?;
+        let mut tmp = Vec::with_capacity(8);
+        self.arch.encode_scalar(leaf.kind, v, &mut tmp);
+        let b = self.block_mut(r.idx);
+        let off = leaf.offset as usize;
+        b.bytes[off..off + tmp.len()].copy_from_slice(&tmp);
+        Ok(())
+    }
+
+    // ----- typed conveniences for workload code -----
+
+    /// Load a floating-point scalar as f64.
+    pub fn load_f64(&mut self, addr: u64) -> Result<f64, MemError> {
+        Ok(self.load_scalar(addr)?.as_f64())
+    }
+
+    /// Store an f64 (narrowing to the leaf's kind).
+    pub fn store_f64(&mut self, addr: u64, v: f64) -> Result<(), MemError> {
+        self.store_scalar(addr, ScalarValue::F64(v))
+    }
+
+    /// Load an integer scalar as i64.
+    pub fn load_int(&mut self, addr: u64) -> Result<i64, MemError> {
+        Ok(self.load_scalar(addr)?.as_i64())
+    }
+
+    /// Store an i64 (narrowing to the leaf's kind).
+    pub fn store_int(&mut self, addr: u64, v: i64) -> Result<(), MemError> {
+        self.store_scalar(addr, ScalarValue::Int(v))
+    }
+
+    /// Load a pointer value (a raw simulated address; 0 is NULL).
+    pub fn load_ptr(&mut self, addr: u64) -> Result<u64, MemError> {
+        match self.load_scalar(addr)? {
+            ScalarValue::Ptr(p) => Ok(p),
+            other => Err(MemError::Type(format!("expected pointer at {addr:#x}, got {other:?}"))),
+        }
+    }
+
+    /// Store a pointer value.
+    pub fn store_ptr(&mut self, addr: u64, target: u64) -> Result<(), MemError> {
+        self.store_scalar(addr, ScalarValue::Ptr(target))
+    }
+
+    // ----- bulk numeric access -----
+    //
+    // Numeric kernels (linpack's daxpy) would pay an address resolution
+    // per element through `load_f64`/`store_f64`; these helpers resolve
+    // once per contiguous run, which is what compiled C enjoys. The run
+    // must be a contiguous span of `double` leaves within one block.
+
+    /// Read `n` consecutive doubles starting at `addr` into `out`.
+    pub fn read_f64_run(&mut self, addr: u64, n: u64, out: &mut Vec<f64>) -> Result<(), MemError> {
+        let (_, leaf) = self.leaf_at_addr(addr)?;
+        if leaf.kind != hpm_arch::CScalar::Double {
+            return Err(MemError::Type(format!("f64 run over {:?} leaves", leaf.kind)));
+        }
+        let bytes = self.read_bytes(addr, n * 8)?;
+        let big = self.arch.endianness == hpm_arch::Endianness::Big;
+        out.reserve(n as usize);
+        for chunk in bytes.chunks_exact(8) {
+            let raw: [u8; 8] = chunk.try_into().unwrap();
+            let bits = if big { u64::from_be_bytes(raw) } else { u64::from_le_bytes(raw) };
+            out.push(f64::from_bits(bits));
+        }
+        Ok(())
+    }
+
+    /// Write consecutive doubles starting at `addr`.
+    pub fn write_f64_run(&mut self, addr: u64, vals: &[f64]) -> Result<(), MemError> {
+        let (_, leaf) = self.leaf_at_addr(addr)?;
+        if leaf.kind != hpm_arch::CScalar::Double {
+            return Err(MemError::Type(format!("f64 run over {:?} leaves", leaf.kind)));
+        }
+        let big = self.arch.endianness == hpm_arch::Endianness::Big;
+        let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
+        let b = self.block_mut(r.idx);
+        let start = r.offset as usize;
+        let end = start + vals.len() * 8;
+        if end > b.bytes.len() {
+            return Err(MemError::BadAddress(addr + vals.len() as u64 * 8 - 1));
+        }
+        for (i, v) in vals.iter().enumerate() {
+            let bits = v.to_bits();
+            let raw = if big { bits.to_be_bytes() } else { bits.to_le_bytes() };
+            b.bytes[start + i * 8..start + i * 8 + 8].copy_from_slice(&raw);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::CScalar;
+    use hpm_types::Field;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(Architecture::sparc20())
+    }
+
+    #[test]
+    fn globals_allocate_in_global_segment() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let a = s.define_global("x", int, 1).unwrap();
+        assert!(s.arch().segments.global.contains(a));
+        let b = s.block_at(a).unwrap();
+        assert_eq!(b.segment, SegmentKind::Global);
+        assert_eq!(b.name.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn locals_grow_downward() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let f = s.push_frame("main");
+        let a = s.define_local(f, "a", int, 1).unwrap();
+        let b = s.define_local(f, "b", int, 1).unwrap();
+        assert!(b < a, "stack must grow downward");
+        assert!(s.arch().segments.stack.contains(a));
+    }
+
+    #[test]
+    fn frame_discipline_enforced() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let f1 = s.push_frame("main");
+        let f2 = s.push_frame("foo");
+        assert!(matches!(s.define_local(f1, "x", int, 1), Err(MemError::FrameDiscipline(_))));
+        assert!(matches!(s.pop_frame(f1), Err(MemError::FrameDiscipline(_))));
+        s.pop_frame(f2).unwrap();
+        s.pop_frame(f1).unwrap();
+        assert!(matches!(s.pop_frame(f1), Err(MemError::FrameDiscipline(_))));
+    }
+
+    #[test]
+    fn pop_frame_kills_locals() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let f = s.push_frame("foo");
+        let a = s.define_local(f, "x", int, 1).unwrap();
+        assert!(s.resolve(a).is_some());
+        s.pop_frame(f).unwrap();
+        assert!(s.resolve(a).is_none(), "dangling stack address must not resolve");
+    }
+
+    #[test]
+    fn malloc_free_reuse() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let a = s.malloc(int, 100).unwrap();
+        s.free(a).unwrap();
+        let b = s.malloc(int, 50).unwrap();
+        assert_eq!(a, b, "first-fit should reuse the freed span");
+        let st = s.stats();
+        assert_eq!(st.mallocs, 2);
+        assert_eq!(st.frees, 1);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let a = s.malloc(int, 1).unwrap();
+        s.free(a).unwrap();
+        assert_eq!(s.free(a), Err(MemError::BadFree(a)));
+    }
+
+    #[test]
+    fn free_of_global_rejected() {
+        let mut s = space();
+        let int = s.types_mut().int();
+        let a = s.define_global("g", int, 1).unwrap();
+        assert_eq!(s.free(a), Err(MemError::BadFree(a)));
+    }
+
+    #[test]
+    fn interior_resolution() {
+        let mut s = space();
+        let d = s.types_mut().double();
+        let a = s.malloc(d, 10).unwrap();
+        let r = s.resolve(a + 24).unwrap();
+        assert_eq!(r.block_addr, a);
+        assert_eq!(r.offset, 24);
+        assert!(s.resolve(a + 80).is_none() || s.resolve(a + 80).unwrap().block_addr != a);
+    }
+
+    #[test]
+    fn unmapped_address_fails() {
+        let s = space();
+        assert!(s.resolve(0).is_none());
+        assert!(s.resolve(0x2000_0000).is_none());
+    }
+
+    #[test]
+    fn scalar_store_load_via_struct_field() {
+        let mut s = space();
+        let node = s.types_mut().declare_struct("node");
+        let link = s.types_mut().pointer_to(node);
+        let fl = s.types_mut().float();
+        s.types_mut()
+            .define_struct(node, vec![Field::new("data", fl), Field::new("link", link)])
+            .unwrap();
+        let a = s.malloc(node, 1).unwrap();
+        let data_addr = s.elem_addr(a, 0).unwrap();
+        let link_addr = s.elem_addr(a, 1).unwrap();
+        s.store_f64(data_addr, 10.0).unwrap();
+        s.store_ptr(link_addr, a).unwrap();
+        assert_eq!(s.load_f64(data_addr).unwrap(), 10.0);
+        assert_eq!(s.load_ptr(link_addr).unwrap(), a);
+    }
+
+    #[test]
+    fn pointer_bytes_are_native_layout() {
+        // Verify the pointer really lives in the block's bytes with the
+        // machine's endianness: big-endian on SPARC.
+        let mut s = space();
+        let int = s.types_mut().int();
+        let pi = s.types_mut().pointer_to(int);
+        let a = s.malloc(pi, 1).unwrap();
+        s.store_ptr(a, 0x1234_5678).unwrap();
+        assert_eq!(s.read_bytes(a, 4).unwrap(), &[0x12, 0x34, 0x56, 0x78]);
+
+        let mut s2 = AddressSpace::new(Architecture::dec5000());
+        let int2 = s2.types_mut().int();
+        let pi2 = s2.types_mut().pointer_to(int2);
+        let a2 = s2.malloc(pi2, 1).unwrap();
+        s2.store_ptr(a2, 0x1234_5678).unwrap();
+        assert_eq!(s2.read_bytes(a2, 4).unwrap(), &[0x78, 0x56, 0x34, 0x12]);
+    }
+
+    #[test]
+    fn store_to_padding_rejected() {
+        let mut s = space();
+        let c = s.types_mut().char_();
+        let i = s.types_mut().int();
+        let st = s
+            .types_mut()
+            .struct_type("ci", vec![Field::new("c", c), Field::new("i", i)])
+            .unwrap();
+        let a = s.malloc(st, 1).unwrap();
+        assert!(matches!(s.store_int(a + 2, 1), Err(MemError::NotALeaf(_))));
+    }
+
+    #[test]
+    fn narrowing_store_wraps_like_c() {
+        let mut s = space();
+        let c = s.types_mut().char_();
+        let a = s.malloc(c, 1).unwrap();
+        s.store_int(a, 0x1FF).unwrap(); // char truncates to 0xFF == -1
+        assert_eq!(s.load_int(a).unwrap(), -1);
+    }
+
+    #[test]
+    fn elem_addr_multi_element_block() {
+        let mut s = space();
+        let d = s.types_mut().double();
+        let a = s.malloc(d, 5).unwrap();
+        assert_eq!(s.elem_addr(a, 0).unwrap(), a);
+        assert_eq!(s.elem_addr(a, 3).unwrap(), a + 24);
+        assert!(s.elem_addr(a, 5).is_err());
+    }
+
+    #[test]
+    fn leaf_at_addr_roundtrip() {
+        let mut s = space();
+        let node = s.types_mut().declare_struct("n2");
+        let link = s.types_mut().pointer_to(node);
+        let fl = s.types_mut().float();
+        s.types_mut()
+            .define_struct(node, vec![Field::new("data", fl), Field::new("link", link)])
+            .unwrap();
+        let a = s.malloc(node, 4).unwrap();
+        for idx in 0..8 {
+            let addr = s.elem_addr(a, idx).unwrap();
+            let (got, _) = s.leaf_at_addr(addr).unwrap();
+            assert_eq!(got, idx);
+        }
+    }
+
+    #[test]
+    fn cross_block_read_rejected() {
+        let mut s = space();
+        let i = s.types_mut().int();
+        let a = s.malloc(i, 2).unwrap();
+        assert!(s.read_bytes(a, 8).is_ok());
+        assert!(s.read_bytes(a, 9).is_err());
+    }
+
+    #[test]
+    fn malloc_respects_alignment() {
+        let mut s = space();
+        let c = s.types_mut().char_();
+        let d = s.types_mut().double();
+        let a = s.malloc(c, 3).unwrap();
+        let b = s.malloc(d, 1).unwrap();
+        assert_eq!(b % 8, 0, "double block must be 8-aligned, got {b:#x}");
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn heap_exhaustion_detected() {
+        let mut arch = Architecture::sparc20();
+        arch.segments.heap.size = 64;
+        let mut s = AddressSpace::new(arch);
+        let d = s.types_mut().double();
+        assert!(s.malloc(d, 4).is_ok());
+        assert!(matches!(s.malloc(d, 8), Err(MemError::OutOfMemory(SegmentKind::Heap))));
+    }
+
+    #[test]
+    fn uchar_loads_unsigned() {
+        let mut s = space();
+        let uc = s.types_mut().scalar(CScalar::UChar);
+        let a = s.malloc(uc, 1).unwrap();
+        s.store_int(a, 0xFF).unwrap();
+        assert_eq!(s.load_scalar(a).unwrap(), ScalarValue::Uint(255));
+    }
+}

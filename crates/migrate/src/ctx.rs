@@ -1,0 +1,380 @@
+//! The migration context: what the inserted poll-point macros expand to.
+//!
+//! An annotated function follows this shape (compare the paper's §2):
+//!
+//! ```text
+//! fn foo(ctx, args…) -> Flow {
+//!     let f = ctx.enter("foo");
+//!     let x = ctx.local(f, "x", ty, 1);           // declare ALL locals first
+//!     if let Some(pp) = ctx.resume_point() {
+//!         // jump to the recorded poll-point; the innermost frame
+//!         // restores its live data here and resumes computing
+//!         ctx.restore_frame(&[x, …])?;
+//!         … continue from pp …
+//!     }
+//!     …
+//!     if ctx.poll() {                              // a poll-point
+//!         ctx.save_frame(PP_1, &[x, …])?;          // collect live data
+//!         return Ok(Flow::Migrate);                // unwind (no leave)
+//!     }
+//!     …
+//!     ctx.leave(f)?;
+//!     Ok(Flow::Done)
+//! }
+//! ```
+//!
+//! Callers propagate `Flow::Migrate` upward, contributing their own
+//! `save_frame` at the call-site poll-point — the paper's "process
+//! migration can occur in a nested function call".
+
+use crate::exec::{ExecutionState, FrameState};
+use crate::process::Process;
+use crate::MigError;
+use hpm_core::{CollectStats, Collector, RestoreStats, Restorer};
+use hpm_memory::FrameId;
+use hpm_types::TypeId;
+use std::time::{Duration, Instant};
+
+/// Outcome of an annotated function: ran to completion, or is unwinding
+/// for migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// The function completed normally.
+    Done,
+    /// A migration request fired; the stack is unwinding.
+    Migrate,
+}
+
+/// The shape of a program in migratable format.
+pub trait MigratableProgram {
+    /// Program name (must match between source and destination).
+    fn name(&self) -> &'static str;
+    /// Register types and global variables — runs identically on both
+    /// machines, so both sides assign identical logical ids.
+    fn setup(&mut self, proc: &mut Process) -> Result<(), MigError>;
+    /// Execute (or resume) the program.
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError>;
+    /// Extract a result digest after a completed run, used to verify that
+    /// migrated and unmigrated executions agree.
+    fn results(&self, proc: &mut Process) -> Result<Vec<(String, String)>, MigError>;
+}
+
+impl<T: MigratableProgram + ?Sized> MigratableProgram for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+        (**self).setup(proc)
+    }
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+        (**self).run(ctx)
+    }
+    fn results(&self, proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+        (**self).results(proc)
+    }
+}
+
+/// A frame recorded while unwinding toward migration.
+#[derive(Debug, Clone)]
+pub struct PendingFrame {
+    /// Function name.
+    pub function: String,
+    /// Poll-point at which the frame stopped.
+    pub poll_point: u32,
+    /// Live-variable block addresses, in save order.
+    pub live: Vec<u64>,
+}
+
+struct ResumeState {
+    /// Outermost-first recorded frames.
+    frames: Vec<FrameState>,
+    /// Memory-state payload.
+    payload: Vec<u8>,
+    /// Consumed prefix of `payload`.
+    pos: usize,
+    /// Index of the shallowest frame already restored; `frames.len()`
+    /// when none is. Restoration consumes frames innermost-first.
+    restored_down_to: usize,
+    /// Frames entered so far along the re-entry path.
+    entered: usize,
+    /// Accumulated restoration statistics.
+    stats: RestoreStats,
+    /// Wall time spent inside `restore_frame`.
+    restore_time: Duration,
+}
+
+enum Mode {
+    Run,
+    Unwind(Vec<PendingFrame>),
+    Resume(ResumeState),
+}
+
+/// The migration context threaded through annotated code.
+pub struct MigCtx<'p> {
+    proc: &'p mut Process,
+    mode: Mode,
+    func_stack: Vec<String>,
+    /// Set when the final `restore_frame` completes: (stats, wall time).
+    finished_restore: Option<(RestoreStats, Duration)>,
+}
+
+impl<'p> MigCtx<'p> {
+    /// Context for a fresh (source-side) run.
+    pub fn new_run(proc: &'p mut Process) -> Self {
+        MigCtx { proc, mode: Mode::Run, func_stack: Vec::new(), finished_restore: None }
+    }
+
+    /// Context for a destination-side resume.
+    ///
+    /// Reserves the source's heap-index high-water mark so blocks
+    /// allocated by resumed execution never collide with ids still
+    /// referenced by un-restored outer-frame sections.
+    pub fn new_resume(proc: &'p mut Process, exec: ExecutionState, payload: Vec<u8>) -> Self {
+        proc.msrlt.reserve_heap_indices(exec.heap_high_water);
+        let n = exec.frames.len();
+        MigCtx {
+            proc,
+            mode: Mode::Resume(ResumeState {
+                frames: exec.frames,
+                payload,
+                pos: 0,
+                restored_down_to: n,
+                entered: 0,
+                stats: RestoreStats::default(),
+                restore_time: Duration::ZERO,
+            }),
+            func_stack: Vec::new(),
+            finished_restore: None,
+        }
+    }
+
+    /// The underlying process (workload computation goes through this).
+    pub fn proc(&mut self) -> &mut Process {
+        self.proc
+    }
+
+    /// Enter a function: frame push on both structures, plus re-entry
+    /// validation when resuming.
+    pub fn enter(&mut self, name: &str) -> Result<FrameId, MigError> {
+        let f = self.proc.enter_function(name);
+        self.func_stack.push(name.to_string());
+        if let Mode::Resume(r) = &mut self.mode {
+            if r.entered < r.frames.len() {
+                let expect = &r.frames[r.entered];
+                if expect.function != name {
+                    return Err(MigError::Protocol(format!(
+                        "re-entry expected function '{}', got '{name}'",
+                        expect.function
+                    )));
+                }
+                r.entered += 1;
+            }
+        }
+        Ok(f)
+    }
+
+    /// Declare a local variable in the current frame.
+    pub fn local(
+        &mut self,
+        frame: FrameId,
+        name: &str,
+        ty: TypeId,
+        count: u64,
+    ) -> Result<u64, MigError> {
+        self.proc.declare_local(frame, name, ty, count)
+    }
+
+    /// Leave a function normally.
+    pub fn leave(&mut self, frame: FrameId) -> Result<(), MigError> {
+        self.func_stack.pop();
+        self.proc.exit_function(frame)
+    }
+
+    /// The poll-point check. Returns `true` exactly once per migration:
+    /// the caller must then `save_frame` and return [`Flow::Migrate`].
+    #[inline]
+    pub fn poll(&mut self) -> bool {
+        match self.mode {
+            Mode::Run => {
+                if self.proc.poll() {
+                    self.mode = Mode::Unwind(Vec::new());
+                    true
+                } else {
+                    false
+                }
+            }
+            // While unwinding or resuming, poll-points are inert.
+            _ => {
+                // Still count the poll for overhead accounting.
+                let _ = self.proc.poll();
+                false
+            }
+        }
+    }
+
+    /// Record this frame's resume point and live data while unwinding.
+    ///
+    /// Also pops the function-name stack: `save_frame` is the frame's
+    /// exit on the unwind path (where `leave` is deliberately *not*
+    /// called, so the frame's blocks stay alive for collection).
+    pub fn save_frame(&mut self, poll_point: u32, live: &[u64]) -> Result<(), MigError> {
+        match &mut self.mode {
+            Mode::Unwind(frames) => {
+                let function = self
+                    .func_stack
+                    .pop()
+                    .ok_or_else(|| MigError::Protocol("save_frame outside any function".into()))?;
+                frames.push(PendingFrame { function, poll_point, live: live.to_vec() });
+                Ok(())
+            }
+            _ => Err(MigError::Protocol("save_frame while not unwinding".into())),
+        }
+    }
+
+    /// If this frame is on the recorded call chain and not yet restored,
+    /// the poll-point it must resume from.
+    pub fn resume_point(&self) -> Option<u32> {
+        match &self.mode {
+            Mode::Resume(r) => {
+                let depth = self.func_stack.len();
+                if depth >= 1 && depth <= r.frames.len() && depth - 1 < r.restored_down_to {
+                    Some(r.frames[depth - 1].poll_point)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Restore this frame's live data (paper: `Restore_variable` /
+    /// `Restore_pointer` "operated at the same locations").
+    ///
+    /// Must be called innermost-frame-first — i.e. by the frame whose
+    /// depth matches the next pending stream section — with the same
+    /// variables, in the same order, as the matching `save_frame`.
+    pub fn restore_frame(&mut self, live: &[u64]) -> Result<(), MigError> {
+        let depth = self.func_stack.len();
+        let Mode::Resume(r) = &mut self.mode else {
+            return Err(MigError::Protocol("restore_frame while not resuming".into()));
+        };
+        if depth != r.restored_down_to {
+            return Err(MigError::Protocol(format!(
+                "restore_frame at depth {depth}, but next pending frame is {}",
+                r.restored_down_to
+            )));
+        }
+        let frame = &r.frames[depth - 1];
+        if frame.live_count as usize != live.len() {
+            return Err(MigError::Protocol(format!(
+                "frame '{}' saved {} variables but restores {}",
+                frame.function,
+                frame.live_count,
+                live.len()
+            )));
+        }
+        let t0 = Instant::now();
+        let mut restorer =
+            Restorer::new(&mut self.proc.space, &mut self.proc.msrlt, &r.payload[r.pos..]);
+        for &addr in live {
+            restorer.restore_variable(addr).map_err(MigError::from)?;
+        }
+        let consumed = restorer.consumed();
+        let stats = restorer.take_stats();
+        r.pos += consumed;
+        merge_restore_stats(&mut r.stats, &stats);
+        r.restore_time += t0.elapsed();
+        r.restored_down_to -= 1;
+        if r.restored_down_to == 0 {
+            if r.pos != r.payload.len() {
+                return Err(MigError::Protocol(format!(
+                    "{} memory-state bytes left after final restore_frame",
+                    r.payload.len() - r.pos
+                )));
+            }
+            let stats = r.stats;
+            let time = r.restore_time;
+            self.mode = Mode::Run;
+            // Preserve totals for the driver.
+            self.finished_restore = Some((stats, time));
+        }
+        Ok(())
+    }
+
+    /// Whether the context is currently resuming (restoration pending).
+    pub fn is_resuming(&self) -> bool {
+        matches!(self.mode, Mode::Resume(_))
+    }
+
+    /// Whether the *current* frame is the next one that must call
+    /// [`MigCtx::restore_frame`] (its stream section is at the front).
+    pub fn frame_is_next_to_restore(&self) -> bool {
+        match &self.mode {
+            Mode::Resume(r) => {
+                r.restored_down_to >= 1 && self.func_stack.len() == r.restored_down_to
+            }
+            _ => false,
+        }
+    }
+
+    /// After a migration unwind: the recorded frames, innermost first.
+    pub fn into_pending_frames(self) -> Result<Vec<PendingFrame>, MigError> {
+        match self.mode {
+            Mode::Unwind(frames) => Ok(frames),
+            _ => Err(MigError::Protocol("program did not unwind for migration".into())),
+        }
+    }
+
+    /// Split into the borrowed process and the recorded frames — the
+    /// collection driver needs both at once.
+    pub fn into_parts(self) -> Result<(&'p mut Process, Vec<PendingFrame>), MigError> {
+        match self.mode {
+            Mode::Unwind(frames) => Ok((self.proc, frames)),
+            _ => Err(MigError::Protocol("program did not unwind for migration".into())),
+        }
+    }
+
+    /// Restoration totals once every frame has been restored.
+    pub fn restore_totals(&self) -> Option<(RestoreStats, Duration)> {
+        self.finished_restore
+    }
+}
+
+/// Collect the recorded frames into a memory-state payload plus the
+/// execution state (outermost-first), using one MSRM collection session.
+pub fn collect_pending(
+    proc: &mut Process,
+    pending: &[PendingFrame],
+) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
+    let heap_high_water = proc.msrlt.heap_len();
+    let mut collector = Collector::new(&mut proc.space, &mut proc.msrlt);
+    for frame in pending {
+        for &addr in &frame.live {
+            collector.save_variable(addr).map_err(MigError::from)?;
+        }
+    }
+    let (payload, stats) = collector.finish();
+    let frames: Vec<FrameState> = pending
+        .iter()
+        .rev()
+        .map(|p| FrameState {
+            function: p.function.clone(),
+            poll_point: p.poll_point,
+            live_count: p.live.len() as u32,
+        })
+        .collect();
+    Ok((payload, ExecutionState { frames, heap_high_water }, stats))
+}
+
+/// Merge restoration counters (stream sections are restored in separate
+/// sessions per frame).
+pub fn merge_restore_stats(into: &mut RestoreStats, from: &RestoreStats) {
+    into.blocks_restored += from.blocks_restored;
+    into.blocks_allocated += from.blocks_allocated;
+    into.scalars_decoded += from.scalars_decoded;
+    into.ptr_null += from.ptr_null;
+    into.ptr_ref += from.ptr_ref;
+    into.ptr_new += from.ptr_new;
+    into.bytes_in += from.bytes_in;
+    into.decode_time += from.decode_time;
+}

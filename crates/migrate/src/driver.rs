@@ -1,0 +1,401 @@
+//! Single-pair migration driver: run, migrate, resume, report.
+//!
+//! Produces the paper's headline measurement triplet — **Collect**, **Tx**,
+//! **Restore** (Table 1: "We define process migration time as the total of
+//! data collection (Collect), transmission (Tx), and restoration (Restore)
+//! time") — plus every §4.2 instrumentation counter.
+
+use crate::ctx::{collect_pending, MigCtx, MigratableProgram};
+use crate::exec::ExecutionState;
+use crate::process::{Process, Trigger};
+use crate::{Flow, MigError};
+use hpm_arch::Architecture;
+use hpm_core::image::{frame_image, unframe_image, ImageHeader};
+use hpm_core::{CollectStats, MsrltStats, RestoreStats, IMAGE_VERSION};
+use hpm_net::NetworkModel;
+use std::time::{Duration, Instant};
+
+/// Everything measured about one migration.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Total migration image size in bytes (header + exec + memory).
+    pub image_bytes: u64,
+    /// Memory-state payload bytes (the ΣDᵢ quantity of §4.2).
+    pub memory_bytes: u64,
+    /// Wall time of the data-collection phase.
+    pub collect_time: Duration,
+    /// Modeled transmission time over the chosen link.
+    pub tx_time: Duration,
+    /// Wall time of the restoration phase (sum over `restore_frame`s).
+    pub restore_time: Duration,
+    /// Collection counters.
+    pub collect_stats: CollectStats,
+    /// Source MSRLT counters during collection (searches, steps, time).
+    pub src_msrlt: MsrltStats,
+    /// Restoration counters.
+    pub restore_stats: RestoreStats,
+    /// Destination MSRLT counters during restoration + resumed run.
+    pub dst_msrlt: MsrltStats,
+    /// Poll-points executed on the source before migration.
+    pub src_polls: u64,
+    /// Call-chain depth at the migration point.
+    pub chain_depth: usize,
+}
+
+impl MigrationReport {
+    /// Total migration time: Collect + Tx + Restore (Table 1's metric).
+    pub fn migration_time(&self) -> Duration {
+        self.collect_time + self.tx_time + self.restore_time
+    }
+}
+
+/// Result of a migrated run.
+#[derive(Debug, Clone)]
+pub struct MigrationRun {
+    /// Measurements.
+    pub report: MigrationReport,
+    /// Result digest produced by the destination process.
+    pub results: Vec<(String, String)>,
+}
+
+/// Run a program to completion with no migration; returns its results.
+pub fn run_straight<P: MigratableProgram>(
+    program: &mut P,
+    arch: Architecture,
+) -> Result<(Vec<(String, String)>, Process), MigError> {
+    let mut proc = Process::new(program.name(), arch);
+    program.setup(&mut proc)?;
+    let mut ctx = MigCtx::new_run(&mut proc);
+    match program.run(&mut ctx)? {
+        Flow::Done => {}
+        Flow::Migrate => {
+            return Err(MigError::Protocol("program migrated with Trigger::Never".into()))
+        }
+    }
+    let results = program.results(&mut proc)?;
+    Ok((results, proc))
+}
+
+/// A source process stopped at its migration point, ready to collect.
+///
+/// Benchmarks use this to measure collection repeatedly over one frozen
+/// process image (collection does not modify the process).
+#[derive(Debug)]
+pub struct MigratedSource {
+    /// The frozen source process.
+    pub proc: Process,
+    /// The recorded unwind frames, innermost first.
+    pub pending: Vec<crate::ctx::PendingFrame>,
+}
+
+/// Run a program until its trigger fires, returning the frozen process
+/// and the pending frames (without collecting yet).
+pub fn run_to_migration<P: MigratableProgram>(
+    program: &mut P,
+    arch: Architecture,
+    trigger: Trigger,
+) -> Result<MigratedSource, MigError> {
+    let mut proc = Process::new(program.name(), arch);
+    proc.set_trigger(trigger);
+    program.setup(&mut proc)?;
+    let mut ctx = MigCtx::new_run(&mut proc);
+    let flow = program.run(&mut ctx)?;
+    if flow == Flow::Done {
+        return Err(MigError::Protocol("trigger never fired".into()));
+    }
+    let pending = ctx.into_pending_frames()?;
+    Ok(MigratedSource { proc, pending })
+}
+
+impl MigratedSource {
+    /// Collect the memory-state payload once (repeatable).
+    pub fn collect(&mut self) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
+        collect_pending(&mut self.proc, &self.pending)
+    }
+
+    /// Frame a complete migration image from a fresh collection.
+    pub fn to_image(&mut self) -> Result<Vec<u8>, MigError> {
+        let (payload, exec, _) = self.collect()?;
+        let header = ImageHeader {
+            version: IMAGE_VERSION,
+            source_arch: self.proc.space.arch().name.to_string(),
+            source_pointer_size: self.proc.space.arch().pointer_size as u32,
+            program: self.proc.program().to_string(),
+        };
+        Ok(frame_image(&header, &exec.encode(), &payload))
+    }
+}
+
+/// Collect a migration image from a process that has unwound for
+/// migration. Returns (image bytes, collect wall time, stats, exec).
+pub fn collect_image(
+    ctx: MigCtx<'_>,
+) -> Result<(Vec<u8>, Duration, CollectStats, ExecutionState), MigError> {
+    let (proc, pending) = ctx.into_parts()?;
+    proc.msrlt.reset_stats();
+    let t0 = Instant::now();
+    let (payload, exec, stats) = collect_pending(proc, &pending)?;
+    let collect_time = t0.elapsed();
+    let header = ImageHeader {
+        version: IMAGE_VERSION,
+        source_arch: proc.space.arch().name.to_string(),
+        source_pointer_size: proc.space.arch().pointer_size as u32,
+        program: proc.program().to_string(),
+    };
+    let image = frame_image(&header, &exec.encode(), &payload);
+    Ok((image, collect_time, stats, exec))
+}
+
+/// What [`resume_from_image`] yields: results, the completed process,
+/// restoration stats, and restoration wall time.
+pub type ResumeOutcome = (Vec<(String, String)>, Process, RestoreStats, Duration);
+
+/// Resume a program from a migration image on a fresh process.
+///
+/// Returns the completed program's results plus restoration measurements.
+pub fn resume_from_image<P: MigratableProgram>(
+    program: &mut P,
+    arch: Architecture,
+    image: &[u8],
+) -> Result<ResumeOutcome, MigError> {
+    let (header, exec_bytes, payload) = unframe_image(image)?;
+    if header.program != program.name() {
+        return Err(MigError::Protocol(format!(
+            "image is for program '{}', not '{}'",
+            header.program,
+            program.name()
+        )));
+    }
+    let exec = ExecutionState::decode(&exec_bytes)?;
+    let mut proc = Process::new(program.name(), arch);
+    program.setup(&mut proc)?;
+    proc.msrlt.reset_stats();
+    let mut ctx = MigCtx::new_resume(&mut proc, exec, payload);
+    match program.run(&mut ctx)? {
+        Flow::Done => {}
+        Flow::Migrate => {
+            return Err(MigError::Protocol("resumed program migrated again".into()))
+        }
+    }
+    let (rstats, rtime) = ctx
+        .restore_totals()
+        .ok_or_else(|| MigError::Protocol("program finished without restoring all frames".into()))?;
+    let results = program.results(&mut proc)?;
+    Ok((results, proc, rstats, rtime))
+}
+
+/// Full migration experiment: run on `src_arch`, migrate at `trigger`
+/// over `link`, resume on `dst_arch`, return results + report.
+///
+/// `make` constructs a fresh program value for each side (the two sides
+/// are separate processes running the same executable).
+pub fn run_migrating<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+) -> Result<MigrationRun, MigError> {
+    // --- source side ---
+    let mut src_prog = make();
+    let mut src = Process::new(src_prog.name(), src_arch);
+    src.set_trigger(trigger);
+    src_prog.setup(&mut src)?;
+    let mut ctx = MigCtx::new_run(&mut src);
+    let flow = src_prog.run(&mut ctx)?;
+    if flow == Flow::Done {
+        return Err(MigError::Protocol(
+            "trigger never fired; program completed on the source".into(),
+        ));
+    }
+    let (image, collect_time, collect_stats, exec) = collect_image(ctx)?;
+    let src_msrlt = src.msrlt.stats();
+    let src_polls = src.poll_count();
+    let chain_depth = exec.depth();
+    let memory_bytes = collect_stats.bytes_out;
+
+    // --- the wire ---
+    let tx_time = link.tx_time(image.len() as u64);
+
+    // --- destination side ---
+    let mut dst_prog = make();
+    let (results, dst, restore_stats, restore_time) =
+        resume_from_image(&mut dst_prog, dst_arch, &image)?;
+    let dst_msrlt = dst.msrlt.stats();
+
+    Ok(MigrationRun {
+        report: MigrationReport {
+            image_bytes: image.len() as u64,
+            memory_bytes,
+            collect_time,
+            tx_time,
+            restore_time,
+            collect_stats,
+            src_msrlt,
+            restore_stats,
+            dst_msrlt,
+            src_polls,
+            chain_depth,
+        },
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Flow;
+    use hpm_arch::Architecture;
+    use hpm_types::TypeId;
+
+    /// A minimal migratable program: sum 0..limit with one local, one
+    /// global accumulator, polling every iteration.
+    struct Summer {
+        limit: i64,
+        result: Option<i64>,
+    }
+
+    const PP_LOOP: u32 = 1;
+
+    impl Summer {
+        fn new(limit: i64) -> Self {
+            Summer { limit, result: None }
+        }
+
+        fn int(proc: &mut Process) -> TypeId {
+            proc.space.types_mut().int()
+        }
+
+        fn acc_addr(proc: &mut Process) -> u64 {
+            proc.space
+                .block_infos()
+                .into_iter()
+                .find(|b| b.name.as_deref() == Some("acc"))
+                .unwrap()
+                .addr
+        }
+    }
+
+    impl MigratableProgram for Summer {
+        fn name(&self) -> &'static str {
+            "summer"
+        }
+
+        fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+            let int = Self::int(proc);
+            proc.define_global("acc", int, 1)?;
+            Ok(())
+        }
+
+        fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+            let int = Self::int(ctx.proc());
+            let acc = Self::acc_addr(ctx.proc());
+            let f = ctx.enter("main")?;
+            let i = ctx.local(f, "i", int, 1)?;
+            let live = [i, acc];
+            let mut iv;
+            if ctx.resume_point() == Some(PP_LOOP) {
+                ctx.restore_frame(&live)?;
+                iv = ctx.proc().space.load_int(i)?;
+            } else {
+                iv = 0;
+            }
+            while iv < self.limit {
+                ctx.proc().space.store_int(i, iv)?;
+                if ctx.poll() {
+                    ctx.save_frame(PP_LOOP, &live)?;
+                    return Ok(Flow::Migrate);
+                }
+                let a = ctx.proc().space.load_int(acc)?;
+                // acc is a C int: keep the sum 32-bit-safe.
+                ctx.proc().space.store_int(acc, a + iv % 3)?;
+                iv += 1;
+            }
+            self.result = Some(ctx.proc().space.load_int(acc)?);
+            ctx.leave(f)?;
+            Ok(Flow::Done)
+        }
+
+        fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+            Ok(vec![("sum".into(), self.result.unwrap_or(-1).to_string())])
+        }
+    }
+
+    fn expected_sum(limit: i64) -> String {
+        (0..limit).map(|i| i % 3).sum::<i64>().to_string()
+    }
+
+    #[test]
+    fn straight_summer() {
+        let mut p = Summer::new(100);
+        let (r, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        assert_eq!(r[0].1, expected_sum(100));
+    }
+
+    #[test]
+    fn migrated_summer_every_point() {
+        for at in [1u64, 37, 99] {
+            let run = run_migrating(
+                || Summer::new(100),
+                Architecture::dec5000(),
+                Architecture::sparc20(),
+                hpm_net::NetworkModel::instant(),
+                Trigger::AtPollCount(at),
+            )
+            .unwrap();
+            assert_eq!(run.results[0].1, expected_sum(100), "trigger at {at}");
+            assert_eq!(run.report.chain_depth, 1);
+        }
+    }
+
+    #[test]
+    fn trigger_never_fires_is_an_error_for_run_migrating() {
+        // Limit reached before the trigger: the driver reports it.
+        let r = run_migrating(
+            || Summer::new(5),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::instant(),
+            Trigger::AtPollCount(1000),
+        );
+        assert!(matches!(r, Err(MigError::Protocol(_))));
+    }
+
+    #[test]
+    fn run_to_migration_freezes_state() {
+        let mut p = Summer::new(100);
+        let mut src =
+            run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(50)).unwrap();
+        assert_eq!(src.pending.len(), 1);
+        assert_eq!(src.pending[0].function, "main");
+        assert_eq!(src.pending[0].poll_point, PP_LOOP);
+        // Collection is repeatable.
+        let (p1, e1, _) = src.collect().unwrap();
+        let (p2, e2, _) = src.collect().unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.frames[0].live_count, 2);
+    }
+
+    #[test]
+    fn resume_from_corrupt_image_fails() {
+        let mut p = Summer::new(100);
+        let mut src =
+            run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(50)).unwrap();
+        let image = src.to_image().unwrap();
+        let mut dst = Summer::new(100);
+        assert!(resume_from_image(&mut dst, Architecture::sparc20(), &image[..8]).is_err());
+    }
+
+    #[test]
+    fn cluster_runs_summer() {
+        use crate::cluster::TwoMachineCluster;
+        let cluster = TwoMachineCluster::paper_heterogeneous();
+        // Large limit so the request (delivered immediately) lands while
+        // the loop is still running.
+        let report = cluster.run(|| Summer::new(2_000_000), 0).unwrap();
+        assert_eq!(report.results[0].1, expected_sum(2_000_000));
+        assert!(report.image_bytes > 0);
+        assert!(report.src_polls >= 1);
+    }
+}

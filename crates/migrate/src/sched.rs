@@ -1,0 +1,418 @@
+//! A checkpointing scheduler — the paper's §5 future work, built on the
+//! §3 mechanisms.
+//!
+//! "Work remains to be done to develop a distributed system which can
+//! support network process migration dynamically, transparently, and
+//! efficiently. This includes the development of a scheduler which can
+//! make optimal decisions on when and where to migrate …"
+//!
+//! The scheduler runs jobs in *slices*: each slice resumes a job (from
+//! scratch or from its last migration image), lets it execute a quantum
+//! of poll-points, and then preempts it **by migrating it to nowhere** —
+//! the migration image doubles as a checkpoint. Because images are fully
+//! machine-independent, rebalancing a job onto a different-architecture
+//! machine is the same operation as resuming it locally. This is exactly
+//! the paper's observation that data collection/restoration is "a basic
+//! component of network process migration" from which schedulers can be
+//! composed.
+
+use crate::ctx::{collect_pending, MigCtx, MigratableProgram};
+use crate::exec::ExecutionState;
+use crate::process::{Process, Trigger};
+use crate::{Flow, MigError};
+use hpm_arch::Architecture;
+use hpm_core::image::{frame_image, unframe_image, ImageHeader};
+use hpm_core::IMAGE_VERSION;
+use hpm_net::NetworkModel;
+use std::time::Duration;
+
+/// Factory producing fresh program values for one job (each slice runs a
+/// new process of "the same executable").
+pub type ProgramFactory = Box<dyn Fn() -> Box<dyn MigratableProgram + Send> + Send>;
+
+enum JobState {
+    Fresh,
+    Suspended(Vec<u8>),
+    Finished(Vec<(String, String)>),
+}
+
+/// One schedulable job.
+pub struct Job {
+    /// Job label (unique per scheduler).
+    pub label: String,
+    factory: ProgramFactory,
+    state: JobState,
+    /// Slices executed so far.
+    pub slices: u32,
+    /// Inter-machine migrations performed on this job.
+    pub migrations: u32,
+    /// Modeled bytes shipped for this job (checkpoints + rebalances).
+    pub bytes_moved: u64,
+}
+
+impl Job {
+    /// Whether the job has completed.
+    pub fn finished(&self) -> bool {
+        matches!(self.state, JobState::Finished(_))
+    }
+
+    /// Results, once finished.
+    pub fn results(&self) -> Option<&[(String, String)]> {
+        match &self.state {
+            JobState::Finished(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A machine in the simulated cluster.
+pub struct SimMachine {
+    /// Machine name.
+    pub name: String,
+    /// Its architecture (jobs migrate freely across different ones).
+    pub arch: Architecture,
+    /// Job queue.
+    pub jobs: Vec<Job>,
+}
+
+impl SimMachine {
+    fn unfinished(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.finished()).count()
+    }
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedStats {
+    /// Slices executed.
+    pub slices: u64,
+    /// Checkpoints written (slice preemptions).
+    pub checkpoints: u64,
+    /// Jobs moved between machines.
+    pub rebalances: u64,
+    /// Modeled time spent transmitting rebalanced jobs.
+    pub tx_time: Duration,
+}
+
+/// The checkpointing scheduler.
+pub struct Scheduler {
+    /// Cluster machines.
+    pub machines: Vec<SimMachine>,
+    /// Poll-point quantum per slice.
+    pub quantum: u64,
+    /// Link model used for rebalancing transfers.
+    pub link: NetworkModel,
+    /// Counters.
+    pub stats: SchedStats,
+}
+
+impl Scheduler {
+    /// New scheduler with the given preemption quantum.
+    pub fn new(quantum: u64, link: NetworkModel) -> Self {
+        Scheduler { machines: Vec::new(), quantum, link, stats: SchedStats::default() }
+    }
+
+    /// Add a machine; returns its index.
+    pub fn add_machine(&mut self, name: &str, arch: Architecture) -> usize {
+        self.machines.push(SimMachine { name: name.to_string(), arch, jobs: Vec::new() });
+        self.machines.len() - 1
+    }
+
+    /// Submit a job to machine `m`.
+    pub fn submit(
+        &mut self,
+        m: usize,
+        label: &str,
+        factory: impl Fn() -> Box<dyn MigratableProgram + Send> + Send + 'static,
+    ) {
+        self.machines[m].jobs.push(Job {
+            label: label.to_string(),
+            factory: Box::new(factory),
+            state: JobState::Fresh,
+            slices: 0,
+            migrations: 0,
+            bytes_moved: 0,
+        });
+    }
+
+    /// Run one slice of one job on machine `arch`, advancing its state.
+    fn run_slice(arch: &Architecture, quantum: u64, job: &mut Job) -> Result<(), MigError> {
+        job.slices += 1;
+        match std::mem::replace(&mut job.state, JobState::Fresh) {
+            JobState::Finished(r) => {
+                job.state = JobState::Finished(r);
+                Ok(())
+            }
+            JobState::Fresh => {
+                let mut prog = (job.factory)();
+                let mut proc = Process::new(prog.name(), arch.clone());
+                proc.set_trigger(Trigger::AtLeastPollCount(quantum));
+                prog.setup(&mut proc)?;
+                let mut ctx = MigCtx::new_run(&mut proc);
+                match prog.run(&mut ctx)? {
+                    Flow::Done => {
+                        let r = prog.results(&mut proc)?;
+                        job.state = JobState::Finished(r);
+                    }
+                    Flow::Migrate => {
+                        let image = Self::checkpoint(ctx)?;
+                        job.bytes_moved += image.len() as u64;
+                        job.state = JobState::Suspended(image);
+                    }
+                }
+                Ok(())
+            }
+            JobState::Suspended(image) => {
+                let mut prog = (job.factory)();
+                let (header, exec_bytes, payload) = unframe_image(&image)?;
+                if header.program != prog.name() {
+                    return Err(MigError::Protocol("job image/program mismatch".into()));
+                }
+                let exec = ExecutionState::decode(&exec_bytes)?;
+                let mut proc = Process::new(prog.name(), arch.clone());
+                proc.set_trigger(Trigger::AtLeastPollCount(quantum));
+                prog.setup(&mut proc)?;
+                let mut ctx = MigCtx::new_resume(&mut proc, exec, payload);
+                match prog.run(&mut ctx)? {
+                    Flow::Done => {
+                        let r = prog.results(&mut proc)?;
+                        job.state = JobState::Finished(r);
+                    }
+                    Flow::Migrate => {
+                        let image = Self::checkpoint(ctx)?;
+                        job.bytes_moved += image.len() as u64;
+                        job.state = JobState::Suspended(image);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn checkpoint(ctx: MigCtx<'_>) -> Result<Vec<u8>, MigError> {
+        let (proc, pending) = ctx.into_parts()?;
+        let (payload, exec, _) = collect_pending(proc, &pending)?;
+        let header = ImageHeader {
+            version: IMAGE_VERSION,
+            source_arch: proc.space.arch().name.to_string(),
+            source_pointer_size: proc.space.arch().pointer_size as u32,
+            program: proc.program().to_string(),
+        };
+        Ok(frame_image(&header, &exec.encode(), &payload))
+    }
+
+    /// One scheduling epoch: every machine runs one slice of each of its
+    /// unfinished jobs, then the cluster rebalances.
+    pub fn epoch(&mut self) -> Result<(), MigError> {
+        for m in &mut self.machines {
+            for job in &mut m.jobs {
+                if !job.finished() {
+                    Self::run_slice(&m.arch, self.quantum, job)?;
+                    self.stats.slices += 1;
+                    if !job.finished() {
+                        self.stats.checkpoints += 1;
+                    }
+                }
+            }
+        }
+        self.rebalance();
+        Ok(())
+    }
+
+    /// Greedy load balancing: move suspended jobs from the most-loaded to
+    /// the least-loaded machine while their queue lengths differ by ≥ 2
+    /// ("a scheduler which can make optimal decisions on … where to
+    /// migrate").
+    pub fn rebalance(&mut self) {
+        loop {
+            let (mut hi, mut lo) = (0usize, 0usize);
+            for (i, m) in self.machines.iter().enumerate() {
+                if m.unfinished() > self.machines[hi].unfinished() {
+                    hi = i;
+                }
+                if m.unfinished() < self.machines[lo].unfinished() {
+                    lo = i;
+                }
+            }
+            if self.machines[hi].unfinished() < self.machines[lo].unfinished() + 2 {
+                return;
+            }
+            // Move one suspended (or fresh) job hi → lo.
+            let pos = self.machines[hi]
+                .jobs
+                .iter()
+                .position(|j| !j.finished());
+            let Some(pos) = pos else { return };
+            let mut job = self.machines[hi].jobs.remove(pos);
+            job.migrations += 1;
+            if let JobState::Suspended(img) = &job.state {
+                self.stats.tx_time += self.link.tx_time(img.len() as u64);
+            }
+            self.stats.rebalances += 1;
+            self.machines[lo].jobs.push(job);
+        }
+    }
+
+    /// Run epochs until every job finishes (or the epoch budget runs out).
+    pub fn run_to_completion(&mut self, max_epochs: u32) -> Result<(), MigError> {
+        for _ in 0..max_epochs {
+            if self.machines.iter().all(|m| m.unfinished() == 0) {
+                return Ok(());
+            }
+            self.epoch()?;
+        }
+        if self.machines.iter().all(|m| m.unfinished() == 0) {
+            Ok(())
+        } else {
+            Err(MigError::Protocol("epoch budget exhausted with jobs unfinished".into()))
+        }
+    }
+
+    /// All finished jobs' results, labelled.
+    pub fn results(&self) -> Vec<(String, Vec<(String, String)>)> {
+        let mut out = Vec::new();
+        for m in &self.machines {
+            for j in &m.jobs {
+                if let Some(r) = j.results() {
+                    out.push((j.label.clone(), r.to_vec()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_straight;
+    use hpm_net::NetworkModel;
+
+    // Reuse the workload-free Summer program shape via a tiny local job.
+    struct Counter {
+        limit: i64,
+        result: Option<i64>,
+    }
+
+    impl Counter {
+        fn boxed(limit: i64) -> Box<dyn MigratableProgram + Send> {
+            Box::new(Counter { limit, result: None })
+        }
+    }
+
+    impl MigratableProgram for Counter {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+            let int = proc.space.types_mut().int();
+            proc.define_global("acc", int, 1)?;
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+            let int = ctx.proc().space.types_mut().int();
+            let acc = ctx.proc().space.block_infos()[0].addr;
+            let f = ctx.enter("main")?;
+            let i = ctx.local(f, "i", int, 1)?;
+            let live = [i, acc];
+            let mut iv;
+            if ctx.resume_point() == Some(1) {
+                ctx.restore_frame(&live)?;
+                iv = ctx.proc().space.load_int(i)?;
+            } else {
+                iv = 0;
+            }
+            while iv < self.limit {
+                ctx.proc().space.store_int(i, iv)?;
+                if ctx.poll() {
+                    ctx.save_frame(1, &live)?;
+                    return Ok(Flow::Migrate);
+                }
+                let a = ctx.proc().space.load_int(acc)?;
+                ctx.proc().space.store_int(acc, a + 1)?;
+                iv += 1;
+            }
+            self.result = Some(ctx.proc().space.load_int(acc)?);
+            ctx.leave(f)?;
+            Ok(Flow::Done)
+        }
+        fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+            Ok(vec![("count".into(), self.result.unwrap_or(-1).to_string())])
+        }
+    }
+
+    #[test]
+    fn single_job_runs_in_slices() {
+        let mut s = Scheduler::new(100, NetworkModel::instant());
+        let m = s.add_machine("m0", Architecture::dec5000());
+        s.submit(m, "job", || Counter::boxed(450));
+        s.run_to_completion(50).unwrap();
+        let r = s.results();
+        assert_eq!(r[0].1[0].1, "450");
+        // 450 iterations at quantum 100 → ≥ 4 checkpoints.
+        assert!(s.stats.checkpoints >= 4, "{:?}", s.stats);
+    }
+
+    #[test]
+    fn slices_match_straight_run() {
+        let mut p = Counter { limit: 777, result: None };
+        let (expect, _) = run_straight(&mut p, Architecture::sparc20()).unwrap();
+        let mut s = Scheduler::new(50, NetworkModel::instant());
+        let m = s.add_machine("m0", Architecture::sparc20());
+        s.submit(m, "job", || Counter::boxed(777));
+        s.run_to_completion(100).unwrap();
+        assert_eq!(s.results()[0].1, expect);
+    }
+
+    #[test]
+    fn rebalancing_moves_jobs_across_heterogeneous_machines() {
+        let mut s = Scheduler::new(60, NetworkModel::ethernet_10());
+        let m0 = s.add_machine("dec", Architecture::dec5000());
+        let _m1 = s.add_machine("sparc", Architecture::sparc20());
+        let _m2 = s.add_machine("x64", Architecture::x86_64_sim());
+        // All six jobs start on one machine; rebalancing must spread them.
+        for k in 0..6 {
+            s.submit(m0, &format!("job{k}"), move || Counter::boxed(300 + k));
+        }
+        s.run_to_completion(60).unwrap();
+        assert!(s.stats.rebalances >= 4, "{:?}", s.stats);
+        assert!(s.stats.tx_time > Duration::ZERO);
+        for (label, r) in s.results() {
+            let k: i64 = label.trim_start_matches("job").parse().unwrap();
+            assert_eq!(r[0].1, (300 + k).to_string(), "{label}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_images_survive_arch_hops() {
+        // A job sliced alternately on little- and big-endian machines:
+        // every checkpoint crosses the representation boundary.
+        let mut s = Scheduler::new(40, NetworkModel::instant());
+        let m0 = s.add_machine("dec", Architecture::dec5000());
+        s.submit(m0, "hopper", || Counter::boxed(500));
+        for hop in 0..60 {
+            if s.machines.iter().all(|m| m.unfinished() == 0) {
+                break;
+            }
+            s.epoch().unwrap();
+            // Force the job onto the other machine each epoch.
+            if s.machines.len() == 1 {
+                s.add_machine("sparc", Architecture::sparc20());
+            }
+            let from = hop % 2;
+            let to = 1 - from;
+            if from < s.machines.len() {
+                if let Some(pos) =
+                    s.machines[from].jobs.iter().position(|j| !j.finished())
+                {
+                    let job = s.machines[from].jobs.remove(pos);
+                    s.machines[to].jobs.push(job);
+                }
+            }
+        }
+        let r = s.results();
+        assert_eq!(r.len(), 1, "job must finish");
+        assert_eq!(r[0].1[0].1, "500");
+    }
+}

@@ -1,0 +1,181 @@
+//! Reliable in-process message channels between simulated machines.
+
+use crate::model::NetworkModel;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Channel errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer endpoint was dropped.
+    Disconnected,
+    /// A blocking receive timed out.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Aggregate transfer statistics for one endpoint pair.
+#[derive(Debug, Default)]
+pub struct TransferStats {
+    bytes_sent: AtomicU64,
+    messages_sent: AtomicU64,
+    modeled_tx_nanos: AtomicU64,
+}
+
+impl TransferStats {
+    /// Total payload bytes sent through either endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Sum of modeled transmission times (the Table 1 `Tx` quantity).
+    pub fn modeled_tx_time(&self) -> Duration {
+        Duration::from_nanos(self.modeled_tx_nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// One endpoint of a bidirectional message channel between two machines.
+///
+/// `send` is non-blocking (the link is modeled, not throttled); the
+/// modeled transmission time of every message is accumulated in the
+/// shared [`TransferStats`], which the migration driver reads to report
+/// the `Tx` column.
+pub struct Channel {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    model: NetworkModel,
+    stats: Arc<TransferStats>,
+}
+
+/// Create a connected pair of endpoints over one modeled link.
+pub fn channel_pair(model: NetworkModel) -> (Channel, Channel) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    let stats = Arc::new(TransferStats::default());
+    (
+        Channel { tx: tx_ab, rx: rx_ba, model, stats: Arc::clone(&stats) },
+        Channel { tx: tx_ba, rx: rx_ab, model, stats },
+    )
+}
+
+impl Channel {
+    /// Send one message to the peer.
+    pub fn send(&self, payload: Vec<u8>) -> Result<(), NetError> {
+        let n = payload.len() as u64;
+        let tx_time = self.model.tx_time(n);
+        self.stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .modeled_tx_nanos
+            .fetch_add(tx_time.as_nanos() as u64, Ordering::Relaxed);
+        self.tx.send(payload).map_err(|_| NetError::Disconnected)
+    }
+
+    /// Block until the next message arrives.
+    pub fn recv(&self) -> Result<Vec<u8>, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Block up to `timeout` for the next message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Shared transfer statistics for this link.
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// The link model in force.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_both_directions() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        a.send(b"hello".to_vec()).unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        b.send(b"world".to_vec()).unwrap();
+        assert_eq!(a.recv().unwrap(), b"world");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (a, b) = channel_pair(NetworkModel::ethernet_100());
+        a.send(vec![0; 1000]).unwrap();
+        b.send(vec![0; 500]).unwrap();
+        let s = a.stats();
+        assert_eq!(s.bytes_sent(), 1500);
+        assert_eq!(s.messages_sent(), 2);
+        assert!(s.modeled_tx_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        drop(b);
+        assert_eq!(a.send(vec![1]).unwrap_err(), NetError::Disconnected);
+        assert_eq!(a.recv().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn timeout_works() {
+        let (a, _b) = channel_pair(NetworkModel::instant());
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        assert!(a.try_recv().is_none());
+        b.send(vec![7]).unwrap();
+        // Unbounded channel delivers immediately.
+        assert_eq!(a.try_recv(), Some(vec![7]));
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (a, b) = channel_pair(NetworkModel::ethernet_10());
+        let t = std::thread::spawn(move || {
+            let m = b.recv().unwrap();
+            b.send(m.iter().rev().copied().collect()).unwrap();
+        });
+        a.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(a.recv().unwrap(), vec![3, 2, 1]);
+        t.join().unwrap();
+    }
+}

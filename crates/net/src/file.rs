@@ -1,0 +1,177 @@
+//! File-based migration transport.
+//!
+//! §4: "Migration information can be sent to the destination machine
+//! using either TCP protocol, **shared file systems, or remote file
+//! transfer**." This is the shared-file-system path: the source spools
+//! the migration image into a directory both machines can see; the
+//! destination polls for it, validates a checksum, and consumes it.
+
+use crate::model::NetworkModel;
+use crate::NetError;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const MAGIC: &[u8; 8] = b"HPMSPOOL";
+
+/// A spool directory acting as the shared file system between machines.
+#[derive(Debug, Clone)]
+pub struct FileTransport {
+    dir: PathBuf,
+    model: NetworkModel,
+}
+
+impl FileTransport {
+    /// Use `dir` as the shared spool (created if missing).
+    pub fn new(dir: impl Into<PathBuf>, model: NetworkModel) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileTransport { dir, model })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.hpmi"))
+    }
+
+    fn tmp_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!(".{key}.hpmi.tmp"))
+    }
+
+    /// Spool a migration image under `key`. The write is atomic (temp
+    /// file + rename) and framed with a magic + length + FNV checksum,
+    /// so a reader never observes a torn image.
+    pub fn send(&self, key: &str, image: &[u8]) -> Result<Duration, NetError> {
+        let tmp = self.tmp_for(key);
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&(image.len() as u64).to_be_bytes())?;
+            f.write_all(&fnv64(image).to_be_bytes())?;
+            f.write_all(image)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, self.path_for(key))
+        };
+        write().map_err(|_| NetError::Disconnected)?;
+        Ok(self.model.tx_time(image.len() as u64))
+    }
+
+    /// Try to consume the image spooled under `key`: returns `None` when
+    /// it has not arrived yet. The file is removed once read.
+    pub fn try_recv(&self, key: &str) -> Result<Option<Vec<u8>>, NetError> {
+        let path = self.path_for(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let image = read_framed(&path).map_err(|_| NetError::Disconnected)?;
+        let _ = std::fs::remove_file(&path);
+        Ok(Some(image))
+    }
+
+    /// Block (polling) until the image under `key` arrives.
+    pub fn recv(&self, key: &str, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(img) = self.try_recv(key)? {
+                return Ok(img);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn read_framed(path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 8 + 8 + 8];
+    f.read_exact(&mut head)?;
+    if &head[..8] != MAGIC {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad spool magic"));
+    }
+    let len = u64::from_be_bytes(head[8..16].try_into().unwrap()) as usize;
+    let sum = u64::from_be_bytes(head[16..24].try_into().unwrap());
+    let mut image = vec![0u8; len];
+    f.read_exact(&mut image)?;
+    if fnv64(&image) != sum {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "spool checksum mismatch"));
+    }
+    Ok(image)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spool() -> FileTransport {
+        let dir = std::env::temp_dir().join(format!("hpm-spool-{}", std::process::id()))
+            .join(format!("{:x}", fnv64(format!("{:?}", std::time::Instant::now()).as_bytes())));
+        FileTransport::new(dir, NetworkModel::instant()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = spool();
+        assert_eq!(t.try_recv("a").unwrap(), None);
+        let tx = t.send("a", b"IMAGE-BYTES").unwrap();
+        assert!(tx >= Duration::ZERO);
+        assert_eq!(t.try_recv("a").unwrap(), Some(b"IMAGE-BYTES".to_vec()));
+        // Consumed: gone afterwards.
+        assert_eq!(t.try_recv("a").unwrap(), None);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let t = spool();
+        t.send("x", b"xx").unwrap();
+        t.send("y", b"yyyy").unwrap();
+        assert_eq!(t.try_recv("y").unwrap(), Some(b"yyyy".to_vec()));
+        assert_eq!(t.try_recv("x").unwrap(), Some(b"xx".to_vec()));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let t = spool();
+        t.send("c", b"payload").unwrap();
+        // Flip a payload byte on disk.
+        let path = t.path_for("c");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(t.try_recv("c").is_err());
+    }
+
+    #[test]
+    fn blocking_recv_times_out() {
+        let t = spool();
+        let r = t.recv("never", Duration::from_millis(20));
+        assert_eq!(r.unwrap_err(), NetError::Timeout);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let t = spool();
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || t2.recv("job", Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        t.send("job", b"late image").unwrap();
+        assert_eq!(h.join().unwrap(), b"late image".to_vec());
+    }
+
+    #[test]
+    fn empty_image_ok() {
+        let t = spool();
+        t.send("e", b"").unwrap();
+        assert_eq!(t.try_recv("e").unwrap(), Some(vec![]));
+    }
+}

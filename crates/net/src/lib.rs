@@ -1,0 +1,53 @@
+//! # hpm-net — transport layer for migration images
+//!
+//! The first software layer of the paper's stack (§4): "Migration
+//! information can be sent to the destination machine using either TCP
+//! protocol, shared file systems, or remote file transfer."
+//!
+//! The paper's testbed links are simulated by a [`NetworkModel`]: Tx time
+//! is computed from message size, bandwidth, and latency — which is how
+//! the paper's Table 1 `Tx` column behaves (it is dominated by
+//! bytes ÷ link speed, not by protocol details). Actual byte delivery
+//! between the two "machines" (threads) uses a reliable in-process
+//! [`Channel`] built on crossbeam, with optional real-time pacing for
+//! demos.
+
+mod channel;
+mod file;
+mod model;
+
+pub use channel::{channel_pair, Channel, NetError, TransferStats};
+pub use file::FileTransport;
+pub use model::{Link, NetworkModel};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Tx time is monotone in message size and inversely related to
+        /// bandwidth.
+        #[test]
+        fn tx_time_monotone(bytes_a in 1u64..10_000_000, extra in 1u64..1_000_000) {
+            let m = NetworkModel::ethernet_10();
+            let t1 = m.tx_time(bytes_a);
+            let t2 = m.tx_time(bytes_a + extra);
+            prop_assert!(t2 > t1);
+            let fast = NetworkModel::ethernet_100();
+            prop_assert!(fast.tx_time(bytes_a) < t1);
+        }
+
+        /// Messages arrive intact and in order.
+        #[test]
+        fn channel_fifo(msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20)) {
+            let (a, b) = channel_pair(NetworkModel::instant());
+            for m in &msgs {
+                a.send(m.clone()).unwrap();
+            }
+            for m in &msgs {
+                prop_assert_eq!(&b.recv().unwrap(), m);
+            }
+        }
+    }
+}

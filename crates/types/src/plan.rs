@@ -1,0 +1,240 @@
+//! Compiled save/restore plans — the "memory block saving and restoring
+//! functions" of the TI table.
+//!
+//! The paper generates one saving function and one restoring function per
+//! type. We compile the equivalent: a [`SavePlan`] is a short list of ops
+//! that converts a block's bytes to/from the machine-independent stream.
+//! Consecutive scalar leaves of the same kind with a uniform stride are
+//! coalesced into a single [`PlanOp::ScalarRun`], so a `double[1000000]`
+//! linpack matrix is one op executed as a tight loop (this is what makes
+//! "Encode and Copy" the dominant linpack cost, as in §4.2, instead of an
+//! interpreter walk).
+//!
+//! The *wire format is defined by the leaf sequence*, not by the plan: a
+//! plan compiled for the DEC 5000 and one compiled for the SPARC 20 cover
+//! the same leaves in the same order, so either side can produce or
+//! consume the stream regardless of how runs coalesced locally.
+
+use crate::elements::{ElementError, ElementModel};
+use crate::{TypeId, TypeTable};
+use hpm_arch::{Architecture, CScalar};
+
+/// One step of a save/restore plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// `count` scalars of `kind`, the first at byte `offset`, each
+    /// `stride` bytes after the previous one.
+    ScalarRun {
+        /// Byte offset of the first scalar.
+        offset: u64,
+        /// Scalar kind of every element in the run.
+        kind: CScalar,
+        /// Number of scalars.
+        count: u64,
+        /// Byte distance between consecutive scalars.
+        stride: u64,
+    },
+    /// A single pointer leaf, to be handled by `Save_pointer` /
+    /// `Restore_pointer`.
+    PointerSlot {
+        /// Byte offset of the pointer.
+        offset: u64,
+        /// The pointee type.
+        pointee: TypeId,
+    },
+}
+
+impl PlanOp {
+    /// Number of leaves this op covers.
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            PlanOp::ScalarRun { count, .. } => *count,
+            PlanOp::PointerSlot { .. } => 1,
+        }
+    }
+}
+
+/// The compiled saving/restoring function for one type on one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavePlan {
+    /// Ops in leaf order.
+    pub ops: Vec<PlanOp>,
+    /// Total scalar leaves covered.
+    pub leaf_count: u64,
+    /// Size in bytes of one value of the type on the plan's architecture.
+    pub size: u64,
+    /// Whether the plan contains any pointer slots.
+    pub has_pointers: bool,
+}
+
+/// Compile the save/restore plan for `ty` on `arch`.
+pub fn compile_plan(
+    model: &mut ElementModel,
+    table: &TypeTable,
+    arch: &Architecture,
+    ty: TypeId,
+) -> Result<SavePlan, ElementError> {
+    let size = model.engine.layout(table, arch, ty)?.size;
+    let mut ops: Vec<PlanOp> = Vec::new();
+    let mut leaf_count = 0u64;
+    model.for_each_leaf(table, arch, ty, &mut |leaf| {
+        leaf_count += 1;
+        if let Some(pointee) = leaf.pointee {
+            ops.push(PlanOp::PointerSlot { offset: leaf.offset, pointee });
+            return;
+        }
+        if let Some(PlanOp::ScalarRun { offset, kind, count, stride }) = ops.last_mut() {
+            if *kind == leaf.kind {
+                let expected = *offset + *count * *stride;
+                if *count == 1 {
+                    // Second element fixes the stride.
+                    let gap = leaf.offset - *offset;
+                    if gap >= arch.scalar_size(*kind) {
+                        *stride = gap;
+                        *count = 2;
+                        return;
+                    }
+                } else if leaf.offset == expected {
+                    *count += 1;
+                    return;
+                }
+            }
+        }
+        ops.push(PlanOp::ScalarRun {
+            offset: leaf.offset,
+            kind: leaf.kind,
+            count: 1,
+            stride: arch.scalar_size(leaf.kind),
+        });
+    })?;
+    let has_pointers = ops.iter().any(|op| matches!(op, PlanOp::PointerSlot { .. }));
+    Ok(SavePlan { ops, leaf_count, size, has_pointers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    #[test]
+    fn big_array_is_one_run() {
+        let mut t = TypeTable::new();
+        let d = t.double();
+        let a = t.array_of(d, 1000);
+        let mut m = ElementModel::new();
+        let plan = compile_plan(&mut m, &t, &Architecture::ultra5(), a).unwrap();
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(
+            plan.ops[0],
+            PlanOp::ScalarRun { offset: 0, kind: CScalar::Double, count: 1000, stride: 8 }
+        );
+        assert!(!plan.has_pointers);
+        assert_eq!(plan.leaf_count, 1000);
+        assert_eq!(plan.size, 8000);
+    }
+
+    #[test]
+    fn node_struct_is_run_plus_pointer() {
+        let mut t = TypeTable::new();
+        let node = t.declare_struct("node");
+        let link = t.pointer_to(node);
+        let f = t.float();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        let mut m = ElementModel::new();
+        let plan = compile_plan(&mut m, &t, &Architecture::dec5000(), node).unwrap();
+        assert_eq!(plan.ops.len(), 2);
+        assert!(matches!(plan.ops[0], PlanOp::ScalarRun { kind: CScalar::Float, count: 1, .. }));
+        assert_eq!(plan.ops[1], PlanOp::PointerSlot { offset: 4, pointee: node });
+        assert!(plan.has_pointers);
+    }
+
+    #[test]
+    fn strided_run_through_struct_array() {
+        // struct { double d; double e; }[50] coalesces into a single run
+        // (contiguous doubles), while struct { double d; int i; }[50]
+        // cannot: offsets alternate kinds.
+        let mut t = TypeTable::new();
+        let d = t.double();
+        let s = t
+            .struct_type("dd", vec![Field::new("d", d), Field::new("e", d)])
+            .unwrap();
+        let a = t.array_of(s, 50);
+        let mut m = ElementModel::new();
+        let plan = compile_plan(&mut m, &t, &Architecture::ultra5(), a).unwrap();
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(plan.leaf_count, 100);
+
+        let i = t.int();
+        let s2 = t.struct_type("di", vec![Field::new("d", d), Field::new("i", i)]).unwrap();
+        let a2 = t.array_of(s2, 50);
+        let plan2 = compile_plan(&mut m, &t, &Architecture::ultra5(), a2).unwrap();
+        assert_eq!(plan2.leaf_count, 100);
+        assert!(plan2.ops.len() > 1);
+    }
+
+    #[test]
+    fn uniform_strided_same_kind_coalesces() {
+        // struct { int a; int pad_absorbed; }[N] — all int leaves with
+        // stride 4 — becomes one run even across struct boundaries.
+        let mut t = TypeTable::new();
+        let i = t.int();
+        let s = t.struct_type("ii", vec![Field::new("a", i), Field::new("b", i)]).unwrap();
+        let a = t.array_of(s, 10);
+        let mut m = ElementModel::new();
+        let plan = compile_plan(&mut m, &t, &Architecture::sparc20(), a).unwrap();
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(
+            plan.ops[0],
+            PlanOp::ScalarRun { offset: 0, kind: CScalar::Int, count: 20, stride: 4 }
+        );
+    }
+
+    #[test]
+    fn gap_strided_run() {
+        // struct { char c; int i; }[4] on 32-bit: int leaves at 4, 12, 20,
+        // 28 (stride 8); char leaves at 0, 8, 16, 24. Chars cannot merge
+        // with ints, and each kind alternates, so no coalescing happens
+        // beyond per-kind singletons.
+        let mut t = TypeTable::new();
+        let c = t.char_();
+        let i = t.int();
+        let s = t.struct_type("ci", vec![Field::new("c", c), Field::new("i", i)]).unwrap();
+        let a = t.array_of(s, 4);
+        let mut m = ElementModel::new();
+        let plan = compile_plan(&mut m, &t, &Architecture::sparc20(), a).unwrap();
+        assert_eq!(plan.leaf_count, 8);
+        // Alternating kinds defeat coalescing: 8 single-leaf runs.
+        assert_eq!(plan.ops.len(), 8);
+    }
+
+    #[test]
+    fn plans_cover_same_leaves_across_arch() {
+        let mut t = TypeTable::new();
+        let node = t.declare_struct("n");
+        let pn = t.pointer_to(node);
+        let d = t.double();
+        let arr = t.array_of(d, 3);
+        t.define_struct(node, vec![Field::new("v", arr), Field::new("next", pn)]).unwrap();
+        let mut m32 = ElementModel::new();
+        let mut m64 = ElementModel::new();
+        let p32 = compile_plan(&mut m32, &t, &Architecture::sparc20(), node).unwrap();
+        let p64 = compile_plan(&mut m64, &t, &Architecture::x86_64_sim(), node).unwrap();
+        assert_eq!(p32.leaf_count, p64.leaf_count);
+        // Leaf kind sequence must agree even though offsets differ.
+        let kinds = |p: &SavePlan| {
+            let mut v = Vec::new();
+            for op in &p.ops {
+                match op {
+                    PlanOp::ScalarRun { kind, count, .. } => {
+                        for _ in 0..*count {
+                            v.push(*kind);
+                        }
+                    }
+                    PlanOp::PointerSlot { .. } => v.push(CScalar::Ptr),
+                }
+            }
+            v
+        };
+        assert_eq!(kinds(&p32), kinds(&p64));
+    }
+}

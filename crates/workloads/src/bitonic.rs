@@ -1,0 +1,326 @@
+//! The bitonic sort program: a binary search tree of random integers.
+//!
+//! §4.1: "In this program, a binary tree is used to store randomly
+//! generated integer numbers. The program manipulates the tree so that
+//! the numbers are sorted when the tree is traversed. The program
+//! demonstrates extensive memory allocations and recursions."
+//!
+//! The opposite profile from linpack: *many small* MSR nodes. Collection
+//! must search the MSRLT once per pointer (`O(n log n)` total), which is
+//! why Figure 2(b) shows collection pulling above restoration as the
+//! node count grows.
+//!
+//! The random stream lives in a simulated global (an LCG state), so a
+//! migration mid-insertion resumes the *same* random sequence on the
+//! destination machine — byte-identical final trees.
+//!
+//! §4.3's "smart memory allocation policies" are implemented as the
+//! [`AllocPolicy::Pooled`] mode: nodes come from one pre-allocated pool
+//! block (a single MSRLT entry; node pointers become interior pointers),
+//! versus [`AllocPolicy::PerNode`] where every node is its own `malloc`
+//! and MSRLT registration.
+
+use hpm_migrate::{Flow, MigCtx, MigError, MigratableProgram, Process};
+use hpm_types::{Field, TypeId};
+
+/// Poll-point in the insertion loop (the migration point).
+pub const PP_INSERT: u32 = 1;
+
+/// How tree nodes are allocated (§4.3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// One `malloc` + MSRLT registration per node (the measured default).
+    PerNode,
+    /// One pool block for all nodes; "allocation" bumps an index into it
+    /// (the paper's suggested smart policy).
+    Pooled,
+}
+
+/// The bitonic/BST sort workload.
+#[derive(Debug, Clone)]
+pub struct BitonicSort {
+    /// How many integers to sort (the paper sweeps up to ~100 000).
+    pub n: u64,
+    /// Allocation policy.
+    pub policy: AllocPolicy,
+    /// LCG seed.
+    pub seed: u32,
+    digest: Option<Vec<(String, String)>>,
+}
+
+impl BitonicSort {
+    /// Standard per-node configuration.
+    pub fn new(n: u64) -> Self {
+        BitonicSort { n, policy: AllocPolicy::PerNode, seed: 0x5EED_1234, digest: None }
+    }
+
+    /// Pooled ("smart allocation") configuration.
+    pub fn pooled(n: u64) -> Self {
+        BitonicSort { policy: AllocPolicy::Pooled, ..BitonicSort::new(n) }
+    }
+
+    fn node_ty(proc: &mut Process) -> TypeId {
+        proc.space.types().struct_by_name("bnode").expect("setup ran")
+    }
+
+    /// Allocate one node under the configured policy.
+    fn alloc_node(&self, proc: &mut Process, g: &Globals) -> Result<u64, MigError> {
+        let node = Self::node_ty(proc);
+        match self.policy {
+            AllocPolicy::PerNode => proc.malloc(node, 1),
+            AllocPolicy::Pooled => {
+                let pool = proc.space.load_ptr(g.pool)?;
+                let next = proc.space.load_int(g.pool_next)?;
+                let per = proc.space.leaf_count(node)?;
+                proc.space.store_int(g.pool_next, next + 1)?;
+                Ok(proc.space.elem_addr(pool, next as u64 * per)?)
+            }
+        }
+    }
+
+    /// One LCG step on the migratable RNG state; returns the value.
+    fn next_random(proc: &mut Process, g: &Globals) -> Result<i64, MigError> {
+        let s = proc.space.load_scalar(g.rng)?;
+        let state = match s {
+            hpm_arch::ScalarValue::Uint(v) => v as u32,
+            other => other.as_i64() as u32,
+        };
+        let next = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        proc.space
+            .store_scalar(g.rng, hpm_arch::ScalarValue::Uint(next as u64))?;
+        Ok((next >> 8) as i64 & 0xF_FFFF)
+    }
+
+    /// Iterative BST insert through simulated pointers.
+    fn insert(&self, proc: &mut Process, g: &Globals, node_addr: u64, value: i64) -> Result<(), MigError> {
+        let v = proc.space.elem_addr(node_addr, 0)?;
+        proc.space.store_int(v, value)?;
+        let root = proc.space.load_ptr(g.root)?;
+        if root == 0 {
+            proc.space.store_ptr(g.root, node_addr)?;
+            return Ok(());
+        }
+        let mut cur = root;
+        loop {
+            let cv_addr = proc.space.elem_addr(cur, 0)?;
+            let cv = proc.space.load_int(cv_addr)?;
+            let slot_idx = if value < cv { 1 } else { 2 };
+            let slot = proc.space.elem_addr(cur, slot_idx)?;
+            let child = proc.space.load_ptr(slot)?;
+            if child == 0 {
+                proc.space.store_ptr(slot, node_addr)?;
+                return Ok(());
+            }
+            cur = child;
+        }
+    }
+}
+
+struct Globals {
+    root: u64,
+    rng: u64,
+    count: u64,
+    pool: u64,
+    pool_next: u64,
+}
+
+fn globals(proc: &mut Process) -> Globals {
+    let infos = proc.space.block_infos();
+    let find = |name: &str| {
+        infos
+            .iter()
+            .find(|b| b.name.as_deref() == Some(name))
+            .unwrap_or_else(|| panic!("global {name}"))
+            .addr
+    };
+    Globals {
+        root: find("root"),
+        rng: find("rng"),
+        count: find("count"),
+        pool: find("pool"),
+        pool_next: find("pool_next"),
+    }
+}
+
+impl MigratableProgram for BitonicSort {
+    fn name(&self) -> &'static str {
+        "bitonic"
+    }
+
+    fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+        let t = proc.space.types_mut();
+        let int = t.int();
+        let uint = t.scalar(hpm_arch::CScalar::UInt);
+        let bnode = t.declare_struct("bnode");
+        let p_bnode = t.pointer_to(bnode);
+        t.define_struct(
+            bnode,
+            vec![
+                Field::new("value", int),
+                Field::new("left", p_bnode),
+                Field::new("right", p_bnode),
+            ],
+        )
+        .map_err(|e| MigError::Protocol(e.to_string()))?;
+        proc.define_global("root", p_bnode, 1)?;
+        proc.define_global("rng", uint, 1)?;
+        proc.define_global("count", int, 1)?;
+        proc.define_global("pool", p_bnode, 1)?;
+        proc.define_global("pool_next", int, 1)?;
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+        let int = ctx.proc().space.types_mut().int();
+        let g = globals(ctx.proc());
+        let bnode = Self::node_ty(ctx.proc());
+
+        let m = ctx.enter("main")?;
+        let i = ctx.local(m, "i", int, 1)?;
+        let live = [i, g.root, g.rng, g.count, g.pool, g.pool_next];
+
+        let mut iv: i64;
+        if let Some(PP_INSERT) = ctx.resume_point() {
+            ctx.restore_frame(&live)?;
+            iv = ctx.proc().space.load_int(i)?;
+        } else {
+            ctx.proc()
+                .space
+                .store_scalar(g.rng, hpm_arch::ScalarValue::Uint(self.seed as u64))?;
+            if self.policy == AllocPolicy::Pooled {
+                let pool = ctx.proc().malloc(bnode, self.n)?;
+                ctx.proc().space.store_ptr(g.pool, pool)?;
+            }
+            iv = 0;
+        }
+
+        while (iv as u64) < self.n {
+            ctx.proc().space.store_int(i, iv)?;
+            if ctx.poll() {
+                ctx.save_frame(PP_INSERT, &live)?;
+                return Ok(Flow::Migrate);
+            }
+            let value = Self::next_random(ctx.proc(), &g)?;
+            let node = self.alloc_node(ctx.proc(), &g)?;
+            self.insert(ctx.proc(), &g, node, value)?;
+            let c = ctx.proc().space.load_int(g.count)?;
+            ctx.proc().space.store_int(g.count, c + 1)?;
+            iv += 1;
+        }
+
+        // In-order traversal: the numbers come out sorted.
+        let digest = self.traverse_digest(ctx.proc(), &g)?;
+        self.digest = Some(digest);
+        ctx.leave(m)?;
+        Ok(Flow::Done)
+    }
+
+    fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+        self.digest
+            .clone()
+            .ok_or_else(|| MigError::Protocol("bitonic has not completed".into()))
+    }
+}
+
+impl BitonicSort {
+    fn traverse_digest(&self, proc: &mut Process, g: &Globals) -> Result<Vec<(String, String)>, MigError> {
+        let mut stack = Vec::new();
+        let mut cur = proc.space.load_ptr(g.root)?;
+        let mut count = 0u64;
+        let mut sorted = true;
+        let mut prev = i64::MIN;
+        let mut hash = 0u64;
+        while cur != 0 || !stack.is_empty() {
+            while cur != 0 {
+                stack.push(cur);
+                let l = proc.space.elem_addr(cur, 1)?;
+                cur = proc.space.load_ptr(l)?;
+            }
+            let n = stack.pop().unwrap();
+            let va = proc.space.elem_addr(n, 0)?;
+            let v = proc.space.load_int(va)?;
+            if v < prev {
+                sorted = false;
+            }
+            prev = v;
+            count += 1;
+            hash = hash.wrapping_mul(1_000_003).wrapping_add(v as u64);
+            let r = proc.space.elem_addr(n, 2)?;
+            cur = proc.space.load_ptr(r)?;
+        }
+        Ok(vec![
+            ("sorted".into(), sorted.to_string()),
+            ("count".into(), count.to_string()),
+            ("order_hash".into(), format!("{hash:#018x}")),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_migrate::{run_migrating, run_straight, Trigger};
+    use hpm_net::NetworkModel;
+
+    #[test]
+    fn sorts_straight() {
+        let mut p = BitonicSort::new(500);
+        let (r, proc) = run_straight(&mut p, Architecture::ultra5()).unwrap();
+        let get = |k: &str| r.iter().find(|(a, _)| a == k).unwrap().1.clone();
+        assert_eq!(get("sorted"), "true");
+        assert_eq!(get("count"), "500");
+        assert!(proc.space.stats().mallocs >= 500);
+    }
+
+    #[test]
+    fn pooled_sorts_identically() {
+        let mut a = BitonicSort::new(300);
+        let mut b = BitonicSort::pooled(300);
+        let (ra, pa) = run_straight(&mut a, Architecture::ultra5()).unwrap();
+        let (rb, pb) = run_straight(&mut b, Architecture::ultra5()).unwrap();
+        assert_eq!(crate::diff_results(&ra, &rb), None, "policies must agree");
+        assert!(
+            pb.msrlt.stats().registrations < pa.msrlt.stats().registrations / 10,
+            "pooling collapses MSRLT registrations: {} vs {}",
+            pb.msrlt.stats().registrations,
+            pa.msrlt.stats().registrations
+        );
+    }
+
+    #[test]
+    fn migrated_sort_matches() {
+        let mut p = BitonicSort::new(400);
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            || BitonicSort::new(400),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(200), // migrate halfway through insertion
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None, "{:?}", run.results);
+        // Half the nodes crossed the wire...
+        assert!(run.report.collect_stats.blocks_saved >= 199);
+        // ...and the rest were allocated on the destination.
+        assert_eq!(run.report.chain_depth, 1);
+    }
+
+    #[test]
+    fn pooled_migration_works() {
+        let mut p = BitonicSort::pooled(400);
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            || BitonicSort::pooled(400),
+            Architecture::dec5000(),
+            Architecture::x86_64_sim(),
+            NetworkModel::ethernet_100(),
+            Trigger::AtPollCount(123),
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None);
+        // The entire pool travels as very few blocks.
+        assert!(run.report.collect_stats.blocks_saved < 20);
+    }
+}

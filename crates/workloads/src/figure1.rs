@@ -1,0 +1,307 @@
+//! The illustrative example program of the paper's Figure 1, verbatim:
+//!
+//! ```c
+//! struct node { float data; struct node *link; };
+//! struct node *first, *last;
+//! main() {
+//!     int i;
+//!     int a, *b;
+//!     struct node *parray[10];
+//!     a = 1;
+//!     b = &a;
+//!     for (i = 0; i < 10; i++) {
+//!         foo(parray + i, &b);
+//!         first = parray[0];
+//!         last = parray[i];
+//!         first->link = last;
+//!         if (i > 0) parray[i]->link = parray[i-1];
+//!     }
+//! }
+//! foo(struct node **p, int **q) {
+//!     *p = (struct node *) malloc(sizeof(struct node));
+//!     (*p)->data = 10.0;
+//!     (**q)++;
+//! }
+//! ```
+//!
+//! The paper's migration point sits right before the `malloc` in `foo`,
+//! taken when the `for` loop "had been executed four times" — i.e. on the
+//! fifth call of `foo` (`i == 4`). At that snapshot the memory space
+//! holds the 12 MSR vertices of Figure 1(b): `first`, `last`, `i`, `a`,
+//! `b`, `parray`, four heap nodes, `p`, and `q`.
+
+use hpm_migrate::{Flow, MigCtx, MigError, MigratableProgram, Process};
+use hpm_types::{Field, TypeId};
+
+/// Poll-point id of the migration point in `foo` (paper line 20).
+pub const PP_FOO_MALLOC: u32 = 1;
+/// Poll-point id of the `foo` call site in `main` (paper line 13).
+pub const PP_MAIN_CALL: u32 = 2;
+
+/// The Figure 1 program. Trigger [`hpm_migrate::Trigger::AtPollCount`]
+/// with `5` to reproduce the paper's snapshot exactly.
+#[derive(Debug, Default, Clone)]
+pub struct Figure1 {
+    node: Option<TypeId>,
+}
+
+struct Types {
+    node: TypeId,
+    p_node: TypeId,
+    int: TypeId,
+    p_int: TypeId,
+    pp_node: TypeId,
+    pp_int: TypeId,
+}
+
+impl Figure1 {
+    /// Fresh program value.
+    pub fn new() -> Self {
+        Figure1::default()
+    }
+
+    fn types(&self, proc: &mut Process) -> Types {
+        let t = proc.space.types_mut();
+        let node = t.struct_by_name("node").expect("setup ran");
+        let p_node = t.pointer_to(node);
+        let int = t.int();
+        let p_int = t.pointer_to(int);
+        let pp_node = t.pointer_to(p_node);
+        let pp_int = t.pointer_to(p_int);
+        Types { node, p_node, int, p_int, pp_node, pp_int }
+    }
+
+    /// `foo(struct node **p, int **q)`.
+    fn foo(&self, ctx: &mut MigCtx<'_>, p_val: u64, q_val: u64) -> Result<Flow, MigError> {
+        let ty = self.types(ctx.proc());
+        let f = ctx.enter("foo")?;
+        let p = ctx.local(f, "p", ty.pp_node, 1)?;
+        let q = ctx.local(f, "q", ty.pp_int, 1)?;
+        ctx.proc().space.store_ptr(p, p_val)?;
+        ctx.proc().space.store_ptr(q, q_val)?;
+
+        // ---- the paper's migration point (before line 20's malloc) ----
+        if ctx.resume_point() == Some(PP_FOO_MALLOC) {
+            ctx.restore_frame(&[p, q])?;
+        } else if ctx.poll() {
+            ctx.save_frame(PP_FOO_MALLOC, &[p, q])?;
+            return Ok(Flow::Migrate);
+        }
+
+        // *p = malloc(sizeof(struct node));
+        let n = ctx.proc().malloc(ty.node, 1)?;
+        let pv = ctx.proc().space.load_ptr(p)?;
+        ctx.proc().space.store_ptr(pv, n)?;
+        // (*p)->data = 10.0;
+        let data = ctx.proc().space.elem_addr(n, 0)?;
+        ctx.proc().space.store_f64(data, 10.0)?;
+        // (**q)++;
+        let qv = ctx.proc().space.load_ptr(q)?;
+        let int_ptr = ctx.proc().space.load_ptr(qv)?;
+        let v = ctx.proc().space.load_int(int_ptr)?;
+        ctx.proc().space.store_int(int_ptr, v + 1)?;
+
+        ctx.leave(f)?;
+        Ok(Flow::Done)
+    }
+}
+
+impl MigratableProgram for Figure1 {
+    fn name(&self) -> &'static str {
+        "figure1"
+    }
+
+    fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+        let t = proc.space.types_mut();
+        let node = t.declare_struct("node");
+        let p_node = t.pointer_to(node);
+        let float = t.float();
+        t.define_struct(node, vec![Field::new("data", float), Field::new("link", p_node)])
+            .map_err(|e| MigError::Protocol(e.to_string()))?;
+        self.node = Some(node);
+        proc.define_global("first", p_node, 1)?;
+        proc.define_global("last", p_node, 1)?;
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+        let ty = self.types(ctx.proc());
+        let (first, last) = {
+            let infos = ctx.proc().space.block_infos();
+            let f = infos.iter().find(|b| b.name.as_deref() == Some("first")).unwrap().addr;
+            let l = infos.iter().find(|b| b.name.as_deref() == Some("last")).unwrap().addr;
+            (f, l)
+        };
+
+        let m = ctx.enter("main")?;
+        let i = ctx.local(m, "i", ty.int, 1)?;
+        let a = ctx.local(m, "a", ty.int, 1)?;
+        let b = ctx.local(m, "b", ty.p_int, 1)?;
+        let parray = ctx.local(m, "parray", ty.p_node, 10)?;
+        let live: [u64; 6] = [i, a, b, parray, first, last];
+
+        let mut iv: i64;
+        if ctx.resume_point() == Some(PP_MAIN_CALL) {
+            // Re-enter foo at the recorded call site; it restores itself
+            // and finishes the interrupted call.
+            match self.foo(ctx, 0, 0)? {
+                Flow::Done => {}
+                Flow::Migrate => return Ok(Flow::Migrate),
+            }
+            // Live data of main is restored when control returns here —
+            // "the same locations" rule of §3.2.
+            ctx.restore_frame(&live)?;
+            iv = ctx.proc().space.load_int(i)?;
+            self.post_call(ctx, iv, first, last, parray)?;
+            iv += 1;
+        } else {
+            // a = 1; b = &a;
+            ctx.proc().space.store_int(a, 1)?;
+            ctx.proc().space.store_ptr(b, a)?;
+            iv = 0;
+        }
+
+        while iv < 10 {
+            ctx.proc().space.store_int(i, iv)?;
+            // foo(parray + i, &b);
+            let p_arg = ctx.proc().space.elem_addr(parray, iv as u64)?;
+            match self.foo(ctx, p_arg, b)? {
+                Flow::Done => {}
+                Flow::Migrate => {
+                    ctx.save_frame(PP_MAIN_CALL, &live)?;
+                    return Ok(Flow::Migrate);
+                }
+            }
+            self.post_call(ctx, iv, first, last, parray)?;
+            iv += 1;
+        }
+
+        ctx.leave(m)?;
+        Ok(Flow::Done)
+    }
+
+    fn results(&self, proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+        let infos = proc.space.block_infos();
+        let first = infos.iter().find(|b| b.name.as_deref() == Some("first")).unwrap().addr;
+        let mut out = Vec::new();
+        // Walk the list from `first` through `link`s, reading data values.
+        let mut cur = proc.space.load_ptr(first)?;
+        let mut hops = 0;
+        let mut chain = String::new();
+        let mut seen = std::collections::HashSet::new();
+        while cur != 0 && seen.insert(cur) && hops < 20 {
+            let data = proc.space.elem_addr(cur, 0)?;
+            chain.push_str(&format!("{:.1},", proc.space.load_f64(data)?));
+            let link = proc.space.elem_addr(cur, 1)?;
+            cur = proc.space.load_ptr(link)?;
+            hops += 1;
+        }
+        out.push(("chain".into(), chain));
+        out.push(("hops".into(), hops.to_string()));
+        out.push(("live_blocks".into(), proc.space.block_count().to_string()));
+        Ok(out)
+    }
+}
+
+impl Figure1 {
+    /// The loop body after the `foo` call.
+    fn post_call(
+        &self,
+        ctx: &mut MigCtx<'_>,
+        iv: i64,
+        first: u64,
+        last: u64,
+        parray: u64,
+    ) -> Result<(), MigError> {
+        let space = &mut ctx.proc().space;
+        // first = parray[0]; last = parray[i];
+        let p0 = space.elem_addr(parray, 0)?;
+        let v0 = space.load_ptr(p0)?;
+        space.store_ptr(first, v0)?;
+        let pi = space.elem_addr(parray, iv as u64)?;
+        let vi = space.load_ptr(pi)?;
+        space.store_ptr(last, vi)?;
+        // first->link = last;
+        let f = space.load_ptr(first)?;
+        let l = space.load_ptr(last)?;
+        let flink = space.elem_addr(f, 1)?;
+        space.store_ptr(flink, l)?;
+        // if (i > 0) parray[i]->link = parray[i-1];
+        if iv > 0 {
+            let prev = space.elem_addr(parray, (iv - 1) as u64)?;
+            let pv = space.load_ptr(prev)?;
+            let ilink = space.elem_addr(vi, 1)?;
+            space.store_ptr(ilink, pv)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_migrate::{run_migrating, run_straight, Trigger};
+    use hpm_net::NetworkModel;
+
+    #[test]
+    fn straight_run_completes() {
+        let mut p = Figure1::new();
+        let (results, proc) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        // After completion: a == 11 is implied by 10 (**q)++ calls; the
+        // chain from first: node1 → node9 (last) → node8 → … → node1? The
+        // final state: first->link = last(=node10), node10.link=node9 …
+        let hops: usize = results
+            .iter()
+            .find(|(k, _)| k == "hops")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert_eq!(hops, 10, "first reaches all ten nodes: {results:?}");
+        drop(proc);
+    }
+
+    #[test]
+    fn migrated_run_matches_straight_run() {
+        let mut p = Figure1::new();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        // Migrate at the paper's snapshot: fifth poll in foo.
+        let run = run_migrating(
+            Figure1::new,
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(5),
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None);
+        assert_eq!(run.report.chain_depth, 2, "main → foo");
+    }
+
+    #[test]
+    fn snapshot_matches_figure_1b() {
+        use hpm_migrate::run_to_migration;
+        let mut p = Figure1::new();
+        let mut src = run_to_migration(
+            &mut p,
+            Architecture::dec5000(),
+            Trigger::AtPollCount(5),
+        )
+        .unwrap();
+        // 12 vertices: first, last, i, a, b, parray, 4 heap nodes, p, q.
+        let g = hpm_core::MsrGraph::snapshot(&mut src.proc.space, &mut src.proc.msrlt).unwrap();
+        assert_eq!(g.vertex_count(), 12, "{:?}", g.vertices);
+        // Edges (the figure draws e1–e12; the program state at the
+        // snapshot contains 13 pointer relations: first, last, b→a,
+        // q→b, p→parray+4, parray[0..3]→nodes (4), node links (4)).
+        assert_eq!(g.edge_count(), 13, "{:?}", g.edges);
+        // Collection from foo then main transmits every vertex exactly
+        // once, with no duplication despite the shared references.
+        let (_, exec, stats) = src.collect().unwrap();
+        assert_eq!(stats.blocks_saved, 12, "each vertex saved exactly once");
+        assert_eq!(exec.depth(), 2);
+        // first/last point at already-visited nodes → refs not re-saves.
+        assert!(stats.ptr_ref >= 4);
+    }
+}

@@ -1,0 +1,473 @@
+//! The linpack benchmark (netlib), in migratable form.
+//!
+//! §4.1: "The linpack benchmark from netlib repository at ORNL is a
+//! computational intensive program with arrays of double and arrays of
+//! integer data structures. The benchmark solves a system of linear
+//! equations, Ax = b." §4.2: "memory spaces for matrices are allocated
+//! as local variables at the beginning of the main() function and are
+//! referenced by other functions throughout program lifetime. The program
+//! is computation intensive and contains no dynamic memory allocation."
+//!
+//! The structure mirrors netlib's C linpack: `matgen` fills the
+//! column-major matrix, `dgefa` performs LU factorization with partial
+//! pivoting (idamax / dscal / daxpy), and `dgesl` solves. The matrix,
+//! right-hand side, and pivot vector are locals of `main`, referenced
+//! from `dgefa`/`dgesl` through pointer parameters — so collection from
+//! the nested frame reaches the matrix through the MSR graph, exactly as
+//! in the paper.
+//!
+//! Poll-point placement is a parameter because §4.3 measures it: the
+//! sensible placement polls once per `dgefa` column (outer loop); the
+//! pathological one polls inside `daxpy`, "a kernel function which
+//! performs only few operations but being invoked so many times".
+//!
+//! `columns_to_factor` bounds the pre-migration compute so the large
+//! data-collection experiments (Figure 2(a): 600²–1200² matrices) don't
+//! pay an O(n³) simulated factorization; the *migrated data* — the full
+//! matrix — is identical. Correctness runs use `full()` and verify the
+//! solution against all-ones.
+
+use hpm_migrate::{Flow, MigCtx, MigError, MigratableProgram, Process};
+use hpm_types::TypeId;
+
+/// Migration point inside `dgefa`'s column loop.
+pub const PP_DGEFA_COL: u32 = 1;
+/// Call-site poll-point in `main` around the `dgefa` call.
+pub const PP_MAIN_DGEFA: u32 = 2;
+/// Poll-point inside `daxpy` (pathological placement, §4.3).
+pub const PP_DAXPY: u32 = 3;
+
+/// Where the pre-compiler placed poll-points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollPlacement {
+    /// One poll per `dgefa` column — the paper's sensible choice.
+    OuterLoop,
+    /// A poll inside the `daxpy` kernel — the §4.3 overhead pathology.
+    InnerKernel,
+    /// No poll-points at all — the unannotated baseline.
+    None,
+}
+
+/// The linpack workload.
+#[derive(Debug, Clone)]
+pub struct Linpack {
+    /// Matrix order (the paper sweeps 600–1200; Table 1 uses 1000).
+    pub n: u64,
+    /// Columns of `dgefa` to actually factor (`n` for a full solve).
+    pub columns_to_factor: u64,
+    /// Whether to run `dgesl` and verify the solution (requires a full
+    /// factorization).
+    pub solve: bool,
+    /// Poll-point placement.
+    pub placement: PollPlacement,
+    digest: Option<Vec<(String, String)>>,
+}
+
+impl Linpack {
+    /// Full factor + solve at order `n` (correctness configuration).
+    pub fn full(n: u64) -> Self {
+        Linpack {
+            n,
+            columns_to_factor: n,
+            solve: true,
+            placement: PollPlacement::OuterLoop,
+            digest: None,
+        }
+    }
+
+    /// Data-collection configuration: the full matrix is live but only
+    /// `k` columns are factored before/after migration.
+    pub fn truncated(n: u64, k: u64) -> Self {
+        Linpack {
+            n,
+            columns_to_factor: k.min(n),
+            solve: false,
+            placement: PollPlacement::OuterLoop,
+            digest: None,
+        }
+    }
+
+    fn int_ty(proc: &mut Process) -> TypeId {
+        proc.space.types_mut().int()
+    }
+
+    fn dbl_ty(proc: &mut Process) -> TypeId {
+        proc.space.types_mut().double()
+    }
+
+    /// Column-major element address: a[i + j*n].
+    fn a_elem(proc: &mut Process, a: u64, n: u64, i: u64, j: u64) -> Result<u64, MigError> {
+        Ok(proc.space.elem_addr(a, i + j * n)?)
+    }
+
+    /// netlib matgen: deterministic pseudo-random fill, b = row sums so
+    /// the solution is all-ones.
+    fn matgen(&self, proc: &mut Process, a: u64, b: u64) -> Result<(), MigError> {
+        let n = self.n;
+        let mut init: i64 = 1325;
+        let mut col = Vec::with_capacity(n as usize);
+        let mut rowsum = vec![0.0f64; n as usize];
+        for j in 0..n {
+            col.clear();
+            for i in 0..n {
+                init = (3125 * init) % 65536;
+                let v = (init as f64 - 32768.0) / 16384.0;
+                col.push(v);
+                rowsum[i as usize] += v;
+            }
+            let cstart = Self::a_elem(proc, a, n, 0, j)?;
+            proc.space.write_f64_run(cstart, &col)?;
+        }
+        let bstart = proc.space.elem_addr(b, 0)?;
+        proc.space.write_f64_run(bstart, &rowsum)?;
+        Ok(())
+    }
+
+    /// idamax: index of the element of max |value| in a column slice.
+    fn idamax(proc: &mut Process, start: u64, len: u64) -> Result<u64, MigError> {
+        let mut v = Vec::new();
+        proc.space.read_f64_run(start, len, &mut v)?;
+        let mut best = 0usize;
+        let mut bmax = v[0].abs();
+        for (i, x) in v.iter().enumerate().skip(1) {
+            if x.abs() > bmax {
+                bmax = x.abs();
+                best = i;
+            }
+        }
+        Ok(best as u64)
+    }
+
+    /// daxpy over contiguous column slices: y += alpha * x, with the
+    /// §4.3 pathological poll if configured.
+    #[allow(clippy::too_many_arguments)]
+    fn daxpy(
+        &self,
+        ctx: &mut MigCtx<'_>,
+        len: u64,
+        alpha: f64,
+        x_start: u64,
+        y_start: u64,
+    ) -> Result<(), MigError> {
+        if self.placement == PollPlacement::InnerKernel {
+            // The pathological poll-point: executed O(n²) times. (It can
+            // never fire mid-daxpy in our experiments — triggers target
+            // the outer placement — but its *check* cost is the point.)
+            let _ = ctx.poll();
+        }
+        if len == 0 || alpha == 0.0 {
+            return Ok(());
+        }
+        let proc = ctx.proc();
+        let mut x = Vec::new();
+        proc.space.read_f64_run(x_start, len, &mut x)?;
+        let mut y = Vec::new();
+        proc.space.read_f64_run(y_start, len, &mut y)?;
+        for (yi, xi) in y.iter_mut().zip(&x) {
+            *yi += alpha * xi;
+        }
+        proc.space.write_f64_run(y_start, &y)?;
+        Ok(())
+    }
+
+    /// dgefa: LU factorization with partial pivoting. The migration
+    /// point is at the top of the column loop.
+    fn dgefa(
+        &self,
+        ctx: &mut MigCtx<'_>,
+        a_ptr: u64,
+        ipvt_ptr: u64,
+    ) -> Result<Flow, MigError> {
+        let n = self.n;
+        let int = Self::int_ty(ctx.proc());
+        let pd = {
+            let t = ctx.proc().space.types_mut();
+            let d = t.double();
+            t.pointer_to(d)
+        };
+        let pi_ty = {
+            let t = ctx.proc().space.types_mut();
+            let i = t.int();
+            t.pointer_to(i)
+        };
+        let f = ctx.enter("dgefa")?;
+        let k = ctx.local(f, "k", int, 1)?;
+        let a_l = ctx.local(f, "a", pd, 1)?;
+        let ipvt_l = ctx.local(f, "ipvt", pi_ty, 1)?;
+        ctx.proc().space.store_ptr(a_l, a_ptr)?;
+        ctx.proc().space.store_ptr(ipvt_l, ipvt_ptr)?;
+        let live = [k, a_l, ipvt_l];
+
+        let mut kv: u64;
+        if ctx.resume_point() == Some(PP_DGEFA_COL) {
+            ctx.restore_frame(&live)?;
+            kv = ctx.proc().space.load_int(k)? as u64;
+        } else {
+            kv = 0;
+        }
+
+        let a = ctx.proc().space.load_ptr(a_l)?;
+        let ipvt = ctx.proc().space.load_ptr(ipvt_l)?;
+        let last = self.columns_to_factor.min(n.saturating_sub(1));
+        while kv < last {
+            ctx.proc().space.store_int(k, kv as i64)?;
+            if self.placement == PollPlacement::OuterLoop && ctx.poll() {
+                ctx.save_frame(PP_DGEFA_COL, &live)?;
+                return Ok(Flow::Migrate);
+            }
+            // l = idamax(n-k, a[k.., k]) + k
+            let col_k = Self::a_elem(ctx.proc(), a, n, kv, kv)?;
+            let l = Self::idamax(ctx.proc(), col_k, n - kv)? + kv;
+            let ipvt_k = ctx.proc().space.elem_addr(ipvt, kv)?;
+            ctx.proc().space.store_int(ipvt_k, l as i64)?;
+            let a_lk = Self::a_elem(ctx.proc(), a, n, l, kv)?;
+            let pivot = ctx.proc().space.load_f64(a_lk)?;
+            if pivot == 0.0 {
+                kv += 1;
+                continue;
+            }
+            // swap a[l,k] and a[k,k]
+            let a_kk = Self::a_elem(ctx.proc(), a, n, kv, kv)?;
+            let akk = ctx.proc().space.load_f64(a_kk)?;
+            ctx.proc().space.store_f64(a_lk, akk)?;
+            ctx.proc().space.store_f64(a_kk, pivot)?;
+            // scale the multiplier column: a[k+1.., k] *= -1/pivot
+            {
+                let start = Self::a_elem(ctx.proc(), a, n, kv + 1, kv)?;
+                let len = n - kv - 1;
+                if len > 0 {
+                    let proc = ctx.proc();
+                    let mut v = Vec::new();
+                    proc.space.read_f64_run(start, len, &mut v)?;
+                    for x in &mut v {
+                        *x *= -1.0 / pivot;
+                    }
+                    proc.space.write_f64_run(start, &v)?;
+                }
+            }
+            // eliminate into the remaining columns
+            for j in (kv + 1)..n {
+                let a_lj = Self::a_elem(ctx.proc(), a, n, l, j)?;
+                let t = ctx.proc().space.load_f64(a_lj)?;
+                let a_kj = Self::a_elem(ctx.proc(), a, n, kv, j)?;
+                if l != kv {
+                    let akj = ctx.proc().space.load_f64(a_kj)?;
+                    ctx.proc().space.store_f64(a_lj, akj)?;
+                    ctx.proc().space.store_f64(a_kj, t)?;
+                }
+                let x_start = Self::a_elem(ctx.proc(), a, n, kv + 1, kv)?;
+                let y_start = Self::a_elem(ctx.proc(), a, n, kv + 1, j)?;
+                self.daxpy(ctx, n - kv - 1, t, x_start, y_start)?;
+            }
+            kv += 1;
+        }
+        // ipvt[n-1] = n-1
+        if self.columns_to_factor >= n {
+            let ip = ctx.proc().space.elem_addr(ipvt, n - 1)?;
+            ctx.proc().space.store_int(ip, (n - 1) as i64)?;
+        }
+        ctx.leave(f)?;
+        Ok(Flow::Done)
+    }
+
+    /// dgesl: solve using the LU factors (job 0: A x = b).
+    fn dgesl(&self, ctx: &mut MigCtx<'_>, a: u64, b: u64, ipvt: u64) -> Result<(), MigError> {
+        let n = self.n;
+        // forward elimination
+        for kv in 0..n - 1 {
+            let ip = ctx.proc().space.elem_addr(ipvt, kv)?;
+            let l = ctx.proc().space.load_int(ip)? as u64;
+            let b_l = ctx.proc().space.elem_addr(b, l)?;
+            let t = ctx.proc().space.load_f64(b_l)?;
+            if l != kv {
+                let b_k = ctx.proc().space.elem_addr(b, kv)?;
+                let bk = ctx.proc().space.load_f64(b_k)?;
+                ctx.proc().space.store_f64(b_l, bk)?;
+                ctx.proc().space.store_f64(b_k, t)?;
+            }
+            let x_start = Self::a_elem(ctx.proc(), a, n, kv + 1, kv)?;
+            let y_start = ctx.proc().space.elem_addr(b, kv + 1)?;
+            self.daxpy(ctx, n - kv - 1, t, x_start, y_start)?;
+        }
+        // back substitution
+        for kb in 0..n {
+            let kv = n - 1 - kb;
+            let b_k = ctx.proc().space.elem_addr(b, kv)?;
+            let a_kk = Self::a_elem(ctx.proc(), a, n, kv, kv)?;
+            let akk = ctx.proc().space.load_f64(a_kk)?;
+            let bk = ctx.proc().space.load_f64(b_k)? / akk;
+            ctx.proc().space.store_f64(b_k, bk)?;
+            if kv > 0 {
+                let x_start = Self::a_elem(ctx.proc(), a, n, 0, kv)?;
+                let y_start = ctx.proc().space.elem_addr(b, 0)?;
+                self.daxpy(ctx, kv, -bk, x_start, y_start)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MigratableProgram for Linpack {
+    fn name(&self) -> &'static str {
+        "linpack"
+    }
+
+    fn setup(&mut self, _proc: &mut Process) -> Result<(), MigError> {
+        // No globals: the paper notes the matrices are main() locals.
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+        let n = self.n;
+        let int = Self::int_ty(ctx.proc());
+        let dbl = Self::dbl_ty(ctx.proc());
+
+        let m = ctx.enter("main")?;
+        let a = ctx.local(m, "a", dbl, n * n)?;
+        let b = ctx.local(m, "b", dbl, n)?;
+        let ipvt = ctx.local(m, "ipvt", int, n)?;
+        let live = [a, b, ipvt];
+
+        if ctx.resume_point() == Some(PP_MAIN_DGEFA) {
+            match self.dgefa(ctx, a, ipvt)? {
+                Flow::Done => {}
+                Flow::Migrate => return Ok(Flow::Migrate),
+            }
+            ctx.restore_frame(&live)?;
+        } else {
+            self.matgen(ctx.proc(), a, b)?;
+            match self.dgefa(ctx, a, ipvt)? {
+                Flow::Done => {}
+                Flow::Migrate => {
+                    ctx.save_frame(PP_MAIN_DGEFA, &live)?;
+                    return Ok(Flow::Migrate);
+                }
+            }
+        }
+
+        if self.solve {
+            self.dgesl(ctx, a, b, ipvt)?;
+        }
+
+        // Digest before leaving: the blocks die with the frame.
+        self.digest = Some(self.compute_digest(ctx.proc(), a, b, ipvt)?);
+        ctx.leave(m)?;
+        Ok(Flow::Done)
+    }
+
+    fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+        self.digest
+            .clone()
+            .ok_or_else(|| MigError::Protocol("linpack has not completed".into()))
+    }
+}
+
+impl Linpack {
+    fn compute_digest(
+        &self,
+        proc: &mut Process,
+        a: u64,
+        b: u64,
+        ipvt: u64,
+    ) -> Result<Vec<(String, String)>, MigError> {
+        let n = self.n;
+        let mut out = Vec::new();
+        if self.solve {
+            // Solution should be all ones.
+            let mut x = Vec::new();
+            let b0 = proc.space.elem_addr(b, 0)?;
+            proc.space.read_f64_run(b0, n, &mut x)?;
+            let maxdev = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+            let bits = x.iter().fold(0u64, |h, v| h ^ v.to_bits().rotate_left(13));
+            out.push(("solution_max_dev".into(), format!("{maxdev:.3e}")));
+            out.push(("solution_ok".into(), (maxdev < 1e-6).to_string()));
+            out.push(("solution_bits".into(), format!("{bits:#018x}")));
+        }
+        // Sampled matrix checksum: arch-independent, exact.
+        let mut h = 0u64;
+        let total = n * n;
+        let step = (total / 997).max(1);
+        let mut idx = 0;
+        while idx < total {
+            let e = proc.space.elem_addr(a, idx)?;
+            h ^= proc.space.load_f64(e)?.to_bits().rotate_left((idx % 63) as u32);
+            idx += step;
+        }
+        out.push(("matrix_checksum".into(), format!("{h:#018x}")));
+        let mut ph = 0i64;
+        let lim = self.columns_to_factor.min(n);
+        for i in 0..lim {
+            let e = proc.space.elem_addr(ipvt, i)?;
+            ph = ph.wrapping_mul(31).wrapping_add(proc.space.load_int(e)?);
+        }
+        out.push(("pivot_hash".into(), ph.to_string()));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_migrate::{run_migrating, run_straight, Trigger};
+    use hpm_net::NetworkModel;
+
+    #[test]
+    fn solves_small_system() {
+        let mut p = Linpack::full(30);
+        let (results, _) = run_straight(&mut p, Architecture::ultra5()).unwrap();
+        let ok = results.iter().find(|(k, _)| k == "solution_ok").unwrap();
+        assert_eq!(ok.1, "true", "{results:?}");
+    }
+
+    #[test]
+    fn migrated_solve_bitwise_matches() {
+        let mut p = Linpack::full(24);
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            || Linpack::full(24),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(10), // migrate at column 10 of dgefa
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None, "{:?}", run.results);
+        assert_eq!(run.report.chain_depth, 2, "main → dgefa");
+        // "the high-order floating point accuracy" is preserved exactly:
+        // solution_bits compared above is a bit-exact check.
+    }
+
+    #[test]
+    fn truncated_matches_straight_truncated() {
+        let mut p = Linpack::truncated(64, 6);
+        let (expect, _) = run_straight(&mut p, Architecture::ultra5()).unwrap();
+        let run = run_migrating(
+            || Linpack::truncated(64, 6),
+            Architecture::ultra5(),
+            Architecture::ultra5(),
+            NetworkModel::ethernet_100(),
+            Trigger::AtPollCount(3),
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None);
+        // ~64*64 doubles + ints must have crossed the wire.
+        assert!(run.report.memory_bytes > 64 * 64 * 8);
+    }
+
+    #[test]
+    fn inner_kernel_polls_much_more() {
+        let mut outer = Linpack::full(20);
+        outer.placement = PollPlacement::OuterLoop;
+        let mut inner = Linpack::full(20);
+        inner.placement = PollPlacement::InnerKernel;
+        let (_, p1) = run_straight(&mut outer, Architecture::ultra5()).unwrap();
+        let (_, p2) = run_straight(&mut inner, Architecture::ultra5()).unwrap();
+        assert!(
+            p2.poll_count() > p1.poll_count() * 5,
+            "inner {} vs outer {}",
+            p2.poll_count(),
+            p1.poll_count()
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! `test_pointer`: the synthetic pointer-structure program.
+//!
+//! §4.1: "The test_pointer is a synthesis program which contains various
+//! data structures, including a tree structure, a pointer to integer, a
+//! pointer to array of 10 integers, a pointer to array of 10 pointers to
+//! integers, and a tree-like data structure."
+//!
+//! Our version builds, in order:
+//!
+//! 1. a perfect binary tree of `2^depth − 1` nodes with deterministic
+//!    values;
+//! 2. `int *pi` → a heap int;
+//! 3. `int (*pai)[10]` → a heap array of 10 ints;
+//! 4. `int *(*papi)[10]` → a heap array of 10 `int*`, of which some
+//!    alias the same heap int (shared target), some point at elements of
+//!    the heap array (interior pointers), and one is NULL;
+//! 5. a "tree-like" structure: a DAG where two parents share a child and
+//!    a back-edge forms a cycle — the hard cases for traversal marking.
+//!
+//! Migration fires inside `build_tree` (nested call), so the chain is
+//! `main → build_tree`, and everything built so far must survive.
+
+use hpm_migrate::{Flow, MigCtx, MigError, MigratableProgram, Process};
+use hpm_types::{Field, TypeId};
+
+/// Poll-point in the tree-building loop (the migration point).
+pub const PP_BUILD: u32 = 1;
+/// Call-site poll-point in `main`.
+pub const PP_MAIN_CALL: u32 = 2;
+
+/// Tree depth (15 nodes at depth 4 by default).
+const DEFAULT_DEPTH: u32 = 4;
+
+/// The synthetic pointer-zoo program.
+#[derive(Debug, Clone)]
+pub struct TestPointer {
+    /// Perfect-tree depth.
+    pub depth: u32,
+}
+
+impl Default for TestPointer {
+    fn default() -> Self {
+        TestPointer { depth: DEFAULT_DEPTH }
+    }
+}
+
+struct Types {
+    tnode: TypeId,
+    int: TypeId,
+    p_int: TypeId,
+    dag: TypeId,
+}
+
+impl TestPointer {
+    /// Fresh program with the default tree depth.
+    pub fn new() -> Self {
+        TestPointer::default()
+    }
+
+    fn types(&self, proc: &mut Process) -> Types {
+        let t = proc.space.types_mut();
+        let tnode = t.struct_by_name("tnode").expect("setup ran");
+        let dag = t.struct_by_name("dag").expect("setup ran");
+        let int = t.int();
+        let p_int = t.pointer_to(int);
+        Types { tnode, int, p_int, dag }
+    }
+
+    /// Build the perfect tree iteratively (level order), polling once per
+    /// node: the migration point lives here, mid-construction.
+    fn build_tree(&self, ctx: &mut MigCtx<'_>, root_global: u64, g: &Globals) -> Result<Flow, MigError> {
+        let ty = self.types(ctx.proc());
+        let f = ctx.enter("build_tree")?;
+        let k = ctx.local(f, "k", ty.int, 1)?;
+        let total = (1u64 << self.depth) - 1;
+        // The innermost frame carries the globals (it restores first and
+        // immediately uses `root`).
+        let live = [k, g.root, g.pi, g.pai, g.papi, g.dag_root];
+
+        let mut kv: i64;
+        if ctx.resume_point() == Some(PP_BUILD) {
+            ctx.restore_frame(&live)?;
+            kv = ctx.proc().space.load_int(k)?;
+        } else {
+            kv = 0;
+        }
+
+        while (kv as u64) < total {
+            ctx.proc().space.store_int(k, kv)?;
+            if ctx.poll() {
+                ctx.save_frame(PP_BUILD, &live)?;
+                return Ok(Flow::Migrate);
+            }
+            // Allocate node number kv (heap indices follow level order):
+            // parent of node kv is (kv-1)/2; attach as left/right child.
+            let n = ctx.proc().malloc(ty.tnode, 1)?;
+            let val = ctx.proc().space.elem_addr(n, 0)?;
+            ctx.proc().space.store_int(val, 100 + kv)?;
+            if kv == 0 {
+                ctx.proc().space.store_ptr(root_global, n)?;
+            } else {
+                // Find the parent by walking from the root (kv is small).
+                let parent = self.node_by_index(ctx.proc(), root_global, ((kv - 1) / 2) as u64)?;
+                let slot_idx = if kv % 2 == 1 { 1 } else { 2 }; // left : right
+                let slot = ctx.proc().space.elem_addr(parent, slot_idx)?;
+                ctx.proc().space.store_ptr(slot, n)?;
+            }
+            kv += 1;
+        }
+
+        ctx.leave(f)?;
+        Ok(Flow::Done)
+    }
+
+    /// Address of the level-order `idx`-th node, by path from the root.
+    fn node_by_index(&self, proc: &mut Process, root_global: u64, idx: u64) -> Result<u64, MigError> {
+        // Path bits from the root: record the walk down.
+        let mut path = Vec::new();
+        let mut i = idx;
+        while i > 0 {
+            path.push(i % 2 == 1); // true = left child
+            i = (i - 1) / 2;
+        }
+        let mut cur = proc.space.load_ptr(root_global)?;
+        for left in path.iter().rev() {
+            let slot = proc.space.elem_addr(cur, if *left { 1 } else { 2 })?;
+            cur = proc.space.load_ptr(slot)?;
+        }
+        Ok(cur)
+    }
+
+    fn build_pointer_zoo(&self, proc: &mut Process, g: &Globals, ty: &Types) -> Result<(), MigError> {
+        // int *pi = malloc(int); *pi = 777;
+        let the_int = proc.malloc(ty.int, 1)?;
+        proc.space.store_int(the_int, 777)?;
+        proc.space.store_ptr(g.pi, the_int)?;
+
+        // int (*pai)[10] — heap array of 10 ints, values 0,10,…,90.
+        let arr = proc.malloc(ty.int, 10)?;
+        for i in 0..10 {
+            let e = proc.space.elem_addr(arr, i)?;
+            proc.space.store_int(e, (i * 10) as i64)?;
+        }
+        proc.space.store_ptr(g.pai, arr)?;
+
+        // int *(*papi)[10] — heap array of 10 int*:
+        //  slots 0..3 → the shared heap int (aliasing),
+        //  slots 4..8 → interior elements of `arr` (element i-4),
+        //  slot 9 → NULL.
+        let parr = proc.malloc(ty.p_int, 10)?;
+        for i in 0..4u64 {
+            let e = proc.space.elem_addr(parr, i)?;
+            proc.space.store_ptr(e, the_int)?;
+        }
+        for i in 4..9u64 {
+            let target = proc.space.elem_addr(arr, i - 4)?;
+            let e = proc.space.elem_addr(parr, i)?;
+            proc.space.store_ptr(e, target)?;
+        }
+        proc.space.store_ptr(g.papi, parr)?;
+        Ok(())
+    }
+
+    fn build_dag(&self, proc: &mut Process, g: &Globals, ty: &Types) -> Result<(), MigError> {
+        // dag { int tag; dag *x; dag *y; }
+        //   top → a, b;  a → shared;  b → shared;  shared.x → top (cycle).
+        let top = proc.malloc(ty.dag, 1)?;
+        let a = proc.malloc(ty.dag, 1)?;
+        let b = proc.malloc(ty.dag, 1)?;
+        let shared = proc.malloc(ty.dag, 1)?;
+        for (n, tag) in [(top, 1i64), (a, 2), (b, 3), (shared, 4)] {
+            let t = proc.space.elem_addr(n, 0)?;
+            proc.space.store_int(t, tag)?;
+        }
+        let set = |proc: &mut Process, node: u64, slot: u64, val: u64| -> Result<(), MigError> {
+            let s = proc.space.elem_addr(node, slot)?;
+            proc.space.store_ptr(s, val)?;
+            Ok(())
+        };
+        set(proc, top, 1, a)?;
+        set(proc, top, 2, b)?;
+        set(proc, a, 1, shared)?;
+        set(proc, b, 1, shared)?;
+        set(proc, shared, 1, top)?; // back-edge: cycle
+        proc.space.store_ptr(g.dag_root, top)?;
+        Ok(())
+    }
+}
+
+struct Globals {
+    root: u64,
+    pi: u64,
+    pai: u64,
+    papi: u64,
+    dag_root: u64,
+}
+
+fn globals(proc: &mut Process) -> Globals {
+    let find = |name: &str, infos: &[hpm_memory::BlockInfo]| {
+        infos.iter().find(|b| b.name.as_deref() == Some(name)).unwrap().addr
+    };
+    let infos = proc.space.block_infos();
+    Globals {
+        root: find("root", &infos),
+        pi: find("pi", &infos),
+        pai: find("pai", &infos),
+        papi: find("papi", &infos),
+        dag_root: find("dag_root", &infos),
+    }
+}
+
+impl MigratableProgram for TestPointer {
+    fn name(&self) -> &'static str {
+        "test_pointer"
+    }
+
+    fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+        let t = proc.space.types_mut();
+        let int = t.int();
+        let tnode = t.declare_struct("tnode");
+        let p_tnode = t.pointer_to(tnode);
+        t.define_struct(
+            tnode,
+            vec![
+                Field::new("value", int),
+                Field::new("left", p_tnode),
+                Field::new("right", p_tnode),
+            ],
+        )
+        .map_err(|e| MigError::Protocol(e.to_string()))?;
+        let dag = t.declare_struct("dag");
+        let p_dag = t.pointer_to(dag);
+        t.define_struct(
+            dag,
+            vec![Field::new("tag", int), Field::new("x", p_dag), Field::new("y", p_dag)],
+        )
+        .map_err(|e| MigError::Protocol(e.to_string()))?;
+        let p_int = t.pointer_to(int);
+        let p_p_int = t.pointer_to(p_int);
+        let pp_int_arr = p_p_int; // int *(*papi)[10] modeled as int** to the first slot
+
+        proc.define_global("root", p_tnode, 1)?;
+        proc.define_global("pi", p_int, 1)?;
+        proc.define_global("pai", p_int, 1)?; // points at arr[0]
+        proc.define_global("papi", pp_int_arr, 1)?;
+        proc.define_global("dag_root", p_dag, 1)?;
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+        let ty = self.types(ctx.proc());
+        let g = globals(ctx.proc());
+
+        let m = ctx.enter("main")?;
+        let phase = ctx.local(m, "phase", ty.int, 1)?;
+        let live = [phase];
+
+        if ctx.resume_point() == Some(PP_MAIN_CALL) {
+            match self.build_tree(ctx, g.root, &g)? {
+                Flow::Done => {}
+                Flow::Migrate => return Ok(Flow::Migrate),
+            }
+            ctx.restore_frame(&live)?;
+        } else {
+            // Phase 0: the zoo and the DAG exist before the tree build,
+            // so they are live across the migration point.
+            ctx.proc().space.store_int(phase, 0)?;
+            {
+                let proc = ctx.proc();
+                // Split borrows: helpers only need Process.
+                // (self borrows are fine; ty/g are plain data.)
+                self.build_pointer_zoo(proc, &g, &ty)?;
+                self.build_dag(proc, &g, &ty)?;
+            }
+            match self.build_tree(ctx, g.root, &g)? {
+                Flow::Done => {}
+                Flow::Migrate => {
+                    ctx.save_frame(PP_MAIN_CALL, &live)?;
+                    return Ok(Flow::Migrate);
+                }
+            }
+        }
+
+        ctx.leave(m)?;
+        Ok(Flow::Done)
+    }
+
+    fn results(&self, proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+        let g = globals(proc);
+        let mut out = Vec::new();
+
+        // Tree: in-order traversal digest.
+        let mut stack = vec![];
+        let mut cur = proc.space.load_ptr(g.root)?;
+        let mut inorder = Vec::new();
+        while cur != 0 || !stack.is_empty() {
+            while cur != 0 {
+                stack.push(cur);
+                let l = proc.space.elem_addr(cur, 1)?;
+                cur = proc.space.load_ptr(l)?;
+            }
+            let n = stack.pop().unwrap();
+            let v = proc.space.elem_addr(n, 0)?;
+            inorder.push(proc.space.load_int(v)?.to_string());
+            let r = proc.space.elem_addr(n, 2)?;
+            cur = proc.space.load_ptr(r)?;
+        }
+        out.push(("tree_inorder".into(), inorder.join(",")));
+
+        // pi / pai values.
+        let pi_t = proc.space.load_ptr(g.pi)?;
+        out.push(("pi_value".into(), proc.space.load_int(pi_t)?.to_string()));
+        let arr = proc.space.load_ptr(g.pai)?;
+        let mut vals = Vec::new();
+        for i in 0..10 {
+            let e = proc.space.elem_addr(arr, i)?;
+            vals.push(proc.space.load_int(e)?.to_string());
+        }
+        out.push(("pai_values".into(), vals.join(",")));
+
+        // papi: aliasing and interior-pointer structure, expressed
+        // machine-independently (addresses differ across machines).
+        let parr = proc.space.load_ptr(g.papi)?;
+        let mut desc = Vec::new();
+        for i in 0..10u64 {
+            let slot = proc.space.elem_addr(parr, i)?;
+            let p = proc.space.load_ptr(slot)?;
+            if p == 0 {
+                desc.push("null".to_string());
+            } else if p == pi_t {
+                desc.push("pi".to_string());
+            } else {
+                // which element of arr?
+                let mut tagged = String::from("?");
+                for k in 0..10 {
+                    if proc.space.elem_addr(arr, k)? == p {
+                        tagged = format!("arr[{k}]");
+                        break;
+                    }
+                }
+                desc.push(tagged);
+            }
+        }
+        out.push(("papi_shape".into(), desc.join(",")));
+
+        // DAG: verify sharing and the cycle survive.
+        let top = proc.space.load_ptr(g.dag_root)?;
+        let ax = proc.space.elem_addr(top, 1)?;
+        let a = proc.space.load_ptr(ax)?;
+        let by = proc.space.elem_addr(top, 2)?;
+        let b = proc.space.load_ptr(by)?;
+        let a_slot = proc.space.elem_addr(a, 1)?;
+        let a_child = proc.space.load_ptr(a_slot)?;
+        let b_slot = proc.space.elem_addr(b, 1)?;
+        let b_child = proc.space.load_ptr(b_slot)?;
+        let back_slot = proc.space.elem_addr(a_child, 1)?;
+        let shared_back = proc.space.load_ptr(back_slot)?;
+        out.push(("dag_shared".into(), (a_child == b_child && a_child != 0).to_string()));
+        out.push(("dag_cycle".into(), (shared_back == top).to_string()));
+        let tag = |proc: &mut Process, n: u64| -> Result<i64, MigError> {
+            let t = proc.space.elem_addr(n, 0)?;
+            Ok(proc.space.load_int(t)?)
+        };
+        out.push((
+            "dag_tags".into(),
+            format!("{},{},{},{}", tag(proc, top)?, tag(proc, a)?, tag(proc, b)?, tag(proc, a_child)?),
+        ));
+        out.push(("live_blocks".into(), proc.space.block_count().to_string()));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_migrate::{run_migrating, run_straight, Trigger};
+    use hpm_net::NetworkModel;
+
+    #[test]
+    fn straight_run_shape() {
+        let mut p = TestPointer::new();
+        let (results, _) = run_straight(&mut p, Architecture::sparc20()).unwrap();
+        let get = |k: &str| results.iter().find(|(a, _)| a == k).unwrap().1.clone();
+        assert_eq!(get("pi_value"), "777");
+        assert_eq!(get("dag_shared"), "true");
+        assert_eq!(get("dag_cycle"), "true");
+        assert_eq!(
+            get("papi_shape"),
+            "pi,pi,pi,pi,arr[0],arr[1],arr[2],arr[3],arr[4],null"
+        );
+        assert_eq!(get("tree_inorder").split(',').count(), 15);
+    }
+
+    #[test]
+    fn migrates_mid_tree_build() {
+        let mut p = TestPointer::new();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        // 8th node allocation poll: tree half-built at migration.
+        let run = run_migrating(
+            TestPointer::new,
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(8),
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None, "{:?}", run.results);
+        assert_eq!(run.report.chain_depth, 2);
+        // Aliased pointers must have been collected once and referenced
+        // thereafter (paper: "despite multiple references to MSR's
+        // significant nodes, all memory blocks and pointers are collected
+        // and restored without duplication").
+        assert!(run.report.collect_stats.ptr_ref >= 3);
+    }
+
+    #[test]
+    fn migration_to_lp64_works() {
+        let mut p = TestPointer::new();
+        let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+        let run = run_migrating(
+            TestPointer::new,
+            Architecture::dec5000(),
+            Architecture::x86_64_sim(),
+            NetworkModel::gigabit(),
+            Trigger::AtPollCount(3),
+        )
+        .unwrap();
+        assert_eq!(crate::diff_results(&expect, &run.results), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! # hpm-xdr — External Data Representation codec
+//!
+//! The second software layer of the paper's stack (§4): "XDR routines are
+//! used to translate primitive data values such as char, int, float of a
+//! specific architecture into a machine-independent format."
+//!
+//! This is a self-contained implementation of the XDR wire format
+//! (RFC 1832 subset): all quantities are big-endian and every item is
+//! padded to a multiple of four bytes. The MSRM library (`hpm-core`)
+//! builds its migration-image stream on top of these primitives, exactly
+//! as the paper's prototype sat on Sun's XDR library.
+//!
+//! ```
+//! use hpm_xdr::{XdrEncoder, XdrDecoder};
+//!
+//! let mut enc = XdrEncoder::new();
+//! enc.put_i32(-7);
+//! enc.put_f64(2.5);
+//! enc.put_string("hello");
+//! let bytes = enc.into_bytes();
+//!
+//! let mut dec = XdrDecoder::new(&bytes);
+//! assert_eq!(dec.get_i32().unwrap(), -7);
+//! assert_eq!(dec.get_f64().unwrap(), 2.5);
+//! assert_eq!(dec.get_string().unwrap(), "hello");
+//! assert!(dec.is_empty());
+//! ```
+
+mod decode;
+mod encode;
+mod error;
+
+pub use decode::XdrDecoder;
+pub use encode::XdrEncoder;
+pub use error::XdrError;
+
+/// Round a byte count up to the XDR 4-byte boundary.
+pub fn padded_len(n: usize) -> usize {
+    (n + 3) & !3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_len_values() {
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(1), 4);
+        assert_eq!(padded_len(4), 4);
+        assert_eq!(padded_len(5), 8);
+        assert_eq!(padded_len(8), 8);
+    }
+
+    /// Golden vectors from RFC 1832 §3: the canonical encodings.
+    #[test]
+    fn rfc1832_golden_int() {
+        let mut e = XdrEncoder::new();
+        e.put_i32(-2);
+        assert_eq!(e.into_bytes(), vec![0xFF, 0xFF, 0xFF, 0xFE]);
+    }
+
+    #[test]
+    fn rfc1832_golden_hyper() {
+        let mut e = XdrEncoder::new();
+        e.put_i64(-1);
+        assert_eq!(e.into_bytes(), vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn rfc1832_golden_string() {
+        // "sillyprog" from the RFC's example: length 9 + 3 pad bytes.
+        let mut e = XdrEncoder::new();
+        e.put_string("sillyprog");
+        let b = e.into_bytes();
+        assert_eq!(b.len(), 16);
+        assert_eq!(&b[0..4], &[0, 0, 0, 9]);
+        assert_eq!(&b[4..13], b"sillyprog");
+        assert_eq!(&b[13..16], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn float_is_ieee_big_endian() {
+        let mut e = XdrEncoder::new();
+        e.put_f32(1.0);
+        assert_eq!(e.into_bytes(), vec![0x3F, 0x80, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn double_is_ieee_big_endian() {
+        let mut e = XdrEncoder::new();
+        e.put_f64(1.0);
+        assert_eq!(e.into_bytes(), vec![0x3F, 0xF0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn full_roundtrip_mixed() {
+        let mut e = XdrEncoder::new();
+        e.put_bool(true);
+        e.put_i32(i32::MIN);
+        e.put_u32(u32::MAX);
+        e.put_i64(i64::MIN);
+        e.put_u64(u64::MAX);
+        e.put_f32(-0.0);
+        e.put_f64(f64::MIN_POSITIVE);
+        e.put_opaque_var(&[1, 2, 3]);
+        e.put_opaque_fixed(&[9, 8, 7, 6, 5]);
+        e.put_string("μ unicode ok");
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len() % 4, 0);
+
+        let mut d = XdrDecoder::new(&bytes);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_i32().unwrap(), i32::MIN);
+        assert_eq!(d.get_u32().unwrap(), u32::MAX);
+        assert_eq!(d.get_i64().unwrap(), i64::MIN);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(d.get_f64().unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(d.get_opaque_var().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.get_opaque_fixed(5).unwrap(), vec![9, 8, 7, 6, 5]);
+        assert_eq!(d.get_string().unwrap(), "μ unicode ok");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn nan_payload_preserved() {
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let mut e = XdrEncoder::new();
+        e.put_f64(weird);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.get_f64().unwrap().to_bits(), weird.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn i32_roundtrip(v in any::<i32>()) {
+            let mut e = XdrEncoder::new();
+            e.put_i32(v);
+            let b = e.into_bytes();
+            prop_assert_eq!(b.len(), 4);
+            prop_assert_eq!(XdrDecoder::new(&b).get_i32().unwrap(), v);
+        }
+
+        #[test]
+        fn u64_roundtrip(v in any::<u64>()) {
+            let mut e = XdrEncoder::new();
+            e.put_u64(v);
+            prop_assert_eq!(XdrDecoder::new(&e.into_bytes()).get_u64().unwrap(), v);
+        }
+
+        #[test]
+        fn f64_bits_roundtrip(bits in any::<u64>()) {
+            let v = f64::from_bits(bits);
+            let mut e = XdrEncoder::new();
+            e.put_f64(v);
+            let got = XdrDecoder::new(&e.into_bytes()).get_f64().unwrap();
+            prop_assert_eq!(got.to_bits(), bits);
+        }
+
+        #[test]
+        fn opaque_var_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let mut e = XdrEncoder::new();
+            e.put_opaque_var(&data);
+            let b = e.into_bytes();
+            prop_assert_eq!(b.len() % 4, 0);
+            prop_assert_eq!(XdrDecoder::new(&b).get_opaque_var().unwrap(), data);
+        }
+
+        #[test]
+        fn string_roundtrip(s in "\\PC{0,40}") {
+            let mut e = XdrEncoder::new();
+            e.put_string(&s);
+            prop_assert_eq!(XdrDecoder::new(&e.into_bytes()).get_string().unwrap(), s);
+        }
+
+        #[test]
+        fn mixed_sequence_roundtrip(items in proptest::collection::vec(any::<(i32, u64, f32)>(), 0..30)) {
+            let mut e = XdrEncoder::new();
+            for (a, b, c) in &items {
+                e.put_i32(*a);
+                e.put_u64(*b);
+                e.put_f32(*c);
+            }
+            let bytes = e.into_bytes();
+            let mut d = XdrDecoder::new(&bytes);
+            for (a, b, c) in &items {
+                prop_assert_eq!(d.get_i32().unwrap(), *a);
+                prop_assert_eq!(d.get_u64().unwrap(), *b);
+                prop_assert_eq!(d.get_f32().unwrap().to_bits(), c.to_bits());
+            }
+            prop_assert!(d.is_empty());
+        }
+
+        #[test]
+        fn i32_array_roundtrip(v in proptest::collection::vec(any::<i32>(), 0..64)) {
+            let mut e = XdrEncoder::new();
+            e.put_i32_array(&v);
+            prop_assert_eq!(XdrDecoder::new(&e.into_bytes()).get_i32_array().unwrap(), v);
+        }
+
+        #[test]
+        fn f64_array_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..64)) {
+            let mut e = XdrEncoder::new();
+            e.put_f64_array(&v);
+            let got = XdrDecoder::new(&e.into_bytes()).get_f64_array().unwrap();
+            prop_assert_eq!(got.len(), v.len());
+            for (a, b) in got.iter().zip(&v) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn truncated_input_errors_not_panics(v in any::<u64>(), cut in 0usize..8) {
+            let mut e = XdrEncoder::new();
+            e.put_u64(v);
+            let b = e.into_bytes();
+            let mut d = XdrDecoder::new(&b[..cut]);
+            prop_assert!(d.get_u64().is_err());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's §5 future work: a scheduler built on the migration
+//! mechanisms. Jobs are preempted *by migrating them to nowhere* — the
+//! machine-independent migration image doubles as a checkpoint — and the
+//! cluster load-balancer moves suspended jobs between machines of
+//! different architectures as freely as resuming them locally.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_scheduler
+//! ```
+
+use hpm::arch::Architecture;
+use hpm::migrate::{MigratableProgram, Scheduler};
+use hpm::net::NetworkModel;
+use hpm::workloads::{BitonicSort, Linpack, TestPointer};
+
+fn main() {
+    let mut sched = Scheduler::new(500 /* poll quantum */, NetworkModel::ethernet_100());
+    let dec = sched.add_machine("dec5000", Architecture::dec5000());
+    let _sparc = sched.add_machine("sparc20", Architecture::sparc20());
+    let _x64 = sched.add_machine("x86-64", Architecture::x86_64_sim());
+
+    // Six jobs, all submitted to one machine: the balancer must spread
+    // them, and every move crosses an architecture boundary.
+    for k in 0..3u64 {
+        let n = 2_000 + k * 500;
+        sched.submit(dec, &format!("bitonic-{n}"), move || {
+            Box::new(BitonicSort::new(n)) as Box<dyn MigratableProgram + Send>
+        });
+    }
+    sched.submit(dec, "linpack-64", || {
+        Box::new(Linpack::full(64)) as Box<dyn MigratableProgram + Send>
+    });
+    sched.submit(dec, "test_pointer", || {
+        Box::new(TestPointer::new()) as Box<dyn MigratableProgram + Send>
+    });
+
+    sched.run_to_completion(200).expect("all jobs finish");
+
+    println!("machines:");
+    for m in &sched.machines {
+        println!("  {:<10} ({}) finished {} job(s)", m.name, m.arch.name, m.jobs.len());
+        for j in &m.jobs {
+            let summary = j
+                .results()
+                .map(|r| {
+                    r.iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .unwrap_or_default();
+            println!(
+                "    {:<14} slices {:>3}  moved {:>2}x  checkpoint bytes {:>8}  {}",
+                j.label,
+                j.slices,
+                j.migrations,
+                j.bytes_moved,
+                &summary[..summary.len().min(60)]
+            );
+        }
+    }
+    println!(
+        "\nscheduler: {} slices, {} checkpoints, {} rebalances, modeled tx {:.4}s",
+        sched.stats.slices,
+        sched.stats.checkpoints,
+        sched.stats.rebalances,
+        sched.stats.tx_time.as_secs_f64()
+    );
+}

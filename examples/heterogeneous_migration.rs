@@ -1,0 +1,90 @@
+//! The paper's §4.1 experiment, end to end: migrate the three evaluation
+//! programs from a DEC 5000/120 (little-endian) to a SPARC 20
+//! (big-endian) over 10 Mb/s Ethernet — first deterministically
+//! (single-threaded driver), then live on a two-machine cluster with a
+//! scheduler thread delivering the migration request.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_migration
+//! ```
+
+use hpm::arch::Architecture;
+use hpm::migrate::{run_migrating, run_straight, Trigger, TwoMachineCluster};
+use hpm::net::NetworkModel;
+use hpm::workloads::{diff_results, BitonicSort, Linpack, TestPointer};
+
+fn main() {
+    println!("=== deterministic driver: DEC 5000/120 → SPARC 20, 10 Mb/s ===\n");
+
+    // test_pointer: trees, aliased pointers, interior pointers, a cycle.
+    let mut p = TestPointer::new();
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    let run = run_migrating(
+        TestPointer::new,
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(8),
+    )
+    .unwrap();
+    report("test_pointer", &expect, &run);
+
+    // linpack: full Ax=b solve, migrated mid-factorization.
+    let n = 150;
+    let mut p = Linpack::full(n);
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    let run = run_migrating(
+        move || Linpack::full(n),
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(n / 2),
+    )
+    .unwrap();
+    report(&format!("linpack {n}x{n}"), &expect, &run);
+
+    // bitonic: BST of random ints, migrated mid-insertion (the RNG state
+    // migrates too, so the destination continues the same sequence).
+    let n = 10_000;
+    let mut p = BitonicSort::new(n);
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    let run = run_migrating(
+        move || BitonicSort::new(n),
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(n / 2),
+    )
+    .unwrap();
+    report(&format!("bitonic {n}"), &expect, &run);
+
+    println!("\n=== live cluster: scheduler thread + source/destination machine threads ===\n");
+    let cluster = TwoMachineCluster::paper_heterogeneous();
+    let creport = cluster
+        .run(move || BitonicSort::new(30_000), 5 /* request after 5 ms */)
+        .unwrap();
+    println!(
+        "bitonic 30000 over the wire: image {} bytes, collect {:.4}s, tx {:.4}s, restore {:.4}s, {} polls before the request landed",
+        creport.image_bytes,
+        creport.collect_time.as_secs_f64(),
+        creport.tx_time.as_secs_f64(),
+        creport.restore_time.as_secs_f64(),
+        creport.src_polls,
+    );
+    let sorted = creport.results.iter().find(|(k, _)| k == "sorted").unwrap();
+    println!("destination reports sorted = {}", sorted.1);
+}
+
+fn report(name: &str, expect: &[(String, String)], run: &hpm::migrate::MigrationRun) {
+    let consistent = diff_results(expect, &run.results).is_none();
+    let r = &run.report;
+    println!(
+        "{name:<16} image {:>9} B  collect {:.4}s  tx {:.4}s  restore {:.4}s  chain depth {}  consistent: {consistent}",
+        r.image_bytes,
+        r.collect_time.as_secs_f64(),
+        r.tx_time.as_secs_f64(),
+        r.restore_time.as_secs_f64(),
+        r.chain_depth,
+    );
+    assert!(consistent, "migrated results diverged for {name}");
+}

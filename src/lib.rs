@@ -1,0 +1,14 @@
+//! # hpm — heterogeneous process migration (umbrella crate)
+//!
+//! Re-exports the whole system. See the README for a tour and DESIGN.md
+//! for the paper-to-module map.
+
+pub use hpm_annotate as annotate;
+pub use hpm_arch as arch;
+pub use hpm_core as core;
+pub use hpm_memory as memory;
+pub use hpm_migrate as migrate;
+pub use hpm_net as net;
+pub use hpm_types as types;
+pub use hpm_workloads as workloads;
+pub use hpm_xdr as xdr;

@@ -1,0 +1,115 @@
+//! Integration test: the §4.2 complexity model, verified on the
+//! instrumented counters rather than noisy wall clocks.
+//!
+//! `Collect = MSRLT_search + Encode_and_Copy` — the search term is
+//! O(n log n) over the n live MSR nodes; the copy term is O(ΣDᵢ).
+//! `Restore = MSRLT_update + Decode_and_Copy` — the update term is O(n).
+
+use hpm::arch::Architecture;
+use hpm::migrate::{resume_from_image, run_to_migration, MigratedSource, Trigger};
+use hpm::workloads::{BitonicSort, Linpack};
+
+fn freeze_bitonic(n: u64) -> MigratedSource {
+    let mut p = BitonicSort::new(n);
+    run_to_migration(&mut p, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap()
+}
+
+fn freeze_linpack(n: u64) -> MigratedSource {
+    let mut p = Linpack::truncated(n, 2);
+    run_to_migration(&mut p, Architecture::ultra5(), Trigger::AtPollCount(1)).unwrap()
+}
+
+#[test]
+fn bitonic_search_count_is_linear_in_nodes() {
+    // One MSRLT search per pointer chased; the tree has ~n nodes each
+    // with 2 child pointers plus the root/globals.
+    let n = 4_000;
+    let mut src = freeze_bitonic(n);
+    src.proc.msrlt.reset_stats();
+    let (_, _, stats) = src.collect().unwrap();
+    let s = src.proc.msrlt.stats();
+    assert!(stats.blocks_saved >= n - 1);
+    let per_node = s.searches as f64 / stats.blocks_saved as f64;
+    assert!(
+        per_node > 0.8 && per_node < 3.0,
+        "searches per node should be O(1): {per_node} ({s:?})"
+    );
+}
+
+#[test]
+fn bitonic_search_steps_grow_logarithmically() {
+    // steps/search ≈ log2(n): quadrupling n adds ~2 comparisons.
+    let mut per_search = Vec::new();
+    for n in [2_000u64, 8_000, 32_000] {
+        let mut src = freeze_bitonic(n);
+        src.proc.msrlt.reset_stats();
+        let _ = src.collect().unwrap();
+        let s = src.proc.msrlt.stats();
+        per_search.push(s.search_steps as f64 / s.searches as f64);
+    }
+    let d1 = per_search[1] - per_search[0];
+    let d2 = per_search[2] - per_search[1];
+    assert!(
+        d1 > 1.0 && d1 < 3.5 && d2 > 1.0 && d2 < 3.5,
+        "each 4x in n should add ~log2(4)=2 steps per search: {per_search:?}"
+    );
+}
+
+#[test]
+fn linpack_search_count_constant_as_size_grows() {
+    // §4.2: "Since the number of MSR nodes does not increase when the
+    // problem size scales up, the MSRLT search time … held constant."
+    let mut counts = Vec::new();
+    let mut bytes = Vec::new();
+    for n in [100u64, 200, 400] {
+        let mut src = freeze_linpack(n);
+        src.proc.msrlt.reset_stats();
+        let (payload, _, _) = src.collect().unwrap();
+        counts.push(src.proc.msrlt.stats().searches);
+        bytes.push(payload.len() as f64);
+    }
+    assert_eq!(counts[0], counts[2], "search count independent of matrix order: {counts:?}");
+    // Payload scales ~quadratically in n (matrix bytes dominate).
+    let r1 = bytes[1] / bytes[0];
+    let r2 = bytes[2] / bytes[1];
+    assert!(r1 > 3.5 && r1 < 4.5, "{bytes:?}");
+    assert!(r2 > 3.5 && r2 < 4.5, "{bytes:?}");
+}
+
+#[test]
+fn restore_updates_are_linear_and_search_free() {
+    // Restoration never searches: blocks are found/created by id.
+    let n = 4_000;
+    let mut src = freeze_bitonic(n);
+    let image = src.to_image().unwrap();
+    let mut dst_prog = BitonicSort::new(n);
+    let (_, dst, rstats, _) =
+        resume_from_image(&mut dst_prog, Architecture::ultra5(), &image).unwrap();
+    let s = dst.msrlt.stats();
+    assert!(rstats.blocks_allocated >= n - 1, "{rstats:?}");
+    // Searches on the destination come only from restore_variable root
+    // lookups and resumed execution — far fewer than one per block.
+    assert!(
+        s.searches < rstats.blocks_restored / 2,
+        "restoration must not search per block: {} searches for {} blocks",
+        s.searches,
+        rstats.blocks_restored
+    );
+}
+
+#[test]
+fn collect_equals_restore_payload() {
+    // Conservation: bytes out == bytes in, blocks out == blocks in.
+    let n = 1_000;
+    let mut src = freeze_bitonic(n);
+    let (payload, _, cs) = src.collect().unwrap();
+    let image = src.to_image().unwrap();
+    let mut dst_prog = BitonicSort::new(n);
+    let (_, _, rs, _) = resume_from_image(&mut dst_prog, Architecture::sparc20(), &image).unwrap();
+    assert_eq!(rs.bytes_in, payload.len() as u64);
+    assert_eq!(rs.blocks_restored, cs.blocks_saved);
+    assert_eq!(rs.ptr_null, cs.ptr_null);
+    assert_eq!(rs.ptr_ref, cs.ptr_ref);
+    assert_eq!(rs.ptr_new, cs.ptr_new);
+    assert_eq!(rs.scalars_decoded, cs.scalars_encoded);
+}

@@ -1,0 +1,119 @@
+//! Integration test: the paper's Figure 1 illustrative example,
+//! reproduced end to end — snapshot shape, collection behavior, and a
+//! full heterogeneous migration resuming mid-loop.
+
+use hpm::arch::Architecture;
+use hpm::core::MsrGraph;
+use hpm::migrate::{run_migrating, run_straight, run_to_migration, Trigger};
+use hpm::net::NetworkModel;
+use hpm::workloads::{diff_results, Figure1};
+
+/// Figure 1(b): at the snapshot (fifth `foo` call, before `malloc`) the
+/// memory space holds exactly the 12 blocks the paper draws: `first`,
+/// `last`, `i`, `a`, `b`, `parray`, four heap nodes, `p`, `q`.
+#[test]
+fn figure1_snapshot_has_twelve_vertices() {
+    let mut program = Figure1::new();
+    let mut src =
+        run_to_migration(&mut program, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let g = MsrGraph::snapshot(&mut src.proc.space, &mut src.proc.msrlt).unwrap();
+    assert_eq!(g.vertex_count(), 12);
+
+    let labels: Vec<&str> = g.vertices.iter().map(|v| v.label.as_str()).collect();
+    for name in ["first", "last", "i", "a", "b", "parray", "p", "q"] {
+        assert!(labels.contains(&name), "missing {name} in {labels:?}");
+    }
+    let heap_nodes = g.vertices.iter().filter(|v| v.segment == "heap").count();
+    assert_eq!(heap_nodes, 4, "four foo() calls completed before the snapshot");
+
+    // Segments match the figure: 2 globals, 4 heap, 6 stack (i, a, b,
+    // parray in main; p, q in foo).
+    let stack_nodes = g.vertices.iter().filter(|v| v.segment == "stack").count();
+    assert_eq!(stack_nodes, 6);
+}
+
+/// §3.2 walkthrough: collecting `p` (v11) first drags in `parray` (v6)
+/// and all four nodes inline; `first` afterwards contributes only a
+/// visited reference.
+#[test]
+fn figure1_collection_order_and_no_duplication() {
+    let mut program = Figure1::new();
+    let mut src =
+        run_to_migration(&mut program, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let (_payload, exec, stats) = src.collect().unwrap();
+    assert_eq!(exec.depth(), 2, "main → foo");
+    assert_eq!(exec.frames[0].function, "main");
+    assert_eq!(exec.frames[1].function, "foo");
+    assert_eq!(stats.blocks_saved, 12, "every vertex saved exactly once");
+    // first→node1, last→node4, the parray slots already covered, and the
+    // node back-links produce visited references rather than re-saves.
+    assert!(stats.ptr_ref >= 4, "{stats:?}");
+    // parray has 6 NULL slots at i == 4 (indices 4..9; slot 4 is written
+    // only after foo returns).
+    assert_eq!(stats.ptr_null, 6, "{stats:?}");
+}
+
+/// Migrating at the paper's exact point, across the true-heterogeneity
+/// pair, and resuming to completion produces the same final state as an
+/// unmigrated run.
+#[test]
+fn figure1_migration_resumes_mid_loop() {
+    let mut p = Figure1::new();
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    for (src, dst) in [
+        (Architecture::dec5000(), Architecture::sparc20()),
+        (Architecture::sparc20(), Architecture::dec5000()),
+        (Architecture::dec5000(), Architecture::x86_64_sim()),
+    ] {
+        let run = run_migrating(
+            Figure1::new,
+            src.clone(),
+            dst.clone(),
+            NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(5),
+        )
+        .unwrap();
+        assert_eq!(
+            diff_results(&expect, &run.results),
+            None,
+            "{} → {}",
+            src.name,
+            dst.name
+        );
+    }
+}
+
+/// The DOT export is syntactically plausible and complete.
+#[test]
+fn figure1_dot_export() {
+    let mut program = Figure1::new();
+    let mut src =
+        run_to_migration(&mut program, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let g = MsrGraph::snapshot(&mut src.proc.space, &mut src.proc.msrlt).unwrap();
+    let dot = g.to_dot();
+    assert!(dot.starts_with("digraph msr {"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    for seg in ["cluster_global", "cluster_heap", "cluster_stack"] {
+        assert!(dot.contains(seg));
+    }
+}
+
+/// Migrating at *every* possible poll count produces consistent results:
+/// the migration point placement never changes program semantics.
+#[test]
+fn figure1_every_migration_point_is_safe() {
+    let mut p = Figure1::new();
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    for at in 1..=10 {
+        let run = run_migrating(
+            Figure1::new,
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            NetworkModel::instant(),
+            Trigger::AtPollCount(at),
+        )
+        .unwrap();
+        assert_eq!(diff_results(&expect, &run.results), None, "poll count {at}");
+    }
+}

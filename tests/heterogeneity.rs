@@ -1,0 +1,151 @@
+//! Integration test: the §4.1 heterogeneity matrix — every workload
+//! migrates correctly between every ordered pair of architectures,
+//! including the truly mixed-endian DEC↔SPARC pair and the 32↔64-bit
+//! pointer-width pairs the paper's model permits.
+
+use hpm::arch::Architecture;
+use hpm::migrate::{run_migrating, run_straight, Trigger};
+use hpm::net::NetworkModel;
+use hpm::workloads::{diff_results, BitonicSort, Linpack, TestPointer};
+
+fn archs() -> Vec<Architecture> {
+    vec![Architecture::dec5000(), Architecture::sparc20(), Architecture::x86_64_sim()]
+}
+
+#[test]
+fn test_pointer_full_matrix() {
+    let mut p = TestPointer::new();
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    for src in archs() {
+        for dst in archs() {
+            let run = run_migrating(
+                TestPointer::new,
+                src.clone(),
+                dst.clone(),
+                NetworkModel::instant(),
+                Trigger::AtPollCount(6),
+            )
+            .unwrap();
+            assert_eq!(
+                diff_results(&expect, &run.results),
+                None,
+                "{} → {}",
+                src.name,
+                dst.name
+            );
+        }
+    }
+}
+
+#[test]
+fn linpack_bitwise_float_accuracy_across_endianness() {
+    // §4.1: "The data collection and restoration process preserves the
+    // high-order floating point accuracy." We check bit-exactness: the
+    // migrated solve produces the same IEEE-754 bit patterns.
+    let n = 48;
+    let mut p = Linpack::full(n);
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    let bits = expect.iter().find(|(k, _)| k == "solution_bits").unwrap().1.clone();
+    for (src, dst) in [
+        (Architecture::dec5000(), Architecture::sparc20()),
+        (Architecture::sparc20(), Architecture::x86_64_sim()),
+        (Architecture::x86_64_sim(), Architecture::dec5000()),
+    ] {
+        let run = run_migrating(
+            move || Linpack::full(n),
+            src,
+            dst,
+            NetworkModel::instant(),
+            Trigger::AtPollCount(n / 3),
+        )
+        .unwrap();
+        let got = run.results.iter().find(|(k, _)| k == "solution_bits").unwrap();
+        assert_eq!(got.1, bits, "float bits must survive the format conversions");
+    }
+}
+
+#[test]
+fn bitonic_random_stream_continues_on_destination() {
+    // The LCG state lives in simulated memory, so the destination draws
+    // the same numbers the source would have.
+    let n = 3_000;
+    let mut p = BitonicSort::new(n);
+    let (expect, _) = run_straight(&mut p, Architecture::sparc20()).unwrap();
+    let run = run_migrating(
+        move || BitonicSort::new(n),
+        Architecture::sparc20(),
+        Architecture::dec5000(),
+        NetworkModel::instant(),
+        Trigger::AtPollCount(n / 4),
+    )
+    .unwrap();
+    assert_eq!(diff_results(&expect, &run.results), None);
+}
+
+#[test]
+fn pooled_bitonic_migrates_between_pointer_widths() {
+    // Interior pointers into the pool block must retarget correctly when
+    // the element stride changes (12 bytes on ILP32, 24 on LP64).
+    let n = 2_000;
+    let mut p = BitonicSort::pooled(n);
+    let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
+    for (src, dst) in [
+        (Architecture::dec5000(), Architecture::x86_64_sim()),
+        (Architecture::x86_64_sim(), Architecture::sparc20()),
+    ] {
+        let run = run_migrating(
+            move || BitonicSort::pooled(n),
+            src,
+            dst,
+            NetworkModel::instant(),
+            Trigger::AtPollCount(n / 2),
+        )
+        .unwrap();
+        assert_eq!(diff_results(&expect, &run.results), None);
+        assert!(
+            run.report.collect_stats.blocks_saved < 20,
+            "the pool travels as a handful of blocks: {:?}",
+            run.report.collect_stats
+        );
+    }
+}
+
+#[test]
+fn migration_image_is_identical_regardless_of_source_arch() {
+    // The wire format is fully machine-independent: the same program
+    // state produces byte-identical memory payloads on different
+    // machines (header differs; payload must not).
+    use hpm::migrate::run_to_migration;
+    let make = || TestPointer::new();
+    let mut a = run_to_migration(&mut make(), Architecture::dec5000(), Trigger::AtPollCount(6))
+        .unwrap();
+    let mut b = run_to_migration(&mut make(), Architecture::sparc20(), Trigger::AtPollCount(6))
+        .unwrap();
+    let (pa, ea, _) = a.collect().unwrap();
+    let (pb, eb, _) = b.collect().unwrap();
+    assert_eq!(ea, eb, "execution state identical");
+    assert_eq!(pa, pb, "memory payload byte-identical across architectures");
+}
+
+#[test]
+fn tx_time_reflects_link_speed() {
+    let n = 2_000;
+    let slow = run_migrating(
+        move || BitonicSort::new(n),
+        Architecture::ultra5(),
+        Architecture::ultra5(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(n),
+    )
+    .unwrap();
+    let fast = run_migrating(
+        move || BitonicSort::new(n),
+        Architecture::ultra5(),
+        Architecture::ultra5(),
+        NetworkModel::ethernet_100(),
+        Trigger::AtPollCount(n),
+    )
+    .unwrap();
+    let ratio = slow.report.tx_time.as_secs_f64() / fast.report.tx_time.as_secs_f64();
+    assert!(ratio > 5.0, "10 Mb/s should be ~10x slower than 100 Mb/s, got {ratio}");
+}

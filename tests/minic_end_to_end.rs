@@ -1,0 +1,290 @@
+//! Integration test: the full pre-compiler pipeline — parse → safety
+//! screen → liveness → bytecode → heterogeneous migration — on programs
+//! exercising the language end to end.
+
+use hpm::annotate::{annotate_source, check_migration_safety, parse, MiniCProcess};
+use hpm::arch::Architecture;
+use hpm::migrate::{run_migrating, run_straight, Trigger};
+use hpm::net::NetworkModel;
+
+fn straight(src: &str) -> Vec<(String, String)> {
+    let mut p = MiniCProcess::from_source(src).unwrap();
+    run_straight(&mut p, Architecture::dec5000()).unwrap().0
+}
+
+fn migrated(src: &str, at: u64) -> Vec<(String, String)> {
+    run_migrating(
+        || MiniCProcess::from_source(src).unwrap(),
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::instant(),
+        Trigger::AtPollCount(at),
+    )
+    .unwrap()
+    .results
+}
+
+#[test]
+fn binary_tree_program_migrates() {
+    let src = r#"
+        struct node { int v; struct node *l; struct node *r; };
+        struct node *root;
+        unsigned int rng;
+
+        int next_random() {
+            rng = rng * 1664525 + 1013904223;
+            return (rng / 256) % 100000;
+        }
+
+        int insert(int value) {
+            struct node *n;
+            struct node *cur;
+            n = (struct node *) malloc(sizeof(struct node));
+            n->v = value;
+            n->l = 0;
+            n->r = 0;
+            if (root == 0) { root = n; return 0; }
+            cur = root;
+            while (1) {
+                if (value < cur->v) {
+                    if (cur->l == 0) { cur->l = n; return 0; }
+                    cur = cur->l;
+                } else {
+                    if (cur->r == 0) { cur->r = n; return 0; }
+                    cur = cur->r;
+                }
+            }
+        }
+
+        int main() {
+            int i;
+            int v;
+            int count;
+            int prev;
+            int ok;
+            struct node *stackless;
+            rng = 12345;
+            root = 0;
+            for (i = 0; i < 800; i++) {
+                v = next_random();
+                v = insert(v);
+            }
+            print("done", 1);
+            return 0;
+        }
+    "#;
+    let expect = straight(src);
+    // Migrate mid-build: some tree on the source, the rest grown on the
+    // destination with the migrated RNG state.
+    for at in [50, 400, 1200] {
+        assert_eq!(expect, migrated(src, at), "trigger at poll {at}");
+    }
+}
+
+#[test]
+fn recursion_chain_migration() {
+    // Migration fires deep inside a recursive call chain: the execution
+    // state records one frame per recursion level and re-entry rebuilds
+    // the whole chain.
+    let src = r#"
+        int depth_sum(int d) {
+            int i;
+            int acc;
+            int sub;
+            acc = 0;
+            for (i = 0; i < 40; i++) { acc = acc + i; }
+            if (d == 0) { return acc; }
+            sub = depth_sum(d - 1);
+            return acc + sub;
+        }
+        int main() {
+            int r;
+            r = depth_sum(12);
+            print("r", r);
+            return 0;
+        }
+    "#;
+    let expect = straight(src);
+    let run = run_migrating(
+        || MiniCProcess::from_source(src).unwrap(),
+        Architecture::dec5000(),
+        Architecture::x86_64_sim(),
+        NetworkModel::instant(),
+        Trigger::AtPollCount(300),
+    )
+    .unwrap();
+    assert_eq!(expect, run.results);
+    assert!(
+        run.report.chain_depth > 3,
+        "migration should fire deep in the recursion: depth {}",
+        run.report.chain_depth
+    );
+}
+
+#[test]
+fn arrays_and_doubles_migrate() {
+    let src = r#"
+        int main() {
+            double acc[8];
+            int i;
+            int k;
+            double total;
+            for (i = 0; i < 8; i++) { acc[i] = 0.0; }
+            for (k = 0; k < 500; k++) {
+                acc[k % 8] = acc[k % 8] + 0.125 * k;
+            }
+            total = 0.0;
+            for (i = 0; i < 8; i++) { total = total + acc[i]; }
+            print("total", total);
+            return 0;
+        }
+    "#;
+    let expect = straight(src);
+    assert_eq!(expect, migrated(src, 250));
+}
+
+#[test]
+fn dead_variables_not_saved() {
+    // The pre-compiler's liveness analysis keeps dead locals out of the
+    // migration image — check via the annotated listing.
+    let src = "int main() { int live; int dead; dead = 1; live = 2; \
+               while (live < 1000) { live = live + 1; } print(\"v\", live); return 0; }";
+    let (_, sites) = annotate_source(src).unwrap();
+    let lh = sites.iter().find(|s| s.kind == "loop-header").unwrap();
+    assert!(lh.live.contains(&"live".to_string()));
+    assert!(!lh.live.contains(&"dead".to_string()), "{lh:?}");
+    // And the program still migrates correctly.
+    let expect = straight(src);
+    assert_eq!(expect, migrated(src, 500));
+}
+
+#[test]
+fn unsafe_programs_are_screened_out() {
+    // Parse-level rejections.
+    for bad in [
+        "union u { int a; float b; };",
+        "int main() { goto x; }",
+        "int f(int a, ...) { return a; }",
+        "int main() { int (*fp)(int); return 0; }",
+    ] {
+        assert!(parse(bad).is_err(), "{bad}");
+    }
+    // Cast-screen rejections compile-stop via MiniCProcess.
+    let bad = "int main() { int x; int *p; p = &x; x = (int) p; return x; }";
+    let ast = parse(bad).unwrap();
+    assert!(!check_migration_safety(&ast).is_empty());
+    assert!(MiniCProcess::from_source(bad).is_err());
+}
+
+#[test]
+fn free_and_reuse_across_migration() {
+    // Freed blocks must not be collected; reallocation reuses space.
+    let src = r#"
+        struct cell { int v; struct cell *next; };
+        struct cell *keep;
+        int main() {
+            int i;
+            struct cell *tmp;
+            keep = 0;
+            for (i = 0; i < 400; i++) {
+                tmp = (struct cell *) malloc(sizeof(struct cell));
+                tmp->v = i;
+                if (i % 2 == 0) {
+                    tmp->next = keep;
+                    keep = tmp;
+                } else {
+                    free(tmp);
+                }
+            }
+            i = 0;
+            tmp = keep;
+            while (tmp != 0) { i = i + 1; tmp = tmp->next; }
+            print("kept", i);
+            return 0;
+        }
+    "#;
+    let expect = straight(src);
+    assert_eq!(expect, migrated(src, 200));
+    let kept = expect.iter().find(|(k, _)| k == "kept").unwrap();
+    assert_eq!(kept.1, "200");
+}
+
+#[test]
+fn sizeof_is_architecture_dependent_but_results_agree() {
+    // sizeof(long) differs across machines; programs that *branch* on it
+    // still produce consistent results when the logic is
+    // size-independent.
+    let src = "int main() { int s; s = sizeof(double) + sizeof(int); print(\"s\", s); return 0; }";
+    let r = straight(src);
+    assert_eq!(r.iter().find(|(k, _)| k == "s").unwrap().1, "12");
+}
+
+#[test]
+fn annotation_matches_execution_sites() {
+    let src = "int work(int n) { int i; int a; a = 0; for (i = 0; i < n; i++) { a = a + 1; } return a; }\n\
+               int main() { int x; x = work(50000); print(\"x\", x); return 0; }";
+    let (listing, sites) = annotate_source(src).unwrap();
+    assert!(listing.contains("MIG_POLL"));
+    let p = MiniCProcess::from_source(src).unwrap();
+    // Compiled sites mirror the annotated sites (minus function entries,
+    // which the bytecode does not poll).
+    let compiled = p.program().sites.len();
+    let annotated_non_entry = sites.iter().filter(|s| s.kind != "entry").count();
+    assert_eq!(compiled, annotated_non_entry, "{sites:?}");
+}
+
+#[test]
+fn figure1_program_runs_in_minic() {
+    // The paper's Figure 1 program, almost verbatim, through the whole
+    // pre-compiler pipeline. (The VM's pre-compiler places poll-points at
+    // loop headers, so migration fires at main's `for` header rather than
+    // inside `foo` — a policy difference, not a mechanism one.)
+    let src = r#"
+        struct node { float data; struct node *link; };
+        struct node *first;
+        struct node *last;
+
+        void foo(struct node **p, int **q) {
+            *p = (struct node *) malloc(sizeof(struct node));
+            (*p)->data = 10.5;
+            (**q)++;
+        }
+
+        int main() {
+            int i;
+            int a;
+            int *b;
+            struct node *parray[10];
+            int hops;
+            struct node *cur;
+            a = 1;
+            b = &a;
+            for (i = 0; i < 10; i++) {
+                foo(&parray[i], &b);
+                first = parray[0];
+                last = parray[i];
+                first->link = last;
+                if (i > 0) parray[i]->link = parray[i - 1];
+            }
+            print("a", a);
+            hops = 0;
+            cur = first;
+            while (cur != 0 && hops < 10) {
+                print("data", cur->data);
+                cur = cur->link;
+                hops = hops + 1;
+            }
+            print("hops", hops);
+            return 0;
+        }
+    "#;
+    let expect = straight(src);
+    let a = expect.iter().find(|(k, _)| k == "a").unwrap();
+    assert_eq!(a.1, "11", "ten (**q)++ increments");
+    let hops = expect.iter().find(|(k, _)| k == "hops").unwrap();
+    assert_eq!(hops.1, "10", "first reaches all ten nodes");
+    // Migrate at several loop iterations across the mixed-endian pair.
+    for at in [2u64, 5, 9] {
+        assert_eq!(expect, migrated(src, at), "migrated at poll {at}");
+    }
+}

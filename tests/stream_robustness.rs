@@ -1,0 +1,192 @@
+//! Integration test: migration-image robustness and property-based
+//! round-trips of arbitrary object graphs.
+
+use hpm::arch::Architecture;
+use hpm::core::{Collector, Msrlt, Restorer};
+use hpm::memory::AddressSpace;
+use hpm::migrate::{resume_from_image, run_to_migration, Trigger};
+use hpm::types::Field;
+use hpm::workloads::{BitonicSort, TestPointer};
+use proptest::prelude::*;
+
+#[test]
+fn truncated_images_are_rejected_not_misread() {
+    let mut p = TestPointer::new();
+    let mut src =
+        run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let image = src.to_image().unwrap();
+    for cut in [1usize, 4, 16, image.len() / 2, image.len() - 4] {
+        let mut dst = TestPointer::new();
+        let r = resume_from_image(&mut dst, Architecture::sparc20(), &image[..cut]);
+        assert!(r.is_err(), "truncation at {cut} must fail loudly");
+    }
+}
+
+#[test]
+fn cross_program_images_are_rejected() {
+    let mut p = TestPointer::new();
+    let mut src =
+        run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let image = src.to_image().unwrap();
+    let mut wrong = BitonicSort::new(100);
+    let r = resume_from_image(&mut wrong, Architecture::sparc20(), &image);
+    assert!(r.is_err(), "a bitonic process must refuse a test_pointer image");
+}
+
+#[test]
+fn corrupted_header_is_rejected() {
+    let mut p = TestPointer::new();
+    let mut src =
+        run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let mut image = src.to_image().unwrap();
+    image[0] ^= 0xFF;
+    let mut dst = TestPointer::new();
+    assert!(resume_from_image(&mut dst, Architecture::sparc20(), &image).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Property-based round-trip of arbitrary object graphs.
+//
+// A random graph of `node { long tag; node *a; node *b; }` blocks with
+// arbitrary edges (including cycles, sharing, and NULLs) is built on a
+// random source architecture, collected from a root pointer, restored on
+// a random destination architecture, and compared up to isomorphism by
+// parallel traversal.
+// ---------------------------------------------------------------------
+
+fn build_space(arch: Architecture, tags: &[i64], edges: &[(usize, usize, bool)]) -> (AddressSpace, Msrlt, u64, Vec<u64>) {
+    let mut space = AddressSpace::new(arch);
+    let node = space.types_mut().declare_struct("gnode");
+    let pn = space.types_mut().pointer_to(node);
+    let long = space.types_mut().scalar(hpm::arch::CScalar::Long);
+    space
+        .types_mut()
+        .define_struct(
+            node,
+            vec![Field::new("tag", long), Field::new("a", pn), Field::new("b", pn)],
+        )
+        .unwrap();
+    let root = space.define_global("groot", pn, 1).unwrap();
+    let mut msrlt = Msrlt::new();
+    for info in space.block_infos() {
+        msrlt.register(&info);
+    }
+    let mut nodes = Vec::new();
+    for &tag in tags {
+        let n = space.malloc(node, 1).unwrap();
+        msrlt.register(&space.info_at(n).unwrap());
+        let t = space.elem_addr(n, 0).unwrap();
+        space.store_int(t, tag).unwrap();
+        nodes.push(n);
+    }
+    for &(from, to, which_b) in edges {
+        let slot = space.elem_addr(nodes[from], if which_b { 2 } else { 1 }).unwrap();
+        space.store_ptr(slot, nodes[to]).unwrap();
+    }
+    if !nodes.is_empty() {
+        space.store_ptr(root, nodes[0]).unwrap();
+    }
+    (space, msrlt, root, nodes)
+}
+
+/// Canonical serialization of the graph reachable from `root`: DFS with
+/// first-visit numbering — isomorphic graphs produce identical strings.
+fn canon(space: &mut AddressSpace, root_ptr_block: u64) -> String {
+    let mut out = String::new();
+    let mut ids: std::collections::HashMap<u64, usize> = Default::default();
+    let root = space.load_ptr(root_ptr_block).unwrap();
+    let mut stack = vec![root];
+    // Pre-order with explicit numbering.
+    fn visit(
+        space: &mut AddressSpace,
+        addr: u64,
+        ids: &mut std::collections::HashMap<u64, usize>,
+        out: &mut String,
+    ) {
+        if addr == 0 {
+            out.push_str("_,");
+            return;
+        }
+        if let Some(&n) = ids.get(&addr) {
+            out.push_str(&format!("@{n},"));
+            return;
+        }
+        let n = ids.len();
+        ids.insert(addr, n);
+        let t = space.elem_addr(addr, 0).unwrap();
+        let tag = space.load_int(t).unwrap();
+        out.push_str(&format!("#{n}:{tag}("));
+        let a_slot = space.elem_addr(addr, 1).unwrap();
+        let a = space.load_ptr(a_slot).unwrap();
+        visit(space, a, ids, out);
+        let b_slot = space.elem_addr(addr, 2).unwrap();
+        let b = space.load_ptr(b_slot).unwrap();
+        visit(space, b, ids, out);
+        out.push_str("),");
+    }
+    let r = stack.pop().unwrap();
+    visit(space, r, &mut ids, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_graphs_roundtrip(
+        // Tags fit an i32: `long` narrows to 4 bytes on the ILP32
+        // presets, so — exactly like real C source-level migration —
+        // values wider than the destination's `long` are truncated
+        // (covered by `long_width_conversion_sound` below).
+        tags in proptest::collection::vec(any::<i32>().prop_map(|v| v as i64), 1..24),
+        raw_edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..48),
+        src_pick in 0usize..4,
+        dst_pick in 0usize..4,
+    ) {
+        let archs = Architecture::presets();
+        let n = tags.len();
+        let edges: Vec<(usize, usize, bool)> = raw_edges
+            .iter()
+            .map(|&(a, b, w)| (a as usize % n, b as usize % n, w))
+            .collect();
+
+        let (mut src, mut src_lt, root, _) =
+            build_space(archs[src_pick].clone(), &tags, &edges);
+        let expected = canon(&mut src, root);
+
+        let mut collector = Collector::new(&mut src, &mut src_lt);
+        collector.save_variable(root).unwrap();
+        let (payload, _) = collector.finish();
+
+        let (mut dst, mut dst_lt, droot, _) =
+            build_space(archs[dst_pick].clone(), &[], &[]);
+        let mut restorer = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        restorer.restore_variable(droot).unwrap();
+        restorer.finish().unwrap();
+
+        let got = canon(&mut dst, droot);
+        prop_assert_eq!(got, expected, "graph must restore isomorphically");
+    }
+
+    /// Long values (which travel as 8-byte hypers) survive ILP32 → LP64
+    /// and back without sign damage when they fit the source width.
+    #[test]
+    fn long_width_conversion_sound(v in any::<i32>()) {
+        let (mut src, mut src_lt, root, nodes) =
+            build_space(Architecture::dec5000(), &[v as i64], &[]);
+        let _ = root;
+        let t = src.elem_addr(nodes[0], 0).unwrap();
+        src.store_int(t, v as i64).unwrap();
+        let mut c = Collector::new(&mut src, &mut src_lt);
+        c.save_variable(root).unwrap();
+        let (payload, _) = c.finish();
+
+        let (mut dst, mut dst_lt, droot, _) = build_space(Architecture::x86_64_sim(), &[], &[]);
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
+        r.restore_variable(droot).unwrap();
+        r.finish().unwrap();
+        let dn = dst.load_ptr(droot).unwrap();
+        let dt = dst.elem_addr(dn, 0).unwrap();
+        prop_assert_eq!(dst.load_int(dt).unwrap(), v as i64);
+    }
+}
