@@ -55,7 +55,13 @@ pub fn annotate_source(src: &str) -> Result<(String, Vec<PollSite>), CError> {
         // Deterministic walk: entry, then statements (loop headers and
         // call statements in textual order) — the same order the bytecode
         // compiler assigns site ids.
-        let _ = writeln!(out, "{} {}({}) {{", type_text(&f.ret), f.name, params_text(&f.params));
+        let _ = writeln!(
+            out,
+            "{} {}({}) {{",
+            type_text(&f.ret),
+            f.name,
+            params_text(&f.params)
+        );
         for d in &f.locals {
             let _ = writeln!(out, "    {};", decl_text(d));
         }
@@ -67,14 +73,17 @@ pub fn annotate_source(src: &str) -> Result<(String, Vec<PollSite>), CError> {
             kind: "entry".into(),
             live: entry_live.clone(),
         });
-        let _ = writeln!(out, "    MIG_ENTRY({}); /* live: {} */", f.name, entry_live.join(", "));
+        let _ = writeln!(
+            out,
+            "    MIG_ENTRY({}); /* live: {} */",
+            f.name,
+            entry_live.join(", ")
+        );
 
         // Collect loop-header/call-site nodes in creation order, which
         // matches textual order.
-        let mut headers: Vec<usize> =
-            cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
-        let mut calls: Vec<usize> =
-            cfg.nodes_of_kind(|k| matches!(k, NodeKind::CallSite { .. }));
+        let mut headers: Vec<usize> = cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        let mut calls: Vec<usize> = cfg.nodes_of_kind(|k| matches!(k, NodeKind::CallSite { .. }));
         headers.reverse(); // pop from back = in-order
         calls.reverse();
 
@@ -113,7 +122,11 @@ impl Writer<'_> {
     }
 
     fn take_site(&mut self, header: bool, line: u32) -> (u32, Vec<String>) {
-        let node = if header { self.headers.pop() } else { self.calls.pop() };
+        let node = if header {
+            self.headers.pop()
+        } else {
+            self.calls.pop()
+        };
         let live = node
             .map(|n| self.live.live_at_poll(self.f, n))
             .unwrap_or_default();
@@ -123,7 +136,11 @@ impl Writer<'_> {
             function: self.f.name.clone(),
             id,
             line,
-            kind: if header { "loop-header".into() } else { "call-site".into() },
+            kind: if header {
+                "loop-header".into()
+            } else {
+                "call-site".into()
+            },
             live: live.clone(),
         });
         (id, live)
@@ -147,7 +164,13 @@ impl Writer<'_> {
                 self.indent -= 1;
                 let _ = writeln!(self.out, "{pad}}}");
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i);
                 }
@@ -169,7 +192,12 @@ impl Writer<'_> {
                 self.indent -= 1;
                 let _ = writeln!(self.out, "{pad}}}");
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let _ = writeln!(self.out, "{pad}if ({}) {{", expr_text(cond));
                 self.indent += 1;
                 for s in then_body {
@@ -188,7 +216,11 @@ impl Writer<'_> {
                     let _ = writeln!(self.out, "{pad}}}");
                 }
             }
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 if crate::cfg::find_call(value).is_some() {
                     let (id, live) = self.take_site(false, *line);
                     let _ = writeln!(
@@ -197,8 +229,12 @@ impl Writer<'_> {
                         live.join(", ")
                     );
                 }
-                let _ =
-                    writeln!(self.out, "{pad}{} = {};", expr_text(target), expr_text(value));
+                let _ = writeln!(
+                    self.out,
+                    "{pad}{} = {};",
+                    expr_text(target),
+                    expr_text(value)
+                );
             }
             Stmt::Expr { expr, line } => {
                 if crate::cfg::find_call(expr).is_some() {
@@ -328,7 +364,10 @@ mod tests {
             .iter()
             .find(|s| s.function == "main" && s.kind == "loop-header")
             .unwrap();
-        assert!(main_loop.live.contains(&"total".to_string()), "{main_loop:?}");
+        assert!(
+            main_loop.live.contains(&"total".to_string()),
+            "{main_loop:?}"
+        );
         assert!(main_loop.live.contains(&"k".to_string()));
     }
 

@@ -63,7 +63,10 @@ pub const EXIT: NodeId = 1;
 impl Cfg {
     /// Build the CFG of `f`.
     pub fn build(f: &Function) -> Cfg {
-        let mut b = Builder { nodes: Vec::new(), addr_taken: BTreeSet::new() };
+        let mut b = Builder {
+            nodes: Vec::new(),
+            addr_taken: BTreeSet::new(),
+        };
         b.node(NodeKind::Entry, f.line); // 0
         b.node(NodeKind::Exit, f.line); // 1
         let (first, last_open) = b.seq(&f.body, &mut Vec::new(), &mut Vec::new());
@@ -71,7 +74,10 @@ impl Cfg {
         for n in last_open {
             b.nodes[n].succs.push(EXIT);
         }
-        Cfg { nodes: b.nodes, addr_taken: b.addr_taken }
+        Cfg {
+            nodes: b.nodes,
+            addr_taken: b.addr_taken,
+        }
     }
 
     /// Ids of nodes of a given kind.
@@ -92,7 +98,13 @@ struct Builder {
 
 impl Builder {
     fn node(&mut self, kind: NodeKind, line: u32) -> NodeId {
-        self.nodes.push(Node { kind, line, uses: BTreeSet::new(), defs: BTreeSet::new(), succs: vec![] });
+        self.nodes.push(Node {
+            kind,
+            line,
+            uses: BTreeSet::new(),
+            defs: BTreeSet::new(),
+            succs: vec![],
+        });
         self.nodes.len() - 1
     }
 
@@ -129,7 +141,11 @@ impl Builder {
         continues: &mut Vec<NodeId>,
     ) -> (Option<NodeId>, Vec<NodeId>) {
         match s {
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 let kind = match find_call(value) {
                     Some(c) => NodeKind::CallSite { callee: c },
                     None => NodeKind::Plain,
@@ -148,7 +164,10 @@ impl Builder {
                 self.collect_uses(expr, n);
                 (Some(n), vec![n])
             }
-            Stmt::Free { ptr, line } | Stmt::Print { value: ptr, line, .. } => {
+            Stmt::Free { ptr, line }
+            | Stmt::Print {
+                value: ptr, line, ..
+            } => {
                 let n = self.node(NodeKind::Plain, *line);
                 self.collect_uses(ptr, n);
                 (Some(n), vec![n])
@@ -171,7 +190,12 @@ impl Builder {
                 continues.push(n);
                 (Some(n), vec![])
             }
-            Stmt::If { cond, then_body, else_body, line } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
                 let c = self.node(NodeKind::Plain, *line);
                 self.collect_uses(cond, c);
                 let (t_entry, mut t_open) = self.seq(then_body, breaks, continues);
@@ -206,7 +230,13 @@ impl Builder {
                 open.push(h);
                 (Some(h), open)
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 let mut entry = None;
                 let mut pre_open: Vec<NodeId> = Vec::new();
                 if let Some(i) = init {
@@ -343,17 +373,23 @@ mod tests {
 
     #[test]
     fn for_loop_back_edge_through_step() {
-        let c = cfg_of("int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s = s + i; } return s; }");
+        let c = cfg_of(
+            "int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s = s + i; } return s; }",
+        );
         let headers = c.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
         assert_eq!(headers.len(), 1);
         // Some node (the step) must point back to the header.
         let h = headers[0];
-        assert!(c.nodes.iter().any(|n| n.succs.contains(&h) && n.defs.contains("i")));
+        assert!(c
+            .nodes
+            .iter()
+            .any(|n| n.succs.contains(&h) && n.defs.contains("i")));
     }
 
     #[test]
     fn call_sites_classified() {
-        let c = cfg_of("int f(int a) { return a; }\nint main() { int x; x = f(1); f(2); return x; }");
+        let c =
+            cfg_of("int f(int a) { return a; }\nint main() { int x; x = f(1); f(2); return x; }");
         let calls = c.nodes_of_kind(|k| matches!(k, NodeKind::CallSite { .. }));
         assert_eq!(calls.len(), 2);
     }
@@ -384,7 +420,10 @@ mod tests {
     fn deref_store_uses_base() {
         let c = cfg_of("int main() { int x; int *p; p = &x; *p = 3; return x; }");
         // "*p = 3" uses p, defines nothing.
-        let n = c.nodes.iter().find(|n| n.uses.contains("p") && n.defs.is_empty() && n.line == 1);
+        let n = c
+            .nodes
+            .iter()
+            .find(|n| n.uses.contains("p") && n.defs.is_empty() && n.line == 1);
         assert!(n.is_some());
     }
 }

@@ -176,8 +176,8 @@ pub struct CompiledProgram {
 #[derive(Debug, Clone, PartialEq)]
 enum STy {
     Scalar(CScalar),
-    Ptr(TypeId),    // pointee type id
-    Array(TypeId),  // element type id (decays to Ptr)
+    Ptr(TypeId),   // pointee type id
+    Array(TypeId), // element type id (decays to Ptr)
     Struct(TypeId),
     Void,
 }
@@ -197,8 +197,12 @@ pub fn compile_program(program: &Program) -> Result<CompiledProgram, CError> {
         globals.push((g.name.clone(), ty, count));
     }
 
-    let fn_idx: HashMap<String, usize> =
-        program.functions.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
+    let fn_idx: HashMap<String, usize> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
 
     let mut functions = Vec::new();
     let mut sites = Vec::new();
@@ -221,7 +225,13 @@ pub fn compile_program(program: &Program) -> Result<CompiledProgram, CError> {
     let main = *fn_idx
         .get("main")
         .ok_or_else(|| CError::Sema("program has no main()".into()))?;
-    Ok(CompiledProgram { types: env.table, globals, functions, main, sites })
+    Ok(CompiledProgram {
+        types: env.table,
+        globals,
+        functions,
+        main,
+        sites,
+    })
 }
 
 struct FnCompiler<'a> {
@@ -269,8 +279,10 @@ impl<'a> FnCompiler<'a> {
         for (i, node) in cfg.nodes.iter().enumerate() {
             let live_names = liveness.live_at_poll(f, i);
             let to_slots = |names: &[String], scope: &FuncScope| -> Vec<usize> {
-                let mut v: Vec<usize> =
-                    names.iter().filter_map(|n| scope.slots.get(n).copied()).collect();
+                let mut v: Vec<usize> = names
+                    .iter()
+                    .filter_map(|n| scope.slots.get(n).copied())
+                    .collect();
                 v.sort_unstable();
                 v
             };
@@ -569,7 +581,12 @@ impl<'a> FnCompiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 self.check_no_call(cond)?;
                 self.rvalue(cond)?;
                 let jz = self.emit_placeholder();
@@ -615,7 +632,13 @@ impl<'a> FnCompiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -689,7 +712,9 @@ impl<'a> FnCompiler<'a> {
             Stmt::Print { label, value, .. } => {
                 self.check_no_call(value)?;
                 self.rvalue(value)?;
-                self.code.push(Instr::Print { label: label.clone() });
+                self.code.push(Instr::Print {
+                    label: label.clone(),
+                });
                 Ok(())
             }
         }
@@ -707,13 +732,21 @@ impl<'a> FnCompiler<'a> {
     }
 
     fn take_header_site(&mut self) -> Vec<usize> {
-        let v = self.header_sites.get(self.next_header).cloned().unwrap_or_default();
+        let v = self
+            .header_sites
+            .get(self.next_header)
+            .cloned()
+            .unwrap_or_default();
         self.next_header += 1;
         v
     }
 
     fn take_call_site(&mut self) -> Vec<usize> {
-        let v = self.call_sites.get(self.next_call).cloned().unwrap_or_default();
+        let v = self
+            .call_sites
+            .get(self.next_call)
+            .cloned()
+            .unwrap_or_default();
         self.next_call += 1;
         v
     }
@@ -764,7 +797,11 @@ impl<'a> FnCompiler<'a> {
             self.check_arg_trap_free(a)?;
             self.rvalue(a)?;
         }
-        self.code.push(Instr::Call { func: fi, nargs: args.len(), returns });
+        self.code.push(Instr::Call {
+            func: fi,
+            nargs: args.len(),
+            returns,
+        });
         Ok(returns)
     }
 
@@ -848,7 +885,9 @@ impl<'a> FnCompiler<'a> {
             Expr::Deref(_) | Expr::Index(..) | Expr::Member(..) | Expr::Arrow(..) => {
                 match self.type_of(e)? {
                     STy::Array(_) => self.lvalue(e), // nested array decays
-                    STy::Struct(_) => Err(self.err("struct values cannot be copied (use pointers)")),
+                    STy::Struct(_) => {
+                        Err(self.err("struct values cannot be copied (use pointers)"))
+                    }
                     _ => {
                         self.lvalue(e)?;
                         self.code.push(Instr::Load);
@@ -938,9 +977,9 @@ impl<'a> FnCompiler<'a> {
                 self.code.push(Instr::Bin(k));
                 Ok(())
             }
-            Expr::Call(..) => Err(self.err(
-                "calls are only allowed as statements or assignment right-hand sides",
-            )),
+            Expr::Call(..) => {
+                Err(self.err("calls are only allowed as statements or assignment right-hand sides"))
+            }
         }
     }
 
@@ -1034,7 +1073,10 @@ mod tests {
     fn call_statement_gets_mark() {
         let p = compile("int f(int a) { return a; }\nint main() { int x; x = f(3); return x; }");
         let main = &p.functions[p.main];
-        assert!(main.code.iter().any(|i| matches!(i, Instr::CallMark { .. })));
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::CallMark { .. })));
         assert!(main.code.iter().any(|i| matches!(i, Instr::Call { .. })));
     }
 
@@ -1073,7 +1115,10 @@ mod tests {
              int main() { struct n *p; p = (struct n *) malloc(sizeof(struct n)); p->v = 3; return p->v; }",
         );
         let main = &p.functions[p.main];
-        assert!(main.code.iter().any(|i| matches!(i, Instr::FieldAddr { field: 0, .. })));
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::FieldAddr { field: 0, .. })));
         assert!(main.code.iter().any(|i| matches!(i, Instr::Malloc { .. })));
     }
 

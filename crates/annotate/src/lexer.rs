@@ -30,16 +30,16 @@ pub struct Token {
 
 const PUNCTS: &[&str] = &[
     // longest first
-    "...", "->", "++", "--", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
-    "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%", "<", ">",
-    "=", "&", "!", "|", "^", "~",
+    "...", "->", "++", "--", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "(", ")",
+    "{", "}", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%", "<", ">", "=", "&", "!", "|", "^",
+    "~",
 ];
 
 /// Keywords recognized by the parser (everything else is an identifier).
 pub const KEYWORDS: &[&str] = &[
-    "int", "char", "short", "long", "float", "double", "unsigned", "void", "struct",
-    "union", "if", "else", "while", "for", "return", "break", "continue", "sizeof",
-    "static", "goto", "switch", "print",
+    "int", "char", "short", "long", "float", "double", "unsigned", "void", "struct", "union", "if",
+    "else", "while", "for", "return", "break", "continue", "sizeof", "static", "goto", "switch",
+    "print",
 ];
 
 /// Tokenize mini-C source.
@@ -111,13 +111,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 return Err(CError::Lex("unterminated string".into(), start_line));
             }
             i += 1;
-            out.push(Token { kind: TokenKind::Str(s), line: start_line });
+            out.push(Token {
+                kind: TokenKind::Str(s),
+                line: start_line,
+            });
             continue;
         }
         // Character literal → int.
         if c == '\'' {
             if i + 2 < bytes.len() && bytes[i + 2] as char == '\'' {
-                out.push(Token { kind: TokenKind::Int(bytes[i + 1] as i64), line });
+                out.push(Token {
+                    kind: TokenKind::Int(bytes[i + 1] as i64),
+                    line,
+                });
                 i += 3;
                 continue;
             }
@@ -165,23 +171,34 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
         // Identifiers / keywords.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_') {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+            {
                 i += 1;
             }
-            out.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+            out.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_string()),
+                line,
+            });
             continue;
         }
         // Punctuation.
         for p in PUNCTS {
             if src[i..].starts_with(p) {
-                out.push(Token { kind: TokenKind::Punct(p), line });
+                out.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
                 i += p.len();
                 continue 'outer;
             }
         }
         return Err(CError::Lex(format!("unexpected character '{c}'"), line));
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(out)
 }
 

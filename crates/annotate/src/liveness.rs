@@ -71,7 +71,12 @@ pub fn solve(f: &Function, cfg: &Cfg) -> Liveness {
             break;
         }
     }
-    Liveness { live_in, live_out, always_live, iterations }
+    Liveness {
+        live_in,
+        live_out,
+        always_live,
+        iterations,
+    }
 }
 
 impl Liveness {
@@ -80,8 +85,12 @@ impl Liveness {
     /// restricted to names declared in this function (globals are handled
     /// by the runtime as a separate root set).
     pub fn live_at_poll(&self, f: &Function, at: NodeId) -> Vec<String> {
-        let declared: BTreeSet<&str> =
-            f.params.iter().chain(&f.locals).map(|d| d.name.as_str()).collect();
+        let declared: BTreeSet<&str> = f
+            .params
+            .iter()
+            .chain(&f.locals)
+            .map(|d| d.name.as_str())
+            .collect();
         let mut set: BTreeSet<String> = self.live_in[at]
             .union(&self.live_out[at])
             .filter(|v| declared.contains(v.as_str()))
@@ -101,8 +110,8 @@ impl Liveness {
     pub fn poll_sites(&self, f: &Function, cfg: &Cfg) -> Vec<(NodeId, NodeKind, Vec<String>)> {
         let mut out = Vec::new();
         for (i, node) in cfg.nodes.iter().enumerate() {
-            let interesting = i == ENTRY
-                || matches!(node.kind, NodeKind::LoopHeader | NodeKind::CallSite { .. });
+            let interesting =
+                i == ENTRY || matches!(node.kind, NodeKind::LoopHeader | NodeKind::CallSite { .. });
             if interesting {
                 out.push((i, node.kind.clone(), self.live_at_poll(f, i)));
             }
@@ -152,7 +161,10 @@ mod tests {
         let f = p.function("main").unwrap();
         let headers = cfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
         let live = l.live_at_poll(f, headers[0]);
-        assert!(live.contains(&"x".to_string()), "address-taken x must be live: {live:?}");
+        assert!(
+            live.contains(&"x".to_string()),
+            "address-taken x must be live: {live:?}"
+        );
     }
 
     #[test]

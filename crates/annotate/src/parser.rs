@@ -14,7 +14,10 @@ use hpm_arch::CScalar;
 /// screening role.
 pub fn parse(src: &str) -> Result<Program, CError> {
     let tokens = lex(src)?;
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     p.program()
 }
 
@@ -57,7 +60,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(CError::Parse(format!("expected '{p}', found {:?}", self.peek()), self.line()))
+            Err(CError::Parse(
+                format!("expected '{p}', found {:?}", self.peek()),
+                self.line(),
+            ))
         }
     }
 
@@ -77,7 +83,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, CError> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(CError::Parse(format!("expected identifier, found {other:?}"), self.line())),
+            other => Err(CError::Parse(
+                format!("expected identifier, found {other:?}"),
+                self.line(),
+            )),
         }
     }
 
@@ -102,7 +111,12 @@ impl Parser {
         let unsigned = self.eat_kw("unsigned");
         let s = match self.bump() {
             TokenKind::Ident(s) => s,
-            other => return Err(CError::Parse(format!("expected type, found {other:?}"), line)),
+            other => {
+                return Err(CError::Parse(
+                    format!("expected type, found {other:?}"),
+                    line,
+                ))
+            }
         };
         let scalar = match (s.as_str(), unsigned) {
             ("char", false) => CScalar::Char,
@@ -142,12 +156,20 @@ impl Parser {
             match self.bump() {
                 TokenKind::Int(n) if n > 0 => array = Some(n as u64),
                 other => {
-                    return Err(CError::Parse(format!("expected array length, found {other:?}"), line))
+                    return Err(CError::Parse(
+                        format!("expected array length, found {other:?}"),
+                        line,
+                    ))
                 }
             }
             self.expect_punct("]")?;
         }
-        Ok(VarDecl { name, ty, array, line })
+        Ok(VarDecl {
+            name,
+            ty,
+            array,
+            line,
+        })
     }
 
     // ----- top level -----
@@ -196,7 +218,12 @@ impl Parser {
         Ok(prog)
     }
 
-    fn function_rest(&mut self, name: String, ret: TypeExpr, line: u32) -> Result<Function, CError> {
+    fn function_rest(
+        &mut self,
+        name: String,
+        ret: TypeExpr,
+        line: u32,
+    ) -> Result<Function, CError> {
         let mut params = Vec::new();
         if !self.eat_punct(")") {
             if self.is_kw("void") && matches!(self.peek2(), TokenKind::Punct(")")) {
@@ -226,7 +253,14 @@ impl Parser {
             locals.push(d);
         }
         let body = self.block_body()?;
-        Ok(Function { name, ret, params, locals, body, line })
+        Ok(Function {
+            name,
+            ret,
+            params,
+            locals,
+            body,
+            line,
+        })
     }
 
     fn block_body(&mut self) -> Result<Vec<Stmt>, CError> {
@@ -260,8 +294,17 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then_body = self.block_or_single()?;
-            let else_body = if self.eat_kw("else") { self.block_or_single()? } else { vec![] };
-            return Ok(Stmt::If { cond, then_body, else_body, line });
+            let else_body = if self.eat_kw("else") {
+                self.block_or_single()?
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            });
         }
         if self.eat_kw("while") {
             self.expect_punct("(")?;
@@ -292,7 +335,13 @@ impl Parser {
             };
             self.expect_punct(")")?;
             let body = self.block_or_single()?;
-            return Ok(Stmt::For { init, cond, step, body, line });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            });
         }
         if self.eat_kw("return") {
             let value = if self.eat_punct(";") {
@@ -343,22 +392,43 @@ impl Parser {
         let target = self.expr()?;
         if self.eat_punct("=") {
             let value = self.expr()?;
-            return Ok(Stmt::Assign { target, value, line });
+            return Ok(Stmt::Assign {
+                target,
+                value,
+                line,
+            });
         }
-        for (p, op) in [("+=", BinOp::Add), ("-=", BinOp::Sub), ("*=", BinOp::Mul), ("/=", BinOp::Div)] {
+        for (p, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+        ] {
             if self.eat_punct(p) {
                 let rhs = self.expr()?;
                 let value = Expr::Binary(op, Box::new(target.clone()), Box::new(rhs));
-                return Ok(Stmt::Assign { target, value, line });
+                return Ok(Stmt::Assign {
+                    target,
+                    value,
+                    line,
+                });
             }
         }
         if self.eat_punct("++") {
             let value = Expr::Binary(BinOp::Add, Box::new(target.clone()), Box::new(Expr::Int(1)));
-            return Ok(Stmt::Assign { target, value, line });
+            return Ok(Stmt::Assign {
+                target,
+                value,
+                line,
+            });
         }
         if self.eat_punct("--") {
             let value = Expr::Binary(BinOp::Sub, Box::new(target.clone()), Box::new(Expr::Int(1)));
-            return Ok(Stmt::Assign { target, value, line });
+            return Ok(Stmt::Assign {
+                target,
+                value,
+                line,
+            });
         }
         Ok(Stmt::Expr { expr: target, line })
     }
@@ -553,15 +623,16 @@ impl Parser {
         match args.remove(0) {
             Expr::Sizeof(t) => Ok(Expr::Malloc(Box::new(Expr::Int(1)), t)),
             Expr::Binary(BinOp::Mul, a, b) => match (*a, *b) {
-                (Expr::Sizeof(t), n) | (n, Expr::Sizeof(t)) => {
-                    Ok(Expr::Malloc(Box::new(n), t))
-                }
+                (Expr::Sizeof(t), n) | (n, Expr::Sizeof(t)) => Ok(Expr::Malloc(Box::new(n), t)),
                 _ => Err(CError::Parse(
                     "malloc argument must involve sizeof(T)".into(),
                     line,
                 )),
             },
-            _ => Err(CError::Parse("malloc argument must involve sizeof(T)".into(), line)),
+            _ => Err(CError::Parse(
+                "malloc argument must involve sizeof(T)".into(),
+                line,
+            )),
         }
     }
 }
@@ -626,7 +697,10 @@ mod tests {
     #[test]
     fn union_rejected_as_unsafe() {
         let r = parse("union u { int a; float b; };");
-        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::Union { .. }))));
+        assert!(matches!(
+            r,
+            Err(CError::Unsafe(UnsafeFeature::Union { .. }))
+        ));
     }
 
     #[test]
@@ -638,21 +712,31 @@ mod tests {
     #[test]
     fn varargs_rejected() {
         let r = parse("int f(int a, ...) { return 0; }");
-        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::Varargs { .. }))));
+        assert!(matches!(
+            r,
+            Err(CError::Unsafe(UnsafeFeature::Varargs { .. }))
+        ));
     }
 
     #[test]
     fn function_pointer_rejected() {
         let r = parse("int main() { int (*f)(int); return 0; }");
-        assert!(matches!(r, Err(CError::Unsafe(UnsafeFeature::FunctionPointer { .. }))));
+        assert!(matches!(
+            r,
+            Err(CError::Unsafe(UnsafeFeature::FunctionPointer { .. }))
+        ));
     }
 
     #[test]
     fn malloc_forms() {
         let p = parse("int main() { int *a; int *b; a = malloc(sizeof(int)); b = malloc(10 * sizeof(int)); return 0; }").unwrap();
         let main = p.function("main").unwrap();
-        assert!(matches!(&main.body[0], Stmt::Assign { value: Expr::Malloc(n, _), .. } if **n == Expr::Int(1)));
-        assert!(matches!(&main.body[1], Stmt::Assign { value: Expr::Malloc(n, _), .. } if **n == Expr::Int(10)));
+        assert!(
+            matches!(&main.body[0], Stmt::Assign { value: Expr::Malloc(n, _), .. } if **n == Expr::Int(1))
+        );
+        assert!(
+            matches!(&main.body[1], Stmt::Assign { value: Expr::Malloc(n, _), .. } if **n == Expr::Int(10))
+        );
     }
 
     #[test]
@@ -664,16 +748,36 @@ mod tests {
     fn compound_assign_and_incr_desugar() {
         let p = parse("int main() { int i; i = 0; i += 2; i++; return i; }").unwrap();
         let main = p.function("main").unwrap();
-        assert!(matches!(&main.body[1], Stmt::Assign { value: Expr::Binary(BinOp::Add, _, _), .. }));
-        assert!(matches!(&main.body[2], Stmt::Assign { value: Expr::Binary(BinOp::Add, _, _), .. }));
+        assert!(matches!(
+            &main.body[1],
+            Stmt::Assign {
+                value: Expr::Binary(BinOp::Add, _, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &main.body[2],
+            Stmt::Assign {
+                value: Expr::Binary(BinOp::Add, _, _),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn for_loop_structure() {
-        let p = parse("int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) s += i; return s; }").unwrap();
+        let p =
+            parse("int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) s += i; return s; }")
+                .unwrap();
         let main = p.function("main").unwrap();
         match &main.body[1] {
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(step.is_some());
@@ -692,7 +796,8 @@ mod tests {
 
     #[test]
     fn free_statement() {
-        let p = parse("int main() { int *a; a = malloc(sizeof(int)); free(a); return 0; }").unwrap();
+        let p =
+            parse("int main() { int *a; a = malloc(sizeof(int)); free(a); return 0; }").unwrap();
         let main = p.function("main").unwrap();
         assert!(matches!(&main.body[1], Stmt::Free { .. }));
     }

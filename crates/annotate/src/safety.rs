@@ -85,7 +85,11 @@ impl std::fmt::Display for UnsafeFeature {
 /// between pointer types (e.g. `(struct node *) malloc(…)`) are safe:
 /// the MSRLT translates them like any other pointer.
 pub fn check_migration_safety(program: &Program) -> Vec<UnsafeFeature> {
-    let mut ck = Checker { program, found: Vec::new(), ptr_vars: Default::default() };
+    let mut ck = Checker {
+        program,
+        found: Vec::new(),
+        ptr_vars: Default::default(),
+    };
     for f in &program.functions {
         ck.ptr_vars.clear();
         for d in program.globals.iter().chain(&f.params).chain(&f.locals) {
@@ -119,12 +123,21 @@ struct Checker<'a> {
 impl Checker<'_> {
     fn stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 self.expr(target, *line);
                 self.expr(value, *line);
             }
             Stmt::Expr { expr, line } => self.expr(expr, *line),
-            Stmt::If { cond, then_body, else_body, line } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
                 self.expr(cond, *line);
                 for s in then_body.iter().chain(else_body) {
                     self.stmt(s);
@@ -136,7 +149,13 @@ impl Checker<'_> {
                     self.stmt(s);
                 }
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i);
                 }
@@ -224,7 +243,10 @@ mod tests {
     fn pointer_to_int_cast_flagged() {
         let p = parse("int main() { int x; int *p; p = &x; x = (int) p; return x; }").unwrap();
         let found = check_migration_safety(&p);
-        assert!(matches!(found[0], UnsafeFeature::PointerToInt { .. }), "{found:?}");
+        assert!(
+            matches!(found[0], UnsafeFeature::PointerToInt { .. }),
+            "{found:?}"
+        );
         assert!(require_safe(&p).is_err());
     }
 
@@ -232,7 +254,10 @@ mod tests {
     fn int_to_pointer_cast_flagged() {
         let p = parse("int main() { int *p; p = (int *) 1234; return 0; }").unwrap();
         let found = check_migration_safety(&p);
-        assert!(matches!(found[0], UnsafeFeature::IntToPointer { .. }), "{found:?}");
+        assert!(
+            matches!(found[0], UnsafeFeature::IntToPointer { .. }),
+            "{found:?}"
+        );
     }
 
     #[test]

@@ -100,12 +100,24 @@ impl FuncScope {
 /// Check that every identifier used in the program resolves to a local,
 /// parameter, global, or function.
 pub fn check_names(program: &Program) -> Result<(), CError> {
-    let globals: HashMap<&str, ()> = program.globals.iter().map(|g| (g.name.as_str(), ())).collect();
-    let funcs: HashMap<&str, usize> =
-        program.functions.iter().map(|f| (f.name.as_str(), f.params.len())).collect();
+    let globals: HashMap<&str, ()> = program
+        .globals
+        .iter()
+        .map(|g| (g.name.as_str(), ()))
+        .collect();
+    let funcs: HashMap<&str, usize> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), f.params.len()))
+        .collect();
     for f in &program.functions {
         let scope = FuncScope::build(f)?;
-        let mut ck = NameCk { globals: &globals, funcs: &funcs, scope: &scope, fname: &f.name };
+        let mut ck = NameCk {
+            globals: &globals,
+            funcs: &funcs,
+            scope: &scope,
+            fname: &f.name,
+        };
         for s in &f.body {
             ck.stmt(s)?;
         }
@@ -128,7 +140,12 @@ impl NameCk<'_> {
                 self.expr(value)
             }
             Stmt::Expr { expr, .. } => self.expr(expr),
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 self.expr(cond)?;
                 for s in then_body.iter().chain(else_body) {
                     self.stmt(s)?;
@@ -142,7 +159,13 @@ impl NameCk<'_> {
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -170,7 +193,10 @@ impl NameCk<'_> {
                 if self.scope.slots.contains_key(n) || self.globals.contains_key(n.as_str()) {
                     Ok(())
                 } else {
-                    Err(CError::Sema(format!("unknown variable '{n}' in {}", self.fname)))
+                    Err(CError::Sema(format!(
+                        "unknown variable '{n}' in {}",
+                        self.fname
+                    )))
                 }
             }
             Expr::Call(name, args) => {
@@ -242,8 +268,7 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let p =
-            parse("int f(int a) { return a; }\nint main() { return f(1, 2); }").unwrap();
+        let p = parse("int f(int a) { return a; }\nint main() { return f(1, 2); }").unwrap();
         assert!(check_names(&p).is_err());
     }
 

@@ -28,7 +28,11 @@ pub struct MiniCProcess {
 impl MiniCProcess {
     /// Wrap an already-compiled program.
     pub fn new(prog: Arc<CompiledProgram>) -> Self {
-        MiniCProcess { prog, output: Vec::new(), ret: None }
+        MiniCProcess {
+            prog,
+            output: Vec::new(),
+            ret: None,
+        }
     }
 
     /// Parse, screen, analyze, compile, and wrap source text.
@@ -70,8 +74,16 @@ impl MigratableProgram for MiniCProcess {
             globals.push(addr);
         }
         let prog = Arc::clone(&self.prog);
-        let mut vm = Vm { ctx, prog: &prog, globals, output: &mut self.output };
-        match vm.exec_function(self.prog.main, Vec::new()).map_err(to_mig)? {
+        let mut vm = Vm {
+            ctx,
+            prog: &prog,
+            globals,
+            output: &mut self.output,
+        };
+        match vm
+            .exec_function(self.prog.main, Vec::new())
+            .map_err(to_mig)?
+        {
             Exec::Done(v) => {
                 self.ret = v.map(|s| s.as_i64());
                 Ok(Flow::Done)
@@ -232,7 +244,11 @@ impl Vm<'_, '_, '_> {
                     cur_mark = Some((pc, self.live_addrs(&slots, live, false)));
                     pc += 1;
                 }
-                Instr::Call { func, nargs, returns } => {
+                Instr::Call {
+                    func,
+                    nargs,
+                    returns,
+                } => {
                     if stack.len() < *nargs {
                         return Err(self.rt("operand stack underflow at call"));
                     }
@@ -247,9 +263,7 @@ impl Vm<'_, '_, '_> {
                         }
                         Exec::Done(v) => {
                             if *returns {
-                                stack.push(
-                                    v.ok_or_else(|| self.rt("missing return value"))?,
-                                );
+                                stack.push(v.ok_or_else(|| self.rt("missing return value"))?);
                             }
                             // Post-call restore: this frame's stream
                             // section is next once the callee (on the
@@ -265,7 +279,11 @@ impl Vm<'_, '_, '_> {
                     }
                 }
                 Instr::Ret { has_value } => {
-                    let v = if *has_value { Some(self.pop(&mut stack)?) } else { None };
+                    let v = if *has_value {
+                        Some(self.pop(&mut stack)?)
+                    } else {
+                        None
+                    };
                     self.ctx.leave(frame)?;
                     return Ok(Exec::Done(v));
                 }
@@ -311,7 +329,9 @@ impl Vm<'_, '_, '_> {
     }
 
     fn pop(&self, stack: &mut Vec<ScalarValue>) -> Result<ScalarValue, CError> {
-        stack.pop().ok_or_else(|| self.rt("operand stack underflow"))
+        stack
+            .pop()
+            .ok_or_else(|| self.rt("operand stack underflow"))
     }
 
     /// Live block addresses for a poll/call site: the analysis's local
@@ -407,7 +427,10 @@ mod tests {
     }
 
     fn get<'a>(r: &'a [(String, String)], k: &str) -> &'a str {
-        &r.iter().find(|(a, _)| a == k).unwrap_or_else(|| panic!("no key {k} in {r:?}")).1
+        &r.iter()
+            .find(|(a, _)| a == k)
+            .unwrap_or_else(|| panic!("no key {k} in {r:?}"))
+            .1
     }
 
     #[test]
@@ -427,9 +450,8 @@ mod tests {
 
     #[test]
     fn floats() {
-        let r = run_src(
-            "int main() { double x; x = 1.5; x = x * 4.0; print(\"x\", x); return 0; }",
-        );
+        let r =
+            run_src("int main() { double x; x = 1.5; x = x * 4.0; print(\"x\", x); return 0; }");
         assert_eq!(get(&r, "x"), "6.0");
     }
 
@@ -551,6 +573,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(expect, run.results);
-        assert!(run.report.collect_stats.blocks_saved > 100, "half the list migrated");
+        assert!(
+            run.report.collect_stats.blocks_saved > 100,
+            "half the list migrated"
+        );
     }
 }

@@ -257,7 +257,10 @@ mod tests {
         assert_eq!(buf.len(), 4);
         // little-endian: low byte first
         assert_eq!(buf[0], (-123456i32).to_le_bytes()[0]);
-        assert_eq!(a.decode_scalar(CScalar::Int, &buf), ScalarValue::Int(-123456));
+        assert_eq!(
+            a.decode_scalar(CScalar::Int, &buf),
+            ScalarValue::Int(-123456)
+        );
     }
 
     #[test]
@@ -267,7 +270,10 @@ mod tests {
         a.encode_scalar(CScalar::Int, ScalarValue::Int(-123456), &mut buf);
         assert_eq!(buf.len(), 4);
         assert_eq!(buf, (-123456i32).to_be_bytes().to_vec());
-        assert_eq!(a.decode_scalar(CScalar::Int, &buf), ScalarValue::Int(-123456));
+        assert_eq!(
+            a.decode_scalar(CScalar::Int, &buf),
+            ScalarValue::Int(-123456)
+        );
     }
 
     #[test]
@@ -318,7 +324,10 @@ mod tests {
         let mut buf = Vec::new();
         a.encode_scalar(CScalar::Ptr, ScalarValue::Ptr(0xDEAD_BEEF), &mut buf);
         assert_eq!(buf.len(), 4);
-        assert_eq!(a.decode_scalar(CScalar::Ptr, &buf), ScalarValue::Ptr(0xDEAD_BEEF));
+        assert_eq!(
+            a.decode_scalar(CScalar::Ptr, &buf),
+            ScalarValue::Ptr(0xDEAD_BEEF)
+        );
     }
 
     #[test]

@@ -145,19 +145,34 @@ impl ScalarLayout {
     /// ILP32 layout used by all three of the paper's machines: `long` is
     /// 4 bytes; `double` and `long long` are 8 bytes, 8-aligned.
     pub fn ilp32() -> Self {
-        ScalarLayout { long_size: 4, long_align: 4, double_align: 8, longlong_align: 8 }
+        ScalarLayout {
+            long_size: 4,
+            long_align: 4,
+            double_align: 8,
+            longlong_align: 8,
+        }
     }
 
     /// LP64 layout (modern 64-bit Unix): `long` is 8 bytes, 8-aligned.
     pub fn lp64() -> Self {
-        ScalarLayout { long_size: 8, long_align: 8, double_align: 8, longlong_align: 8 }
+        ScalarLayout {
+            long_size: 8,
+            long_align: 8,
+            double_align: 8,
+            longlong_align: 8,
+        }
     }
 
     /// An ILP32 variant with 4-byte alignment for 8-byte scalars, as the
     /// classic m68k-style ABIs used. Exercises padding differences even
     /// between two 32-bit little-endian machines.
     pub fn ilp32_packed_doubles() -> Self {
-        ScalarLayout { long_size: 4, long_align: 4, double_align: 4, longlong_align: 4 }
+        ScalarLayout {
+            long_size: 4,
+            long_align: 4,
+            double_align: 4,
+            longlong_align: 4,
+        }
     }
 
     /// Storage size in bytes of a non-pointer scalar.

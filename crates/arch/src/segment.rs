@@ -68,18 +68,36 @@ impl SegmentMap {
     /// A classic 32-bit Unix layout: text/data low, heap above, stack high.
     pub fn classic_32() -> Self {
         SegmentMap {
-            global: SegmentSpan { base: 0x0001_0000, size: 0x0400_0000 },  // 64 MiB
-            heap: SegmentSpan { base: 0x1000_0000, size: 0x4000_0000 },    // 1 GiB
-            stack: SegmentSpan { base: 0x7000_0000, size: 0x0400_0000 },   // 64 MiB
+            global: SegmentSpan {
+                base: 0x0001_0000,
+                size: 0x0400_0000,
+            }, // 64 MiB
+            heap: SegmentSpan {
+                base: 0x1000_0000,
+                size: 0x4000_0000,
+            }, // 1 GiB
+            stack: SegmentSpan {
+                base: 0x7000_0000,
+                size: 0x0400_0000,
+            }, // 64 MiB
         }
     }
 
     /// A 64-bit layout with widely separated segments.
     pub fn classic_64() -> Self {
         SegmentMap {
-            global: SegmentSpan { base: 0x0000_0000_0040_0000, size: 0x1000_0000 },
-            heap: SegmentSpan { base: 0x0000_5000_0000_0000, size: 0x10_0000_0000 },
-            stack: SegmentSpan { base: 0x0000_7fff_0000_0000, size: 0x4000_0000 },
+            global: SegmentSpan {
+                base: 0x0000_0000_0040_0000,
+                size: 0x1000_0000,
+            },
+            heap: SegmentSpan {
+                base: 0x0000_5000_0000_0000,
+                size: 0x10_0000_0000,
+            },
+            stack: SegmentSpan {
+                base: 0x0000_7fff_0000_0000,
+                size: 0x4000_0000,
+            },
         }
     }
 
@@ -94,13 +112,17 @@ impl SegmentMap {
 
     /// Which segment (if any) contains `addr`.
     pub fn classify(&self, addr: u64) -> Option<SegmentKind> {
-        SegmentKind::ALL.into_iter().find(|&k| self.span(k).contains(addr))
+        SegmentKind::ALL
+            .into_iter()
+            .find(|&k| self.span(k).contains(addr))
     }
 
     /// Validates that the three segments do not overlap.
     pub fn validate(&self) -> Result<(), String> {
-        let mut spans: Vec<(SegmentKind, SegmentSpan)> =
-            SegmentKind::ALL.into_iter().map(|k| (k, self.span(k))).collect();
+        let mut spans: Vec<(SegmentKind, SegmentSpan)> = SegmentKind::ALL
+            .into_iter()
+            .map(|k| (k, self.span(k)))
+            .collect();
         spans.sort_by_key(|(_, s)| s.base);
         for w in spans.windows(2) {
             let (ka, a) = w[0];
@@ -157,7 +179,10 @@ mod tests {
 
     #[test]
     fn span_contains_boundaries() {
-        let s = SegmentSpan { base: 100, size: 10 };
+        let s = SegmentSpan {
+            base: 100,
+            size: 10,
+        };
         assert!(s.contains(100));
         assert!(s.contains(109));
         assert!(!s.contains(110));

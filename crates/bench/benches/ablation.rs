@@ -1,8 +1,8 @@
-//! Criterion bench for the DESIGN.md ablations: MSRLT search strategy
-//! (binary vs linear) and visit-mark strategy (epoch vs hash-set).
+//! Bench for the DESIGN.md ablations: MSRLT search strategy (binary vs
+//! linear) and visit-mark strategy (epoch vs hash-set).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hpm_arch::Architecture;
+use hpm_bench::harness::Group;
 use hpm_core::{Collector, MarkStrategy, Msrlt, SearchStrategy};
 use hpm_migrate::{run_to_migration, Trigger};
 use hpm_workloads::BitonicSort;
@@ -17,9 +17,8 @@ fn collect_all(src: &mut hpm_migrate::MigratedSource, msrlt: &mut Msrlt) -> usiz
     c.finish().0.len()
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("ablation");
     let n = 4_000u64;
 
     for (name, strategy) in [
@@ -33,30 +32,24 @@ fn bench_ablation(c: &mut Criterion) {
         for e in src.proc.msrlt.live_entries() {
             msrlt.register_at(e.id, e.addr, e.size, e.ty, e.count);
         }
-        g.bench_function(name, |b| b.iter(|| collect_all(&mut src, &mut msrlt)));
+        g.bench(name, || collect_all(&mut src, &mut msrlt));
     }
 
-    for (name, marks) in
-        [("epoch_marks", MarkStrategy::Epoch), ("hashset_marks", MarkStrategy::HashSet)]
-    {
+    for (name, marks) in [
+        ("epoch_marks", MarkStrategy::Epoch),
+        ("hashset_marks", MarkStrategy::HashSet),
+    ] {
         let mut prog = BitonicSort::new(n);
         let mut src =
             run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut c =
-                    Collector::with_marks(&mut src.proc.space, &mut src.proc.msrlt, marks);
-                for frame in &src.pending {
-                    for &addr in &frame.live {
-                        c.save_variable(addr).unwrap();
-                    }
+        g.bench(name, || {
+            let mut c = Collector::with_marks(&mut src.proc.space, &mut src.proc.msrlt, marks);
+            for frame in &src.pending {
+                for &addr in &frame.live {
+                    c.save_variable(addr).unwrap();
                 }
-                c.finish().0.len()
-            })
+            }
+            c.finish().0.len()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

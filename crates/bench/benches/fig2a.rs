@@ -1,27 +1,21 @@
-//! Criterion bench for Figure 2(a): linpack collection time scales
-//! linearly in the migrated data size ΣDᵢ (MSR node count is constant,
-//! so the MSRLT term is flat and Encode-and-Copy dominates).
+//! Bench for Figure 2(a): linpack collection time scales linearly in the
+//! migrated data size ΣDᵢ (MSR node count is constant, so the MSRLT term
+//! is flat and Encode-and-Copy dominates).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpm_arch::Architecture;
+use hpm_bench::harness::Group;
 use hpm_migrate::{run_to_migration, Trigger};
 use hpm_workloads::Linpack;
 
-fn bench_fig2a(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2a_linpack_collect");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("fig2a_linpack_collect");
     for n in [200u64, 400, 600, 800] {
         let mut prog = Linpack::truncated(n, 4);
         let mut src =
             run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(2)).unwrap();
-        let bytes = src.collect().unwrap().0.len() as u64;
-        g.throughput(Throughput::Bytes(bytes));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| src.collect().unwrap().0.len())
+        let bytes = src.collect().unwrap().0.len();
+        g.bench(&format!("n={n} ({bytes} B)"), || {
+            src.collect().unwrap().0.len()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig2a);
-criterion_main!(benches);

@@ -1,26 +1,18 @@
-//! Criterion bench for Figure 2(b): bitonic collection time vs node
-//! count — the per-node cost rises with n (the O(log n) MSRLT search),
-//! unlike restoration's O(1) id-indexed update.
+//! Bench for Figure 2(b): bitonic collection time vs node count — the
+//! per-node cost rises with n (the O(log n) MSRLT search), unlike
+//! restoration's O(1) id-indexed update.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpm_arch::Architecture;
+use hpm_bench::harness::Group;
 use hpm_migrate::{run_to_migration, Trigger};
 use hpm_workloads::BitonicSort;
 
-fn bench_fig2b(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2b_bitonic_collect");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("fig2b_bitonic_collect");
     for n in [2_000u64, 5_000, 10_000, 20_000] {
         let mut prog = BitonicSort::new(n);
         let mut src =
             run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap();
-        g.throughput(Throughput::Elements(n));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| src.collect().unwrap().0.len())
-        });
+        g.bench(&format!("n={n}"), || src.collect().unwrap().0.len());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig2b);
-criterion_main!(benches);

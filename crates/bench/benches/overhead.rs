@@ -1,44 +1,41 @@
-//! Criterion bench for §4.3: the no-migration execution overhead of
-//! poll-point placement (per-poll cost) and MSRLT registration (per
-//! allocation).
+//! Bench for §4.3: the no-migration execution overhead of poll-point
+//! placement (per-poll cost) and MSRLT registration (per allocation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hpm_arch::Architecture;
+use hpm_bench::harness::Group;
 use hpm_migrate::run_straight;
 use hpm_workloads::{BitonicSort, Linpack, PollPlacement};
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overhead");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("overhead");
 
     for (name, placement) in [
         ("linpack_no_polls", PollPlacement::None),
         ("linpack_outer_polls", PollPlacement::OuterLoop),
         ("linpack_kernel_polls", PollPlacement::InnerKernel),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut p = Linpack::full(96);
-                p.placement = placement;
-                run_straight(&mut p, Architecture::ultra5()).unwrap().0.len()
-            })
+        g.bench(name, || {
+            let mut p = Linpack::full(96);
+            p.placement = placement;
+            run_straight(&mut p, Architecture::ultra5())
+                .unwrap()
+                .0
+                .len()
         });
     }
 
-    g.bench_function("bitonic_per_node_alloc", |b| {
-        b.iter(|| {
-            let mut p = BitonicSort::new(8_000);
-            run_straight(&mut p, Architecture::ultra5()).unwrap().0.len()
-        })
+    g.bench("bitonic_per_node_alloc", || {
+        let mut p = BitonicSort::new(8_000);
+        run_straight(&mut p, Architecture::ultra5())
+            .unwrap()
+            .0
+            .len()
     });
-    g.bench_function("bitonic_pooled_alloc", |b| {
-        b.iter(|| {
-            let mut p = BitonicSort::pooled(8_000);
-            run_straight(&mut p, Architecture::ultra5()).unwrap().0.len()
-        })
+    g.bench("bitonic_pooled_alloc", || {
+        let mut p = BitonicSort::pooled(8_000);
+        run_straight(&mut p, Architecture::ultra5())
+            .unwrap()
+            .0
+            .len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

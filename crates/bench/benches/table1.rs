@@ -1,51 +1,46 @@
-//! Criterion bench for Table 1's Collect and Restore phases (scaled-down
-//! sizes so iterations complete quickly; the full-size single-shot
-//! numbers come from the `paper_tables` binary).
+//! Bench for Table 1's Collect and Restore phases (scaled-down sizes so
+//! iterations complete quickly; the full-size single-shot numbers come
+//! from the `paper_tables` binary).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hpm_arch::Architecture;
+use hpm_bench::harness::Group;
 use hpm_migrate::{resume_from_image, run_to_migration, Trigger};
 use hpm_workloads::{BitonicSort, Linpack};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("table1");
 
     // linpack collect: few huge blocks — Encode-and-Copy dominated.
     let n = 400u64;
     let mut prog = Linpack::truncated(n, 4);
     let mut src =
         run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(2)).unwrap();
-    g.bench_function("linpack_400_collect", |b| {
-        b.iter(|| src.collect().unwrap().0.len())
-    });
+    g.bench("linpack_400_collect", || src.collect().unwrap().0.len());
     let image = src.to_image().unwrap();
-    g.bench_function("linpack_400_restore", |b| {
-        b.iter_batched(
-            || Linpack::truncated(n, 4),
-            |mut p| resume_from_image(&mut p, Architecture::ultra5(), &image).unwrap().3,
-            BatchSize::PerIteration,
-        )
-    });
+    g.bench_with_setup(
+        "linpack_400_restore",
+        || Linpack::truncated(n, 4),
+        |mut p| {
+            resume_from_image(&mut p, Architecture::ultra5(), &image)
+                .unwrap()
+                .3
+        },
+    );
 
     // bitonic collect: many small blocks — MSRLT-search dominated.
     let n = 10_000u64;
     let mut prog = BitonicSort::new(n);
     let mut src =
         run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(n)).unwrap();
-    g.bench_function("bitonic_10k_collect", |b| {
-        b.iter(|| src.collect().unwrap().0.len())
-    });
+    g.bench("bitonic_10k_collect", || src.collect().unwrap().0.len());
     let image = src.to_image().unwrap();
-    g.bench_function("bitonic_10k_restore", |b| {
-        b.iter_batched(
-            || BitonicSort::new(n),
-            |mut p| resume_from_image(&mut p, Architecture::ultra5(), &image).unwrap().3,
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
+    g.bench_with_setup(
+        "bitonic_10k_restore",
+        || BitonicSort::new(n),
+        |mut p| {
+            resume_from_image(&mut p, Architecture::ultra5(), &image)
+                .unwrap()
+                .3
+        },
+    );
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -8,13 +8,26 @@
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
 //! `overhead`, `ablation`, `all`.
+//!
+//! `--trace-out <path>` additionally runs one fully-traced TestPointer
+//! migration and writes a Chrome trace-event JSON file (load it at
+//! `ui.perfetto.dev` or `chrome://tracing`).
 
 use hpm_bench::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace-out requires a path");
+            std::process::exit(2);
+        }
+        trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let want = |name: &str| {
-        args.is_empty()
+        (args.is_empty() && trace_out.is_none())
             || args.iter().any(|a| a == name)
             || args.iter().any(|a| a == "all")
     };
@@ -40,6 +53,30 @@ fn main() {
     if want("ablation") {
         ablation();
     }
+    if let Some(path) = trace_out {
+        trace(&path);
+    }
+}
+
+fn trace(path: &str) {
+    hr("Migration trace — test_pointer, DEC 5000/120 → SPARC 20, 10 Mb/s");
+    let run = traced_test_pointer_run();
+    println!("{}", run.report.render());
+    let log = run
+        .report
+        .trace
+        .as_ref()
+        .expect("traced run carries a trace");
+    let json = hpm_obs::chrome_trace_json(log);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {path}: {} events across {} tracks (open in ui.perfetto.dev)",
+        log.events.len(),
+        log.tracks.len()
+    );
 }
 
 fn hr(title: &str) {
@@ -128,15 +165,31 @@ fn complexity() {
     hr("§4.2 Complexity model — instrumented MSRLT counters");
     println!(
         "{:<16} {:>9} {:>11} {:>10} {:>12} {:>15} {:>9} {:>15}",
-        "workload", "nodes", "bytes", "searches", "steps", "steps/search", "log2(n)", "restore-updates"
+        "workload",
+        "nodes",
+        "bytes",
+        "searches",
+        "steps",
+        "steps/search",
+        "log2(n)",
+        "restore-updates"
     );
     for r in complexity_rows() {
         println!(
             "{:<16} {:>9} {:>11} {:>10} {:>12} {:>15.2} {:>9.2} {:>15}",
-            r.label, r.nodes, r.bytes, r.searches, r.steps, r.steps_per_search, r.log2_n, r.restore_updates
+            r.label,
+            r.nodes,
+            r.bytes,
+            r.searches,
+            r.steps,
+            r.steps_per_search,
+            r.log2_n,
+            r.restore_updates
         );
     }
-    println!("(steps/search tracks log2(n): Collect = O(n log n); restore-updates ≈ n: Restore = O(n))");
+    println!(
+        "(steps/search tracks log2(n): Collect = O(n log n); restore-updates ≈ n: Restore = O(n))"
+    );
 }
 
 fn overhead() {
@@ -160,7 +213,10 @@ fn overhead() {
 
 fn ablation() {
     hr("Ablations — DESIGN.md design choices");
-    println!("{:<24} {:>12} {:>14}", "variant", "collect(s)", "search-steps");
+    println!(
+        "{:<24} {:>12} {:>14}",
+        "variant", "collect(s)", "search-steps"
+    );
     for r in ablation_rows() {
         println!("{:<24} {:>12} {:>14}", r.label, secs(r.collect), r.steps);
     }

@@ -15,33 +15,52 @@ fn main() {
 
     let space = &mut src.proc.space;
     let infos = space.block_infos();
-    let heap: Vec<u64> = infos.iter().filter(|b| b.name.is_none()).map(|b| b.addr).collect();
+    let heap: Vec<u64> = infos
+        .iter()
+        .filter(|b| b.name.is_none())
+        .map(|b| b.addr)
+        .collect();
     let reps = 200_000usize;
 
     let t0 = Instant::now();
     let mut acc = 0u64;
     for i in 0..reps {
-        acc ^= space.resolve(heap[i % heap.len()] + 4).map(|r| r.offset).unwrap_or(0);
+        acc ^= space
+            .resolve(heap[i % heap.len()] + 4)
+            .map(|r| r.offset)
+            .unwrap_or(0);
     }
-    eprintln!("resolve:        {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+    eprintln!(
+        "resolve:        {:?}/op (acc {acc})",
+        t0.elapsed() / reps as u32
+    );
 
     let t0 = Instant::now();
     for i in 0..reps {
         acc ^= space.leaf_at_addr(heap[i % heap.len()] + 4).unwrap().0;
     }
-    eprintln!("leaf_at_addr:   {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+    eprintln!(
+        "leaf_at_addr:   {:?}/op (acc {acc})",
+        t0.elapsed() / reps as u32
+    );
 
     let t0 = Instant::now();
     for i in 0..reps {
         acc ^= space.elem_addr(heap[i % heap.len()], 1).unwrap();
     }
-    eprintln!("elem_addr:      {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+    eprintln!(
+        "elem_addr:      {:?}/op (acc {acc})",
+        t0.elapsed() / reps as u32
+    );
 
     let t0 = Instant::now();
     for i in 0..reps {
         acc ^= space.load_int(heap[i % heap.len()]).unwrap() as u64;
     }
-    eprintln!("load_int:       {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+    eprintln!(
+        "load_int:       {:?}/op (acc {acc})",
+        t0.elapsed() / reps as u32
+    );
 
     let t0 = Instant::now();
     for i in 0..reps {
@@ -52,8 +71,14 @@ fn main() {
     let t0 = Instant::now();
     let mut ms = &mut src.proc.msrlt;
     for i in 0..reps {
-        acc ^= ms.lookup_addr(heap[i % heap.len()] + 4).map(|(id, _)| id.index as u64).unwrap_or(0);
+        acc ^= ms
+            .lookup_addr(heap[i % heap.len()] + 4)
+            .map(|(id, _)| id.index as u64)
+            .unwrap_or(0);
     }
-    eprintln!("msrlt lookup:   {:?}/op (acc {acc})", t0.elapsed() / reps as u32);
+    eprintln!(
+        "msrlt lookup:   {:?}/op (acc {acc})",
+        t0.elapsed() / reps as u32
+    );
     let _ = &mut ms;
 }

@@ -1,0 +1,111 @@
+//! Minimal dependency-free benchmark harness.
+//!
+//! The workspace builds offline, so the bench targets use this tiny
+//! `std::time::Instant` harness instead of an external framework: each
+//! benchmark runs a fixed number of timed samples and prints
+//! `min/median/mean` wall times. Single-shot full-size numbers still come
+//! from the `paper_tables` binary; these targets exist to compare scaled
+//! variants (`cargo bench -p hpm-bench`).
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench bodies can defeat constant folding.
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark.
+pub const SAMPLES: usize = 10;
+
+/// A named group of benchmarks (mirrors the criterion group concept).
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Start a group; prints a header.
+    pub fn new(name: &str) -> Self {
+        println!("group {name}");
+        Group {
+            name: name.to_string(),
+        }
+    }
+
+    /// Run one benchmark: one warm-up call, then [`SAMPLES`] timed calls.
+    /// The closure's return value is passed through [`black_box`].
+    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+        black_box(f());
+        let mut times: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {}/{name:<28} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}",
+            self.name, min, median, mean
+        );
+    }
+
+    /// Like [`Group::bench`], but rebuilds fresh input for every timed
+    /// call (setup excluded from the measurement).
+    pub fn bench_with_setup<S, T, Setup: FnMut() -> S, F: FnMut(S) -> T>(
+        &self,
+        name: &str,
+        mut setup: Setup,
+        mut f: F,
+    ) {
+        black_box(f(setup()));
+        let mut times: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(f(input));
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {}/{name:<28} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}",
+            self.name, min, median, mean
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let g = Group::new("smoke");
+        let mut calls = 0u32;
+        g.bench("noop", || {
+            calls += 1;
+            calls
+        });
+        // 1 warm-up + SAMPLES timed calls.
+        assert_eq!(calls as usize, 1 + SAMPLES);
+    }
+
+    #[test]
+    fn setup_is_fresh_per_sample() {
+        let g = Group::new("smoke2");
+        let mut setups = 0u32;
+        g.bench_with_setup(
+            "consume",
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(setups as usize, 1 + SAMPLES);
+    }
+}

@@ -1,8 +1,8 @@
 //! # hpm-bench — the paper's evaluation, reproduced
 //!
 //! Shared measurement harness behind the `paper_tables` binary and the
-//! criterion benches. Every table and figure of the paper's §4 maps to a
-//! function here:
+//! bench targets (which use the dependency-free [`harness`] module).
+//! Every table and figure of the paper's §4 maps to a function here:
 //!
 //! | paper item | function |
 //! |---|---|
@@ -14,12 +14,16 @@
 //! | §4.3 execution overhead | [`overhead_rows`] |
 //! | DESIGN.md ablations | [`ablation_rows`] |
 
+pub mod harness;
+
 use hpm_arch::Architecture;
 use hpm_core::SearchStrategy;
 use hpm_migrate::{
-    resume_from_image, run_migrating, run_straight, run_to_migration, MigratedSource, Trigger,
+    resume_from_image, run_migrating, run_migrating_traced, run_straight, run_to_migration,
+    MigratedSource, MigrationRun, Trigger,
 };
 use hpm_net::NetworkModel;
+use hpm_obs::Tracer;
 use hpm_workloads::{diff_results, BitonicSort, Linpack, PollPlacement, TestPointer};
 use std::time::{Duration, Instant};
 
@@ -117,12 +121,18 @@ pub fn table1_rows() -> Vec<MigRow> {
     let mut rows = Vec::new();
     let n = 1000;
     let mut src = freeze_linpack(n);
-    rows.push(measure_frozen("linpack 1000x1000", n, &mut src, link, || {
-        Linpack::truncated(n, 4)
-    }));
+    rows.push(measure_frozen(
+        "linpack 1000x1000",
+        n,
+        &mut src,
+        link,
+        || Linpack::truncated(n, 4),
+    ));
     let n = 100_000;
     let mut src = freeze_bitonic(n);
-    rows.push(measure_frozen("bitonic 100000", n, &mut src, link, || BitonicSort::new(n)));
+    rows.push(measure_frozen("bitonic 100000", n, &mut src, link, || {
+        BitonicSort::new(n)
+    }));
     rows
 }
 
@@ -321,7 +331,11 @@ pub fn overhead_rows() -> Vec<OverheadRow> {
     // small, so take minima to suppress scheduler noise) ---
     let n = 160;
     let mut base = Duration::ZERO;
-    for placement in [PollPlacement::None, PollPlacement::OuterLoop, PollPlacement::InnerKernel] {
+    for placement in [
+        PollPlacement::None,
+        PollPlacement::OuterLoop,
+        PollPlacement::InnerKernel,
+    ] {
         let mut wall = Duration::MAX;
         let mut polls = 0;
         let mut registrations = 0;
@@ -350,7 +364,11 @@ pub fn overhead_rows() -> Vec<OverheadRow> {
     let n = 30_000;
     let mut base = Duration::ZERO;
     for pooled in [true, false] {
-        let mut prog = if pooled { BitonicSort::pooled(n) } else { BitonicSort::new(n) };
+        let mut prog = if pooled {
+            BitonicSort::pooled(n)
+        } else {
+            BitonicSort::new(n)
+        };
         let t0 = Instant::now();
         let (_, proc) = run_straight(&mut prog, Architecture::ultra5()).unwrap();
         let wall = t0.elapsed();
@@ -368,7 +386,64 @@ pub fn overhead_rows() -> Vec<OverheadRow> {
             overhead_pct: pct(wall, base),
         });
     }
+
+    // --- tracer ablation on collection: the disabled tracer costs one
+    // branch per event site, so "tracer off" must track the untraced
+    // baseline while "tracer on" pays for event recording ---
+    let n = 20_000;
+    let mut base = Duration::ZERO;
+    for mode in ["off", "on"] {
+        let mut src = freeze_bitonic(n);
+        let tracer = if mode == "on" {
+            Tracer::new()
+        } else {
+            Tracer::disabled()
+        };
+        let mut wall = Duration::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let mut collector = hpm_core::Collector::new(&mut src.proc.space, &mut src.proc.msrlt)
+                .with_tracer(tracer.clone());
+            for frame in &src.pending {
+                for &addr in &frame.live {
+                    collector.save_variable(addr).unwrap();
+                }
+            }
+            let _ = collector.finish();
+            wall = wall.min(t0.elapsed());
+            // Drain between reps so the ring buffer never saturates.
+            let _ = tracer.take_log();
+        }
+        if mode == "off" {
+            base = wall;
+        }
+        rows.push(OverheadRow {
+            label: format!("bitonic {n}: collect, tracing {mode}"),
+            wall,
+            polls: src.proc.poll_count(),
+            registrations: src.proc.msrlt.stats().registrations,
+            overhead_pct: pct(wall, base),
+        });
+    }
     rows
+}
+
+/// One fully-traced TestPointer migration on the §4.1 heterogeneous
+/// testbed: the returned report carries a [`hpm_obs::TraceLog`] with
+/// nested `collect` → `msrlt.search`, `tx` → `net.send`, and `restore`
+/// spans plus every counter group, ready for
+/// [`hpm_obs::chrome_trace_json`].
+pub fn traced_test_pointer_run() -> MigrationRun {
+    let tracer = Tracer::new();
+    run_migrating_traced(
+        TestPointer::new,
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(8),
+        &tracer,
+    )
+    .expect("test_pointer migrates")
 }
 
 fn pct(wall: Duration, base: Duration) -> f64 {
@@ -395,9 +470,10 @@ pub fn ablation_rows() -> Vec<AblationRow> {
     use hpm_core::{Collector, MarkStrategy, Msrlt};
     let n = 8_000u64;
     let mut rows = Vec::new();
-    for (label, strategy) in
-        [("binary search", SearchStrategy::Binary), ("linear search", SearchStrategy::Linear)]
-    {
+    for (label, strategy) in [
+        ("binary search", SearchStrategy::Binary),
+        ("linear search", SearchStrategy::Linear),
+    ] {
         let mut src = freeze_bitonic(n);
         // Rebuild the MSRLT under the chosen strategy.
         let mut msrlt = Msrlt::with_strategy(strategy);
@@ -414,14 +490,19 @@ pub fn ablation_rows() -> Vec<AblationRow> {
         }
         let _ = collector.finish();
         let collect = t0.elapsed();
-        rows.push(AblationRow { label: format!("msrlt {label}"), collect, steps: msrlt.stats().search_steps });
+        rows.push(AblationRow {
+            label: format!("msrlt {label}"),
+            collect,
+            steps: msrlt.stats().search_steps,
+        });
     }
-    for (label, marks) in [("epoch marks", MarkStrategy::Epoch), ("hash-set marks", MarkStrategy::HashSet)]
-    {
+    for (label, marks) in [
+        ("epoch marks", MarkStrategy::Epoch),
+        ("hash-set marks", MarkStrategy::HashSet),
+    ] {
         let mut src = freeze_bitonic(n);
         let t0 = Instant::now();
-        let mut collector =
-            Collector::with_marks(&mut src.proc.space, &mut src.proc.msrlt, marks);
+        let mut collector = Collector::with_marks(&mut src.proc.space, &mut src.proc.msrlt, marks);
         for frame in &src.pending {
             for &addr in &frame.live {
                 collector.save_variable(addr).unwrap();
@@ -429,7 +510,11 @@ pub fn ablation_rows() -> Vec<AblationRow> {
         }
         let _ = collector.finish();
         let collect = t0.elapsed();
-        rows.push(AblationRow { label: label.to_string(), collect, steps: 0 });
+        rows.push(AblationRow {
+            label: label.to_string(),
+            collect,
+            steps: 0,
+        });
     }
     rows
 }
@@ -446,9 +531,13 @@ mod tests {
     #[test]
     fn small_frozen_linpack_measures() {
         let mut src = freeze_linpack(60);
-        let row = measure_frozen("linpack 60", 60, &mut src, NetworkModel::ethernet_100(), || {
-            Linpack::truncated(60, 4)
-        });
+        let row = measure_frozen(
+            "linpack 60",
+            60,
+            &mut src,
+            NetworkModel::ethernet_100(),
+            || Linpack::truncated(60, 4),
+        );
         assert!(row.payload_bytes > 60 * 60 * 8, "{row:?}");
         assert!(row.collect > Duration::ZERO);
         assert!(row.restore > Duration::ZERO);
@@ -458,9 +547,13 @@ mod tests {
     #[test]
     fn small_frozen_bitonic_measures() {
         let mut src = freeze_bitonic(500);
-        let row = measure_frozen("bitonic 500", 500, &mut src, NetworkModel::ethernet_100(), || {
-            BitonicSort::new(500)
-        });
+        let row = measure_frozen(
+            "bitonic 500",
+            500,
+            &mut src,
+            NetworkModel::ethernet_100(),
+            || BitonicSort::new(500),
+        );
         assert!(row.blocks >= 499, "{row:?}");
         assert!(row.searches > 400, "one search per pointer chased");
     }

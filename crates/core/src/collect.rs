@@ -33,6 +33,7 @@ use crate::msrlt::{LogicalId, Msrlt};
 use crate::CoreError;
 use hpm_arch::CScalar;
 use hpm_memory::AddressSpace;
+use hpm_obs::{StatField, StatGroup, Tracer};
 use hpm_types::plan::{PlanOp, SavePlan};
 use hpm_types::TypeId;
 use hpm_xdr::XdrEncoder;
@@ -81,6 +82,34 @@ pub struct CollectStats {
     pub encode_time: Duration,
 }
 
+impl StatGroup for CollectStats {
+    fn group(&self) -> &'static str {
+        "collect"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("blocks_saved", self.blocks_saved),
+            StatField::count("scalars_encoded", self.scalars_encoded),
+            StatField::count("ptr_null", self.ptr_null),
+            StatField::count("ptr_ref", self.ptr_ref),
+            StatField::count("ptr_new", self.ptr_new),
+            StatField::bytes("bytes_out", self.bytes_out),
+            StatField::duration("encode_time", self.encode_time),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.blocks_saved += other.blocks_saved;
+        self.scalars_encoded += other.scalars_encoded;
+        self.ptr_null += other.ptr_null;
+        self.ptr_ref += other.ptr_ref;
+        self.ptr_new += other.ptr_new;
+        self.bytes_out += other.bytes_out;
+        self.encode_time += other.encode_time;
+    }
+}
+
 struct Cursor {
     block_addr: u64,
     plan: Rc<SavePlan>,
@@ -102,6 +131,7 @@ pub struct Collector<'a> {
     marks: MarkStrategy,
     mark_set: std::collections::HashSet<LogicalId>,
     fp_cache: std::collections::HashMap<TypeId, u64>,
+    tracer: Tracer,
 }
 
 impl<'a> Collector<'a> {
@@ -125,7 +155,30 @@ impl<'a> Collector<'a> {
             marks,
             mark_set: std::collections::HashSet::new(),
             fp_cache: std::collections::HashMap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: block saves emit `collect.block` instants and
+    /// every MSRLT address search becomes an `msrlt.search` span. With
+    /// the default disabled tracer each site costs one branch.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// A traced MSRLT address search.
+    fn lookup_addr(&mut self, addr: u64) -> Option<(LogicalId, u64)> {
+        self.tracer.begin("msrlt.search");
+        let r = self.msrlt.lookup_addr(addr);
+        match r {
+            Some((id, _)) => self.tracer.end_args(
+                "msrlt.search",
+                &[("group", id.group as f64), ("index", id.index as f64)],
+            ),
+            None => self.tracer.end_args("msrlt.search", &[("miss", 1.0)]),
+        }
+        r
     }
 
     fn fingerprint(&mut self, ty: TypeId) -> u64 {
@@ -161,7 +214,6 @@ impl<'a> Collector<'a> {
     /// and its subsequent links and nodes have already been visited").
     pub fn save_variable(&mut self, addr: u64) -> Result<(), CoreError> {
         let (id, off) = self
-            .msrlt
             .lookup_addr(addr)
             .ok_or(CoreError::UnregisteredPointer(addr))?;
         if off != 0 {
@@ -210,11 +262,19 @@ impl<'a> Collector<'a> {
 
     fn emit_block(&mut self, addr: u64, ty: TypeId, count: u64) -> Result<(), CoreError> {
         self.stats.blocks_saved += 1;
+        self.tracer
+            .instant_args("collect.block", &[("count", count as f64)]);
         let plan = self.space.plan_for(ty)?;
         if !plan.has_pointers {
             return self.encode_block_bulk(addr, &plan, count);
         }
-        self.drain(vec![Cursor { block_addr: addr, plan, count, elem_idx: 0, op_idx: 0 }])
+        self.drain(vec![Cursor {
+            block_addr: addr,
+            plan,
+            count,
+            elem_idx: 0,
+            op_idx: 0,
+        }])
     }
 
     /// Fast path for pointer-free blocks (the linpack case): one address
@@ -235,7 +295,13 @@ impl<'a> Collector<'a> {
         for elem in 0..count {
             let elem_base = (elem * plan.size) as usize;
             for op in &plan.ops {
-                let PlanOp::ScalarRun { offset, kind, count: rc, stride } = op else {
+                let PlanOp::ScalarRun {
+                    offset,
+                    kind,
+                    count: rc,
+                    stride,
+                } = op
+                else {
                     unreachable!("bulk path requires a pointer-free plan");
                 };
                 let size = arch.scalar_size(*kind) as usize;
@@ -276,7 +342,12 @@ impl<'a> Collector<'a> {
             };
             let (block_addr, elem_base, op) = next;
             match op {
-                PlanOp::ScalarRun { offset, kind, count, stride } => {
+                PlanOp::ScalarRun {
+                    offset,
+                    kind,
+                    count,
+                    stride,
+                } => {
                     self.encode_run(block_addr, elem_base + offset, kind, count, stride)?;
                 }
                 PlanOp::PointerSlot { offset, .. } => {
@@ -291,7 +362,11 @@ impl<'a> Collector<'a> {
     fn read_ptr(&mut self, block_addr: u64, offset: u64) -> Result<u64, CoreError> {
         let size = self.space.arch().pointer_size;
         let bytes = self.space.read_bytes(block_addr + offset, size)?;
-        Ok(self.space.arch().decode_scalar(CScalar::Ptr, bytes).as_ptr())
+        Ok(self
+            .space
+            .arch()
+            .decode_scalar(CScalar::Ptr, bytes)
+            .as_ptr())
     }
 
     fn encode_run(
@@ -305,7 +380,11 @@ impl<'a> Collector<'a> {
         let t0 = Instant::now();
         let arch = self.space.arch().clone();
         let size = arch.scalar_size(kind) as usize;
-        let total_span = if count == 0 { 0 } else { (count - 1) * stride + size as u64 };
+        let total_span = if count == 0 {
+            0
+        } else {
+            (count - 1) * stride + size as u64
+        };
         let bytes = self.space.read_bytes(block_addr + offset, total_span)?;
         for k in 0..count {
             let at = (k * stride) as usize;
@@ -325,7 +404,6 @@ impl<'a> Collector<'a> {
         }
         // THE MSRLT search (counted, timed in MsrltStats).
         let (id, _byte_off) = self
-            .msrlt
             .lookup_addr(ptr)
             .ok_or(CoreError::UnregisteredPointer(ptr))?;
         // Element ordinal of the pointed-to leaf within the target block.
@@ -341,6 +419,8 @@ impl<'a> Collector<'a> {
         self.stats.ptr_new += 1;
         self.stats.blocks_saved += 1;
         let entry = self.msrlt.entry(id).unwrap();
+        self.tracer
+            .instant_args("collect.block", &[("count", entry.count as f64)]);
         let (ty, count, target_addr) = (entry.ty, entry.count, entry.addr);
         self.enc.put_u32(TAG_PTR_NEW);
         put_id(&mut self.enc, id);
@@ -352,7 +432,13 @@ impl<'a> Collector<'a> {
         if !plan.has_pointers {
             self.encode_block_bulk(target_addr, &plan, count)?;
         } else {
-            stack.push(Cursor { block_addr: target_addr, plan, count, elem_idx: 0, op_idx: 0 });
+            stack.push(Cursor {
+                block_addr: target_addr,
+                plan,
+                count,
+                elem_idx: 0,
+                op_idx: 0,
+            });
         }
         Ok(())
     }
@@ -475,7 +561,10 @@ mod tests {
         let fl = space.types_mut().float();
         space
             .types_mut()
-            .define_struct(node, vec![Field::new("data", fl), Field::new("link", pnode)])
+            .define_struct(
+                node,
+                vec![Field::new("data", fl), Field::new("link", pnode)],
+            )
             .unwrap();
         let n1 = space.malloc(node, 1).unwrap();
         let n2 = space.malloc(node, 1).unwrap();
@@ -559,7 +648,10 @@ mod tests {
         // Find the PTR_NEW tag and check the offset field == 7.
         // Layout: VAR_NEW(4) id(8) fp(8) count(8) | PTR_NEW(4) id(8) off(8) ...
         let off = u64::from_be_bytes(bytes[40..48].try_into().unwrap());
-        assert_eq!(u32::from_be_bytes(bytes[28..32].try_into().unwrap()), TAG_PTR_NEW);
+        assert_eq!(
+            u32::from_be_bytes(bytes[28..32].try_into().unwrap()),
+            TAG_PTR_NEW
+        );
         assert_eq!(off, 7);
     }
 

@@ -99,7 +99,8 @@ mod tests {
         let node = t.declare_struct("node");
         let link = t.pointer_to(node);
         let f = t.float();
-        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)])
+            .unwrap();
         // Must not hang or overflow.
         let fp = type_fingerprint(&t, node);
         assert_ne!(fp, 0);

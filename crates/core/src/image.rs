@@ -53,7 +53,12 @@ impl ImageHeader {
         let source_arch = dec.get_string()?;
         let source_pointer_size = dec.get_u32()?;
         let program = dec.get_string()?;
-        Ok(ImageHeader { version, source_arch, source_pointer_size, program })
+        Ok(ImageHeader {
+            version,
+            source_arch,
+            source_pointer_size,
+            program,
+        })
     }
 }
 
@@ -112,7 +117,10 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let h = ImageHeader { version: 99, ..header() };
+        let h = ImageHeader {
+            version: 99,
+            ..header()
+        };
         let mut enc = XdrEncoder::new();
         h.encode(&mut enc);
         let mut dec = XdrDecoder::new(enc.as_bytes());
@@ -126,7 +134,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut img = frame_image(&header(), b"E", b"M");
         img.extend_from_slice(&[0, 0, 0, 0]);
-        assert!(matches!(unframe_image(&img), Err(CoreError::SequenceMismatch(_))));
+        assert!(matches!(
+            unframe_image(&img),
+            Err(CoreError::SequenceMismatch(_))
+        ));
     }
 
     #[test]

@@ -89,9 +89,16 @@ impl std::fmt::Display for CoreError {
             CoreError::Mem(m) => write!(f, "memory error: {m}"),
             CoreError::Xdr(e) => write!(f, "xdr error: {e}"),
             CoreError::UnregisteredPointer(a) => {
-                write!(f, "pointer {a:#x} does not refer to a registered memory block")
+                write!(
+                    f,
+                    "pointer {a:#x} does not refer to a registered memory block"
+                )
             }
-            CoreError::TypeMismatch { id, expected, found } => write!(
+            CoreError::TypeMismatch {
+                id,
+                expected,
+                found,
+            } => write!(
                 f,
                 "type mismatch for block {id}: stream {expected:#x} != local {found:#x}"
             ),

@@ -25,9 +25,10 @@
 //! only `O(n)`. Both strategies of the §4.2 ablation are provided
 //! ([`SearchStrategy::Binary`] and [`SearchStrategy::Linear`]).
 
-use hpm_memory::BlockInfo;
-use hpm_types::TypeId;
 use hpm_arch::SegmentKind;
+use hpm_memory::BlockInfo;
+use hpm_obs::{StatField, StatGroup};
+use hpm_types::TypeId;
 use std::time::{Duration, Instant};
 
 /// Group number of the global-variable group.
@@ -99,6 +100,34 @@ pub struct MsrltStats {
     pub register_time: Duration,
     /// Wall time spent searching.
     pub search_time: Duration,
+}
+
+impl StatGroup for MsrltStats {
+    fn group(&self) -> &'static str {
+        "msrlt"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("registrations", self.registrations),
+            StatField::count("unregistrations", self.unregistrations),
+            StatField::count("searches", self.searches),
+            StatField::count("search_steps", self.search_steps),
+            StatField::count("id_lookups", self.id_lookups),
+            StatField::duration("register_time", self.register_time),
+            StatField::duration("search_time", self.search_time),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.registrations += other.registrations;
+        self.unregistrations += other.unregistrations;
+        self.searches += other.searches;
+        self.search_steps += other.search_steps;
+        self.id_lookups += other.id_lookups;
+        self.register_time += other.register_time;
+        self.search_time += other.search_time;
+    }
 }
 
 /// The MSR Lookup Table.
@@ -213,9 +242,18 @@ impl Msrlt {
         if g.len() <= id.index as usize {
             g.resize(id.index as usize + 1, None);
         }
-        debug_assert!(g[id.index as usize].is_none(), "duplicate registration of {id}");
-        g[id.index as usize] =
-            Some(MsrltEntry { id, addr, size, ty, count, visited_epoch: 0 });
+        debug_assert!(
+            g[id.index as usize].is_none(),
+            "duplicate registration of {id}"
+        );
+        g[id.index as usize] = Some(MsrltEntry {
+            id,
+            addr,
+            size,
+            ty,
+            count,
+            visited_epoch: 0,
+        });
         let pos = self.by_addr.partition_point(|&(a, _)| a < addr);
         self.by_addr.insert(pos, (addr, id));
         self.stats.registrations += 1;
@@ -324,9 +362,9 @@ impl Msrlt {
 
     /// All live entries, unordered.
     pub fn live_entries(&self) -> impl Iterator<Item = &MsrltEntry> {
-        self.by_addr.iter().filter_map(|(_, id)| {
-            self.groups[id.group as usize][id.index as usize].as_ref()
-        })
+        self.by_addr
+            .iter()
+            .filter_map(|(_, id)| self.groups[id.group as usize][id.index as usize].as_ref())
     }
 
     // ----- visit marking (collection-time DFS) -----
@@ -417,7 +455,11 @@ mod tests {
             l.register(&inf);
         }
         for probe in (0x0F00..0x1800).step_by(7) {
-            assert_eq!(b.lookup_addr(probe), l.lookup_addr(probe), "probe {probe:#x}");
+            assert_eq!(
+                b.lookup_addr(probe),
+                l.lookup_addr(probe),
+                "probe {probe:#x}"
+            );
         }
         assert!(l.stats().search_steps > b.stats().search_steps);
     }
@@ -432,7 +474,11 @@ mod tests {
         m.lookup_addr(0x1000 + 500 * 16);
         let s = m.stats();
         assert_eq!(s.searches, 1);
-        assert!(s.search_steps <= 11, "expected ≤ log2(1024)+1 steps, got {}", s.search_steps);
+        assert!(
+            s.search_steps <= 11,
+            "expected ≤ log2(1024)+1 steps, got {}",
+            s.search_steps
+        );
     }
 
     #[test]
@@ -475,7 +521,10 @@ mod tests {
         assert!(m.entry(LogicalId { group: 1, index: 7 }).is_some());
         assert!(m.entry(LogicalId { group: 1, index: 2 }).is_some());
         assert!(m.entry(LogicalId { group: 1, index: 3 }).is_none());
-        assert_eq!(m.lookup_addr(0x2004).unwrap().0, LogicalId { group: 1, index: 2 });
+        assert_eq!(
+            m.lookup_addr(0x2004).unwrap().0,
+            LogicalId { group: 1, index: 2 }
+        );
     }
 
     #[test]

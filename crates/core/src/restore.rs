@@ -21,6 +21,7 @@ use crate::msrlt::{LogicalId, Msrlt};
 use crate::CoreError;
 use hpm_arch::{CScalar, ScalarValue, XdrForm};
 use hpm_memory::AddressSpace;
+use hpm_obs::{StatField, StatGroup, Tracer};
 use hpm_types::plan::{PlanOp, SavePlan};
 use hpm_types::TypeId;
 use hpm_xdr::XdrDecoder;
@@ -49,6 +50,36 @@ pub struct RestoreStats {
     pub decode_time: Duration,
 }
 
+impl StatGroup for RestoreStats {
+    fn group(&self) -> &'static str {
+        "restore"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("blocks_restored", self.blocks_restored),
+            StatField::count("blocks_allocated", self.blocks_allocated),
+            StatField::count("scalars_decoded", self.scalars_decoded),
+            StatField::count("ptr_null", self.ptr_null),
+            StatField::count("ptr_ref", self.ptr_ref),
+            StatField::count("ptr_new", self.ptr_new),
+            StatField::bytes("bytes_in", self.bytes_in),
+            StatField::duration("decode_time", self.decode_time),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.blocks_restored += other.blocks_restored;
+        self.blocks_allocated += other.blocks_allocated;
+        self.scalars_decoded += other.scalars_decoded;
+        self.ptr_null += other.ptr_null;
+        self.ptr_ref += other.ptr_ref;
+        self.ptr_new += other.ptr_new;
+        self.bytes_in += other.bytes_in;
+        self.decode_time += other.decode_time;
+    }
+}
+
 struct Cursor {
     block_addr: u64,
     plan: Rc<SavePlan>,
@@ -65,6 +96,7 @@ pub struct Restorer<'a> {
     fp_to_type: HashMap<u64, TypeId>,
     fp_cache: HashMap<TypeId, u64>,
     stats: RestoreStats,
+    tracer: Tracer,
 }
 
 impl<'a> Restorer<'a> {
@@ -89,7 +121,16 @@ impl<'a> Restorer<'a> {
             fp_to_type,
             fp_cache: HashMap::new(),
             stats: RestoreStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: restored blocks emit `restore.block` instants
+    /// and heap allocations emit `restore.alloc` instants. With the
+    /// default disabled tracer each site costs one branch.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     fn fingerprint(&mut self, ty: TypeId) -> u64 {
@@ -137,7 +178,11 @@ impl<'a> Restorer<'a> {
                 let (ty, local_count) = (entry.ty, entry.count);
                 let local_fp = self.fingerprint(ty);
                 if local_fp != fp {
-                    return Err(CoreError::TypeMismatch { id, expected: fp, found: local_fp });
+                    return Err(CoreError::TypeMismatch {
+                        id,
+                        expected: fp,
+                        found: local_fp,
+                    });
                 }
                 if local_count != count {
                     return Err(CoreError::SequenceMismatch(format!(
@@ -191,11 +236,19 @@ impl<'a> Restorer<'a> {
 
     fn fill_block(&mut self, addr: u64, ty: TypeId, count: u64) -> Result<(), CoreError> {
         self.stats.blocks_restored += 1;
+        self.tracer
+            .instant_args("restore.block", &[("count", count as f64)]);
         let plan = self.space.plan_for(ty)?;
         if !plan.has_pointers {
             return self.decode_block_bulk(addr, &plan, count);
         }
-        self.drain(vec![Cursor { block_addr: addr, plan, count, elem_idx: 0, op_idx: 0 }])
+        self.drain(vec![Cursor {
+            block_addr: addr,
+            plan,
+            count,
+            elem_idx: 0,
+            op_idx: 0,
+        }])
     }
 
     /// Fast path for pointer-free blocks: one write borrow of the block
@@ -210,14 +263,22 @@ impl<'a> Restorer<'a> {
         let total = (plan.size * count) as usize;
         let (arch, bytes) = self.space.arch_and_bytes_mut(addr)?;
         if bytes.len() < total {
-            return Err(CoreError::Mem(format!("block at {addr:#x} shorter than stream data")));
+            return Err(CoreError::Mem(format!(
+                "block at {addr:#x} shorter than stream data"
+            )));
         }
         let mut native = Vec::with_capacity(8);
         let mut scalars = 0u64;
         for elem in 0..count {
             let elem_base = (elem * plan.size) as usize;
             for op in &plan.ops {
-                let PlanOp::ScalarRun { offset, kind, count: rc, stride } = op else {
+                let PlanOp::ScalarRun {
+                    offset,
+                    kind,
+                    count: rc,
+                    stride,
+                } = op
+                else {
                     unreachable!("bulk path requires a pointer-free plan");
                 };
                 for k in 0..*rc {
@@ -257,7 +318,12 @@ impl<'a> Restorer<'a> {
             };
             let (block_addr, elem_base, op) = next;
             match op {
-                PlanOp::ScalarRun { offset, kind, count, stride } => {
+                PlanOp::ScalarRun {
+                    offset,
+                    kind,
+                    count,
+                    stride,
+                } => {
                     self.decode_run(block_addr, elem_base + offset, kind, count, stride)?;
                 }
                 PlanOp::PointerSlot { offset, .. } => {
@@ -312,7 +378,10 @@ impl<'a> Restorer<'a> {
                 self.stats.ptr_ref += 1;
                 let id = get_id(&mut self.dec)?;
                 let leaf_idx = self.dec.get_u64()?;
-                let entry = self.msrlt.entry_counted(id).ok_or(CoreError::UnknownId(id))?;
+                let entry = self
+                    .msrlt
+                    .entry_counted(id)
+                    .ok_or(CoreError::UnknownId(id))?;
                 let addr = entry.addr;
                 Ok(self.space.elem_addr(addr, leaf_idx)?)
             }
@@ -349,14 +418,17 @@ impl<'a> Restorer<'a> {
                         // of §4.2) and fill it.
                         // (bulk fast path applies inside push_fill's
                         // pointer-free branch below)
-                        let ty = *self
-                            .fp_to_type
-                            .get(&fp)
-                            .ok_or(CoreError::TypeMismatch { id, expected: fp, found: 0 })?;
+                        let ty = *self.fp_to_type.get(&fp).ok_or(CoreError::TypeMismatch {
+                            id,
+                            expected: fp,
+                            found: 0,
+                        })?;
                         let addr = self.space.malloc(ty, count)?;
                         let size = self.space.layout_of(ty)?.size * count;
                         self.msrlt.register_at(id, addr, size, ty, count);
                         self.stats.blocks_allocated += 1;
+                        self.tracer
+                            .instant_args("restore.alloc", &[("bytes", size as f64)]);
                         self.push_fill(stack, addr, ty, count)?;
                         addr
                     }
@@ -375,13 +447,21 @@ impl<'a> Restorer<'a> {
         count: u64,
     ) -> Result<(), CoreError> {
         self.stats.blocks_restored += 1;
+        self.tracer
+            .instant_args("restore.block", &[("count", count as f64)]);
         let plan = self.space.plan_for(ty)?;
         if !plan.has_pointers {
             // The stream inlines the whole block right here; decode it
             // now so the parent cursor resumes at the right offset.
             return self.decode_block_bulk(addr, &plan, count);
         }
-        stack.push(Cursor { block_addr: addr, plan, count, elem_idx: 0, op_idx: 0 });
+        stack.push(Cursor {
+            block_addr: addr,
+            plan,
+            count,
+            elem_idx: 0,
+            op_idx: 0,
+        });
         Ok(())
     }
 }
@@ -423,7 +503,10 @@ mod tests {
         let fl = space.types_mut().float();
         space
             .types_mut()
-            .define_struct(node, vec![Field::new("data", fl), Field::new("link", pnode)])
+            .define_struct(
+                node,
+                vec![Field::new("data", fl), Field::new("link", pnode)],
+            )
             .unwrap();
         let int = space.types_mut().int();
         let pi = space.types_mut().pointer_to(int);
@@ -459,7 +542,11 @@ mod tests {
         r.restore_variable(db).unwrap();
         r.finish().unwrap();
         assert_eq!(dst.load_int(da).unwrap(), -1234);
-        assert_eq!(dst.load_ptr(db).unwrap(), da, "pointer retargeted to dest's a");
+        assert_eq!(
+            dst.load_ptr(db).unwrap(),
+            da,
+            "pointer retargeted to dest's a"
+        );
     }
 
     #[test]

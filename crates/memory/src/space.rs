@@ -174,9 +174,9 @@ impl AddressSpace {
             .model
             .engine
             .struct_field_offsets(&self.types, &self.arch, st)?;
-        offs.get(field).copied().ok_or_else(|| {
-            MemError::Type(format!("struct has no field ordinal {field}"))
-        })
+        offs.get(field)
+            .copied()
+            .ok_or_else(|| MemError::Type(format!("struct has no field ordinal {field}")))
     }
 
     /// Allocation statistics so far.
@@ -188,7 +188,9 @@ impl AddressSpace {
     }
 
     fn live_blocks_iter(&self) -> impl Iterator<Item = &MemoryBlock> {
-        self.by_addr.values().filter_map(|&i| self.arena[i as usize].as_ref())
+        self.by_addr
+            .values()
+            .filter_map(|&i| self.arena[i as usize].as_ref())
     }
 
     #[inline]
@@ -255,12 +257,7 @@ impl AddressSpace {
     }
 
     /// Define a global variable block of `count` elements of `ty`.
-    pub fn define_global(
-        &mut self,
-        name: &str,
-        ty: TypeId,
-        count: u64,
-    ) -> Result<u64, MemError> {
+    pub fn define_global(&mut self, name: &str, ty: TypeId, count: u64) -> Result<u64, MemError> {
         let l = self.layout_of(ty)?;
         let size = l.size * count;
         let addr = align_up(self.global_top, l.align.max(1));
@@ -456,7 +453,11 @@ impl AddressSpace {
         let (start, &idx) = self.by_addr.range(..=addr).next_back()?;
         let b = self.block(idx);
         if b.contains(addr) {
-            Some(ResolvedAddr { block_addr: *start, offset: addr - *start, idx })
+            Some(ResolvedAddr {
+                block_addr: *start,
+                offset: addr - *start,
+                idx,
+            })
         } else {
             None
         }
@@ -491,7 +492,10 @@ impl AddressSpace {
 
     /// Mutable view of a block's bytes from `addr` to the block end,
     /// together with the architecture (split borrow for bulk decoders).
-    pub fn arch_and_bytes_mut(&mut self, addr: u64) -> Result<(&Architecture, &mut [u8]), MemError> {
+    pub fn arch_and_bytes_mut(
+        &mut self,
+        addr: u64,
+    ) -> Result<(&Architecture, &mut [u8]), MemError> {
         let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
         let b = self.arena[r.idx as usize].as_mut().expect("live block");
         Ok((&self.arch, &mut b.bytes[r.offset as usize..]))
@@ -543,7 +547,10 @@ impl AddressSpace {
             .map_err(|_| MemError::NotALeaf(addr))?;
         Ok((
             elem_idx * per + li,
-            Leaf { offset: elem_idx * elem_size + leaf.offset, ..leaf },
+            Leaf {
+                offset: elem_idx * elem_size + leaf.offset,
+                ..leaf
+            },
         ))
     }
 
@@ -621,7 +628,9 @@ impl AddressSpace {
     pub fn load_ptr(&mut self, addr: u64) -> Result<u64, MemError> {
         match self.load_scalar(addr)? {
             ScalarValue::Ptr(p) => Ok(p),
-            other => Err(MemError::Type(format!("expected pointer at {addr:#x}, got {other:?}"))),
+            other => Err(MemError::Type(format!(
+                "expected pointer at {addr:#x}, got {other:?}"
+            ))),
         }
     }
 
@@ -641,14 +650,21 @@ impl AddressSpace {
     pub fn read_f64_run(&mut self, addr: u64, n: u64, out: &mut Vec<f64>) -> Result<(), MemError> {
         let (_, leaf) = self.leaf_at_addr(addr)?;
         if leaf.kind != hpm_arch::CScalar::Double {
-            return Err(MemError::Type(format!("f64 run over {:?} leaves", leaf.kind)));
+            return Err(MemError::Type(format!(
+                "f64 run over {:?} leaves",
+                leaf.kind
+            )));
         }
         let bytes = self.read_bytes(addr, n * 8)?;
         let big = self.arch.endianness == hpm_arch::Endianness::Big;
         out.reserve(n as usize);
         for chunk in bytes.chunks_exact(8) {
             let raw: [u8; 8] = chunk.try_into().unwrap();
-            let bits = if big { u64::from_be_bytes(raw) } else { u64::from_le_bytes(raw) };
+            let bits = if big {
+                u64::from_be_bytes(raw)
+            } else {
+                u64::from_le_bytes(raw)
+            };
             out.push(f64::from_bits(bits));
         }
         Ok(())
@@ -658,7 +674,10 @@ impl AddressSpace {
     pub fn write_f64_run(&mut self, addr: u64, vals: &[f64]) -> Result<(), MemError> {
         let (_, leaf) = self.leaf_at_addr(addr)?;
         if leaf.kind != hpm_arch::CScalar::Double {
-            return Err(MemError::Type(format!("f64 run over {:?} leaves", leaf.kind)));
+            return Err(MemError::Type(format!(
+                "f64 run over {:?} leaves",
+                leaf.kind
+            )));
         }
         let big = self.arch.endianness == hpm_arch::Endianness::Big;
         let r = self.resolve(addr).ok_or(MemError::BadAddress(addr))?;
@@ -670,7 +689,11 @@ impl AddressSpace {
         }
         for (i, v) in vals.iter().enumerate() {
             let bits = v.to_bits();
-            let raw = if big { bits.to_be_bytes() } else { bits.to_le_bytes() };
+            let raw = if big {
+                bits.to_be_bytes()
+            } else {
+                bits.to_le_bytes()
+            };
             b.bytes[start + i * 8..start + i * 8 + 8].copy_from_slice(&raw);
         }
         Ok(())
@@ -715,7 +738,10 @@ mod tests {
         let int = s.types_mut().int();
         let f1 = s.push_frame("main");
         let f2 = s.push_frame("foo");
-        assert!(matches!(s.define_local(f1, "x", int, 1), Err(MemError::FrameDiscipline(_))));
+        assert!(matches!(
+            s.define_local(f1, "x", int, 1),
+            Err(MemError::FrameDiscipline(_))
+        ));
         assert!(matches!(s.pop_frame(f1), Err(MemError::FrameDiscipline(_))));
         s.pop_frame(f2).unwrap();
         s.pop_frame(f1).unwrap();
@@ -730,7 +756,10 @@ mod tests {
         let a = s.define_local(f, "x", int, 1).unwrap();
         assert!(s.resolve(a).is_some());
         s.pop_frame(f).unwrap();
-        assert!(s.resolve(a).is_none(), "dangling stack address must not resolve");
+        assert!(
+            s.resolve(a).is_none(),
+            "dangling stack address must not resolve"
+        );
     }
 
     #[test]
@@ -894,7 +923,10 @@ mod tests {
         let mut s = AddressSpace::new(arch);
         let d = s.types_mut().double();
         assert!(s.malloc(d, 4).is_ok());
-        assert!(matches!(s.malloc(d, 8), Err(MemError::OutOfMemory(SegmentKind::Heap))));
+        assert!(matches!(
+            s.malloc(d, 8),
+            Err(MemError::OutOfMemory(SegmentKind::Heap))
+        ));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::driver::{collect_image, resume_from_image};
 use crate::process::{Process, Trigger};
 use crate::{Flow, MigError};
 use hpm_arch::Architecture;
-use hpm_net::{channel_pair, NetworkModel};
+use hpm_net::{channel_pair, NetworkModel, TransferSnapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,6 +39,8 @@ pub struct ClusterReport {
     pub restore_time: Duration,
     /// Poll-points the source executed before the request was observed.
     pub src_polls: u64,
+    /// Wire-level transfer accounting for the cluster link.
+    pub transfer: TransferSnapshot,
 }
 
 /// A pair of named machines joined by one link.
@@ -137,7 +139,8 @@ impl TwoMachineCluster {
         let (results, restore_time, image_bytes) = dst_thread
             .join()
             .map_err(|_| MigError::Protocol("destination machine panicked".into()))??;
-        let tx_time = src_end.stats().modeled_tx_time();
+        let transfer = src_end.stats().snapshot();
+        let tx_time = transfer.modeled_tx_time();
 
         Ok(ClusterReport {
             results,
@@ -146,6 +149,7 @@ impl TwoMachineCluster {
             tx_time,
             restore_time,
             src_polls,
+            transfer,
         })
     }
 }

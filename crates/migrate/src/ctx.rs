@@ -32,6 +32,7 @@ use crate::process::Process;
 use crate::MigError;
 use hpm_core::{CollectStats, Collector, RestoreStats, Restorer};
 use hpm_memory::FrameId;
+use hpm_obs::{StatGroup, Tracer};
 use hpm_types::TypeId;
 use std::time::{Duration, Instant};
 
@@ -116,12 +117,25 @@ pub struct MigCtx<'p> {
     func_stack: Vec<String>,
     /// Set when the final `restore_frame` completes: (stats, wall time).
     finished_restore: Option<(RestoreStats, Duration)>,
+    tracer: Tracer,
 }
 
 impl<'p> MigCtx<'p> {
     /// Context for a fresh (source-side) run.
     pub fn new_run(proc: &'p mut Process) -> Self {
-        MigCtx { proc, mode: Mode::Run, func_stack: Vec::new(), finished_restore: None }
+        MigCtx {
+            proc,
+            mode: Mode::Run,
+            func_stack: Vec::new(),
+            finished_restore: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a tracer: every `restore_frame` emits a `restore` span (with
+    /// nested block/alloc events from the [`Restorer`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Context for a destination-side resume.
@@ -145,6 +159,7 @@ impl<'p> MigCtx<'p> {
             }),
             func_stack: Vec::new(),
             finished_restore: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -224,7 +239,11 @@ impl<'p> MigCtx<'p> {
                     .func_stack
                     .pop()
                     .ok_or_else(|| MigError::Protocol("save_frame outside any function".into()))?;
-                frames.push(PendingFrame { function, poll_point, live: live.to_vec() });
+                frames.push(PendingFrame {
+                    function,
+                    poll_point,
+                    live: live.to_vec(),
+                });
                 Ok(())
             }
             _ => Err(MigError::Protocol("save_frame while not unwinding".into())),
@@ -256,7 +275,9 @@ impl<'p> MigCtx<'p> {
     pub fn restore_frame(&mut self, live: &[u64]) -> Result<(), MigError> {
         let depth = self.func_stack.len();
         let Mode::Resume(r) = &mut self.mode else {
-            return Err(MigError::Protocol("restore_frame while not resuming".into()));
+            return Err(MigError::Protocol(
+                "restore_frame while not resuming".into(),
+            ));
         };
         if depth != r.restored_down_to {
             return Err(MigError::Protocol(format!(
@@ -274,15 +295,25 @@ impl<'p> MigCtx<'p> {
             )));
         }
         let t0 = Instant::now();
-        let mut restorer =
-            Restorer::new(&mut self.proc.space, &mut self.proc.msrlt, &r.payload[r.pos..]);
+        self.tracer.begin_args(
+            "restore",
+            &[("frame_depth", depth as f64), ("live", live.len() as f64)],
+        );
+        let mut restorer = Restorer::new(
+            &mut self.proc.space,
+            &mut self.proc.msrlt,
+            &r.payload[r.pos..],
+        )
+        .with_tracer(self.tracer.clone());
         for &addr in live {
             restorer.restore_variable(addr).map_err(MigError::from)?;
         }
         let consumed = restorer.consumed();
         let stats = restorer.take_stats();
+        self.tracer
+            .end_args("restore", &[("bytes", consumed as f64)]);
         r.pos += consumed;
-        merge_restore_stats(&mut r.stats, &stats);
+        r.stats.merge_from(&stats);
         r.restore_time += t0.elapsed();
         r.restored_down_to -= 1;
         if r.restored_down_to == 0 {
@@ -321,7 +352,9 @@ impl<'p> MigCtx<'p> {
     pub fn into_pending_frames(self) -> Result<Vec<PendingFrame>, MigError> {
         match self.mode {
             Mode::Unwind(frames) => Ok(frames),
-            _ => Err(MigError::Protocol("program did not unwind for migration".into())),
+            _ => Err(MigError::Protocol(
+                "program did not unwind for migration".into(),
+            )),
         }
     }
 
@@ -330,7 +363,9 @@ impl<'p> MigCtx<'p> {
     pub fn into_parts(self) -> Result<(&'p mut Process, Vec<PendingFrame>), MigError> {
         match self.mode {
             Mode::Unwind(frames) => Ok((self.proc, frames)),
-            _ => Err(MigError::Protocol("program did not unwind for migration".into())),
+            _ => Err(MigError::Protocol(
+                "program did not unwind for migration".into(),
+            )),
         }
     }
 
@@ -346,8 +381,19 @@ pub fn collect_pending(
     proc: &mut Process,
     pending: &[PendingFrame],
 ) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
+    collect_pending_traced(proc, pending, &Tracer::disabled())
+}
+
+/// [`collect_pending`] with a tracer attached to the [`Collector`]: the
+/// DFS emits `msrlt.search` spans and `collect.block` instants.
+pub fn collect_pending_traced(
+    proc: &mut Process,
+    pending: &[PendingFrame],
+    tracer: &Tracer,
+) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
     let heap_high_water = proc.msrlt.heap_len();
-    let mut collector = Collector::new(&mut proc.space, &mut proc.msrlt);
+    let mut collector =
+        Collector::new(&mut proc.space, &mut proc.msrlt).with_tracer(tracer.clone());
     for frame in pending {
         for &addr in &frame.live {
             collector.save_variable(addr).map_err(MigError::from)?;
@@ -363,18 +409,12 @@ pub fn collect_pending(
             live_count: p.live.len() as u32,
         })
         .collect();
-    Ok((payload, ExecutionState { frames, heap_high_water }, stats))
-}
-
-/// Merge restoration counters (stream sections are restored in separate
-/// sessions per frame).
-pub fn merge_restore_stats(into: &mut RestoreStats, from: &RestoreStats) {
-    into.blocks_restored += from.blocks_restored;
-    into.blocks_allocated += from.blocks_allocated;
-    into.scalars_decoded += from.scalars_decoded;
-    into.ptr_null += from.ptr_null;
-    into.ptr_ref += from.ptr_ref;
-    into.ptr_new += from.ptr_new;
-    into.bytes_in += from.bytes_in;
-    into.decode_time += from.decode_time;
+    Ok((
+        payload,
+        ExecutionState {
+            frames,
+            heap_high_water,
+        },
+        stats,
+    ))
 }

@@ -5,14 +5,15 @@
 //! data collection (Collect), transmission (Tx), and restoration (Restore)
 //! time") — plus every §4.2 instrumentation counter.
 
-use crate::ctx::{collect_pending, MigCtx, MigratableProgram};
+use crate::ctx::{collect_pending, collect_pending_traced, MigCtx, MigratableProgram};
 use crate::exec::ExecutionState;
 use crate::process::{Process, Trigger};
 use crate::{Flow, MigError};
 use hpm_arch::Architecture;
 use hpm_core::image::{frame_image, unframe_image, ImageHeader};
 use hpm_core::{CollectStats, MsrltStats, RestoreStats, IMAGE_VERSION};
-use hpm_net::NetworkModel;
+use hpm_net::{channel_pair, NetworkModel, TransferSnapshot};
+use hpm_obs::{render_groups, snapshot, StatField, StatGroup, TraceLog, Tracer};
 use std::time::{Duration, Instant};
 
 /// Everything measured about one migration.
@@ -40,12 +41,39 @@ pub struct MigrationReport {
     pub src_polls: u64,
     /// Call-chain depth at the migration point.
     pub chain_depth: usize,
+    /// Wire-level transfer accounting (the `Tx` column comes from here).
+    pub transfer: TransferSnapshot,
+    /// Full event trace of the migration, when one was requested via
+    /// [`run_migrating_traced`]; `None` for untraced runs.
+    pub trace: Option<TraceLog>,
 }
 
 impl MigrationReport {
     /// Total migration time: Collect + Tx + Restore (Table 1's metric).
     pub fn migration_time(&self) -> Duration {
         self.collect_time + self.tx_time + self.restore_time
+    }
+
+    /// Modeled transmission time in nanoseconds, from the wire accounting.
+    pub fn modeled_tx_nanos(&self) -> u64 {
+        self.transfer.modeled_tx_nanos
+    }
+
+    /// Every counter group in the report, in render order.
+    pub fn stat_groups(&self) -> Vec<(String, Vec<StatField>)> {
+        vec![
+            snapshot(&self.collect_stats),
+            ("msrlt.src".to_string(), self.src_msrlt.fields()),
+            snapshot(&self.transfer),
+            snapshot(&self.restore_stats),
+            ("msrlt.dst".to_string(), self.dst_msrlt.fields()),
+        ]
+    }
+
+    /// Human-readable rendering of every counter group (one aligned
+    /// table, shared with `paper_tables` output).
+    pub fn render(&self) -> String {
+        render_groups(&self.stat_groups())
     }
 }
 
@@ -69,7 +97,9 @@ pub fn run_straight<P: MigratableProgram>(
     match program.run(&mut ctx)? {
         Flow::Done => {}
         Flow::Migrate => {
-            return Err(MigError::Protocol("program migrated with Trigger::Never".into()))
+            return Err(MigError::Protocol(
+                "program migrated with Trigger::Never".into(),
+            ))
         }
     }
     let results = program.results(&mut proc)?;
@@ -131,10 +161,19 @@ impl MigratedSource {
 pub fn collect_image(
     ctx: MigCtx<'_>,
 ) -> Result<(Vec<u8>, Duration, CollectStats, ExecutionState), MigError> {
+    collect_image_traced(ctx, &Tracer::disabled())
+}
+
+/// [`collect_image`] with the collection DFS traced (`msrlt.search`
+/// spans, `collect.block` instants) on `tracer`.
+pub fn collect_image_traced(
+    ctx: MigCtx<'_>,
+    tracer: &Tracer,
+) -> Result<(Vec<u8>, Duration, CollectStats, ExecutionState), MigError> {
     let (proc, pending) = ctx.into_parts()?;
     proc.msrlt.reset_stats();
     let t0 = Instant::now();
-    let (payload, exec, stats) = collect_pending(proc, &pending)?;
+    let (payload, exec, stats) = collect_pending_traced(proc, &pending, tracer)?;
     let collect_time = t0.elapsed();
     let header = ImageHeader {
         version: IMAGE_VERSION,
@@ -158,6 +197,17 @@ pub fn resume_from_image<P: MigratableProgram>(
     arch: Architecture,
     image: &[u8],
 ) -> Result<ResumeOutcome, MigError> {
+    resume_from_image_traced(program, arch, image, &Tracer::disabled())
+}
+
+/// [`resume_from_image`] with restoration traced: each `restore_frame`
+/// emits a `restore` span carrying nested block/alloc events.
+pub fn resume_from_image_traced<P: MigratableProgram>(
+    program: &mut P,
+    arch: Architecture,
+    image: &[u8],
+    tracer: &Tracer,
+) -> Result<ResumeOutcome, MigError> {
     let (header, exec_bytes, payload) = unframe_image(image)?;
     if header.program != program.name() {
         return Err(MigError::Protocol(format!(
@@ -171,15 +221,14 @@ pub fn resume_from_image<P: MigratableProgram>(
     program.setup(&mut proc)?;
     proc.msrlt.reset_stats();
     let mut ctx = MigCtx::new_resume(&mut proc, exec, payload);
+    ctx.set_tracer(tracer.clone());
     match program.run(&mut ctx)? {
         Flow::Done => {}
-        Flow::Migrate => {
-            return Err(MigError::Protocol("resumed program migrated again".into()))
-        }
+        Flow::Migrate => return Err(MigError::Protocol("resumed program migrated again".into())),
     }
-    let (rstats, rtime) = ctx
-        .restore_totals()
-        .ok_or_else(|| MigError::Protocol("program finished without restoring all frames".into()))?;
+    let (rstats, rtime) = ctx.restore_totals().ok_or_else(|| {
+        MigError::Protocol("program finished without restoring all frames".into())
+    })?;
     let results = program.results(&mut proc)?;
     Ok((results, proc, rstats, rtime))
 }
@@ -196,6 +245,25 @@ pub fn run_migrating<P: MigratableProgram>(
     link: NetworkModel,
     trigger: Trigger,
 ) -> Result<MigrationRun, MigError> {
+    run_migrating_traced(make, src_arch, dst_arch, link, trigger, &Tracer::disabled())
+}
+
+/// [`run_migrating`] with a [`Tracer`] attached to every phase.
+///
+/// With an enabled tracer, the run emits nested phase spans — `collect`
+/// (containing `msrlt.search` spans and `collect.block` instants), `tx`
+/// (containing the channel's `net.send`/`net.recv` spans), and `restore`
+/// per frame (containing `restore.block`/`restore.alloc` instants) — and
+/// the report carries the drained [`TraceLog`] with every counter group
+/// attached, ready for [`hpm_obs::chrome_trace_json`].
+pub fn run_migrating_traced<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    tracer: &Tracer,
+) -> Result<MigrationRun, MigError> {
     // --- source side ---
     let mut src_prog = make();
     let mut src = Process::new(src_prog.name(), src_arch);
@@ -208,37 +276,55 @@ pub fn run_migrating<P: MigratableProgram>(
             "trigger never fired; program completed on the source".into(),
         ));
     }
-    let (image, collect_time, collect_stats, exec) = collect_image(ctx)?;
+    tracer.begin("collect");
+    let (image, collect_time, collect_stats, exec) = collect_image_traced(ctx, tracer)?;
+    tracer.end_args("collect", &[("image_bytes", image.len() as f64)]);
     let src_msrlt = src.msrlt.stats();
     let src_polls = src.poll_count();
     let chain_depth = exec.depth();
     let memory_bytes = collect_stats.bytes_out;
 
-    // --- the wire ---
-    let tx_time = link.tx_time(image.len() as u64);
+    // --- the wire: ship the image through a modeled channel so the Tx
+    // column comes from the same accounting the cluster path uses ---
+    tracer.begin("tx");
+    let (src_end, dst_end) = channel_pair(link);
+    let src_end = src_end.with_tracer(tracer.clone());
+    let dst_end = dst_end.with_tracer(tracer.clone());
+    src_end.send(image)?;
+    let image = dst_end.recv()?;
+    let transfer = src_end.stats().snapshot();
+    let tx_time = transfer.modeled_tx_time();
+    tracer.end_args("tx", &[("modeled_ns", transfer.modeled_tx_nanos as f64)]);
 
     // --- destination side ---
     let mut dst_prog = make();
     let (results, dst, restore_stats, restore_time) =
-        resume_from_image(&mut dst_prog, dst_arch, &image)?;
+        resume_from_image_traced(&mut dst_prog, dst_arch, &image, tracer)?;
     let dst_msrlt = dst.msrlt.stats();
 
-    Ok(MigrationRun {
-        report: MigrationReport {
-            image_bytes: image.len() as u64,
-            memory_bytes,
-            collect_time,
-            tx_time,
-            restore_time,
-            collect_stats,
-            src_msrlt,
-            restore_stats,
-            dst_msrlt,
-            src_polls,
-            chain_depth,
-        },
-        results,
-    })
+    let mut report = MigrationReport {
+        image_bytes: image.len() as u64,
+        memory_bytes,
+        collect_time,
+        tx_time,
+        restore_time,
+        collect_stats,
+        src_msrlt,
+        restore_stats,
+        dst_msrlt,
+        src_polls,
+        chain_depth,
+        transfer,
+        trace: None,
+    };
+    if tracer.enabled() {
+        let mut log = tracer.take_log();
+        for (group, fields) in report.stat_groups() {
+            log.attach_stats(group, fields);
+        }
+        report.trace = Some(log);
+    }
+    Ok(MigrationRun { report, results })
 }
 
 #[cfg(test)]
@@ -259,7 +345,10 @@ mod tests {
 
     impl Summer {
         fn new(limit: i64) -> Self {
-            Summer { limit, result: None }
+            Summer {
+                limit,
+                result: None,
+            }
         }
 
         fn int(proc: &mut Process) -> TypeId {

@@ -55,9 +55,14 @@ impl ExecutionState {
             });
         }
         if !dec.is_empty() {
-            return Err(MigError::Protocol("trailing bytes in execution state".into()));
+            return Err(MigError::Protocol(
+                "trailing bytes in execution state".into(),
+            ));
         }
-        Ok(ExecutionState { frames, heap_high_water })
+        Ok(ExecutionState {
+            frames,
+            heap_high_water,
+        })
     }
 
     /// Call-chain depth.
@@ -73,8 +78,16 @@ mod tests {
     fn sample() -> ExecutionState {
         ExecutionState {
             frames: vec![
-                FrameState { function: "main".into(), poll_point: 3, live_count: 4 },
-                FrameState { function: "foo".into(), poll_point: 1, live_count: 2 },
+                FrameState {
+                    function: "main".into(),
+                    poll_point: 3,
+                    live_count: 4,
+                },
+                FrameState {
+                    function: "foo".into(),
+                    poll_point: 1,
+                    live_count: 2,
+                },
             ],
             heap_high_water: 17,
         }
@@ -98,7 +111,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut b = sample().encode();
         b.extend_from_slice(&[0; 4]);
-        assert!(matches!(ExecutionState::decode(&b), Err(MigError::Protocol(_))));
+        assert!(matches!(
+            ExecutionState::decode(&b),
+            Err(MigError::Protocol(_))
+        ));
     }
 
     #[test]

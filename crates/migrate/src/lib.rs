@@ -44,8 +44,14 @@ pub mod process;
 pub mod sched;
 
 pub use cluster::{ClusterReport, TwoMachineCluster};
-pub use ctx::{collect_pending, Flow, MigCtx, MigratableProgram, PendingFrame};
-pub use driver::{run_migrating, run_straight, run_to_migration, resume_from_image, MigratedSource, MigrationReport, MigrationRun};
+pub use ctx::{
+    collect_pending, collect_pending_traced, Flow, MigCtx, MigratableProgram, PendingFrame,
+};
+pub use driver::{
+    collect_image, collect_image_traced, resume_from_image, resume_from_image_traced,
+    run_migrating, run_migrating_traced, run_straight, run_to_migration, MigratedSource,
+    MigrationReport, MigrationRun,
+};
 pub use exec::{ExecutionState, FrameState};
 pub use process::{Process, Trigger};
 pub use sched::{Job, SchedStats, Scheduler, SimMachine};

@@ -24,6 +24,7 @@ use hpm_arch::Architecture;
 use hpm_core::image::{frame_image, unframe_image, ImageHeader};
 use hpm_core::IMAGE_VERSION;
 use hpm_net::NetworkModel;
+use hpm_obs::{StatField, StatGroup, Tracer};
 use std::time::Duration;
 
 /// Factory producing fresh program values for one job (each slice runs a
@@ -94,6 +95,28 @@ pub struct SchedStats {
     pub tx_time: Duration,
 }
 
+impl StatGroup for SchedStats {
+    fn group(&self) -> &'static str {
+        "sched"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("slices", self.slices),
+            StatField::count("checkpoints", self.checkpoints),
+            StatField::count("rebalances", self.rebalances),
+            StatField::duration("tx_time", self.tx_time),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.slices += other.slices;
+        self.checkpoints += other.checkpoints;
+        self.rebalances += other.rebalances;
+        self.tx_time += other.tx_time;
+    }
+}
+
 /// The checkpointing scheduler.
 pub struct Scheduler {
     /// Cluster machines.
@@ -104,17 +127,36 @@ pub struct Scheduler {
     pub link: NetworkModel,
     /// Counters.
     pub stats: SchedStats,
+    tracer: Tracer,
 }
 
 impl Scheduler {
     /// New scheduler with the given preemption quantum.
     pub fn new(quantum: u64, link: NetworkModel) -> Self {
-        Scheduler { machines: Vec::new(), quantum, link, stats: SchedStats::default() }
+        Scheduler {
+            machines: Vec::new(),
+            quantum,
+            link,
+            stats: SchedStats::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a tracer: every slice becomes a `scheduler.slice` span, and
+    /// checkpoints/rebalances become `scheduler.checkpoint` /
+    /// `scheduler.rebalance` instants carrying image sizes.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Add a machine; returns its index.
     pub fn add_machine(&mut self, name: &str, arch: Architecture) -> usize {
-        self.machines.push(SimMachine { name: name.to_string(), arch, jobs: Vec::new() });
+        self.machines.push(SimMachine {
+            name: name.to_string(),
+            arch,
+            jobs: Vec::new(),
+        });
         self.machines.len() - 1
     }
 
@@ -204,13 +246,28 @@ impl Scheduler {
     /// One scheduling epoch: every machine runs one slice of each of its
     /// unfinished jobs, then the cluster rebalances.
     pub fn epoch(&mut self) -> Result<(), MigError> {
-        for m in &mut self.machines {
-            for job in &mut m.jobs {
+        let tracer = self.tracer.clone();
+        for (mi, m) in self.machines.iter_mut().enumerate() {
+            for (ji, job) in m.jobs.iter_mut().enumerate() {
                 if !job.finished() {
-                    Self::run_slice(&m.arch, self.quantum, job)?;
+                    let before = job.bytes_moved;
+                    tracer.begin_args(
+                        "scheduler.slice",
+                        &[("machine", mi as f64), ("job", ji as f64)],
+                    );
+                    let r = Self::run_slice(&m.arch, self.quantum, job);
+                    tracer.end("scheduler.slice");
+                    r?;
                     self.stats.slices += 1;
                     if !job.finished() {
                         self.stats.checkpoints += 1;
+                        tracer.instant_args(
+                            "scheduler.checkpoint",
+                            &[
+                                ("machine", mi as f64),
+                                ("bytes", (job.bytes_moved - before) as f64),
+                            ],
+                        );
                     }
                 }
             }
@@ -238,17 +295,24 @@ impl Scheduler {
                 return;
             }
             // Move one suspended (or fresh) job hi → lo.
-            let pos = self.machines[hi]
-                .jobs
-                .iter()
-                .position(|j| !j.finished());
+            let pos = self.machines[hi].jobs.iter().position(|j| !j.finished());
             let Some(pos) = pos else { return };
             let mut job = self.machines[hi].jobs.remove(pos);
             job.migrations += 1;
+            let mut img_bytes = 0u64;
             if let JobState::Suspended(img) = &job.state {
-                self.stats.tx_time += self.link.tx_time(img.len() as u64);
+                img_bytes = img.len() as u64;
+                self.stats.tx_time += self.link.tx_time(img_bytes);
             }
             self.stats.rebalances += 1;
+            self.tracer.instant_args(
+                "scheduler.rebalance",
+                &[
+                    ("from", hi as f64),
+                    ("to", lo as f64),
+                    ("bytes", img_bytes as f64),
+                ],
+            );
             self.machines[lo].jobs.push(job);
         }
     }
@@ -264,7 +328,9 @@ impl Scheduler {
         if self.machines.iter().all(|m| m.unfinished() == 0) {
             Ok(())
         } else {
-            Err(MigError::Protocol("epoch budget exhausted with jobs unfinished".into()))
+            Err(MigError::Protocol(
+                "epoch budget exhausted with jobs unfinished".into(),
+            ))
         }
     }
 
@@ -297,7 +363,10 @@ mod tests {
 
     impl Counter {
         fn boxed(limit: i64) -> Box<dyn MigratableProgram + Send> {
-            Box::new(Counter { limit, result: None })
+            Box::new(Counter {
+                limit,
+                result: None,
+            })
         }
     }
 
@@ -338,7 +407,10 @@ mod tests {
             Ok(Flow::Done)
         }
         fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
-            Ok(vec![("count".into(), self.result.unwrap_or(-1).to_string())])
+            Ok(vec![(
+                "count".into(),
+                self.result.unwrap_or(-1).to_string(),
+            )])
         }
     }
 
@@ -356,7 +428,10 @@ mod tests {
 
     #[test]
     fn slices_match_straight_run() {
-        let mut p = Counter { limit: 777, result: None };
+        let mut p = Counter {
+            limit: 777,
+            result: None,
+        };
         let (expect, _) = run_straight(&mut p, Architecture::sparc20()).unwrap();
         let mut s = Scheduler::new(50, NetworkModel::instant());
         let m = s.add_machine("m0", Architecture::sparc20());
@@ -403,9 +478,7 @@ mod tests {
             let from = hop % 2;
             let to = 1 - from;
             if from < s.machines.len() {
-                if let Some(pos) =
-                    s.machines[from].jobs.iter().position(|j| !j.finished())
-                {
+                if let Some(pos) = s.machines[from].jobs.iter().position(|j| !j.finished()) {
                     let job = s.machines[from].jobs.remove(pos);
                     s.machines[to].jobs.push(job);
                 }

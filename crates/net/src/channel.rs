@@ -1,9 +1,10 @@
 //! Reliable in-process message channels between simulated machines.
 
 use crate::model::NetworkModel;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hpm_obs::{StatField, StatGroup, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Channel errors.
@@ -45,9 +46,61 @@ impl TransferStats {
         self.messages_sent.load(Ordering::Relaxed)
     }
 
+    /// Sum of modeled transmission times in nanoseconds.
+    pub fn modeled_tx_nanos(&self) -> u64 {
+        self.modeled_tx_nanos.load(Ordering::Relaxed)
+    }
+
     /// Sum of modeled transmission times (the Table 1 `Tx` quantity).
     pub fn modeled_tx_time(&self) -> Duration {
-        Duration::from_nanos(self.modeled_tx_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.modeled_tx_nanos())
+    }
+
+    /// Point-in-time copy, detached from the live atomics.
+    pub fn snapshot(&self) -> TransferSnapshot {
+        TransferSnapshot {
+            bytes_sent: self.bytes_sent(),
+            messages_sent: self.messages_sent(),
+            modeled_tx_nanos: self.modeled_tx_nanos(),
+        }
+    }
+}
+
+/// A detached copy of [`TransferStats`], embeddable in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferSnapshot {
+    /// Total payload bytes sent through either endpoint.
+    pub bytes_sent: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Sum of modeled transmission times in nanoseconds.
+    pub modeled_tx_nanos: u64,
+}
+
+impl TransferSnapshot {
+    /// Modeled transmission time as a [`Duration`].
+    pub fn modeled_tx_time(&self) -> Duration {
+        Duration::from_nanos(self.modeled_tx_nanos)
+    }
+}
+
+impl StatGroup for TransferSnapshot {
+    fn group(&self) -> &'static str {
+        "net"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::bytes("bytes_sent", self.bytes_sent),
+            StatField::count("messages_sent", self.messages_sent),
+            StatField::duration("modeled_tx_time", self.modeled_tx_time()),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.bytes_sent += other.bytes_sent;
+        self.messages_sent += other.messages_sent;
+        self.modeled_tx_nanos += other.modeled_tx_nanos;
     }
 }
 
@@ -56,54 +109,105 @@ impl TransferStats {
 /// `send` is non-blocking (the link is modeled, not throttled); the
 /// modeled transmission time of every message is accumulated in the
 /// shared [`TransferStats`], which the migration driver reads to report
-/// the `Tx` column.
+/// the `Tx` column. With a tracer attached ([`Channel::with_tracer`]),
+/// every send/recv also emits a `net.send`/`net.recv` span carrying the
+/// payload size and modeled wire time, so traces show modeled-vs-wall
+/// time per message.
 pub struct Channel {
     tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    // std::sync::mpsc receivers are !Sync; the mutex restores Sync so a
+    // Channel can sit behind an Arc or in scoped-thread captures.
+    rx: Mutex<Receiver<Vec<u8>>>,
     model: NetworkModel,
     stats: Arc<TransferStats>,
+    tracer: Tracer,
 }
 
 /// Create a connected pair of endpoints over one modeled link.
 pub fn channel_pair(model: NetworkModel) -> (Channel, Channel) {
-    let (tx_ab, rx_ab) = unbounded();
-    let (tx_ba, rx_ba) = unbounded();
+    let (tx_ab, rx_ab) = channel();
+    let (tx_ba, rx_ba) = channel();
     let stats = Arc::new(TransferStats::default());
     (
-        Channel { tx: tx_ab, rx: rx_ba, model, stats: Arc::clone(&stats) },
-        Channel { tx: tx_ba, rx: rx_ab, model, stats },
+        Channel {
+            tx: tx_ab,
+            rx: Mutex::new(rx_ba),
+            model,
+            stats: Arc::clone(&stats),
+            tracer: Tracer::disabled(),
+        },
+        Channel {
+            tx: tx_ba,
+            rx: Mutex::new(rx_ab),
+            model,
+            stats,
+            tracer: Tracer::disabled(),
+        },
     )
 }
 
 impl Channel {
+    /// Attach a tracer to this endpoint; send/recv emit `net.send` /
+    /// `net.recv` spans on it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Send one message to the peer.
     pub fn send(&self, payload: Vec<u8>) -> Result<(), NetError> {
         let n = payload.len() as u64;
         let tx_time = self.model.tx_time(n);
+        self.tracer.begin_args(
+            "net.send",
+            &[
+                ("bytes", n as f64),
+                ("modeled_ns", tx_time.as_nanos() as f64),
+            ],
+        );
         self.stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
         self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.stats
             .modeled_tx_nanos
             .fetch_add(tx_time.as_nanos() as u64, Ordering::Relaxed);
-        self.tx.send(payload).map_err(|_| NetError::Disconnected)
+        let r = self.tx.send(payload).map_err(|_| NetError::Disconnected);
+        self.tracer.end("net.send");
+        r
     }
 
     /// Block until the next message arrives.
     pub fn recv(&self) -> Result<Vec<u8>, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected)
+        self.tracer.begin("net.recv");
+        let r = self
+            .rx
+            .lock()
+            .unwrap()
+            .recv()
+            .map_err(|_| NetError::Disconnected);
+        match &r {
+            Ok(m) => self
+                .tracer
+                .end_args("net.recv", &[("bytes", m.len() as f64)]),
+            Err(_) => self.tracer.end("net.recv"),
+        }
+        r
     }
 
     /// Block up to `timeout` for the next message.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => NetError::Timeout,
-            RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })
+        self.rx
+            .lock()
+            .unwrap()
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => NetError::Timeout,
+                RecvTimeoutError::Disconnected => NetError::Disconnected,
+            })
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Vec<u8>> {
-        self.rx.try_recv().ok()
+        self.rx.lock().unwrap().try_recv().ok()
     }
 
     /// Shared transfer statistics for this link.
@@ -139,6 +243,32 @@ mod tests {
         assert_eq!(s.bytes_sent(), 1500);
         assert_eq!(s.messages_sent(), 2);
         assert!(s.modeled_tx_time() > Duration::ZERO);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 1500);
+        assert_eq!(snap.modeled_tx_time(), s.modeled_tx_time());
+    }
+
+    #[test]
+    fn snapshot_merges_additively() {
+        let mut a = TransferSnapshot {
+            bytes_sent: 10,
+            messages_sent: 1,
+            modeled_tx_nanos: 100,
+        };
+        let b = TransferSnapshot {
+            bytes_sent: 5,
+            messages_sent: 2,
+            modeled_tx_nanos: 50,
+        };
+        a.merge_from(&b);
+        assert_eq!(
+            a,
+            TransferSnapshot {
+                bytes_sent: 15,
+                messages_sent: 3,
+                modeled_tx_nanos: 150
+            }
+        );
     }
 
     #[test]
@@ -177,5 +307,27 @@ mod tests {
         a.send(vec![1, 2, 3]).unwrap();
         assert_eq!(a.recv().unwrap(), vec![3, 2, 1]);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn traced_endpoints_emit_wire_spans() {
+        let tracer = Tracer::new();
+        let (a, b) = channel_pair(NetworkModel::ethernet_10());
+        let a = a.with_tracer(tracer.track("src"));
+        let b = b.with_tracer(tracer.track("dst"));
+        a.send(vec![0; 256]).unwrap();
+        b.recv().unwrap();
+        let log = tracer.take_log();
+        let spans = log.spans();
+        let send = spans.iter().find(|s| s.name == "net.send").unwrap();
+        assert_ne!(send.end_ns, u64::MAX);
+        assert!(spans.iter().any(|s| s.name == "net.recv"));
+        // The send's Begin event carries payload size and modeled time.
+        let begin = log.events.iter().find(|e| e.name == "net.send").unwrap();
+        assert!(begin.args.iter().any(|&(k, v)| k == "bytes" && v == 256.0));
+        assert!(begin
+            .args
+            .iter()
+            .any(|&(k, v)| k == "modeled_ns" && v > 0.0));
     }
 }

@@ -87,14 +87,20 @@ fn read_framed(path: &Path) -> std::io::Result<Vec<u8>> {
     let mut head = [0u8; 8 + 8 + 8];
     f.read_exact(&mut head)?;
     if &head[..8] != MAGIC {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad spool magic"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad spool magic",
+        ));
     }
     let len = u64::from_be_bytes(head[8..16].try_into().unwrap()) as usize;
     let sum = u64::from_be_bytes(head[16..24].try_into().unwrap());
     let mut image = vec![0u8; len];
     f.read_exact(&mut image)?;
     if fnv64(&image) != sum {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "spool checksum mismatch"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "spool checksum mismatch",
+        ));
     }
     Ok(image)
 }
@@ -113,8 +119,12 @@ mod tests {
     use super::*;
 
     fn spool() -> FileTransport {
-        let dir = std::env::temp_dir().join(format!("hpm-spool-{}", std::process::id()))
-            .join(format!("{:x}", fnv64(format!("{:?}", std::time::Instant::now()).as_bytes())));
+        let dir = std::env::temp_dir()
+            .join(format!("hpm-spool-{}", std::process::id()))
+            .join(format!(
+                "{:x}",
+                fnv64(format!("{:?}", std::time::Instant::now()).as_bytes())
+            ));
         FileTransport::new(dir, NetworkModel::instant()).unwrap()
     }
 

@@ -9,44 +9,71 @@
 //! the paper's Table 1 `Tx` column behaves (it is dominated by
 //! bytes ÷ link speed, not by protocol details). Actual byte delivery
 //! between the two "machines" (threads) uses a reliable in-process
-//! [`Channel`] built on crossbeam, with optional real-time pacing for
-//! demos.
+//! [`Channel`] built on `std::sync::mpsc`, with optional real-time pacing
+//! for demos. Endpoints can carry an [`hpm_obs::Tracer`], in which case
+//! every message produces a `net.send`/`net.recv` span annotated with the
+//! payload size and modeled wire time.
 
 mod channel;
 mod file;
 mod model;
 
-pub use channel::{channel_pair, Channel, NetError, TransferStats};
+pub use channel::{channel_pair, Channel, NetError, TransferSnapshot, TransferStats};
 pub use file::FileTransport;
 pub use model::{Link, NetworkModel};
 
 #[cfg(test)]
-mod proptests {
+mod model_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Tx time is monotone in message size and inversely related to
-        /// bandwidth.
-        #[test]
-        fn tx_time_monotone(bytes_a in 1u64..10_000_000, extra in 1u64..1_000_000) {
-            let m = NetworkModel::ethernet_10();
+    /// Deterministic xorshift for seed-driven sweeps (no external RNG).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Tx time is monotone in message size and inversely related to
+    /// bandwidth, across a deterministic sweep of sizes.
+    #[test]
+    fn tx_time_monotone() {
+        let m = NetworkModel::ethernet_10();
+        let fast = NetworkModel::ethernet_100();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..256 {
+            let bytes_a = 1 + xorshift(&mut seed) % 10_000_000;
+            let extra = 1 + xorshift(&mut seed) % 1_000_000;
             let t1 = m.tx_time(bytes_a);
             let t2 = m.tx_time(bytes_a + extra);
-            prop_assert!(t2 > t1);
-            let fast = NetworkModel::ethernet_100();
-            prop_assert!(fast.tx_time(bytes_a) < t1);
+            assert!(t2 > t1, "tx_time not monotone at {bytes_a}+{extra}");
+            assert!(
+                fast.tx_time(bytes_a) < t1,
+                "faster link not faster at {bytes_a}"
+            );
         }
+    }
 
-        /// Messages arrive intact and in order.
-        #[test]
-        fn channel_fifo(msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20)) {
+    /// Messages arrive intact and in order for varied shapes and counts.
+    #[test]
+    fn channel_fifo() {
+        let mut seed = 0xdeadbeefcafef00du64;
+        for _ in 0..32 {
+            let n_msgs = 1 + (xorshift(&mut seed) % 20) as usize;
+            let msgs: Vec<Vec<u8>> = (0..n_msgs)
+                .map(|_| {
+                    let len = (xorshift(&mut seed) % 64) as usize;
+                    (0..len).map(|_| xorshift(&mut seed) as u8).collect()
+                })
+                .collect();
             let (a, b) = channel_pair(NetworkModel::instant());
             for m in &msgs {
                 a.send(m.clone()).unwrap();
             }
             for m in &msgs {
-                prop_assert_eq!(&b.recv().unwrap(), m);
+                assert_eq!(&b.recv().unwrap(), m);
             }
         }
     }

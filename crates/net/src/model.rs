@@ -59,7 +59,11 @@ impl NetworkModel {
 
     /// A zero-cost link for tests.
     pub fn instant() -> Self {
-        NetworkModel { bandwidth_bps: f64::INFINITY, latency: Duration::ZERO, efficiency: 1.0 }
+        NetworkModel {
+            bandwidth_bps: f64::INFINITY,
+            latency: Duration::ZERO,
+            efficiency: 1.0,
+        }
     }
 
     /// Model for a [`Link`] preset.
@@ -102,7 +106,9 @@ mod tests {
     #[test]
     fn ten_mbit_is_ten_times_slower() {
         let slow = NetworkModel::ethernet_10().tx_time(1_000_000).as_secs_f64();
-        let fast = NetworkModel::ethernet_100().tx_time(1_000_000).as_secs_f64();
+        let fast = NetworkModel::ethernet_100()
+            .tx_time(1_000_000)
+            .as_secs_f64();
         let ratio = slow / fast;
         assert!(ratio > 8.0 && ratio < 13.0, "ratio {ratio}");
     }
@@ -117,13 +123,22 @@ mod tests {
 
     #[test]
     fn instant_link_is_free() {
-        assert_eq!(NetworkModel::instant().tx_time(u64::MAX / 16), Duration::ZERO);
+        assert_eq!(
+            NetworkModel::instant().tx_time(u64::MAX / 16),
+            Duration::ZERO
+        );
     }
 
     #[test]
     fn presets_resolve() {
-        assert_eq!(NetworkModel::for_link(Link::Ethernet10), NetworkModel::ethernet_10());
-        assert_eq!(NetworkModel::for_link(Link::Gigabit), NetworkModel::gigabit());
+        assert_eq!(
+            NetworkModel::for_link(Link::Ethernet10),
+            NetworkModel::ethernet_10()
+        );
+        assert_eq!(
+            NetworkModel::for_link(Link::Gigabit),
+            NetworkModel::gigabit()
+        );
     }
 
     #[test]

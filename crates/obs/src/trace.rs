@@ -1,0 +1,502 @@
+//! The span/event tracer.
+//!
+//! A [`Tracer`] is a cheap cloneable handle. Handles share one bounded
+//! ring buffer; each handle carries a *track* id (a named timeline — one
+//! per machine/thread/phase owner), so a single trace can interleave the
+//! source machine, the destination machine, the wire, and the scheduler.
+//!
+//! The disabled tracer ([`Tracer::disabled`]) holds no buffer at all:
+//! every event site reduces to one branch on an `Option` and an immediate
+//! return. This is the property the §4.3-style `overhead_rows` ablation
+//! (tracing on/off) demonstrates.
+
+use crate::stats::StatField;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default ring-buffer capacity (events). Enough for the coarse phase
+/// spans of any run plus ~60k fine-grained events.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// What kind of mark an event is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A span opens (matched by an [`EventKind::End`] with the same name
+    /// on the same track).
+    Begin,
+    /// A span closes.
+    End,
+    /// A point event.
+    Instant,
+    /// A counter sample.
+    Counter(f64),
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the tracer's origin (monotonic).
+    pub ts_ns: u64,
+    /// Track (timeline) id; see [`TraceLog::tracks`] for names.
+    pub track: u32,
+    /// Event name. Phase names are static by design: no allocation on
+    /// the hot path.
+    pub name: &'static str,
+    /// Kind of mark.
+    pub kind: EventKind,
+    /// Numeric arguments (deterministic quantities only — sizes, counts,
+    /// modeled times — never wall-clock readings, so two identical runs
+    /// produce identical event shapes).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+struct Inner {
+    origin: Instant,
+    ring: Mutex<Ring>,
+    tracks: Mutex<Vec<String>>,
+    dropped: AtomicU64,
+}
+
+/// Handle to a shared trace buffer (or to nothing, when disabled).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+    track: u32,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("track", &self.track)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing: every event site is a single
+    /// branch and a return.
+    pub fn disabled() -> Self {
+        Tracer {
+            inner: None,
+            track: 0,
+        }
+    }
+
+    /// An enabled tracer with the default buffer capacity, on track 0
+    /// (named "main").
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer with an explicit event capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                origin: Instant::now(),
+                ring: Mutex::new(Ring {
+                    events: Vec::new(),
+                    capacity: capacity.max(1),
+                }),
+                tracks: Mutex::new(vec!["main".to_string()]),
+                dropped: AtomicU64::new(0),
+            })),
+            track: 0,
+        }
+    }
+
+    /// Whether events are recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle onto a new named track (timeline) of the same buffer.
+    /// On a disabled tracer this is a no-op clone.
+    pub fn track(&self, name: &str) -> Tracer {
+        match &self.inner {
+            None => self.clone(),
+            Some(inner) => {
+                let mut tracks = inner.tracks.lock().unwrap();
+                tracks.push(name.to_string());
+                Tracer {
+                    inner: self.inner.clone(),
+                    track: (tracks.len() - 1) as u32,
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&self, name: &'static str, kind: EventKind, args: Vec<(&'static str, f64)>) {
+        // The single enabled-check branch every event site pays.
+        let Some(inner) = &self.inner else { return };
+        let ts_ns = inner.origin.elapsed().as_nanos() as u64;
+        let mut ring = inner.ring.lock().unwrap();
+        if ring.events.len() >= ring.capacity {
+            drop(ring);
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        ring.events.push(TraceEvent {
+            ts_ns,
+            track: self.track,
+            name,
+            kind,
+            args,
+        });
+    }
+
+    /// Open a span. Pair with [`Tracer::end`] (same name, same track).
+    #[inline]
+    pub fn begin(&self, name: &'static str) {
+        self.push(name, EventKind::Begin, Vec::new());
+    }
+
+    /// Open a span with arguments.
+    #[inline]
+    pub fn begin_args(&self, name: &'static str, args: &[(&'static str, f64)]) {
+        if self.inner.is_some() {
+            self.push(name, EventKind::Begin, args.to_vec());
+        }
+    }
+
+    /// Close the innermost open span of `name` on this track.
+    #[inline]
+    pub fn end(&self, name: &'static str) {
+        self.push(name, EventKind::End, Vec::new());
+    }
+
+    /// Close a span with arguments.
+    #[inline]
+    pub fn end_args(&self, name: &'static str, args: &[(&'static str, f64)]) {
+        if self.inner.is_some() {
+            self.push(name, EventKind::End, args.to_vec());
+        }
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&self, name: &'static str) {
+        self.push(name, EventKind::Instant, Vec::new());
+    }
+
+    /// Record a point event with arguments.
+    #[inline]
+    pub fn instant_args(&self, name: &'static str, args: &[(&'static str, f64)]) {
+        if self.inner.is_some() {
+            self.push(name, EventKind::Instant, args.to_vec());
+        }
+    }
+
+    /// Record a counter sample.
+    #[inline]
+    pub fn counter(&self, name: &'static str, value: f64) {
+        self.push(name, EventKind::Counter(value), Vec::new());
+    }
+
+    /// RAII span: emits `Begin` now and `End` when the guard drops.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        self.begin(name);
+        Span {
+            tracer: self.clone(),
+            name,
+        }
+    }
+
+    /// Drain the buffer into a finished, exportable log.
+    ///
+    /// Returns an empty log on a disabled tracer. The tracer remains
+    /// usable; subsequent events start a fresh log.
+    pub fn take_log(&self) -> TraceLog {
+        match &self.inner {
+            None => TraceLog::default(),
+            Some(inner) => {
+                let events = {
+                    let mut ring = inner.ring.lock().unwrap();
+                    std::mem::take(&mut ring.events)
+                };
+                TraceLog {
+                    events,
+                    tracks: inner.tracks.lock().unwrap().clone(),
+                    dropped: inner.dropped.swap(0, Ordering::Relaxed),
+                    stats: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`].
+pub struct Span {
+    tracer: Tracer,
+    name: &'static str,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tracer.end(self.name);
+    }
+}
+
+/// A reconstructed (matched Begin/End) span, for summaries and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: &'static str,
+    /// Track id.
+    pub track: u32,
+    /// Open timestamp (ns since origin).
+    pub start_ns: u64,
+    /// Close timestamp; `u64::MAX` if the span never closed.
+    pub end_ns: u64,
+    /// Nesting depth on its track (0 = outermost).
+    pub depth: usize,
+}
+
+impl SpanRecord {
+    /// Span duration (zero for unclosed spans).
+    pub fn duration(&self) -> Duration {
+        if self.end_ns == u64::MAX {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.end_ns - self.start_ns)
+        }
+    }
+}
+
+/// A finished trace: events, track names, drop accounting, and attached
+/// per-phase counter snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// Recorded events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Track id → name.
+    pub tracks: Vec<String>,
+    /// Events discarded because the ring buffer was full.
+    pub dropped: u64,
+    /// Attached counter snapshots: (group label, fields).
+    pub stats: Vec<(String, Vec<StatField>)>,
+}
+
+impl TraceLog {
+    /// Attach a phase's counter snapshot (exported alongside the events).
+    pub fn attach_stats(&mut self, group: impl Into<String>, fields: Vec<StatField>) {
+        self.stats.push((group.into(), fields));
+    }
+
+    /// Reconstruct matched spans (per track, stack discipline).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::new();
+        // Open-span index stack per track.
+        let mut open: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Begin => {
+                    let stack = open.entry(ev.track).or_default();
+                    out.push(SpanRecord {
+                        name: ev.name,
+                        track: ev.track,
+                        start_ns: ev.ts_ns,
+                        end_ns: u64::MAX,
+                        depth: stack.len(),
+                    });
+                    stack.push(out.len() - 1);
+                }
+                EventKind::End => {
+                    if let Some(stack) = open.get_mut(&ev.track) {
+                        // Close the innermost open span with this name
+                        // (tolerates interleaved unrelated spans).
+                        if let Some(pos) = stack.iter().rposition(|&i| out[i].name == ev.name) {
+                            let idx = stack.remove(pos);
+                            out[idx].end_ns = ev.ts_ns;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total recorded duration of all spans named `name` (all tracks).
+    pub fn span_total(&self, name: &str) -> Duration {
+        self.spans()
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Whether a closed span of `inner` nests (strictly, by time and
+    /// track) inside some closed span of `outer`.
+    pub fn has_nested(&self, outer: &str, inner: &str) -> bool {
+        let spans = self.spans();
+        spans.iter().any(|o| {
+            o.name == outer
+                && o.end_ns != u64::MAX
+                && spans.iter().any(|i| {
+                    i.name == inner
+                        && i.track == o.track
+                        && i.end_ns != u64::MAX
+                        && i.start_ns >= o.start_ns
+                        && i.end_ns <= o.end_ns
+                        && i.depth > o.depth
+                })
+        })
+    }
+
+    /// The trace's *shape*: every event minus its timestamp. Two runs of
+    /// the same deterministic workload produce identical shapes.
+    pub fn shape(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| {
+                let kind = match e.kind {
+                    EventKind::Begin => "B".to_string(),
+                    EventKind::End => "E".to_string(),
+                    EventKind::Instant => "I".to_string(),
+                    EventKind::Counter(v) => format!("C={v}"),
+                };
+                let args: Vec<String> = e.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{}:{}:{}:[{}]", e.track, e.name, kind, args.join(","))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.begin("a");
+        t.instant("b");
+        t.counter("c", 1.0);
+        t.end("a");
+        let log = t.take_log();
+        assert!(log.events.is_empty());
+        assert_eq!(log.dropped, 0);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_match() {
+        let t = Tracer::new();
+        t.begin("outer");
+        t.begin("inner");
+        t.end("inner");
+        t.end("outer");
+        let log = t.take_log();
+        let spans = log.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].depth, 1);
+        assert!(log.has_nested("outer", "inner"));
+        assert!(!log.has_nested("inner", "outer"));
+    }
+
+    #[test]
+    fn raii_span_closes_on_drop() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("phase");
+            t.instant("tick");
+        }
+        let log = t.take_log();
+        assert_eq!(log.spans()[0].name, "phase");
+        assert_ne!(log.spans()[0].end_ns, u64::MAX);
+        assert!(!log.has_nested("phase", "phase"));
+    }
+
+    #[test]
+    fn ring_buffer_bounds_memory() {
+        let t = Tracer::with_capacity(8);
+        for _ in 0..100 {
+            t.instant("e");
+        }
+        let log = t.take_log();
+        assert_eq!(log.events.len(), 8);
+        assert_eq!(log.dropped, 92);
+    }
+
+    #[test]
+    fn tracks_are_named_timelines() {
+        let t = Tracer::new();
+        let src = t.track("src");
+        let dst = t.track("dst");
+        src.instant("a");
+        dst.instant("b");
+        t.instant("c");
+        let log = t.take_log();
+        assert_eq!(log.tracks, vec!["main", "src", "dst"]);
+        assert_eq!(log.events[0].track, 1);
+        assert_eq!(log.events[1].track, 2);
+        assert_eq!(log.events[2].track, 0);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let t = Tracer::new();
+        for _ in 0..50 {
+            t.instant("tick");
+        }
+        let log = t.take_log();
+        for w in log.events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn shape_ignores_timestamps() {
+        let make = || {
+            let t = Tracer::new();
+            t.begin("collect");
+            t.instant_args("block", &[("bytes", 64.0)]);
+            t.end("collect");
+            t.take_log()
+        };
+        assert_eq!(make().shape(), make().shape());
+    }
+
+    #[test]
+    fn take_log_resets() {
+        let t = Tracer::new();
+        t.instant("a");
+        assert_eq!(t.take_log().events.len(), 1);
+        assert_eq!(t.take_log().events.len(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let t = Tracer::new();
+        let worker = t.track("worker");
+        let h = std::thread::spawn(move || {
+            for _ in 0..10 {
+                worker.instant("w");
+            }
+        });
+        for _ in 0..10 {
+            t.instant("m");
+        }
+        h.join().unwrap();
+        assert_eq!(t.take_log().events.len(), 20);
+    }
+}

@@ -130,11 +130,19 @@ impl ElementModel {
     ) -> Result<(), ElementError> {
         match table.def(ty) {
             TypeDef::Scalar(s) => {
-                f(Leaf { offset: base, kind: *s, pointee: None });
+                f(Leaf {
+                    offset: base,
+                    kind: *s,
+                    pointee: None,
+                });
                 Ok(())
             }
             TypeDef::Pointer(p) => {
-                f(Leaf { offset: base, kind: CScalar::Ptr, pointee: Some(*p) });
+                f(Leaf {
+                    offset: base,
+                    kind: CScalar::Ptr,
+                    pointee: Some(*p),
+                });
                 Ok(())
             }
             TypeDef::Array { elem, count } => {
@@ -184,11 +192,19 @@ impl ElementModel {
         match table.def(ty) {
             TypeDef::Scalar(s) => {
                 debug_assert_eq!(index, 0);
-                Ok(Leaf { offset: base, kind: *s, pointee: None })
+                Ok(Leaf {
+                    offset: base,
+                    kind: *s,
+                    pointee: None,
+                })
             }
             TypeDef::Pointer(p) => {
                 debug_assert_eq!(index, 0);
-                Ok(Leaf { offset: base, kind: CScalar::Ptr, pointee: Some(*p) })
+                Ok(Leaf {
+                    offset: base,
+                    kind: CScalar::Ptr,
+                    pointee: Some(*p),
+                })
             }
             TypeDef::Array { elem, .. } => {
                 let elem = *elem;
@@ -206,7 +222,9 @@ impl ElementModel {
                 let mut idx = index;
                 for fi in 0..nfields {
                     let fty = match table.def(ty) {
-                        TypeDef::Struct { fields: Some(fs), .. } => fs[fi].ty,
+                        TypeDef::Struct {
+                            fields: Some(fs), ..
+                        } => fs[fi].ty,
                         _ => unreachable!(),
                     };
                     let per = self.leaf_count(table, fty)?;
@@ -234,13 +252,27 @@ impl ElementModel {
                 if offset != 0 {
                     return Err(ElementError::OffsetNotAtLeaf(offset));
                 }
-                Ok((0, Leaf { offset: 0, kind: *s, pointee: None }))
+                Ok((
+                    0,
+                    Leaf {
+                        offset: 0,
+                        kind: *s,
+                        pointee: None,
+                    },
+                ))
             }
             TypeDef::Pointer(p) => {
                 if offset != 0 {
                     return Err(ElementError::OffsetNotAtLeaf(offset));
                 }
-                Ok((0, Leaf { offset: 0, kind: CScalar::Ptr, pointee: Some(*p) }))
+                Ok((
+                    0,
+                    Leaf {
+                        offset: 0,
+                        kind: CScalar::Ptr,
+                        pointee: Some(*p),
+                    },
+                ))
             }
             TypeDef::Array { elem, count } => {
                 let (elem, count) = (*elem, *count);
@@ -254,7 +286,10 @@ impl ElementModel {
                     self.leaf_index_at_offset(table, arch, elem, offset % el.size)?;
                 Ok((
                     i * per + inner_idx,
-                    Leaf { offset: i * el.size + leaf.offset, ..leaf },
+                    Leaf {
+                        offset: i * el.size + leaf.offset,
+                        ..leaf
+                    },
                 ))
             }
             TypeDef::Struct { name, fields } => {
@@ -266,7 +301,9 @@ impl ElementModel {
                 let mut leaf_base = 0u64;
                 for fi in 0..nfields {
                     let fty = match table.def(ty) {
-                        TypeDef::Struct { fields: Some(fs), .. } => fs[fi].ty,
+                        TypeDef::Struct {
+                            fields: Some(fs), ..
+                        } => fs[fi].ty,
                         _ => unreachable!(),
                     };
                     let foff = offsets[fi];
@@ -277,7 +314,10 @@ impl ElementModel {
                             self.leaf_index_at_offset(table, arch, fty, offset - foff)?;
                         return Ok((
                             leaf_base + inner_idx,
-                            Leaf { offset: foff + leaf.offset, ..leaf },
+                            Leaf {
+                                offset: foff + leaf.offset,
+                                ..leaf
+                            },
                         ));
                     }
                     leaf_base += per;
@@ -297,7 +337,8 @@ mod tests {
         let node = t.declare_struct("node");
         let link = t.pointer_to(node);
         let f = t.float();
-        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)])
+            .unwrap();
         node
     }
 
@@ -322,7 +363,8 @@ mod tests {
         let mut m = ElementModel::new();
         let arch = Architecture::sparc20();
         let mut leaves = Vec::new();
-        m.for_each_leaf(&t, &arch, node, &mut |l| leaves.push(l)).unwrap();
+        m.for_each_leaf(&t, &arch, node, &mut |l| leaves.push(l))
+            .unwrap();
         assert_eq!(leaves.len(), 2);
         assert_eq!(leaves[0].offset, 0);
         assert_eq!(leaves[0].kind, CScalar::Float);
@@ -340,10 +382,14 @@ mod tests {
         let mut kinds64 = Vec::new();
         let mut m32 = ElementModel::new();
         let mut m64 = ElementModel::new();
-        m32.for_each_leaf(&t, &Architecture::dec5000(), arr, &mut |l| kinds32.push(l.kind))
-            .unwrap();
-        m64.for_each_leaf(&t, &Architecture::x86_64_sim(), arr, &mut |l| kinds64.push(l.kind))
-            .unwrap();
+        m32.for_each_leaf(&t, &Architecture::dec5000(), arr, &mut |l| {
+            kinds32.push(l.kind)
+        })
+        .unwrap();
+        m64.for_each_leaf(&t, &Architecture::x86_64_sim(), arr, &mut |l| {
+            kinds64.push(l.kind)
+        })
+        .unwrap();
         assert_eq!(kinds32, kinds64);
     }
 
@@ -355,7 +401,8 @@ mod tests {
         let arch = Architecture::x86_64_sim();
         let mut m = ElementModel::new();
         let mut leaves = Vec::new();
-        m.for_each_leaf(&t, &arch, arr, &mut |l| leaves.push(l)).unwrap();
+        m.for_each_leaf(&t, &arch, arr, &mut |l| leaves.push(l))
+            .unwrap();
         for (i, expect) in leaves.iter().enumerate() {
             let got = m.leaf_at_index(&t, &arch, arr, i as u64).unwrap();
             assert_eq!(&got, expect, "leaf {i}");
@@ -384,8 +431,7 @@ mod tests {
         let count = m.leaf_count(&t, arr).unwrap();
         for idx in 0..count {
             let leaf = m.leaf_at_index(&t, &arch, arr, idx).unwrap();
-            let (got_idx, got_leaf) =
-                m.leaf_index_at_offset(&t, &arch, arr, leaf.offset).unwrap();
+            let (got_idx, got_leaf) = m.leaf_index_at_offset(&t, &arch, arr, leaf.offset).unwrap();
             assert_eq!(got_idx, idx);
             assert_eq!(got_leaf, leaf);
         }
@@ -397,7 +443,9 @@ mod tests {
         let mut t = TypeTable::new();
         let c = t.char_();
         let i = t.int();
-        let s = t.struct_type("ci", vec![Field::new("c", c), Field::new("i", i)]).unwrap();
+        let s = t
+            .struct_type("ci", vec![Field::new("c", c), Field::new("i", i)])
+            .unwrap();
         let arch = Architecture::sparc20();
         let mut m = ElementModel::new();
         assert!(m.leaf_index_at_offset(&t, &arch, s, 2).is_err());
@@ -426,20 +474,34 @@ mod tests {
         let arr = t.array_of(pnode, 10);
         let mut m32 = ElementModel::new();
         let mut m64 = ElementModel::new();
-        let l32 = m32.leaf_at_index(&t, &Architecture::sparc20(), arr, 2).unwrap();
-        let l64 = m64.leaf_at_index(&t, &Architecture::x86_64_sim(), arr, 2).unwrap();
+        let l32 = m32
+            .leaf_at_index(&t, &Architecture::sparc20(), arr, 2)
+            .unwrap();
+        let l64 = m64
+            .leaf_at_index(&t, &Architecture::x86_64_sim(), arr, 2)
+            .unwrap();
         assert_eq!(l32.offset, 8);
         assert_eq!(l64.offset, 16);
     }
 }
 
 #[cfg(test)]
-mod proptests {
+mod sweep_tests {
     use super::*;
     use crate::Field;
-    use proptest::prelude::*;
 
-    /// A small random type tree (no recursion) for round-trip checks.
+    /// Deterministic splitmix64 generating type-tree seeds (replaces the
+    /// external property-testing RNG).
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A small seed-derived type tree (no recursion) for round-trip
+    /// checks.
     fn arb_type(t: &mut TypeTable, depth: u32, seed: u64) -> TypeId {
         let scalars = [
             hpm_arch::CScalar::Char,
@@ -466,17 +528,21 @@ mod proptests {
                 let b = arb_type(t, depth - 1, seed / 16);
                 let name = format!("s{seed}_{depth}");
                 t.struct_by_name(&name).unwrap_or_else(|| {
-                    t.struct_type(&name, vec![Field::new("a", a), Field::new("b", b)]).unwrap()
+                    t.struct_type(&name, vec![Field::new("a", a), Field::new("b", b)])
+                        .unwrap()
                 })
             }
             _ => t.scalar(scalars[(seed % 6) as usize]),
         }
     }
 
-    proptest! {
-        /// Every leaf's (index → offset → index) round-trips on every arch.
-        #[test]
-        fn leaf_index_offset_roundtrip(seed in any::<u64>(), depth in 0u32..4) {
+    /// Every leaf's (index → offset → index) round-trips on every arch.
+    #[test]
+    fn leaf_index_offset_roundtrip() {
+        let mut s = 0x1eaf_0001u64;
+        for _ in 0..48 {
+            let seed = next(&mut s);
+            let depth = (next(&mut s) % 4) as u32;
             let mut t = TypeTable::new();
             let ty = arb_type(&mut t, depth, seed);
             for arch in Architecture::presets() {
@@ -485,14 +551,19 @@ mod proptests {
                 for idx in 0..count.min(64) {
                     let leaf = m.leaf_at_index(&t, &arch, ty, idx).unwrap();
                     let (got, _) = m.leaf_index_at_offset(&t, &arch, ty, leaf.offset).unwrap();
-                    prop_assert_eq!(got, idx);
+                    assert_eq!(got, idx, "seed={seed} depth={depth}");
                 }
             }
         }
+    }
 
-        /// Leaves never overlap and stay within the type's size.
-        #[test]
-        fn leaves_disjoint_and_in_bounds(seed in any::<u64>(), depth in 0u32..4) {
+    /// Leaves never overlap and stay within the type's size.
+    #[test]
+    fn leaves_disjoint_and_in_bounds() {
+        let mut s = 0x1eaf_0002u64;
+        for _ in 0..48 {
+            let seed = next(&mut s);
+            let depth = (next(&mut s) % 4) as u32;
             let mut t = TypeTable::new();
             let ty = arb_type(&mut t, depth, seed);
             for arch in Architecture::presets() {
@@ -501,11 +572,15 @@ mod proptests {
                 let mut spans: Vec<(u64, u64)> = Vec::new();
                 m.for_each_leaf(&t, &arch, ty, &mut |l| {
                     spans.push((l.offset, arch.scalar_size(l.kind)));
-                }).unwrap();
+                })
+                .unwrap();
                 let mut prev_end = 0;
                 for (off, size) in spans {
-                    prop_assert!(off >= prev_end, "leaf at {off} overlaps previous end {prev_end}");
-                    prop_assert!(off + size <= total);
+                    assert!(
+                        off >= prev_end,
+                        "leaf at {off} overlaps previous end {prev_end}"
+                    );
+                    assert!(off + size <= total);
                     prev_end = off + size;
                 }
             }

@@ -63,15 +63,20 @@ impl LayoutEngine {
             return Ok(l);
         }
         let l = match table.def(ty) {
-            TypeDef::Scalar(s) => {
-                Layout { size: arch.scalar_size(*s), align: arch.scalar_align(*s) }
-            }
-            TypeDef::Pointer(_) => {
-                Layout { size: arch.pointer_size, align: arch.pointer_align }
-            }
+            TypeDef::Scalar(s) => Layout {
+                size: arch.scalar_size(*s),
+                align: arch.scalar_align(*s),
+            },
+            TypeDef::Pointer(_) => Layout {
+                size: arch.pointer_size,
+                align: arch.pointer_align,
+            },
             TypeDef::Array { elem, count } => {
                 let el = self.layout(table, arch, *elem)?;
-                Layout { size: el.size * count, align: el.align }
+                Layout {
+                    size: el.size * count,
+                    align: el.align,
+                }
             }
             TypeDef::Struct { name, fields } => {
                 let fields = fields
@@ -89,7 +94,10 @@ impl LayoutEngine {
                     max_align = max_align.max(fl.align);
                 }
                 self.field_offsets.insert(ty, Rc::new(offsets));
-                Layout { size: align_up(offset, max_align), align: max_align }
+                Layout {
+                    size: align_up(offset, max_align),
+                    align: max_align,
+                }
             }
         };
         self.cache.insert(ty, l);
@@ -142,7 +150,10 @@ mod tests {
         let mut e32 = engine();
         let mut e64 = engine();
         assert_eq!(e32.layout(&t, &Architecture::sparc20(), p).unwrap().size, 4);
-        assert_eq!(e64.layout(&t, &Architecture::x86_64_sim(), p).unwrap().size, 8);
+        assert_eq!(
+            e64.layout(&t, &Architecture::x86_64_sim(), p).unwrap().size,
+            8
+        );
     }
 
     #[test]
@@ -170,14 +181,21 @@ mod tests {
         let mut e1 = engine();
         let l1 = e1.layout(&t, &Architecture::sparc20(), s).unwrap();
         assert_eq!(l1.size, 16);
-        assert_eq!(*e1.struct_field_offsets(&t, &Architecture::sparc20(), s).unwrap(), vec![0, 8]);
+        assert_eq!(
+            *e1.struct_field_offsets(&t, &Architecture::sparc20(), s)
+                .unwrap(),
+            vec![0, 8]
+        );
 
         let mut packed_arch = Architecture::dec5000();
         packed_arch.scalars = hpm_arch::ScalarLayout::ilp32_packed_doubles();
         let mut e2 = engine();
         let l2 = e2.layout(&t, &packed_arch, s).unwrap();
         assert_eq!(l2.size, 12);
-        assert_eq!(*e2.struct_field_offsets(&t, &packed_arch, s).unwrap(), vec![0, 4]);
+        assert_eq!(
+            *e2.struct_field_offsets(&t, &packed_arch, s).unwrap(),
+            vec![0, 4]
+        );
     }
 
     #[test]
@@ -187,7 +205,8 @@ mod tests {
         let node = t.declare_struct("node");
         let link = t.pointer_to(node);
         let f = t.float();
-        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)])
+            .unwrap();
         let mut e = engine();
         let l = e.layout(&t, &Architecture::dec5000(), node).unwrap();
         assert_eq!(l, Layout { size: 8, align: 4 });
@@ -199,13 +218,15 @@ mod tests {
         let node = t.declare_struct("node");
         let link = t.pointer_to(node);
         let f = t.float();
-        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)])
+            .unwrap();
         let mut e = engine();
         let l = e.layout(&t, &Architecture::x86_64_sim(), node).unwrap();
         // float at 0, pointer at 8 (8-aligned), size 16.
         assert_eq!(l, Layout { size: 16, align: 8 });
         assert_eq!(
-            *e.struct_field_offsets(&t, &Architecture::x86_64_sim(), node).unwrap(),
+            *e.struct_field_offsets(&t, &Architecture::x86_64_sim(), node)
+                .unwrap(),
             vec![0, 8]
         );
     }
@@ -227,7 +248,9 @@ mod tests {
         let mut t = TypeTable::new();
         let c = t.char_();
         let d = t.double();
-        let s = t.struct_type("dc", vec![Field::new("d", d), Field::new("c", c)]).unwrap();
+        let s = t
+            .struct_type("dc", vec![Field::new("d", d), Field::new("c", c)])
+            .unwrap();
         let mut e = engine();
         let l = e.layout(&t, &Architecture::ultra5(), s).unwrap();
         assert_eq!(l.size, 16);

@@ -74,7 +74,10 @@ pub struct Field {
 impl Field {
     /// Convenience constructor.
     pub fn new(name: &str, ty: TypeId) -> Self {
-        Field { name: name.to_string(), ty }
+        Field {
+            name: name.to_string(),
+            ty,
+        }
     }
 }
 
@@ -217,7 +220,10 @@ impl TypeTable {
         if let Some(&id) = self.struct_ids.get(name) {
             return id;
         }
-        let id = self.push(TypeDef::Struct { name: name.to_string(), fields: None });
+        let id = self.push(TypeDef::Struct {
+            name: name.to_string(),
+            fields: None,
+        });
         self.struct_ids.insert(name.to_string(), id);
         id
     }
@@ -320,7 +326,8 @@ mod tests {
         let node = t.declare_struct("node");
         let link = t.pointer_to(node);
         let f = t.float();
-        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)])
+            .unwrap();
         assert!(t.is_complete(node));
         assert!(t.contains_pointer(node));
         assert_eq!(t.display(node), "struct node");
@@ -350,7 +357,10 @@ mod tests {
     #[test]
     fn empty_struct_rejected() {
         let mut t = TypeTable::new();
-        assert!(matches!(t.struct_type("e", vec![]), Err(TypeError::EmptyStruct(_))));
+        assert!(matches!(
+            t.struct_type("e", vec![]),
+            Err(TypeError::EmptyStruct(_))
+        ));
     }
 
     #[test]

@@ -80,10 +80,19 @@ pub fn compile_plan(
     model.for_each_leaf(table, arch, ty, &mut |leaf| {
         leaf_count += 1;
         if let Some(pointee) = leaf.pointee {
-            ops.push(PlanOp::PointerSlot { offset: leaf.offset, pointee });
+            ops.push(PlanOp::PointerSlot {
+                offset: leaf.offset,
+                pointee,
+            });
             return;
         }
-        if let Some(PlanOp::ScalarRun { offset, kind, count, stride }) = ops.last_mut() {
+        if let Some(PlanOp::ScalarRun {
+            offset,
+            kind,
+            count,
+            stride,
+        }) = ops.last_mut()
+        {
             if *kind == leaf.kind {
                 let expected = *offset + *count * *stride;
                 if *count == 1 {
@@ -107,8 +116,15 @@ pub fn compile_plan(
             stride: arch.scalar_size(leaf.kind),
         });
     })?;
-    let has_pointers = ops.iter().any(|op| matches!(op, PlanOp::PointerSlot { .. }));
-    Ok(SavePlan { ops, leaf_count, size, has_pointers })
+    let has_pointers = ops
+        .iter()
+        .any(|op| matches!(op, PlanOp::PointerSlot { .. }));
+    Ok(SavePlan {
+        ops,
+        leaf_count,
+        size,
+        has_pointers,
+    })
 }
 
 #[cfg(test)]
@@ -126,7 +142,12 @@ mod tests {
         assert_eq!(plan.ops.len(), 1);
         assert_eq!(
             plan.ops[0],
-            PlanOp::ScalarRun { offset: 0, kind: CScalar::Double, count: 1000, stride: 8 }
+            PlanOp::ScalarRun {
+                offset: 0,
+                kind: CScalar::Double,
+                count: 1000,
+                stride: 8
+            }
         );
         assert!(!plan.has_pointers);
         assert_eq!(plan.leaf_count, 1000);
@@ -139,12 +160,26 @@ mod tests {
         let node = t.declare_struct("node");
         let link = t.pointer_to(node);
         let f = t.float();
-        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)]).unwrap();
+        t.define_struct(node, vec![Field::new("data", f), Field::new("link", link)])
+            .unwrap();
         let mut m = ElementModel::new();
         let plan = compile_plan(&mut m, &t, &Architecture::dec5000(), node).unwrap();
         assert_eq!(plan.ops.len(), 2);
-        assert!(matches!(plan.ops[0], PlanOp::ScalarRun { kind: CScalar::Float, count: 1, .. }));
-        assert_eq!(plan.ops[1], PlanOp::PointerSlot { offset: 4, pointee: node });
+        assert!(matches!(
+            plan.ops[0],
+            PlanOp::ScalarRun {
+                kind: CScalar::Float,
+                count: 1,
+                ..
+            }
+        ));
+        assert_eq!(
+            plan.ops[1],
+            PlanOp::PointerSlot {
+                offset: 4,
+                pointee: node
+            }
+        );
         assert!(plan.has_pointers);
     }
 
@@ -165,7 +200,9 @@ mod tests {
         assert_eq!(plan.leaf_count, 100);
 
         let i = t.int();
-        let s2 = t.struct_type("di", vec![Field::new("d", d), Field::new("i", i)]).unwrap();
+        let s2 = t
+            .struct_type("di", vec![Field::new("d", d), Field::new("i", i)])
+            .unwrap();
         let a2 = t.array_of(s2, 50);
         let plan2 = compile_plan(&mut m, &t, &Architecture::ultra5(), a2).unwrap();
         assert_eq!(plan2.leaf_count, 100);
@@ -178,14 +215,21 @@ mod tests {
         // stride 4 — becomes one run even across struct boundaries.
         let mut t = TypeTable::new();
         let i = t.int();
-        let s = t.struct_type("ii", vec![Field::new("a", i), Field::new("b", i)]).unwrap();
+        let s = t
+            .struct_type("ii", vec![Field::new("a", i), Field::new("b", i)])
+            .unwrap();
         let a = t.array_of(s, 10);
         let mut m = ElementModel::new();
         let plan = compile_plan(&mut m, &t, &Architecture::sparc20(), a).unwrap();
         assert_eq!(plan.ops.len(), 1);
         assert_eq!(
             plan.ops[0],
-            PlanOp::ScalarRun { offset: 0, kind: CScalar::Int, count: 20, stride: 4 }
+            PlanOp::ScalarRun {
+                offset: 0,
+                kind: CScalar::Int,
+                count: 20,
+                stride: 4
+            }
         );
     }
 
@@ -198,7 +242,9 @@ mod tests {
         let mut t = TypeTable::new();
         let c = t.char_();
         let i = t.int();
-        let s = t.struct_type("ci", vec![Field::new("c", c), Field::new("i", i)]).unwrap();
+        let s = t
+            .struct_type("ci", vec![Field::new("c", c), Field::new("i", i)])
+            .unwrap();
         let a = t.array_of(s, 4);
         let mut m = ElementModel::new();
         let plan = compile_plan(&mut m, &t, &Architecture::sparc20(), a).unwrap();
@@ -214,7 +260,8 @@ mod tests {
         let pn = t.pointer_to(node);
         let d = t.double();
         let arr = t.array_of(d, 3);
-        t.define_struct(node, vec![Field::new("v", arr), Field::new("next", pn)]).unwrap();
+        t.define_struct(node, vec![Field::new("v", arr), Field::new("next", pn)])
+            .unwrap();
         let mut m32 = ElementModel::new();
         let mut m64 = ElementModel::new();
         let p32 = compile_plan(&mut m32, &t, &Architecture::sparc20(), node).unwrap();

@@ -51,16 +51,27 @@ pub struct BitonicSort {
 impl BitonicSort {
     /// Standard per-node configuration.
     pub fn new(n: u64) -> Self {
-        BitonicSort { n, policy: AllocPolicy::PerNode, seed: 0x5EED_1234, digest: None }
+        BitonicSort {
+            n,
+            policy: AllocPolicy::PerNode,
+            seed: 0x5EED_1234,
+            digest: None,
+        }
     }
 
     /// Pooled ("smart allocation") configuration.
     pub fn pooled(n: u64) -> Self {
-        BitonicSort { policy: AllocPolicy::Pooled, ..BitonicSort::new(n) }
+        BitonicSort {
+            policy: AllocPolicy::Pooled,
+            ..BitonicSort::new(n)
+        }
     }
 
     fn node_ty(proc: &mut Process) -> TypeId {
-        proc.space.types().struct_by_name("bnode").expect("setup ran")
+        proc.space
+            .types()
+            .struct_by_name("bnode")
+            .expect("setup ran")
     }
 
     /// Allocate one node under the configured policy.
@@ -92,7 +103,13 @@ impl BitonicSort {
     }
 
     /// Iterative BST insert through simulated pointers.
-    fn insert(&self, proc: &mut Process, g: &Globals, node_addr: u64, value: i64) -> Result<(), MigError> {
+    fn insert(
+        &self,
+        proc: &mut Process,
+        g: &Globals,
+        node_addr: u64,
+        value: i64,
+    ) -> Result<(), MigError> {
         let v = proc.space.elem_addr(node_addr, 0)?;
         proc.space.store_int(v, value)?;
         let root = proc.space.load_ptr(g.root)?;
@@ -223,7 +240,11 @@ impl MigratableProgram for BitonicSort {
 }
 
 impl BitonicSort {
-    fn traverse_digest(&self, proc: &mut Process, g: &Globals) -> Result<Vec<(String, String)>, MigError> {
+    fn traverse_digest(
+        &self,
+        proc: &mut Process,
+        g: &Globals,
+    ) -> Result<Vec<(String, String)>, MigError> {
         let mut stack = Vec::new();
         let mut cur = proc.space.load_ptr(g.root)?;
         let mut count = 0u64;
@@ -300,7 +321,12 @@ mod tests {
             Trigger::AtPollCount(200), // migrate halfway through insertion
         )
         .unwrap();
-        assert_eq!(crate::diff_results(&expect, &run.results), None, "{:?}", run.results);
+        assert_eq!(
+            crate::diff_results(&expect, &run.results),
+            None,
+            "{:?}",
+            run.results
+        );
         // Half the nodes crossed the wire...
         assert!(run.report.collect_stats.blocks_saved >= 199);
         // ...and the rest were allocated on the destination.

@@ -68,7 +68,14 @@ impl Figure1 {
         let p_int = t.pointer_to(int);
         let pp_node = t.pointer_to(p_node);
         let pp_int = t.pointer_to(p_int);
-        Types { node, p_node, int, p_int, pp_node, pp_int }
+        Types {
+            node,
+            p_node,
+            int,
+            p_int,
+            pp_node,
+            pp_int,
+        }
     }
 
     /// `foo(struct node **p, int **q)`.
@@ -116,8 +123,11 @@ impl MigratableProgram for Figure1 {
         let node = t.declare_struct("node");
         let p_node = t.pointer_to(node);
         let float = t.float();
-        t.define_struct(node, vec![Field::new("data", float), Field::new("link", p_node)])
-            .map_err(|e| MigError::Protocol(e.to_string()))?;
+        t.define_struct(
+            node,
+            vec![Field::new("data", float), Field::new("link", p_node)],
+        )
+        .map_err(|e| MigError::Protocol(e.to_string()))?;
         self.node = Some(node);
         proc.define_global("first", p_node, 1)?;
         proc.define_global("last", p_node, 1)?;
@@ -128,8 +138,16 @@ impl MigratableProgram for Figure1 {
         let ty = self.types(ctx.proc());
         let (first, last) = {
             let infos = ctx.proc().space.block_infos();
-            let f = infos.iter().find(|b| b.name.as_deref() == Some("first")).unwrap().addr;
-            let l = infos.iter().find(|b| b.name.as_deref() == Some("last")).unwrap().addr;
+            let f = infos
+                .iter()
+                .find(|b| b.name.as_deref() == Some("first"))
+                .unwrap()
+                .addr;
+            let l = infos
+                .iter()
+                .find(|b| b.name.as_deref() == Some("last"))
+                .unwrap()
+                .addr;
             (f, l)
         };
 
@@ -182,7 +200,11 @@ impl MigratableProgram for Figure1 {
 
     fn results(&self, proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
         let infos = proc.space.block_infos();
-        let first = infos.iter().find(|b| b.name.as_deref() == Some("first")).unwrap().addr;
+        let first = infos
+            .iter()
+            .find(|b| b.name.as_deref() == Some("first"))
+            .unwrap()
+            .addr;
         let mut out = Vec::new();
         // Walk the list from `first` through `link`s, reading data values.
         let mut cur = proc.space.load_ptr(first)?;
@@ -283,12 +305,8 @@ mod tests {
     fn snapshot_matches_figure_1b() {
         use hpm_migrate::run_to_migration;
         let mut p = Figure1::new();
-        let mut src = run_to_migration(
-            &mut p,
-            Architecture::dec5000(),
-            Trigger::AtPollCount(5),
-        )
-        .unwrap();
+        let mut src =
+            run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
         // 12 vertices: first, last, i, a, b, parray, 4 heap nodes, p, q.
         let g = hpm_core::MsrGraph::snapshot(&mut src.proc.space, &mut src.proc.msrlt).unwrap();
         assert_eq!(g.vertex_count(), 12, "{:?}", g.vertices);

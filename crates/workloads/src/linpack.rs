@@ -172,12 +172,7 @@ impl Linpack {
 
     /// dgefa: LU factorization with partial pivoting. The migration
     /// point is at the top of the column loop.
-    fn dgefa(
-        &self,
-        ctx: &mut MigCtx<'_>,
-        a_ptr: u64,
-        ipvt_ptr: u64,
-    ) -> Result<Flow, MigError> {
+    fn dgefa(&self, ctx: &mut MigCtx<'_>, a_ptr: u64, ipvt_ptr: u64) -> Result<Flow, MigError> {
         let n = self.n;
         let int = Self::int_ty(ctx.proc());
         let pd = {
@@ -390,7 +385,11 @@ impl Linpack {
         let mut idx = 0;
         while idx < total {
             let e = proc.space.elem_addr(a, idx)?;
-            h ^= proc.space.load_f64(e)?.to_bits().rotate_left((idx % 63) as u32);
+            h ^= proc
+                .space
+                .load_f64(e)?
+                .to_bits()
+                .rotate_left((idx % 63) as u32);
             idx += step;
         }
         out.push(("matrix_checksum".into(), format!("{h:#018x}")));
@@ -432,7 +431,12 @@ mod tests {
             Trigger::AtPollCount(10), // migrate at column 10 of dgefa
         )
         .unwrap();
-        assert_eq!(crate::diff_results(&expect, &run.results), None, "{:?}", run.results);
+        assert_eq!(
+            crate::diff_results(&expect, &run.results),
+            None,
+            "{:?}",
+            run.results
+        );
         assert_eq!(run.report.chain_depth, 2, "main → dgefa");
         // "the high-order floating point accuracy" is preserved exactly:
         // solution_bits compared above is a bit-exact check.

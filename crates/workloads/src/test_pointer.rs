@@ -40,7 +40,9 @@ pub struct TestPointer {
 
 impl Default for TestPointer {
     fn default() -> Self {
-        TestPointer { depth: DEFAULT_DEPTH }
+        TestPointer {
+            depth: DEFAULT_DEPTH,
+        }
     }
 }
 
@@ -63,12 +65,22 @@ impl TestPointer {
         let dag = t.struct_by_name("dag").expect("setup ran");
         let int = t.int();
         let p_int = t.pointer_to(int);
-        Types { tnode, int, p_int, dag }
+        Types {
+            tnode,
+            int,
+            p_int,
+            dag,
+        }
     }
 
     /// Build the perfect tree iteratively (level order), polling once per
     /// node: the migration point lives here, mid-construction.
-    fn build_tree(&self, ctx: &mut MigCtx<'_>, root_global: u64, g: &Globals) -> Result<Flow, MigError> {
+    fn build_tree(
+        &self,
+        ctx: &mut MigCtx<'_>,
+        root_global: u64,
+        g: &Globals,
+    ) -> Result<Flow, MigError> {
         let ty = self.types(ctx.proc());
         let f = ctx.enter("build_tree")?;
         let k = ctx.local(f, "k", ty.int, 1)?;
@@ -113,7 +125,12 @@ impl TestPointer {
     }
 
     /// Address of the level-order `idx`-th node, by path from the root.
-    fn node_by_index(&self, proc: &mut Process, root_global: u64, idx: u64) -> Result<u64, MigError> {
+    fn node_by_index(
+        &self,
+        proc: &mut Process,
+        root_global: u64,
+        idx: u64,
+    ) -> Result<u64, MigError> {
         // Path bits from the root: record the walk down.
         let mut path = Vec::new();
         let mut i = idx;
@@ -129,7 +146,12 @@ impl TestPointer {
         Ok(cur)
     }
 
-    fn build_pointer_zoo(&self, proc: &mut Process, g: &Globals, ty: &Types) -> Result<(), MigError> {
+    fn build_pointer_zoo(
+        &self,
+        proc: &mut Process,
+        g: &Globals,
+        ty: &Types,
+    ) -> Result<(), MigError> {
         // int *pi = malloc(int); *pi = 777;
         let the_int = proc.malloc(ty.int, 1)?;
         proc.space.store_int(the_int, 777)?;
@@ -197,7 +219,11 @@ struct Globals {
 
 fn globals(proc: &mut Process) -> Globals {
     let find = |name: &str, infos: &[hpm_memory::BlockInfo]| {
-        infos.iter().find(|b| b.name.as_deref() == Some(name)).unwrap().addr
+        infos
+            .iter()
+            .find(|b| b.name.as_deref() == Some(name))
+            .unwrap()
+            .addr
     };
     let infos = proc.space.block_infos();
     Globals {
@@ -232,7 +258,11 @@ impl MigratableProgram for TestPointer {
         let p_dag = t.pointer_to(dag);
         t.define_struct(
             dag,
-            vec![Field::new("tag", int), Field::new("x", p_dag), Field::new("y", p_dag)],
+            vec![
+                Field::new("tag", int),
+                Field::new("x", p_dag),
+                Field::new("y", p_dag),
+            ],
         )
         .map_err(|e| MigError::Protocol(e.to_string()))?;
         let p_int = t.pointer_to(int);
@@ -355,7 +385,10 @@ impl MigratableProgram for TestPointer {
         let b_child = proc.space.load_ptr(b_slot)?;
         let back_slot = proc.space.elem_addr(a_child, 1)?;
         let shared_back = proc.space.load_ptr(back_slot)?;
-        out.push(("dag_shared".into(), (a_child == b_child && a_child != 0).to_string()));
+        out.push((
+            "dag_shared".into(),
+            (a_child == b_child && a_child != 0).to_string(),
+        ));
         out.push(("dag_cycle".into(), (shared_back == top).to_string()));
         let tag = |proc: &mut Process, n: u64| -> Result<i64, MigError> {
             let t = proc.space.elem_addr(n, 0)?;
@@ -363,7 +396,13 @@ impl MigratableProgram for TestPointer {
         };
         out.push((
             "dag_tags".into(),
-            format!("{},{},{},{}", tag(proc, top)?, tag(proc, a)?, tag(proc, b)?, tag(proc, a_child)?),
+            format!(
+                "{},{},{},{}",
+                tag(proc, top)?,
+                tag(proc, a)?,
+                tag(proc, b)?,
+                tag(proc, a_child)?
+            ),
         ));
         out.push(("live_blocks".into(), proc.space.block_count().to_string()));
         Ok(out)
@@ -405,7 +444,12 @@ mod tests {
             Trigger::AtPollCount(8),
         )
         .unwrap();
-        assert_eq!(crate::diff_results(&expect, &run.results), None, "{:?}", run.results);
+        assert_eq!(
+            crate::diff_results(&expect, &run.results),
+            None,
+            "{:?}",
+            run.results
+        );
         assert_eq!(run.report.chain_depth, 2);
         // Aliased pointers must have been collected once and referenced
         // thereafter (paper: "despite multiple references to MSR's

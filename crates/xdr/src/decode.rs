@@ -36,7 +36,10 @@ impl<'a> XdrDecoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
         if self.remaining() < n {
-            return Err(XdrError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(XdrError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -155,7 +158,10 @@ mod tests {
         let mut d = XdrDecoder::new(&[0, 0]);
         assert_eq!(
             d.get_i32(),
-            Err(XdrError::UnexpectedEof { needed: 4, remaining: 2 })
+            Err(XdrError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
         );
     }
 
@@ -164,7 +170,10 @@ mod tests {
         let mut e = XdrEncoder::new();
         e.put_u32(2);
         let b = e.into_bytes();
-        assert_eq!(XdrDecoder::new(&b).get_bool(), Err(XdrError::InvalidBool(2)));
+        assert_eq!(
+            XdrDecoder::new(&b).get_bool(),
+            Err(XdrError::InvalidBool(2))
+        );
     }
 
     #[test]
@@ -216,6 +225,9 @@ mod tests {
         let b = e.into_bytes();
         let mut d1 = XdrDecoder::new(&b);
         let mut d2 = XdrDecoder::new(&b);
-        assert_eq!(d1.get_opaque_fixed(5).unwrap(), d2.get_opaque_fixed_ref(5).unwrap());
+        assert_eq!(
+            d1.get_opaque_fixed(5).unwrap(),
+            d2.get_opaque_fixed_ref(5).unwrap()
+        );
     }
 }

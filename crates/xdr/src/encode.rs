@@ -21,7 +21,9 @@ impl XdrEncoder {
     /// the caller can estimate the migration-image size, avoiding
     /// reallocation during the Encode-and-Copy phase).
     pub fn with_capacity(cap: usize) -> Self {
-        XdrEncoder { buf: Vec::with_capacity(cap) }
+        XdrEncoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.

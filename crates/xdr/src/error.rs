@@ -24,12 +24,17 @@ impl std::fmt::Display for XdrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             XdrError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of XDR stream: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of XDR stream: needed {needed} bytes, {remaining} remain"
+                )
             }
             XdrError::InvalidBool(v) => write!(f, "invalid XDR bool value {v}"),
             XdrError::NonZeroPadding => write!(f, "non-zero XDR padding bytes"),
             XdrError::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
-            XdrError::LengthTooLarge(n) => write!(f, "XDR variable length {n} exceeds sanity bound"),
+            XdrError::LengthTooLarge(n) => {
+                write!(f, "XDR variable length {n} exceeds sanity bound")
+            }
         }
     }
 }
@@ -42,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = XdrError::UnexpectedEof { needed: 8, remaining: 3 };
+        let e = XdrError::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
         assert!(XdrError::InvalidBool(7).to_string().contains('7'));
     }

@@ -135,54 +135,109 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod roundtrip_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn i32_roundtrip(v in any::<i32>()) {
+    /// Deterministic splitmix64 — replaces the external RNG for the
+    /// seed-driven roundtrip sweeps below.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let mut s = 1u64;
+        let mut cases: Vec<i32> = vec![0, 1, -1, i32::MIN, i32::MAX];
+        cases.extend((0..200).map(|_| next(&mut s) as i32));
+        for v in cases {
             let mut e = XdrEncoder::new();
             e.put_i32(v);
             let b = e.into_bytes();
-            prop_assert_eq!(b.len(), 4);
-            prop_assert_eq!(XdrDecoder::new(&b).get_i32().unwrap(), v);
+            assert_eq!(b.len(), 4);
+            assert_eq!(XdrDecoder::new(&b).get_i32().unwrap(), v);
         }
+    }
 
-        #[test]
-        fn u64_roundtrip(v in any::<u64>()) {
+    #[test]
+    fn u64_roundtrip() {
+        let mut s = 2u64;
+        let mut cases: Vec<u64> = vec![0, 1, u64::MAX];
+        cases.extend((0..200).map(|_| next(&mut s)));
+        for v in cases {
             let mut e = XdrEncoder::new();
             e.put_u64(v);
-            prop_assert_eq!(XdrDecoder::new(&e.into_bytes()).get_u64().unwrap(), v);
+            assert_eq!(XdrDecoder::new(&e.into_bytes()).get_u64().unwrap(), v);
         }
+    }
 
-        #[test]
-        fn f64_bits_roundtrip(bits in any::<u64>()) {
+    #[test]
+    fn f64_bits_roundtrip() {
+        let mut s = 3u64;
+        let mut cases: Vec<u64> = vec![
+            0,
+            f64::NAN.to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            (-0.0f64).to_bits(),
+            0x7FF8_0000_DEAD_BEEF, // NaN with payload
+        ];
+        cases.extend((0..200).map(|_| next(&mut s)));
+        for bits in cases {
             let v = f64::from_bits(bits);
             let mut e = XdrEncoder::new();
             e.put_f64(v);
             let got = XdrDecoder::new(&e.into_bytes()).get_f64().unwrap();
-            prop_assert_eq!(got.to_bits(), bits);
+            assert_eq!(got.to_bits(), bits);
         }
+    }
 
-        #[test]
-        fn opaque_var_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+    #[test]
+    fn opaque_var_roundtrip() {
+        let mut s = 4u64;
+        for len in 0..200 {
+            let data: Vec<u8> = (0..len).map(|_| next(&mut s) as u8).collect();
             let mut e = XdrEncoder::new();
             e.put_opaque_var(&data);
             let b = e.into_bytes();
-            prop_assert_eq!(b.len() % 4, 0);
-            prop_assert_eq!(XdrDecoder::new(&b).get_opaque_var().unwrap(), data);
+            assert_eq!(b.len() % 4, 0);
+            assert_eq!(XdrDecoder::new(&b).get_opaque_var().unwrap(), data);
         }
+    }
 
-        #[test]
-        fn string_roundtrip(s in "\\PC{0,40}") {
+    #[test]
+    fn string_roundtrip() {
+        let cases = [
+            "",
+            "a",
+            "hello world",
+            "μ unicode — ok ✓",
+            "line\nbreak\tand\0nul",
+            "0123456789012345678901234567890123456789",
+        ];
+        for s in cases {
             let mut e = XdrEncoder::new();
-            e.put_string(&s);
-            prop_assert_eq!(XdrDecoder::new(&e.into_bytes()).get_string().unwrap(), s);
+            e.put_string(s);
+            assert_eq!(XdrDecoder::new(&e.into_bytes()).get_string().unwrap(), s);
         }
+    }
 
-        #[test]
-        fn mixed_sequence_roundtrip(items in proptest::collection::vec(any::<(i32, u64, f32)>(), 0..30)) {
+    #[test]
+    fn mixed_sequence_roundtrip() {
+        let mut s = 5u64;
+        for n in 0..30 {
+            let items: Vec<(i32, u64, f32)> = (0..n)
+                .map(|_| {
+                    (
+                        next(&mut s) as i32,
+                        next(&mut s),
+                        f32::from_bits(next(&mut s) as u32),
+                    )
+                })
+                .collect();
             let mut e = XdrEncoder::new();
             for (a, b, c) in &items {
                 e.put_i32(*a);
@@ -192,38 +247,49 @@ mod proptests {
             let bytes = e.into_bytes();
             let mut d = XdrDecoder::new(&bytes);
             for (a, b, c) in &items {
-                prop_assert_eq!(d.get_i32().unwrap(), *a);
-                prop_assert_eq!(d.get_u64().unwrap(), *b);
-                prop_assert_eq!(d.get_f32().unwrap().to_bits(), c.to_bits());
+                assert_eq!(d.get_i32().unwrap(), *a);
+                assert_eq!(d.get_u64().unwrap(), *b);
+                assert_eq!(d.get_f32().unwrap().to_bits(), c.to_bits());
             }
-            prop_assert!(d.is_empty());
+            assert!(d.is_empty());
         }
+    }
 
-        #[test]
-        fn i32_array_roundtrip(v in proptest::collection::vec(any::<i32>(), 0..64)) {
+    #[test]
+    fn i32_array_roundtrip() {
+        let mut s = 6u64;
+        for len in 0..64 {
+            let v: Vec<i32> = (0..len).map(|_| next(&mut s) as i32).collect();
             let mut e = XdrEncoder::new();
             e.put_i32_array(&v);
-            prop_assert_eq!(XdrDecoder::new(&e.into_bytes()).get_i32_array().unwrap(), v);
+            assert_eq!(XdrDecoder::new(&e.into_bytes()).get_i32_array().unwrap(), v);
         }
+    }
 
-        #[test]
-        fn f64_array_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..64)) {
+    #[test]
+    fn f64_array_roundtrip() {
+        let mut s = 7u64;
+        for len in 0..64 {
+            let v: Vec<f64> = (0..len).map(|_| f64::from_bits(next(&mut s))).collect();
             let mut e = XdrEncoder::new();
             e.put_f64_array(&v);
             let got = XdrDecoder::new(&e.into_bytes()).get_f64_array().unwrap();
-            prop_assert_eq!(got.len(), v.len());
+            assert_eq!(got.len(), v.len());
             for (a, b) in got.iter().zip(&v) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
 
-        #[test]
-        fn truncated_input_errors_not_panics(v in any::<u64>(), cut in 0usize..8) {
+    #[test]
+    fn truncated_input_errors_not_panics() {
+        let mut s = 8u64;
+        for cut in 0..8 {
             let mut e = XdrEncoder::new();
-            e.put_u64(v);
+            e.put_u64(next(&mut s));
             let b = e.into_bytes();
             let mut d = XdrDecoder::new(&b[..cut]);
-            prop_assert!(d.get_u64().is_err());
+            assert!(d.get_u64().is_err());
         }
     }
 }

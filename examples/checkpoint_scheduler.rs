@@ -38,7 +38,12 @@ fn main() {
 
     println!("machines:");
     for m in &sched.machines {
-        println!("  {:<10} ({}) finished {} job(s)", m.name, m.arch.name, m.jobs.len());
+        println!(
+            "  {:<10} ({}) finished {} job(s)",
+            m.name,
+            m.arch.name,
+            m.jobs.len()
+        );
         for j in &m.jobs {
             let summary = j
                 .results()

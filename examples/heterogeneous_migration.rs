@@ -61,7 +61,10 @@ fn main() {
     println!("\n=== live cluster: scheduler thread + source/destination machine threads ===\n");
     let cluster = TwoMachineCluster::paper_heterogeneous();
     let creport = cluster
-        .run(move || BitonicSort::new(30_000), 5 /* request after 5 ms */)
+        .run(
+            move || BitonicSort::new(30_000),
+            5, /* request after 5 ms */
+        )
         .unwrap();
     println!(
         "bitonic 30000 over the wire: image {} bytes, collect {:.4}s, tx {:.4}s, restore {:.4}s, {} polls before the request landed",

@@ -29,10 +29,24 @@ fn main() {
     }
 
     println!("MSR graph at the Figure 1 snapshot (i == 4, before malloc):");
-    println!("  {} vertices, {} edges\n", graph.vertex_count(), graph.edge_count());
-    println!("{:<6} {:<12} {:>12} {:>8} segment", "id", "label", "addr", "bytes");
+    println!(
+        "  {} vertices, {} edges\n",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    println!(
+        "{:<6} {:<12} {:>12} {:>8} segment",
+        "id", "label", "addr", "bytes"
+    );
     for v in &graph.vertices {
-        println!("{:<6} {:<12} {:>#12x} {:>8} {}", v.id.to_string(), v.label, v.addr, v.size, v.segment);
+        println!(
+            "{:<6} {:<12} {:>#12x} {:>8} {}",
+            v.id.to_string(),
+            v.label,
+            v.addr,
+            v.size,
+            v.segment
+        );
     }
     println!();
     println!("{:<8} {:>10} {:<8} elem", "from", "+offset", "to");

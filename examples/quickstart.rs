@@ -20,7 +20,10 @@ fn build_process(arch: Architecture) -> (AddressSpace, Msrlt, u64) {
     let dbl = space.types_mut().double();
     space
         .types_mut()
-        .define_struct(node, vec![Field::new("value", dbl), Field::new("next", p_node)])
+        .define_struct(
+            node,
+            vec![Field::new("value", dbl), Field::new("next", p_node)],
+        )
         .unwrap();
     let head = space.define_global("head", p_node, 1).unwrap();
     let mut msrlt = Msrlt::new();
@@ -64,8 +67,10 @@ fn main() {
     let mut restorer = Restorer::new(&mut dst, &mut dst_lt, &payload);
     restorer.restore_variable(dhead).unwrap();
     let rstats = restorer.finish().unwrap();
-    println!("restored {} blocks ({} allocated on the destination heap)",
-        rstats.blocks_restored, rstats.blocks_allocated);
+    println!(
+        "restored {} blocks ({} allocated on the destination heap)",
+        rstats.blocks_restored, rstats.blocks_allocated
+    );
 
     // Walk the restored list.
     print!("restored list:");

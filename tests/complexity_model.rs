@@ -68,7 +68,10 @@ fn linpack_search_count_constant_as_size_grows() {
         counts.push(src.proc.msrlt.stats().searches);
         bytes.push(payload.len() as f64);
     }
-    assert_eq!(counts[0], counts[2], "search count independent of matrix order: {counts:?}");
+    assert_eq!(
+        counts[0], counts[2],
+        "search count independent of matrix order: {counts:?}"
+    );
     // Payload scales ~quadratically in n (matrix bytes dominate).
     let r1 = bytes[1] / bytes[0];
     let r2 = bytes[2] / bytes[1];

@@ -14,8 +14,12 @@ use hpm::workloads::{diff_results, Figure1};
 #[test]
 fn figure1_snapshot_has_twelve_vertices() {
     let mut program = Figure1::new();
-    let mut src =
-        run_to_migration(&mut program, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let mut src = run_to_migration(
+        &mut program,
+        Architecture::dec5000(),
+        Trigger::AtPollCount(5),
+    )
+    .unwrap();
     let g = MsrGraph::snapshot(&mut src.proc.space, &mut src.proc.msrlt).unwrap();
     assert_eq!(g.vertex_count(), 12);
 
@@ -24,7 +28,10 @@ fn figure1_snapshot_has_twelve_vertices() {
         assert!(labels.contains(&name), "missing {name} in {labels:?}");
     }
     let heap_nodes = g.vertices.iter().filter(|v| v.segment == "heap").count();
-    assert_eq!(heap_nodes, 4, "four foo() calls completed before the snapshot");
+    assert_eq!(
+        heap_nodes, 4,
+        "four foo() calls completed before the snapshot"
+    );
 
     // Segments match the figure: 2 globals, 4 heap, 6 stack (i, a, b,
     // parray in main; p, q in foo).
@@ -38,8 +45,12 @@ fn figure1_snapshot_has_twelve_vertices() {
 #[test]
 fn figure1_collection_order_and_no_duplication() {
     let mut program = Figure1::new();
-    let mut src =
-        run_to_migration(&mut program, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let mut src = run_to_migration(
+        &mut program,
+        Architecture::dec5000(),
+        Trigger::AtPollCount(5),
+    )
+    .unwrap();
     let (_payload, exec, stats) = src.collect().unwrap();
     assert_eq!(exec.depth(), 2, "main → foo");
     assert_eq!(exec.frames[0].function, "main");
@@ -87,8 +98,12 @@ fn figure1_migration_resumes_mid_loop() {
 #[test]
 fn figure1_dot_export() {
     let mut program = Figure1::new();
-    let mut src =
-        run_to_migration(&mut program, Architecture::dec5000(), Trigger::AtPollCount(5)).unwrap();
+    let mut src = run_to_migration(
+        &mut program,
+        Architecture::dec5000(),
+        Trigger::AtPollCount(5),
+    )
+    .unwrap();
     let g = MsrGraph::snapshot(&mut src.proc.space, &mut src.proc.msrlt).unwrap();
     let dot = g.to_dot();
     assert!(dot.starts_with("digraph msr {"));

@@ -9,7 +9,11 @@ use hpm::net::NetworkModel;
 use hpm::workloads::{diff_results, BitonicSort, Linpack, TestPointer};
 
 fn archs() -> Vec<Architecture> {
-    vec![Architecture::dec5000(), Architecture::sparc20(), Architecture::x86_64_sim()]
+    vec![
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        Architecture::x86_64_sim(),
+    ]
 }
 
 #[test]
@@ -45,7 +49,12 @@ fn linpack_bitwise_float_accuracy_across_endianness() {
     let n = 48;
     let mut p = Linpack::full(n);
     let (expect, _) = run_straight(&mut p, Architecture::dec5000()).unwrap();
-    let bits = expect.iter().find(|(k, _)| k == "solution_bits").unwrap().1.clone();
+    let bits = expect
+        .iter()
+        .find(|(k, _)| k == "solution_bits")
+        .unwrap()
+        .1
+        .clone();
     for (src, dst) in [
         (Architecture::dec5000(), Architecture::sparc20()),
         (Architecture::sparc20(), Architecture::x86_64_sim()),
@@ -59,8 +68,15 @@ fn linpack_bitwise_float_accuracy_across_endianness() {
             Trigger::AtPollCount(n / 3),
         )
         .unwrap();
-        let got = run.results.iter().find(|(k, _)| k == "solution_bits").unwrap();
-        assert_eq!(got.1, bits, "float bits must survive the format conversions");
+        let got = run
+            .results
+            .iter()
+            .find(|(k, _)| k == "solution_bits")
+            .unwrap();
+        assert_eq!(
+            got.1, bits,
+            "float bits must survive the format conversions"
+        );
     }
 }
 
@@ -117,10 +133,18 @@ fn migration_image_is_identical_regardless_of_source_arch() {
     // machines (header differs; payload must not).
     use hpm::migrate::run_to_migration;
     let make = || TestPointer::new();
-    let mut a = run_to_migration(&mut make(), Architecture::dec5000(), Trigger::AtPollCount(6))
-        .unwrap();
-    let mut b = run_to_migration(&mut make(), Architecture::sparc20(), Trigger::AtPollCount(6))
-        .unwrap();
+    let mut a = run_to_migration(
+        &mut make(),
+        Architecture::dec5000(),
+        Trigger::AtPollCount(6),
+    )
+    .unwrap();
+    let mut b = run_to_migration(
+        &mut make(),
+        Architecture::sparc20(),
+        Trigger::AtPollCount(6),
+    )
+    .unwrap();
     let (pa, ea, _) = a.collect().unwrap();
     let (pb, eb, _) = b.collect().unwrap();
     assert_eq!(ea, eb, "execution state identical");
@@ -147,5 +171,8 @@ fn tx_time_reflects_link_speed() {
     )
     .unwrap();
     let ratio = slow.report.tx_time.as_secs_f64() / fast.report.tx_time.as_secs_f64();
-    assert!(ratio > 5.0, "10 Mb/s should be ~10x slower than 100 Mb/s, got {ratio}");
+    assert!(
+        ratio > 5.0,
+        "10 Mb/s should be ~10x slower than 100 Mb/s, got {ratio}"
+    );
 }

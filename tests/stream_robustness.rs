@@ -1,4 +1,4 @@
-//! Integration test: migration-image robustness and property-based
+//! Integration test: migration-image robustness and seed-driven
 //! round-trips of arbitrary object graphs.
 
 use hpm::arch::Architecture;
@@ -7,7 +7,6 @@ use hpm::memory::AddressSpace;
 use hpm::migrate::{resume_from_image, run_to_migration, Trigger};
 use hpm::types::Field;
 use hpm::workloads::{BitonicSort, TestPointer};
-use proptest::prelude::*;
 
 #[test]
 fn truncated_images_are_rejected_not_misread() {
@@ -30,7 +29,10 @@ fn cross_program_images_are_rejected() {
     let image = src.to_image().unwrap();
     let mut wrong = BitonicSort::new(100);
     let r = resume_from_image(&mut wrong, Architecture::sparc20(), &image);
-    assert!(r.is_err(), "a bitonic process must refuse a test_pointer image");
+    assert!(
+        r.is_err(),
+        "a bitonic process must refuse a test_pointer image"
+    );
 }
 
 #[test]
@@ -45,16 +47,20 @@ fn corrupted_header_is_rejected() {
 }
 
 // ---------------------------------------------------------------------
-// Property-based round-trip of arbitrary object graphs.
+// Seed-driven round-trip of arbitrary object graphs.
 //
-// A random graph of `node { long tag; node *a; node *b; }` blocks with
+// A pseudo-random graph of `node { long tag; node *a; node *b; }` blocks with
 // arbitrary edges (including cycles, sharing, and NULLs) is built on a
 // random source architecture, collected from a root pointer, restored on
 // a random destination architecture, and compared up to isomorphism by
 // parallel traversal.
 // ---------------------------------------------------------------------
 
-fn build_space(arch: Architecture, tags: &[i64], edges: &[(usize, usize, bool)]) -> (AddressSpace, Msrlt, u64, Vec<u64>) {
+fn build_space(
+    arch: Architecture,
+    tags: &[i64],
+    edges: &[(usize, usize, bool)],
+) -> (AddressSpace, Msrlt, u64, Vec<u64>) {
     let mut space = AddressSpace::new(arch);
     let node = space.types_mut().declare_struct("gnode");
     let pn = space.types_mut().pointer_to(node);
@@ -63,7 +69,11 @@ fn build_space(arch: Architecture, tags: &[i64], edges: &[(usize, usize, bool)])
         .types_mut()
         .define_struct(
             node,
-            vec![Field::new("tag", long), Field::new("a", pn), Field::new("b", pn)],
+            vec![
+                Field::new("tag", long),
+                Field::new("a", pn),
+                Field::new("b", pn),
+            ],
         )
         .unwrap();
     let root = space.define_global("groot", pn, 1).unwrap();
@@ -80,7 +90,9 @@ fn build_space(arch: Architecture, tags: &[i64], edges: &[(usize, usize, bool)])
         nodes.push(n);
     }
     for &(from, to, which_b) in edges {
-        let slot = space.elem_addr(nodes[from], if which_b { 2 } else { 1 }).unwrap();
+        let slot = space
+            .elem_addr(nodes[from], if which_b { 2 } else { 1 })
+            .unwrap();
         space.store_ptr(slot, nodes[to]).unwrap();
     }
     if !nodes.is_empty() {
@@ -129,49 +141,68 @@ fn canon(space: &mut AddressSpace, root_ptr_block: u64) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Deterministic splitmix64 driving the graph sweeps (replaces the
+/// external property-testing RNG).
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
 
-    #[test]
-    fn arbitrary_graphs_roundtrip(
+#[test]
+fn arbitrary_graphs_roundtrip() {
+    let archs = Architecture::presets();
+    let mut s = 0x6ea4_0001u64;
+    for case in 0..48 {
         // Tags fit an i32: `long` narrows to 4 bytes on the ILP32
         // presets, so — exactly like real C source-level migration —
         // values wider than the destination's `long` are truncated
         // (covered by `long_width_conversion_sound` below).
-        tags in proptest::collection::vec(any::<i32>().prop_map(|v| v as i64), 1..24),
-        raw_edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..48),
-        src_pick in 0usize..4,
-        dst_pick in 0usize..4,
-    ) {
-        let archs = Architecture::presets();
-        let n = tags.len();
-        let edges: Vec<(usize, usize, bool)> = raw_edges
-            .iter()
-            .map(|&(a, b, w)| (a as usize % n, b as usize % n, w))
+        let n = 1 + (next(&mut s) % 23) as usize;
+        let tags: Vec<i64> = (0..n).map(|_| next(&mut s) as i32 as i64).collect();
+        let n_edges = (next(&mut s) % 48) as usize;
+        let edges: Vec<(usize, usize, bool)> = (0..n_edges)
+            .map(|_| {
+                (
+                    next(&mut s) as usize % n,
+                    next(&mut s) as usize % n,
+                    next(&mut s).is_multiple_of(2),
+                )
+            })
             .collect();
+        let src_pick = (next(&mut s) % 4) as usize;
+        let dst_pick = (next(&mut s) % 4) as usize;
 
-        let (mut src, mut src_lt, root, _) =
-            build_space(archs[src_pick].clone(), &tags, &edges);
+        let (mut src, mut src_lt, root, _) = build_space(archs[src_pick].clone(), &tags, &edges);
         let expected = canon(&mut src, root);
 
         let mut collector = Collector::new(&mut src, &mut src_lt);
         collector.save_variable(root).unwrap();
         let (payload, _) = collector.finish();
 
-        let (mut dst, mut dst_lt, droot, _) =
-            build_space(archs[dst_pick].clone(), &[], &[]);
+        let (mut dst, mut dst_lt, droot, _) = build_space(archs[dst_pick].clone(), &[], &[]);
         let mut restorer = Restorer::new(&mut dst, &mut dst_lt, &payload);
         restorer.restore_variable(droot).unwrap();
         restorer.finish().unwrap();
 
         let got = canon(&mut dst, droot);
-        prop_assert_eq!(got, expected, "graph must restore isomorphically");
+        assert_eq!(
+            got, expected,
+            "case {case}: graph must restore isomorphically"
+        );
     }
+}
 
-    /// Long values (which travel as 8-byte hypers) survive ILP32 → LP64
-    /// and back without sign damage when they fit the source width.
-    #[test]
-    fn long_width_conversion_sound(v in any::<i32>()) {
+/// Long values (which travel as 8-byte hypers) survive ILP32 → LP64
+/// and back without sign damage when they fit the source width.
+#[test]
+fn long_width_conversion_sound() {
+    let mut s = 0x6ea4_0002u64;
+    let mut cases: Vec<i32> = vec![0, 1, -1, i32::MIN, i32::MAX];
+    cases.extend((0..32).map(|_| next(&mut s) as i32));
+    for v in cases {
         let (mut src, mut src_lt, root, nodes) =
             build_space(Architecture::dec5000(), &[v as i64], &[]);
         let _ = root;
@@ -187,6 +218,6 @@ proptest! {
         r.finish().unwrap();
         let dn = dst.load_ptr(droot).unwrap();
         let dt = dst.elem_addr(dn, 0).unwrap();
-        prop_assert_eq!(dst.load_int(dt).unwrap(), v as i64);
+        assert_eq!(dst.load_int(dt).unwrap(), v as i64);
     }
 }
