@@ -7,11 +7,16 @@
 //! ```
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
-//! `overhead`, `ablation`, `all`.
+//! `overhead`, `ablation`, `pipeline`, `all`.
 //!
 //! `--trace-out <path>` additionally runs one fully-traced TestPointer
 //! migration and writes a Chrome trace-event JSON file (load it at
 //! `ui.perfetto.dev` or `chrome://tracing`).
+//!
+//! `--json-out <path>` writes a machine-readable per-workload benchmark
+//! summary (Collect/Tx/Restore nanos, search steps, cache hit rate). If
+//! `<path>` is a directory, the file is named `BENCH_<rev>.json` after
+//! the current git revision.
 
 use hpm_bench::*;
 
@@ -26,8 +31,17 @@ fn main() {
         trace_out = Some(args.remove(i + 1));
         args.remove(i);
     }
+    let mut json_out = None;
+    if let Some(i) = args.iter().position(|a| a == "--json-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--json-out requires a path");
+            std::process::exit(2);
+        }
+        json_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let want = |name: &str| {
-        (args.is_empty() && trace_out.is_none())
+        (args.is_empty() && trace_out.is_none() && json_out.is_none())
             || args.iter().any(|a| a == name)
             || args.iter().any(|a| a == "all")
     };
@@ -53,9 +67,64 @@ fn main() {
     if want("ablation") {
         ablation();
     }
+    if want("pipeline") {
+        pipeline();
+    }
     if let Some(path) = trace_out {
         trace(&path);
     }
+    if let Some(path) = json_out {
+        json(&path);
+    }
+}
+
+fn pipeline() {
+    hr("Pipelined migration — monolithic vs streamed, Ultra 5 pair (paced)");
+    println!(
+        "{:<16} {:>10} {:>11} {:>12} {:>9} {:>8} {:>10}",
+        "workload", "link", "serial(s)", "pipeline(s)", "overlap", "chunks", "stall(s)"
+    );
+    for r in pipeline_rows() {
+        println!(
+            "{:<16} {:>10} {:>11} {:>12} {:>8.1}% {:>8} {:>10}",
+            r.label,
+            r.link,
+            secs(r.serial),
+            secs(r.pipelined),
+            r.overlap_ratio * 100.0,
+            r.chunks,
+            secs(r.stall)
+        );
+    }
+    println!("(collect, transfer, and restore overlap; the hidden fraction peaks when the phase times are balanced)");
+}
+
+fn short_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn json(path: &str) {
+    let rev = short_rev();
+    let p = std::path::Path::new(path);
+    let target = if p.is_dir() {
+        p.join(format!("BENCH_{rev}.json"))
+    } else {
+        p.to_path_buf()
+    };
+    let body = bench_json(&rev);
+    if let Err(e) = std::fs::write(&target, &body) {
+        eprintln!("cannot write {}: {e}", target.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", target.display());
 }
 
 fn trace(path: &str) {

@@ -19,8 +19,8 @@ pub mod harness;
 use hpm_arch::Architecture;
 use hpm_core::SearchStrategy;
 use hpm_migrate::{
-    resume_from_image, run_migrating, run_migrating_traced, run_straight, run_to_migration,
-    MigratedSource, MigrationRun, Trigger,
+    resume_from_image, run_migrating, run_migrating_pipelined, run_migrating_traced, run_straight,
+    run_to_migration, MigratedSource, MigrationRun, PipelineConfig, Trigger,
 };
 use hpm_net::NetworkModel;
 use hpm_obs::Tracer;
@@ -49,6 +49,10 @@ pub struct MigRow {
     pub searches: u64,
     /// Total search comparison steps.
     pub search_steps: u64,
+    /// Lookups answered by the MSRLT translation cache.
+    pub cache_hits: u64,
+    /// Lookups that fell through to the search strategy.
+    pub cache_misses: u64,
     /// MSRLT registrations during restoration.
     pub restore_updates: u64,
 }
@@ -57,6 +61,15 @@ impl MigRow {
     /// Collect + Tx + Restore.
     pub fn total(&self) -> Duration {
         self.collect + self.tx + self.restore
+    }
+
+    /// Fraction of address→id lookups answered by the translation cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
     }
 }
 
@@ -111,6 +124,8 @@ where
         restore,
         searches: msrlt.searches,
         search_steps: msrlt.search_steps,
+        cache_hits: msrlt.cache_hits,
+        cache_misses: msrlt.cache_misses,
         restore_updates: dst.msrlt.stats().registrations,
     }
 }
@@ -517,6 +532,120 @@ pub fn ablation_rows() -> Vec<AblationRow> {
         });
     }
     rows
+}
+
+/// Monolithic vs pipelined migration on one link.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Workload label.
+    pub label: String,
+    /// Link label.
+    pub link: String,
+    /// Monolithic migration time (Collect + Tx + Restore in sequence).
+    pub serial: Duration,
+    /// Pipelined end-to-end wall time (collect start → final restore).
+    pub pipelined: Duration,
+    /// Fraction of the serial sum hidden by overlapping.
+    pub overlap_ratio: f64,
+    /// Wire frames shipped (prefix + payload chunks + terminator).
+    pub chunks: u64,
+    /// Restoration time spent waiting for chunks.
+    pub stall: Duration,
+}
+
+fn freeze_test_pointer() -> MigratedSource {
+    let mut prog = TestPointer::new();
+    run_to_migration(&mut prog, Architecture::ultra5(), Trigger::AtPollCount(8))
+        .expect("test_pointer reaches its migration point")
+}
+
+/// Monolithic vs pipelined comparison: bitonic 20 000 over the paper's
+/// 10 Mb/s and 100 Mb/s links, with real-time pacing so the pipelined
+/// run actually experiences the wire.
+pub fn pipeline_rows() -> Vec<PipelineRow> {
+    let n = 20_000u64;
+    let mut rows = Vec::new();
+    for (link_label, link) in [
+        ("10 Mb/s", NetworkModel::ethernet_10()),
+        ("100 Mb/s", NetworkModel::ethernet_100()),
+    ] {
+        let mono = run_migrating(
+            move || BitonicSort::new(n),
+            Architecture::ultra5(),
+            Architecture::ultra5(),
+            link,
+            Trigger::AtPollCount(n),
+        )
+        .expect("monolithic bitonic migrates");
+        let run = run_migrating_pipelined(
+            move || BitonicSort::new(n),
+            Architecture::ultra5(),
+            Architecture::ultra5(),
+            link,
+            Trigger::AtPollCount(n),
+            PipelineConfig::default(),
+        )
+        .expect("pipelined bitonic migrates");
+        let p = run
+            .report
+            .pipeline
+            .expect("pipelined run carries pipeline stats");
+        rows.push(PipelineRow {
+            label: format!("bitonic {n}"),
+            link: link_label.to_string(),
+            serial: mono.report.migration_time(),
+            pipelined: p.e2e_time,
+            overlap_ratio: p.overlap_ratio(),
+            chunks: p.chunks,
+            stall: p.restore_stall,
+        });
+    }
+    rows
+}
+
+/// Machine-readable per-workload benchmark summary (the `BENCH_<rev>.json`
+/// artifact): Collect/Tx/Restore nanos, search counters, and the MSRLT
+/// translation-cache hit rate, on the Table 1 testbed.
+pub fn bench_json(revision: &str) -> String {
+    let link = NetworkModel::ethernet_100();
+    let rows = [
+        {
+            let mut s = freeze_test_pointer();
+            measure_frozen("test_pointer", 0, &mut s, link, TestPointer::new)
+        },
+        {
+            let mut s = freeze_linpack(600);
+            measure_frozen("linpack_600", 600, &mut s, link, || {
+                Linpack::truncated(600, 4)
+            })
+        },
+        {
+            let mut s = freeze_bitonic(20_000);
+            measure_frozen("bitonic_20000", 20_000, &mut s, link, || {
+                BitonicSort::new(20_000)
+            })
+        },
+    ];
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"revision\": \"{revision}\",\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"payload_bytes\": {}, \"collect_ns\": {}, \"tx_ns\": {}, \
+             \"restore_ns\": {}, \"searches\": {}, \"search_steps\": {}, \"cache_hit_rate\": {:.4}}}{}\n",
+            r.label,
+            r.payload_bytes,
+            r.collect.as_nanos(),
+            r.tx.as_nanos(),
+            r.restore.as_nanos(),
+            r.searches,
+            r.search_steps,
+            r.cache_hit_rate(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Format seconds compactly.

@@ -11,8 +11,12 @@ use hpm_xdr::{XdrDecoder, XdrEncoder};
 
 /// Magic number opening every migration image: `"HPMI"`.
 pub const IMAGE_MAGIC: u32 = 0x4850_4D49;
-/// Current image format version.
-pub const IMAGE_VERSION: u32 = 1;
+/// Current image format version. Version 2 moved the memory-state
+/// payload to an unprefixed tail section so the image can be streamed in
+/// chunks: the prefix (header + exec state) is known before collection
+/// starts, and every payload byte after it ships as soon as the
+/// collector flushes it.
+pub const IMAGE_VERSION: u32 = 2;
 
 /// Image header: who produced the image and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,27 +66,35 @@ impl ImageHeader {
     }
 }
 
-/// Frame a complete migration image from its sections.
-pub fn frame_image(header: &ImageHeader, exec_state: &[u8], memory_state: &[u8]) -> Vec<u8> {
-    let mut enc = XdrEncoder::with_capacity(64 + exec_state.len() + memory_state.len());
+/// Frame the image prefix: header plus exec-state section. In a
+/// streamed migration this is chunk 0; the memory-state payload follows
+/// as a raw tail with no length prefix, so the sender does not need to
+/// know its size up front.
+pub fn frame_image_prefix(header: &ImageHeader, exec_state: &[u8]) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(64 + exec_state.len());
     header.encode(&mut enc);
     enc.put_opaque_var(exec_state);
-    enc.put_opaque_var(memory_state);
     enc.into_bytes()
 }
 
+/// Frame a complete migration image from its sections.
+pub fn frame_image(header: &ImageHeader, exec_state: &[u8], memory_state: &[u8]) -> Vec<u8> {
+    let mut image = frame_image_prefix(header, exec_state);
+    image.reserve(memory_state.len());
+    image.extend_from_slice(memory_state);
+    image
+}
+
 /// Split a migration image into (header, exec-state, memory-state).
+///
+/// The memory-state tail is everything after the exec section; trailing
+/// garbage inside it is detected by the restorer, which knows where the
+/// stream grammar ends (and reports the offending frame).
 pub fn unframe_image(image: &[u8]) -> Result<(ImageHeader, Vec<u8>, Vec<u8>), CoreError> {
     let mut dec = XdrDecoder::new(image);
     let header = ImageHeader::decode(&mut dec)?;
     let exec = dec.get_opaque_var()?;
-    let mem = dec.get_opaque_var()?;
-    if !dec.is_empty() {
-        return Err(CoreError::SequenceMismatch(format!(
-            "{} bytes after memory-state section",
-            dec.remaining()
-        )));
-    }
+    let mem = dec.take_rest().to_vec();
     Ok((header, exec, mem))
 }
 
@@ -131,13 +143,24 @@ mod tests {
     }
 
     #[test]
-    fn trailing_bytes_rejected() {
-        let mut img = frame_image(&header(), b"E", b"M");
-        img.extend_from_slice(&[0, 0, 0, 0]);
-        assert!(matches!(
-            unframe_image(&img),
-            Err(CoreError::SequenceMismatch(_))
-        ));
+    fn prefix_plus_payload_equals_whole_image() {
+        // Streaming invariant: chunk 0 (the prefix) followed by the raw
+        // payload bytes reassembles the monolithic image exactly.
+        let payload = b"MEMORY-STATE";
+        let mut streamed = frame_image_prefix(&header(), b"EXEC");
+        streamed.extend_from_slice(payload);
+        assert_eq!(streamed, frame_image(&header(), b"EXEC", payload));
+    }
+
+    #[test]
+    fn memory_tail_is_byte_exact() {
+        // The tail is unprefixed: every byte after the exec section is
+        // payload, with no padding or length field in between.
+        let img = frame_image(&header(), b"E", b"M");
+        let (_, e, m) = unframe_image(&img).unwrap();
+        assert_eq!(e, b"E");
+        assert_eq!(m, b"M");
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -33,13 +33,15 @@ pub mod graph;
 pub mod image;
 pub mod msrlt;
 pub mod restore;
+pub mod stream;
 
-pub use collect::{CollectStats, Collector, MarkStrategy};
+pub use collect::{ChunkSink, CollectStats, Collector, MarkStrategy};
 pub use fingerprint::type_fingerprint;
 pub use graph::{MsrEdge, MsrGraph, MsrVertex};
 pub use image::{ImageHeader, IMAGE_MAGIC, IMAGE_VERSION};
 pub use msrlt::{LogicalId, Msrlt, MsrltEntry, MsrltStats, SearchStrategy};
 pub use restore::{RestoreStats, Restorer};
+pub use stream::{ChunkPayload, ChunkSource};
 
 use hpm_memory::MemError;
 use hpm_xdr::XdrError;
@@ -69,6 +71,27 @@ pub enum CoreError {
     UnknownId(LogicalId),
     /// Save/restore call sequences diverged between the two processes.
     SequenceMismatch(String),
+    /// A streamed payload ended mid-item: the producer stopped (or a
+    /// chunk was lost) before the stream grammar was complete.
+    TruncatedChunk {
+        /// Index of the chunk in which the stream ran dry.
+        chunk: u64,
+        /// Bytes needed to finish the current item.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The chunk source or sink feeding a streamed migration failed —
+    /// a transport-level failure surfaced into the stream layer.
+    Source(String),
+    /// Payload bytes remained after the stream grammar completed.
+    TrailingBytes {
+        /// Number of leftover bytes.
+        bytes: usize,
+        /// Chunk index holding the first leftover byte (streamed
+        /// payloads only; `None` for monolithic images).
+        chunk: Option<u64>,
+    },
 }
 
 impl From<MemError> for CoreError {
@@ -105,6 +128,22 @@ impl std::fmt::Display for CoreError {
             CoreError::BadTag(t) => write!(f, "unknown stream tag {t}"),
             CoreError::UnknownId(id) => write!(f, "logical id {id} unknown on this machine"),
             CoreError::SequenceMismatch(m) => write!(f, "save/restore sequence mismatch: {m}"),
+            CoreError::TruncatedChunk {
+                chunk,
+                needed,
+                available,
+            } => write!(
+                f,
+                "payload truncated in chunk {chunk}: needed {needed} bytes, {available} available"
+            ),
+            CoreError::Source(m) => write!(f, "chunk stream transport error: {m}"),
+            CoreError::TrailingBytes { bytes, chunk } => match chunk {
+                Some(c) => write!(
+                    f,
+                    "{bytes} payload bytes after end of stream (starting in chunk {c})"
+                ),
+                None => write!(f, "{bytes} payload bytes after end of stream"),
+            },
         }
     }
 }

@@ -36,6 +36,12 @@ pub const GROUP_GLOBAL: u32 = 0;
 /// Group number of the heap group.
 pub const GROUP_HEAP: u32 = 1;
 
+/// Slots in the direct-mapped address→id translation cache. Small on
+/// purpose: it fronts the binary search the way a TLB fronts a page
+/// walk, and pointer-heavy workloads re-resolve a working set far
+/// smaller than the table.
+const CACHE_SLOTS: usize = 64;
+
 /// Group number for the stack frame at `depth`.
 pub fn frame_group(depth: u32) -> u32 {
     2 + depth
@@ -96,10 +102,26 @@ pub struct MsrltStats {
     pub search_steps: u64,
     /// id→entry lookups (O(1) each).
     pub id_lookups: u64,
+    /// Searches answered by the translation cache (no comparison steps).
+    pub cache_hits: u64,
+    /// Searches that fell through the cache to the configured strategy.
+    pub cache_misses: u64,
     /// Wall time spent registering.
     pub register_time: Duration,
     /// Wall time spent searching.
     pub search_time: Duration,
+}
+
+impl MsrltStats {
+    /// Fraction of searches served by the translation cache, in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 impl StatGroup for MsrltStats {
@@ -114,6 +136,9 @@ impl StatGroup for MsrltStats {
             StatField::count("searches", self.searches),
             StatField::count("search_steps", self.search_steps),
             StatField::count("id_lookups", self.id_lookups),
+            StatField::count("cache_hits", self.cache_hits),
+            StatField::count("cache_misses", self.cache_misses),
+            StatField::ratio("cache_hit_rate", self.cache_hit_rate()),
             StatField::duration("register_time", self.register_time),
             StatField::duration("search_time", self.search_time),
         ]
@@ -125,6 +150,8 @@ impl StatGroup for MsrltStats {
         self.searches += other.searches;
         self.search_steps += other.search_steps;
         self.id_lookups += other.id_lookups;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.register_time += other.register_time;
         self.search_time += other.search_time;
     }
@@ -143,6 +170,15 @@ pub struct Msrlt {
     strategy: SearchStrategy,
     epoch: u64,
     stats: MsrltStats,
+    /// Total bytes of live registered blocks (collector pre-sizing hint).
+    live_bytes: u64,
+    /// Id of the most recently resolved block; checked first on every
+    /// search. Hits are validated against the live table, so stale
+    /// entries simply miss — no invalidation traffic.
+    cache_last: Option<LogicalId>,
+    /// Direct-mapped exact-address cache behind the last-hit check.
+    cache_slots: Vec<Option<(u64, LogicalId)>>,
+    cache_enabled: bool,
 }
 
 impl Default for Msrlt {
@@ -157,7 +193,9 @@ impl Msrlt {
         Msrlt::with_strategy(SearchStrategy::Binary)
     }
 
-    /// New table using the given search strategy.
+    /// New table using the given search strategy. The translation cache
+    /// fronts [`SearchStrategy::Binary`] by default; the linear baseline
+    /// stays pure so the §4.2 ablation measures the raw scan.
     pub fn with_strategy(strategy: SearchStrategy) -> Self {
         Msrlt {
             groups: vec![Vec::new(), Vec::new()],
@@ -166,7 +204,26 @@ impl Msrlt {
             strategy,
             epoch: 1,
             stats: MsrltStats::default(),
+            live_bytes: 0,
+            cache_last: None,
+            cache_slots: vec![None; CACHE_SLOTS],
+            cache_enabled: matches!(strategy, SearchStrategy::Binary),
         }
+    }
+
+    /// Enable or disable the translation cache (ablation control).
+    /// Disabling drops all cached translations.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache_last = None;
+            self.cache_slots = vec![None; CACHE_SLOTS];
+        }
+    }
+
+    /// Whether the translation cache is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
     }
 
     /// Instrumentation counters so far.
@@ -256,8 +313,16 @@ impl Msrlt {
         });
         let pos = self.by_addr.partition_point(|&(a, _)| a < addr);
         self.by_addr.insert(pos, (addr, id));
+        self.live_bytes += size;
         self.stats.registrations += 1;
         self.stats.register_time += t0.elapsed();
+    }
+
+    /// Total bytes of currently registered live blocks — the collector
+    /// uses this to pre-size its encoder, since the payload is dominated
+    /// by the raw bytes of the blocks it will emit.
+    pub fn registered_bytes(&self) -> u64 {
+        self.live_bytes
     }
 
     /// Reserve heap indices `0..n`: future [`Msrlt::register`] calls for
@@ -288,9 +353,48 @@ impl Msrlt {
     fn remove_addr(&mut self, addr: u64) -> Option<LogicalId> {
         let pos = self.by_addr.partition_point(|&(a, _)| a < addr);
         if pos < self.by_addr.len() && self.by_addr[pos].0 == addr {
-            Some(self.by_addr.remove(pos).1)
+            let id = self.by_addr.remove(pos).1;
+            if let Some(e) = self.groups[id.group as usize][id.index as usize].as_ref() {
+                self.live_bytes -= e.size;
+            }
+            Some(id)
         } else {
             None
+        }
+    }
+
+    /// Cache slot for a probe address. Addresses are at least word
+    /// aligned, so drop the low bits before mixing.
+    fn cache_slot(addr: u64) -> usize {
+        (((addr >> 2) ^ (addr >> 8)) as usize) & (CACHE_SLOTS - 1)
+    }
+
+    /// Validate a cached id against the live table: a hit is real only
+    /// if the block still exists and contains `addr`. Live blocks are
+    /// disjoint, so a validated hit equals the strategy-search result.
+    fn cache_validate(&self, id: LogicalId, addr: u64) -> Option<(LogicalId, u64)> {
+        let e = self
+            .groups
+            .get(id.group as usize)?
+            .get(id.index as usize)?
+            .as_ref()?;
+        if addr >= e.addr && addr < e.addr + e.size {
+            Some((id, addr - e.addr))
+        } else {
+            None
+        }
+    }
+
+    /// Probe the last-hit entry, then the direct-mapped slot.
+    fn cache_probe(&self, addr: u64) -> Option<(LogicalId, u64)> {
+        if let Some(id) = self.cache_last {
+            if let Some(hit) = self.cache_validate(id, addr) {
+                return Some(hit);
+            }
+        }
+        match self.cache_slots[Self::cache_slot(addr)] {
+            Some((a, id)) if a == addr => self.cache_validate(id, addr),
+            _ => None,
         }
     }
 
@@ -299,6 +403,15 @@ impl Msrlt {
     pub fn lookup_addr(&mut self, addr: u64) -> Option<(LogicalId, u64)> {
         let t0 = Instant::now();
         self.stats.searches += 1;
+        if self.cache_enabled {
+            if let Some(hit) = self.cache_probe(addr) {
+                self.stats.cache_hits += 1;
+                self.cache_last = Some(hit.0);
+                self.stats.search_time += t0.elapsed();
+                return Some(hit);
+            }
+            self.stats.cache_misses += 1;
+        }
         let found = match self.strategy {
             SearchStrategy::Binary => {
                 let mut lo = 0usize;
@@ -333,6 +446,12 @@ impl Msrlt {
                 None
             }
         });
+        if self.cache_enabled {
+            if let Some((id, _)) = result {
+                self.cache_last = Some(id);
+                self.cache_slots[Self::cache_slot(addr)] = Some((addr, id));
+            }
+        }
         self.stats.search_time += t0.elapsed();
         result
     }
@@ -525,6 +644,98 @@ mod tests {
             m.lookup_addr(0x2004).unwrap().0,
             LogicalId { group: 1, index: 2 }
         );
+    }
+
+    #[test]
+    fn cache_hit_skips_search_steps() {
+        let mut m = Msrlt::new();
+        for i in 0..256u64 {
+            m.register(&info(0x1000 + i * 16, 16, SegmentKind::Heap));
+        }
+        m.reset_stats();
+        let first = m.lookup_addr(0x1000 + 100 * 16).unwrap();
+        let cold_steps = m.stats().search_steps;
+        assert!(cold_steps > 0);
+        assert_eq!(m.stats().cache_misses, 1);
+        // Same block again: last-hit cache answers with zero steps.
+        let again = m.lookup_addr(0x1000 + 100 * 16 + 8).unwrap();
+        assert_eq!(again.0, first.0);
+        assert_eq!(again.1, 8);
+        assert_eq!(m.stats().cache_hits, 1);
+        assert_eq!(m.stats().search_steps, cold_steps);
+        assert_eq!(m.stats().searches, 2);
+    }
+
+    #[test]
+    fn cache_survives_intervening_lookups_via_direct_map() {
+        let mut m = Msrlt::new();
+        for i in 0..64u64 {
+            m.register(&info(0x1000 + i * 64, 32, SegmentKind::Heap));
+        }
+        m.reset_stats();
+        let a = m.lookup_addr(0x1000).unwrap();
+        let b = m.lookup_addr(0x1000 + 10 * 64).unwrap();
+        assert_ne!(a.0, b.0);
+        // `a`'s exact address is no longer the last hit, but the
+        // direct-mapped slot still holds it.
+        let a2 = m.lookup_addr(0x1000).unwrap();
+        assert_eq!(a2, a);
+        assert!(m.stats().cache_hits >= 1, "{:?}", m.stats());
+    }
+
+    #[test]
+    fn stale_cache_entries_miss_after_free_and_realloc() {
+        let mut m = Msrlt::new();
+        let a = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        assert_eq!(m.lookup_addr(0x1008).unwrap().0, a);
+        m.unregister(0x1000);
+        assert_eq!(m.lookup_addr(0x1008), None, "freed block must not hit");
+        // Same address range re-registered under a new id: the cached
+        // translation must resolve to the live block.
+        let b = m.register(&info(0x1000, 16, SegmentKind::Heap));
+        assert_ne!(a, b);
+        assert_eq!(m.lookup_addr(0x1008).unwrap().0, b);
+    }
+
+    #[test]
+    fn linear_strategy_has_no_cache() {
+        let mut m = Msrlt::with_strategy(SearchStrategy::Linear);
+        assert!(!m.cache_enabled());
+        m.register(&info(0x1000, 16, SegmentKind::Heap));
+        m.lookup_addr(0x1000);
+        m.lookup_addr(0x1000);
+        assert_eq!(m.stats().cache_hits, 0);
+        assert_eq!(m.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn disabling_cache_drops_translations() {
+        let mut m = Msrlt::new();
+        m.register(&info(0x1000, 16, SegmentKind::Heap));
+        m.lookup_addr(0x1000);
+        m.set_cache_enabled(false);
+        m.reset_stats();
+        m.lookup_addr(0x1000);
+        let s = m.stats();
+        assert_eq!(s.cache_hits + s.cache_misses, 0);
+        assert!(s.search_steps > 0);
+    }
+
+    #[test]
+    fn registered_bytes_tracks_live_blocks() {
+        let mut m = Msrlt::new();
+        assert_eq!(m.registered_bytes(), 0);
+        m.register(&info(0x100, 8, SegmentKind::Global));
+        m.register(&info(0x1000, 24, SegmentKind::Heap));
+        assert_eq!(m.registered_bytes(), 32);
+        m.unregister(0x1000);
+        assert_eq!(m.registered_bytes(), 8);
+        // Frame pop path (end_frame bypasses unregister).
+        m.begin_frame();
+        m.register(&info(0x7000, 16, SegmentKind::Stack));
+        assert_eq!(m.registered_bytes(), 24);
+        m.end_frame();
+        assert_eq!(m.registered_bytes(), 8);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::collect::{TAG_PTR_NEW, TAG_PTR_NULL, TAG_PTR_REF, TAG_VAR_NEW, TAG_VAR_VISITED};
 use crate::fingerprint::type_fingerprint;
 use crate::msrlt::{LogicalId, Msrlt};
+use crate::stream::ChunkPayload;
 use crate::CoreError;
 use hpm_arch::{CScalar, ScalarValue, XdrForm};
 use hpm_memory::AddressSpace;
@@ -88,11 +89,74 @@ struct Cursor {
     op_idx: usize,
 }
 
+/// The restorer's input: either a complete in-memory payload slice, or a
+/// pull-based chunk stream still arriving while decoding runs.
+enum Dec<'a> {
+    Slice(XdrDecoder<'a>),
+    Pull {
+        cp: &'a mut ChunkPayload,
+        /// Stream position when this session began (per-frame sessions
+        /// share one payload).
+        start: u64,
+    },
+}
+
+impl Dec<'_> {
+    fn get_u32(&mut self) -> Result<u32, CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_u32()?),
+            Dec::Pull { cp, .. } => cp.get_u32(),
+        }
+    }
+
+    fn get_i32(&mut self) -> Result<i32, CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_i32()?),
+            Dec::Pull { cp, .. } => cp.get_i32(),
+        }
+    }
+
+    fn get_u64(&mut self) -> Result<u64, CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_u64()?),
+            Dec::Pull { cp, .. } => cp.get_u64(),
+        }
+    }
+
+    fn get_i64(&mut self) -> Result<i64, CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_i64()?),
+            Dec::Pull { cp, .. } => cp.get_i64(),
+        }
+    }
+
+    fn get_f32(&mut self) -> Result<f32, CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_f32()?),
+            Dec::Pull { cp, .. } => cp.get_f32(),
+        }
+    }
+
+    fn get_f64(&mut self) -> Result<f64, CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_f64()?),
+            Dec::Pull { cp, .. } => cp.get_f64(),
+        }
+    }
+
+    fn consumed(&self) -> u64 {
+        match self {
+            Dec::Slice(d) => d.position() as u64,
+            Dec::Pull { cp, start } => cp.position() - start,
+        }
+    }
+}
+
 /// One restoration session over a received migration image.
 pub struct Restorer<'a> {
     space: &'a mut AddressSpace,
     msrlt: &'a mut Msrlt,
-    dec: XdrDecoder<'a>,
+    dec: Dec<'a>,
     fp_to_type: HashMap<u64, TypeId>,
     fp_cache: HashMap<TypeId, u64>,
     stats: RestoreStats,
@@ -106,6 +170,22 @@ impl<'a> Restorer<'a> {
     /// table (the receiving executable knows every type the sender can
     /// transmit — they are the same program).
     pub fn new(space: &'a mut AddressSpace, msrlt: &'a mut Msrlt, payload: &'a [u8]) -> Self {
+        Self::with_dec(space, msrlt, Dec::Slice(XdrDecoder::new(payload)))
+    }
+
+    /// Begin restoring from a chunk stream that may still be arriving.
+    /// Decoding pulls chunks on demand, so frame *k* restores while frame
+    /// *k+1* is in flight.
+    pub fn from_chunks(
+        space: &'a mut AddressSpace,
+        msrlt: &'a mut Msrlt,
+        cp: &'a mut ChunkPayload,
+    ) -> Self {
+        let start = cp.position();
+        Self::with_dec(space, msrlt, Dec::Pull { cp, start })
+    }
+
+    fn with_dec(space: &'a mut AddressSpace, msrlt: &'a mut Msrlt, dec: Dec<'a>) -> Self {
         let mut fp_to_type = HashMap::new();
         let types = space.types();
         for i in 0..types.len() {
@@ -117,7 +197,7 @@ impl<'a> Restorer<'a> {
         Restorer {
             space,
             msrlt,
-            dec: XdrDecoder::new(payload),
+            dec,
             fp_to_type,
             fp_cache: HashMap::new(),
             stats: RestoreStats::default(),
@@ -209,25 +289,39 @@ impl<'a> Restorer<'a> {
     /// a stream in several sessions (one per frame) resume at the right
     /// offset.
     pub fn consumed(&self) -> usize {
-        self.dec.position()
+        self.dec.consumed() as usize
     }
 
     /// Consume the restorer, returning its statistics without requiring
     /// the payload to be exhausted (per-frame sessions stop mid-stream).
     pub fn take_stats(mut self) -> RestoreStats {
-        self.stats.bytes_in = self.dec.position() as u64;
+        self.stats.bytes_in = self.dec.consumed();
         self.stats
     }
 
-    /// Finish, returning statistics. Errors if unconsumed payload remains
-    /// (the call sequences diverged).
+    /// Finish, returning statistics. Errors with
+    /// [`CoreError::TrailingBytes`] — including the offending chunk for
+    /// streamed payloads — if unconsumed payload remains (the call
+    /// sequences diverged).
     pub fn finish(mut self) -> Result<RestoreStats, CoreError> {
-        self.stats.bytes_in = self.dec.position() as u64;
-        if !self.dec.is_empty() {
-            return Err(CoreError::SequenceMismatch(format!(
-                "{} unconsumed payload bytes",
-                self.dec.remaining()
-            )));
+        self.stats.bytes_in = self.dec.consumed();
+        match &mut self.dec {
+            Dec::Slice(d) => {
+                if !d.is_empty() {
+                    return Err(CoreError::TrailingBytes {
+                        bytes: d.remaining(),
+                        chunk: None,
+                    });
+                }
+            }
+            Dec::Pull { cp, .. } => {
+                if cp.has_remaining()? {
+                    return Err(CoreError::TrailingBytes {
+                        bytes: cp.buffered_remaining(),
+                        chunk: Some(cp.current_chunk()),
+                    });
+                }
+            }
         }
         Ok(self.stats)
     }
@@ -466,14 +560,14 @@ impl<'a> Restorer<'a> {
     }
 }
 
-fn get_id(dec: &mut XdrDecoder<'_>) -> Result<LogicalId, CoreError> {
+fn get_id(dec: &mut Dec<'_>) -> Result<LogicalId, CoreError> {
     let group = dec.get_u32()?;
     let index = dec.get_u32()?;
     Ok(LogicalId { group, index })
 }
 
 /// Decode one scalar from its machine-independent XDR form.
-fn get_scalar_xdr(dec: &mut XdrDecoder<'_>, kind: CScalar) -> Result<ScalarValue, CoreError> {
+fn get_scalar_xdr(dec: &mut Dec<'_>, kind: CScalar) -> Result<ScalarValue, CoreError> {
     Ok(match kind.xdr_form() {
         XdrForm::Int => ScalarValue::Int(dec.get_i32()? as i64),
         XdrForm::UInt => ScalarValue::Uint(dec.get_u32()? as u64),
@@ -715,7 +809,13 @@ mod tests {
         let (mut dst, mut dst_lt, [da, _, _]) = program(Architecture::sparc20());
         let mut r = Restorer::new(&mut dst, &mut dst_lt, &payload);
         r.restore_variable(da).unwrap();
-        assert!(matches!(r.finish(), Err(CoreError::SequenceMismatch(_))));
+        assert!(matches!(
+            r.finish(),
+            Err(CoreError::TrailingBytes {
+                bytes: 4,
+                chunk: None
+            })
+        ));
     }
 
     #[test]

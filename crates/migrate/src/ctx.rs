@@ -30,7 +30,9 @@
 use crate::exec::{ExecutionState, FrameState};
 use crate::process::Process;
 use crate::MigError;
-use hpm_core::{CollectStats, Collector, RestoreStats, Restorer};
+use hpm_core::{
+    ChunkPayload, ChunkSink, CollectStats, Collector, CoreError, RestoreStats, Restorer,
+};
 use hpm_memory::FrameId;
 use hpm_obs::{StatGroup, Tracer};
 use hpm_types::TypeId;
@@ -86,13 +88,25 @@ pub struct PendingFrame {
     pub live: Vec<u64>,
 }
 
+/// Where a resuming process's memory-state payload comes from.
+enum PayloadSource {
+    /// The complete payload arrived up front (monolithic image).
+    Whole {
+        /// Memory-state payload.
+        payload: Vec<u8>,
+        /// Consumed prefix of `payload`.
+        pos: usize,
+    },
+    /// The payload is still arriving as chunks (pipelined migration);
+    /// each `restore_frame` pulls exactly what it needs.
+    Chunked(ChunkPayload),
+}
+
 struct ResumeState {
     /// Outermost-first recorded frames.
     frames: Vec<FrameState>,
-    /// Memory-state payload.
-    payload: Vec<u8>,
-    /// Consumed prefix of `payload`.
-    pos: usize,
+    /// Memory-state payload source.
+    source: PayloadSource,
     /// Index of the shallowest frame already restored; `frames.len()`
     /// when none is. Restoration consumes frames innermost-first.
     restored_down_to: usize,
@@ -107,7 +121,7 @@ struct ResumeState {
 enum Mode {
     Run,
     Unwind(Vec<PendingFrame>),
-    Resume(ResumeState),
+    Resume(Box<ResumeState>),
 }
 
 /// The migration context threaded through annotated code.
@@ -117,6 +131,12 @@ pub struct MigCtx<'p> {
     func_stack: Vec<String>,
     /// Set when the final `restore_frame` completes: (stats, wall time).
     finished_restore: Option<(RestoreStats, Duration)>,
+    /// Time spent blocked waiting on the chunk source (streamed resumes).
+    finished_stall: Duration,
+    /// Chunks pulled from the source during restoration (streamed resumes).
+    finished_chunks: u64,
+    /// Instant the final `restore_frame` completed.
+    finished_at: Option<Instant>,
     tracer: Tracer,
 }
 
@@ -128,6 +148,9 @@ impl<'p> MigCtx<'p> {
             mode: Mode::Run,
             func_stack: Vec::new(),
             finished_restore: None,
+            finished_stall: Duration::ZERO,
+            finished_chunks: 0,
+            finished_at: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -144,21 +167,43 @@ impl<'p> MigCtx<'p> {
     /// allocated by resumed execution never collide with ids still
     /// referenced by un-restored outer-frame sections.
     pub fn new_resume(proc: &'p mut Process, exec: ExecutionState, payload: Vec<u8>) -> Self {
+        Self::resume_with_source(proc, exec, PayloadSource::Whole { payload, pos: 0 })
+    }
+
+    /// Context for a destination-side resume over a chunk stream still
+    /// arriving (pipelined migration). Each `restore_frame` pulls chunks
+    /// on demand, so the innermost frame restores — and resumed
+    /// computation starts — while outer frames are still in flight.
+    pub fn new_resume_streaming(
+        proc: &'p mut Process,
+        exec: ExecutionState,
+        chunks: ChunkPayload,
+    ) -> Self {
+        Self::resume_with_source(proc, exec, PayloadSource::Chunked(chunks))
+    }
+
+    fn resume_with_source(
+        proc: &'p mut Process,
+        exec: ExecutionState,
+        source: PayloadSource,
+    ) -> Self {
         proc.msrlt.reserve_heap_indices(exec.heap_high_water);
         let n = exec.frames.len();
         MigCtx {
             proc,
-            mode: Mode::Resume(ResumeState {
+            mode: Mode::Resume(Box::new(ResumeState {
                 frames: exec.frames,
-                payload,
-                pos: 0,
+                source,
                 restored_down_to: n,
                 entered: 0,
                 stats: RestoreStats::default(),
                 restore_time: Duration::ZERO,
-            }),
+            })),
             func_stack: Vec::new(),
             finished_restore: None,
+            finished_stall: Duration::ZERO,
+            finished_chunks: 0,
+            finished_at: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -294,40 +339,65 @@ impl<'p> MigCtx<'p> {
                 live.len()
             )));
         }
+        let function = frame.function.clone();
+        let is_final = r.restored_down_to == 1;
         let t0 = Instant::now();
         self.tracer.begin_args(
             "restore",
             &[("frame_depth", depth as f64), ("live", live.len() as f64)],
         );
-        let mut restorer = Restorer::new(
-            &mut self.proc.space,
-            &mut self.proc.msrlt,
-            &r.payload[r.pos..],
-        )
+        let mut restorer = match &mut r.source {
+            PayloadSource::Whole { payload, pos } => {
+                Restorer::new(&mut self.proc.space, &mut self.proc.msrlt, &payload[*pos..])
+            }
+            PayloadSource::Chunked(cp) => {
+                Restorer::from_chunks(&mut self.proc.space, &mut self.proc.msrlt, cp)
+            }
+        }
         .with_tracer(self.tracer.clone());
         for &addr in live {
-            restorer.restore_variable(addr).map_err(MigError::from)?;
+            restorer.restore_variable(addr).map_err(|e| match &e {
+                CoreError::TruncatedChunk { .. } => {
+                    MigError::Protocol(format!("restoring frame '{function}' (depth {depth}): {e}"))
+                }
+                _ => MigError::from(e),
+            })?;
         }
         let consumed = restorer.consumed();
-        let stats = restorer.take_stats();
+        // The final frame must drain the stream exactly: leftover payload
+        // (or, streamed, leftover chunks) means the call sequences
+        // diverged — surface it with the offending frame and chunk.
+        let stats = if is_final {
+            restorer.finish().map_err(|e| match &e {
+                CoreError::TrailingBytes { .. } => {
+                    MigError::Protocol(format!("after final restore_frame ('{function}'): {e}"))
+                }
+                _ => MigError::from(e),
+            })?
+        } else {
+            restorer.take_stats()
+        };
         self.tracer
             .end_args("restore", &[("bytes", consumed as f64)]);
-        r.pos += consumed;
+        if let PayloadSource::Whole { pos, .. } = &mut r.source {
+            *pos += consumed;
+        }
         r.stats.merge_from(&stats);
         r.restore_time += t0.elapsed();
         r.restored_down_to -= 1;
         if r.restored_down_to == 0 {
-            if r.pos != r.payload.len() {
-                return Err(MigError::Protocol(format!(
-                    "{} memory-state bytes left after final restore_frame",
-                    r.payload.len() - r.pos
-                )));
-            }
             let stats = r.stats;
             let time = r.restore_time;
+            let (stall, chunks) = match &r.source {
+                PayloadSource::Chunked(cp) => (cp.stall_time(), cp.chunks_pulled()),
+                PayloadSource::Whole { .. } => (Duration::ZERO, 0),
+            };
             self.mode = Mode::Run;
             // Preserve totals for the driver.
             self.finished_restore = Some((stats, time));
+            self.finished_stall = stall;
+            self.finished_chunks = chunks;
+            self.finished_at = Some(Instant::now());
         }
         Ok(())
     }
@@ -373,6 +443,24 @@ impl<'p> MigCtx<'p> {
     pub fn restore_totals(&self) -> Option<(RestoreStats, Duration)> {
         self.finished_restore
     }
+
+    /// Time restoration spent blocked waiting for chunks to arrive
+    /// (zero for monolithic resumes, or before restoration completes).
+    pub fn restore_stall(&self) -> Duration {
+        self.finished_stall
+    }
+
+    /// Chunks pulled from the stream during restoration (zero for
+    /// monolithic resumes).
+    pub fn restore_chunks(&self) -> u64 {
+        self.finished_chunks
+    }
+
+    /// Instant the final `restore_frame` completed — the pipeline's
+    /// end-to-end endpoint (resumed computation continues after it).
+    pub fn restore_completed_at(&self) -> Option<Instant> {
+        self.finished_at
+    }
 }
 
 /// Collect the recorded frames into a memory-state payload plus the
@@ -391,7 +479,7 @@ pub fn collect_pending_traced(
     pending: &[PendingFrame],
     tracer: &Tracer,
 ) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
-    let heap_high_water = proc.msrlt.heap_len();
+    let exec = pending_exec_state(proc, pending);
     let mut collector =
         Collector::new(&mut proc.space, &mut proc.msrlt).with_tracer(tracer.clone());
     for frame in pending {
@@ -400,21 +488,47 @@ pub fn collect_pending_traced(
         }
     }
     let (payload, stats) = collector.finish();
-    let frames: Vec<FrameState> = pending
-        .iter()
-        .rev()
-        .map(|p| FrameState {
-            function: p.function.clone(),
-            poll_point: p.poll_point,
-            live_count: p.live.len() as u32,
-        })
-        .collect();
-    Ok((
-        payload,
-        ExecutionState {
-            frames,
-            heap_high_water,
-        },
-        stats,
-    ))
+    Ok((payload, exec, stats))
+}
+
+/// The execution state the recorded frames will ship — computable before
+/// collection runs, which is what lets the pipelined path send the image
+/// prefix while `Save_pointer` is still traversing.
+pub fn pending_exec_state(proc: &Process, pending: &[PendingFrame]) -> ExecutionState {
+    ExecutionState {
+        frames: pending
+            .iter()
+            .rev()
+            .map(|p| FrameState {
+                function: p.function.clone(),
+                poll_point: p.poll_point,
+                live_count: p.live.len() as u32,
+            })
+            .collect(),
+        heap_high_water: proc.msrlt.heap_len(),
+    }
+}
+
+/// [`collect_pending_traced`], but the payload leaves through `sink` in
+/// `chunk_bytes`-sized chunks as the DFS produces it, instead of
+/// accumulating in memory. Concatenating the chunks yields exactly the
+/// monolithic payload.
+pub fn collect_pending_streamed<'a>(
+    proc: &'a mut Process,
+    pending: &[PendingFrame],
+    chunk_bytes: usize,
+    tracer: &Tracer,
+    sink: ChunkSink<'a>,
+) -> Result<(ExecutionState, CollectStats), MigError> {
+    let exec = pending_exec_state(proc, pending);
+    let mut collector = Collector::new(&mut proc.space, &mut proc.msrlt)
+        .with_tracer(tracer.clone())
+        .with_sink(chunk_bytes, sink);
+    for frame in pending {
+        for &addr in &frame.live {
+            collector.save_variable(addr).map_err(MigError::from)?;
+        }
+    }
+    let (_, stats) = collector.finish();
+    Ok((exec, stats))
 }

@@ -45,12 +45,13 @@ pub mod sched;
 
 pub use cluster::{ClusterReport, TwoMachineCluster};
 pub use ctx::{
-    collect_pending, collect_pending_traced, Flow, MigCtx, MigratableProgram, PendingFrame,
+    collect_pending, collect_pending_streamed, collect_pending_traced, pending_exec_state, Flow,
+    MigCtx, MigratableProgram, PendingFrame,
 };
 pub use driver::{
     collect_image, collect_image_traced, resume_from_image, resume_from_image_traced,
-    run_migrating, run_migrating_traced, run_straight, run_to_migration, MigratedSource,
-    MigrationReport, MigrationRun,
+    run_migrating, run_migrating_pipelined, run_migrating_traced, run_straight, run_to_migration,
+    MigratedSource, MigrationReport, MigrationRun, PipelineConfig, PipelineStats,
 };
 pub use exec::{ExecutionState, FrameState};
 pub use process::{Process, Trigger};

@@ -14,6 +14,13 @@ pub enum NetError {
     Disconnected,
     /// A blocking receive timed out.
     Timeout,
+    /// A chunked-stream frame failed to parse or arrived out of order.
+    ChunkFraming {
+        /// Index of the offending frame in arrival order.
+        chunk: u32,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -21,6 +28,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Disconnected => write!(f, "peer disconnected"),
             NetError::Timeout => write!(f, "receive timed out"),
+            NetError::ChunkFraming { chunk, reason } => {
+                write!(f, "chunk frame {chunk}: {reason}")
+            }
         }
     }
 }
@@ -286,6 +296,62 @@ mod tests {
             a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
             NetError::Timeout
         );
+    }
+
+    #[test]
+    fn recv_timeout_expires_after_roughly_the_timeout() {
+        let (a, _b) = channel_pair(NetworkModel::instant());
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(30)).unwrap_err(),
+            NetError::Timeout
+        );
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(30),
+            "returned early: {waited:?}"
+        );
+        // Generous upper bound: the point is that it blocked, not spun forever.
+        assert!(
+            waited < Duration::from_secs(5),
+            "blocked far too long: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_message_immediately() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        b.send(vec![42]).unwrap();
+        let t0 = std::time::Instant::now();
+        // A long timeout must not be waited out when a message is ready.
+        assert_eq!(a.recv_timeout(Duration::from_secs(30)).unwrap(), vec![42]);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn recv_timeout_detects_dropped_sender() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        drop(b);
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(30)).unwrap_err(),
+            NetError::Disconnected
+        );
+    }
+
+    #[test]
+    fn recv_timeout_drains_queue_before_reporting_disconnect() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        b.send(vec![1]).unwrap();
+        b.send(vec![2]).unwrap();
+        drop(b);
+        // Queued messages survive the sender's death, in order.
+        assert_eq!(a.recv_timeout(Duration::from_millis(10)).unwrap(), vec![1]);
+        assert_eq!(a.try_recv(), Some(vec![2]));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Disconnected
+        );
+        assert!(a.try_recv().is_none());
     }
 
     #[test]

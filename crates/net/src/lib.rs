@@ -17,10 +17,12 @@
 mod channel;
 mod file;
 mod model;
+mod stream;
 
 pub use channel::{channel_pair, Channel, NetError, TransferSnapshot, TransferStats};
 pub use file::FileTransport;
 pub use model::{Link, NetworkModel};
+pub use stream::{ChunkReceiver, ChunkSender};
 
 #[cfg(test)]
 mod model_tests {

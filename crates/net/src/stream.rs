@@ -1,0 +1,193 @@
+//! Chunked-stream endpoints over a [`Channel`].
+//!
+//! The pipelined migration path ships the memory-state payload as a
+//! sequence of framed chunks (see [`hpm_xdr::frame_chunk`]) so the
+//! destination can start restoring while the source is still collecting.
+//! [`ChunkSender`] frames and sends; [`ChunkReceiver`] unframes, checks
+//! sequence numbers, and latches end-of-stream at the LAST flag.
+
+use crate::channel::{Channel, NetError};
+use hpm_xdr::{frame_chunk, unframe_chunk};
+
+/// Sending side of a chunked stream: frames each payload with a
+/// sequence number and terminates the stream with an empty LAST frame.
+pub struct ChunkSender<'a> {
+    ch: &'a Channel,
+    seq: u32,
+}
+
+impl<'a> ChunkSender<'a> {
+    /// A fresh stream over `ch`, starting at sequence 0.
+    pub fn new(ch: &'a Channel) -> Self {
+        ChunkSender { ch, seq: 0 }
+    }
+
+    /// Frame and send one payload chunk.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        let frame = frame_chunk(self.seq, false, payload);
+        self.seq += 1;
+        self.ch.send(frame)
+    }
+
+    /// Terminate the stream with an empty LAST frame; returns the total
+    /// number of frames sent, terminator included.
+    pub fn finish(self) -> Result<u32, NetError> {
+        let frame = frame_chunk(self.seq, true, &[]);
+        self.ch.send(frame)?;
+        Ok(self.seq + 1)
+    }
+
+    /// Sequence number the next chunk will carry (== chunks sent so far).
+    pub fn chunks_sent(&self) -> u32 {
+        self.seq
+    }
+}
+
+/// Receiving side of a chunked stream.
+pub struct ChunkReceiver {
+    ch: Channel,
+    next_seq: u32,
+    done: bool,
+}
+
+impl ChunkReceiver {
+    /// Wrap `ch`; the stream is expected to begin at sequence 0.
+    pub fn new(ch: Channel) -> Self {
+        ChunkReceiver {
+            ch,
+            next_seq: 0,
+            done: false,
+        }
+    }
+
+    /// Receive the next payload chunk; `Ok(None)` once the LAST frame
+    /// has arrived. Frames must arrive in sequence order — a gap or
+    /// replay is a [`NetError::ChunkFraming`] error.
+    pub fn recv_chunk(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        if self.done {
+            return Ok(None);
+        }
+        let frame = self.ch.recv()?;
+        let (seq, last, payload) = unframe_chunk(&frame).map_err(|e| NetError::ChunkFraming {
+            chunk: self.next_seq,
+            reason: e.to_string(),
+        })?;
+        if seq != self.next_seq {
+            return Err(NetError::ChunkFraming {
+                chunk: self.next_seq,
+                reason: format!("expected sequence {}, got {seq}", self.next_seq),
+            });
+        }
+        self.next_seq += 1;
+        if last {
+            self.done = true;
+            if payload.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(payload));
+        }
+        Ok(Some(payload))
+    }
+
+    /// Chunks received so far (terminator included once seen).
+    pub fn chunks_received(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Whether the LAST frame has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Recover the underlying channel (e.g. for an acknowledgement
+    /// round-trip after the stream completes).
+    pub fn into_channel(self) -> Channel {
+        self.ch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_pair;
+    use crate::model::NetworkModel;
+
+    #[test]
+    fn chunks_round_trip_in_order() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut tx = ChunkSender::new(&a);
+        tx.send(&[1, 2, 3, 4]).unwrap();
+        tx.send(&[5, 6, 7, 8]).unwrap();
+        assert_eq!(tx.chunks_sent(), 2);
+        assert_eq!(tx.finish().unwrap(), 3);
+
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(rx.recv_chunk().unwrap(), Some(vec![5, 6, 7, 8]));
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+        assert!(rx.is_done());
+        // Idempotent after the terminator.
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+        assert_eq!(rx.chunks_received(), 3);
+    }
+
+    #[test]
+    fn last_frame_with_payload_is_delivered_then_done() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        a.send(hpm_xdr::frame_chunk(0, true, &[9, 9, 9, 9]))
+            .unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(vec![9, 9, 9, 9]));
+        assert!(rx.is_done());
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn sequence_gap_is_rejected() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        a.send(hpm_xdr::frame_chunk(1, false, &[0, 0, 0, 0]))
+            .unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        match rx.recv_chunk() {
+            Err(NetError::ChunkFraming { chunk, reason }) => {
+                assert_eq!(chunk, 0);
+                assert!(reason.contains("expected sequence 0"), "{reason}");
+            }
+            other => panic!("expected ChunkFraming, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_frame_is_rejected() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        a.send(vec![0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0]).unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        match rx.recv_chunk() {
+            Err(NetError::ChunkFraming { chunk, .. }) => assert_eq!(chunk, 0),
+            other => panic!("expected ChunkFraming, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_sender_surfaces_disconnect() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut tx = ChunkSender::new(&a);
+        tx.send(&[1, 2, 3, 4]).unwrap();
+        drop(a);
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(rx.recv_chunk().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn into_channel_reuses_the_link() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let tx = ChunkSender::new(&a);
+        tx.finish().unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+        let ch = rx.into_channel();
+        ch.send(b"ack".to_vec()).unwrap();
+        assert_eq!(a.recv().unwrap(), b"ack");
+    }
+}

@@ -19,27 +19,36 @@ pub enum StatValue {
     Bytes(u64),
     /// A time quantity in nanoseconds.
     Nanos(u64),
+    /// A dimensionless ratio stored in basis points (1/100 of a percent),
+    /// kept integral so snapshots stay `Eq`/hashable.
+    Ratio(u64),
 }
 
 impl StatValue {
     /// The raw magnitude.
     pub fn raw(&self) -> u64 {
         match *self {
-            StatValue::Count(v) | StatValue::Bytes(v) | StatValue::Nanos(v) => v,
+            StatValue::Count(v)
+            | StatValue::Bytes(v)
+            | StatValue::Nanos(v)
+            | StatValue::Ratio(v) => v,
         }
     }
 
-    /// Sum two values of the same variant (merge semantics).
+    /// Sum two values of the same variant (merge semantics). Ratios do
+    /// not add meaningfully across phases; the merge keeps the larger.
     pub fn merged(self, other: StatValue) -> StatValue {
         match (self, other) {
             (StatValue::Count(a), StatValue::Count(b)) => StatValue::Count(a + b),
             (StatValue::Bytes(a), StatValue::Bytes(b)) => StatValue::Bytes(a + b),
             (StatValue::Nanos(a), StatValue::Nanos(b)) => StatValue::Nanos(a + b),
+            (StatValue::Ratio(a), StatValue::Ratio(b)) => StatValue::Ratio(a.max(b)),
             // Mismatched variants: keep the left type, add magnitudes.
             (a, b) => match a {
                 StatValue::Count(v) => StatValue::Count(v + b.raw()),
                 StatValue::Bytes(v) => StatValue::Bytes(v + b.raw()),
                 StatValue::Nanos(v) => StatValue::Nanos(v + b.raw()),
+                StatValue::Ratio(v) => StatValue::Ratio(v.max(b.raw())),
             },
         }
     }
@@ -59,6 +68,7 @@ impl std::fmt::Display for StatValue {
                 }
             }
             StatValue::Nanos(v) => write!(f, "{:.4}s", v as f64 / 1e9),
+            StatValue::Ratio(v) => write!(f, "{:.2}%", v as f64 / 100.0),
         }
     }
 }
@@ -94,6 +104,14 @@ impl StatField {
         StatField {
             name,
             value: StatValue::Nanos(d.as_nanos() as u64),
+        }
+    }
+
+    /// A ratio field: `r` in [0, 1], stored in basis points.
+    pub fn ratio(name: &'static str, r: f64) -> Self {
+        StatField {
+            name,
+            value: StatValue::Ratio((r.clamp(0.0, 1.0) * 10_000.0).round() as u64),
         }
     }
 }

@@ -1,0 +1,126 @@
+//! Chunk framing for streamed migration images.
+//!
+//! The pipelined migration path ships the XDR image stream in framed
+//! chunks so transfer can start while collection is still traversing the
+//! MSR graph. Each chunk on the wire is itself a tiny XDR document:
+//!
+//! ```text
+//! u32 magic  = 0x4850_4D43 ("HPMC")
+//! u32 seq    = 0, 1, 2, ...
+//! u32 flags  = bit 0 set on the final chunk
+//! opaque_var payload (4-byte aligned, may be empty)
+//! ```
+//!
+//! The framing is deliberately orthogonal to the image grammar: the
+//! concatenation of the chunk payloads, in sequence order, is the exact
+//! monolithic image, byte for byte.
+
+use crate::{XdrDecoder, XdrEncoder, XdrError};
+
+/// Magic number opening every chunk frame: "HPMC" in ASCII.
+pub const CHUNK_MAGIC: u32 = 0x4850_4D43;
+
+/// Flag bit marking the final chunk of a stream.
+pub const CHUNK_FLAG_LAST: u32 = 1;
+
+/// Frame one chunk of the image stream for the wire.
+pub fn frame_chunk(seq: u32, last: bool, payload: &[u8]) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(16 + payload.len());
+    enc.put_u32(CHUNK_MAGIC);
+    enc.put_u32(seq);
+    enc.put_u32(if last { CHUNK_FLAG_LAST } else { 0 });
+    enc.put_opaque_var(payload);
+    enc.into_bytes()
+}
+
+/// Unframe one wire chunk, returning `(seq, last, payload)`.
+///
+/// Rejects bad magic, unknown flag bits, and trailing bytes after the
+/// payload — a frame is a complete message, never a prefix of one.
+pub fn unframe_chunk(frame: &[u8]) -> Result<(u32, bool, Vec<u8>), XdrError> {
+    let mut dec = XdrDecoder::new(frame);
+    let magic = dec.get_u32()?;
+    if magic != CHUNK_MAGIC {
+        return Err(XdrError::BadMagic(magic));
+    }
+    let seq = dec.get_u32()?;
+    let flags = dec.get_u32()?;
+    if flags & !CHUNK_FLAG_LAST != 0 {
+        return Err(XdrError::BadMagic(flags));
+    }
+    let payload = dec.get_opaque_var()?;
+    if !dec.is_empty() {
+        return Err(XdrError::LengthTooLarge(dec.remaining() as u32));
+    }
+    Ok((seq, flags & CHUNK_FLAG_LAST != 0, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_roundtrip() {
+        let payload = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let frame = frame_chunk(7, false, &payload);
+        assert_eq!(frame.len() % 4, 0);
+        let (seq, last, got) = unframe_chunk(&frame).unwrap();
+        assert_eq!(seq, 7);
+        assert!(!last);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn last_flag_roundtrips() {
+        let frame = frame_chunk(3, true, &[]);
+        let (seq, last, payload) = unframe_chunk(&frame).unwrap();
+        assert_eq!(seq, 3);
+        assert!(last);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = frame_chunk(0, false, &[1, 2, 3, 4]);
+        frame[0] ^= 0xFF;
+        assert!(matches!(unframe_chunk(&frame), Err(XdrError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let mut frame = frame_chunk(0, false, &[]);
+        frame[11] = 0x80; // flags word, low byte
+        assert!(unframe_chunk(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = frame_chunk(0, true, &[9; 40]);
+        for cut in [0, 4, 8, 12, frame.len() - 1] {
+            assert!(unframe_chunk(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = frame_chunk(0, true, &[1, 2, 3, 4]);
+        frame.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(unframe_chunk(&frame).is_err());
+    }
+
+    #[test]
+    fn concatenated_payloads_reassemble() {
+        let whole: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
+        let mut frames = Vec::new();
+        for (i, piece) in whole.chunks(48).enumerate() {
+            frames.push(frame_chunk(i as u32, false, piece));
+        }
+        frames.push(frame_chunk(frames.len() as u32, true, &[]));
+        let mut reassembled = Vec::new();
+        for f in &frames {
+            let (_, _, p) = unframe_chunk(f).unwrap();
+            reassembled.extend_from_slice(&p);
+        }
+        assert_eq!(reassembled, whole);
+    }
+}

@@ -115,6 +115,15 @@ impl<'a> XdrDecoder<'a> {
         self.get_opaque_fixed(n as usize)
     }
 
+    /// Take every remaining byte as a raw view, leaving the decoder
+    /// empty. Used for tail sections whose length is implied by the
+    /// enclosing frame rather than a prefix.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+
     /// XDR string (UTF-8 validated).
     pub fn get_string(&mut self) -> Result<String, XdrError> {
         let bytes = self.get_opaque_var()?;

@@ -18,6 +18,8 @@ pub enum XdrError {
     InvalidUtf8,
     /// A variable-length item declared a length beyond a sanity bound.
     LengthTooLarge(u32),
+    /// A framed message opened with the wrong magic word.
+    BadMagic(u32),
 }
 
 impl std::fmt::Display for XdrError {
@@ -34,6 +36,9 @@ impl std::fmt::Display for XdrError {
             XdrError::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
             XdrError::LengthTooLarge(n) => {
                 write!(f, "XDR variable length {n} exceeds sanity bound")
+            }
+            XdrError::BadMagic(m) => {
+                write!(f, "bad frame magic {m:#010x}")
             }
         }
     }

@@ -26,10 +26,12 @@
 //! assert!(dec.is_empty());
 //! ```
 
+pub mod chunk;
 mod decode;
 mod encode;
 mod error;
 
+pub use chunk::{frame_chunk, unframe_chunk, CHUNK_FLAG_LAST, CHUNK_MAGIC};
 pub use decode::XdrDecoder;
 pub use encode::XdrEncoder;
 pub use error::XdrError;
