@@ -7,7 +7,12 @@
 //! ```
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
-//! `overhead`, `ablation`, `pipeline`, `all`.
+//! `overhead`, `ablation`, `pipeline`, `faults`, `all`.
+//!
+//! `faults` sweeps seeded fault plans through the resilient driver:
+//! a recovery-overhead-vs-fault-rate table plus a replay of the CI soak
+//! seeds. `--seed-count <n>` sets how many seeds each rate bucket sweeps
+//! (default 8).
 //!
 //! `--trace-out <path>` additionally runs one fully-traced TestPointer
 //! migration and writes a Chrome trace-event JSON file (load it at
@@ -40,6 +45,18 @@ fn main() {
         json_out = Some(args.remove(i + 1));
         args.remove(i);
     }
+    let mut seed_count = 8u64;
+    if let Some(i) = args.iter().position(|a| a == "--seed-count") {
+        if i + 1 >= args.len() {
+            eprintln!("--seed-count requires a number");
+            std::process::exit(2);
+        }
+        seed_count = args.remove(i + 1).parse().unwrap_or_else(|_| {
+            eprintln!("--seed-count requires a number");
+            std::process::exit(2);
+        });
+        args.remove(i);
+    }
     let want = |name: &str| {
         (args.is_empty() && trace_out.is_none() && json_out.is_none())
             || args.iter().any(|a| a == name)
@@ -70,6 +87,9 @@ fn main() {
     if want("pipeline") {
         pipeline();
     }
+    if want("faults") {
+        faults(seed_count);
+    }
     if let Some(path) = trace_out {
         trace(&path);
     }
@@ -97,6 +117,56 @@ fn pipeline() {
         );
     }
     println!("(collect, transfer, and restore overlap; the hidden fraction peaks when the phase times are balanced)");
+}
+
+fn faults(seed_count: u64) {
+    hr("Fault recovery — overhead vs fault rate, test_pointer, 10 Mb/s");
+    println!(
+        "{:<10} {:>6} {:>10} {:>8} {:>12} {:>13} {:>10}",
+        "rate(‰)", "runs", "fallbacks", "faults", "retransmits", "overhead(s)", "overhead"
+    );
+    for r in fault_rate_rows(seed_count) {
+        println!(
+            "{:<10} {:>6} {:>10} {:>8} {:>12} {:>13} {:>9.2}%",
+            r.rate_per_mille,
+            r.runs,
+            r.fallbacks,
+            r.faults_injected,
+            r.retransmits,
+            secs(r.mean_overhead),
+            r.overhead_pct
+        );
+    }
+    println!("(every run restored byte-identically or resumed cleanly on the source)");
+
+    hr("Fault recovery — CI soak seeds, full FaultPlan::from_seed schedules");
+    println!(
+        "{:<20} {:>12} {:>11} {:>9} {:>8} {:>12} {:>8} {:>12}",
+        "seed",
+        "pressure(‰)",
+        "disconnect",
+        "fallback",
+        "faults",
+        "retransmits",
+        "crc-hit",
+        "overhead(s)"
+    );
+    for r in fault_seed_rows(&CI_SOAK_SEEDS) {
+        println!(
+            "{:<#20x} {:>12} {:>11} {:>9} {:>8} {:>12} {:>8} {:>12}",
+            r.seed,
+            r.pressure_per_mille,
+            r.disconnect_at
+                .map(|k| format!("chunk {k}"))
+                .unwrap_or_else(|| "-".into()),
+            r.fallback_taken,
+            r.faults_injected,
+            r.retransmits,
+            r.corrupt_caught,
+            secs(r.overhead)
+        );
+    }
+    println!("(answers verified against an unmigrated run; a panic here fails CI)");
 }
 
 fn short_rev() -> String {

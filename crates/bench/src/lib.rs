@@ -19,10 +19,11 @@ pub mod harness;
 use hpm_arch::Architecture;
 use hpm_core::SearchStrategy;
 use hpm_migrate::{
-    resume_from_image, run_migrating, run_migrating_pipelined, run_migrating_traced, run_straight,
-    run_to_migration, MigratedSource, MigrationRun, PipelineConfig, Trigger,
+    resume_from_image, run_migrating, run_migrating_pipelined, run_migrating_resilient,
+    run_migrating_traced, run_straight, run_to_migration, FallbackPolicy, MigratedSource,
+    MigrationRun, PipelineConfig, RecoveryPolicy, Trigger,
 };
-use hpm_net::NetworkModel;
+use hpm_net::{FaultPlan, NetworkModel};
 use hpm_obs::Tracer;
 use hpm_workloads::{diff_results, BitonicSort, Linpack, PollPlacement, TestPointer};
 use std::time::{Duration, Instant};
@@ -603,9 +604,177 @@ pub fn pipeline_rows() -> Vec<PipelineRow> {
     rows
 }
 
+/// One row of the recovery-overhead-vs-fault-rate sweep: `runs` resilient
+/// TestPointer migrations at one uniform fault rate, aggregated.
+#[derive(Debug, Clone)]
+pub struct FaultRateRow {
+    /// Per-mille rate applied to drop/corrupt/duplicate (reorder and
+    /// delay run at half this rate).
+    pub rate_per_mille: u16,
+    /// Seeds swept at this rate.
+    pub runs: u64,
+    /// Runs that exhausted retries and resumed on the source.
+    pub fallbacks: u64,
+    /// Total faults the injector fired across all runs.
+    pub faults_injected: u64,
+    /// Total frame retransmissions across all runs.
+    pub retransmits: u64,
+    /// Mean modeled recovery overhead (backoff + injected delay) per run.
+    pub mean_overhead: Duration,
+    /// Mean recovery overhead as a percentage of mean migration time.
+    pub overhead_pct: f64,
+}
+
+/// The policy both fault sweeps run under: small chunks so every plan
+/// sees plenty of frames, a modest retry budget, source-resume fallback.
+fn sweep_policy() -> (PipelineConfig, RecoveryPolicy) {
+    (
+        PipelineConfig {
+            chunk_bytes: 64,
+            pace: false,
+            pace_scale: 0.0,
+        },
+        RecoveryPolicy {
+            max_retries: 6,
+            backoff: Duration::from_millis(1),
+            fallback: FallbackPolicy::SourceResume,
+        },
+    )
+}
+
+fn resilient_test_pointer(plan: FaultPlan) -> MigrationRun {
+    let (cfg, policy) = sweep_policy();
+    run_migrating_resilient(
+        TestPointer::new,
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(8),
+        cfg,
+        plan,
+        policy,
+    )
+    .expect("resilient driver terminates cleanly under any plan")
+}
+
+/// Recovery overhead vs fault rate: `seed_count` seeds per rate bucket,
+/// TestPointer over the paper's 10 Mb/s link. Every run's answer is
+/// checked against an unmigrated run before it may contribute a row.
+pub fn fault_rate_rows(seed_count: u64) -> Vec<FaultRateRow> {
+    let mut expect_prog = TestPointer::new();
+    let (expect, _) = run_straight(&mut expect_prog, Architecture::dec5000()).expect("baseline");
+    let mut rows = Vec::new();
+    for rate in [0u16, 15, 30, 60, 120] {
+        let mut fallbacks = 0u64;
+        let mut faults = 0u64;
+        let mut retransmits = 0u64;
+        let mut overhead = Duration::ZERO;
+        let mut mig_time = Duration::ZERO;
+        for i in 0..seed_count {
+            let plan = FaultPlan {
+                seed: 0xFA17_0000_0000_0000 | (rate as u64) << 32 | i,
+                drop_per_mille: rate,
+                corrupt_per_mille: rate,
+                duplicate_per_mille: rate,
+                reorder_per_mille: rate / 2,
+                delay_per_mille: rate / 2,
+                disconnect_at: None,
+            };
+            let run = resilient_test_pointer(plan);
+            assert!(
+                diff_results(&expect, &run.results).is_none(),
+                "fault sweep seed {:#x}: wrong answer",
+                plan.seed
+            );
+            let r = run.report.recovery.expect("resilient runs carry stats");
+            fallbacks += r.fallback_taken as u64;
+            faults += r.faults_injected;
+            retransmits += r.retransmits;
+            overhead += r.recovery_overhead();
+            mig_time += run.report.migration_time();
+        }
+        let mean_overhead = overhead / seed_count.max(1) as u32;
+        let mean_mig = mig_time.as_secs_f64() / seed_count.max(1) as f64;
+        rows.push(FaultRateRow {
+            rate_per_mille: rate,
+            runs: seed_count,
+            fallbacks,
+            faults_injected: faults,
+            retransmits,
+            mean_overhead,
+            overhead_pct: if mean_mig > 0.0 {
+                100.0 * mean_overhead.as_secs_f64() / mean_mig
+            } else {
+                0.0
+            },
+        });
+    }
+    rows
+}
+
+/// One fixed-seed soak run (the CI job's unit): the full
+/// [`FaultPlan::from_seed`] schedule, answer checked, stats recorded.
+#[derive(Debug, Clone)]
+pub struct FaultSeedRow {
+    /// The seed the whole plan derives from.
+    pub seed: u64,
+    /// Combined drop+corrupt+dup+reorder+delay rate of the derived plan.
+    pub pressure_per_mille: u32,
+    /// Chunk index the plan severs the link at, if any.
+    pub disconnect_at: Option<u32>,
+    /// Whether the run had to resume on the source.
+    pub fallback_taken: bool,
+    /// Faults the injector fired.
+    pub faults_injected: u64,
+    /// Frame retransmissions.
+    pub retransmits: u64,
+    /// Corrupt frames the receiver's CRC caught.
+    pub corrupt_caught: u64,
+    /// Modeled recovery overhead (backoff + injected delay).
+    pub overhead: Duration,
+}
+
+/// Run each fixed seed through the resilient driver and record what the
+/// recovery machinery did. Panics if any run hangs the driver or returns
+/// a wrong answer — this is the CI soak's pass/fail line.
+pub fn fault_seed_rows(seeds: &[u64]) -> Vec<FaultSeedRow> {
+    let mut expect_prog = TestPointer::new();
+    let (expect, _) = run_straight(&mut expect_prog, Architecture::dec5000()).expect("baseline");
+    seeds
+        .iter()
+        .map(|&seed| {
+            let plan = FaultPlan::from_seed(seed);
+            let run = resilient_test_pointer(plan);
+            assert!(
+                diff_results(&expect, &run.results).is_none(),
+                "fault soak seed {seed:#x}: wrong answer"
+            );
+            let r = run.report.recovery.expect("resilient runs carry stats");
+            FaultSeedRow {
+                seed,
+                pressure_per_mille: plan.pressure_per_mille(),
+                disconnect_at: plan.disconnect_at,
+                fallback_taken: r.fallback_taken,
+                faults_injected: r.faults_injected,
+                retransmits: r.retransmits,
+                corrupt_caught: r.corrupt_caught,
+                overhead: r.recovery_overhead(),
+            }
+        })
+        .collect()
+}
+
+/// The three fixed seeds the CI soak job replays on every push.
+pub const CI_SOAK_SEEDS: [u64; 3] = [
+    0x50AC_0000_0000_0001, // lossy but live link
+    0x50AC_0000_0000_0008, // lossy but live link
+    0x50AC_0000_0000_0018, // severs the link at chunk 9: forces source-resume
+];
+
 /// Machine-readable per-workload benchmark summary (the `BENCH_<rev>.json`
 /// artifact): Collect/Tx/Restore nanos, search counters, and the MSRLT
-/// translation-cache hit rate, on the Table 1 testbed.
+/// translation-cache hit rate, on the Table 1 testbed — plus the
+/// recovery-overhead-vs-fault-rate sweep on the 10 Mb/s link.
 pub fn bench_json(revision: &str) -> String {
     let link = NetworkModel::ethernet_100();
     let rows = [
@@ -642,6 +811,24 @@ pub fn bench_json(revision: &str) -> String {
             r.search_steps,
             r.cache_hit_rate(),
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"faults\": [\n");
+    let frows = fault_rate_rows(8);
+    for (i, r) in frows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rate_per_mille\": {}, \"runs\": {}, \"fallbacks\": {}, \
+             \"faults_injected\": {}, \"retransmits\": {}, \"mean_overhead_ns\": {}, \
+             \"overhead_pct\": {:.4}}}{}\n",
+            r.rate_per_mille,
+            r.runs,
+            r.fallbacks,
+            r.faults_injected,
+            r.retransmits,
+            r.mean_overhead.as_nanos(),
+            r.overhead_pct,
+            if i + 1 == frows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

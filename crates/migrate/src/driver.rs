@@ -17,7 +17,11 @@ use hpm_core::image::{frame_image, frame_image_prefix, unframe_image, ImageHeade
 use hpm_core::{
     ChunkPayload, ChunkSource, CollectStats, CoreError, MsrltStats, RestoreStats, IMAGE_VERSION,
 };
-use hpm_net::{channel_pair, ChunkReceiver, ChunkSender, NetError, NetworkModel, TransferSnapshot};
+use hpm_net::{
+    channel_pair, ArqConfig, ArqSenderStats, ChunkReceiver, ChunkSender, FaultPlan, FaultStats,
+    FaultyEndpoint, NetError, NetworkModel, ReliableChunkReceiver, ReliableChunkSender,
+    TransferSnapshot,
+};
 use hpm_obs::{render_groups, snapshot, StatField, StatGroup, TraceLog, Tracer};
 use std::time::{Duration, Instant};
 
@@ -54,6 +58,9 @@ pub struct MigrationReport {
     /// Pipeline measurements, for runs through
     /// [`run_migrating_pipelined`]; `None` for monolithic runs.
     pub pipeline: Option<PipelineStats>,
+    /// Fault-recovery measurements, for runs through
+    /// [`run_migrating_resilient`]; `None` otherwise.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl MigrationReport {
@@ -78,6 +85,9 @@ impl MigrationReport {
         ];
         if let Some(p) = &self.pipeline {
             groups.push(snapshot(p));
+        }
+        if let Some(r) = &self.recovery {
+            groups.push(snapshot(r));
         }
         groups
     }
@@ -360,6 +370,7 @@ pub fn run_migrating_traced<P: MigratableProgram>(
         transfer,
         trace: None,
         pipeline: None,
+        recovery: None,
     };
     if tracer.enabled() {
         let mut log = tracer.take_log();
@@ -609,28 +620,45 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
             });
 
             // Source stage (this thread): prefix first, then the
-            // collection DFS flushing through the sink.
-            chunk_tx
-                .send(prefix)
-                .map_err(|_| MigError::Net("wire thread gone before the image prefix".into()))?;
-            let t_collect = Instant::now();
-            let collect_res = collect_pending_streamed(
-                proc,
-                &pending,
-                config.chunk_bytes,
-                &Tracer::disabled(),
-                Box::new(|c| {
-                    chunk_tx
-                        .send(c)
-                        .map_err(|_| CoreError::Source("chunk sink disconnected".into()))
-                }),
-            );
-            let collect_time = t_collect.elapsed();
+            // collection DFS flushing through the sink. A failed prefix
+            // send is folded into the sink-disconnect shape so it flows
+            // through the same triage as a mid-collection disconnect.
+            let mut collect_time = Duration::ZERO;
+            let collect_res = if chunk_tx.send(prefix).is_err() {
+                Err(MigError::from(CoreError::Source(
+                    "chunk sink disconnected".into(),
+                )))
+            } else {
+                let t_collect = Instant::now();
+                let r = collect_pending_streamed(
+                    proc,
+                    &pending,
+                    config.chunk_bytes,
+                    &Tracer::disabled(),
+                    Box::new(|c| {
+                        chunk_tx
+                            .send(c)
+                            .map_err(|_| CoreError::Source("chunk sink disconnected".into()))
+                    }),
+                );
+                collect_time = t_collect.elapsed();
+                r
+            };
             drop(chunk_tx); // end of stream: the wire thread sends LAST
+
+            // Join BOTH workers on every path — before any early return —
+            // so no exit leaks a blocked thread or discards its error.
+            let dst_res = dst
+                .join()
+                .map_err(|_| MigError::Protocol("destination thread panicked".into()))?;
+            let wire_res = wire
+                .join()
+                .map_err(|_| MigError::Protocol("wire thread panicked".into()))?;
 
             // Error priority: a collection failure that is not a mere
             // sink disconnect is the root cause; otherwise the receiving
-            // side's error explains why the sink vanished.
+            // side's error explains why the sink vanished, and only then
+            // does a wire-thread failure get the blame.
             let sink_gone = matches!(
                 &collect_res,
                 Err(MigError::Core(m)) if m.contains("chunk sink disconnected")
@@ -640,13 +668,8 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
                     return Err(e.clone());
                 }
             }
-            let dst_out = dst
-                .join()
-                .map_err(|_| MigError::Protocol("destination thread panicked".into()))??;
-            let (wire_frames, transfer) = wire
-                .join()
-                .map_err(|_| MigError::Protocol("wire thread panicked".into()))?
-                .map_err(MigError::from)?;
+            let dst_out = dst_res?;
+            let (wire_frames, transfer) = wire_res.map_err(MigError::from)?;
             let (_, collect_stats) = collect_res?;
             Ok((collect_time, collect_stats, wire_frames, transfer, dst_out))
         })?;
@@ -680,6 +703,457 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         transfer,
         trace: None,
         pipeline: Some(pipeline),
+        recovery: None,
+    };
+    Ok(MigrationRun {
+        report,
+        results: dst_out.results,
+    })
+}
+
+/// What to do when the migration stream cannot be repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Discard the partial destination and resume execution on the
+    /// source from the annotation poll point (whose state collection
+    /// never touched).
+    SourceResume,
+    /// Surface the transport error to the caller.
+    Fail,
+}
+
+/// Recovery tuning for [`run_migrating_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retransmissions allowed per chunk before the stream is declared dead.
+    pub max_retries: u32,
+    /// First retransmission backoff; doubles per silent round.
+    pub backoff: Duration,
+    /// What to do once retries are exhausted.
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 8,
+            backoff: Duration::from_millis(4),
+            fallback: FallbackPolicy::SourceResume,
+        }
+    }
+}
+
+/// What the recovery machinery did during one resilient migration.
+///
+/// Every field is a deterministic function of the [`FaultPlan`] and the
+/// chunk stream — no wall-clock quantity lives here — so rerunning a
+/// seed reproduces the struct exactly (the soak sweep asserts this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Whether the migration fell back to resuming on the source.
+    pub fallback_taken: bool,
+    /// Chunk retransmissions (NACK- plus timeout-triggered).
+    pub retransmits: u64,
+    /// Silent rounds that triggered a timeout retransmission.
+    pub timeouts: u64,
+    /// Frames whose payload failed its CRC-32 on arrival.
+    pub corrupt_caught: u64,
+    /// Extra valid copies the destination absorbed silently.
+    pub dups_absorbed: u64,
+    /// Frames the destination accepted out of order and re-sequenced.
+    pub reorders_absorbed: u64,
+    /// Cumulative ACK frames the destination sent.
+    pub acks_sent: u64,
+    /// NACK frames the destination sent.
+    pub nacks_sent: u64,
+    /// Fault events the injector reports (soak bookkeeping).
+    pub faults_injected: u64,
+    /// Modeled time charged to retransmission backoff.
+    pub modeled_backoff_nanos: u64,
+    /// Modeled time charged to injected link delays.
+    pub modeled_delay_nanos: u64,
+}
+
+impl RecoveryStats {
+    /// Modeled recovery overhead vs a clean run: backoff plus injected
+    /// delay. Wire-byte overhead (retransmits, acks) is visible in the
+    /// transfer accounting instead.
+    pub fn recovery_overhead(&self) -> Duration {
+        Duration::from_nanos(self.modeled_backoff_nanos + self.modeled_delay_nanos)
+    }
+
+    fn from_parts(
+        sender: ArqSenderStats,
+        receiver: hpm_net::ArqReceiverSnapshot,
+        faults: FaultStats,
+        fallback_taken: bool,
+    ) -> Self {
+        RecoveryStats {
+            fallback_taken,
+            retransmits: sender.retransmits,
+            timeouts: sender.timeouts,
+            corrupt_caught: receiver.corrupt_caught,
+            dups_absorbed: receiver.dups_absorbed,
+            reorders_absorbed: receiver.reorders_absorbed,
+            acks_sent: receiver.acks_sent,
+            nacks_sent: receiver.nacks_sent,
+            faults_injected: faults.faults_injected(),
+            modeled_backoff_nanos: sender.modeled_backoff_nanos,
+            modeled_delay_nanos: faults.modeled_delay_nanos,
+        }
+    }
+}
+
+impl StatGroup for RecoveryStats {
+    fn group(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("fallback_taken", self.fallback_taken as u64),
+            StatField::count("retransmits", self.retransmits),
+            StatField::count("timeouts", self.timeouts),
+            StatField::count("corrupt_caught", self.corrupt_caught),
+            StatField::count("dups_absorbed", self.dups_absorbed),
+            StatField::count("reorders_absorbed", self.reorders_absorbed),
+            StatField::count("acks_sent", self.acks_sent),
+            StatField::count("nacks_sent", self.nacks_sent),
+            StatField::count("faults_injected", self.faults_injected),
+            StatField::duration("recovery_overhead", self.recovery_overhead()),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.fallback_taken |= other.fallback_taken;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.corrupt_caught += other.corrupt_caught;
+        self.dups_absorbed += other.dups_absorbed;
+        self.reorders_absorbed += other.reorders_absorbed;
+        self.acks_sent += other.acks_sent;
+        self.nacks_sent += other.nacks_sent;
+        self.faults_injected += other.faults_injected;
+        self.modeled_backoff_nanos += other.modeled_backoff_nanos;
+        self.modeled_delay_nanos += other.modeled_delay_nanos;
+    }
+}
+
+/// Adapter: the ARQ receiver as the restorer's [`ChunkSource`].
+struct ReliableNetChunkSource {
+    rx: ReliableChunkReceiver,
+}
+
+impl ChunkSource for ReliableNetChunkSource {
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, CoreError> {
+        self.rx
+            .recv_chunk()
+            .map_err(|e| CoreError::Source(e.to_string()))
+    }
+}
+
+/// What one resilient migration attempt produced.
+struct AttemptOutcome {
+    collect_time: Duration,
+    collect_stats: Option<CollectStats>,
+    wire_frames: u32,
+    sender_stats: ArqSenderStats,
+    fault_stats: FaultStats,
+    transfer: TransferSnapshot,
+    dst: Option<DstOutcome>,
+    /// The failure that killed the attempt, if any.
+    error: Option<MigError>,
+}
+
+/// [`run_migrating_pipelined`] over a lossy link: chunks carry CRC-32,
+/// an ack/nack protocol retransmits damaged or dropped frames under
+/// `policy`, and — when the stream cannot be repaired — the partial
+/// destination is discarded and the program resumes **on the source**
+/// from its annotation poll point, which collection never mutated.
+///
+/// `plan` drives the deterministic fault injector; pass
+/// [`FaultPlan::none`] for a clean (but still CRC- and ack-protected)
+/// run. The report's [`RecoveryStats`] group records what the machinery
+/// did; all of its fields are reproducible from the plan's seed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_migrating_resilient<P: MigratableProgram + Send>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    config: PipelineConfig,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<MigrationRun, MigError> {
+    // --- source side: run to the migration point ---
+    let mut src_prog = make();
+    let mut src = Process::new(src_prog.name(), src_arch.clone());
+    src.set_trigger(trigger);
+    src_prog.setup(&mut src)?;
+    let mut ctx = MigCtx::new_run(&mut src);
+    let flow = src_prog.run(&mut ctx)?;
+    if flow == Flow::Done {
+        return Err(MigError::Protocol(
+            "trigger never fired; program completed on the source".into(),
+        ));
+    }
+    let (proc, pending) = ctx.into_parts()?;
+    proc.msrlt.reset_stats();
+
+    let header = ImageHeader {
+        version: IMAGE_VERSION,
+        source_arch: proc.space.arch().name.to_string(),
+        source_pointer_size: proc.space.arch().pointer_size as u32,
+        program: proc.program().to_string(),
+    };
+    let exec = pending_exec_state(proc, &pending);
+    let chain_depth = exec.depth();
+    let prefix = frame_image_prefix(&header, &exec.encode());
+    let prefix_len = prefix.len() as u64;
+
+    let arq = ArqConfig {
+        window: 32,
+        max_retries: policy.max_retries,
+        base_backoff: policy.backoff,
+    };
+    let (src_end, dst_end) = channel_pair(link);
+    let endpoint = FaultyEndpoint::new(src_end, plan);
+    let mut rx = ReliableChunkReceiver::new(dst_end, arq);
+    let rx_counters = rx.counters();
+    let mut dst_prog = make();
+    let (chunk_tx, chunk_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+
+    let t_start = Instant::now();
+    let attempt = std::thread::scope(|s| -> Result<AttemptOutcome, MigError> {
+        // Wire stage: pace, then push each chunk through the ARQ sender
+        // over the fault-injected endpoint. Stats survive failure.
+        let wire = s.spawn(move || {
+            let mut tx = ReliableChunkSender::new(endpoint, arq);
+            let mut err = None;
+            while let Ok(chunk) = chunk_rx.recv() {
+                if config.pace {
+                    let d = link.tx_time(chunk.len() as u64).mul_f64(config.pace_scale);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }
+                if let Err(e) = tx.send(&chunk) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            let mut frames = tx.chunks_sent();
+            if err.is_none() {
+                match tx.finish() {
+                    Ok(n) => frames = n,
+                    Err(e) => err = Some(e),
+                }
+            }
+            let stats = tx.stats();
+            let endpoint = tx.into_link();
+            let faults = endpoint.stats();
+            let transfer = endpoint.channel().stats().snapshot();
+            // Dropping the endpoint here severs the link and unblocks a
+            // stalled destination with `Disconnected`.
+            (err, frames, stats, faults, transfer)
+        });
+
+        // Destination stage: identical to the pipelined path but fed by
+        // the ARQ receiver.
+        let dst = s.spawn(move || -> Result<DstOutcome, MigError> {
+            let first = rx
+                .recv_chunk()
+                .map_err(MigError::from)?
+                .ok_or_else(|| MigError::Protocol("empty migration stream".into()))?;
+            let (header, exec_bytes, leftover) = unframe_image(&first)?;
+            if header.program != dst_prog.name() {
+                return Err(MigError::Protocol(format!(
+                    "image is for program '{}', not '{}'",
+                    header.program,
+                    dst_prog.name()
+                )));
+            }
+            let exec = ExecutionState::decode(&exec_bytes)?;
+            let mut proc = Process::new(dst_prog.name(), dst_arch);
+            dst_prog.setup(&mut proc)?;
+            proc.msrlt.reset_stats();
+            let chunks =
+                ChunkPayload::with_initial(Box::new(ReliableNetChunkSource { rx }), leftover);
+            let mut ctx = MigCtx::new_resume_streaming(&mut proc, exec, chunks);
+            match dst_prog.run(&mut ctx)? {
+                Flow::Done => {}
+                Flow::Migrate => {
+                    return Err(MigError::Protocol("resumed program migrated again".into()))
+                }
+            }
+            let (restore_stats, restore_time) = ctx.restore_totals().ok_or_else(|| {
+                MigError::Protocol("program finished without restoring all frames".into())
+            })?;
+            let restore_stall = ctx.restore_stall();
+            let done_at = ctx.restore_completed_at();
+            let results = dst_prog.results(&mut proc)?;
+            Ok(DstOutcome {
+                results,
+                restore_stats,
+                restore_time,
+                restore_stall,
+                msrlt: proc.msrlt.stats(),
+                done_at,
+            })
+        });
+
+        // Source stage (this thread): prefix, then the collection DFS.
+        let mut collect_time = Duration::ZERO;
+        let collect_res = if chunk_tx.send(prefix).is_err() {
+            Err(MigError::from(CoreError::Source(
+                "chunk sink disconnected".into(),
+            )))
+        } else {
+            let t_collect = Instant::now();
+            let r = collect_pending_streamed(
+                proc,
+                &pending,
+                config.chunk_bytes,
+                &Tracer::disabled(),
+                Box::new(|c| {
+                    chunk_tx
+                        .send(c)
+                        .map_err(|_| CoreError::Source("chunk sink disconnected".into()))
+                }),
+            );
+            collect_time = t_collect.elapsed();
+            r
+        };
+        drop(chunk_tx);
+
+        // Join every worker on every path; no exit leaks a thread.
+        let dst_res = dst
+            .join()
+            .map_err(|_| MigError::Protocol("destination thread panicked".into()))?;
+        let (wire_err, wire_frames, sender_stats, fault_stats, transfer) = wire
+            .join()
+            .map_err(|_| MigError::Protocol("wire thread panicked".into()))?;
+
+        // Triage mirrors the pipelined path: collect (unless the sink
+        // merely vanished) > destination > wire.
+        let sink_gone = matches!(
+            &collect_res,
+            Err(MigError::Core(m)) if m.contains("chunk sink disconnected")
+        );
+        let error = match &collect_res {
+            Err(e) if !sink_gone => Some(e.clone()),
+            _ => match (&dst_res, &wire_err) {
+                // Exhausted retries are the root cause even though the
+                // destination also observes the link going dead.
+                (_, Some(e @ NetError::RetriesExhausted { .. })) => Some(MigError::from(e.clone())),
+                (Err(e), _) => Some(e.clone()),
+                (Ok(_), Some(e)) => Some(MigError::from(e.clone())),
+                (Ok(_), None) => None,
+            },
+        };
+        Ok(AttemptOutcome {
+            collect_time,
+            collect_stats: collect_res.ok().map(|(_, s)| s),
+            wire_frames,
+            sender_stats,
+            fault_stats,
+            transfer,
+            dst: dst_res.ok(),
+            error,
+        })
+    })?;
+
+    let recovery_base = RecoveryStats::from_parts(
+        attempt.sender_stats,
+        rx_counters.snapshot(),
+        attempt.fault_stats,
+        false,
+    );
+
+    if let Some(err) = attempt.error {
+        match policy.fallback {
+            FallbackPolicy::Fail => return Err(err),
+            FallbackPolicy::SourceResume => {
+                // The source process was never mutated by collection:
+                // collect locally and resume on the source architecture,
+                // discarding whatever the destination half-built.
+                let t_collect = Instant::now();
+                let (payload, exec, collect_stats) = collect_pending(&mut src, &pending)?;
+                let collect_time = t_collect.elapsed();
+                let header = ImageHeader {
+                    version: IMAGE_VERSION,
+                    source_arch: src.space.arch().name.to_string(),
+                    source_pointer_size: src.space.arch().pointer_size as u32,
+                    program: src.program().to_string(),
+                };
+                let image = frame_image(&header, &exec.encode(), &payload);
+                let mut resumed = make();
+                let (results, local, restore_stats, restore_time) =
+                    resume_from_image(&mut resumed, src_arch, &image)?;
+                let report = MigrationReport {
+                    image_bytes: image.len() as u64,
+                    memory_bytes: collect_stats.bytes_out,
+                    collect_time,
+                    // The aborted attempt's wire traffic is the honest Tx
+                    // cost of the failure; the local resume ships nothing.
+                    tx_time: attempt.transfer.modeled_tx_time(),
+                    restore_time,
+                    collect_stats,
+                    src_msrlt: src.msrlt.stats(),
+                    restore_stats,
+                    dst_msrlt: local.msrlt.stats(),
+                    src_polls: src.poll_count(),
+                    chain_depth,
+                    transfer: attempt.transfer,
+                    trace: None,
+                    pipeline: None,
+                    recovery: Some(RecoveryStats {
+                        fallback_taken: true,
+                        ..recovery_base
+                    }),
+                };
+                return Ok(MigrationRun { report, results });
+            }
+        }
+    }
+
+    let dst_out = attempt
+        .dst
+        .ok_or_else(|| MigError::Protocol("attempt succeeded without a destination".into()))?;
+    let collect_stats = attempt
+        .collect_stats
+        .ok_or_else(|| MigError::Protocol("attempt succeeded without collection stats".into()))?;
+    let e2e_time = dst_out
+        .done_at
+        .map(|t| t.saturating_duration_since(t_start))
+        .unwrap_or_default();
+    let tx_time = attempt.transfer.modeled_tx_time();
+    let pipeline = PipelineStats {
+        chunks: attempt.wire_frames as u64,
+        chunk_bytes: config.chunk_bytes as u64,
+        collect_time: attempt.collect_time,
+        tx_time,
+        restore_time: dst_out.restore_time,
+        restore_stall: dst_out.restore_stall,
+        e2e_time,
+    };
+    let report = MigrationReport {
+        image_bytes: prefix_len + collect_stats.bytes_out,
+        memory_bytes: collect_stats.bytes_out,
+        collect_time: attempt.collect_time,
+        tx_time,
+        restore_time: dst_out.restore_time,
+        collect_stats,
+        src_msrlt: src.msrlt.stats(),
+        restore_stats: dst_out.restore_stats,
+        dst_msrlt: dst_out.msrlt,
+        src_polls: src.poll_count(),
+        chain_depth,
+        transfer: attempt.transfer,
+        trace: None,
+        pipeline: Some(pipeline),
+        recovery: Some(recovery_base),
     };
     Ok(MigrationRun {
         report,
@@ -874,5 +1348,269 @@ mod tests {
         assert_eq!(report.results[0].1, expected_sum(2_000_000));
         assert!(report.image_bytes > 0);
         assert!(report.src_polls >= 1);
+    }
+
+    fn quick_cfg() -> PipelineConfig {
+        PipelineConfig {
+            chunk_bytes: 64,
+            pace: false,
+            pace_scale: 0.0,
+        }
+    }
+
+    fn quick_policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 6,
+            backoff: Duration::from_millis(1),
+            fallback: FallbackPolicy::SourceResume,
+        }
+    }
+
+    #[test]
+    fn resilient_zero_fault_matches_pipelined() {
+        let pipelined = run_migrating_pipelined(
+            || Summer::new(500),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(250),
+            quick_cfg(),
+        )
+        .unwrap();
+        let resilient = run_migrating_resilient(
+            || Summer::new(500),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(250),
+            quick_cfg(),
+            FaultPlan::none(),
+            quick_policy(),
+        )
+        .unwrap();
+        assert_eq!(resilient.results, pipelined.results);
+        assert_eq!(resilient.report.image_bytes, pipelined.report.image_bytes);
+        assert_eq!(resilient.report.memory_bytes, pipelined.report.memory_bytes);
+        let r = resilient.report.recovery.expect("resilient carries stats");
+        assert!(!r.fallback_taken);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.corrupt_caught, 0);
+        assert_eq!(r.faults_injected, 0);
+        assert!(r.acks_sent > 0, "receiver must have acknowledged");
+        assert!(resilient.report.pipeline.is_some());
+    }
+
+    #[test]
+    fn resilient_heals_a_faulty_link() {
+        let plan = FaultPlan {
+            seed: 0xFA_57_11,
+            drop_per_mille: 150,
+            corrupt_per_mille: 150,
+            duplicate_per_mille: 150,
+            reorder_per_mille: 100,
+            delay_per_mille: 100,
+            disconnect_at: None,
+        };
+        let run = run_migrating_resilient(
+            || Summer::new(500),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(250),
+            quick_cfg(),
+            plan,
+            quick_policy(),
+        )
+        .unwrap();
+        assert_eq!(run.results[0].1, expected_sum(500));
+        let r = run.report.recovery.unwrap();
+        assert!(!r.fallback_taken, "a lossy-but-alive link must heal");
+        assert!(r.faults_injected > 0, "plan injected nothing: {r:?}");
+    }
+
+    #[test]
+    fn resilient_falls_back_to_source_on_a_dead_link() {
+        let plan = FaultPlan {
+            disconnect_at: Some(1), // everything after the prefix chunk
+            ..FaultPlan::none()
+        };
+        let run = run_migrating_resilient(
+            || Summer::new(500),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(250),
+            quick_cfg(),
+            plan,
+            quick_policy(),
+        )
+        .unwrap();
+        // The answer is still right — computed on the source.
+        assert_eq!(run.results[0].1, expected_sum(500));
+        let r = run.report.recovery.unwrap();
+        assert!(r.fallback_taken);
+        assert!(r.retransmits > 0, "the sender must have tried: {r:?}");
+        assert!(run.report.pipeline.is_none(), "no pipeline stats survive");
+    }
+
+    #[test]
+    fn resilient_fail_policy_surfaces_the_transport_error() {
+        let plan = FaultPlan {
+            disconnect_at: Some(1),
+            ..FaultPlan::none()
+        };
+        let policy = RecoveryPolicy {
+            fallback: FallbackPolicy::Fail,
+            ..quick_policy()
+        };
+        let err = run_migrating_resilient(
+            || Summer::new(500),
+            Architecture::dec5000(),
+            Architecture::sparc20(),
+            hpm_net::NetworkModel::ethernet_10(),
+            Trigger::AtPollCount(250),
+            quick_cfg(),
+            plan,
+            policy,
+        )
+        .unwrap_err();
+        match err {
+            MigError::Net(m) => assert!(m.contains("retries exhausted"), "{m}"),
+            other => panic!("expected the wire's error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_recovery_stats_are_reproducible() {
+        let plan = FaultPlan::from_seed(0x1CEB00DA);
+        let go = || {
+            run_migrating_resilient(
+                || Summer::new(500),
+                Architecture::dec5000(),
+                Architecture::sparc20(),
+                hpm_net::NetworkModel::ethernet_10(),
+                Trigger::AtPollCount(250),
+                quick_cfg(),
+                plan,
+                quick_policy(),
+            )
+            .unwrap()
+        };
+        let first = go();
+        assert_eq!(first.results[0].1, expected_sum(500));
+        for _ in 0..2 {
+            let again = go();
+            assert_eq!(again.results, first.results);
+            assert_eq!(again.report.recovery, first.report.recovery);
+        }
+    }
+
+    /// A program whose destination side dies as soon as it tries to
+    /// resume: the chunk stream is abandoned mid-flight while the source
+    /// is still collecting.
+    struct PoisonedResume {
+        limit: i64,
+    }
+
+    impl MigratableProgram for PoisonedResume {
+        fn name(&self) -> &'static str {
+            "poisoned"
+        }
+
+        fn setup(&mut self, proc: &mut Process) -> Result<(), MigError> {
+            let int = proc.space.types_mut().int();
+            proc.define_global("acc", int, 1)?;
+            Ok(())
+        }
+
+        fn run(&mut self, ctx: &mut MigCtx<'_>) -> Result<Flow, MigError> {
+            let int = ctx.proc().space.types_mut().int();
+            let acc = Summer::acc_addr(ctx.proc());
+            let f = ctx.enter("main")?;
+            let i = ctx.local(f, "i", int, 1)?;
+            let live = [i, acc];
+            if ctx.resume_point().is_some() {
+                return Err(MigError::Protocol("poisoned resume".into()));
+            }
+            let mut iv = 0;
+            while iv < self.limit {
+                ctx.proc().space.store_int(i, iv)?;
+                if ctx.poll() {
+                    ctx.save_frame(PP_LOOP, &live)?;
+                    return Ok(Flow::Migrate);
+                }
+                iv += 1;
+            }
+            ctx.leave(f)?;
+            Ok(Flow::Done)
+        }
+
+        fn results(&self, _proc: &mut Process) -> Result<Vec<(String, String)>, MigError> {
+            Ok(vec![])
+        }
+    }
+
+    /// Satellite 6: a destination that dies mid-stream must not hang the
+    /// pipelined driver — all three stage threads join and the poison
+    /// error surfaces.
+    #[test]
+    fn poisoned_chunk_does_not_hang_the_pipelined_driver() {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let r = run_migrating_pipelined(
+                || PoisonedResume { limit: 50_000 },
+                Architecture::dec5000(),
+                Architecture::sparc20(),
+                hpm_net::NetworkModel::ethernet_10(),
+                Trigger::AtPollCount(25_000),
+                PipelineConfig {
+                    chunk_bytes: 128,
+                    pace: false,
+                    pace_scale: 0.0,
+                },
+            );
+            let _ = done_tx.send(r);
+        });
+        let r = done_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("pipelined driver hung on a poisoned destination");
+        match r {
+            Err(MigError::Protocol(m)) => assert!(m.contains("poisoned"), "{m}"),
+            other => panic!("expected the poison to surface, got {other:?}"),
+        }
+    }
+
+    /// The resilient driver holds the same no-hang property — and then
+    /// salvages the run on the source.
+    #[test]
+    fn poisoned_chunk_does_not_hang_the_resilient_driver() {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let r = run_migrating_resilient(
+                || PoisonedResume { limit: 50_000 },
+                Architecture::dec5000(),
+                Architecture::sparc20(),
+                hpm_net::NetworkModel::ethernet_10(),
+                Trigger::AtPollCount(25_000),
+                PipelineConfig {
+                    chunk_bytes: 128,
+                    pace: false,
+                    pace_scale: 0.0,
+                },
+                FaultPlan::none(),
+                quick_policy(),
+            );
+            let _ = done_tx.send(r);
+        });
+        let r = done_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("resilient driver hung on a poisoned destination");
+        // SourceResume salvages the run: the poisoned program also
+        // refuses to resume locally, so the fallback surfaces ITS error
+        // rather than hanging or fabricating results.
+        match r {
+            Err(MigError::Protocol(m)) => assert!(m.contains("poisoned"), "{m}"),
+            other => panic!("expected the poison to surface, got {other:?}"),
+        }
     }
 }

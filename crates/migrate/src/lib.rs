@@ -50,8 +50,9 @@ pub use ctx::{
 };
 pub use driver::{
     collect_image, collect_image_traced, resume_from_image, resume_from_image_traced,
-    run_migrating, run_migrating_pipelined, run_migrating_traced, run_straight, run_to_migration,
-    MigratedSource, MigrationReport, MigrationRun, PipelineConfig, PipelineStats,
+    run_migrating, run_migrating_pipelined, run_migrating_resilient, run_migrating_traced,
+    run_straight, run_to_migration, FallbackPolicy, MigratedSource, MigrationReport, MigrationRun,
+    PipelineConfig, PipelineStats, RecoveryPolicy, RecoveryStats,
 };
 pub use exec::{ExecutionState, FrameState};
 pub use process::{Process, Trigger};

@@ -1,0 +1,671 @@
+//! Stop-and-wait-free ARQ over the chunked stream: a sliding replay
+//! window on the sender, cumulative ACKs plus targeted NACKs from the
+//! receiver, and bounded exponential-backoff retransmission.
+//!
+//! The forward (data) path may be lossy — typically a
+//! [`FaultyEndpoint`](crate::FaultyEndpoint) — while the reverse
+//! (control) path is the clean in-process channel, so acknowledgements
+//! are reliable and FIFO. The protocol:
+//!
+//! - The sender assigns sequence numbers, keeps every unacknowledged
+//!   frame in a bounded replay window, and blocks when the window fills.
+//! - The receiver tracks the highest contiguous sequence (`next`) and
+//!   buffers out-of-order frames within one window. Duplicates and
+//!   reordering inside the window are absorbed silently (counted, not
+//!   errored). Every valid arrival is answered with a cumulative
+//!   `Ack { next }`; the first time a gap or corrupt frame names a
+//!   missing sequence, a `Nack { seq }` asks for exactly that frame.
+//! - When the control path goes silent while frames are outstanding, the
+//!   sender retransmits the oldest unacknowledged frame under
+//!   exponential backoff. Each frame has a bounded retransmit budget;
+//!   exhausting it surfaces [`NetError::RetriesExhausted`] so the caller
+//!   can fall back instead of hanging.
+//!
+//! Backoff waits are charged against the modeled clock
+//! ([`ArqSenderStats::modeled_backoff_nanos`]); the real wait only has to
+//! be long enough that an in-flight in-process ack (microseconds) cannot
+//! be mistaken for loss.
+
+use crate::channel::{Channel, NetError};
+use crate::fault::FrameLink;
+use hpm_xdr::{frame_chunk_v2, frame_control, unframe_chunk_any, unframe_control, Control};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs shared by both ARQ endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Replay/accept window in frames.
+    pub window: u32,
+    /// Retransmissions allowed per frame before giving up.
+    pub max_retries: u32,
+    /// First backoff step; doubles per consecutive silent round.
+    pub base_backoff: Duration,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            window: 32,
+            max_retries: 8,
+            base_backoff: Duration::from_millis(4),
+        }
+    }
+}
+
+/// Deterministic sender-side protocol counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArqSenderStats {
+    /// Data frames shipped, retransmissions included.
+    pub frames_sent: u64,
+    /// Retransmissions (NACK-triggered plus timeout-triggered).
+    pub retransmits: u64,
+    /// Silent rounds that triggered a timeout retransmission.
+    pub timeouts: u64,
+    /// Cumulative ACK frames processed.
+    pub acks_processed: u64,
+    /// NACK frames processed.
+    pub nacks_processed: u64,
+    /// Modeled nanoseconds spent in backoff waits.
+    pub modeled_backoff_nanos: u64,
+}
+
+struct WindowEntry {
+    seq: u32,
+    frame: Vec<u8>,
+    /// Retransmissions so far (0 = only the original send).
+    retries: u32,
+}
+
+/// Sending half of the ARQ stream. Generic over [`FrameLink`] so tests
+/// can run it over a clean [`Channel`] and the driver over a
+/// [`FaultyEndpoint`](crate::FaultyEndpoint).
+pub struct ReliableChunkSender<L: FrameLink> {
+    link: L,
+    cfg: ArqConfig,
+    next_seq: u32,
+    window: VecDeque<WindowEntry>,
+    /// Frame copies accepted by the link (for lossless links this *is*
+    /// the intact-delivery count the ack ledger balances against).
+    wire_sends: u64,
+    stats: ArqSenderStats,
+}
+
+impl<L: FrameLink> ReliableChunkSender<L> {
+    /// A fresh stream over `link`, starting at sequence 0.
+    pub fn new(link: L, cfg: ArqConfig) -> Self {
+        ReliableChunkSender {
+            link,
+            cfg,
+            next_seq: 0,
+            window: VecDeque::new(),
+            wire_sends: 0,
+            stats: ArqSenderStats::default(),
+        }
+    }
+
+    /// Protocol counters so far.
+    pub fn stats(&self) -> ArqSenderStats {
+        self.stats
+    }
+
+    /// Sequence number the next chunk will carry.
+    pub fn chunks_sent(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Recover the link (e.g. to read injector stats after the stream).
+    pub fn into_link(self) -> L {
+        self.link
+    }
+
+    /// Frame, window, and ship one payload chunk; blocks while the
+    /// replay window is full.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        self.ship(frame_chunk_v2(self.next_seq, false, payload))
+    }
+
+    /// Terminate the stream with an empty LAST frame and wait until the
+    /// peer has acknowledged everything. Returns the total number of
+    /// distinct frames sent, terminator included.
+    pub fn finish(&mut self) -> Result<u32, NetError> {
+        self.ship(frame_chunk_v2(self.next_seq, true, &[]))?;
+        self.link.flush()?;
+        while !self.window.is_empty() {
+            self.await_progress()?;
+        }
+        Ok(self.next_seq)
+    }
+
+    fn ship(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.link.send_frame(frame.clone())?;
+        self.stats.frames_sent += 1;
+        self.wire_sends += 1;
+        self.window.push_back(WindowEntry {
+            seq,
+            frame,
+            retries: 0,
+        });
+        // Control frames are processed ONLY inside `await_progress`,
+        // exactly one per call — never drained opportunistically here.
+        // An opportunistic drain would process a race-dependent number
+        // of acks/nacks, moving retransmissions to wall-clock-dependent
+        // wire positions and destroying run-to-run reproducibility of
+        // the recovery counters.
+        while self.window.len() >= self.cfg.window as usize {
+            self.await_progress()?;
+        }
+        Ok(())
+    }
+
+    fn handle_control(&mut self, raw: &[u8]) -> Result<(), NetError> {
+        let ctrl = unframe_control(raw).map_err(|e| NetError::ChunkFraming {
+            chunk: self.window.front().map(|w| w.seq).unwrap_or(self.next_seq),
+            reason: format!("bad control frame: {e}"),
+        })?;
+        match ctrl {
+            Control::Ack { next } => {
+                self.stats.acks_processed += 1;
+                while self.window.front().is_some_and(|w| w.seq < next) {
+                    self.window.pop_front();
+                }
+            }
+            Control::Nack { seq } => {
+                self.stats.nacks_processed += 1;
+                // Stale NACKs (frame already acked and pruned) are ignored.
+                if let Some(entry) = self.window.iter_mut().find(|w| w.seq == seq) {
+                    entry.retries += 1;
+                    if entry.retries > self.cfg.max_retries {
+                        return Err(NetError::RetriesExhausted {
+                            chunk: seq,
+                            attempts: entry.retries,
+                        });
+                    }
+                    let frame = entry.frame.clone();
+                    self.stats.retransmits += 1;
+                    self.retransmit_frame(frame)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ship a retransmission. A `Disconnected` here is not yet fatal:
+    /// the peer may have completed the stream (healed by a duplicate or
+    /// a held frame) and hung up with its final ACKs still queued — the
+    /// control drain decides whether the window actually empties.
+    fn retransmit_frame(&mut self, frame: Vec<u8>) -> Result<(), NetError> {
+        // Counted before the attempt: whether a late retransmission
+        // lands depends on when the peer hung up, and the counters must
+        // not inherit that race.
+        self.stats.frames_sent += 1;
+        match self.link.send_frame(frame) {
+            Ok(()) => {
+                self.wire_sends += 1;
+                Ok(())
+            }
+            Err(NetError::Disconnected) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Process exactly one control frame, or retransmit the window base
+    /// when the link has provably gone silent.
+    ///
+    /// "Silent" is decided by a deterministic ledger, not a wall-clock
+    /// guess: every frame copy the link delivered intact earns exactly
+    /// one ACK from the peer, so while `intact deliveries > acks
+    /// processed` a control frame is guaranteed to arrive and we block
+    /// for it. Once the ledger balances with the window still occupied,
+    /// nothing more will ever come — the outstanding copies were lost —
+    /// and the base frame is retransmitted immediately, with the policy
+    /// backoff charged to the **modeled** clock only.
+    ///
+    /// Together with the one-control-per-call discipline (no
+    /// opportunistic draining anywhere), this makes every sender
+    /// decision a pure function of protocol history: the wire order,
+    /// the fault decisions keyed on it, and all recovery counters
+    /// reproduce exactly across runs, no matter how the threads are
+    /// scheduled. A real timed wait would fire or not depending on
+    /// scheduler noise.
+    ///
+    /// Held (reordered) frames are deliberately *not* flushed here: a
+    /// flush at a wall-clock-dependent moment would change the wire
+    /// order between runs. A held mid-stream frame is recovered by the
+    /// NACK/retransmission path; only a held terminator needs the
+    /// explicit flush in [`Self::finish`].
+    fn await_progress(&mut self) -> Result<(), NetError> {
+        // Liveness backstop for the guaranteed-arrival wait: a correct
+        // peer answers in microseconds; true silence this long means it
+        // is wedged, and the retransmission path takes over.
+        const BACKSTOP: Duration = Duration::from_secs(5);
+        loop {
+            let (base_seq, base_retries) = match self.window.front() {
+                Some(w) => (w.seq, w.retries),
+                None => return Ok(()),
+            };
+            let intact = self.link.intact_deliveries().unwrap_or(self.wire_sends);
+            if intact > self.stats.acks_processed {
+                match self.link.recv_control_timeout(BACKSTOP) {
+                    Ok(raw) => {
+                        self.handle_control(&raw)?;
+                        return Ok(());
+                    }
+                    Err(NetError::Timeout) => {} // wedged peer: fall through
+                    Err(e) => return Err(e),
+                }
+            }
+            // The ack ledger balances and the window is still occupied:
+            // the outstanding copies are gone. Backoff doubles per retry
+            // already burned on the base frame.
+            let wait = self.cfg.base_backoff * 2u32.saturating_pow(base_retries.min(10));
+            self.stats.timeouts += 1;
+            self.stats.modeled_backoff_nanos += wait.as_nanos() as u64;
+            let retries = base_retries + 1;
+            if retries > self.cfg.max_retries {
+                return Err(NetError::RetriesExhausted {
+                    chunk: base_seq,
+                    attempts: retries,
+                });
+            }
+            let front = self.window.front_mut().expect("window nonempty");
+            front.retries = retries;
+            let frame = front.frame.clone();
+            self.stats.retransmits += 1;
+            self.retransmit_frame(frame)?;
+        }
+    }
+}
+
+/// Live receiver-side counters, shared out through an [`Arc`] because
+/// the receiver itself disappears into a `Box<dyn ChunkSource>` in the
+/// migration driver.
+#[derive(Debug, Default)]
+pub struct ArqReceiverCounters {
+    corrupt_caught: AtomicU64,
+    dups_absorbed: AtomicU64,
+    reorders_absorbed: AtomicU64,
+    acks_sent: AtomicU64,
+    nacks_sent: AtomicU64,
+}
+
+/// A detached copy of [`ArqReceiverCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArqReceiverSnapshot {
+    /// Frames whose payload failed its CRC check.
+    pub corrupt_caught: u64,
+    /// Extra valid copies absorbed (beyond the first per sequence).
+    pub dups_absorbed: u64,
+    /// Frames accepted after a higher sequence had already arrived.
+    pub reorders_absorbed: u64,
+    /// Cumulative ACK frames sent.
+    pub acks_sent: u64,
+    /// NACK frames sent (deduplicated per missing sequence).
+    pub nacks_sent: u64,
+}
+
+impl ArqReceiverCounters {
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> ArqReceiverSnapshot {
+        ArqReceiverSnapshot {
+            corrupt_caught: self.corrupt_caught.load(Ordering::Relaxed),
+            dups_absorbed: self.dups_absorbed.load(Ordering::Relaxed),
+            reorders_absorbed: self.reorders_absorbed.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            nacks_sent: self.nacks_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Receiving half of the ARQ stream.
+pub struct ReliableChunkReceiver {
+    ch: Channel,
+    window: u32,
+    /// Next expected (highest contiguous + 1) sequence.
+    next: u32,
+    /// Highest sequence seen in any valid arrival, for reorder counting.
+    max_seen: Option<u32>,
+    /// Valid frames waiting for the gap below them to fill.
+    ooo: BTreeMap<u32, (bool, Vec<u8>)>,
+    /// Contiguous frames ready to hand to the caller.
+    ready: VecDeque<(bool, Vec<u8>)>,
+    /// Sequences already NACKed — each missing frame is asked for once;
+    /// after that the sender's timeout path owns recovery.
+    nacked: HashSet<u32>,
+    done: bool,
+    counters: Arc<ArqReceiverCounters>,
+}
+
+impl ReliableChunkReceiver {
+    /// Wrap `ch`; the stream is expected to begin at sequence 0.
+    pub fn new(ch: Channel, cfg: ArqConfig) -> Self {
+        ReliableChunkReceiver {
+            ch,
+            window: cfg.window,
+            next: 0,
+            max_seen: None,
+            ooo: BTreeMap::new(),
+            ready: VecDeque::new(),
+            nacked: HashSet::new(),
+            done: false,
+            counters: Arc::new(ArqReceiverCounters::default()),
+        }
+    }
+
+    /// Handle to the live counters; survives the receiver being boxed.
+    pub fn counters(&self) -> Arc<ArqReceiverCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Highest contiguous sequence received so far.
+    pub fn chunks_received(&self) -> u32 {
+        self.next
+    }
+
+    /// Whether the LAST frame has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn send_control(&self, ctrl: Control) -> Result<(), NetError> {
+        self.ch.send(frame_control(ctrl))
+    }
+
+    /// Receive the next payload chunk; `Ok(None)` once the stream is
+    /// complete. Duplicates and in-window reordering are absorbed;
+    /// corruption triggers a NACK; a frame beyond the window or an
+    /// unparseable frame is a hard error.
+    pub fn recv_chunk(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        loop {
+            if let Some((last, payload)) = self.ready.pop_front() {
+                if last {
+                    self.done = true;
+                    if payload.is_empty() {
+                        return Ok(None);
+                    }
+                    return Ok(Some(payload));
+                }
+                return Ok(Some(payload));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            let raw = self.ch.recv()?;
+            let parsed = unframe_chunk_any(&raw).map_err(|e| NetError::ChunkFraming {
+                chunk: self.next,
+                reason: e.to_string(),
+            })?;
+            let seq = parsed.seq;
+            if parsed.verify_crc().is_err() {
+                // A damaged frame is treated exactly like a dropped one:
+                // counted, then left for the gap-NACK (fired when a
+                // higher frame lands) or the sender's timeout to heal.
+                // NACKing immediately would put the clean retransmission
+                // at a wall-clock-dependent wire position and make the
+                // reorder counter irreproducible.
+                ArqReceiverCounters::bump(&self.counters.corrupt_caught);
+                continue;
+            }
+            if seq < self.next {
+                ArqReceiverCounters::bump(&self.counters.dups_absorbed);
+                // Re-ack so a sender that missed the original ack prunes.
+                self.send_control(Control::Ack { next: self.next })?;
+                ArqReceiverCounters::bump(&self.counters.acks_sent);
+                continue;
+            }
+            if seq >= self.next + self.window {
+                return Err(NetError::ChunkFraming {
+                    chunk: seq,
+                    reason: format!(
+                        "sequence {seq} outside the receive window (next {}, window {})",
+                        self.next, self.window
+                    ),
+                });
+            }
+            let late = self.max_seen.is_some_and(|m| m > seq);
+            if seq == self.next {
+                if late {
+                    ArqReceiverCounters::bump(&self.counters.reorders_absorbed);
+                }
+                self.accept(parsed.last, parsed.payload);
+                while let Some((l, p)) = self.ooo.remove(&self.next) {
+                    self.accept(l, p);
+                }
+            } else {
+                match self.ooo.entry(seq) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        ArqReceiverCounters::bump(&self.counters.dups_absorbed);
+                    }
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        if late {
+                            ArqReceiverCounters::bump(&self.counters.reorders_absorbed);
+                        }
+                        v.insert((parsed.last, parsed.payload));
+                    }
+                }
+            }
+            self.max_seen = Some(self.max_seen.map_or(seq, |m| m.max(seq)));
+            self.send_control(Control::Ack { next: self.next })?;
+            ArqReceiverCounters::bump(&self.counters.acks_sent);
+            // A buffered frame above a missing one: name the gap once.
+            if !self.ooo.is_empty() && self.nacked.insert(self.next) {
+                self.send_control(Control::Nack { seq: self.next })?;
+                ArqReceiverCounters::bump(&self.counters.nacks_sent);
+            }
+        }
+    }
+
+    fn accept(&mut self, last: bool, payload: Vec<u8>) {
+        self.ready.push_back((last, payload));
+        self.next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_pair;
+    use crate::fault::{FaultPlan, FaultyEndpoint};
+    use crate::model::NetworkModel;
+
+    fn cfg() -> ArqConfig {
+        ArqConfig {
+            window: 8,
+            max_retries: 4,
+            base_backoff: Duration::from_millis(2),
+        }
+    }
+
+    /// Everything a pumped transfer produces: received payloads, sender
+    /// stats, receiver snapshot, fault stats.
+    type PumpOutcome = (
+        Vec<Vec<u8>>,
+        ArqSenderStats,
+        ArqReceiverSnapshot,
+        crate::fault::FaultStats,
+    );
+
+    /// Drive `n` chunks through sender and receiver on two threads.
+    fn pump(plan: FaultPlan, payloads: Vec<Vec<u8>>) -> Result<PumpOutcome, NetError> {
+        let (src, dst) = channel_pair(NetworkModel::instant());
+        let link = FaultyEndpoint::new(src, plan);
+        let handle = std::thread::spawn(move || -> Result<_, NetError> {
+            let mut rx = ReliableChunkReceiver::new(dst, cfg());
+            let counters = rx.counters();
+            let mut got = Vec::new();
+            while let Some(p) = rx.recv_chunk()? {
+                got.push(p);
+            }
+            Ok((got, counters.snapshot()))
+        });
+        let mut tx = ReliableChunkSender::new(link, cfg());
+        let mut send_err = None;
+        for p in &payloads {
+            if let Err(e) = tx.send(p) {
+                send_err = Some(e);
+                break;
+            }
+        }
+        if send_err.is_none() {
+            if let Err(e) = tx.finish() {
+                send_err = Some(e);
+            }
+        }
+        let stats = tx.stats();
+        let link = tx.into_link();
+        let fstats = link.stats();
+        drop(link); // unblocks the receiver if the stream died
+        let rx_result = handle.join().expect("receiver panicked");
+        match send_err {
+            Some(e) => Err(e),
+            None => {
+                let (got, snap) = rx_result?;
+                Ok((got, stats, snap, fstats))
+            }
+        }
+    }
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![(i % 251) as u8; 5 + i % 60]).collect()
+    }
+
+    #[test]
+    fn clean_link_is_lossless_with_zero_recovery_traffic() {
+        let data = payloads(40);
+        let (got, stats, snap, fstats) = pump(FaultPlan::none(), data.clone()).unwrap();
+        assert_eq!(got, data);
+        assert_eq!(stats.retransmits, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(snap.corrupt_caught, 0);
+        assert_eq!(snap.dups_absorbed, 0);
+        assert_eq!(snap.reorders_absorbed, 0);
+        assert_eq!(fstats.faults_injected(), 0);
+        // Every frame (terminator included) is acked at least once.
+        assert!(snap.acks_sent >= 41);
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retransmission() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_per_mille: 150,
+            ..FaultPlan::none()
+        };
+        let data = payloads(60);
+        let (got, stats, _snap, fstats) = pump(plan, data.clone()).unwrap();
+        assert_eq!(got, data);
+        assert!(fstats.dropped > 0, "plan injected no drops");
+        assert!(stats.retransmits >= fstats.dropped);
+    }
+
+    #[test]
+    fn corruption_is_caught_and_healed() {
+        let plan = FaultPlan {
+            seed: 11,
+            corrupt_per_mille: 200,
+            ..FaultPlan::none()
+        };
+        let data = payloads(60);
+        let (got, _stats, snap, fstats) = pump(plan, data.clone()).unwrap();
+        assert_eq!(got, data);
+        assert!(fstats.corrupted > 0);
+        assert_eq!(snap.corrupt_caught, fstats.corrupted);
+    }
+
+    #[test]
+    fn duplicates_and_reordering_are_absorbed() {
+        let plan = FaultPlan {
+            seed: 13,
+            duplicate_per_mille: 200,
+            reorder_per_mille: 200,
+            ..FaultPlan::none()
+        };
+        let data = payloads(60);
+        let (got, _stats, snap, fstats) = pump(plan, data.clone()).unwrap();
+        assert_eq!(got, data);
+        assert!(fstats.duplicated > 0);
+        assert!(fstats.reordered > 0);
+        assert!(snap.dups_absorbed > 0);
+    }
+
+    #[test]
+    fn mixed_fault_storm_still_delivers_exactly() {
+        for seed in [3u64, 17, 99, 12345] {
+            let plan = FaultPlan {
+                seed,
+                drop_per_mille: 80,
+                corrupt_per_mille: 80,
+                duplicate_per_mille: 80,
+                reorder_per_mille: 80,
+                delay_per_mille: 80,
+                disconnect_at: None,
+            };
+            let data = payloads(80);
+            let (got, _, _, _) = pump(plan, data.clone()).unwrap();
+            assert_eq!(got, data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disconnect_exhausts_retries_not_patience() {
+        let plan = FaultPlan {
+            disconnect_at: Some(5),
+            ..FaultPlan::none()
+        };
+        let t0 = std::time::Instant::now();
+        let err = pump(plan, payloads(30)).unwrap_err();
+        assert!(
+            matches!(err, NetError::RetriesExhausted { .. }),
+            "got {err:?}"
+        );
+        // Bounded: 4 retries at 2ms base is well under a second.
+        assert!(t0.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn recovery_counters_are_reproducible() {
+        let plan = FaultPlan::from_seed(0xFEED_FACE);
+        let data = payloads(50);
+        let runs: Vec<_> = (0..3)
+            .map(|_| pump(plan, data.clone()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("{e}"))
+            .unwrap();
+        let (_, s0, r0, f0) = &runs[0];
+        for (_, s, r, f) in &runs[1..] {
+            assert_eq!(s, s0, "sender stats must be reproducible");
+            assert_eq!(r, r0, "receiver counters must be reproducible");
+            assert_eq!(f, f0, "fault stats must be reproducible");
+        }
+    }
+
+    #[test]
+    fn arq_works_over_a_plain_channel_too() {
+        let (src, dst) = channel_pair(NetworkModel::instant());
+        let data = payloads(10);
+        let sent = data.clone();
+        let h = std::thread::spawn(move || {
+            let mut rx = ReliableChunkReceiver::new(dst, ArqConfig::default());
+            let mut got = Vec::new();
+            while let Some(p) = rx.recv_chunk().unwrap() {
+                got.push(p);
+            }
+            got
+        });
+        let mut tx = ReliableChunkSender::new(src, ArqConfig::default());
+        for p in &sent {
+            tx.send(p).unwrap();
+        }
+        let frames = tx.finish().unwrap();
+        assert_eq!(frames, 11);
+        assert_eq!(h.join().unwrap(), data);
+    }
+}

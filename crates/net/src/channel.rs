@@ -21,6 +21,23 @@ pub enum NetError {
         /// What went wrong.
         reason: String,
     },
+    /// A chunk arrived whose payload does not match its stamped CRC-32.
+    Corrupt {
+        /// Sequence number of the damaged chunk.
+        chunk: u32,
+        /// The CRC the sender stamped into the frame header.
+        expected_crc: u32,
+        /// The CRC computed over the payload as received.
+        found_crc: u32,
+    },
+    /// The ARQ sender exhausted its retransmission budget waiting for
+    /// the peer to acknowledge `chunk`.
+    RetriesExhausted {
+        /// Lowest unacknowledged chunk when the sender gave up.
+        chunk: u32,
+        /// Retransmission rounds attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -31,6 +48,18 @@ impl std::fmt::Display for NetError {
             NetError::ChunkFraming { chunk, reason } => {
                 write!(f, "chunk frame {chunk}: {reason}")
             }
+            NetError::Corrupt {
+                chunk,
+                expected_crc,
+                found_crc,
+            } => write!(
+                f,
+                "chunk {chunk} corrupt: stamped crc {expected_crc:#010x}, computed {found_crc:#010x}"
+            ),
+            NetError::RetriesExhausted { chunk, attempts } => write!(
+                f,
+                "retries exhausted after {attempts} attempts waiting for ack of chunk {chunk}"
+            ),
         }
     }
 }
@@ -373,6 +402,37 @@ mod tests {
         a.send(vec![1, 2, 3]).unwrap();
         assert_eq!(a.recv().unwrap(), vec![3, 2, 1]);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        assert_eq!(NetError::Disconnected.to_string(), "peer disconnected");
+        assert_eq!(NetError::Timeout.to_string(), "receive timed out");
+        assert_eq!(
+            NetError::ChunkFraming {
+                chunk: 7,
+                reason: "bad magic".into()
+            }
+            .to_string(),
+            "chunk frame 7: bad magic"
+        );
+        assert_eq!(
+            NetError::Corrupt {
+                chunk: 3,
+                expected_crc: 0xDEAD_BEEF,
+                found_crc: 0x0000_00FF,
+            }
+            .to_string(),
+            "chunk 3 corrupt: stamped crc 0xdeadbeef, computed 0x000000ff"
+        );
+        assert_eq!(
+            NetError::RetriesExhausted {
+                chunk: 12,
+                attempts: 5
+            }
+            .to_string(),
+            "retries exhausted after 5 attempts waiting for ack of chunk 12"
+        );
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //! every message produces a `net.send`/`net.recv` span annotated with the
 //! payload size and modeled wire time.
 
+mod arq;
 mod channel;
+mod fault;
 mod file;
 mod model;
 mod stream;
 
+pub use arq::{
+    ArqConfig, ArqReceiverCounters, ArqReceiverSnapshot, ArqSenderStats, ReliableChunkReceiver,
+    ReliableChunkSender,
+};
 pub use channel::{channel_pair, Channel, NetError, TransferSnapshot, TransferStats};
+pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyEndpoint, FrameLink};
 pub use file::FileTransport;
 pub use model::{Link, NetworkModel};
 pub use stream::{ChunkReceiver, ChunkSender};

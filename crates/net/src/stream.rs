@@ -7,10 +7,11 @@
 //! sequence numbers, and latches end-of-stream at the LAST flag.
 
 use crate::channel::{Channel, NetError};
-use hpm_xdr::{frame_chunk, unframe_chunk};
+use hpm_xdr::{frame_chunk_v2, unframe_chunk_any};
 
 /// Sending side of a chunked stream: frames each payload with a
-/// sequence number and terminates the stream with an empty LAST frame.
+/// sequence number and a payload CRC-32, and terminates the stream with
+/// an empty LAST frame.
 pub struct ChunkSender<'a> {
     ch: &'a Channel,
     seq: u32,
@@ -24,7 +25,7 @@ impl<'a> ChunkSender<'a> {
 
     /// Frame and send one payload chunk.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
-        let frame = frame_chunk(self.seq, false, payload);
+        let frame = frame_chunk_v2(self.seq, false, payload);
         self.seq += 1;
         self.ch.send(frame)
     }
@@ -32,7 +33,7 @@ impl<'a> ChunkSender<'a> {
     /// Terminate the stream with an empty LAST frame; returns the total
     /// number of frames sent, terminator included.
     pub fn finish(self) -> Result<u32, NetError> {
-        let frame = frame_chunk(self.seq, true, &[]);
+        let frame = frame_chunk_v2(self.seq, true, &[]);
         self.ch.send(frame)?;
         Ok(self.seq + 1)
     }
@@ -62,31 +63,50 @@ impl ChunkReceiver {
 
     /// Receive the next payload chunk; `Ok(None)` once the LAST frame
     /// has arrived. Frames must arrive in sequence order — a gap or
-    /// replay is a [`NetError::ChunkFraming`] error.
+    /// replay is a [`NetError::ChunkFraming`] error, and a v2 frame whose
+    /// payload fails its CRC check is [`NetError::Corrupt`]. Once the
+    /// stream is done, any further frame on the link is a protocol
+    /// violation reported with the offending sequence number.
     pub fn recv_chunk(&mut self) -> Result<Option<Vec<u8>>, NetError> {
         if self.done {
-            return Ok(None);
+            // Nothing queued: idempotent end-of-stream. A queued frame
+            // after LAST means the peer kept talking — hard error.
+            let Some(frame) = self.ch.try_recv() else {
+                return Ok(None);
+            };
+            let seq = unframe_chunk_any(&frame).map(|f| f.seq).unwrap_or(0);
+            return Err(NetError::ChunkFraming {
+                chunk: seq,
+                reason: format!("frame {seq} arrived after the LAST frame"),
+            });
         }
         let frame = self.ch.recv()?;
-        let (seq, last, payload) = unframe_chunk(&frame).map_err(|e| NetError::ChunkFraming {
+        let parsed = unframe_chunk_any(&frame).map_err(|e| NetError::ChunkFraming {
             chunk: self.next_seq,
             reason: e.to_string(),
         })?;
-        if seq != self.next_seq {
+        if parsed.seq != self.next_seq {
             return Err(NetError::ChunkFraming {
                 chunk: self.next_seq,
-                reason: format!("expected sequence {}, got {seq}", self.next_seq),
+                reason: format!("expected sequence {}, got {}", self.next_seq, parsed.seq),
+            });
+        }
+        if let Err(found) = parsed.verify_crc() {
+            return Err(NetError::Corrupt {
+                chunk: parsed.seq,
+                expected_crc: parsed.crc.unwrap_or(0),
+                found_crc: found,
             });
         }
         self.next_seq += 1;
-        if last {
+        if parsed.last {
             self.done = true;
-            if payload.is_empty() {
+            if parsed.payload.is_empty() {
                 return Ok(None);
             }
-            return Ok(Some(payload));
+            return Ok(Some(parsed.payload));
         }
-        Ok(Some(payload))
+        Ok(Some(parsed.payload))
     }
 
     /// Chunks received so far (terminator included once seen).
@@ -166,6 +186,69 @@ mod tests {
             Err(NetError::ChunkFraming { chunk, .. }) => assert_eq!(chunk, 0),
             other => panic!("expected ChunkFraming, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn frame_after_last_is_a_hard_error() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut tx = ChunkSender::new(&a);
+        tx.send(&[1, 2, 3, 4]).unwrap();
+        tx.finish().unwrap();
+        // The peer keeps talking after terminating the stream.
+        a.send(hpm_xdr::frame_chunk_v2(2, false, &[5, 6, 7, 8]))
+            .unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+        match rx.recv_chunk() {
+            Err(NetError::ChunkFraming { chunk, reason }) => {
+                assert_eq!(chunk, 2);
+                assert!(reason.contains("after the LAST frame"), "{reason}");
+            }
+            other => panic!("expected ChunkFraming, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_after_last_stays_ok_when_nothing_is_queued() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        ChunkSender::new(&a).finish().unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_payload_is_caught_by_crc() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut frame = hpm_xdr::frame_chunk_v2(0, false, &[1, 2, 3, 4]);
+        let n = frame.len();
+        frame[n - 2] ^= 0xFF; // flip a payload byte, header untouched
+        a.send(frame).unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        match rx.recv_chunk() {
+            Err(NetError::Corrupt {
+                chunk,
+                expected_crc,
+                found_crc,
+            }) => {
+                assert_eq!(chunk, 0);
+                assert_ne!(expected_crc, found_crc);
+                assert_eq!(expected_crc, hpm_xdr::crc32(&[1, 2, 3, 4]));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_without_crc() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        a.send(hpm_xdr::frame_chunk(0, false, &[1, 2, 3, 4]))
+            .unwrap();
+        a.send(hpm_xdr::frame_chunk(1, true, &[])).unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(rx.recv_chunk().unwrap(), None);
     }
 
     #[test]

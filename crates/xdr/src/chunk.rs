@@ -2,14 +2,26 @@
 //!
 //! The pipelined migration path ships the XDR image stream in framed
 //! chunks so transfer can start while collection is still traversing the
-//! MSR graph. Each chunk on the wire is itself a tiny XDR document:
+//! MSR graph. Each chunk on the wire is itself a tiny XDR document.
+//! Two frame versions coexist:
 //!
 //! ```text
-//! u32 magic  = 0x4850_4D43 ("HPMC")
-//! u32 seq    = 0, 1, 2, ...
-//! u32 flags  = bit 0 set on the final chunk
-//! opaque_var payload (4-byte aligned, may be empty)
+//! v1 (legacy, no integrity check)      v2 (current)
+//! u32 magic  = 0x4850_4D43 ("HPMC")    u32 magic  = 0x4850_4D44 ("HPMD")
+//! u32 seq    = 0, 1, 2, ...            u32 seq    = 0, 1, 2, ...
+//! u32 flags  = bit 0 on final chunk    u32 flags  = bit 0 on final chunk
+//! opaque_var payload (4-byte aligned)  u32 crc    = CRC-32 of the payload
+//!                                      opaque_var payload (4-byte aligned)
 //! ```
+//!
+//! [`unframe_chunk_any`] decodes both versions, so receivers keep
+//! understanding v1 streams; the CRC is reported, not verified, here —
+//! the transport layer decides how to react to a mismatch (the framing
+//! layer has no notion of retransmission).
+//!
+//! The reverse direction of an ARQ link carries tiny control frames
+//! ([`frame_control`] / [`unframe_control`]): cumulative ACKs and
+//! per-sequence NACKs.
 //!
 //! The framing is deliberately orthogonal to the image grammar: the
 //! concatenation of the chunk payloads, in sequence order, is the exact
@@ -17,11 +29,48 @@
 
 use crate::{XdrDecoder, XdrEncoder, XdrError};
 
-/// Magic number opening every chunk frame: "HPMC" in ASCII.
+/// Magic number opening every v1 chunk frame: "HPMC" in ASCII.
 pub const CHUNK_MAGIC: u32 = 0x4850_4D43;
+
+/// Magic number opening every v2 (CRC-carrying) chunk frame: "HPMD".
+pub const CHUNK_MAGIC_V2: u32 = 0x4850_4D44;
+
+/// Magic number opening every ARQ control frame: "HPMA".
+pub const CONTROL_MAGIC: u32 = 0x4850_4D41;
 
 /// Flag bit marking the final chunk of a stream.
 pub const CHUNK_FLAG_LAST: u32 = 1;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data` — the per-chunk
+/// integrity check carried by v2 frames.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
 
 /// Frame one chunk of the image stream for the wire.
 pub fn frame_chunk(seq: u32, last: bool, payload: &[u8]) -> Vec<u8> {
@@ -31,6 +80,50 @@ pub fn frame_chunk(seq: u32, last: bool, payload: &[u8]) -> Vec<u8> {
     enc.put_u32(if last { CHUNK_FLAG_LAST } else { 0 });
     enc.put_opaque_var(payload);
     enc.into_bytes()
+}
+
+/// Frame one chunk with the v2 layout: the payload's CRC-32 travels
+/// between the flags word and the payload.
+pub fn frame_chunk_v2(seq: u32, last: bool, payload: &[u8]) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(20 + payload.len());
+    enc.put_u32(CHUNK_MAGIC_V2);
+    enc.put_u32(seq);
+    enc.put_u32(if last { CHUNK_FLAG_LAST } else { 0 });
+    enc.put_u32(crc32(payload));
+    enc.put_opaque_var(payload);
+    enc.into_bytes()
+}
+
+/// One decoded chunk frame, either version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFrame {
+    /// Sequence number.
+    pub seq: u32,
+    /// Final-chunk flag.
+    pub last: bool,
+    /// The chunk payload as it arrived (possibly corrupted in transit).
+    /// Verification against `crc` is the receiver's job.
+    pub payload: Vec<u8>,
+    /// The CRC-32 the sender stamped; `None` for v1 frames.
+    pub crc: Option<u32>,
+}
+
+impl ChunkFrame {
+    /// Whether the payload matches the stamped CRC (vacuously true for
+    /// CRC-less v1 frames). On mismatch returns the computed CRC.
+    pub fn verify_crc(&self) -> Result<(), u32> {
+        match self.crc {
+            None => Ok(()),
+            Some(stamped) => {
+                let computed = crc32(&self.payload);
+                if computed == stamped {
+                    Ok(())
+                } else {
+                    Err(computed)
+                }
+            }
+        }
+    }
 }
 
 /// Unframe one wire chunk, returning `(seq, last, payload)`.
@@ -53,6 +146,88 @@ pub fn unframe_chunk(frame: &[u8]) -> Result<(u32, bool, Vec<u8>), XdrError> {
         return Err(XdrError::LengthTooLarge(dec.remaining() as u32));
     }
     Ok((seq, flags & CHUNK_FLAG_LAST != 0, payload))
+}
+
+/// Unframe a chunk of either version. The CRC (if present) is returned
+/// unverified so the transport can distinguish "corrupt payload" (known
+/// sequence number, retransmittable) from "unparseable frame".
+pub fn unframe_chunk_any(frame: &[u8]) -> Result<ChunkFrame, XdrError> {
+    let mut dec = XdrDecoder::new(frame);
+    let magic = dec.get_u32()?;
+    if magic != CHUNK_MAGIC && magic != CHUNK_MAGIC_V2 {
+        return Err(XdrError::BadMagic(magic));
+    }
+    let seq = dec.get_u32()?;
+    let flags = dec.get_u32()?;
+    if flags & !CHUNK_FLAG_LAST != 0 {
+        return Err(XdrError::BadMagic(flags));
+    }
+    let crc = if magic == CHUNK_MAGIC_V2 {
+        Some(dec.get_u32()?)
+    } else {
+        None
+    };
+    let payload = dec.get_opaque_var()?;
+    if !dec.is_empty() {
+        return Err(XdrError::LengthTooLarge(dec.remaining() as u32));
+    }
+    Ok(ChunkFrame {
+        seq,
+        last: flags & CHUNK_FLAG_LAST != 0,
+        payload,
+        crc,
+    })
+}
+
+/// An ARQ control message, sent on the reverse direction of the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Cumulative acknowledgement: every sequence below `next` arrived.
+    Ack {
+        /// The lowest sequence number the receiver still needs.
+        next: u32,
+    },
+    /// Negative acknowledgement: `seq` is missing or arrived corrupt.
+    Nack {
+        /// The sequence number to retransmit.
+        seq: u32,
+    },
+}
+
+/// Frame one control message (12 bytes on the wire).
+pub fn frame_control(ctrl: Control) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(12);
+    enc.put_u32(CONTROL_MAGIC);
+    match ctrl {
+        Control::Ack { next } => {
+            enc.put_u32(0);
+            enc.put_u32(next);
+        }
+        Control::Nack { seq } => {
+            enc.put_u32(1);
+            enc.put_u32(seq);
+        }
+    }
+    enc.into_bytes()
+}
+
+/// Unframe one control message.
+pub fn unframe_control(frame: &[u8]) -> Result<Control, XdrError> {
+    let mut dec = XdrDecoder::new(frame);
+    let magic = dec.get_u32()?;
+    if magic != CONTROL_MAGIC {
+        return Err(XdrError::BadMagic(magic));
+    }
+    let kind = dec.get_u32()?;
+    let seq = dec.get_u32()?;
+    if !dec.is_empty() {
+        return Err(XdrError::LengthTooLarge(dec.remaining() as u32));
+    }
+    match kind {
+        0 => Ok(Control::Ack { next: seq }),
+        1 => Ok(Control::Nack { seq }),
+        other => Err(XdrError::BadMagic(other)),
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +281,87 @@ mod tests {
         let mut frame = frame_chunk(0, true, &[1, 2, 3, 4]);
         frame.extend_from_slice(&[0, 0, 0, 0]);
         assert!(unframe_chunk(&frame).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_verified_crc() {
+        let payload = vec![7u8; 33];
+        let frame = frame_chunk_v2(5, false, &payload);
+        assert_eq!(frame.len() % 4, 0);
+        let f = unframe_chunk_any(&frame).unwrap();
+        assert_eq!(f.seq, 5);
+        assert!(!f.last);
+        assert_eq!(f.payload, payload);
+        assert_eq!(f.crc, Some(crc32(&payload)));
+        assert!(f.verify_crc().is_ok());
+    }
+
+    #[test]
+    fn v2_corrupt_payload_fails_verification_with_computed_crc() {
+        let mut frame = frame_chunk_v2(0, true, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let payload_start = frame.len() - 8;
+        frame[payload_start] ^= 0x40;
+        let f = unframe_chunk_any(&frame).unwrap();
+        let computed = f.verify_crc().unwrap_err();
+        assert_ne!(Some(computed), f.crc);
+        assert_eq!(computed, crc32(&f.payload));
+    }
+
+    #[test]
+    fn unframe_any_still_decodes_v1_frames() {
+        let frame = frame_chunk(9, true, &[1, 2, 3, 4]);
+        let f = unframe_chunk_any(&frame).unwrap();
+        assert_eq!(f.seq, 9);
+        assert!(f.last);
+        assert_eq!(f.payload, vec![1, 2, 3, 4]);
+        assert_eq!(f.crc, None);
+        assert!(f.verify_crc().is_ok(), "v1 frames verify vacuously");
+    }
+
+    #[test]
+    fn v1_unframe_rejects_v2_magic() {
+        let frame = frame_chunk_v2(0, false, &[1, 2, 3, 4]);
+        assert!(matches!(unframe_chunk(&frame), Err(XdrError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_v2_frame_rejected() {
+        let frame = frame_chunk_v2(0, true, &[9; 40]);
+        for cut in [0, 4, 8, 12, 16, frame.len() - 1] {
+            assert!(unframe_chunk_any(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        for ctrl in [Control::Ack { next: 17 }, Control::Nack { seq: 3 }] {
+            let frame = frame_control(ctrl);
+            assert_eq!(frame.len(), 12);
+            assert_eq!(unframe_control(&frame).unwrap(), ctrl);
+        }
+    }
+
+    #[test]
+    fn control_rejects_bad_magic_kind_and_trailing_bytes() {
+        let mut bad_magic = frame_control(Control::Ack { next: 0 });
+        bad_magic[0] ^= 0xFF;
+        assert!(unframe_control(&bad_magic).is_err());
+        let mut bad_kind = frame_control(Control::Ack { next: 0 });
+        bad_kind[7] = 9;
+        assert!(unframe_control(&bad_kind).is_err());
+        let mut trailing = frame_control(Control::Nack { seq: 1 });
+        trailing.extend_from_slice(&[0; 4]);
+        assert!(unframe_control(&trailing).is_err());
+        // Control frames are not chunks and vice versa.
+        assert!(unframe_chunk_any(&frame_control(Control::Ack { next: 0 })).is_err());
     }
 
     #[test]

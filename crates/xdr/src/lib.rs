@@ -31,7 +31,11 @@ mod decode;
 mod encode;
 mod error;
 
-pub use chunk::{frame_chunk, unframe_chunk, CHUNK_FLAG_LAST, CHUNK_MAGIC};
+pub use chunk::{
+    crc32, frame_chunk, frame_chunk_v2, frame_control, unframe_chunk, unframe_chunk_any,
+    unframe_control, ChunkFrame, Control, CHUNK_FLAG_LAST, CHUNK_MAGIC, CHUNK_MAGIC_V2,
+    CONTROL_MAGIC,
+};
 pub use decode::XdrDecoder;
 pub use encode::XdrEncoder;
 pub use error::XdrError;

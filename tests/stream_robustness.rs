@@ -1,10 +1,17 @@
-//! Integration test: migration-image robustness and seed-driven
-//! round-trips of arbitrary object graphs.
+//! Integration test: migration-image robustness — monolithic and
+//! chunk-streamed — and seed-driven round-trips of arbitrary object
+//! graphs.
 
 use hpm::arch::Architecture;
-use hpm::core::{Collector, Msrlt, Restorer};
+use hpm::core::image::unframe_image;
+use hpm::core::stream::VecChunks;
+use hpm::core::{ChunkPayload, ChunkSource, Collector, CoreError, Msrlt, Restorer};
 use hpm::memory::AddressSpace;
-use hpm::migrate::{resume_from_image, run_to_migration, Trigger};
+use hpm::migrate::{
+    resume_from_image, run_to_migration, ExecutionState, Flow, MigCtx, MigError, MigratableProgram,
+    MigratedSource, Process, Trigger,
+};
+use hpm::net::{channel_pair, ChunkReceiver, NetworkModel};
 use hpm::types::Field;
 use hpm::workloads::{BitonicSort, TestPointer};
 
@@ -44,6 +51,161 @@ fn corrupted_header_is_rejected() {
     image[0] ^= 0xFF;
     let mut dst = TestPointer::new();
     assert!(resume_from_image(&mut dst, Architecture::sparc20(), &image).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Streaming counterparts: the same failures injected into the chunked
+// path, where the destination is already restoring when damage shows up.
+// ---------------------------------------------------------------------
+
+fn freeze_test_pointer() -> MigratedSource {
+    let mut p = TestPointer::new();
+    run_to_migration(&mut p, Architecture::dec5000(), Trigger::AtPollCount(8)).unwrap()
+}
+
+/// What the migration driver's destination thread does with a chunk
+/// stream: parse the prefix, refuse foreign programs, then restore over
+/// the remaining chunks.
+fn streaming_resume<P: MigratableProgram>(
+    dst_prog: &mut P,
+    arch: Architecture,
+    prefix: &[u8],
+    rest: Box<dyn ChunkSource + Send>,
+) -> Result<(), MigError> {
+    let (header, exec_bytes, leftover) = unframe_image(prefix)?;
+    if header.program != dst_prog.name() {
+        return Err(MigError::Protocol(format!(
+            "image is for program '{}', not '{}'",
+            header.program,
+            dst_prog.name()
+        )));
+    }
+    let exec = ExecutionState::decode(&exec_bytes)?;
+    let mut proc = Process::new(dst_prog.name(), arch);
+    dst_prog.setup(&mut proc)?;
+    let chunks = ChunkPayload::with_initial(rest, leftover);
+    let mut ctx = MigCtx::new_resume_streaming(&mut proc, exec, chunks);
+    match dst_prog.run(&mut ctx)? {
+        Flow::Done => Ok(()),
+        Flow::Migrate => Err(MigError::Protocol("resumed program migrated again".into())),
+    }
+}
+
+/// A chunk arriving truncated mid-stream must fail the restore loudly —
+/// not silently restore garbage into live data.
+#[test]
+fn truncated_chunk_mid_stream_is_rejected() {
+    let mut src = freeze_test_pointer();
+    let (mut chunks, _) = src.to_chunks(64).unwrap();
+    assert!(chunks.len() >= 4, "need several chunks to damage one");
+    let prefix = chunks.remove(0);
+    // Cut a middle chunk short (keeping 4-byte alignment so the failure
+    // is the missing data, not a framing artifact).
+    let victim = chunks.len() / 2;
+    let cut = (chunks[victim].len() / 2) & !3;
+    chunks[victim].truncate(cut);
+    chunks.truncate(victim + 1); // nothing after the damage arrives
+
+    let mut dst = TestPointer::new();
+    let err = streaming_resume(
+        &mut dst,
+        Architecture::sparc20(),
+        &prefix,
+        Box::new(VecChunks::new(chunks)),
+    )
+    .unwrap_err();
+    match err {
+        MigError::Core(m) | MigError::Protocol(m) | MigError::Xdr(m) => {
+            assert!(
+                m.contains("truncated") || m.contains("ran dry") || m.contains("chunk"),
+                "error must say the stream ran short: {m}"
+            );
+        }
+        other => panic!("expected a loud truncation failure, got {other:?}"),
+    }
+}
+
+/// Adapter: net-layer chunk receiver as a restorer chunk source (what
+/// the migration driver uses internally).
+struct NetSource {
+    rx: ChunkReceiver,
+}
+
+impl ChunkSource for NetSource {
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, CoreError> {
+        self.rx
+            .recv_chunk()
+            .map_err(|e| CoreError::Source(e.to_string()))
+    }
+}
+
+/// A payload corrupted on the wire under a still-valid frame header is
+/// caught by the per-chunk CRC and surfaces mid-restore with the chunk
+/// index — the header-corruption counterpart for the streamed path.
+#[test]
+fn corrupted_payload_mid_stream_is_caught_by_crc() {
+    let mut src = freeze_test_pointer();
+    let (chunks, _) = src.to_chunks(64).unwrap();
+    assert!(chunks.len() >= 4, "need several chunks to damage one");
+    let victim = 2u32;
+
+    let (a, b) = channel_pair(NetworkModel::instant());
+    for (i, c) in chunks.iter().enumerate() {
+        let mut frame = hpm::xdr::frame_chunk_v2(i as u32, false, c);
+        if i as u32 == victim {
+            let n = frame.len();
+            frame[n - 2] ^= 0x40; // payload byte; header left intact
+        }
+        a.send(frame).unwrap();
+    }
+    a.send(hpm::xdr::frame_chunk_v2(chunks.len() as u32, true, &[]))
+        .unwrap();
+
+    let mut rx = ChunkReceiver::new(b);
+    let prefix = rx.recv_chunk().unwrap().expect("prefix chunk");
+    let mut dst = TestPointer::new();
+    let err = streaming_resume(
+        &mut dst,
+        Architecture::sparc20(),
+        &prefix,
+        Box::new(NetSource { rx }),
+    )
+    .unwrap_err();
+    match err {
+        MigError::Core(m) => {
+            assert!(
+                m.contains(&format!("chunk {victim} corrupt")),
+                "CRC failure must name chunk {victim}: {m}"
+            );
+        }
+        other => panic!("expected the CRC to catch the damage, got {other:?}"),
+    }
+}
+
+/// Program identity travels in chunk 0: a destination running a
+/// different program refuses the stream before touching any state.
+#[test]
+fn cross_program_chunk_stream_is_rejected() {
+    let mut src = freeze_test_pointer();
+    let (mut chunks, _) = src.to_chunks(64).unwrap();
+    let prefix = chunks.remove(0);
+    let mut wrong = BitonicSort::new(100);
+    let err = streaming_resume(
+        &mut wrong,
+        Architecture::sparc20(),
+        &prefix,
+        Box::new(VecChunks::new(chunks)),
+    )
+    .unwrap_err();
+    match err {
+        MigError::Protocol(m) => {
+            assert!(
+                m.contains("test_pointer") && m.contains(wrong.name()),
+                "refusal must name both programs: {m}"
+            );
+        }
+        other => panic!("expected a program-identity refusal, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------
