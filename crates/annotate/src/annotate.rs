@@ -331,7 +331,7 @@ fn expr_text(e: &Expr) -> String {
         ),
         Expr::Malloc(n, t) => format!("malloc({} * sizeof({}))", expr_text(n), type_text(t)),
         Expr::Sizeof(t) => format!("sizeof({})", type_text(t)),
-        Expr::Cast(t, a) => format!("(({}) {})", type_text(t), expr_text(a)),
+        Expr::Cast(t, a, _) => format!("(({}) {})", type_text(t), expr_text(a)),
     }
 }
 

@@ -1,5 +1,27 @@
 //! Abstract syntax tree for the mini-C subset.
 
+/// A source position: 1-based line and byte column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A type expression as written in source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TypeExpr {
@@ -119,7 +141,9 @@ pub enum Expr {
     /// `sizeof(T)` (kept for safety analysis; evaluated per-arch).
     Sizeof(TypeExpr),
     /// `(T) e` — a cast; pointer↔int casts are flagged migration-unsafe.
-    Cast(TypeExpr, Box<Expr>),
+    /// Carries the span of its opening parenthesis so the safety screen
+    /// can point at the exact cast, not just the statement line.
+    Cast(TypeExpr, Box<Expr>, Span),
 }
 
 /// Statements. Each carries its source line for diagnostics/annotation.

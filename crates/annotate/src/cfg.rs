@@ -305,7 +305,7 @@ impl Builder {
                 self.collect_uses(a, n);
                 self.collect_uses(b, n);
             }
-            Expr::Unary(_, a) | Expr::Deref(a) | Expr::Cast(_, a) => self.collect_uses(a, n),
+            Expr::Unary(_, a) | Expr::Deref(a) | Expr::Cast(_, a, _) => self.collect_uses(a, n),
             Expr::Member(a, _) | Expr::Arrow(a, _) => self.collect_uses(a, n),
             Expr::Call(_, args) => {
                 for a in args {
@@ -334,7 +334,7 @@ pub fn find_call(e: &Expr) -> Option<String> {
     match e {
         Expr::Call(name, _) => Some(name.clone()),
         Expr::Binary(_, a, b) | Expr::Index(a, b) => find_call(a).or_else(|| find_call(b)),
-        Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) | Expr::Cast(_, a) => find_call(a),
+        Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) | Expr::Cast(_, a, _) => find_call(a),
         Expr::Member(a, _) | Expr::Arrow(a, _) => find_call(a),
         Expr::Malloc(c, _) => find_call(c),
         _ => None,

@@ -432,7 +432,7 @@ impl<'a> FnCompiler<'a> {
                 let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
                 STy::Ptr(id)
             }
-            Expr::Cast(t, _) => match t.clone() {
+            Expr::Cast(t, _, _) => match t.clone() {
                 TypeExpr::Void => STy::Void,
                 t => {
                     let id = self.env.resolve(&t).map_err(|e| self.err(format!("{e}")))?;
@@ -777,7 +777,9 @@ impl<'a> FnCompiler<'a> {
                 self.check_arg_trap_free(a)?;
                 self.check_arg_trap_free(b)
             }
-            Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) => self.check_arg_trap_free(a),
+            Expr::Unary(_, a) | Expr::Cast(_, a, _) | Expr::AddrOf(a) => {
+                self.check_arg_trap_free(a)
+            }
             Expr::Member(a, _) => self.check_arg_trap_free(a),
             Expr::Malloc(..) => Err(self.err("malloc not allowed in call arguments")),
             Expr::Int(_) | Expr::Float(_) | Expr::Ident(_) | Expr::Sizeof(_) => Ok(()),
@@ -906,7 +908,7 @@ impl<'a> FnCompiler<'a> {
                 self.code.push(Instr::Not);
                 Ok(())
             }
-            Expr::Cast(t, a) => {
+            Expr::Cast(t, a, _) => {
                 self.rvalue(a)?;
                 if let TypeExpr::Scalar(s) = t {
                     self.code.push(Instr::Cvt(*s));

@@ -19,13 +19,16 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its source line (for diagnostics and annotation output).
+/// A token with its source position (for diagnostics and annotation
+/// output).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What it is.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column of the token's first character.
+    pub col: u32,
 }
 
 const PUNCTS: &[&str] = &[
@@ -48,11 +51,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
     let mut out = Vec::new();
     let mut i = 0;
     let mut line = 1u32;
+    let mut line_start = 0usize;
+    // 1-based byte column of position `i` on the current line.
+    macro_rules! col {
+        () => {
+            (i - line_start + 1) as u32
+        };
+    }
     'outer: while i < bytes.len() {
         let c = bytes[i] as char;
         if c == '\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_whitespace() {
@@ -73,6 +84,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                     while i + 1 < bytes.len() {
                         if bytes[i] as char == '\n' {
                             line += 1;
+                            line_start = i + 1;
                         }
                         if bytes[i] as char == '*' && bytes[i + 1] as char == '/' {
                             i += 2;
@@ -88,6 +100,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
         // String literal.
         if c == '"' {
             let start_line = line;
+            let start_col = col!();
             let mut s = String::new();
             i += 1;
             while i < bytes.len() && bytes[i] as char != '"' {
@@ -114,6 +127,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
             out.push(Token {
                 kind: TokenKind::Str(s),
                 line: start_line,
+                col: start_col,
             });
             continue;
         }
@@ -123,6 +137,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 out.push(Token {
                     kind: TokenKind::Int(bytes[i + 1] as i64),
                     line,
+                    col: col!(),
                 });
                 i += 3;
                 continue;
@@ -132,6 +147,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
         // Numbers.
         if c.is_ascii_digit() {
             let start = i;
+            let col = col!();
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
@@ -165,12 +181,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                         .map_err(|_| CError::Lex(format!("bad int '{text}'"), line))?,
                 )
             };
-            out.push(Token { kind, line });
+            out.push(Token { kind, line, col });
             continue;
         }
         // Identifiers / keywords.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
+            let col = col!();
             while i < bytes.len()
                 && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
             {
@@ -179,6 +196,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
             out.push(Token {
                 kind: TokenKind::Ident(src[start..i].to_string()),
                 line,
+                col,
             });
             continue;
         }
@@ -188,6 +206,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 out.push(Token {
                     kind: TokenKind::Punct(p),
                     line,
+                    col: col!(),
                 });
                 i += p.len();
                 continue 'outer;
@@ -198,6 +217,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
     out.push(Token {
         kind: TokenKind::Eof,
         line,
+        col: col!(),
     });
     Ok(out)
 }
@@ -255,6 +275,23 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2);
         assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let toks = lex("int x;\n  y = 10;").unwrap();
+        let pos: Vec<(u32, u32)> = toks.iter().map(|t| (t.line, t.col)).collect();
+        // int@1:1 x@1:5 ;@1:6 y@2:3 =@2:5 10@2:7 ;@2:9 eof
+        assert_eq!(
+            &pos[..7],
+            &[(1, 1), (1, 5), (1, 6), (2, 3), (2, 5), (2, 7), (2, 9)]
+        );
+    }
+
+    #[test]
+    fn columns_reset_after_block_comment_newlines() {
+        let toks = lex("/* a\n b */ x").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (2, 7));
     }
 
     #[test]

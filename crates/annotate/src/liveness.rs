@@ -216,6 +216,68 @@ mod tests {
     }
 
     #[test]
+    fn addr_of_nested_struct_field_marks_base_always_live() {
+        // `&o.a.x` reaches through two member layers; the *base* o must
+        // be marked address-taken (and therefore always live), because
+        // the callee-held pointer aims into o's storage.
+        let (p, cfg, l) = analyze(
+            "struct in { int x; int y; };\n\
+             struct out { struct in a; int z; };\n\
+             int f(int *p) { return *p; }\n\
+             int main() { struct out o; int dead; int r; dead = 3; \
+             o.a.x = 1; r = f(&o.a.x); return r; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        assert!(
+            cfg.addr_taken.contains("o"),
+            "nested &o.a.x must mark o address-taken: {:?}",
+            cfg.addr_taken
+        );
+        assert!(l.always_live.contains("o"));
+        let sites = l.poll_sites(f, &cfg);
+        let (_, _, entry_live) = &sites[0];
+        assert!(entry_live.contains(&"o".to_string()), "{entry_live:?}");
+        assert!(
+            !l.always_live.contains("dead"),
+            "scalar with no address taken must not be forced live"
+        );
+    }
+
+    #[test]
+    fn aggregate_passed_by_pointer_into_migrating_callee_stays_live() {
+        // main passes `data` (an aggregate, decaying to a pointer) into
+        // `work`, whose loop header is a poll-point: a migration inside
+        // the callee must still collect main's frame block, so `data`
+        // has to be live at main's call site and forever after.
+        let (p, cfg, l) = analyze(
+            "int work(int *buf) { int i; i = 0; \
+             while (i < 4) { buf[i] = i; i = i + 1; } return buf[0]; }\n\
+             int main() { int data[8]; int r; r = work(data); return r; }",
+            "main",
+        );
+        let f = p.function("main").unwrap();
+        assert!(l.always_live.contains("data"));
+        let calls = cfg.nodes_of_kind(|k| matches!(k, NodeKind::CallSite { .. }));
+        assert_eq!(calls.len(), 1, "one call site in main");
+        let live = l.live_at_poll(f, calls[0]);
+        assert!(
+            live.contains(&"data".to_string()),
+            "aggregate handed to a migrating callee must be live at the call: {live:?}"
+        );
+
+        // Inside the callee, the pointer param is live at the loop
+        // header so the poll-point collects the frame that anchors the
+        // caller's block.
+        let wf = p.function("work").unwrap().clone();
+        let wcfg = Cfg::build(&wf);
+        let wl = solve(&wf, &wcfg);
+        let headers = wcfg.nodes_of_kind(|k| matches!(k, NodeKind::LoopHeader));
+        let wlive = wl.live_at_poll(&wf, headers[0]);
+        assert!(wlive.contains(&"buf".to_string()), "{wlive:?}");
+    }
+
+    #[test]
     fn poll_sites_enumerated() {
         let (p, cfg, l) = analyze(
             "int g(int v) { return v; }\n\

@@ -39,6 +39,14 @@ impl Parser {
         self.toks[self.pos].line
     }
 
+    fn col(&self) -> u32 {
+        self.toks[self.pos].col
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line(), self.col())
+    }
+
     fn bump(&mut self) -> TokenKind {
         let t = self.toks[self.pos].kind.clone();
         if self.pos < self.toks.len() - 1 {
@@ -101,12 +109,13 @@ impl Parser {
 
     fn base_type(&mut self) -> Result<TypeExpr, CError> {
         let line = self.line();
+        let col = self.col();
         if self.eat_kw("struct") {
             let name = self.ident()?;
             return Ok(TypeExpr::Struct(name));
         }
         if self.eat_kw("union") {
-            return Err(CError::Unsafe(UnsafeFeature::Union { line }));
+            return Err(CError::Unsafe(UnsafeFeature::Union { line, col }));
         }
         let unsigned = self.eat_kw("unsigned");
         let s = match self.bump() {
@@ -148,7 +157,10 @@ impl Parser {
         let base = self.base_type()?;
         let ty = self.stars(base);
         if matches!(self.peek(), TokenKind::Punct("(")) {
-            return Err(CError::Unsafe(UnsafeFeature::FunctionPointer { line }));
+            return Err(CError::Unsafe(UnsafeFeature::FunctionPointer {
+                line,
+                col: self.col(),
+            }));
         }
         let name = self.ident()?;
         let mut array = None;
@@ -178,7 +190,10 @@ impl Parser {
         let mut prog = Program::default();
         while !matches!(self.peek(), TokenKind::Eof) {
             if self.is_kw("union") {
-                return Err(CError::Unsafe(UnsafeFeature::Union { line: self.line() }));
+                return Err(CError::Unsafe(UnsafeFeature::Union {
+                    line: self.line(),
+                    col: self.col(),
+                }));
             }
             // struct definition: 'struct' IDENT '{'
             if self.is_kw("struct") && matches!(self.peek2(), TokenKind::Ident(_)) {
@@ -232,7 +247,10 @@ impl Parser {
             } else {
                 loop {
                     if matches!(self.peek(), TokenKind::Punct("...")) {
-                        return Err(CError::Unsafe(UnsafeFeature::Varargs { line: self.line() }));
+                        return Err(CError::Unsafe(UnsafeFeature::Varargs {
+                            line: self.line(),
+                            col: self.col(),
+                        }));
                     }
                     let d = self.declarator()?;
                     params.push(d);
@@ -284,10 +302,16 @@ impl Parser {
     fn stmt(&mut self) -> Result<Stmt, CError> {
         let line = self.line();
         if self.is_kw("goto") {
-            return Err(CError::Unsafe(UnsafeFeature::Goto { line }));
+            return Err(CError::Unsafe(UnsafeFeature::Goto {
+                line,
+                col: self.col(),
+            }));
         }
         if self.is_kw("switch") {
-            return Err(CError::Unsafe(UnsafeFeature::Switch { line }));
+            return Err(CError::Unsafe(UnsafeFeature::Switch {
+                line,
+                col: self.col(),
+            }));
         }
         if self.eat_kw("if") {
             self.expect_punct("(")?;
@@ -548,13 +572,14 @@ impl Parser {
         // Cast: '(' type-start … ')'
         if matches!(self.peek(), TokenKind::Punct("(")) {
             let save = self.pos;
+            let span = self.span();
             self.bump();
             if self.is_type_start() {
                 let t = self.base_type()?;
                 let t = self.stars(t);
                 if self.eat_punct(")") {
                     let inner = self.unary_expr()?;
-                    return Ok(Expr::Cast(t, Box::new(inner)));
+                    return Ok(Expr::Cast(t, Box::new(inner), span));
                 }
             }
             self.pos = save;

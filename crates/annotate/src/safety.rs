@@ -17,62 +17,90 @@
 use crate::ast::*;
 use crate::CError;
 
-/// A migration-unsafe feature, with the source line where it occurs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A migration-unsafe feature, with the source line and column where it
+/// occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnsafeFeature {
     /// `union` types: the live variant is unknowable at migration time.
     Union {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
     /// `goto`: resume points would not dominate their uses.
     Goto {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
     /// `switch`: fall-through labels complicate resume points (rejected
     /// in this subset; a full pre-compiler can transform them).
     Switch {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
     /// Variadic functions: unknown live data at call sites.
     Varargs {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
     /// Function pointers: code addresses are not portable.
     FunctionPointer {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
     /// Pointer value cast to an integer type.
     PointerToInt {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
     /// Integer value cast to a pointer type.
     IntToPointer {
         /// Source line.
         line: u32,
+        /// Source column.
+        col: u32,
     },
+}
+
+impl UnsafeFeature {
+    /// Source position `(line, col)` of the feature.
+    pub fn position(&self) -> (u32, u32) {
+        match *self {
+            UnsafeFeature::Union { line, col }
+            | UnsafeFeature::Goto { line, col }
+            | UnsafeFeature::Switch { line, col }
+            | UnsafeFeature::Varargs { line, col }
+            | UnsafeFeature::FunctionPointer { line, col }
+            | UnsafeFeature::PointerToInt { line, col }
+            | UnsafeFeature::IntToPointer { line, col } => (line, col),
+        }
+    }
 }
 
 impl std::fmt::Display for UnsafeFeature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            UnsafeFeature::Union { line } => write!(f, "union (line {line})"),
-            UnsafeFeature::Goto { line } => write!(f, "goto (line {line})"),
-            UnsafeFeature::Switch { line } => write!(f, "switch (line {line})"),
-            UnsafeFeature::Varargs { line } => write!(f, "varargs (line {line})"),
-            UnsafeFeature::FunctionPointer { line } => write!(f, "function pointer (line {line})"),
-            UnsafeFeature::PointerToInt { line } => {
-                write!(f, "pointer cast to integer (line {line})")
-            }
-            UnsafeFeature::IntToPointer { line } => {
-                write!(f, "integer cast to pointer (line {line})")
-            }
-        }
+        let (line, col) = self.position();
+        let what = match self {
+            UnsafeFeature::Union { .. } => "union",
+            UnsafeFeature::Goto { .. } => "goto",
+            UnsafeFeature::Switch { .. } => "switch",
+            UnsafeFeature::Varargs { .. } => "varargs",
+            UnsafeFeature::FunctionPointer { .. } => "function pointer",
+            UnsafeFeature::PointerToInt { .. } => "pointer cast to integer",
+            UnsafeFeature::IntToPointer { .. } => "integer cast to pointer",
+        };
+        write!(f, "{what} (line {line}, col {col})")
     }
 }
 
@@ -88,6 +116,7 @@ pub fn check_migration_safety(program: &Program) -> Vec<UnsafeFeature> {
     let mut ck = Checker {
         program,
         found: Vec::new(),
+        seen: Default::default(),
         ptr_vars: Default::default(),
     };
     for f in &program.functions {
@@ -117,34 +146,34 @@ struct Checker<'a> {
     #[allow(dead_code)]
     program: &'a Program,
     found: Vec<UnsafeFeature>,
+    // The parser desugars `e OP= v` and `e++` by cloning `e` into the
+    // value side, so one source cast can be visited twice; report each
+    // source position once.
+    seen: std::collections::HashSet<UnsafeFeature>,
     ptr_vars: std::collections::HashSet<String>,
 }
 
 impl Checker<'_> {
     fn stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::Assign {
-                target,
-                value,
-                line,
-            } => {
-                self.expr(target, *line);
-                self.expr(value, *line);
+            Stmt::Assign { target, value, .. } => {
+                self.expr(target);
+                self.expr(value);
             }
-            Stmt::Expr { expr, line } => self.expr(expr, *line),
+            Stmt::Expr { expr, .. } => self.expr(expr),
             Stmt::If {
                 cond,
                 then_body,
                 else_body,
-                line,
+                ..
             } => {
-                self.expr(cond, *line);
+                self.expr(cond);
                 for s in then_body.iter().chain(else_body) {
                     self.stmt(s);
                 }
             }
-            Stmt::While { cond, body, line } => {
-                self.expr(cond, *line);
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
                 for s in body {
                     self.stmt(s);
                 }
@@ -154,13 +183,13 @@ impl Checker<'_> {
                 cond,
                 step,
                 body,
-                line,
+                ..
             } => {
                 if let Some(i) = init {
                     self.stmt(i);
                 }
                 if let Some(c) = cond {
-                    self.expr(c, *line);
+                    self.expr(c);
                 }
                 if let Some(st) = step {
                     self.stmt(st);
@@ -169,13 +198,13 @@ impl Checker<'_> {
                     self.stmt(s);
                 }
             }
-            Stmt::Return { value, line } => {
+            Stmt::Return { value, .. } => {
                 if let Some(v) = value {
-                    self.expr(v, *line);
+                    self.expr(v);
                 }
             }
-            Stmt::Free { ptr, line } => self.expr(ptr, *line),
-            Stmt::Print { value, line, .. } => self.expr(value, *line),
+            Stmt::Free { ptr, .. } => self.expr(ptr),
+            Stmt::Print { value, .. } => self.expr(value),
             Stmt::Break { .. } | Stmt::Continue { .. } => {}
         }
     }
@@ -185,7 +214,7 @@ impl Checker<'_> {
         match e {
             Expr::AddrOf(_) | Expr::Malloc(..) => true,
             Expr::Ident(n) => self.ptr_vars.contains(n),
-            Expr::Cast(t, _) => t.pointer_depth() > 0,
+            Expr::Cast(t, _, _) => t.pointer_depth() > 0,
             Expr::Binary(BinOp::Add | BinOp::Sub, a, b) => {
                 self.is_pointerish(a) || self.is_pointerish(b)
             }
@@ -193,31 +222,38 @@ impl Checker<'_> {
         }
     }
 
-    fn expr(&mut self, e: &Expr, line: u32) {
+    fn report(&mut self, u: UnsafeFeature) {
+        if self.seen.insert(u) {
+            self.found.push(u);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
         match e {
-            Expr::Cast(ty, inner) => {
+            Expr::Cast(ty, inner, span) => {
                 let to_ptr = ty.pointer_depth() > 0;
                 let from_ptr = self.is_pointerish(inner);
+                let (line, col) = (span.line, span.col);
                 if !to_ptr && from_ptr && !matches!(ty, TypeExpr::Scalar(s) if s.is_float()) {
-                    self.found.push(UnsafeFeature::PointerToInt { line });
+                    self.report(UnsafeFeature::PointerToInt { line, col });
                 }
                 if to_ptr && !from_ptr {
-                    self.found.push(UnsafeFeature::IntToPointer { line });
+                    self.report(UnsafeFeature::IntToPointer { line, col });
                 }
-                self.expr(inner, line);
+                self.expr(inner);
             }
             Expr::Binary(_, a, b) | Expr::Index(a, b) => {
-                self.expr(a, line);
-                self.expr(b, line);
+                self.expr(a);
+                self.expr(b);
             }
-            Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) => self.expr(a, line),
-            Expr::Member(a, _) | Expr::Arrow(a, _) => self.expr(a, line),
+            Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) => self.expr(a),
+            Expr::Member(a, _) | Expr::Arrow(a, _) => self.expr(a),
             Expr::Call(_, args) => {
                 for a in args {
-                    self.expr(a, line);
+                    self.expr(a);
                 }
             }
-            Expr::Malloc(n, _) => self.expr(n, line),
+            Expr::Malloc(n, _) => self.expr(n),
             Expr::Int(_) | Expr::Float(_) | Expr::Ident(_) | Expr::Sizeof(_) => {}
         }
     }
@@ -274,6 +310,38 @@ mod tests {
         )
         .unwrap();
         assert!(check_migration_safety(&p).is_empty());
+    }
+
+    #[test]
+    fn cast_report_carries_column() {
+        let p = parse("int main() { int x; int *p; p = &x; x = (int) p; return x; }").unwrap();
+        let found = check_migration_safety(&p);
+        assert_eq!(found.len(), 1);
+        // The cast's opening parenthesis is at column 41.
+        assert_eq!(found[0], UnsafeFeature::PointerToInt { line: 1, col: 41 });
+        assert!(found[0].to_string().contains("col 41"), "{}", found[0]);
+    }
+
+    #[test]
+    fn desugared_compound_assign_reports_cast_once() {
+        // `*((int *) 9000) += 1` desugars by cloning the target into the
+        // value side; the single source cast must be reported once.
+        let p = parse("int main() { *((int *) 9000) += 1; return 0; }").unwrap();
+        let found = check_migration_safety(&p);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(matches!(found[0], UnsafeFeature::IntToPointer { .. }));
+    }
+
+    #[test]
+    fn distinct_casts_on_one_line_both_reported() {
+        let p = parse("int main() { int *p; int *q; p = (int *) 1; q = (int *) 2; return 0; }")
+            .unwrap();
+        let found = check_migration_safety(&p);
+        assert_eq!(found.len(), 2, "{found:?}");
+        let (l0, c0) = found[0].position();
+        let (l1, c1) = found[1].position();
+        assert_eq!(l0, l1);
+        assert_ne!(c0, c1, "distinct casts keep distinct columns");
     }
 
     #[test]

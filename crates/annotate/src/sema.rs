@@ -219,7 +219,9 @@ impl NameCk<'_> {
                 self.expr(a)?;
                 self.expr(b)
             }
-            Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) | Expr::Cast(_, a) => self.expr(a),
+            Expr::Unary(_, a) | Expr::Deref(a) | Expr::AddrOf(a) | Expr::Cast(_, a, _) => {
+                self.expr(a)
+            }
             Expr::Member(a, _) | Expr::Arrow(a, _) => self.expr(a),
             Expr::Malloc(n, _) => self.expr(n),
             Expr::Int(_) | Expr::Float(_) | Expr::Sizeof(_) => Ok(()),

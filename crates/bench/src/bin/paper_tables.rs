@@ -7,7 +7,12 @@
 //! ```
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
-//! `overhead`, `ablation`, `pipeline`, `faults`, `all`.
+//! `overhead`, `ablation`, `pipeline`, `faults`, `lint`, `all`.
+//!
+//! `lint` runs the analyzer's registry and portability audits over the
+//! three paper workloads frozen at their migration points. With
+//! `--deny`, any warning- or error-level finding exits 1 — the CI lint
+//! gate for workloads.
 //!
 //! `faults` sweeps seeded fault plans through the resilient driver:
 //! a recovery-overhead-vs-fault-rate table plus a replay of the CI soak
@@ -43,6 +48,11 @@ fn main() {
             std::process::exit(2);
         }
         json_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let mut deny = false;
+    if let Some(i) = args.iter().position(|a| a == "--deny") {
+        deny = true;
         args.remove(i);
     }
     let mut seed_count = 8u64;
@@ -89,6 +99,9 @@ fn main() {
     }
     if want("faults") {
         faults(seed_count);
+    }
+    if want("lint") {
+        lint(deny);
     }
     if let Some(path) = trace_out {
         trace(&path);
@@ -167,6 +180,32 @@ fn faults(seed_count: u64) {
         );
     }
     println!("(answers verified against an unmigrated run; a panic here fails CI)");
+}
+
+fn lint(deny: bool) {
+    hr("Migration-safety analyzer — workloads frozen at their migration points");
+    println!(
+        "{:<16} {:>18} {:>6} {:>10} {:>8} {:>10} {:>7}",
+        "workload", "registry-findings", "info", "warnings", "errors", "wall(s)", "clean"
+    );
+    let rows = lint_rows();
+    for r in &rows {
+        println!(
+            "{:<16} {:>18} {:>6} {:>10} {:>8} {:>10} {:>7}",
+            r.label,
+            r.registry_findings,
+            r.info,
+            r.warnings,
+            r.errors,
+            secs(r.wall),
+            r.clean()
+        );
+    }
+    println!("(registry audit of the live MSRLT + TI-table portability audit, all preset pairs)");
+    if deny && rows.iter().any(|r| !r.clean()) {
+        eprintln!("paper_tables lint: deny: workload findings at warning severity or above");
+        std::process::exit(1);
+    }
 }
 
 fn short_rev() -> String {

@@ -771,10 +771,68 @@ pub const CI_SOAK_SEEDS: [u64; 3] = [
     0x50AC_0000_0000_0018, // severs the link at chunk 9: forces source-resume
 ];
 
+/// One workload through the analyzer's non-source pass families: the
+/// pre-flight registry audit of the frozen process's live MSRLT, plus
+/// the portability audit of its TI table against every preset pair.
+#[derive(Debug, Clone)]
+pub struct LintRow {
+    /// Workload label.
+    pub label: String,
+    /// Registry-audit findings (all deny-level if nonzero).
+    pub registry_findings: u64,
+    /// Info-level findings.
+    pub info: u64,
+    /// Warning-level findings.
+    pub warnings: u64,
+    /// Error-level findings.
+    pub errors: u64,
+    /// Analyzer wall time (audit + report build).
+    pub wall: Duration,
+}
+
+impl LintRow {
+    /// Whether the workload passes the CI deny gate (no warnings or
+    /// errors).
+    pub fn clean(&self) -> bool {
+        self.warnings == 0 && self.errors == 0
+    }
+}
+
+/// Audit the three paper workloads, each frozen at its migration point.
+/// These must all come back [`LintRow::clean`] — the CI lint gate
+/// refuses new findings here.
+pub fn lint_rows() -> Vec<LintRow> {
+    let frozen = [
+        ("test_pointer", freeze_test_pointer()),
+        ("linpack_600", freeze_linpack(600)),
+        ("bitonic_20000", freeze_bitonic(20_000)),
+    ];
+    frozen
+        .into_iter()
+        .map(|(label, mut src)| {
+            let t0 = Instant::now();
+            let (findings, _stats) = src.preflight_audit().expect("registry audit runs");
+            let mut report = hpm_lint::registry_report(&findings, label);
+            report.merge(hpm_lint::audit_table(src.proc.space.types(), label));
+            report.finish();
+            let wall = t0.elapsed();
+            LintRow {
+                label: label.to_string(),
+                registry_findings: findings.len() as u64,
+                info: report.count(hpm_lint::Severity::Info) as u64,
+                warnings: report.count(hpm_lint::Severity::Warning) as u64,
+                errors: report.count(hpm_lint::Severity::Error) as u64,
+                wall,
+            }
+        })
+        .collect()
+}
+
 /// Machine-readable per-workload benchmark summary (the `BENCH_<rev>.json`
 /// artifact): Collect/Tx/Restore nanos, search counters, and the MSRLT
 /// translation-cache hit rate, on the Table 1 testbed — plus the
-/// recovery-overhead-vs-fault-rate sweep on the 10 Mb/s link.
+/// recovery-overhead-vs-fault-rate sweep on the 10 Mb/s link and the
+/// per-workload analyzer findings.
 pub fn bench_json(revision: &str) -> String {
     let link = NetworkModel::ethernet_100();
     let rows = [
@@ -829,6 +887,22 @@ pub fn bench_json(revision: &str) -> String {
             r.mean_overhead.as_nanos(),
             r.overhead_pct,
             if i + 1 == frows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"lint\": [\n");
+    let lrows = lint_rows();
+    for (i, r) in lrows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"registry_findings\": {}, \"info\": {}, \
+             \"warnings\": {}, \"errors\": {}, \"wall_ns\": {}}}{}\n",
+            r.label,
+            r.registry_findings,
+            r.info,
+            r.warnings,
+            r.errors,
+            r.wall.as_nanos(),
+            if i + 1 == lrows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -27,6 +27,7 @@
 //! the same stream produced on a little-endian ILP32 machine restores on a
 //! big-endian LP64 machine.
 
+pub mod audit;
 pub mod collect;
 pub mod fingerprint;
 pub mod graph;
@@ -35,6 +36,7 @@ pub mod msrlt;
 pub mod restore;
 pub mod stream;
 
+pub use audit::{audit_registry, RegistryAuditStats, RegistryFinding};
 pub use collect::{ChunkSink, CollectStats, Collector, MarkStrategy};
 pub use fingerprint::type_fingerprint;
 pub use graph::{MsrEdge, MsrGraph, MsrVertex};

@@ -1,0 +1,19 @@
+// Control: a migration-safe unit. No directives — this file must lint
+// clean at the deny threshold.
+struct acc {
+  int sum;
+  int count;
+};
+
+int main() {
+  struct acc a;
+  int i;
+  a.sum = 0;
+  a.count = 0;
+  for (i = 0; i < 16; i++) {
+    a.sum = a.sum + i;
+    a.count = a.count + 1;
+  }
+  print(a.sum);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Seeded-waste: `scratch` is collected at every poll-point but no MSR
+// root can reach it — a dead-block elision candidate (informational).
+// expect: HPM012
+int main() {
+  int scratch[64];
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 100; i++) {
+    s = s + i;
+  }
+  print(s);
+  return 0;
+}

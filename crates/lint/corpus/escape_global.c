@@ -1,0 +1,17 @@
+// Seeded-unsafe: a stack address stored in a global outlives its
+// frame; after the frame pops the MSRLT no longer registers the
+// target, so migration would collect an untranslatable pointer.
+// expect: HPM010
+int *leak;
+
+void stash() {
+  int t;
+  t = 5;
+  leak = &t;
+}
+
+int main() {
+  stash();
+  print(0);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Seeded-unsafe: code addresses are not portable across machines.
+// expect: HPM005
+int twice(int x) {
+  return x + x;
+}
+
+int main() {
+  int (*fp)(int);
+  fp = twice;
+  return fp(21);
+}

@@ -1,0 +1,10 @@
+// Seeded-unsafe: goto breaks resume-point dominance. (No label target:
+// the screen rejects the statement itself, and mini-C's lexer has no
+// label syntax at all.)
+// expect: HPM002
+int main() {
+  int x;
+  x = 0;
+  goto done;
+  return x;
+}

@@ -1,0 +1,21 @@
+// Seeded-unsafe: reinterpreting a block under a different plan makes
+// the TI table restore it with the wrong element sequence.
+// expect: HPM008
+struct point {
+  int x;
+  int y;
+};
+
+struct speck {
+  double wavelength;
+};
+
+int main() {
+  struct point pt;
+  struct speck *sp;
+  pt.x = 1;
+  pt.y = 2;
+  sp = (struct speck *) &pt;
+  print(pt.x);
+  return 0;
+}

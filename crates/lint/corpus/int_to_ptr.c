@@ -1,0 +1,8 @@
+// Seeded-unsafe: a pointer forged from an integer is untranslatable.
+// expect: HPM007
+int main() {
+  int *p;
+  p = (int *) 4096;
+  print(0);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Seeded-portability: a struct with a `long` field is 8 bytes on the
+// LP64 preset but 4 on every ILP32 preset; large values truncate in
+// conversion.
+// expect: HPM021
+struct wide {
+  long big;
+};
+
+int main() {
+  struct wide w;
+  w.big = 123456;
+  print(w.big);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Seeded-portability: a pointer-bearing struct. Migrating from the
+// LP64 preset to any ILP32 preset narrows the pointer leaf (benign —
+// the MSRLT ships logical ids) and shifts field offsets (benign — the
+// wire format is leaf-ordered). Both are informational.
+// expect: HPM020
+// expect: HPM023
+struct list {
+  int v;
+  struct list *next;
+};
+
+int main() {
+  struct list head;
+  head.v = 1;
+  head.next = (struct list *) malloc(sizeof(struct list));
+  print(head.v);
+  return 0;
+}

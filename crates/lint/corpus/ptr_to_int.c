@@ -1,0 +1,13 @@
+// Seeded-unsafe: a pointer laundered through an integer defeats the
+// MSRLT's pointer translation.
+// expect: HPM006
+int main() {
+  int x;
+  int *p;
+  int addr;
+  x = 7;
+  p = &x;
+  addr = (int) p;
+  print(addr);
+  return 0;
+}

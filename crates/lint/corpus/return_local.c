@@ -1,0 +1,15 @@
+// Seeded-unsafe: returning the address of an own local; the block is
+// deregistered the moment the frame pops.
+// expect: HPM011
+int *grab() {
+  int t;
+  t = 9;
+  return &t;
+}
+
+int main() {
+  int *p;
+  p = grab();
+  print(0);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Seeded-unsafe: switch fall-through complicates resume points. (No
+// case labels: the screen rejects the statement itself, and mini-C's
+// lexer has no label syntax at all.)
+// expect: HPM003
+int main() {
+  int x;
+  x = 2;
+  switch (x) {
+  }
+  return x;
+}

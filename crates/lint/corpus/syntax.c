@@ -1,0 +1,7 @@
+// Seeded-unsafe: does not parse (missing semicolon).
+// expect: HPM009
+int main() {
+  int x
+  x = 1;
+  return x;
+}

@@ -1,0 +1,21 @@
+// Seeded-unsafe: the escape is two calls deep — `keep` leaks its
+// parameter into a global, `wrap` forwards its own parameter, and the
+// address of a local is what flows in at the top.
+// expect: HPM010
+int *cell;
+
+void keep(int *p) {
+  cell = p;
+}
+
+void wrap(int *q) {
+  keep(q);
+}
+
+int main() {
+  int v;
+  v = 3;
+  wrap(&v);
+  print(v);
+  return 0;
+}

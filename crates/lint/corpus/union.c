@@ -1,0 +1,10 @@
+// Seeded-unsafe: a union's live variant is unknowable at migration time.
+// expect: HPM001
+union tag {
+  int i;
+  float f;
+};
+
+int main() {
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Seeded-unsafe: a struct containing itself by value; plan compilation
+// has no cycle guard and would never terminate.
+// expect: HPM022
+struct n {
+  int v;
+  struct n next;
+};
+
+int main() {
+  print(0);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Seeded-unsafe: variadic call sites have unknown live data.
+// expect: HPM004
+int sum(int n, ...) {
+  return n;
+}
+
+int main() {
+  return sum(2, 3, 4);
+}

@@ -1,0 +1,536 @@
+//! Interprocedural pointer-escape analysis over mini-C.
+//!
+//! The MSRLT registers a frame's locals only while the frame is live;
+//! when it pops, their logical ids disappear. A pointer that still holds
+//! a popped local's address at a later migration point is untranslatable
+//! — `Save_pointer` would abort with an unregistered-pointer error. This
+//! pass finds those pointers statically:
+//!
+//! * **HPM010** — a stack address *escapes* its frame: assigned to a
+//!   global pointer, stored through a pointer (into memory that may
+//!   outlive the frame), or passed to a callee that (transitively) leaks
+//!   its parameter.
+//! * **HPM011** — a function returns the address of one of its own
+//!   locals: the canonical dangling pointer.
+//!
+//! The analysis is flow-insensitive within a function and interprocedural
+//! across them: each function gets a summary — which parameter values it
+//! leaks, which it returns, whether it returns its own stack — and
+//! summaries are iterated to a fixpoint over the (possibly recursive)
+//! call graph before findings are emitted.
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use hpm_annotate::ast::{Expr, Function, Program, Span, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the analysis knows about one function, independent of callers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Parameter indices whose *value* (assumed to be an address) escapes
+    /// into a global or through a pointer store, directly or via callees.
+    pub leaks_param: BTreeSet<usize>,
+    /// Parameter indices whose value flows into the return value.
+    pub returns_param: BTreeSet<usize>,
+    /// Whether the function returns the address of one of its own
+    /// locals or parameters.
+    pub returns_local_addr: bool,
+}
+
+/// Where a name is declared, from a function's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Global,
+    Param(usize),
+    Local,
+}
+
+/// The (addresses-of-own-locals, values-of-own-params) a value
+/// expression may carry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Carried {
+    addrs: BTreeSet<String>,
+    params: BTreeSet<usize>,
+}
+
+impl Carried {
+    fn is_empty(&self) -> bool {
+        self.addrs.is_empty() && self.params.is_empty()
+    }
+
+    fn union(&mut self, other: Carried) {
+        self.addrs.extend(other.addrs);
+        self.params.extend(other.params);
+    }
+}
+
+/// Per-function analysis state: what each variable may hold.
+#[derive(Debug, Default)]
+struct FnState {
+    kinds: BTreeMap<String, VarKind>,
+    holds: BTreeMap<String, Carried>,
+}
+
+impl FnState {
+    fn build(program: &Program, f: &Function) -> FnState {
+        let mut kinds = BTreeMap::new();
+        for g in &program.globals {
+            kinds.insert(g.name.clone(), VarKind::Global);
+        }
+        for (i, p) in f.params.iter().enumerate() {
+            kinds.insert(p.name.clone(), VarKind::Param(i));
+        }
+        for l in &f.locals {
+            kinds.insert(l.name.clone(), VarKind::Local);
+        }
+        FnState {
+            kinds,
+            holds: BTreeMap::new(),
+        }
+    }
+
+    /// The base variable of an lvalue whose address `&lv` refers to the
+    /// current frame. `&p->f` and `&*p` point at the pointee (heap or
+    /// elsewhere), not this frame.
+    fn frame_addr_base<'e>(&self, e: &'e Expr) -> Option<&'e str> {
+        match e {
+            Expr::Ident(n) => match self.kinds.get(n) {
+                Some(VarKind::Local) | Some(VarKind::Param(_)) => Some(n),
+                _ => None,
+            },
+            Expr::Index(base, _) | Expr::Member(base, _) => self.frame_addr_base(base),
+            _ => None,
+        }
+    }
+
+    /// What `e` may carry, under the current `holds` map and the current
+    /// summaries of every callee.
+    fn carried(&self, e: &Expr, summaries: &BTreeMap<String, FnSummary>) -> Carried {
+        let mut c = Carried::default();
+        match e {
+            Expr::AddrOf(inner) => {
+                if let Some(base) = self.frame_addr_base(inner) {
+                    c.addrs.insert(base.to_string());
+                }
+            }
+            Expr::Ident(n) => {
+                if let Some(VarKind::Param(i)) = self.kinds.get(n) {
+                    c.params.insert(*i);
+                }
+                if let Some(h) = self.holds.get(n) {
+                    c.union(h.clone());
+                }
+            }
+            Expr::Cast(_, inner, _) => c = self.carried(inner, summaries),
+            Expr::Binary(_, a, b) => {
+                c = self.carried(a, summaries);
+                c.union(self.carried(b, summaries));
+            }
+            Expr::Call(name, args) => {
+                if let Some(s) = summaries.get(name) {
+                    for &i in &s.returns_param {
+                        if let Some(arg) = args.get(i) {
+                            c.union(self.carried(arg, summaries));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        c
+    }
+}
+
+/// Run the whole-program escape analysis and report HPM010/HPM011.
+pub fn analyze(program: &Program, unit: &str) -> Report {
+    let summaries = solve_summaries(program);
+    let mut report = Report::new();
+    for f in &program.functions {
+        scan_function(program, f, &summaries, unit, Some(&mut report));
+    }
+    report
+}
+
+/// Compute every function's [`FnSummary`] to a fixpoint.
+pub fn solve_summaries(program: &Program) -> BTreeMap<String, FnSummary> {
+    let mut summaries: BTreeMap<String, FnSummary> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), FnSummary::default()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in &program.functions {
+            let next = scan_function(program, f, &summaries, "", None);
+            if summaries.get(&f.name) != Some(&next) {
+                summaries.insert(f.name.clone(), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            return summaries;
+        }
+    }
+}
+
+/// Analyze one function. With `report` set, emits diagnostics; always
+/// returns the function's summary under the given callee summaries.
+fn scan_function(
+    program: &Program,
+    f: &Function,
+    summaries: &BTreeMap<String, FnSummary>,
+    unit: &str,
+    mut report: Option<&mut Report>,
+) -> FnSummary {
+    let mut st = FnState::build(program, f);
+    let mut summary = FnSummary::default();
+    // Inner fixpoint: `holds` is flow-insensitive, so re-walk the body
+    // until no variable's carried set grows (loops feed assignments back).
+    loop {
+        let before = st.holds.clone();
+        for s in &f.body {
+            walk_stmt(s, &mut st, &mut summary, summaries, f, unit, &mut None);
+        }
+        if st.holds == before {
+            break;
+        }
+    }
+    // Findings pass: state is stable, emit each site once.
+    if report.is_some() {
+        for s in &f.body {
+            walk_stmt(s, &mut st, &mut summary, summaries, f, unit, &mut report);
+        }
+    }
+    summary
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_stmt(
+    s: &Stmt,
+    st: &mut FnState,
+    summary: &mut FnSummary,
+    summaries: &BTreeMap<String, FnSummary>,
+    f: &Function,
+    unit: &str,
+    report: &mut Option<&mut Report>,
+) {
+    match s {
+        Stmt::Assign {
+            target,
+            value,
+            line,
+        } => {
+            let carried = st.carried(value, summaries);
+            scan_calls(value, st, summary, summaries, f, unit, *line, report);
+            match target {
+                Expr::Ident(n) => match st.kinds.get(n).copied() {
+                    Some(VarKind::Global) => {
+                        if !carried.addrs.is_empty() {
+                            emit(
+                                report,
+                                LintCode::EscapingStackAddress,
+                                unit,
+                                *line,
+                                format!(
+                                    "address of local '{}' escapes {} into global '{n}'; its \
+                                     block unregisters when the frame pops",
+                                    carried.addrs.iter().next().unwrap(),
+                                    f.name,
+                                ),
+                            );
+                        }
+                        summary.leaks_param.extend(carried.params.iter());
+                    }
+                    Some(VarKind::Local) | Some(VarKind::Param(_)) => {
+                        st.holds.entry(n.clone()).or_default().union(carried);
+                    }
+                    None => {}
+                },
+                // `s.f = v` / `a[i] = v` on a frame-local aggregate keeps
+                // the address in this frame; `*p = v` / `p->f = v` stores
+                // it into memory that may outlive the frame.
+                Expr::Member(base, _) | Expr::Index(base, _) => {
+                    if let Some(b) = st.frame_addr_base(base) {
+                        let b = b.to_string();
+                        st.holds.entry(b).or_default().union(carried);
+                    } else if !carried.is_empty() {
+                        store_escape(&carried, st, summary, f, unit, *line, report);
+                    }
+                }
+                Expr::Deref(_) | Expr::Arrow(_, _) if !carried.is_empty() => {
+                    store_escape(&carried, st, summary, f, unit, *line, report);
+                }
+                _ => {}
+            }
+        }
+        Stmt::Expr { expr, line } => {
+            scan_calls(expr, st, summary, summaries, f, unit, *line, report)
+        }
+        Stmt::Return { value, line } => {
+            if let Some(v) = value {
+                scan_calls(v, st, summary, summaries, f, unit, *line, report);
+                let carried = st.carried(v, summaries);
+                if !carried.addrs.is_empty() {
+                    summary.returns_local_addr = true;
+                    emit(
+                        report,
+                        LintCode::ReturnsLocalAddress,
+                        unit,
+                        *line,
+                        format!(
+                            "{} returns the address of local '{}'",
+                            f.name,
+                            carried.addrs.iter().next().unwrap()
+                        ),
+                    );
+                }
+                summary.returns_param.extend(carried.params.iter());
+            }
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        } => {
+            scan_calls(cond, st, summary, summaries, f, unit, *line, report);
+            for s in then_body.iter().chain(else_body) {
+                walk_stmt(s, st, summary, summaries, f, unit, report);
+            }
+        }
+        Stmt::While { cond, body, line } => {
+            scan_calls(cond, st, summary, summaries, f, unit, *line, report);
+            for s in body {
+                walk_stmt(s, st, summary, summaries, f, unit, report);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            line,
+        } => {
+            if let Some(i) = init {
+                walk_stmt(i, st, summary, summaries, f, unit, report);
+            }
+            if let Some(c) = cond {
+                scan_calls(c, st, summary, summaries, f, unit, *line, report);
+            }
+            if let Some(sp) = step {
+                walk_stmt(sp, st, summary, summaries, f, unit, report);
+            }
+            for s in body {
+                walk_stmt(s, st, summary, summaries, f, unit, report);
+            }
+        }
+        Stmt::Free { ptr, line } => scan_calls(ptr, st, summary, summaries, f, unit, *line, report),
+        Stmt::Print { value, line, .. } => {
+            scan_calls(value, st, summary, summaries, f, unit, *line, report)
+        }
+        Stmt::Break { .. } | Stmt::Continue { .. } => {}
+    }
+}
+
+/// A stack address was stored through a pointer: the target memory may
+/// be heap or global, outliving the frame.
+fn store_escape(
+    carried: &Carried,
+    _st: &FnState,
+    summary: &mut FnSummary,
+    f: &Function,
+    unit: &str,
+    line: u32,
+    report: &mut Option<&mut Report>,
+) {
+    if !carried.addrs.is_empty() {
+        emit(
+            report,
+            LintCode::EscapingStackAddress,
+            unit,
+            line,
+            format!(
+                "address of local '{}' in {} is stored through a pointer and may outlive \
+                 the frame",
+                carried.addrs.iter().next().unwrap(),
+                f.name,
+            ),
+        );
+    }
+    summary.leaks_param.extend(carried.params.iter());
+}
+
+/// Visit every call inside `e`, applying callee summaries to arguments.
+#[allow(clippy::too_many_arguments)]
+fn scan_calls(
+    e: &Expr,
+    st: &mut FnState,
+    summary: &mut FnSummary,
+    summaries: &BTreeMap<String, FnSummary>,
+    f: &Function,
+    unit: &str,
+    line: u32,
+    report: &mut Option<&mut Report>,
+) {
+    match e {
+        Expr::Call(name, args) => {
+            if let Some(callee) = summaries.get(name) {
+                for &i in &callee.leaks_param {
+                    if let Some(arg) = args.get(i) {
+                        let carried = st.carried(arg, summaries);
+                        if !carried.addrs.is_empty() {
+                            emit(
+                                report,
+                                LintCode::EscapingStackAddress,
+                                unit,
+                                line,
+                                format!(
+                                    "address of local '{}' escapes {} through call to {name} \
+                                     (parameter {i} leaks)",
+                                    carried.addrs.iter().next().unwrap(),
+                                    f.name,
+                                ),
+                            );
+                        }
+                        summary.leaks_param.extend(carried.params.iter());
+                    }
+                }
+            }
+            for a in args {
+                scan_calls(a, st, summary, summaries, f, unit, line, report);
+            }
+        }
+        Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+            scan_calls(a, st, summary, summaries, f, unit, line, report);
+            scan_calls(b, st, summary, summaries, f, unit, line, report);
+        }
+        Expr::Unary(_, a)
+        | Expr::Deref(a)
+        | Expr::AddrOf(a)
+        | Expr::Cast(_, a, _)
+        | Expr::Malloc(a, _)
+        | Expr::Member(a, _)
+        | Expr::Arrow(a, _) => scan_calls(a, st, summary, summaries, f, unit, line, report),
+        Expr::Int(_) | Expr::Float(_) | Expr::Ident(_) | Expr::Sizeof(_) => {}
+    }
+}
+
+fn emit(report: &mut Option<&mut Report>, code: LintCode, unit: &str, line: u32, msg: String) {
+    if let Some(r) = report.as_deref_mut() {
+        r.push(Diagnostic::new(code, unit, Some(Span::new(line, 1)), msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_annotate::parser::parse;
+
+    fn lint(src: &str) -> Report {
+        let p = parse(src).unwrap();
+        let mut r = analyze(&p, "t.c");
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn direct_global_escape_flagged() {
+        let r = lint(
+            "int *g;\n\
+             int main() { int x; x = 1; g = &x; print(x); return 0; }",
+        );
+        assert!(r.has_code(LintCode::EscapingStackAddress), "{r:?}");
+    }
+
+    #[test]
+    fn transitive_escape_through_callee() {
+        let r = lint(
+            "int *g;\n\
+             void keep(int *p) { g = p; }\n\
+             void relay(int *q) { keep(q); }\n\
+             int main() { int x; x = 1; relay(&x); print(x); return 0; }",
+        );
+        // The leak is two calls deep: relay -> keep -> global.
+        let hits: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::EscapingStackAddress)
+            .collect();
+        assert!(hits.iter().any(|d| d.message.contains("relay")), "{hits:?}");
+    }
+
+    #[test]
+    fn return_local_addr_flagged() {
+        let r = lint(
+            "int *make() { int v; v = 3; return &v; }\n\
+             int main() { int *p; p = make(); print(*p); return 0; }",
+        );
+        assert!(r.has_code(LintCode::ReturnsLocalAddress), "{r:?}");
+    }
+
+    #[test]
+    fn returned_param_traced_back_to_caller_global() {
+        // id() returns its parameter; main stores id(&x) into a global.
+        let r = lint(
+            "int *g;\n\
+             int *id(int *p) { return p; }\n\
+             int main() { int x; x = 1; g = id(&x); print(x); return 0; }",
+        );
+        assert!(r.has_code(LintCode::EscapingStackAddress), "{r:?}");
+        assert!(!r.has_code(LintCode::ReturnsLocalAddress), "{r:?}");
+    }
+
+    #[test]
+    fn heap_addresses_do_not_trip_the_pass() {
+        let r = lint(
+            "struct n { int v; struct n *next; };\n\
+             struct n *head;\n\
+             int main() {\n\
+               struct n *p;\n\
+               p = (struct n *) malloc(sizeof(struct n));\n\
+               p->next = head;\n\
+               head = p;\n\
+               print(0);\n\
+               return 0;\n\
+             }",
+        );
+        assert!(!r.has_code(LintCode::EscapingStackAddress), "{r:?}");
+        assert!(!r.has_code(LintCode::ReturnsLocalAddress), "{r:?}");
+    }
+
+    #[test]
+    fn local_struct_member_store_is_not_an_escape() {
+        let r = lint(
+            "struct pair { int *a; int *b; };\n\
+             int main() { struct pair q; int x; x = 1; q.a = &x; print(*q.a); return 0; }",
+        );
+        assert!(!r.has_code(LintCode::EscapingStackAddress), "{r:?}");
+    }
+
+    #[test]
+    fn store_through_heap_pointer_flagged() {
+        let r = lint(
+            "struct cell { int *ref; };\n\
+             int main() {\n\
+               struct cell *c;\n\
+               int x;\n\
+               x = 1;\n\
+               c = (struct cell *) malloc(sizeof(struct cell));\n\
+               c->ref = &x;\n\
+               print(x);\n\
+               return 0;\n\
+             }",
+        );
+        assert!(r.has_code(LintCode::EscapingStackAddress), "{r:?}");
+    }
+
+    #[test]
+    fn recursive_functions_reach_fixpoint() {
+        let r = lint(
+            "int *g;\n\
+             void a(int *p, int n) { if (n > 0) { b(p, n - 1); } }\n\
+             void b(int *q, int m) { if (m > 0) { a(q, m - 1); } g = q; }\n\
+             int main() { int x; x = 1; a(&x, 3); print(x); return 0; }",
+        );
+        assert!(r.has_code(LintCode::EscapingStackAddress), "{r:?}");
+    }
+}

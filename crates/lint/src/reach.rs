@@ -1,0 +1,180 @@
+//! Per-poll-point reachability: dead-block elision candidates.
+//!
+//! The pre-compiler is conservative: every address-taken variable and
+//! every aggregate (array- or struct-valued) local is *always live*, so
+//! it is registered and collected at every poll-point whether or not the
+//! computation beyond that point can reach it. This pass finds blocks
+//! where the conservatism is provably wasted:
+//!
+//! * the block is in the always-live set (it will be collected), but
+//! * the dataflow analysis says it is neither live-in nor live-out at
+//!   the poll-point, and
+//! * its address is never taken, so no pointer — and therefore no MSR
+//!   root — can reach it.
+//!
+//! Such a block (`HPM012`, informational) could be elided from the
+//! migration image at that poll-point, shrinking the paper's ΣDᵢ term
+//! with no change in observable behavior.
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use hpm_annotate::ast::{Program, Span, TypeExpr};
+use hpm_annotate::cfg::{Cfg, NodeKind, ENTRY};
+use hpm_annotate::liveness;
+
+/// Report every (poll-point, dead block) pair in the program.
+pub fn analyze(program: &Program, unit: &str) -> Report {
+    let mut report = Report::new();
+    for f in &program.functions {
+        let cfg = Cfg::build(f);
+        let live = liveness::solve(f, &cfg);
+        // Only conservatively-live aggregates qualify: scalars are saved
+        // by the dataflow live set alone, and address-taken blocks are
+        // genuinely reachable through pointers.
+        let candidates: Vec<&str> = f
+            .params
+            .iter()
+            .chain(&f.locals)
+            .filter(|d| d.array.is_some() || matches!(d.ty, TypeExpr::Struct(_)))
+            .map(|d| d.name.as_str())
+            .filter(|n| !cfg.addr_taken.contains(*n))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        for (node, kind) in poll_points(&cfg) {
+            let line = cfg.nodes[node].line;
+            for name in &candidates {
+                let dead =
+                    !live.live_in[node].contains(*name) && !live.live_out[node].contains(*name);
+                if dead {
+                    let site = match &kind {
+                        NodeKind::Entry => format!("entry of {}", f.name),
+                        _ => format!("loop header in {} (line {line})", f.name),
+                    };
+                    report.push(Diagnostic::new(
+                        LintCode::DeadBlockAtPoll,
+                        unit,
+                        Some(Span::new(line, 1)),
+                        format!(
+                            "block '{name}' is collected at the {site} poll-point but is \
+                             unreachable from every MSR root there; dead-block elision \
+                             candidate"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Poll-point candidates: function entry and loop headers (the sites the
+/// annotator instruments).
+fn poll_points(cfg: &Cfg) -> Vec<(usize, NodeKind)> {
+    cfg.nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| *i == ENTRY || matches!(n.kind, NodeKind::LoopHeader))
+        .map(|(i, n)| (i, n.kind.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_annotate::parser::parse;
+
+    fn lint(src: &str) -> Report {
+        let p = parse(src).unwrap();
+        let mut r = analyze(&p, "t.c");
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn unused_array_flagged_at_loop_poll() {
+        let r = lint(
+            "int main() {\n\
+               int scratch[64];\n\
+               int i;\n\
+               int s;\n\
+               s = 0;\n\
+               for (i = 0; i < 100; i++) { s = s + i; }\n\
+               print(s);\n\
+               return 0;\n\
+             }",
+        );
+        assert!(r.has_code(LintCode::DeadBlockAtPoll), "{r:?}");
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::DeadBlockAtPoll)
+            .unwrap();
+        assert!(d.message.contains("scratch"), "{}", d.message);
+    }
+
+    #[test]
+    fn used_array_not_flagged() {
+        let r = lint(
+            "int main() {\n\
+               int data[8];\n\
+               int i;\n\
+               int s;\n\
+               s = 0;\n\
+               for (i = 0; i < 8; i++) { data[i] = i; }\n\
+               for (i = 0; i < 8; i++) { s = s + data[i]; }\n\
+               print(s);\n\
+               return 0;\n\
+             }",
+        );
+        assert!(!r.has_code(LintCode::DeadBlockAtPoll), "{r:?}");
+    }
+
+    #[test]
+    fn address_taken_aggregate_not_flagged() {
+        // `buf` is handed to a callee by pointer: reachable from an MSR
+        // root, so never an elision candidate even where dataflow-dead.
+        let r = lint(
+            "void fill(int *p) { *p = 1; }\n\
+             int main() {\n\
+               int buf[4];\n\
+               int i;\n\
+               fill(&buf[0]);\n\
+               for (i = 0; i < 3; i++) { print(i); }\n\
+               return 0;\n\
+             }",
+        );
+        assert!(
+            !r.diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::DeadBlockAtPoll && d.message.contains("buf")),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn array_dead_after_last_use_flagged_at_later_poll() {
+        // `data` is used in the first loop only; at the second loop's
+        // poll-point it is dead and elidable.
+        let r = lint(
+            "int main() {\n\
+               int data[8];\n\
+               int i;\n\
+               int s;\n\
+               s = 0;\n\
+               for (i = 0; i < 8; i++) { s = s + i; data[i] = s; }\n\
+               print(data[7]);\n\
+               for (i = 0; i < 4; i++) { s = s + 1; }\n\
+               print(s);\n\
+               return 0;\n\
+             }",
+        );
+        let hits: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::DeadBlockAtPoll)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].span.unwrap().line, 8);
+    }
+}

@@ -119,7 +119,7 @@ impl TwoMachineCluster {
                     "source completed before the migration request arrived".into(),
                 ));
             }
-            let (image, collect_time, _stats, _exec) = collect_image(ctx)?;
+            let (image, collect_time, _stats, _exec, _audit) = collect_image(ctx)?;
             let polls = proc.poll_count();
             src_end.send(image)?;
             // "After successful transmission, the migrating process

@@ -15,7 +15,8 @@ use crate::{Flow, MigError};
 use hpm_arch::Architecture;
 use hpm_core::image::{frame_image, frame_image_prefix, unframe_image, ImageHeader};
 use hpm_core::{
-    ChunkPayload, ChunkSource, CollectStats, CoreError, MsrltStats, RestoreStats, IMAGE_VERSION,
+    audit_registry, ChunkPayload, ChunkSource, CollectStats, CoreError, MsrltStats,
+    RegistryAuditStats, RegistryFinding, RestoreStats, IMAGE_VERSION,
 };
 use hpm_net::{
     channel_pair, ArqConfig, ArqSenderStats, ChunkReceiver, ChunkSender, FaultPlan, FaultStats,
@@ -61,6 +62,9 @@ pub struct MigrationReport {
     /// Fault-recovery measurements, for runs through
     /// [`run_migrating_resilient`]; `None` otherwise.
     pub recovery: Option<RecoveryStats>,
+    /// Pre-flight registry-audit counters, for drivers that audit the
+    /// MSRLT snapshot before collecting; `None` for paths that skip it.
+    pub registry_audit: Option<RegistryAuditStats>,
 }
 
 impl MigrationReport {
@@ -88,6 +92,9 @@ impl MigrationReport {
         }
         if let Some(r) = &self.recovery {
             groups.push(snapshot(r));
+        }
+        if let Some(a) = &self.registry_audit {
+            groups.push(snapshot(a));
         }
         groups
     }
@@ -165,6 +172,15 @@ impl MigratedSource {
         collect_pending(&mut self.proc, &self.pending)
     }
 
+    /// Audit the frozen process's MSRLT snapshot without collecting —
+    /// the same pre-flight check the migrating drivers run, exposed for
+    /// benchmarks and `hpm-lint`'s runtime-registry pass.
+    pub fn preflight_audit(
+        &mut self,
+    ) -> Result<(Vec<RegistryFinding>, RegistryAuditStats), MigError> {
+        preflight_audit(&mut self.proc)
+    }
+
     /// Frame a complete migration image from a fresh collection.
     pub fn to_image(&mut self) -> Result<Vec<u8>, MigError> {
         let (payload, exec, _) = self.collect()?;
@@ -209,11 +225,46 @@ impl MigratedSource {
     }
 }
 
+/// Run the registry audit over a process's MSRLT snapshot, surfacing
+/// the findings instead of failing. Audit lookups run *before* the
+/// per-migration stat reset, so they never pollute `msrlt.src` counters.
+pub fn preflight_audit(
+    proc: &mut Process,
+) -> Result<(Vec<RegistryFinding>, RegistryAuditStats), MigError> {
+    Ok(audit_registry(&mut proc.space, &mut proc.msrlt)?)
+}
+
+/// Pre-flight gate used by the migrating drivers: audit the registry and
+/// refuse to collect (with [`MigError::Preflight`]) if it is incoherent.
+fn require_clean_registry(proc: &mut Process) -> Result<RegistryAuditStats, MigError> {
+    let (findings, stats) = preflight_audit(proc)?;
+    if findings.is_empty() {
+        Ok(stats)
+    } else {
+        let msg = findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        Err(MigError::Preflight(msg))
+    }
+}
+
 /// Collect a migration image from a process that has unwound for
-/// migration. Returns (image bytes, collect wall time, stats, exec).
+/// migration. Returns (image bytes, collect wall time, stats, exec,
+/// pre-flight audit stats).
 pub fn collect_image(
     ctx: MigCtx<'_>,
-) -> Result<(Vec<u8>, Duration, CollectStats, ExecutionState), MigError> {
+) -> Result<
+    (
+        Vec<u8>,
+        Duration,
+        CollectStats,
+        ExecutionState,
+        RegistryAuditStats,
+    ),
+    MigError,
+> {
     collect_image_traced(ctx, &Tracer::disabled())
 }
 
@@ -222,8 +273,18 @@ pub fn collect_image(
 pub fn collect_image_traced(
     ctx: MigCtx<'_>,
     tracer: &Tracer,
-) -> Result<(Vec<u8>, Duration, CollectStats, ExecutionState), MigError> {
+) -> Result<
+    (
+        Vec<u8>,
+        Duration,
+        CollectStats,
+        ExecutionState,
+        RegistryAuditStats,
+    ),
+    MigError,
+> {
     let (proc, pending) = ctx.into_parts()?;
+    let audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
     let t0 = Instant::now();
     let (payload, exec, stats) = collect_pending_traced(proc, &pending, tracer)?;
@@ -235,7 +296,7 @@ pub fn collect_image_traced(
         program: proc.program().to_string(),
     };
     let image = frame_image(&header, &exec.encode(), &payload);
-    Ok((image, collect_time, stats, exec))
+    Ok((image, collect_time, stats, exec, audit))
 }
 
 /// What [`resume_from_image`] yields: results, the completed process,
@@ -330,7 +391,8 @@ pub fn run_migrating_traced<P: MigratableProgram>(
         ));
     }
     tracer.begin("collect");
-    let (image, collect_time, collect_stats, exec) = collect_image_traced(ctx, tracer)?;
+    let (image, collect_time, collect_stats, exec, registry_audit) =
+        collect_image_traced(ctx, tracer)?;
     tracer.end_args("collect", &[("image_bytes", image.len() as f64)]);
     let src_msrlt = src.msrlt.stats();
     let src_polls = src.poll_count();
@@ -371,6 +433,7 @@ pub fn run_migrating_traced<P: MigratableProgram>(
         trace: None,
         pipeline: None,
         recovery: None,
+        registry_audit: Some(registry_audit),
     };
     if tracer.enabled() {
         let mut log = tracer.take_log();
@@ -538,6 +601,7 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         ));
     }
     let (proc, pending) = ctx.into_parts()?;
+    let registry_audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
 
     let header = ImageHeader {
@@ -704,6 +768,7 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         trace: None,
         pipeline: Some(pipeline),
         recovery: None,
+        registry_audit: Some(registry_audit),
     };
     Ok(MigrationRun {
         report,
@@ -899,6 +964,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         ));
     }
     let (proc, pending) = ctx.into_parts()?;
+    let registry_audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
 
     let header = ImageHeader {
@@ -1112,6 +1178,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
                         fallback_taken: true,
                         ..recovery_base
                     }),
+                    registry_audit: Some(registry_audit),
                 };
                 return Ok(MigrationRun { report, results });
             }
@@ -1154,6 +1221,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         trace: None,
         pipeline: Some(pipeline),
         recovery: Some(recovery_base),
+        registry_audit: Some(registry_audit),
     };
     Ok(MigrationRun {
         report,

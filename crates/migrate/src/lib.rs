@@ -49,10 +49,10 @@ pub use ctx::{
     MigCtx, MigratableProgram, PendingFrame,
 };
 pub use driver::{
-    collect_image, collect_image_traced, resume_from_image, resume_from_image_traced,
-    run_migrating, run_migrating_pipelined, run_migrating_resilient, run_migrating_traced,
-    run_straight, run_to_migration, FallbackPolicy, MigratedSource, MigrationReport, MigrationRun,
-    PipelineConfig, PipelineStats, RecoveryPolicy, RecoveryStats,
+    collect_image, collect_image_traced, preflight_audit, resume_from_image,
+    resume_from_image_traced, run_migrating, run_migrating_pipelined, run_migrating_resilient,
+    run_migrating_traced, run_straight, run_to_migration, FallbackPolicy, MigratedSource,
+    MigrationReport, MigrationRun, PipelineConfig, PipelineStats, RecoveryPolicy, RecoveryStats,
 };
 pub use exec::{ExecutionState, FrameState};
 pub use process::{Process, Trigger};
@@ -77,6 +77,10 @@ pub enum MigError {
     /// The annotated program misused the protocol (wrong enter/leave
     /// nesting, resume mismatch, …).
     Protocol(String),
+    /// The pre-flight registry audit found the MSRLT snapshot incoherent;
+    /// the migration was refused before collection started. The message
+    /// lists every finding, one per line.
+    Preflight(String),
 }
 
 impl From<CoreError> for MigError {
@@ -111,6 +115,7 @@ impl std::fmt::Display for MigError {
             MigError::Xdr(m) => write!(f, "xdr: {m}"),
             MigError::Net(m) => write!(f, "net: {m}"),
             MigError::Protocol(m) => write!(f, "protocol: {m}"),
+            MigError::Preflight(m) => write!(f, "pre-flight registry audit failed: {m}"),
         }
     }
 }
