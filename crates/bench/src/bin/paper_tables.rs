@@ -7,7 +7,14 @@
 //! ```
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
-//! `overhead`, `ablation`, `pipeline`, `faults`, `lint`, `all`.
+//! `overhead`, `ablation`, `translate`, `pipeline`, `faults`, `lint`,
+//! `all`.
+//!
+//! `translate` is the collection-performance gate: it prints the
+//! page-index counters and the parallel-collector identity check for
+//! the three paper workloads, and **always** exits 1 if bitonic's
+//! steps-per-search exceeds 2.0 or any parallel payload diverges from
+//! the sequential one — CI's perf-smoke line.
 //!
 //! `lint` runs the analyzer's registry and portability audits over the
 //! three paper workloads frozen at their migration points. With
@@ -93,6 +100,9 @@ fn main() {
     }
     if want("ablation") {
         ablation();
+    }
+    if want("translate") {
+        translate();
     }
     if want("pipeline") {
         pipeline();
@@ -366,7 +376,8 @@ fn complexity() {
         );
     }
     println!(
-        "(steps/search tracks log2(n): Collect = O(n log n); restore-updates ≈ n: Restore = O(n))"
+        "(page-indexed default: steps/search stays O(1), so Collect = O(n); the binary \
+         fallback's log2(n) term is in `ablation`; restore-updates ≈ n: Restore = O(n))"
     );
 }
 
@@ -397,5 +408,46 @@ fn ablation() {
     );
     for r in ablation_rows() {
         println!("{:<24} {:>12} {:>14}", r.label, secs(r.collect), r.steps);
+    }
+}
+
+fn translate() {
+    hr("Translation performance — page index + parallel collection (gated)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>13} {:>10} {:>11} {:>13} {:>10}",
+        "workload",
+        "bytes",
+        "searches",
+        "steps",
+        "steps/search",
+        "cache-hit",
+        "collect(s)",
+        "parallel(s)",
+        "identical"
+    );
+    let rows = translate_rows();
+    for r in &rows {
+        println!(
+            "{:<16} {:>10} {:>10} {:>12} {:>13.2} {:>9.1}% {:>11} {:>13} {:>10}",
+            r.label,
+            r.payload_bytes,
+            r.searches,
+            r.search_steps,
+            r.steps_per_search,
+            r.cache_hit_rate * 100.0,
+            secs(r.collect),
+            secs(r.parallel_collect),
+            r.parallel_identical
+        );
+    }
+    println!(
+        "(steps/search ≈ 1: every lookup is one page walk — collection's search term is O(n))"
+    );
+    let violations = translate_gate(&rows);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("paper_tables translate: gate: {v}");
+        }
+        std::process::exit(1);
     }
 }

@@ -13,6 +13,7 @@
 //! | §4.2 complexity model | [`complexity_rows`] |
 //! | §4.3 execution overhead | [`overhead_rows`] |
 //! | DESIGN.md ablations | [`ablation_rows`] |
+//! | DESIGN.md §7 translation perf | [`translate_rows`] |
 
 pub mod harness;
 
@@ -487,6 +488,7 @@ pub fn ablation_rows() -> Vec<AblationRow> {
     let n = 8_000u64;
     let mut rows = Vec::new();
     for (label, strategy) in [
+        ("page index", SearchStrategy::PageIndex),
         ("binary search", SearchStrategy::Binary),
         ("linear search", SearchStrategy::Linear),
     ] {
@@ -533,6 +535,100 @@ pub fn ablation_rows() -> Vec<AblationRow> {
         });
     }
     rows
+}
+
+/// One row of the DESIGN.md §7 translation-performance table: the
+/// page-indexed MSRLT under its production configuration (cache on,
+/// bulk encode), plus the sharded parallel collector run against the
+/// same frozen process for a byte-identity check.
+#[derive(Debug, Clone)]
+pub struct TranslateRow {
+    /// Workload label.
+    pub label: String,
+    /// Sequential payload bytes.
+    pub payload_bytes: u64,
+    /// Sequential collection wall time.
+    pub collect: Duration,
+    /// MSRLT searches during the sequential collection.
+    pub searches: u64,
+    /// Total search steps (page walks + fallback comparisons).
+    pub search_steps: u64,
+    /// steps / searches — ≈ 1 when the page index resolves everything.
+    pub steps_per_search: f64,
+    /// Translation-cache hit rate during the sequential collection.
+    pub cache_hit_rate: f64,
+    /// Worker count of the parallel run.
+    pub parallel_workers: u64,
+    /// Parallel collection wall time (claim + encode + splice).
+    pub parallel_collect: Duration,
+    /// Whether the spliced parallel payload is byte-identical to the
+    /// sequential one. Anything but `true` fails the perf gate.
+    pub parallel_identical: bool,
+}
+
+fn translate_row(label: &str, src: &mut MigratedSource, workers: usize) -> TranslateRow {
+    src.proc.msrlt.reset_stats();
+    let t0 = Instant::now();
+    let (seq, _, _) = src.collect().expect("sequential collect");
+    let collect = t0.elapsed();
+    let s = src.proc.msrlt.stats();
+    let t1 = Instant::now();
+    let (par, _, _) = src.collect_parallel(workers).expect("parallel collect");
+    let parallel_collect = t1.elapsed();
+    let cache_total = s.cache_hits + s.cache_misses;
+    TranslateRow {
+        label: label.to_string(),
+        payload_bytes: seq.len() as u64,
+        collect,
+        searches: s.searches,
+        search_steps: s.search_steps,
+        steps_per_search: s.search_steps as f64 / s.searches.max(1) as f64,
+        cache_hit_rate: if cache_total == 0 {
+            0.0
+        } else {
+            s.cache_hits as f64 / cache_total as f64
+        },
+        parallel_workers: workers as u64,
+        parallel_collect,
+        parallel_identical: par == seq,
+    }
+}
+
+/// The DESIGN.md §7 table over the three paper workloads, 4 workers.
+pub fn translate_rows() -> Vec<TranslateRow> {
+    let workers = 4;
+    let mut rows = Vec::new();
+    let mut s = freeze_test_pointer();
+    rows.push(translate_row("test_pointer", &mut s, workers));
+    let mut s = freeze_linpack(600);
+    rows.push(translate_row("linpack_600", &mut s, workers));
+    let mut s = freeze_bitonic(20_000);
+    rows.push(translate_row("bitonic_20000", &mut s, workers));
+    rows
+}
+
+/// The CI perf gate over [`translate_rows`]: returns one message per
+/// violation (empty = pass). The two conditions guard the tentpole
+/// claims — O(1) address translation and an invisible parallel
+/// collector — using counters, not wall clocks, so the gate is stable
+/// on loaded CI runners.
+pub fn translate_gate(rows: &[TranslateRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in rows {
+        if !r.parallel_identical {
+            violations.push(format!(
+                "{}: {}-worker parallel payload diverges from sequential",
+                r.label, r.parallel_workers
+            ));
+        }
+        if r.label == "bitonic_20000" && r.steps_per_search > 2.0 {
+            violations.push(format!(
+                "{}: {:.2} search steps per search (> 2.0) — the page index is not engaged",
+                r.label, r.steps_per_search
+            ));
+        }
+    }
+    violations
 }
 
 /// Monolithic vs pipelined migration on one link.
@@ -831,8 +927,9 @@ pub fn lint_rows() -> Vec<LintRow> {
 /// Machine-readable per-workload benchmark summary (the `BENCH_<rev>.json`
 /// artifact): Collect/Tx/Restore nanos, search counters, and the MSRLT
 /// translation-cache hit rate, on the Table 1 testbed — plus the
-/// recovery-overhead-vs-fault-rate sweep on the 10 Mb/s link and the
-/// per-workload analyzer findings.
+/// translation-performance table (page-index counters and parallel
+/// byte-identity), the recovery-overhead-vs-fault-rate sweep on the
+/// 10 Mb/s link, and the per-workload analyzer findings.
 pub fn bench_json(revision: &str) -> String {
     let link = NetworkModel::ethernet_100();
     let rows = [
@@ -869,6 +966,26 @@ pub fn bench_json(revision: &str) -> String {
             r.search_steps,
             r.cache_hit_rate(),
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"translate\": [\n");
+    let trows = translate_rows();
+    for (i, r) in trows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"searches\": {}, \"search_steps\": {}, \
+             \"steps_per_search\": {:.4}, \"cache_hit_rate\": {:.4}, \"collect_ns\": {}, \
+             \"parallel_workers\": {}, \"parallel_collect_ns\": {}, \"parallel_identical\": {}}}{}\n",
+            r.label,
+            r.searches,
+            r.search_steps,
+            r.steps_per_search,
+            r.cache_hit_rate,
+            r.collect.as_nanos(),
+            r.parallel_workers,
+            r.parallel_collect.as_nanos(),
+            r.parallel_identical,
+            if i + 1 == trows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");

@@ -37,7 +37,7 @@ use hpm_obs::{StatField, StatGroup, Tracer};
 use hpm_types::plan::{PlanOp, SavePlan};
 use hpm_types::TypeId;
 use hpm_xdr::XdrEncoder;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Stream tag: block saved in place (named live variable), first visit.
@@ -61,6 +61,75 @@ pub enum MarkStrategy {
     /// Side hash-set of visited ids.
     HashSet,
 }
+
+/// How pointer-free scalar runs are turned into wire bytes.
+///
+/// XDR's wire layout is big-endian at 4/8-byte widths. On presets whose
+/// native layout already matches (the big-endian ILP32 SPARCs), a
+/// pointer-free run's wire image *is* its native bytes — so the whole
+/// run can be copied in one `put_opaque_fixed` instead of a
+/// decode/encode per scalar. Both sides gate independently: a
+/// big-endian source can bulk-encode for a little-endian destination,
+/// which then per-element-decodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TranslationMode {
+    /// Copy same-wire-format runs in bulk; convert the rest per element.
+    #[default]
+    Bulk,
+    /// Always convert scalar by scalar (ablation baseline; the bulk path
+    /// must be bit-identical to this).
+    PerElement,
+}
+
+/// Whether `kind`'s native byte layout on `arch` equals its XDR wire
+/// form: big-endian at exactly the wire width. Such runs round-trip
+/// through `decode_scalar`/`put_scalar_xdr` without changing a bit, so
+/// they may be block-copied.
+pub(crate) fn same_wire_format(arch: &hpm_arch::Architecture, kind: CScalar) -> bool {
+    use hpm_arch::{Endianness, XdrForm};
+    if arch.endianness != Endianness::Big {
+        return false;
+    }
+    let wire = match kind.xdr_form() {
+        XdrForm::Int | XdrForm::UInt | XdrForm::Float => 4,
+        XdrForm::Hyper | XdrForm::UHyper | XdrForm::Double => 8,
+        XdrForm::LogicalPointer => return false,
+    };
+    arch.scalar_size(kind) == wire
+}
+
+/// Whether `plan`'s wire image equals its native bytes on `arch`:
+/// pointer-free, every scalar already in wire layout, and the runs tile
+/// each element contiguously (no padding holes). Such blocks encode and
+/// decode as single byte copies.
+pub(crate) fn plan_is_wire_identical(arch: &hpm_arch::Architecture, plan: &SavePlan) -> bool {
+    if plan.has_pointers {
+        return false;
+    }
+    let mut at = 0u64;
+    for op in &plan.ops {
+        let PlanOp::ScalarRun {
+            offset,
+            kind,
+            count,
+            stride,
+        } = op
+        else {
+            return false;
+        };
+        let size = arch.scalar_size(*kind);
+        if !same_wire_format(arch, *kind) || *stride != size || *offset != at {
+            return false;
+        }
+        at = offset + count * size;
+    }
+    at == plan.size
+}
+
+/// Slice bound for whole-block bulk copies, so sink mode still streams
+/// multi-megabyte arrays in chunks and the borrow of the address space
+/// is released between flushes.
+pub(crate) const BULK_SLICE: u64 = 1 << 20;
 
 /// Counters for one collection run (§4.2: `Collect = MSRLT_search +
 /// Encode_and_Copy`; search counters live in [`MsrltStats`](crate::MsrltStats)).
@@ -119,7 +188,7 @@ pub type ChunkSink<'a> = Box<dyn FnMut(Vec<u8>) -> Result<(), CoreError> + 'a>;
 
 struct Cursor {
     block_addr: u64,
-    plan: Rc<SavePlan>,
+    plan: Arc<SavePlan>,
     count: u64,
     elem_idx: u64,
     op_idx: usize,
@@ -145,6 +214,7 @@ pub struct Collector<'a> {
     sink: Option<ChunkSink<'a>>,
     chunk_bytes: usize,
     flushed_bytes: u64,
+    mode: TranslationMode,
 }
 
 /// Cap on the collector's pre-sized encoder buffer; images beyond this
@@ -180,7 +250,25 @@ impl<'a> Collector<'a> {
             sink: None,
             chunk_bytes: usize::MAX,
             flushed_bytes: 0,
+            mode: TranslationMode::default(),
         }
+    }
+
+    /// Select bulk or per-element scalar translation (ablation control;
+    /// the two must produce bit-identical payloads).
+    pub fn with_translation(mut self, mode: TranslationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Mark ids as already visited before the session starts. Parallel
+    /// workers seed blocks claimed by other shards here, so their DFS
+    /// makes exactly the NEW/REF decisions the sequential collector
+    /// would. Only meaningful with [`MarkStrategy::HashSet`]: epoch
+    /// marks live in the MSRLT and would leak across sessions.
+    pub fn preseed_visited(&mut self, ids: impl IntoIterator<Item = LogicalId>) {
+        debug_assert_eq!(self.marks, MarkStrategy::HashSet);
+        self.mark_set.extend(ids);
     }
 
     /// Stream the payload through `sink` in chunks of at least
@@ -364,6 +452,40 @@ impl<'a> Collector<'a> {
         let t0 = Instant::now();
         let total = plan.size * count;
         let arch = self.space.arch().clone();
+        // Whole-block fast path: when the block's wire image IS its
+        // native bytes, copy it in bounded slices — one memcpy per
+        // megabyte instead of a decode/encode per scalar.
+        if self.mode == TranslationMode::Bulk && plan_is_wire_identical(&arch, plan) {
+            let per_elem: u64 = plan
+                .ops
+                .iter()
+                .map(|op| match op {
+                    PlanOp::ScalarRun { count, .. } => *count,
+                    _ => 0,
+                })
+                .sum();
+            let mut off = 0u64;
+            while off < total {
+                let len = (total - off).min(BULK_SLICE);
+                let bytes = self.space.read_bytes(addr + off, len)?;
+                self.enc.put_opaque_fixed(bytes);
+                off += len;
+                if self.enc.len() >= self.chunk_bytes {
+                    if let Some(sink) = self.sink.as_mut() {
+                        flush_now(
+                            &mut self.enc,
+                            sink,
+                            self.chunk_bytes,
+                            &mut self.flushed_bytes,
+                            &mut self.stats,
+                        )?;
+                    }
+                }
+            }
+            self.stats.scalars_encoded += per_elem * count;
+            self.stats.encode_time += t0.elapsed();
+            return Ok(());
+        }
         let bytes = self.space.read_bytes(addr, total)?;
         let mut scalars = 0u64;
         for elem in 0..count {
@@ -379,10 +501,21 @@ impl<'a> Collector<'a> {
                     unreachable!("bulk path requires a pointer-free plan");
                 };
                 let size = arch.scalar_size(*kind) as usize;
-                for k in 0..*rc {
-                    let at = elem_base + (*offset + k * *stride) as usize;
-                    let v = arch.decode_scalar(*kind, &bytes[at..at + size]);
-                    put_scalar_xdr(&mut self.enc, *kind, v);
+                if self.mode == TranslationMode::Bulk
+                    && same_wire_format(&arch, *kind)
+                    && *stride == size as u64
+                {
+                    // Contiguous same-format run inside a padded or
+                    // mixed-format element: one copy for the run.
+                    let at = elem_base + *offset as usize;
+                    self.enc
+                        .put_opaque_fixed(&bytes[at..at + (*rc as usize) * size]);
+                } else {
+                    for k in 0..*rc {
+                        let at = elem_base + (*offset + k * *stride) as usize;
+                        let v = arch.decode_scalar(*kind, &bytes[at..at + size]);
+                        put_scalar_xdr(&mut self.enc, *kind, v);
+                    }
                 }
                 scalars += *rc;
             }
@@ -475,19 +608,26 @@ impl<'a> Collector<'a> {
             (count - 1) * stride + size as u64
         };
         let bytes = self.space.read_bytes(block_addr + offset, total_span)?;
-        for k in 0..count {
-            let at = (k * stride) as usize;
-            let v = arch.decode_scalar(kind, &bytes[at..at + size]);
-            put_scalar_xdr(&mut self.enc, kind, v);
-            if self.enc.len() >= self.chunk_bytes {
-                if let Some(sink) = self.sink.as_mut() {
-                    flush_now(
-                        &mut self.enc,
-                        sink,
-                        self.chunk_bytes,
-                        &mut self.flushed_bytes,
-                        &mut self.stats,
-                    )?;
+        if self.mode == TranslationMode::Bulk
+            && same_wire_format(&arch, kind)
+            && stride == size as u64
+        {
+            self.enc.put_opaque_fixed(&bytes[..total_span as usize]);
+        } else {
+            for k in 0..count {
+                let at = (k * stride) as usize;
+                let v = arch.decode_scalar(kind, &bytes[at..at + size]);
+                put_scalar_xdr(&mut self.enc, kind, v);
+                if self.enc.len() >= self.chunk_bytes {
+                    if let Some(sink) = self.sink.as_mut() {
+                        flush_now(
+                            &mut self.enc,
+                            sink,
+                            self.chunk_bytes,
+                            &mut self.flushed_bytes,
+                            &mut self.stats,
+                        )?;
+                    }
                 }
             }
         }

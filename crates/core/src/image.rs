@@ -30,6 +30,10 @@ pub struct ImageHeader {
     pub source_pointer_size: u32,
     /// Name of the migrating program (sequence-compatibility check).
     pub program: String,
+    /// Total live registered bytes in the sender's MSRLT at collection
+    /// time. The restorer uses this to pre-size its heap arena before
+    /// decoding, so restoration does not pay incremental growth.
+    pub registered_bytes: u64,
 }
 
 impl ImageHeader {
@@ -40,6 +44,7 @@ impl ImageHeader {
         enc.put_string(&self.source_arch);
         enc.put_u32(self.source_pointer_size);
         enc.put_string(&self.program);
+        enc.put_u64(self.registered_bytes);
     }
 
     /// Decode and validate a header.
@@ -57,11 +62,13 @@ impl ImageHeader {
         let source_arch = dec.get_string()?;
         let source_pointer_size = dec.get_u32()?;
         let program = dec.get_string()?;
+        let registered_bytes = dec.get_u64()?;
         Ok(ImageHeader {
             version,
             source_arch,
             source_pointer_size,
             program,
+            registered_bytes,
         })
     }
 }
@@ -108,6 +115,7 @@ mod tests {
             source_arch: "DEC 5000/120 (Ultrix, MIPS)".into(),
             source_pointer_size: 4,
             program: "linpack".into(),
+            registered_bytes: 4096,
         }
     }
 

@@ -33,15 +33,17 @@ pub mod fingerprint;
 pub mod graph;
 pub mod image;
 pub mod msrlt;
+pub mod parallel;
 pub mod restore;
 pub mod stream;
 
 pub use audit::{audit_registry, RegistryAuditStats, RegistryFinding};
-pub use collect::{ChunkSink, CollectStats, Collector, MarkStrategy};
+pub use collect::{ChunkSink, CollectStats, Collector, MarkStrategy, TranslationMode};
 pub use fingerprint::type_fingerprint;
 pub use graph::{MsrEdge, MsrGraph, MsrVertex};
 pub use image::{ImageHeader, IMAGE_MAGIC, IMAGE_VERSION};
 pub use msrlt::{LogicalId, Msrlt, MsrltEntry, MsrltStats, SearchStrategy};
+pub use parallel::{collect_parallel, SharedVisited};
 pub use restore::{RestoreStats, Restorer};
 pub use stream::{ChunkPayload, ChunkSource};
 

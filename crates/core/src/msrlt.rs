@@ -22,13 +22,17 @@
 //! Address→id lookup is the instrumented search whose cost appears in the
 //! paper's collection complexity (`O(n log n)` over `n` blocks); id→entry
 //! lookup is `O(1)` indexing, which is why restoration's MSRLT term is
-//! only `O(n)`. Both strategies of the §4.2 ablation are provided
-//! ([`SearchStrategy::Binary`] and [`SearchStrategy::Linear`]).
+//! only `O(n)`. The default [`SearchStrategy::PageIndex`] collapses the
+//! address→id direction to amortized `O(1)` with a two-level page table
+//! (page directory → per-page granule owners), demoting the sorted-index
+//! binary search to a cold fallback; [`SearchStrategy::Binary`] and
+//! [`SearchStrategy::Linear`] remain as the §4.2 ablation points.
 
 use hpm_arch::SegmentKind;
 use hpm_memory::BlockInfo;
-use hpm_obs::{StatField, StatGroup};
+use hpm_obs::{StatField, StatGroup, TranslateStats};
 use hpm_types::TypeId;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Group number of the global-variable group.
@@ -36,11 +40,36 @@ pub const GROUP_GLOBAL: u32 = 0;
 /// Group number of the heap group.
 pub const GROUP_HEAP: u32 = 1;
 
-/// Slots in the direct-mapped address→id translation cache. Small on
-/// purpose: it fronts the binary search the way a TLB fronts a page
-/// walk, and pointer-heavy workloads re-resolve a working set far
-/// smaller than the table.
+/// Slots in the direct-mapped translation cache. Small on purpose: it
+/// fronts the page walk the way a TLB fronts a hardware page table, and
+/// pointer-heavy workloads re-resolve a working set of pages far smaller
+/// than the table.
 const CACHE_SLOTS: usize = 64;
+
+/// Page size of the address→id page index (4 KiB, like the machines the
+/// presets model).
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Within a page, block ownership is tracked per 4-byte granule — the
+/// smallest scalar alignment any preset uses — so one array read
+/// resolves an interior address to its covering block.
+const GRANULE_SHIFT: u64 = 2;
+const GRANULES_PER_PAGE: usize = (PAGE_SIZE >> GRANULE_SHIFT) as usize;
+
+/// Granule owner sentinel for "no block claims these bytes".
+const EMPTY_GRANULE: u64 = u64::MAX;
+
+fn pack_id(id: LogicalId) -> u64 {
+    ((id.group as u64) << 32) | id.index as u64
+}
+
+fn unpack_id(packed: u64) -> LogicalId {
+    LogicalId {
+        group: (packed >> 32) as u32,
+        index: packed as u32,
+    }
+}
 
 /// Group number for the stack frame at `depth`.
 pub fn frame_group(depth: u32) -> u32 {
@@ -81,9 +110,15 @@ pub struct MsrltEntry {
 /// How address→block search is implemented (§4.2 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategy {
+    /// Two-level page index — amortized `O(1)` per search: a page
+    /// directory keyed on `addr >> 12` locates a per-page owner cell,
+    /// and one granule read inside the cell names the covering block.
+    /// The sorted-index binary search remains as the cold fallback for
+    /// unmapped probes and sub-granule shadowing.
+    #[default]
+    PageIndex,
     /// Binary search over a sorted address index — `O(log n)` per search,
     /// the design the paper's complexity model assumes.
-    #[default]
     Binary,
     /// Linear scan — `O(n)` per search; the naive baseline.
     Linear,
@@ -106,6 +141,8 @@ pub struct MsrltStats {
     pub cache_hits: u64,
     /// Searches that fell through the cache to the configured strategy.
     pub cache_misses: u64,
+    /// Per-segment cache accounting plus page-walk/fallback breakdown.
+    pub translate: TranslateStats,
     /// Wall time spent registering.
     pub register_time: Duration,
     /// Wall time spent searching.
@@ -152,9 +189,47 @@ impl StatGroup for MsrltStats {
         self.id_lookups += other.id_lookups;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.translate.merge_from(&other.translate);
         self.register_time += other.register_time;
         self.search_time += other.search_time;
     }
+}
+
+/// One page's owner record in the page index.
+#[derive(Debug, Clone)]
+enum PageCell {
+    /// The whole page lies inside a single block (packed id). Large
+    /// arrays cover thousands of pages; storing one word per page keeps
+    /// registration O(pages), not O(bytes).
+    Whole(u64),
+    /// Per-granule owners; `used` counts non-empty granules so the cell
+    /// can be reclaimed the moment its last owner unregisters.
+    Granules {
+        used: u32,
+        g: Box<[u64; GRANULES_PER_PAGE]>,
+    },
+}
+
+impl PageCell {
+    fn empty_granules() -> Self {
+        PageCell::Granules {
+            used: 0,
+            g: Box::new([EMPTY_GRANULE; GRANULES_PER_PAGE]),
+        }
+    }
+}
+
+/// How a translation-cache slot resolves its page.
+#[derive(Debug, Clone, Copy)]
+enum CacheWay {
+    /// Resolve through the page-index cell at this arena slot (the
+    /// [`SearchStrategy::PageIndex`] TLB: a tag match plus one granule
+    /// read answers *any* address in the page, so interior heap
+    /// addresses hit even when every block is visited exactly once).
+    Cell(u32),
+    /// A single cached block translation (fallback strategies, which
+    /// keep no granule cells).
+    Block(LogicalId),
 }
 
 /// The MSR Lookup Table.
@@ -163,7 +238,8 @@ pub struct Msrlt {
     /// `groups[g][i]` is the entry with id `(g, i)`; `None` for ids that
     /// are dead (freed) or not yet seen on this side.
     groups: Vec<Vec<Option<MsrltEntry>>>,
-    /// Sorted by block start address.
+    /// Sorted by block start address. Maintained under every strategy:
+    /// it is the fallback search structure and the live-entry iterator.
     by_addr: Vec<(u64, LogicalId)>,
     /// Live frame groups (innermost last).
     frame_stack: Vec<u32>,
@@ -172,12 +248,20 @@ pub struct Msrlt {
     stats: MsrltStats,
     /// Total bytes of live registered blocks (collector pre-sizing hint).
     live_bytes: u64,
+    /// Page directory: page number → arena slot of its owner cell.
+    /// Maintained only under [`SearchStrategy::PageIndex`].
+    page_dir: HashMap<u64, u32>,
+    /// Owner-cell arena; `None` slots are free (listed in `page_free`).
+    page_arena: Vec<Option<PageCell>>,
+    page_free: Vec<u32>,
     /// Id of the most recently resolved block; checked first on every
     /// search. Hits are validated against the live table, so stale
     /// entries simply miss — no invalidation traffic.
     cache_last: Option<LogicalId>,
-    /// Direct-mapped exact-address cache behind the last-hit check.
-    cache_slots: Vec<Option<(u64, LogicalId)>>,
+    /// Direct-mapped cache behind the last-hit check, slotted and tagged
+    /// on *page number* (not raw address) so distinct interior addresses
+    /// of the same page share a slot.
+    cache_slots: Vec<Option<(u64, CacheWay)>>,
     cache_enabled: bool,
 }
 
@@ -190,12 +274,13 @@ impl Default for Msrlt {
 impl Msrlt {
     /// New table with the global and heap groups ready.
     pub fn new() -> Self {
-        Msrlt::with_strategy(SearchStrategy::Binary)
+        Msrlt::with_strategy(SearchStrategy::PageIndex)
     }
 
     /// New table using the given search strategy. The translation cache
-    /// fronts [`SearchStrategy::Binary`] by default; the linear baseline
-    /// stays pure so the §4.2 ablation measures the raw scan.
+    /// fronts [`SearchStrategy::PageIndex`] and [`SearchStrategy::Binary`]
+    /// by default; the linear baseline stays pure so the §4.2 ablation
+    /// measures the raw scan.
     pub fn with_strategy(strategy: SearchStrategy) -> Self {
         Msrlt {
             groups: vec![Vec::new(), Vec::new()],
@@ -205,10 +290,18 @@ impl Msrlt {
             epoch: 1,
             stats: MsrltStats::default(),
             live_bytes: 0,
+            page_dir: HashMap::new(),
+            page_arena: Vec::new(),
+            page_free: Vec::new(),
             cache_last: None,
             cache_slots: vec![None; CACHE_SLOTS],
-            cache_enabled: matches!(strategy, SearchStrategy::Binary),
+            cache_enabled: !matches!(strategy, SearchStrategy::Linear),
         }
+    }
+
+    /// The configured address→block search strategy.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
     }
 
     /// Enable or disable the translation cache (ablation control).
@@ -313,6 +406,7 @@ impl Msrlt {
         });
         let pos = self.by_addr.partition_point(|&(a, _)| a < addr);
         self.by_addr.insert(pos, (addr, id));
+        self.page_index_insert(id, addr, size);
         self.live_bytes += size;
         self.stats.registrations += 1;
         self.stats.register_time += t0.elapsed();
@@ -355,7 +449,9 @@ impl Msrlt {
         if pos < self.by_addr.len() && self.by_addr[pos].0 == addr {
             let id = self.by_addr.remove(pos).1;
             if let Some(e) = self.groups[id.group as usize][id.index as usize].as_ref() {
-                self.live_bytes -= e.size;
+                let size = e.size;
+                self.live_bytes -= size;
+                self.page_index_remove(id, addr, size);
             }
             Some(id)
         } else {
@@ -363,10 +459,138 @@ impl Msrlt {
         }
     }
 
-    /// Cache slot for a probe address. Addresses are at least word
-    /// aligned, so drop the low bits before mixing.
-    fn cache_slot(addr: u64) -> usize {
-        (((addr >> 2) ^ (addr >> 8)) as usize) & (CACHE_SLOTS - 1)
+    // ----- page index maintenance -----
+
+    fn alloc_cell(&mut self, cell: PageCell) -> u32 {
+        if let Some(ci) = self.page_free.pop() {
+            self.page_arena[ci as usize] = Some(cell);
+            ci
+        } else {
+            self.page_arena.push(Some(cell));
+            (self.page_arena.len() - 1) as u32
+        }
+    }
+
+    fn set_page_cell(&mut self, page: u64, cell: PageCell) {
+        if let Some(&ci) = self.page_dir.get(&page) {
+            self.page_arena[ci as usize] = Some(cell);
+        } else {
+            let ci = self.alloc_cell(cell);
+            self.page_dir.insert(page, ci);
+        }
+    }
+
+    /// Arena slot of `page`'s granule cell, creating one if the page is
+    /// untracked (a stale `Whole` cell cannot coexist with a live
+    /// overlapping block, so replacing it is safe).
+    fn granule_cell_for(&mut self, page: u64) -> u32 {
+        if let Some(&ci) = self.page_dir.get(&page) {
+            if matches!(
+                self.page_arena[ci as usize],
+                Some(PageCell::Granules { .. })
+            ) {
+                return ci;
+            }
+            self.page_arena[ci as usize] = Some(PageCell::empty_granules());
+            ci
+        } else {
+            let ci = self.alloc_cell(PageCell::empty_granules());
+            self.page_dir.insert(page, ci);
+            ci
+        }
+    }
+
+    /// Record `[addr, addr+size)` as owned by `id` in the page index.
+    /// Pages wholly inside the block get one-word `Whole` cells; edge
+    /// pages get their overlapped granules stamped.
+    fn page_index_insert(&mut self, id: LogicalId, addr: u64, size: u64) {
+        if size == 0 || !matches!(self.strategy, SearchStrategy::PageIndex) {
+            return;
+        }
+        let packed = pack_id(id);
+        let end = addr + size;
+        for page in (addr >> PAGE_SHIFT)..=((end - 1) >> PAGE_SHIFT) {
+            let p_start = page << PAGE_SHIFT;
+            let p_end = p_start + PAGE_SIZE;
+            if addr <= p_start && end >= p_end {
+                self.set_page_cell(page, PageCell::Whole(packed));
+            } else {
+                let g_lo = ((addr.max(p_start) - p_start) >> GRANULE_SHIFT) as usize;
+                let g_hi = ((end.min(p_end) - 1 - p_start) >> GRANULE_SHIFT) as usize;
+                let ci = self.granule_cell_for(page);
+                if let Some(PageCell::Granules { used, g }) = self.page_arena[ci as usize].as_mut()
+                {
+                    for slot in g[g_lo..=g_hi].iter_mut() {
+                        if *slot == EMPTY_GRANULE {
+                            *used += 1;
+                        }
+                        *slot = packed;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clear `id`'s ownership of `[addr, addr+size)`. Granules stamped
+    /// over by a later sub-granule neighbour are left alone; cells are
+    /// reclaimed when their last owner leaves.
+    fn page_index_remove(&mut self, id: LogicalId, addr: u64, size: u64) {
+        if size == 0 || !matches!(self.strategy, SearchStrategy::PageIndex) {
+            return;
+        }
+        let packed = pack_id(id);
+        let end = addr + size;
+        for page in (addr >> PAGE_SHIFT)..=((end - 1) >> PAGE_SHIFT) {
+            let Some(&ci) = self.page_dir.get(&page) else {
+                continue;
+            };
+            let free = match self.page_arena[ci as usize].as_mut() {
+                Some(PageCell::Whole(p)) => *p == packed,
+                Some(PageCell::Granules { used, g }) => {
+                    let p_start = page << PAGE_SHIFT;
+                    let g_lo = ((addr.max(p_start) - p_start) >> GRANULE_SHIFT) as usize;
+                    let g_hi =
+                        ((end.min(p_start + PAGE_SIZE) - 1 - p_start) >> GRANULE_SHIFT) as usize;
+                    for slot in g[g_lo..=g_hi].iter_mut() {
+                        if *slot == packed {
+                            *slot = EMPTY_GRANULE;
+                            *used -= 1;
+                        }
+                    }
+                    *used == 0
+                }
+                None => false,
+            };
+            if free {
+                self.page_dir.remove(&page);
+                self.page_arena[ci as usize] = None;
+                self.page_free.push(ci);
+            }
+        }
+    }
+
+    /// Resolve `addr` through the owner cell at arena slot `ci`,
+    /// validating against the live table.
+    fn cell_resolve(&self, ci: u32, addr: u64) -> Option<(LogicalId, u64)> {
+        match self.page_arena.get(ci as usize)?.as_ref()? {
+            PageCell::Whole(p) => self.cache_validate(unpack_id(*p), addr),
+            PageCell::Granules { g, .. } => {
+                let gi = ((addr & (PAGE_SIZE - 1)) >> GRANULE_SHIFT) as usize;
+                let p = g[gi];
+                if p == EMPTY_GRANULE {
+                    None
+                } else {
+                    self.cache_validate(unpack_id(p), addr)
+                }
+            }
+        }
+    }
+
+    // ----- translation cache -----
+
+    /// Cache slot for a page number.
+    fn cache_slot(page: u64) -> usize {
+        ((page ^ (page >> 6)) as usize) & (CACHE_SLOTS - 1)
     }
 
     /// Validate a cached id against the live table: a hit is real only
@@ -385,16 +609,33 @@ impl Msrlt {
         }
     }
 
-    /// Probe the last-hit entry, then the direct-mapped slot.
+    /// Probe the last-hit entry, then the page-tagged direct-mapped slot.
     fn cache_probe(&self, addr: u64) -> Option<(LogicalId, u64)> {
         if let Some(id) = self.cache_last {
             if let Some(hit) = self.cache_validate(id, addr) {
                 return Some(hit);
             }
         }
-        match self.cache_slots[Self::cache_slot(addr)] {
-            Some((a, id)) if a == addr => self.cache_validate(id, addr),
+        let page = addr >> PAGE_SHIFT;
+        match self.cache_slots[Self::cache_slot(page)] {
+            Some((p, CacheWay::Cell(ci))) if p == page => self.cell_resolve(ci, addr),
+            Some((p, CacheWay::Block(id))) if p == page => self.cache_validate(id, addr),
             _ => None,
+        }
+    }
+
+    /// Bucket a cache outcome by the resolved block's segment.
+    fn note_translate(&mut self, group: u32, hit: bool) {
+        let t = &mut self.stats.translate;
+        let (h, m) = match group {
+            GROUP_GLOBAL => (&mut t.global_hits, &mut t.global_misses),
+            GROUP_HEAP => (&mut t.heap_hits, &mut t.heap_misses),
+            _ => (&mut t.stack_hits, &mut t.stack_misses),
+        };
+        if hit {
+            *h += 1;
+        } else {
+            *m += 1;
         }
     }
 
@@ -406,50 +647,81 @@ impl Msrlt {
         if self.cache_enabled {
             if let Some(hit) = self.cache_probe(addr) {
                 self.stats.cache_hits += 1;
+                self.note_translate(hit.0.group, true);
                 self.cache_last = Some(hit.0);
                 self.stats.search_time += t0.elapsed();
                 return Some(hit);
             }
             self.stats.cache_misses += 1;
         }
-        let found = match self.strategy {
-            SearchStrategy::Binary => {
-                let mut lo = 0usize;
-                let mut hi = self.by_addr.len();
-                while lo < hi {
-                    self.stats.search_steps += 1;
-                    let mid = (lo + hi) / 2;
-                    if self.by_addr[mid].0 <= addr {
-                        lo = mid + 1;
-                    } else {
-                        hi = mid;
+        // Page-index walk: one directory probe plus one granule read
+        // resolves any mapped, granule-aligned-visible address.
+        let mut walked_cell: Option<u32> = None;
+        let mut result: Option<(LogicalId, u64)> = None;
+        if matches!(self.strategy, SearchStrategy::PageIndex) {
+            let page = addr >> PAGE_SHIFT;
+            if let Some(&ci) = self.page_dir.get(&page) {
+                self.stats.search_steps += 1;
+                walked_cell = Some(ci);
+                result = self.cell_resolve(ci, addr);
+            }
+        }
+        if result.is_some() {
+            self.stats.translate.page_walks += 1;
+        } else {
+            // Cold fallback: unmapped probe, granule shadowed by a
+            // sub-4-byte neighbour, or a non-page-index strategy.
+            if matches!(self.strategy, SearchStrategy::PageIndex) {
+                self.stats.translate.fallback_searches += 1;
+            }
+            let found = match self.strategy {
+                SearchStrategy::PageIndex | SearchStrategy::Binary => {
+                    let mut lo = 0usize;
+                    let mut hi = self.by_addr.len();
+                    while lo < hi {
+                        self.stats.search_steps += 1;
+                        let mid = (lo + hi) / 2;
+                        if self.by_addr[mid].0 <= addr {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
                     }
+                    lo.checked_sub(1).map(|i| self.by_addr[i].1)
                 }
-                lo.checked_sub(1).map(|i| self.by_addr[i].1)
-            }
-            SearchStrategy::Linear => {
-                let mut best: Option<(u64, LogicalId)> = None;
-                for &(a, id) in &self.by_addr {
-                    self.stats.search_steps += 1;
-                    if a <= addr && best.map(|(ba, _)| a > ba).unwrap_or(true) {
-                        best = Some((a, id));
+                SearchStrategy::Linear => {
+                    let mut best: Option<(u64, LogicalId)> = None;
+                    for &(a, id) in &self.by_addr {
+                        self.stats.search_steps += 1;
+                        if a <= addr && best.map(|(ba, _)| a > ba).unwrap_or(true) {
+                            best = Some((a, id));
+                        }
                     }
+                    best.map(|(_, id)| id)
                 }
-                best.map(|(_, id)| id)
-            }
-        };
-        let result = found.and_then(|id| {
-            let e = self.entry(id)?;
-            if addr >= e.addr && addr < e.addr + e.size {
-                Some((id, addr - e.addr))
-            } else {
-                None
-            }
-        });
+            };
+            result = found.and_then(|id| {
+                let e = self.entry(id)?;
+                if addr >= e.addr && addr < e.addr + e.size {
+                    Some((id, addr - e.addr))
+                } else {
+                    None
+                }
+            });
+        }
         if self.cache_enabled {
             if let Some((id, _)) = result {
+                self.note_translate(id.group, false);
                 self.cache_last = Some(id);
-                self.cache_slots[Self::cache_slot(addr)] = Some((addr, id));
+                let page = addr >> PAGE_SHIFT;
+                let way = match self.strategy {
+                    SearchStrategy::PageIndex => walked_cell
+                        .or_else(|| self.page_dir.get(&page).copied())
+                        .map(CacheWay::Cell)
+                        .unwrap_or(CacheWay::Block(id)),
+                    _ => CacheWay::Block(id),
+                };
+                self.cache_slots[Self::cache_slot(page)] = Some((page, way));
             }
         }
         self.stats.search_time += t0.elapsed();
@@ -477,6 +749,21 @@ impl Msrlt {
             .get(id.group as usize)?
             .get(id.index as usize)?
             .as_ref()
+    }
+
+    /// Index capacity of each id group (dead slots included). A dense
+    /// per-id index built from these sizes covers every id this table
+    /// can currently produce — the parallel collector's shared visited
+    /// bitmap is laid out this way.
+    pub fn group_sizes(&self) -> Vec<u32> {
+        self.groups.iter().map(|g| g.len() as u32).collect()
+    }
+
+    /// Fold externally accumulated counters into this table's stats —
+    /// used by the parallel collector, whose workers search private
+    /// clones of the table.
+    pub fn absorb_stats(&mut self, other: &MsrltStats) {
+        self.stats.merge_from(other);
     }
 
     /// All live entries, unordered.
@@ -584,8 +871,109 @@ mod tests {
     }
 
     #[test]
-    fn search_steps_logarithmic() {
+    fn page_index_and_binary_agree() {
+        let mut p = Msrlt::new();
+        let mut b = Msrlt::with_strategy(SearchStrategy::Binary);
+        // Irregular sizes (including sub-granule and multi-page blocks)
+        // with irregular gaps.
+        let mut addr = 0x1000u64;
+        let mut end = addr;
+        for i in 0..200u64 {
+            let size = match i % 5 {
+                0 => 1,
+                1 => 3,
+                2 => 16,
+                3 => 2 * PAGE_SIZE + 8,
+                _ => 64,
+            };
+            let inf = info(addr, size, SegmentKind::Heap);
+            p.register(&inf);
+            b.register(&inf);
+            end = addr + size;
+            addr = end + (i % 7);
+        }
+        for probe in (0x0F00..end + 0x100).step_by(5) {
+            assert_eq!(
+                p.lookup_addr(probe),
+                b.lookup_addr(probe),
+                "probe {probe:#x}"
+            );
+        }
+        // Free every third block and re-verify agreement over the holes.
+        let addrs: Vec<u64> = p.live_entries().map(|e| e.addr).collect();
+        for a in addrs.iter().step_by(3) {
+            assert!(p.unregister(*a).is_some());
+            assert!(b.unregister(*a).is_some());
+        }
+        for probe in (0x0F00..end + 0x100).step_by(11) {
+            assert_eq!(
+                p.lookup_addr(probe),
+                b.lookup_addr(probe),
+                "post-free probe {probe:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn page_index_resolves_in_constant_steps() {
         let mut m = Msrlt::new();
+        m.set_cache_enabled(false);
+        for i in 0..4096u64 {
+            m.register(&info(0x1000 + i * 16, 16, SegmentKind::Heap));
+        }
+        m.reset_stats();
+        for i in (0..4096u64).step_by(97) {
+            assert!(m.lookup_addr(0x1000 + i * 16 + 4).is_some());
+        }
+        let s = m.stats();
+        assert!(s.searches > 0);
+        assert_eq!(
+            s.search_steps, s.searches,
+            "one page-walk step per mapped lookup"
+        );
+        assert_eq!(s.translate.page_walks, s.searches);
+        assert_eq!(s.translate.fallback_searches, 0);
+    }
+
+    #[test]
+    fn whole_page_blocks_resolve_via_page_index() {
+        let mut m = Msrlt::new();
+        m.set_cache_enabled(false);
+        // Page-aligned block covering three whole pages plus a tail.
+        let id = m.register(&info(0x10000, 3 * PAGE_SIZE + 32, SegmentKind::Heap));
+        m.reset_stats();
+        assert_eq!(
+            m.lookup_addr(0x10000 + PAGE_SIZE + 8),
+            Some((id, PAGE_SIZE + 8))
+        );
+        assert_eq!(m.stats().search_steps, 1);
+        assert_eq!(m.lookup_addr(0x10000 + 3 * PAGE_SIZE + 8).unwrap().0, id);
+        m.unregister(0x10000);
+        assert_eq!(m.lookup_addr(0x10000 + PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn sub_granule_neighbours_fall_back_correctly() {
+        let mut m = Msrlt::new();
+        // Two 1-byte blocks sharing one 4-byte granule: the later
+        // registration shadows the earlier in the granule cell, so the
+        // earlier resolves through the fallback search.
+        let a = m.register(&info(0x1000, 1, SegmentKind::Heap));
+        let b = m.register(&info(0x1001, 1, SegmentKind::Heap));
+        assert_eq!(m.lookup_addr(0x1000), Some((a, 0)));
+        assert_eq!(m.lookup_addr(0x1001), Some((b, 0)));
+        m.unregister(0x1001);
+        assert_eq!(
+            m.lookup_addr(0x1000),
+            Some((a, 0)),
+            "survivor must resolve after its granule owner freed"
+        );
+        assert_eq!(m.lookup_addr(0x1001), None);
+    }
+
+    #[test]
+    fn search_steps_logarithmic_on_binary_fallback() {
+        let mut m = Msrlt::with_strategy(SearchStrategy::Binary);
         for i in 0..1024u64 {
             m.register(&info(0x1000 + i * 16, 16, SegmentKind::Heap));
         }
@@ -667,6 +1055,28 @@ mod tests {
     }
 
     #[test]
+    fn page_slotted_cache_hits_across_distinct_blocks() {
+        // The bitonic pattern: every block is looked up exactly once, so
+        // a block- or address-tagged cache can never hit. A page-tagged
+        // slot resolving through the granule cell hits for every block
+        // that shares a previously touched page.
+        let mut m = Msrlt::new();
+        for i in 0..64u64 {
+            m.register(&info(0x1000 + i * 8, 8, SegmentKind::Heap));
+        }
+        m.reset_stats();
+        for i in 0..64u64 {
+            assert!(m.lookup_addr(0x1000 + i * 8 + 4).is_some());
+        }
+        let s = m.stats();
+        assert_eq!(s.searches, 64);
+        assert!(
+            s.cache_hits >= 62,
+            "single-page working set should hit after the first walk: {s:?}"
+        );
+    }
+
+    #[test]
     fn cache_survives_intervening_lookups_via_direct_map() {
         let mut m = Msrlt::new();
         for i in 0..64u64 {
@@ -676,8 +1086,8 @@ mod tests {
         let a = m.lookup_addr(0x1000).unwrap();
         let b = m.lookup_addr(0x1000 + 10 * 64).unwrap();
         assert_ne!(a.0, b.0);
-        // `a`'s exact address is no longer the last hit, but the
-        // direct-mapped slot still holds it.
+        // `a`'s block is no longer the last hit, but the page-tagged
+        // direct-mapped slot still resolves it.
         let a2 = m.lookup_addr(0x1000).unwrap();
         assert_eq!(a2, a);
         assert!(m.stats().cache_hits >= 1, "{:?}", m.stats());
@@ -719,6 +1129,30 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.cache_hits + s.cache_misses, 0);
         assert!(s.search_steps > 0);
+    }
+
+    #[test]
+    fn translate_stats_bucket_by_segment() {
+        let mut m = Msrlt::new();
+        m.register(&info(0x100, 8, SegmentKind::Global));
+        m.register(&info(0x100000, 8, SegmentKind::Heap));
+        m.begin_frame();
+        m.register(&info(0x700000, 8, SegmentKind::Stack));
+        m.reset_stats();
+        m.lookup_addr(0x100);
+        m.lookup_addr(0x104);
+        m.lookup_addr(0x100000);
+        m.lookup_addr(0x100004);
+        m.lookup_addr(0x700000);
+        m.lookup_addr(0x700004);
+        let t = m.stats().translate;
+        assert_eq!(t.global_hits + t.global_misses, 2);
+        assert_eq!(t.heap_hits + t.heap_misses, 2);
+        assert_eq!(t.stack_hits + t.stack_misses, 2);
+        // The second probe of each block hits via the last-hit check.
+        assert!(t.hits() >= 3, "{t:?}");
+        assert!(t.hit_rate() > 0.0);
+        assert_eq!(t.hits() + t.misses(), 6);
     }
 
     #[test]

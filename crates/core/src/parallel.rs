@@ -1,0 +1,373 @@
+//! Sharded parallel collection.
+//!
+//! The sequential [`Collector`] emits one contiguous stream segment per
+//! root (`save_variable` call): the root's `VAR_NEW`/`VAR_VISITED` item
+//! plus, nested pre-order inside it, every block first reached from that
+//! root. Segments only interact through the visited set — which blocks
+//! earlier roots already claimed. That makes the payload embarrassingly
+//! parallel *if* each shard knows the claims it must honour:
+//!
+//! 1. **Claim pass** (sequential, traversal only, no encoding): walk the
+//!    MSR graph root by root in global order and record, in a shared
+//!    lock-free bitmap over dense logical-id indices, which root first
+//!    reaches each block (its *owner*). This reproduces exactly the set
+//!    of blocks the sequential DFS would save under each root, because a
+//!    root's claim set is the region reachable from it without crossing
+//!    earlier-claimed blocks — order-independent within the root.
+//! 2. **Encode pass** (parallel): `std::thread::scope` workers take
+//!    roots round-robin, each with its own clone of the address space
+//!    and MSRLT and its own encoder. A worker pre-seeds its collector's
+//!    visited set with every block owned by *other* shards' roots, then
+//!    saves its roots in increasing global order. Blocks owned by a
+//!    later root are provably never encountered (had an earlier root
+//!    reached them, it would own them), so the pre-seed cannot change
+//!    any NEW/REF decision.
+//! 3. **Splice** (deterministic): concatenate the per-root segments in
+//!    global root order. The result is byte-identical to the sequential
+//!    collector's payload — verified by `tests/parallel_collect.rs` and
+//!    re-checked by the `paper_tables translate` CI gate.
+//!
+//! The process itself is never mutated: workers operate on clones, and
+//! only the aggregated counters flow back (via [`Msrlt::absorb_stats`]).
+
+use crate::collect::{CollectStats, Collector, MarkStrategy, TranslationMode};
+use crate::msrlt::{LogicalId, Msrlt, MsrltStats};
+use crate::CoreError;
+use hpm_arch::CScalar;
+use hpm_memory::AddressSpace;
+use hpm_obs::StatGroup;
+use hpm_types::plan::PlanOp;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Shared visited bitmap over dense logical-id indices, plus the owning
+/// root of each claimed block. Written by the sequential claim pass,
+/// read lock-free (relaxed atomics, no mutex) by every encode worker.
+pub struct SharedVisited {
+    /// `offsets[g]` is the dense index of id `(g, 0)`.
+    offsets: Vec<u32>,
+    /// One bit per id: claimed by some root.
+    bits: Vec<AtomicU64>,
+    /// Claiming root's position in the global root order (valid only
+    /// where the bit is set).
+    owners: Vec<AtomicU32>,
+}
+
+impl SharedVisited {
+    /// Empty bitmap sized for every id `msrlt` can currently resolve.
+    pub fn new(msrlt: &Msrlt) -> Self {
+        let sizes = msrlt.group_sizes();
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut total = 0u32;
+        for s in &sizes {
+            offsets.push(total);
+            total += s;
+        }
+        let words = (total as usize).div_ceil(64);
+        SharedVisited {
+            offsets,
+            bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            owners: (0..total).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    fn dense(&self, id: LogicalId) -> usize {
+        self.offsets[id.group as usize] as usize + id.index as usize
+    }
+
+    /// Claim `id` for the root at global position `root`. Returns false
+    /// if an earlier root already holds it.
+    fn claim(&self, id: LogicalId, root: u32) -> bool {
+        let d = self.dense(id);
+        let word = &self.bits[d / 64];
+        let mask = 1u64 << (d % 64);
+        if word.load(Ordering::Relaxed) & mask != 0 {
+            return false;
+        }
+        // The claim pass is sequential, so fetch_or never races; the
+        // atomics exist so workers can read the same words lock-free.
+        word.fetch_or(mask, Ordering::Relaxed);
+        self.owners[d].store(root, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether `id` was claimed, and by which root position.
+    fn owner(&self, id: LogicalId) -> Option<u32> {
+        let d = self.dense(id);
+        if self.bits[d / 64].load(Ordering::Relaxed) & (1u64 << (d % 64)) != 0 {
+            Some(self.owners[d].load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+}
+
+/// Claim pass: walk the graph exactly as the sequential DFS would,
+/// recording first-reaching roots. Traversal only — nothing is encoded,
+/// and the clones absorb all lookup traffic.
+fn claim_roots(
+    space: &mut AddressSpace,
+    msrlt: &mut Msrlt,
+    roots: &[u64],
+    visited: &SharedVisited,
+) -> Result<(), CoreError> {
+    let arch = space.arch().clone();
+    let psize = arch.pointer_size;
+    let mut stack: Vec<u64> = Vec::new();
+    for (ri, &root) in roots.iter().enumerate() {
+        let (id, off) = msrlt
+            .lookup_addr(root)
+            .ok_or(CoreError::UnregisteredPointer(root))?;
+        if off != 0 {
+            return Err(CoreError::SequenceMismatch(format!(
+                "save_variable at interior address {root:#x}"
+            )));
+        }
+        if visited.claim(id, ri as u32) {
+            stack.push(root);
+        }
+        while let Some(addr) = stack.pop() {
+            let (id, _) = msrlt
+                .lookup_addr(addr)
+                .ok_or(CoreError::UnregisteredPointer(addr))?;
+            let entry = msrlt.entry(id).unwrap();
+            let (ty, count, base) = (entry.ty, entry.count, entry.addr);
+            let plan = space.plan_for(ty)?;
+            if !plan.has_pointers {
+                continue;
+            }
+            for elem in 0..count {
+                let elem_base = elem * plan.size;
+                for op in &plan.ops {
+                    let PlanOp::PointerSlot { offset, .. } = op else {
+                        continue;
+                    };
+                    let at = base + elem_base + offset;
+                    let bytes = space.read_bytes(at, psize)?;
+                    let ptr = arch.decode_scalar(CScalar::Ptr, bytes).as_ptr();
+                    if ptr == 0 {
+                        continue;
+                    }
+                    let (tid, _) = msrlt
+                        .lookup_addr(ptr)
+                        .ok_or(CoreError::UnregisteredPointer(ptr))?;
+                    if visited.claim(tid, ri as u32) {
+                        let target = msrlt.entry(tid).unwrap().addr;
+                        stack.push(target);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collect `roots` with `workers` shards, producing a payload
+/// byte-identical to saving each root in order through one sequential
+/// [`Collector`]. The process state is untouched; the returned
+/// [`MsrltStats`] aggregates the workers' search traffic so callers can
+/// fold it into the real table with [`Msrlt::absorb_stats`].
+pub fn collect_parallel(
+    space: &AddressSpace,
+    msrlt: &Msrlt,
+    roots: &[u64],
+    workers: usize,
+    mode: TranslationMode,
+) -> Result<(Vec<u8>, CollectStats, MsrltStats), CoreError> {
+    let workers = workers.max(1).min(roots.len().max(1));
+    let visited = SharedVisited::new(msrlt);
+    {
+        let mut claim_space = space.clone();
+        let mut claim_msrlt = msrlt.clone();
+        claim_roots(&mut claim_space, &mut claim_msrlt, roots, &visited)?;
+    }
+
+    // Reverse map dense→id for pre-seeding, reusing the bitmap layout.
+    let claimed: Vec<(LogicalId, u32)> = msrlt
+        .live_entries()
+        .filter_map(|e| visited.owner(e.id).map(|o| (e.id, o)))
+        .collect();
+
+    struct Shard {
+        segments: Vec<(usize, std::ops::Range<usize>)>,
+        payload: Vec<u8>,
+        stats: CollectStats,
+        msrlt_stats: MsrltStats,
+    }
+
+    let shards: Vec<Shard> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let claimed = &claimed;
+                s.spawn(move || -> Result<Shard, CoreError> {
+                    let mut wspace = space.clone();
+                    let mut wmsrlt = msrlt.clone();
+                    wmsrlt.reset_stats();
+                    let mut c =
+                        Collector::with_marks(&mut wspace, &mut wmsrlt, MarkStrategy::HashSet)
+                            .with_translation(mode);
+                    // Everything another shard's roots own is "already
+                    // saved" from this shard's point of view.
+                    c.preseed_visited(
+                        claimed
+                            .iter()
+                            .filter_map(|&(id, o)| (o as usize % workers != w).then_some(id)),
+                    );
+                    let mut segments = Vec::new();
+                    for (ri, &root) in roots.iter().enumerate() {
+                        if ri % workers != w {
+                            continue;
+                        }
+                        let start = c.bytes_so_far();
+                        c.save_variable(root)?;
+                        segments.push((ri, start..c.bytes_so_far()));
+                    }
+                    let (payload, stats) = c.finish();
+                    Ok(Shard {
+                        segments,
+                        payload,
+                        stats,
+                        msrlt_stats: wmsrlt.stats(),
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("collect worker panicked"))
+            .collect::<Result<Vec<_>, CoreError>>()
+    })?;
+
+    // Deterministic splice: per-root segments back in global root order.
+    let total: usize = shards.iter().map(|sh| sh.payload.len()).sum();
+    let mut payload = Vec::with_capacity(total);
+    let mut by_root: Vec<Option<(&[u8], &std::ops::Range<usize>)>> = vec![None; roots.len()];
+    for sh in &shards {
+        for (ri, range) in &sh.segments {
+            by_root[*ri] = Some((&sh.payload, range));
+        }
+    }
+    for seg in by_root.into_iter().flatten() {
+        payload.extend_from_slice(&seg.0[seg.1.clone()]);
+    }
+
+    let mut stats = CollectStats::default();
+    let mut msrlt_stats = MsrltStats::default();
+    for sh in &shards {
+        stats.merge_from(&sh.stats);
+        msrlt_stats.merge_from(&sh.msrlt_stats);
+    }
+    stats.bytes_out = payload.len() as u64;
+    Ok((payload, stats, msrlt_stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_arch::Architecture;
+    use hpm_types::Field;
+
+    fn setup() -> (AddressSpace, Msrlt) {
+        (AddressSpace::new(Architecture::dec5000()), Msrlt::new())
+    }
+
+    fn register(space: &AddressSpace, msrlt: &mut Msrlt, addr: u64) -> LogicalId {
+        let info = space.info_at(addr).expect("block exists");
+        msrlt.register(&info)
+    }
+
+    /// Shared diamond: two roots reaching overlapping list structure,
+    /// so the REF/NEW split depends on claim order.
+    fn build_shared_lists(space: &mut AddressSpace, msrlt: &mut Msrlt) -> Vec<u64> {
+        let node = space.types_mut().declare_struct("cell");
+        let pnode = space.types_mut().pointer_to(node);
+        let int = space.types_mut().int();
+        space
+            .types_mut()
+            .define_struct(node, vec![Field::new("v", int), Field::new("next", pnode)])
+            .unwrap();
+        // A chain c0 → c1 → ... → c9, with extra heads h0 → c3 and
+        // h1 → c7 entering mid-chain.
+        let mut nodes = Vec::new();
+        for i in 0..10 {
+            let n = space.malloc(node, 1).unwrap();
+            register(space, msrlt, n);
+            let v = space.elem_addr(n, 0).unwrap();
+            space.store_int(v, i).unwrap();
+            if let Some(&prev) = nodes.last() {
+                let next = space.elem_addr(prev, 1).unwrap();
+                space.store_ptr(next, n).unwrap();
+            }
+            nodes.push(n);
+        }
+        let mut roots = Vec::new();
+        for (name, target) in [("h0", nodes[3]), ("h1", nodes[7])] {
+            let h = space.define_global(name, pnode, 1).unwrap();
+            space.store_ptr(h, target).unwrap();
+            register(space, msrlt, h);
+            roots.push(h);
+        }
+        let g = space.define_global("head", pnode, 1).unwrap();
+        space.store_ptr(g, nodes[0]).unwrap();
+        register(space, msrlt, g);
+        roots.push(g);
+        roots
+    }
+
+    fn sequential(space: &mut AddressSpace, msrlt: &mut Msrlt, roots: &[u64]) -> Vec<u8> {
+        let mut c = Collector::new(space, msrlt);
+        for &r in roots {
+            c.save_variable(r).unwrap();
+        }
+        c.finish().0
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_worker_counts() {
+        let (mut space, mut msrlt) = setup();
+        let roots = build_shared_lists(&mut space, &mut msrlt);
+        let seq = sequential(&mut space.clone(), &mut msrlt.clone(), &roots);
+        for workers in [1, 2, 3, 8] {
+            let (par, stats, _) =
+                collect_parallel(&space, &msrlt, &roots, workers, TranslationMode::default())
+                    .unwrap();
+            assert_eq!(par, seq, "{workers} workers diverged");
+            assert_eq!(stats.bytes_out, seq.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_leaves_process_untouched() {
+        let (mut space, mut msrlt) = setup();
+        let roots = build_shared_lists(&mut space, &mut msrlt);
+        let before = msrlt.live_count();
+        let (p1, s1, _) =
+            collect_parallel(&space, &msrlt, &roots, 4, TranslationMode::default()).unwrap();
+        let (p2, s2, _) =
+            collect_parallel(&space, &msrlt, &roots, 4, TranslationMode::default()).unwrap();
+        assert_eq!(p1, p2, "parallel collection is repeatable");
+        assert_eq!(s1.blocks_saved, s2.blocks_saved);
+        assert_eq!(msrlt.live_count(), before);
+    }
+
+    #[test]
+    fn duplicate_roots_emit_visited_refs() {
+        let (mut space, mut msrlt) = setup();
+        let int = space.types_mut().int();
+        let g = space.define_global("x", int, 1).unwrap();
+        space.store_int(g, 5).unwrap();
+        register(&space, &mut msrlt, g);
+        let roots = [g, g, g];
+        let seq = sequential(&mut space.clone(), &mut msrlt.clone(), &roots);
+        let (par, stats, _) =
+            collect_parallel(&space, &msrlt, &roots, 2, TranslationMode::default()).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(stats.blocks_saved, 1);
+    }
+
+    #[test]
+    fn unregistered_root_surfaces_error() {
+        let (space, msrlt) = setup();
+        let err = collect_parallel(&space, &msrlt, &[0xDEAD], 2, TranslationMode::default());
+        assert!(matches!(err, Err(CoreError::UnregisteredPointer(0xDEAD))));
+    }
+}

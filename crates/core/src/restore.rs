@@ -15,7 +15,10 @@
 //! asymmetry — `Restore = MSRLT_update + Decode_and_Copy` with only an
 //! `O(n)` MSRLT term.
 
-use crate::collect::{TAG_PTR_NEW, TAG_PTR_NULL, TAG_PTR_REF, TAG_VAR_NEW, TAG_VAR_VISITED};
+use crate::collect::{
+    plan_is_wire_identical, same_wire_format, TranslationMode, BULK_SLICE, TAG_PTR_NEW,
+    TAG_PTR_NULL, TAG_PTR_REF, TAG_VAR_NEW, TAG_VAR_VISITED,
+};
 use crate::fingerprint::type_fingerprint;
 use crate::msrlt::{LogicalId, Msrlt};
 use crate::stream::ChunkPayload;
@@ -27,7 +30,7 @@ use hpm_types::plan::{PlanOp, SavePlan};
 use hpm_types::TypeId;
 use hpm_xdr::XdrDecoder;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters for one restoration run.
@@ -83,7 +86,7 @@ impl StatGroup for RestoreStats {
 
 struct Cursor {
     block_addr: u64,
-    plan: Rc<SavePlan>,
+    plan: Arc<SavePlan>,
     count: u64,
     elem_idx: u64,
     op_idx: usize,
@@ -144,6 +147,15 @@ impl Dec<'_> {
         }
     }
 
+    /// Borrow the next `n` raw payload bytes (the bulk-copy read
+    /// primitive; `n` must be a multiple of 4 so XDR framing holds).
+    fn take(&mut self, n: usize) -> Result<&[u8], CoreError> {
+        match self {
+            Dec::Slice(d) => Ok(d.get_opaque_fixed_ref(n)?),
+            Dec::Pull { cp, .. } => cp.take(n),
+        }
+    }
+
     fn consumed(&self) -> u64 {
         match self {
             Dec::Slice(d) => d.position() as u64,
@@ -161,6 +173,7 @@ pub struct Restorer<'a> {
     fp_cache: HashMap<TypeId, u64>,
     stats: RestoreStats,
     tracer: Tracer,
+    mode: TranslationMode,
 }
 
 impl<'a> Restorer<'a> {
@@ -202,7 +215,16 @@ impl<'a> Restorer<'a> {
             fp_cache: HashMap::new(),
             stats: RestoreStats::default(),
             tracer: Tracer::disabled(),
+            mode: TranslationMode::default(),
         }
+    }
+
+    /// Select bulk or per-element scalar translation. The gate is this
+    /// side's architecture alone — the wire format is fixed XDR, so a
+    /// bulk-encoded payload decodes per element and vice versa.
+    pub fn with_translation(mut self, mode: TranslationMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Attach a tracer: restored blocks emit `restore.block` instants
@@ -361,6 +383,29 @@ impl<'a> Restorer<'a> {
                 "block at {addr:#x} shorter than stream data"
             )));
         }
+        // Whole-block fast path: the wire image IS this machine's native
+        // bytes, so copy the payload straight into the block in bounded
+        // slices (mirror of the collector's bulk encode).
+        if self.mode == TranslationMode::Bulk && plan_is_wire_identical(arch, plan) {
+            let per_elem: u64 = plan
+                .ops
+                .iter()
+                .map(|op| match op {
+                    PlanOp::ScalarRun { count, .. } => *count,
+                    _ => 0,
+                })
+                .sum();
+            let mut off = 0usize;
+            while off < total {
+                let len = (total - off).min(BULK_SLICE as usize);
+                let raw = self.dec.take(len)?;
+                bytes[off..off + len].copy_from_slice(raw);
+                off += len;
+            }
+            self.stats.scalars_decoded += per_elem * count;
+            self.stats.decode_time += t0.elapsed();
+            return Ok(());
+        }
         let mut native = Vec::with_capacity(8);
         let mut scalars = 0u64;
         for elem in 0..count {
@@ -375,12 +420,23 @@ impl<'a> Restorer<'a> {
                 else {
                     unreachable!("bulk path requires a pointer-free plan");
                 };
-                for k in 0..*rc {
-                    let v = get_scalar_xdr(&mut self.dec, *kind)?;
-                    native.clear();
-                    arch.encode_scalar(*kind, v, &mut native);
-                    let at = elem_base + (*offset + k * *stride) as usize;
-                    bytes[at..at + native.len()].copy_from_slice(&native);
+                let size = arch.scalar_size(*kind) as usize;
+                if self.mode == TranslationMode::Bulk
+                    && same_wire_format(arch, *kind)
+                    && *stride == size as u64
+                {
+                    let at = elem_base + *offset as usize;
+                    let len = (*rc as usize) * size;
+                    let raw = self.dec.take(len)?;
+                    bytes[at..at + len].copy_from_slice(raw);
+                } else {
+                    for k in 0..*rc {
+                        let v = get_scalar_xdr(&mut self.dec, *kind)?;
+                        native.clear();
+                        arch.encode_scalar(*kind, v, &mut native);
+                        let at = elem_base + (*offset + k * *stride) as usize;
+                        bytes[at..at + native.len()].copy_from_slice(&native);
+                    }
                 }
                 scalars += *rc;
             }
@@ -439,13 +495,23 @@ impl<'a> Restorer<'a> {
     ) -> Result<(), CoreError> {
         let t0 = Instant::now();
         let arch = self.space.arch().clone();
-        let mut native = Vec::with_capacity(8);
-        for k in 0..count {
-            let v = get_scalar_xdr(&mut self.dec, kind)?;
-            native.clear();
-            arch.encode_scalar(kind, v, &mut native);
-            self.space
-                .write_bytes(block_addr + offset + k * stride, &native)?;
+        let size = arch.scalar_size(kind) as usize;
+        if self.mode == TranslationMode::Bulk
+            && same_wire_format(&arch, kind)
+            && stride == size as u64
+        {
+            let len = (count as usize) * size;
+            let raw = self.dec.take(len)?;
+            self.space.write_bytes(block_addr + offset, raw)?;
+        } else {
+            let mut native = Vec::with_capacity(8);
+            for k in 0..count {
+                let v = get_scalar_xdr(&mut self.dec, kind)?;
+                native.clear();
+                arch.encode_scalar(kind, v, &mut native);
+                self.space
+                    .write_bytes(block_addr + offset + k * stride, &native)?;
+            }
         }
         self.stats.scalars_decoded += count;
         self.stats.decode_time += t0.elapsed();

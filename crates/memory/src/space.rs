@@ -7,7 +7,7 @@ use hpm_types::layout::{align_up, Layout};
 use hpm_types::plan::{compile_plan, SavePlan};
 use hpm_types::{TypeError, TypeId, TypeTable};
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a pushed stack frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +117,7 @@ pub struct AddressSpace {
     frames: Vec<Frame>,
     next_frame: u64,
     stats: AllocStats,
-    plans: HashMap<TypeId, Rc<SavePlan>>,
+    plans: HashMap<TypeId, Arc<SavePlan>>,
 }
 
 impl AddressSpace {
@@ -187,6 +187,25 @@ impl AddressSpace {
         s
     }
 
+    /// Pre-size the block arena for an incoming migration image.
+    ///
+    /// `bytes` is the sender's total live registered bytes, carried in
+    /// the image header. Restoration inserts one arena slot per incoming
+    /// block; reserving up front replaces the arena's amortized growth
+    /// reallocations with a single one. The block count is not known at
+    /// this point, so the estimate assumes the smallest heap granule the
+    /// workloads allocate (16 bytes per block) and is capped so a huge
+    /// image cannot force an absurd reservation.
+    pub fn reserve_heap_bytes(&mut self, bytes: u64) {
+        const MIN_BLOCK_GUESS: u64 = 16;
+        const MAX_SLOTS: u64 = 1 << 20;
+        let want = (bytes / MIN_BLOCK_GUESS).clamp(1, MAX_SLOTS) as usize;
+        let spare = self.arena.capacity() - self.arena.len();
+        if spare < want {
+            self.arena.reserve(want - spare);
+        }
+    }
+
     fn live_blocks_iter(&self) -> impl Iterator<Item = &MemoryBlock> {
         self.by_addr
             .values()
@@ -216,12 +235,12 @@ impl AddressSpace {
     }
 
     /// Compiled save/restore plan for `ty` (cached).
-    pub fn plan_for(&mut self, ty: TypeId) -> Result<Rc<SavePlan>, MemError> {
+    pub fn plan_for(&mut self, ty: TypeId) -> Result<Arc<SavePlan>, MemError> {
         if let Some(p) = self.plans.get(&ty) {
-            return Ok(Rc::clone(p));
+            return Ok(Arc::clone(p));
         }
-        let p = Rc::new(compile_plan(&mut self.model, &self.types, &self.arch, ty)?);
-        self.plans.insert(ty, Rc::clone(&p));
+        let p = Arc::new(compile_plan(&mut self.model, &self.types, &self.arch, ty)?);
+        self.plans.insert(ty, Arc::clone(&p));
         Ok(p)
     }
 

@@ -31,7 +31,8 @@ use crate::exec::{ExecutionState, FrameState};
 use crate::process::Process;
 use crate::MigError;
 use hpm_core::{
-    ChunkPayload, ChunkSink, CollectStats, Collector, CoreError, RestoreStats, Restorer,
+    collect_parallel, ChunkPayload, ChunkSink, CollectStats, Collector, CoreError, RestoreStats,
+    Restorer, TranslationMode,
 };
 use hpm_memory::FrameId;
 use hpm_obs::{StatGroup, Tracer};
@@ -488,6 +489,33 @@ pub fn collect_pending_traced(
         }
     }
     let (payload, stats) = collector.finish();
+    Ok((payload, exec, stats))
+}
+
+/// [`collect_pending`] across `workers` shards: the recorded frames'
+/// live variables become the parallel collector's roots, and the
+/// spliced payload is byte-identical to the sequential one. Worker
+/// search traffic is folded back into the process's MSRLT counters so
+/// reports stay comparable.
+pub fn collect_pending_parallel(
+    proc: &mut Process,
+    pending: &[PendingFrame],
+    workers: usize,
+) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
+    let exec = pending_exec_state(proc, pending);
+    let roots: Vec<u64> = pending
+        .iter()
+        .flat_map(|f| f.live.iter().copied())
+        .collect();
+    let (payload, stats, msrlt_stats) = collect_parallel(
+        &proc.space,
+        &proc.msrlt,
+        &roots,
+        workers,
+        TranslationMode::default(),
+    )
+    .map_err(MigError::from)?;
+    proc.msrlt.absorb_stats(&msrlt_stats);
     Ok((payload, exec, stats))
 }
 

@@ -6,8 +6,8 @@
 //! time") — plus every §4.2 instrumentation counter.
 
 use crate::ctx::{
-    collect_pending, collect_pending_streamed, collect_pending_traced, pending_exec_state, MigCtx,
-    MigratableProgram,
+    collect_pending, collect_pending_parallel, collect_pending_streamed, collect_pending_traced,
+    pending_exec_state, MigCtx, MigratableProgram,
 };
 use crate::exec::ExecutionState;
 use crate::process::{Process, Trigger};
@@ -172,6 +172,15 @@ impl MigratedSource {
         collect_pending(&mut self.proc, &self.pending)
     }
 
+    /// Collect with `workers` parallel shards; byte-identical to
+    /// [`MigratedSource::collect`] and equally repeatable.
+    pub fn collect_parallel(
+        &mut self,
+        workers: usize,
+    ) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
+        collect_pending_parallel(&mut self.proc, &self.pending, workers)
+    }
+
     /// Audit the frozen process's MSRLT snapshot without collecting —
     /// the same pre-flight check the migrating drivers run, exposed for
     /// benchmarks and `hpm-lint`'s runtime-registry pass.
@@ -189,6 +198,7 @@ impl MigratedSource {
             source_arch: self.proc.space.arch().name.to_string(),
             source_pointer_size: self.proc.space.arch().pointer_size as u32,
             program: self.proc.program().to_string(),
+            registered_bytes: self.proc.msrlt.registered_bytes(),
         };
         Ok(frame_image(&header, &exec.encode(), &payload))
     }
@@ -206,6 +216,7 @@ impl MigratedSource {
             source_arch: self.proc.space.arch().name.to_string(),
             source_pointer_size: self.proc.space.arch().pointer_size as u32,
             program: self.proc.program().to_string(),
+            registered_bytes: self.proc.msrlt.registered_bytes(),
         };
         let mut chunks: Vec<Vec<u8>> = Vec::new();
         let exec = pending_exec_state(&self.proc, &self.pending);
@@ -294,6 +305,7 @@ pub fn collect_image_traced(
         source_arch: proc.space.arch().name.to_string(),
         source_pointer_size: proc.space.arch().pointer_size as u32,
         program: proc.program().to_string(),
+        registered_bytes: proc.msrlt.registered_bytes(),
     };
     let image = frame_image(&header, &exec.encode(), &payload);
     Ok((image, collect_time, stats, exec, audit))
@@ -332,6 +344,7 @@ pub fn resume_from_image_traced<P: MigratableProgram>(
     }
     let exec = ExecutionState::decode(&exec_bytes)?;
     let mut proc = Process::new(program.name(), arch);
+    proc.space.reserve_heap_bytes(header.registered_bytes);
     program.setup(&mut proc)?;
     proc.msrlt.reset_stats();
     let mut ctx = MigCtx::new_resume(&mut proc, exec, payload);
@@ -443,6 +456,86 @@ pub fn run_migrating_traced<P: MigratableProgram>(
         report.trace = Some(log);
     }
     Ok(MigrationRun { report, results })
+}
+
+/// [`run_migrating`] with sharded parallel collection: the MSR graph
+/// roots are partitioned across `workers` `std::thread::scope` workers
+/// whose streams are spliced deterministically, so the shipped image is
+/// byte-identical to the sequential driver's — only the Collect wall
+/// time changes. Transmission and restoration are unchanged.
+pub fn run_migrating_parallel<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    workers: usize,
+) -> Result<MigrationRun, MigError> {
+    // --- source side ---
+    let mut src_prog = make();
+    let mut src = Process::new(src_prog.name(), src_arch);
+    src.set_trigger(trigger);
+    src_prog.setup(&mut src)?;
+    let mut ctx = MigCtx::new_run(&mut src);
+    let flow = src_prog.run(&mut ctx)?;
+    if flow == Flow::Done {
+        return Err(MigError::Protocol(
+            "trigger never fired; program completed on the source".into(),
+        ));
+    }
+    let (proc, pending) = ctx.into_parts()?;
+    let registry_audit = require_clean_registry(proc)?;
+    proc.msrlt.reset_stats();
+    let t0 = Instant::now();
+    let (payload, exec, collect_stats) = collect_pending_parallel(proc, &pending, workers)?;
+    let collect_time = t0.elapsed();
+    let header = ImageHeader {
+        version: IMAGE_VERSION,
+        source_arch: proc.space.arch().name.to_string(),
+        source_pointer_size: proc.space.arch().pointer_size as u32,
+        program: proc.program().to_string(),
+        registered_bytes: proc.msrlt.registered_bytes(),
+    };
+    let image = frame_image(&header, &exec.encode(), &payload);
+    let src_msrlt = src.msrlt.stats();
+    let src_polls = src.poll_count();
+    let chain_depth = exec.depth();
+    let memory_bytes = collect_stats.bytes_out;
+
+    // --- the wire ---
+    let (src_end, dst_end) = channel_pair(link);
+    src_end.send(image)?;
+    let image = dst_end.recv()?;
+    let transfer = src_end.stats().snapshot();
+    let tx_time = transfer.modeled_tx_time();
+
+    // --- destination side ---
+    let mut dst_prog = make();
+    let (results, dst, restore_stats, restore_time) =
+        resume_from_image(&mut dst_prog, dst_arch, &image)?;
+    let dst_msrlt = dst.msrlt.stats();
+
+    Ok(MigrationRun {
+        report: MigrationReport {
+            image_bytes: image.len() as u64,
+            memory_bytes,
+            collect_time,
+            tx_time,
+            restore_time,
+            collect_stats,
+            src_msrlt,
+            restore_stats,
+            dst_msrlt,
+            src_polls,
+            chain_depth,
+            transfer,
+            trace: None,
+            pipeline: None,
+            recovery: None,
+            registry_audit: Some(registry_audit),
+        },
+        results,
+    })
 }
 
 /// Tunables for the pipelined migration path.
@@ -609,6 +702,7 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         source_arch: proc.space.arch().name.to_string(),
         source_pointer_size: proc.space.arch().pointer_size as u32,
         program: proc.program().to_string(),
+        registered_bytes: proc.msrlt.registered_bytes(),
     };
     let exec = pending_exec_state(proc, &pending);
     let chain_depth = exec.depth();
@@ -657,6 +751,7 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
                 }
                 let exec = ExecutionState::decode(&exec_bytes)?;
                 let mut proc = Process::new(dst_prog.name(), dst_arch);
+                proc.space.reserve_heap_bytes(header.registered_bytes);
                 dst_prog.setup(&mut proc)?;
                 proc.msrlt.reset_stats();
                 let chunks = ChunkPayload::with_initial(Box::new(NetChunkSource { rx }), leftover);
@@ -972,6 +1067,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         source_arch: proc.space.arch().name.to_string(),
         source_pointer_size: proc.space.arch().pointer_size as u32,
         program: proc.program().to_string(),
+        registered_bytes: proc.msrlt.registered_bytes(),
     };
     let exec = pending_exec_state(proc, &pending);
     let chain_depth = exec.depth();
@@ -1042,6 +1138,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
             }
             let exec = ExecutionState::decode(&exec_bytes)?;
             let mut proc = Process::new(dst_prog.name(), dst_arch);
+            proc.space.reserve_heap_bytes(header.registered_bytes);
             dst_prog.setup(&mut proc)?;
             proc.msrlt.reset_stats();
             let chunks =
@@ -1152,6 +1249,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
                     source_arch: src.space.arch().name.to_string(),
                     source_pointer_size: src.space.arch().pointer_size as u32,
                     program: src.program().to_string(),
+                    registered_bytes: src.msrlt.registered_bytes(),
                 };
                 let image = frame_image(&header, &exec.encode(), &payload);
                 let mut resumed = make();

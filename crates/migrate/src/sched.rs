@@ -212,6 +212,7 @@ impl Scheduler {
                 }
                 let exec = ExecutionState::decode(&exec_bytes)?;
                 let mut proc = Process::new(prog.name(), arch.clone());
+                proc.space.reserve_heap_bytes(header.registered_bytes);
                 proc.set_trigger(Trigger::AtLeastPollCount(quantum));
                 prog.setup(&mut proc)?;
                 let mut ctx = MigCtx::new_resume(&mut proc, exec, payload);
@@ -239,6 +240,7 @@ impl Scheduler {
             source_arch: proc.space.arch().name.to_string(),
             source_pointer_size: proc.space.arch().pointer_size as u32,
             program: proc.program().to_string(),
+            registered_bytes: proc.msrlt.registered_bytes(),
         };
         Ok(frame_image(&header, &exec.encode(), &payload))
     }

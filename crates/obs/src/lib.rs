@@ -39,5 +39,5 @@ pub mod trace;
 
 pub use export::{chrome_trace_json, jsonl, summary};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use stats::{render_groups, snapshot, StatField, StatGroup, StatValue};
+pub use stats::{render_groups, snapshot, StatField, StatGroup, StatValue, TranslateStats};
 pub use trace::{EventKind, Span, TraceEvent, TraceLog, Tracer};

@@ -132,6 +132,89 @@ pub trait StatGroup {
         Self: Sized;
 }
 
+/// Per-segment translation-cache accounting for the MSRLT's hot
+/// address→logical-id direction.
+///
+/// The MSRLT buckets every lookup by the segment the queried address
+/// falls in (globals, stack, heap) so benches can see *where* the
+/// translation cache earns its keep — heap-heavy pointer graphs behave
+/// very differently from frame-local scans. `page_walks` counts lookups
+/// resolved by the O(1) page index; `fallback_searches` counts the rare
+/// demotions to the ordered-map binary search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslateStats {
+    /// Cache hits on addresses in the global segment.
+    pub global_hits: u64,
+    /// Cache misses on addresses in the global segment.
+    pub global_misses: u64,
+    /// Cache hits on addresses in the stack segment.
+    pub stack_hits: u64,
+    /// Cache misses on addresses in the stack segment.
+    pub stack_misses: u64,
+    /// Cache hits on addresses in the heap segment.
+    pub heap_hits: u64,
+    /// Cache misses on addresses in the heap segment.
+    pub heap_misses: u64,
+    /// Lookups resolved through the page-index walk (cache miss, no
+    /// binary search needed).
+    pub page_walks: u64,
+    /// Lookups that fell back to the ordered-map binary search.
+    pub fallback_searches: u64,
+}
+
+impl TranslateStats {
+    /// Total cache hits across all segments.
+    pub fn hits(&self) -> u64 {
+        self.global_hits + self.stack_hits + self.heap_hits
+    }
+
+    /// Total cache misses across all segments.
+    pub fn misses(&self) -> u64 {
+        self.global_misses + self.stack_misses + self.heap_misses
+    }
+
+    /// Overall hit rate in [0, 1]; 0 when no lookups ran.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+impl StatGroup for TranslateStats {
+    fn group(&self) -> &'static str {
+        "translate"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("global_hits", self.global_hits),
+            StatField::count("global_misses", self.global_misses),
+            StatField::count("stack_hits", self.stack_hits),
+            StatField::count("stack_misses", self.stack_misses),
+            StatField::count("heap_hits", self.heap_hits),
+            StatField::count("heap_misses", self.heap_misses),
+            StatField::count("page_walks", self.page_walks),
+            StatField::count("fallback_searches", self.fallback_searches),
+            StatField::ratio("hit_rate", self.hit_rate()),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.global_hits += other.global_hits;
+        self.global_misses += other.global_misses;
+        self.stack_hits += other.stack_hits;
+        self.stack_misses += other.stack_misses;
+        self.heap_hits += other.heap_hits;
+        self.heap_misses += other.heap_misses;
+        self.page_walks += other.page_walks;
+        self.fallback_searches += other.fallback_searches;
+    }
+}
+
 /// Render groups of stat fields as one aligned text table:
 ///
 /// ```text

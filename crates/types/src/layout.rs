@@ -9,7 +9,7 @@
 use crate::{TypeDef, TypeError, TypeId, TypeTable};
 use hpm_arch::Architecture;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Size and alignment of a type on one machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub fn align_up(offset: u64, align: u64) -> u64 {
 #[derive(Debug, Default, Clone)]
 pub struct LayoutEngine {
     cache: HashMap<TypeId, Layout>,
-    field_offsets: HashMap<TypeId, Rc<Vec<u64>>>,
+    field_offsets: HashMap<TypeId, Arc<Vec<u64>>>,
 }
 
 impl LayoutEngine {
@@ -93,7 +93,7 @@ impl LayoutEngine {
                     offset += fl.size;
                     max_align = max_align.max(fl.align);
                 }
-                self.field_offsets.insert(ty, Rc::new(offsets));
+                self.field_offsets.insert(ty, Arc::new(offsets));
                 Layout {
                     size: align_up(offset, max_align),
                     align: max_align,
@@ -106,14 +106,14 @@ impl LayoutEngine {
 
     /// Byte offsets of each field of struct `ty` on `arch`.
     ///
-    /// Returned behind `Rc` so the hot pointer-translation paths don't
+    /// Returned behind `Arc` so the hot pointer-translation paths don't
     /// allocate a fresh `Vec` per query.
     pub fn struct_field_offsets(
         &mut self,
         table: &TypeTable,
         arch: &Architecture,
         ty: TypeId,
-    ) -> Result<Rc<Vec<u64>>, TypeError> {
+    ) -> Result<Arc<Vec<u64>>, TypeError> {
         // Computing the layout populates the field-offset cache.
         self.layout(table, arch, ty)?;
         self.field_offsets

@@ -6,6 +6,7 @@
 //! `Restore = MSRLT_update + Decode_and_Copy` — the update term is O(n).
 
 use hpm::arch::Architecture;
+use hpm::core::{Msrlt, SearchStrategy};
 use hpm::migrate::{resume_from_image, run_to_migration, MigratedSource, Trigger};
 use hpm::workloads::{BitonicSort, Linpack};
 
@@ -36,22 +37,56 @@ fn bitonic_search_count_is_linear_in_nodes() {
     );
 }
 
-#[test]
-fn bitonic_search_steps_grow_logarithmically() {
-    // steps/search ≈ log2(n): quadrupling n adds ~2 comparisons.
-    let mut per_search = Vec::new();
-    for n in [2_000u64, 8_000, 32_000] {
-        let mut src = freeze_bitonic(n);
-        src.proc.msrlt.reset_stats();
-        let _ = src.collect().unwrap();
-        let s = src.proc.msrlt.stats();
-        per_search.push(s.search_steps as f64 / s.searches as f64);
+/// Collect a frozen bitonic tree under `strategy` (cache disabled, so
+/// the counters measure the raw search structure) and return the
+/// steps-per-search ratio.
+fn steps_per_search(n: u64, strategy: SearchStrategy) -> f64 {
+    let mut src = freeze_bitonic(n);
+    // Rebuild the MSRLT under the requested strategy, ids preserved.
+    let mut m = Msrlt::with_strategy(strategy);
+    for e in src.proc.msrlt.live_entries() {
+        m.register_at(e.id, e.addr, e.size, e.ty, e.count);
     }
+    m.set_cache_enabled(false);
+    src.proc.msrlt = m;
+    src.proc.msrlt.reset_stats();
+    let _ = src.collect().unwrap();
+    let s = src.proc.msrlt.stats();
+    s.search_steps as f64 / s.searches as f64
+}
+
+#[test]
+fn binary_fallback_search_steps_grow_logarithmically() {
+    // Under the fallback strategy, steps/search ≈ log2(n): quadrupling
+    // n adds ~2 comparisons.
+    let per_search: Vec<f64> = [2_000u64, 8_000, 32_000]
+        .iter()
+        .map(|&n| steps_per_search(n, SearchStrategy::Binary))
+        .collect();
     let d1 = per_search[1] - per_search[0];
     let d2 = per_search[2] - per_search[1];
     assert!(
         d1 > 1.0 && d1 < 3.5 && d2 > 1.0 && d2 < 3.5,
         "each 4x in n should add ~log2(4)=2 steps per search: {per_search:?}"
+    );
+}
+
+#[test]
+fn page_index_search_steps_are_constant() {
+    // Under the default page index, every resolving lookup is one page
+    // walk: steps/search stays ≈ 1 no matter how many nodes are live —
+    // the tentpole O(n log n) → O(n) collection claim.
+    let per_search: Vec<f64> = [2_000u64, 8_000, 32_000]
+        .iter()
+        .map(|&n| steps_per_search(n, SearchStrategy::PageIndex))
+        .collect();
+    for (i, v) in per_search.iter().enumerate() {
+        assert!(*v <= 1.05, "page walk is O(1), got {v} at size {i}");
+    }
+    let growth = per_search[2] - per_search[0];
+    assert!(
+        growth.abs() < 0.1,
+        "16x more nodes must not add search steps: {per_search:?}"
     );
 }
 

@@ -1,0 +1,85 @@
+//! The sharded parallel collector must be invisible: for every paper
+//! workload and worker count, its spliced payload is byte-identical to
+//! the sequential collector's, so the shipped image (and therefore the
+//! restored process) cannot depend on how collection was parallelized.
+
+use hpm::arch::Architecture;
+use hpm::migrate::{run_migrating, run_migrating_parallel, run_to_migration, Trigger};
+use hpm::net::NetworkModel;
+use hpm::workloads::{BitonicSort, Linpack, TestPointer};
+
+fn check_workload(name: &str, freeze: impl Fn() -> hpm::migrate::MigratedSource) {
+    let mut src = freeze();
+    let (seq, seq_exec, seq_stats) = src.collect().unwrap();
+    for workers in [1usize, 2, 4] {
+        let (par, par_exec, par_stats) = src.collect_parallel(workers).unwrap();
+        assert_eq!(
+            par, seq,
+            "{name}: {workers}-worker payload diverges from sequential"
+        );
+        assert_eq!(par_exec, seq_exec, "{name}: exec state changed");
+        assert_eq!(par_stats.blocks_saved, seq_stats.blocks_saved);
+        assert_eq!(par_stats.ptr_new, seq_stats.ptr_new);
+        assert_eq!(par_stats.ptr_ref, seq_stats.ptr_ref);
+        assert_eq!(par_stats.ptr_null, seq_stats.ptr_null);
+        assert_eq!(par_stats.scalars_encoded, seq_stats.scalars_encoded);
+        assert_eq!(par_stats.bytes_out, seq_stats.bytes_out);
+    }
+    // Still repeatable sequentially after the parallel runs: the
+    // process was never mutated.
+    let (again, _, _) = src.collect().unwrap();
+    assert_eq!(again, seq, "{name}: process state was disturbed");
+}
+
+#[test]
+fn test_pointer_parallel_equals_sequential() {
+    check_workload("test_pointer", || {
+        let mut p = TestPointer::new();
+        run_to_migration(&mut p, Architecture::ultra5(), Trigger::AtPollCount(8)).unwrap()
+    });
+}
+
+#[test]
+fn linpack_parallel_equals_sequential() {
+    check_workload("linpack", || {
+        let mut p = Linpack::truncated(300, 2);
+        run_to_migration(&mut p, Architecture::ultra5(), Trigger::AtPollCount(1)).unwrap()
+    });
+}
+
+#[test]
+fn bitonic_parallel_equals_sequential() {
+    check_workload("bitonic", || {
+        let mut p = BitonicSort::new(5_000);
+        run_to_migration(&mut p, Architecture::ultra5(), Trigger::AtPollCount(5_000)).unwrap()
+    });
+}
+
+#[test]
+fn parallel_driver_migrates_end_to_end() {
+    // The full driver: parallel collection, modeled wire, restore on a
+    // different architecture — results must match the sequential run.
+    let seq = run_migrating(
+        TestPointer::new,
+        Architecture::ultra5(),
+        Architecture::dec5000(),
+        NetworkModel::instant(),
+        Trigger::AtPollCount(8),
+    )
+    .unwrap();
+    let par = run_migrating_parallel(
+        TestPointer::new,
+        Architecture::ultra5(),
+        Architecture::dec5000(),
+        NetworkModel::instant(),
+        Trigger::AtPollCount(8),
+        4,
+    )
+    .unwrap();
+    assert_eq!(par.results, seq.results);
+    assert_eq!(par.report.image_bytes, seq.report.image_bytes);
+    assert_eq!(
+        par.report.collect_stats.blocks_saved,
+        seq.report.collect_stats.blocks_saved
+    );
+}

@@ -1,0 +1,192 @@
+//! Property sweep for the bulk same-format translation fast path.
+//!
+//! The wire format is fixed XDR, so bulk copying is a pure encoder/
+//! decoder optimization: across **every** architecture preset pair, the
+//! bulk path must produce a payload bit-identical to the per-element
+//! XDR path, and both restorer modes must rebuild identical memory.
+
+use hpm::arch::Architecture;
+use hpm::core::{Collector, Msrlt, Restorer, TranslationMode};
+use hpm::memory::AddressSpace;
+use hpm::types::Field;
+
+fn presets() -> [Architecture; 4] {
+    [
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        Architecture::ultra5(),
+        Architecture::x86_64_sim(),
+    ]
+}
+
+/// Build "the same program image" on `arch`: every scalar family plus
+/// pointers, arrays, and a short heap list, with deterministic values.
+/// Returns (space, msrlt, roots-in-save-order).
+fn program(arch: Architecture) -> (AddressSpace, Msrlt, Vec<u64>) {
+    let mut space = AddressSpace::new(arch);
+    let node = space.types_mut().declare_struct("node");
+    let pnode = space.types_mut().pointer_to(node);
+    let int = space.types_mut().int();
+    let dbl = space.types_mut().double();
+    let flt = space.types_mut().float();
+    let ch = space.types_mut().char_();
+    space
+        .types_mut()
+        .define_struct(
+            node,
+            vec![
+                Field::new("d", dbl),
+                Field::new("f", flt),
+                Field::new("i", int),
+                Field::new("c", ch),
+                Field::new("next", pnode),
+            ],
+        )
+        .unwrap();
+
+    let ivec = space.define_global("ivec", int, 40).unwrap();
+    let dmat = space.define_global("dmat", dbl, 25).unwrap();
+    let text = space.define_global("text", ch, 12).unwrap();
+    let head = space.define_global("head", pnode, 1).unwrap();
+    for k in 0..40 {
+        let a = space.elem_addr(ivec, k).unwrap();
+        space.store_int(a, (k as i64) * 7 - 100).unwrap();
+    }
+    for k in 0..25 {
+        let a = space.elem_addr(dmat, k).unwrap();
+        space.store_f64(a, 0.5 + k as f64 * 1.25).unwrap();
+    }
+    for k in 0..12 {
+        let a = space.elem_addr(text, k).unwrap();
+        space.store_int(a, 32 + k as i64).unwrap();
+    }
+    // head → n0 → n1 → n2 → NULL
+    let mut prev = 0u64;
+    let mut first = 0u64;
+    for k in 0..3 {
+        let n = space.malloc(node, 1).unwrap();
+        let d = space.elem_addr(n, 0).unwrap();
+        space.store_f64(d, k as f64 + 0.125).unwrap();
+        let f = space.elem_addr(n, 1).unwrap();
+        space.store_f64(f, k as f64 * 2.5).unwrap();
+        let i = space.elem_addr(n, 2).unwrap();
+        space.store_int(i, 1000 + k as i64).unwrap();
+        let c = space.elem_addr(n, 3).unwrap();
+        space.store_int(c, 65 + k as i64).unwrap();
+        if prev != 0 {
+            let next = space.elem_addr(prev, 4).unwrap();
+            space.store_ptr(next, n).unwrap();
+        } else {
+            first = n;
+        }
+        prev = n;
+    }
+    space.store_ptr(head, first).unwrap();
+
+    let mut msrlt = Msrlt::new();
+    for info in space.block_infos() {
+        msrlt.register(&info);
+    }
+    (space, msrlt, vec![ivec, dmat, text, head])
+}
+
+fn collect_with(
+    space: &mut AddressSpace,
+    msrlt: &mut Msrlt,
+    roots: &[u64],
+    mode: TranslationMode,
+) -> Vec<u8> {
+    let mut c = Collector::new(space, msrlt).with_translation(mode);
+    for &r in roots {
+        c.save_variable(r).unwrap();
+    }
+    c.finish().0
+}
+
+#[test]
+fn bulk_payload_is_bit_identical_on_every_preset() {
+    for arch in presets() {
+        let (mut space, mut msrlt, roots) = program(arch.clone());
+        let bulk = collect_with(&mut space, &mut msrlt, &roots, TranslationMode::Bulk);
+        let per = collect_with(&mut space, &mut msrlt, &roots, TranslationMode::PerElement);
+        assert_eq!(
+            bulk, per,
+            "bulk and per-element payloads diverge on {}",
+            arch.name
+        );
+    }
+}
+
+#[test]
+fn both_restorer_modes_agree_on_every_preset_pair() {
+    for src_arch in presets() {
+        let (mut src, mut src_lt, roots) = program(src_arch.clone());
+        let payload = collect_with(&mut src, &mut src_lt, &roots, TranslationMode::Bulk);
+        for dst_arch in presets() {
+            let mut rebuilt = Vec::new();
+            for mode in [TranslationMode::Bulk, TranslationMode::PerElement] {
+                let (mut dst, mut dst_lt, droots) = program(dst_arch.clone());
+                // Fresh image: the receiving side starts with zeroed
+                // globals and no heap, exactly like a real resume.
+                let (mut blank, mut blank_lt, broots) = blank_program(dst_arch.clone());
+                let mut r =
+                    Restorer::new(&mut blank, &mut blank_lt, &payload).with_translation(mode);
+                for &b in &broots {
+                    r.restore_variable(b).unwrap();
+                }
+                r.finish().unwrap();
+                // Canonical comparison: re-collect the restored space
+                // per-element and check it against the seeded original.
+                let canon = collect_with(
+                    &mut blank,
+                    &mut blank_lt,
+                    &broots,
+                    TranslationMode::PerElement,
+                );
+                let want =
+                    collect_with(&mut dst, &mut dst_lt, &droots, TranslationMode::PerElement);
+                assert_eq!(
+                    canon, want,
+                    "restore {:?} on {} from {} lost data",
+                    mode, dst_arch.name, src_arch.name
+                );
+                rebuilt.push(canon);
+            }
+            assert_eq!(rebuilt[0], rebuilt[1]);
+        }
+    }
+}
+
+/// Same types and globals as [`program`], but no values and no heap —
+/// the destination-side image before restoration.
+fn blank_program(arch: Architecture) -> (AddressSpace, Msrlt, Vec<u64>) {
+    let mut space = AddressSpace::new(arch);
+    let node = space.types_mut().declare_struct("node");
+    let pnode = space.types_mut().pointer_to(node);
+    let int = space.types_mut().int();
+    let dbl = space.types_mut().double();
+    let flt = space.types_mut().float();
+    let ch = space.types_mut().char_();
+    space
+        .types_mut()
+        .define_struct(
+            node,
+            vec![
+                Field::new("d", dbl),
+                Field::new("f", flt),
+                Field::new("i", int),
+                Field::new("c", ch),
+                Field::new("next", pnode),
+            ],
+        )
+        .unwrap();
+    let ivec = space.define_global("ivec", int, 40).unwrap();
+    let dmat = space.define_global("dmat", dbl, 25).unwrap();
+    let text = space.define_global("text", ch, 12).unwrap();
+    let head = space.define_global("head", pnode, 1).unwrap();
+    let mut msrlt = Msrlt::new();
+    for info in space.block_infos() {
+        msrlt.register(&info);
+    }
+    (space, msrlt, vec![ivec, dmat, text, head])
+}
