@@ -7,8 +7,20 @@
 //! ```
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
-//! `overhead`, `ablation`, `translate`, `pipeline`, `faults`, `lint`,
-//! `all`.
+//! `overhead`, `ablation`, `translate`, `pipeline`, `faults`,
+//! `telemetry`, `lint`, `all` — plus `bench-diff` (below).
+//!
+//! `telemetry` prints the percentile wire telemetry: per-chunk
+//! encode/wire/decode latency distributions and the ARQ retry-count
+//! distribution for the three paper workloads under seeded faults.
+//!
+//! `bench-diff <old.json> <new.json>` compares two `BENCH_<rev>.json`
+//! artifacts: every shared metric is delta'd, and regressions beyond
+//! `--threshold <pct>` (default 5) in the *deterministic counters*
+//! (search steps, lint findings, retransmits, payload bytes — never
+//! wall clocks) exit 1. `bench-diff --against-latest <new.json>` takes
+//! the old side from the last `bench_history.json` entry (falling back
+//! to the newest committed `BENCH_*.json` in git history).
 //!
 //! `translate` is the collection-performance gate: it prints the
 //! page-index counters and the parallel-collector identity check for
@@ -39,6 +51,12 @@ use hpm_bench::*;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // bench-diff is a regular CLI subcommand with positional file
+    // arguments, so it bypasses the table-name dispatch entirely.
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        bench_diff_cmd(&args[1..]);
+        return;
+    }
     let mut trace_out = None;
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         if i + 1 >= args.len() {
@@ -109,6 +127,9 @@ fn main() {
     }
     if want("faults") {
         faults(seed_count);
+    }
+    if want("telemetry") {
+        telemetry();
     }
     if want("lint") {
         lint(deny);
@@ -190,6 +211,137 @@ fn faults(seed_count: u64) {
         );
     }
     println!("(answers verified against an unmigrated run; a panic here fails CI)");
+}
+
+fn telemetry() {
+    hr("Percentile wire telemetry — seeded faults, Ultra 5 pair, 100 Mb/s");
+    println!(
+        "{:<16} {:>7} {:>10} {:>10} {:>11} {:>11} {:>12} {:>9} {:>9} {:>9}",
+        "workload",
+        "chunks",
+        "wire-p50",
+        "wire-p99",
+        "encode-p50",
+        "decode-p50",
+        "retransmits",
+        "retry-p50",
+        "retry-p99",
+        "retry-max"
+    );
+    for r in telemetry_rows() {
+        println!(
+            "{:<16} {:>7} {:>9}u {:>9}u {:>10}u {:>10}u {:>12} {:>9} {:>9} {:>9}",
+            r.label,
+            r.chunks,
+            r.wire_p50_ns / 1_000,
+            r.wire_p99_ns / 1_000,
+            r.encode_p50_ns / 1_000,
+            r.decode_p50_ns / 1_000,
+            r.retransmits,
+            r.retry_p50,
+            r.retry_p99,
+            r.retry_max
+        );
+    }
+    println!("(latencies in µs; wire percentiles are modeled, retry counts seed-deterministic)");
+}
+
+/// Newest-first committed `BENCH_*.json` paths from git history — the
+/// fallback when no `bench_history.json` index exists.
+fn bench_files_from_git() -> Vec<String> {
+    let out = std::process::Command::new("git")
+        .args([
+            "log",
+            "--format=",
+            "--name-only",
+            "--diff-filter=A",
+            "--",
+            "BENCH_*.json",
+        ])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn read_bench(path: &str) -> diff::Json {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    diff::parse_json(&body).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn bench_diff_cmd(args: &[String]) {
+    let mut args: Vec<String> = args.to_vec();
+    let mut threshold = 5.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--threshold") {
+        if i + 1 >= args.len() {
+            eprintln!("--threshold requires a percentage");
+            std::process::exit(2);
+        }
+        threshold = args.remove(i + 1).parse().unwrap_or_else(|_| {
+            eprintln!("--threshold requires a percentage");
+            std::process::exit(2);
+        });
+        args.remove(i);
+    }
+    let mut against_latest = false;
+    if let Some(i) = args.iter().position(|a| a == "--against-latest") {
+        against_latest = true;
+        args.remove(i);
+    }
+    let (old_path, new_path) = if against_latest {
+        let [new_path] = &args[..] else {
+            eprintln!("usage: paper_tables bench-diff --against-latest <new.json>");
+            std::process::exit(2);
+        };
+        let new_name = std::path::Path::new(new_path)
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        // Prefer the committed history index; fall back to git log order.
+        let candidates: Vec<String> = match std::fs::read_to_string("bench_history.json") {
+            Ok(body) => match diff::parse_history(&body) {
+                Ok(h) => h.entries.into_iter().rev().map(|(_, f)| f).collect(),
+                Err(e) => {
+                    eprintln!("bench-diff: {e}");
+                    std::process::exit(2);
+                }
+            },
+            Err(_) => bench_files_from_git(),
+        };
+        let old = candidates
+            .into_iter()
+            .find(|f| *f != new_name && *f != *new_path)
+            .unwrap_or_else(|| {
+                eprintln!("bench-diff: no prior BENCH_*.json found to compare against");
+                std::process::exit(2);
+            });
+        (old, new_path.clone())
+    } else {
+        let [old_path, new_path] = &args[..] else {
+            eprintln!("usage: paper_tables bench-diff [--threshold <pct>] <old.json> <new.json>");
+            std::process::exit(2);
+        };
+        (old_path.clone(), new_path.clone())
+    };
+    let old = read_bench(&old_path);
+    let new = read_bench(&new_path);
+    let report = diff::bench_diff(&old, &new, threshold);
+    print!("{}", diff::render_diff(&report));
+    if !report.violations.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn lint(deny: bool) {

@@ -1,0 +1,702 @@
+//! Bench-diff: compare two `BENCH_<rev>.json` artifacts and gate on
+//! regressions in the *deterministic* counters.
+//!
+//! The benchmark artifact mixes two kinds of numbers. Wall-clock fields
+//! (`*_ns`, `overhead_pct`) vary run to run and machine to machine, so
+//! the diff **reports** them but never gates on them. Counter fields
+//! (searches, search steps, retransmits, lint findings, payload bytes)
+//! are pure functions of the code and the seeds, so a change there is a
+//! real behavioural change — those are **gated**: any worsening beyond
+//! the threshold fails the diff, and CI turns that into a red build.
+//!
+//! The module carries its own minimal JSON reader (the workspace is
+//! dependency-free by design); it supports exactly the subset the bench
+//! artifacts use — objects, arrays, strings, numbers, booleans, null.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (just enough for the bench artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, kept as f64 (bench counters fit exactly below 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset for context.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.i + 4 >= self.b.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.b[self.i..];
+                    let len = match rest[0] {
+                        c if c < 0x80 => 1,
+                        c if c < 0xE0 => 2,
+                        c if c < 0xF0 => 3,
+                        _ => 4,
+                    };
+                    out.push_str(std::str::from_utf8(&rest[..len]).map_err(|e| e.to_string())?);
+                    self.i += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+/// How a gated metric can get worse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// An increase beyond the threshold is a regression (counters).
+    MoreIsWorse,
+    /// A decrease beyond the threshold is a regression (hit rates).
+    LessIsWorse,
+}
+
+/// The gate table: (section, metric, direction, zero_tolerance).
+/// `zero_tolerance` metrics regress on *any* worsening (lint findings,
+/// fallbacks); the rest get the caller's percentage threshold. Every
+/// metric here is a deterministic counter — wall-clock fields are
+/// deliberately absent.
+const GATES: &[(&str, &str, Direction, bool)] = &[
+    ("workloads", "payload_bytes", Direction::MoreIsWorse, false),
+    ("workloads", "searches", Direction::MoreIsWorse, false),
+    ("workloads", "search_steps", Direction::MoreIsWorse, false),
+    ("workloads", "cache_hit_rate", Direction::LessIsWorse, false),
+    ("translate", "search_steps", Direction::MoreIsWorse, false),
+    (
+        "translate",
+        "steps_per_search",
+        Direction::MoreIsWorse,
+        false,
+    ),
+    ("faults", "fallbacks", Direction::MoreIsWorse, true),
+    ("faults", "retransmits", Direction::MoreIsWorse, false),
+    ("lint", "warnings", Direction::MoreIsWorse, true),
+    ("lint", "errors", Direction::MoreIsWorse, true),
+    ("telemetry", "retransmits", Direction::MoreIsWorse, false),
+    ("telemetry", "retry_max", Direction::MoreIsWorse, false),
+];
+
+/// One numeric metric compared across the two artifacts.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Section name (`workloads`, `translate`, …).
+    pub section: String,
+    /// Entry key within the section (workload name or fault rate).
+    pub entry: String,
+    /// Metric field name.
+    pub metric: String,
+    /// Old value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change in percent (`+` = increased).
+    pub pct: f64,
+    /// Whether this metric is in the regression gate.
+    pub gated: bool,
+    /// Whether the gate flagged it.
+    pub violation: bool,
+}
+
+/// The full comparison: every shared numeric metric, plus bookkeeping
+/// for what could not be compared.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Revision label of the old artifact.
+    pub old_rev: String,
+    /// Revision label of the new artifact.
+    pub new_rev: String,
+    /// Per-metric deltas, in artifact order.
+    pub deltas: Vec<MetricDelta>,
+    /// Gate violations, human-readable (nonempty ⇒ CI fails).
+    pub violations: Vec<String>,
+    /// Sections/entries present on one side only (older schemas lack
+    /// newer sections — reported, never fatal).
+    pub skipped: Vec<String>,
+}
+
+fn entry_key(item: &Json) -> String {
+    if let Some(name) = item.get("name").and_then(Json::as_str) {
+        return name.to_string();
+    }
+    if let Some(rate) = item.get("rate_per_mille").and_then(Json::as_f64) {
+        return format!("rate_{rate}");
+    }
+    if let Some(seed) = item.get("seed").and_then(Json::as_f64) {
+        return format!("seed_{seed}");
+    }
+    "?".to_string()
+}
+
+fn gate_for(section: &str, metric: &str) -> Option<(Direction, bool)> {
+    GATES
+        .iter()
+        .find(|(s, m, _, _)| *s == section && *m == metric)
+        .map(|(_, _, d, z)| (*d, *z))
+}
+
+/// Compare two parsed bench artifacts. `threshold_pct` is the worsening
+/// allowed on thresholded gates (e.g. `5.0` = 5%); zero-tolerance gates
+/// ignore it.
+pub fn bench_diff(old: &Json, new: &Json, threshold_pct: f64) -> DiffReport {
+    let mut report = DiffReport {
+        old_rev: old
+            .get("revision")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        new_rev: new
+            .get("revision")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        ..DiffReport::default()
+    };
+
+    let sections = match new {
+        Json::Obj(fields) => fields,
+        _ => {
+            report
+                .violations
+                .push("new artifact is not an object".into());
+            return report;
+        }
+    };
+
+    for (section, new_val) in sections {
+        if section == "revision" {
+            continue;
+        }
+        let new_items = match new_val.as_arr() {
+            Some(items) => items,
+            None => continue,
+        };
+        let old_items = match old.get(section).and_then(Json::as_arr) {
+            Some(items) => items,
+            None => {
+                report
+                    .skipped
+                    .push(format!("section '{section}' absent in {}", report.old_rev));
+                continue;
+            }
+        };
+        for new_item in new_items {
+            let key = entry_key(new_item);
+            let old_item = match old_items.iter().find(|o| entry_key(o) == key) {
+                Some(o) => o,
+                None => {
+                    report
+                        .skipped
+                        .push(format!("{section}/{key} absent in {}", report.old_rev));
+                    continue;
+                }
+            };
+            diff_entry(
+                section,
+                &key,
+                old_item,
+                new_item,
+                threshold_pct,
+                &mut report,
+            );
+        }
+    }
+    report
+}
+
+fn diff_entry(
+    section: &str,
+    key: &str,
+    old_item: &Json,
+    new_item: &Json,
+    threshold_pct: f64,
+    report: &mut DiffReport,
+) {
+    let fields = match new_item {
+        Json::Obj(fields) => fields,
+        _ => return,
+    };
+    for (metric, new_val) in fields {
+        // Booleans gate on truth decay: true → false is a regression.
+        if let (Some(o), Some(n)) = (
+            old_item.get(metric).and_then(Json::as_bool),
+            new_val.as_bool(),
+        ) {
+            if o && !n {
+                report
+                    .violations
+                    .push(format!("{section}/{key}: {metric} flipped true -> false"));
+            }
+            continue;
+        }
+        let (Some(o), Some(n)) = (
+            old_item.get(metric).and_then(Json::as_f64),
+            new_val.as_f64(),
+        ) else {
+            continue;
+        };
+        let pct = if o == 0.0 {
+            if n == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (n / o - 1.0) * 100.0
+        };
+        let gate = gate_for(section, metric);
+        let mut violation = false;
+        if let Some((direction, zero_tolerance)) = gate {
+            let allowed = if zero_tolerance { 0.0 } else { threshold_pct };
+            let worsened_pct = match direction {
+                Direction::MoreIsWorse => pct,
+                Direction::LessIsWorse => -pct,
+            };
+            // old == 0: any worsening in the bad direction is infinite
+            // relative growth; flag it when the raw values differ.
+            violation = if o == 0.0 {
+                match direction {
+                    Direction::MoreIsWorse => n > 0.0,
+                    Direction::LessIsWorse => false,
+                }
+            } else {
+                worsened_pct > allowed + 1e-9
+            };
+            if violation {
+                report.violations.push(format!(
+                    "{section}/{key}: {metric} {o} -> {n} ({pct:+.1}%, allowed {allowed:.1}%)"
+                ));
+            }
+        }
+        report.deltas.push(MetricDelta {
+            section: section.to_string(),
+            entry: key.to_string(),
+            metric: metric.clone(),
+            old: o,
+            new: n,
+            pct,
+            gated: gate.is_some(),
+            violation,
+        });
+    }
+}
+
+/// Render the diff as an aligned human table: gated metrics always,
+/// ungated ones only when they moved more than 1% (wall-clock noise
+/// suppression), violations flagged in the last column.
+pub fn render_diff(report: &DiffReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-diff: {} -> {}  ({} metrics compared)",
+        report.old_rev,
+        report.new_rev,
+        report.deltas.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<16} {:<18} {:>14} {:>14} {:>9}  gate",
+        "section", "entry", "metric", "old", "new", "delta"
+    );
+    for d in &report.deltas {
+        if !d.gated && d.pct.abs() <= 1.0 {
+            continue;
+        }
+        let gate = if d.violation {
+            "FAIL"
+        } else if d.gated {
+            "ok"
+        } else {
+            "-"
+        };
+        let pct = if d.pct.is_finite() {
+            format!("{:+.1}%", d.pct)
+        } else {
+            "new".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:<18} {:>14} {:>14} {:>9}  {}",
+            d.section,
+            d.entry,
+            d.metric,
+            trim_num(d.old),
+            trim_num(d.new),
+            pct,
+            gate
+        );
+    }
+    for s in &report.skipped {
+        let _ = writeln!(out, "skipped: {s}");
+    }
+    if report.violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "gate: PASS (threshold respected on every gated counter)"
+        );
+    } else {
+        for v in &report.violations {
+            let _ = writeln!(out, "gate: REGRESSION: {v}");
+        }
+    }
+    out
+}
+
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// The committed bench-history index (`bench_history.json`): artifact
+/// files in chronological order, oldest first. This normalizes the early
+/// artifacts (whose schemas predate the `translate`/`lint`/`telemetry`
+/// sections) into one walkable trajectory without rewriting them.
+#[derive(Debug, Clone)]
+pub struct BenchHistory {
+    /// `(revision, file)` pairs, oldest first.
+    pub entries: Vec<(String, String)>,
+}
+
+/// Parse `bench_history.json` content.
+pub fn parse_history(s: &str) -> Result<BenchHistory, String> {
+    let doc = parse_json(s)?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("bench_history.json: missing 'entries' array")?;
+    let mut out = Vec::new();
+    for e in entries {
+        let rev = e
+            .get("revision")
+            .and_then(Json::as_str)
+            .ok_or("bench_history.json: entry missing 'revision'")?;
+        let file = e
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or("bench_history.json: entry missing 'file'")?;
+        out.push((rev.to_string(), file.to_string()));
+    }
+    Ok(BenchHistory { entries: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+        "revision": "aaa1111",
+        "workloads": [
+            {"name": "w", "payload_bytes": 1000, "collect_ns": 500, "searches": 10,
+             "search_steps": 20, "cache_hit_rate": 0.9}
+        ],
+        "lint": [{"name": "w", "warnings": 0, "errors": 0, "wall_ns": 5}]
+    }"#;
+
+    #[test]
+    fn parser_round_trips_the_artifact_subset() {
+        let v = parse_json(OLD).unwrap();
+        assert_eq!(v.get("revision").and_then(Json::as_str), Some("aaa1111"));
+        let w = &v.get("workloads").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(w.get("payload_bytes").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(w.get("cache_hit_rate").and_then(Json::as_f64), Some(0.9));
+        assert!(parse_json("[1, true, null, \"a\\nb\"]").is_ok());
+        assert!(parse_json("{bad").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let old = parse_json(OLD).unwrap();
+        let report = bench_diff(&old, &old, 5.0);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.deltas.iter().all(|d| !d.violation));
+    }
+
+    #[test]
+    fn counter_regressions_fail_and_wall_clock_noise_does_not() {
+        let old = parse_json(OLD).unwrap();
+        let new = parse_json(
+            &OLD.replace("\"search_steps\": 20", "\"search_steps\": 40")
+                .replace("\"collect_ns\": 500", "\"collect_ns\": 50000")
+                .replace("\"revision\": \"aaa1111\"", "\"revision\": \"bbb2222\""),
+        )
+        .unwrap();
+        let report = bench_diff(&old, &new, 5.0);
+        // search_steps doubled: gated, fails. collect_ns exploded: wall
+        // clock, reported but never gated.
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("search_steps"));
+        let collect = report
+            .deltas
+            .iter()
+            .find(|d| d.metric == "collect_ns")
+            .unwrap();
+        assert!(!collect.gated && !collect.violation);
+        let rendered = render_diff(&report);
+        assert!(rendered.contains("REGRESSION"));
+        assert!(rendered.contains("aaa1111 -> bbb2222"));
+    }
+
+    #[test]
+    fn lint_findings_are_zero_tolerance() {
+        let old = parse_json(OLD).unwrap();
+        let new = parse_json(&OLD.replace("\"warnings\": 0", "\"warnings\": 1")).unwrap();
+        let report = bench_diff(&old, &new, 50.0);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("warnings"));
+    }
+
+    #[test]
+    fn hit_rate_decay_beyond_threshold_fails() {
+        let old = parse_json(OLD).unwrap();
+        let new = parse_json(&OLD.replace("0.9", "0.5")).unwrap();
+        let report = bench_diff(&old, &new, 5.0);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("cache_hit_rate")));
+        // Within threshold: fine.
+        let near = parse_json(&OLD.replace("0.9", "0.88")).unwrap();
+        assert!(bench_diff(&old, &near, 5.0).violations.is_empty());
+    }
+
+    #[test]
+    fn missing_sections_are_skipped_not_fatal() {
+        let old = parse_json(r#"{"revision": "old", "workloads": []}"#).unwrap();
+        let new = parse_json(OLD).unwrap();
+        let report = bench_diff(&old, &new, 5.0);
+        assert!(report.violations.is_empty());
+        assert!(report.skipped.iter().any(|s| s.contains("lint")));
+        assert!(report.skipped.iter().any(|s| s.contains("workloads/w")));
+    }
+
+    #[test]
+    fn history_index_parses_in_order() {
+        let h = parse_history(
+            r#"{"schema": 1, "entries": [
+                {"revision": "a", "file": "BENCH_a.json"},
+                {"revision": "b", "file": "BENCH_b.json"}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(h.entries.len(), 2);
+        assert_eq!(h.entries[1], ("b".to_string(), "BENCH_b.json".to_string()));
+    }
+}

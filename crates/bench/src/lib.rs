@@ -15,17 +15,18 @@
 //! | DESIGN.md ablations | [`ablation_rows`] |
 //! | DESIGN.md §7 translation perf | [`translate_rows`] |
 
+pub mod diff;
 pub mod harness;
 
 use hpm_arch::Architecture;
 use hpm_core::SearchStrategy;
 use hpm_migrate::{
-    resume_from_image, run_migrating, run_migrating_pipelined, run_migrating_resilient,
-    run_migrating_traced, run_straight, run_to_migration, FallbackPolicy, MigratedSource,
-    MigrationRun, PipelineConfig, RecoveryPolicy, Trigger,
+    resume_from_image, run_migrating, run_migrating_pipelined, run_migrating_recorded,
+    run_migrating_resilient, run_migrating_traced, run_straight, run_to_migration, FallbackPolicy,
+    MigratedSource, MigrationRun, PipelineConfig, RecoveryPolicy, Trigger,
 };
 use hpm_net::{FaultPlan, NetworkModel};
-use hpm_obs::Tracer;
+use hpm_obs::{FlightRecorder, Tracer};
 use hpm_workloads::{diff_results, BitonicSort, Linpack, PollPlacement, TestPointer};
 use std::time::{Duration, Instant};
 
@@ -400,6 +401,46 @@ pub fn overhead_rows() -> Vec<OverheadRow> {
             wall,
             polls: proc.poll_count(),
             registrations: proc.msrlt.stats().registrations,
+            overhead_pct: pct(wall, base),
+        });
+    }
+
+    // --- flight-recorder ablation on a full linpack migration: the
+    // recorder fires per chunk/phase, not per byte, so a complete
+    // migration with it enabled must track the disabled run ---
+    let n = 300;
+    let mut base = Duration::ZERO;
+    for mode in ["off", "on"] {
+        let recorder = if mode == "on" {
+            FlightRecorder::new()
+        } else {
+            FlightRecorder::disabled()
+        };
+        let mut wall = Duration::MAX;
+        let mut polls = 0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let run = run_migrating_recorded(
+                move || Linpack::truncated(n, 4),
+                Architecture::ultra5(),
+                Architecture::ultra5(),
+                NetworkModel::ethernet_100(),
+                Trigger::AtPollCount(2),
+                &Tracer::disabled(),
+                &recorder,
+            )
+            .expect("linpack migrates under the recorder ablation");
+            wall = wall.min(t0.elapsed());
+            polls = run.report.src_polls;
+        }
+        if mode == "off" {
+            base = wall;
+        }
+        rows.push(OverheadRow {
+            label: format!("linpack {n}: migrate, recorder {mode}"),
+            wall,
+            polls,
+            registrations: 0,
             overhead_pct: pct(wall, base),
         });
     }
@@ -867,6 +908,137 @@ pub const CI_SOAK_SEEDS: [u64; 3] = [
     0x50AC_0000_0000_0018, // severs the link at chunk 9: forces source-resume
 ];
 
+/// Percentile wire telemetry for one workload: per-chunk latency
+/// distributions and the ARQ retry-count distribution, from one
+/// fixed-seed resilient migration on the Table 1 testbed.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Workload label.
+    pub label: String,
+    /// Wire frames shipped (prefix + payload chunks + terminator).
+    pub chunks: u64,
+    /// Median modeled per-chunk wire latency (ns).
+    pub wire_p50_ns: u64,
+    /// 99th-percentile modeled per-chunk wire latency (ns).
+    pub wire_p99_ns: u64,
+    /// Worst modeled per-chunk wire latency (ns).
+    pub wire_max_ns: u64,
+    /// Median per-chunk encode latency (ns) — wall clock, report-only.
+    pub encode_p50_ns: u64,
+    /// 99th-percentile per-chunk encode latency (ns).
+    pub encode_p99_ns: u64,
+    /// Median per-chunk decode latency (ns) — wall clock, report-only.
+    pub decode_p50_ns: u64,
+    /// 99th-percentile per-chunk decode latency (ns).
+    pub decode_p99_ns: u64,
+    /// Total frame retransmissions (seed-deterministic).
+    pub retransmits: u64,
+    /// Median per-chunk retry count (seed-deterministic).
+    pub retry_p50: u64,
+    /// 99th-percentile per-chunk retry count (seed-deterministic).
+    pub retry_p99: u64,
+    /// Worst per-chunk retry count (seed-deterministic).
+    pub retry_max: u64,
+}
+
+/// One fixed-seed resilient migration per paper workload under mild
+/// (20‰ drop/corrupt, 10‰ dup/reorder) seeded faults, Ultra 5 pair at
+/// 100 Mb/s. The wire-latency percentiles come from the channel's
+/// modeled per-chunk transmission times (deterministic); the ARQ retry
+/// distribution is a pure function of the seed; encode/decode
+/// percentiles are wall-clock and therefore report-only.
+pub fn telemetry_rows() -> Vec<TelemetryRow> {
+    let link = NetworkModel::ethernet_100();
+    let cfg = PipelineConfig {
+        chunk_bytes: 4096,
+        pace: false,
+        pace_scale: 0.0,
+    };
+    let policy = RecoveryPolicy {
+        max_retries: 8,
+        backoff: Duration::from_millis(1),
+        fallback: FallbackPolicy::SourceResume,
+    };
+    let plan = |seed: u64| FaultPlan {
+        seed,
+        drop_per_mille: 20,
+        corrupt_per_mille: 20,
+        duplicate_per_mille: 10,
+        reorder_per_mille: 10,
+        delay_per_mille: 0,
+        disconnect_at: None,
+    };
+    let runs: Vec<(&str, MigrationRun)> = vec![
+        (
+            "test_pointer",
+            run_migrating_resilient(
+                TestPointer::new,
+                Architecture::ultra5(),
+                Architecture::ultra5(),
+                link,
+                Trigger::AtPollCount(8),
+                cfg,
+                plan(0x7E1E_0000_0000_0001),
+                policy,
+            )
+            .expect("telemetry: test_pointer migrates"),
+        ),
+        (
+            "linpack_600",
+            run_migrating_resilient(
+                || Linpack::truncated(600, 4),
+                Architecture::ultra5(),
+                Architecture::ultra5(),
+                link,
+                Trigger::AtPollCount(2),
+                cfg,
+                plan(0x7E1E_0000_0000_0002),
+                policy,
+            )
+            .expect("telemetry: linpack migrates"),
+        ),
+        (
+            "bitonic_20000",
+            run_migrating_resilient(
+                || BitonicSort::new(20_000),
+                Architecture::ultra5(),
+                Architecture::ultra5(),
+                link,
+                Trigger::AtPollCount(20_000),
+                cfg,
+                plan(0x7E1E_0000_0000_0003),
+                policy,
+            )
+            .expect("telemetry: bitonic migrates"),
+        ),
+    ];
+    runs.into_iter()
+        .map(|(label, run)| {
+            let p = run
+                .report
+                .pipeline
+                .expect("telemetry seeds complete without fallback");
+            let r = run.report.recovery.expect("resilient runs carry stats");
+            let w = run.report.transfer.wire_lat;
+            TelemetryRow {
+                label: label.to_string(),
+                chunks: p.chunks,
+                wire_p50_ns: w.p50(),
+                wire_p99_ns: w.p99(),
+                wire_max_ns: w.max,
+                encode_p50_ns: p.encode_lat.p50(),
+                encode_p99_ns: p.encode_lat.p99(),
+                decode_p50_ns: p.decode_lat.p50(),
+                decode_p99_ns: p.decode_lat.p99(),
+                retransmits: r.retransmits,
+                retry_p50: r.retry_hist.p50(),
+                retry_p99: r.retry_hist.p99(),
+                retry_max: r.retry_hist.max,
+            }
+        })
+        .collect()
+}
+
 /// One workload through the analyzer's non-source pass families: the
 /// pre-flight registry audit of the frozen process's live MSRLT, plus
 /// the portability audit of its TI table against every preset pair.
@@ -929,7 +1101,9 @@ pub fn lint_rows() -> Vec<LintRow> {
 /// translation-cache hit rate, on the Table 1 testbed — plus the
 /// translation-performance table (page-index counters and parallel
 /// byte-identity), the recovery-overhead-vs-fault-rate sweep on the
-/// 10 Mb/s link, and the per-workload analyzer findings.
+/// 10 Mb/s link, the percentile wire/ARQ telemetry rows, and the
+/// per-workload analyzer findings. Compare two artifacts with
+/// `paper_tables bench-diff` (see [`diff`]).
 pub fn bench_json(revision: &str) -> String {
     let link = NetworkModel::ethernet_100();
     let rows = [
@@ -1004,6 +1178,31 @@ pub fn bench_json(revision: &str) -> String {
             r.mean_overhead.as_nanos(),
             r.overhead_pct,
             if i + 1 == frows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"telemetry\": [\n");
+    let telemetry = telemetry_rows();
+    for (i, r) in telemetry.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"chunks\": {}, \"wire_p50_ns\": {}, \"wire_p99_ns\": {}, \
+             \"wire_max_ns\": {}, \"encode_p50_ns\": {}, \"encode_p99_ns\": {}, \
+             \"decode_p50_ns\": {}, \"decode_p99_ns\": {}, \"retransmits\": {}, \
+             \"retry_p50\": {}, \"retry_p99\": {}, \"retry_max\": {}}}{}\n",
+            r.label,
+            r.chunks,
+            r.wire_p50_ns,
+            r.wire_p99_ns,
+            r.wire_max_ns,
+            r.encode_p50_ns,
+            r.encode_p99_ns,
+            r.decode_p50_ns,
+            r.decode_p99_ns,
+            r.retransmits,
+            r.retry_p50,
+            r.retry_p99,
+            r.retry_max,
+            if i + 1 == telemetry.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");

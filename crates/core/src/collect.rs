@@ -33,7 +33,7 @@ use crate::msrlt::{LogicalId, Msrlt};
 use crate::CoreError;
 use hpm_arch::CScalar;
 use hpm_memory::AddressSpace;
-use hpm_obs::{StatField, StatGroup, Tracer};
+use hpm_obs::{FlightTrack, StatField, StatGroup, Tracer};
 use hpm_types::plan::{PlanOp, SavePlan};
 use hpm_types::TypeId;
 use hpm_xdr::XdrEncoder;
@@ -215,6 +215,10 @@ pub struct Collector<'a> {
     chunk_bytes: usize,
     flushed_bytes: u64,
     mode: TranslationMode,
+    /// Flight-recorder track: each flushed chunk leaves one event, so a
+    /// post-mortem names the chunk the collector was cutting when a
+    /// migration died. `None` costs one branch per flush.
+    flight: Option<FlightTrack>,
 }
 
 /// Cap on the collector's pre-sized encoder buffer; images beyond this
@@ -251,7 +255,15 @@ impl<'a> Collector<'a> {
             chunk_bytes: usize::MAX,
             flushed_bytes: 0,
             mode: TranslationMode::default(),
+            flight: None,
         }
+    }
+
+    /// Attach a flight-recorder track: every flushed chunk emits a
+    /// `chunk.flush` event and [`Collector::finish`] a `collect.done`.
+    pub fn with_flight(mut self, flight: FlightTrack) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// Select bulk or per-element scalar translation (ablation control;
@@ -382,6 +394,15 @@ impl<'a> Collector<'a> {
                 let bytes = std::mem::take(&mut self.enc).into_bytes();
                 self.flushed_bytes += bytes.len() as u64;
                 self.stats.chunks_flushed += 1;
+                if let Some(t) = &self.flight {
+                    t.event(
+                        "chunk.flush",
+                        &[
+                            ("chunk", self.stats.chunks_flushed - 1),
+                            ("bytes", bytes.len() as u64),
+                        ],
+                    );
+                }
                 // The stream is complete; a sink failure here cannot be
                 // surfaced through the historical signature, so drop it —
                 // the receiver detects the missing tail as truncation.
@@ -389,11 +410,20 @@ impl<'a> Collector<'a> {
             }
             let mut stats = self.stats;
             stats.bytes_out = self.flushed_bytes;
+            if let Some(t) = &self.flight {
+                t.event(
+                    "collect.done",
+                    &[("bytes", stats.bytes_out), ("chunks", stats.chunks_flushed)],
+                );
+            }
             return (Vec::new(), stats);
         }
         let mut stats = self.stats;
         let bytes = self.enc.into_bytes();
         stats.bytes_out = bytes.len() as u64;
+        if let Some(t) = &self.flight {
+            t.event("collect.done", &[("bytes", stats.bytes_out), ("chunks", 0)]);
+        }
         (bytes, stats)
     }
 
@@ -415,6 +445,7 @@ impl<'a> Collector<'a> {
                 self.chunk_bytes,
                 &mut self.flushed_bytes,
                 &mut self.stats,
+                &self.flight,
             )?;
         }
         Ok(())
@@ -478,6 +509,7 @@ impl<'a> Collector<'a> {
                             self.chunk_bytes,
                             &mut self.flushed_bytes,
                             &mut self.stats,
+                            &self.flight,
                         )?;
                     }
                 }
@@ -530,6 +562,7 @@ impl<'a> Collector<'a> {
                         self.chunk_bytes,
                         &mut self.flushed_bytes,
                         &mut self.stats,
+                        &self.flight,
                     )?;
                 }
             }
@@ -626,6 +659,7 @@ impl<'a> Collector<'a> {
                             self.chunk_bytes,
                             &mut self.flushed_bytes,
                             &mut self.stats,
+                            &self.flight,
                         )?;
                     }
                 }
@@ -693,10 +727,20 @@ fn flush_now(
     chunk_bytes: usize,
     flushed_bytes: &mut u64,
     stats: &mut CollectStats,
+    flight: &Option<FlightTrack>,
 ) -> Result<(), CoreError> {
     let bytes = std::mem::replace(enc, XdrEncoder::with_capacity(chunk_bytes * 2)).into_bytes();
     *flushed_bytes += bytes.len() as u64;
     stats.chunks_flushed += 1;
+    if let Some(t) = flight {
+        t.event(
+            "chunk.flush",
+            &[
+                ("chunk", stats.chunks_flushed - 1),
+                ("bytes", bytes.len() as u64),
+            ],
+        );
+    }
     sink(bytes)
 }
 

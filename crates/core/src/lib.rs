@@ -43,7 +43,7 @@ pub use fingerprint::type_fingerprint;
 pub use graph::{MsrEdge, MsrGraph, MsrVertex};
 pub use image::{ImageHeader, IMAGE_MAGIC, IMAGE_VERSION};
 pub use msrlt::{LogicalId, Msrlt, MsrltEntry, MsrltStats, SearchStrategy};
-pub use parallel::{collect_parallel, SharedVisited};
+pub use parallel::{collect_parallel, collect_parallel_flight, ShardReport, SharedVisited};
 pub use restore::{RestoreStats, Restorer};
 pub use stream::{ChunkPayload, ChunkSource};
 

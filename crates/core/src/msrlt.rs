@@ -141,6 +141,9 @@ pub struct MsrltStats {
     pub cache_hits: u64,
     /// Searches that fell through the cache to the configured strategy.
     pub cache_misses: u64,
+    /// Cached translations displaced by a different page mapping to the
+    /// same direct-mapped slot.
+    pub cache_evictions: u64,
     /// Per-segment cache accounting plus page-walk/fallback breakdown.
     pub translate: TranslateStats,
     /// Wall time spent registering.
@@ -175,6 +178,7 @@ impl StatGroup for MsrltStats {
             StatField::count("id_lookups", self.id_lookups),
             StatField::count("cache_hits", self.cache_hits),
             StatField::count("cache_misses", self.cache_misses),
+            StatField::count("cache_evictions", self.cache_evictions),
             StatField::ratio("cache_hit_rate", self.cache_hit_rate()),
             StatField::duration("register_time", self.register_time),
             StatField::duration("search_time", self.search_time),
@@ -189,6 +193,7 @@ impl StatGroup for MsrltStats {
         self.id_lookups += other.id_lookups;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
         self.translate.merge_from(&other.translate);
         self.register_time += other.register_time;
         self.search_time += other.search_time;
@@ -721,7 +726,11 @@ impl Msrlt {
                         .unwrap_or(CacheWay::Block(id)),
                     _ => CacheWay::Block(id),
                 };
-                self.cache_slots[Self::cache_slot(page)] = Some((page, way));
+                let slot = Self::cache_slot(page);
+                if matches!(self.cache_slots[slot], Some((p, _)) if p != page) {
+                    self.stats.cache_evictions += 1;
+                }
+                self.cache_slots[slot] = Some((page, way));
             }
         }
         self.stats.search_time += t0.elapsed();

@@ -35,9 +35,82 @@ use crate::msrlt::{LogicalId, Msrlt, MsrltStats};
 use crate::CoreError;
 use hpm_arch::CScalar;
 use hpm_memory::AddressSpace;
-use hpm_obs::StatGroup;
+use hpm_obs::{FlightTrack, Histogram, StatField, StatGroup};
 use hpm_types::plan::PlanOp;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Per-shard accounting from one parallel collection: how many payload
+/// bytes each worker produced. Everything else (imbalance, histogram
+/// quantiles) derives from this vector, and it is deterministic — shard
+/// membership is `root_index % workers`, independent of scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Payload bytes encoded by each worker, indexed by worker id.
+    pub shard_bytes: Vec<u64>,
+    /// Roots encoded by each worker, indexed by worker id.
+    pub shard_roots: Vec<u64>,
+}
+
+impl ShardReport {
+    /// Number of workers that participated.
+    pub fn workers(&self) -> u64 {
+        self.shard_bytes.len() as u64
+    }
+
+    /// Largest per-shard payload.
+    pub fn max_bytes(&self) -> u64 {
+        self.shard_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-shard payload (0 with no shards).
+    pub fn mean_bytes(&self) -> u64 {
+        if self.shard_bytes.is_empty() {
+            0
+        } else {
+            self.shard_bytes.iter().sum::<u64>() / self.shard_bytes.len() as u64
+        }
+    }
+
+    /// Load imbalance: `max/mean − 1` (0.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_bytes();
+        if mean == 0 {
+            0.0
+        } else {
+            self.max_bytes() as f64 / mean as f64 - 1.0
+        }
+    }
+
+    /// Per-shard byte distribution as a log-bucketed histogram snapshot
+    /// (p50/p99 shard size for the telemetry section).
+    pub fn bytes_histogram(&self) -> hpm_obs::HistogramSnapshot {
+        let h = Histogram::new();
+        for &b in &self.shard_bytes {
+            h.observe(b);
+        }
+        h.snapshot()
+    }
+}
+
+impl StatGroup for ShardReport {
+    fn group(&self) -> &'static str {
+        "parallel.shards"
+    }
+
+    fn fields(&self) -> Vec<StatField> {
+        vec![
+            StatField::count("workers", self.workers()),
+            StatField::bytes("bytes_max", self.max_bytes()),
+            StatField::bytes("bytes_mean", self.mean_bytes()),
+            StatField::ratio("imbalance", self.imbalance()),
+        ]
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.shard_bytes.extend_from_slice(&other.shard_bytes);
+        self.shard_roots.extend_from_slice(&other.shard_roots);
+    }
+}
 
 /// Shared visited bitmap over dense logical-id indices, plus the owning
 /// root of each claimed block. Written by the sequential claim pass,
@@ -173,7 +246,29 @@ pub fn collect_parallel(
     workers: usize,
     mode: TranslationMode,
 ) -> Result<(Vec<u8>, CollectStats, MsrltStats), CoreError> {
+    let (payload, stats, msrlt_stats, _) =
+        collect_parallel_flight(space, msrlt, roots, workers, mode, None)?;
+    Ok((payload, stats, msrlt_stats))
+}
+
+/// [`collect_parallel`] plus per-shard accounting and flight-recorder
+/// events. Shard events are emitted *after* the join, in worker order,
+/// so the recorded sequence is independent of thread scheduling.
+pub fn collect_parallel_flight(
+    space: &AddressSpace,
+    msrlt: &Msrlt,
+    roots: &[u64],
+    workers: usize,
+    mode: TranslationMode,
+    flight: Option<&FlightTrack>,
+) -> Result<(Vec<u8>, CollectStats, MsrltStats, ShardReport), CoreError> {
     let workers = workers.max(1).min(roots.len().max(1));
+    if let Some(t) = flight {
+        t.event(
+            "claim.start",
+            &[("roots", roots.len() as u64), ("workers", workers as u64)],
+        );
+    }
     let visited = SharedVisited::new(msrlt);
     {
         let mut claim_space = space.clone();
@@ -252,12 +347,34 @@ pub fn collect_parallel(
 
     let mut stats = CollectStats::default();
     let mut msrlt_stats = MsrltStats::default();
-    for sh in &shards {
+    let mut report = ShardReport::default();
+    for (w, sh) in shards.iter().enumerate() {
         stats.merge_from(&sh.stats);
         msrlt_stats.merge_from(&sh.msrlt_stats);
+        report.shard_bytes.push(sh.payload.len() as u64);
+        report.shard_roots.push(sh.segments.len() as u64);
+        if let Some(t) = flight {
+            t.event(
+                "shard.encoded",
+                &[
+                    ("shard", w as u64),
+                    ("roots", sh.segments.len() as u64),
+                    ("bytes", sh.payload.len() as u64),
+                ],
+            );
+        }
     }
     stats.bytes_out = payload.len() as u64;
-    Ok((payload, stats, msrlt_stats))
+    if let Some(t) = flight {
+        t.event(
+            "splice.done",
+            &[
+                ("payload_bytes", payload.len() as u64),
+                ("shards", report.workers()),
+            ],
+        );
+    }
+    Ok((payload, stats, msrlt_stats, report))
 }
 
 #[cfg(test)]

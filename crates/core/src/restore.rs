@@ -25,7 +25,7 @@ use crate::stream::ChunkPayload;
 use crate::CoreError;
 use hpm_arch::{CScalar, ScalarValue, XdrForm};
 use hpm_memory::AddressSpace;
-use hpm_obs::{StatField, StatGroup, Tracer};
+use hpm_obs::{FlightTrack, StatField, StatGroup, Tracer};
 use hpm_types::plan::{PlanOp, SavePlan};
 use hpm_types::TypeId;
 use hpm_xdr::XdrDecoder;
@@ -174,6 +174,10 @@ pub struct Restorer<'a> {
     stats: RestoreStats,
     tracer: Tracer,
     mode: TranslationMode,
+    /// Flight-recorder track: each restored variable leaves one event so
+    /// a post-mortem names how far restoration got. `None` costs one
+    /// branch per variable.
+    flight: Option<FlightTrack>,
 }
 
 impl<'a> Restorer<'a> {
@@ -216,7 +220,15 @@ impl<'a> Restorer<'a> {
             stats: RestoreStats::default(),
             tracer: Tracer::disabled(),
             mode: TranslationMode::default(),
+            flight: None,
         }
+    }
+
+    /// Attach a flight-recorder track: every `restore_variable` emits a
+    /// `var.restored` event carrying the stream position.
+    pub fn with_flight(mut self, flight: FlightTrack) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// Select bulk or per-element scalar translation. The gate is this
@@ -247,6 +259,27 @@ impl<'a> Restorer<'a> {
     /// `Restore_variable`: restore the next stream item into the live
     /// variable block at `addr` (paper: `Restore_variable(&first)`).
     pub fn restore_variable(&mut self, addr: u64) -> Result<(), CoreError> {
+        let r = self.restore_variable_inner(addr);
+        if let Some(t) = &self.flight {
+            match &r {
+                Ok(()) => t.event(
+                    "var.restored",
+                    &[
+                        ("consumed", self.dec.consumed()),
+                        ("blocks", self.stats.blocks_restored),
+                    ],
+                ),
+                Err(e) => t.event_note(
+                    "var.failed",
+                    &[("consumed", self.dec.consumed())],
+                    &e.to_string(),
+                ),
+            }
+        }
+        r
+    }
+
+    fn restore_variable_inner(&mut self, addr: u64) -> Result<(), CoreError> {
         let (local_id, off) = self
             .msrlt
             .lookup_addr(addr)

@@ -31,8 +31,8 @@ use crate::exec::{ExecutionState, FrameState};
 use crate::process::Process;
 use crate::MigError;
 use hpm_core::{
-    collect_parallel, ChunkPayload, ChunkSink, CollectStats, Collector, CoreError, RestoreStats,
-    Restorer, TranslationMode,
+    collect_parallel_flight, ChunkPayload, ChunkSink, CollectStats, Collector, CoreError,
+    RestoreStats, Restorer, ShardReport, TranslationMode,
 };
 use hpm_memory::FrameId;
 use hpm_obs::{StatGroup, Tracer};
@@ -139,6 +139,9 @@ pub struct MigCtx<'p> {
     /// Instant the final `restore_frame` completed.
     finished_at: Option<Instant>,
     tracer: Tracer,
+    /// Flight-recorder track attached to every [`Restorer`] this context
+    /// creates (post-mortem restore progress); `None` is free.
+    flight: Option<hpm_obs::FlightTrack>,
 }
 
 impl<'p> MigCtx<'p> {
@@ -153,6 +156,7 @@ impl<'p> MigCtx<'p> {
             finished_chunks: 0,
             finished_at: None,
             tracer: Tracer::disabled(),
+            flight: None,
         }
     }
 
@@ -160,6 +164,12 @@ impl<'p> MigCtx<'p> {
     /// nested block/alloc events from the [`Restorer`]).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach a flight-recorder track: every restored variable leaves a
+    /// `var.restored` event on it (see [`Restorer::with_flight`]).
+    pub fn set_flight(&mut self, flight: hpm_obs::FlightTrack) {
+        self.flight = Some(flight);
     }
 
     /// Context for a destination-side resume.
@@ -206,6 +216,7 @@ impl<'p> MigCtx<'p> {
             finished_chunks: 0,
             finished_at: None,
             tracer: Tracer::disabled(),
+            flight: None,
         }
     }
 
@@ -356,6 +367,9 @@ impl<'p> MigCtx<'p> {
             }
         }
         .with_tracer(self.tracer.clone());
+        if let Some(t) = &self.flight {
+            restorer = restorer.with_flight(t.clone());
+        }
         for &addr in live {
             restorer.restore_variable(addr).map_err(|e| match &e {
                 CoreError::TruncatedChunk { .. } => {
@@ -502,21 +516,34 @@ pub fn collect_pending_parallel(
     pending: &[PendingFrame],
     workers: usize,
 ) -> Result<(Vec<u8>, ExecutionState, CollectStats), MigError> {
+    let (payload, exec, stats, _) = collect_pending_parallel_flight(proc, pending, workers, None)?;
+    Ok((payload, exec, stats))
+}
+
+/// [`collect_pending_parallel`] plus the per-shard [`ShardReport`]
+/// (imbalance telemetry) and optional flight-recorder events.
+pub fn collect_pending_parallel_flight(
+    proc: &mut Process,
+    pending: &[PendingFrame],
+    workers: usize,
+    flight: Option<&hpm_obs::FlightTrack>,
+) -> Result<(Vec<u8>, ExecutionState, CollectStats, ShardReport), MigError> {
     let exec = pending_exec_state(proc, pending);
     let roots: Vec<u64> = pending
         .iter()
         .flat_map(|f| f.live.iter().copied())
         .collect();
-    let (payload, stats, msrlt_stats) = collect_parallel(
+    let (payload, stats, msrlt_stats, shards) = collect_parallel_flight(
         &proc.space,
         &proc.msrlt,
         &roots,
         workers,
         TranslationMode::default(),
+        flight,
     )
     .map_err(MigError::from)?;
     proc.msrlt.absorb_stats(&msrlt_stats);
-    Ok((payload, exec, stats))
+    Ok((payload, exec, stats, shards))
 }
 
 /// The execution state the recorded frames will ship — computable before
@@ -548,10 +575,26 @@ pub fn collect_pending_streamed<'a>(
     tracer: &Tracer,
     sink: ChunkSink<'a>,
 ) -> Result<(ExecutionState, CollectStats), MigError> {
+    collect_pending_streamed_flight(proc, pending, chunk_bytes, tracer, sink, None)
+}
+
+/// [`collect_pending_streamed`] with an optional flight-recorder track
+/// on the collector: every flushed chunk leaves a `chunk.flush` event.
+pub fn collect_pending_streamed_flight<'a>(
+    proc: &'a mut Process,
+    pending: &[PendingFrame],
+    chunk_bytes: usize,
+    tracer: &Tracer,
+    sink: ChunkSink<'a>,
+    flight: Option<hpm_obs::FlightTrack>,
+) -> Result<(ExecutionState, CollectStats), MigError> {
     let exec = pending_exec_state(proc, pending);
     let mut collector = Collector::new(&mut proc.space, &mut proc.msrlt)
         .with_tracer(tracer.clone())
         .with_sink(chunk_bytes, sink);
+    if let Some(t) = flight {
+        collector = collector.with_flight(t);
+    }
     for frame in pending {
         for &addr in &frame.live {
             collector.save_variable(addr).map_err(MigError::from)?;

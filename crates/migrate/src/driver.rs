@@ -6,8 +6,9 @@
 //! time") — plus every §4.2 instrumentation counter.
 
 use crate::ctx::{
-    collect_pending, collect_pending_parallel, collect_pending_streamed, collect_pending_traced,
-    pending_exec_state, MigCtx, MigratableProgram,
+    collect_pending, collect_pending_parallel, collect_pending_parallel_flight,
+    collect_pending_streamed, collect_pending_streamed_flight, collect_pending_traced,
+    pending_exec_state, MigCtx, MigratableProgram, PendingFrame,
 };
 use crate::exec::ExecutionState;
 use crate::process::{Process, Trigger};
@@ -16,14 +17,18 @@ use hpm_arch::Architecture;
 use hpm_core::image::{frame_image, frame_image_prefix, unframe_image, ImageHeader};
 use hpm_core::{
     audit_registry, ChunkPayload, ChunkSource, CollectStats, CoreError, MsrltStats,
-    RegistryAuditStats, RegistryFinding, RestoreStats, IMAGE_VERSION,
+    RegistryAuditStats, RegistryFinding, RestoreStats, ShardReport, IMAGE_VERSION,
 };
 use hpm_net::{
     channel_pair, ArqConfig, ArqSenderStats, ChunkReceiver, ChunkSender, FaultPlan, FaultStats,
     FaultyEndpoint, NetError, NetworkModel, ReliableChunkReceiver, ReliableChunkSender,
     TransferSnapshot,
 };
-use hpm_obs::{render_groups, snapshot, StatField, StatGroup, TraceLog, Tracer};
+use hpm_obs::{
+    render_groups, snapshot, FlightDump, FlightRecorder, Histogram, HistogramSnapshot, StatField,
+    StatGroup, TraceLog, Tracer,
+};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything measured about one migration.
@@ -65,6 +70,12 @@ pub struct MigrationReport {
     /// Pre-flight registry-audit counters, for drivers that audit the
     /// MSRLT snapshot before collecting; `None` for paths that skip it.
     pub registry_audit: Option<RegistryAuditStats>,
+    /// Per-shard parallel-collection accounting, for runs through
+    /// [`run_migrating_parallel`]; `None` for sequential collection.
+    pub shards: Option<ShardReport>,
+    /// Flight-recorder dump captured when the run hit a fallback path;
+    /// `None` for clean runs (the recorder stays bounded and unread).
+    pub flight: Option<FlightDump>,
 }
 
 impl MigrationReport {
@@ -96,6 +107,9 @@ impl MigrationReport {
         if let Some(a) = &self.registry_audit {
             groups.push(snapshot(a));
         }
+        if let Some(s) = &self.shards {
+            groups.push(snapshot(s));
+        }
         groups
     }
 
@@ -113,6 +127,63 @@ pub struct MigrationRun {
     pub report: MigrationReport,
     /// Result digest produced by the destination process.
     pub results: Vec<(String, String)>,
+}
+
+/// Shared tail of every driver: attach each of the report's StatGroups
+/// to the trace log when a tracer ran, then wrap up the run. The four
+/// drivers all finish through here instead of hand-rolling attachment.
+fn report_migration(
+    tracer: &Tracer,
+    mut report: MigrationReport,
+    results: Vec<(String, String)>,
+) -> MigrationRun {
+    if tracer.enabled() {
+        let mut log = tracer.take_log();
+        for (group, fields) in report.stat_groups() {
+            log.attach_stats(group, fields);
+        }
+        report.trace = Some(log);
+    }
+    MigrationRun { report, results }
+}
+
+/// The migration-image header for a frozen process (shared by every
+/// driver and by [`MigratedSource`]).
+fn image_header(proc: &Process) -> ImageHeader {
+    ImageHeader {
+        version: IMAGE_VERSION,
+        source_arch: proc.space.arch().name.to_string(),
+        source_pointer_size: proc.space.arch().pointer_size as u32,
+        program: proc.program().to_string(),
+        registered_bytes: proc.msrlt.registered_bytes(),
+    }
+}
+
+/// Shared driver preamble: run `prog` on `proc` until its trigger fires,
+/// returning the frozen process and the recorded unwind frames.
+fn run_to_parts<'p, P: MigratableProgram>(
+    prog: &mut P,
+    proc: &'p mut Process,
+) -> Result<(&'p mut Process, Vec<PendingFrame>), MigError> {
+    let mut ctx = MigCtx::new_run(proc);
+    let flow = prog.run(&mut ctx)?;
+    if flow == Flow::Done {
+        return Err(MigError::Protocol(
+            "trigger never fired; program completed on the source".into(),
+        ));
+    }
+    ctx.into_parts()
+}
+
+/// Best-effort persistence of a flight dump for CI forensics: when
+/// `HPM_FLIGHT_DUMP` names a path, the dump's JSONL is written there.
+/// Failures are swallowed — the dump is diagnostic, never load-bearing.
+fn persist_flight_dump(dump: &FlightDump) {
+    if let Ok(path) = std::env::var("HPM_FLIGHT_DUMP") {
+        if !path.is_empty() {
+            let _ = std::fs::write(path, dump.to_jsonl());
+        }
+    }
 }
 
 /// Run a program to completion with no migration; returns its results.
@@ -391,6 +462,24 @@ pub fn run_migrating_traced<P: MigratableProgram>(
     trigger: Trigger,
     tracer: &Tracer,
 ) -> Result<MigrationRun, MigError> {
+    let recorder = FlightRecorder::new();
+    run_migrating_recorded(make, src_arch, dst_arch, link, trigger, tracer, &recorder)
+        .inspect_err(|_| persist_flight_dump(&recorder.dump()))
+}
+
+/// [`run_migrating_traced`] with a caller-supplied [`FlightRecorder`], so
+/// the caller can inspect (or dump) the recorded events even when the run
+/// fails — the post-mortem entry point the fault soak uses.
+pub fn run_migrating_recorded<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    tracer: &Tracer,
+    recorder: &FlightRecorder,
+) -> Result<MigrationRun, MigError> {
+    let driver_track = recorder.track("driver");
     // --- source side ---
     let mut src_prog = make();
     let mut src = Process::new(src_prog.name(), src_arch);
@@ -407,7 +496,15 @@ pub fn run_migrating_traced<P: MigratableProgram>(
     let (image, collect_time, collect_stats, exec, registry_audit) =
         collect_image_traced(ctx, tracer)?;
     tracer.end_args("collect", &[("image_bytes", image.len() as f64)]);
+    driver_track.event(
+        "phase.collect",
+        &[
+            ("image_bytes", image.len() as u64),
+            ("blocks", collect_stats.blocks_saved),
+        ],
+    );
     let src_msrlt = src.msrlt.stats();
+    driver_track.event("msrlt.evictions", &[("count", src_msrlt.cache_evictions)]);
     let src_polls = src.poll_count();
     let chain_depth = exec.depth();
     let memory_bytes = collect_stats.bytes_out;
@@ -423,14 +520,22 @@ pub fn run_migrating_traced<P: MigratableProgram>(
     let transfer = src_end.stats().snapshot();
     let tx_time = transfer.modeled_tx_time();
     tracer.end_args("tx", &[("modeled_ns", transfer.modeled_tx_nanos as f64)]);
+    driver_track.event("phase.tx", &[("bytes", transfer.bytes_sent)]);
 
     // --- destination side ---
     let mut dst_prog = make();
     let (results, dst, restore_stats, restore_time) =
         resume_from_image_traced(&mut dst_prog, dst_arch, &image, tracer)?;
     let dst_msrlt = dst.msrlt.stats();
+    driver_track.event(
+        "phase.restore",
+        &[
+            ("bytes_in", restore_stats.bytes_in),
+            ("blocks", restore_stats.blocks_restored),
+        ],
+    );
 
-    let mut report = MigrationReport {
+    let report = MigrationReport {
         image_bytes: image.len() as u64,
         memory_bytes,
         collect_time,
@@ -447,15 +552,10 @@ pub fn run_migrating_traced<P: MigratableProgram>(
         pipeline: None,
         recovery: None,
         registry_audit: Some(registry_audit),
+        shards: None,
+        flight: None,
     };
-    if tracer.enabled() {
-        let mut log = tracer.take_log();
-        for (group, fields) in report.stat_groups() {
-            log.attach_stats(group, fields);
-        }
-        report.trace = Some(log);
-    }
-    Ok(MigrationRun { report, results })
+    Ok(report_migration(tracer, report, results))
 }
 
 /// [`run_migrating`] with sharded parallel collection: the MSR graph
@@ -471,32 +571,44 @@ pub fn run_migrating_parallel<P: MigratableProgram>(
     trigger: Trigger,
     workers: usize,
 ) -> Result<MigrationRun, MigError> {
+    let recorder = FlightRecorder::new();
+    run_migrating_parallel_recorded(make, src_arch, dst_arch, link, trigger, workers, &recorder)
+        .inspect_err(|_| persist_flight_dump(&recorder.dump()))
+}
+
+/// [`run_migrating_parallel`] with a caller-supplied [`FlightRecorder`].
+pub fn run_migrating_parallel_recorded<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    workers: usize,
+    recorder: &FlightRecorder,
+) -> Result<MigrationRun, MigError> {
+    let driver_track = recorder.track("driver");
+    let collect_track = recorder.track("collect");
     // --- source side ---
     let mut src_prog = make();
     let mut src = Process::new(src_prog.name(), src_arch);
     src.set_trigger(trigger);
     src_prog.setup(&mut src)?;
-    let mut ctx = MigCtx::new_run(&mut src);
-    let flow = src_prog.run(&mut ctx)?;
-    if flow == Flow::Done {
-        return Err(MigError::Protocol(
-            "trigger never fired; program completed on the source".into(),
-        ));
-    }
-    let (proc, pending) = ctx.into_parts()?;
+    let (proc, pending) = run_to_parts(&mut src_prog, &mut src)?;
     let registry_audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
     let t0 = Instant::now();
-    let (payload, exec, collect_stats) = collect_pending_parallel(proc, &pending, workers)?;
+    let (payload, exec, collect_stats, shards) =
+        collect_pending_parallel_flight(proc, &pending, workers, Some(&collect_track))?;
     let collect_time = t0.elapsed();
-    let header = ImageHeader {
-        version: IMAGE_VERSION,
-        source_arch: proc.space.arch().name.to_string(),
-        source_pointer_size: proc.space.arch().pointer_size as u32,
-        program: proc.program().to_string(),
-        registered_bytes: proc.msrlt.registered_bytes(),
-    };
+    let header = image_header(proc);
     let image = frame_image(&header, &exec.encode(), &payload);
+    driver_track.event(
+        "phase.collect",
+        &[
+            ("image_bytes", image.len() as u64),
+            ("workers", shards.workers()),
+        ],
+    );
     let src_msrlt = src.msrlt.stats();
     let src_polls = src.poll_count();
     let chain_depth = exec.depth();
@@ -508,34 +620,36 @@ pub fn run_migrating_parallel<P: MigratableProgram>(
     let image = dst_end.recv()?;
     let transfer = src_end.stats().snapshot();
     let tx_time = transfer.modeled_tx_time();
+    driver_track.event("phase.tx", &[("bytes", transfer.bytes_sent)]);
 
     // --- destination side ---
     let mut dst_prog = make();
     let (results, dst, restore_stats, restore_time) =
         resume_from_image(&mut dst_prog, dst_arch, &image)?;
     let dst_msrlt = dst.msrlt.stats();
+    driver_track.event("phase.restore", &[("bytes_in", restore_stats.bytes_in)]);
 
-    Ok(MigrationRun {
-        report: MigrationReport {
-            image_bytes: image.len() as u64,
-            memory_bytes,
-            collect_time,
-            tx_time,
-            restore_time,
-            collect_stats,
-            src_msrlt,
-            restore_stats,
-            dst_msrlt,
-            src_polls,
-            chain_depth,
-            transfer,
-            trace: None,
-            pipeline: None,
-            recovery: None,
-            registry_audit: Some(registry_audit),
-        },
-        results,
-    })
+    let report = MigrationReport {
+        image_bytes: image.len() as u64,
+        memory_bytes,
+        collect_time,
+        tx_time,
+        restore_time,
+        collect_stats,
+        src_msrlt,
+        restore_stats,
+        dst_msrlt,
+        src_polls,
+        chain_depth,
+        transfer,
+        trace: None,
+        pipeline: None,
+        recovery: None,
+        registry_audit: Some(registry_audit),
+        shards: Some(shards),
+        flight: None,
+    };
+    Ok(report_migration(&Tracer::disabled(), report, results))
 }
 
 /// Tunables for the pipelined migration path.
@@ -580,6 +694,12 @@ pub struct PipelineStats {
     /// Wall time from the start of collection until the final
     /// `restore_frame` completed on the destination.
     pub e2e_time: Duration,
+    /// Per-chunk encode latency (nanoseconds between successive chunks
+    /// leaving the collector), as a log-bucketed distribution.
+    pub encode_lat: HistogramSnapshot,
+    /// Per-chunk decode latency (nanoseconds the restorer spent between
+    /// finishing one chunk and requesting the next).
+    pub decode_lat: HistogramSnapshot,
 }
 
 impl PipelineStats {
@@ -621,6 +741,10 @@ impl StatGroup for PipelineStats {
             StatField::duration("restore_stall", self.restore_stall),
             StatField::duration("e2e_time", self.e2e_time),
             StatField::ratio("overlap_ratio", self.overlap_ratio()),
+            StatField::duration("encode_p50", Duration::from_nanos(self.encode_lat.p50())),
+            StatField::duration("encode_p99", Duration::from_nanos(self.encode_lat.p99())),
+            StatField::duration("decode_p50", Duration::from_nanos(self.decode_lat.p50())),
+            StatField::duration("decode_p99", Duration::from_nanos(self.decode_lat.p99())),
         ]
     }
 
@@ -632,20 +756,32 @@ impl StatGroup for PipelineStats {
         self.restore_time += other.restore_time;
         self.restore_stall += other.restore_stall;
         self.e2e_time += other.e2e_time;
+        self.encode_lat.merge(&other.encode_lat);
+        self.decode_lat.merge(&other.decode_lat);
     }
 }
 
 /// Adapter: a net-layer [`ChunkReceiver`] as the restorer's
 /// [`ChunkSource`], mapping transport failures into the stream layer.
+/// The gap between returning one chunk and being asked for the next is
+/// the restorer's per-chunk decode latency — observed into `decode_lat`.
 struct NetChunkSource {
     rx: ChunkReceiver,
+    decode_lat: Arc<Histogram>,
+    last_return: Option<Instant>,
 }
 
 impl ChunkSource for NetChunkSource {
     fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, CoreError> {
-        self.rx
+        if let Some(t) = self.last_return.take() {
+            self.decode_lat.observe(t.elapsed().as_nanos() as u64);
+        }
+        let r = self
+            .rx
             .recv_chunk()
-            .map_err(|e| CoreError::Source(e.to_string()))
+            .map_err(|e| CoreError::Source(e.to_string()));
+        self.last_return = Some(Instant::now());
+        r
     }
 }
 
@@ -681,33 +817,53 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
     trigger: Trigger,
     config: PipelineConfig,
 ) -> Result<MigrationRun, MigError> {
+    let recorder = FlightRecorder::new();
+    run_migrating_pipelined_recorded(make, src_arch, dst_arch, link, trigger, config, &recorder)
+        .inspect_err(|_| persist_flight_dump(&recorder.dump()))
+}
+
+/// [`run_migrating_pipelined`] with a caller-supplied [`FlightRecorder`]:
+/// the collector's flushes, both wire ends, and the restorer each log to
+/// their own single-writer track, and per-chunk encode/decode latency is
+/// observed into the report's [`PipelineStats`] histograms.
+pub fn run_migrating_pipelined_recorded<P: MigratableProgram + Send>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    config: PipelineConfig,
+    recorder: &FlightRecorder,
+) -> Result<MigrationRun, MigError> {
+    let driver_track = recorder.track("driver");
+    let collect_track = recorder.track("collect");
+    let tx_track = recorder.track("net.tx");
+    let rx_track = recorder.track("net.rx");
+    let restore_track = recorder.track("restore");
+    let encode_lat = Arc::new(Histogram::new());
+    let decode_lat = Arc::new(Histogram::new());
+
     // --- source side: run to the migration point ---
     let mut src_prog = make();
     let mut src = Process::new(src_prog.name(), src_arch);
     src.set_trigger(trigger);
     src_prog.setup(&mut src)?;
-    let mut ctx = MigCtx::new_run(&mut src);
-    let flow = src_prog.run(&mut ctx)?;
-    if flow == Flow::Done {
-        return Err(MigError::Protocol(
-            "trigger never fired; program completed on the source".into(),
-        ));
-    }
-    let (proc, pending) = ctx.into_parts()?;
+    let (proc, pending) = run_to_parts(&mut src_prog, &mut src)?;
     let registry_audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
 
-    let header = ImageHeader {
-        version: IMAGE_VERSION,
-        source_arch: proc.space.arch().name.to_string(),
-        source_pointer_size: proc.space.arch().pointer_size as u32,
-        program: proc.program().to_string(),
-        registered_bytes: proc.msrlt.registered_bytes(),
-    };
+    let header = image_header(proc);
     let exec = pending_exec_state(proc, &pending);
     let chain_depth = exec.depth();
     let prefix = frame_image_prefix(&header, &exec.encode());
     let prefix_len = prefix.len() as u64;
+    driver_track.event(
+        "phase.collect",
+        &[
+            ("prefix_bytes", prefix_len),
+            ("chain_depth", exec.depth() as u64),
+        ],
+    );
 
     let (src_end, dst_end) = channel_pair(link);
     let mut dst_prog = make();
@@ -719,7 +875,7 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
             // Wire stage: pace each chunk by its modeled transmission
             // time, then frame and forward it.
             let wire = s.spawn(move || -> Result<(u32, TransferSnapshot), NetError> {
-                let mut sender = ChunkSender::new(&src_end);
+                let mut sender = ChunkSender::new(&src_end).with_flight(tx_track);
                 while let Ok(chunk) = chunk_rx.recv() {
                     if config.pace {
                         let d = link.tx_time(chunk.len() as u64).mul_f64(config.pace_scale);
@@ -735,8 +891,9 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
 
             // Destination stage: parse the prefix, then resume over the
             // still-arriving chunk stream.
+            let dst_decode_lat = Arc::clone(&decode_lat);
             let dst = s.spawn(move || -> Result<DstOutcome, MigError> {
-                let mut rx = ChunkReceiver::new(dst_end);
+                let mut rx = ChunkReceiver::new(dst_end).with_flight(rx_track);
                 let first = rx
                     .recv_chunk()
                     .map_err(MigError::from)?
@@ -754,8 +911,16 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
                 proc.space.reserve_heap_bytes(header.registered_bytes);
                 dst_prog.setup(&mut proc)?;
                 proc.msrlt.reset_stats();
-                let chunks = ChunkPayload::with_initial(Box::new(NetChunkSource { rx }), leftover);
+                let chunks = ChunkPayload::with_initial(
+                    Box::new(NetChunkSource {
+                        rx,
+                        decode_lat: dst_decode_lat,
+                        last_return: None,
+                    }),
+                    leftover,
+                );
                 let mut ctx = MigCtx::new_resume_streaming(&mut proc, exec, chunks);
+                ctx.set_flight(restore_track);
                 match dst_prog.run(&mut ctx)? {
                     Flow::Done => {}
                     Flow::Migrate => {
@@ -788,17 +953,25 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
                     "chunk sink disconnected".into(),
                 )))
             } else {
+                let enc = Arc::clone(&encode_lat);
                 let t_collect = Instant::now();
-                let r = collect_pending_streamed(
+                // Per-chunk encode latency: the gap between successive
+                // chunks leaving the collector is the time the DFS spent
+                // filling (encoding) the chunk that just flushed.
+                let mut last_flush = Instant::now();
+                let r = collect_pending_streamed_flight(
                     proc,
                     &pending,
                     config.chunk_bytes,
                     &Tracer::disabled(),
                     Box::new(|c| {
+                        enc.observe(last_flush.elapsed().as_nanos() as u64);
+                        last_flush = Instant::now();
                         chunk_tx
                             .send(c)
                             .map_err(|_| CoreError::Source("chunk sink disconnected".into()))
                     }),
+                    Some(collect_track),
                 );
                 collect_time = t_collect.elapsed();
                 r
@@ -838,6 +1011,14 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         .map(|t| t.saturating_duration_since(t_start))
         .unwrap_or_default();
     let tx_time = transfer.modeled_tx_time();
+    driver_track.event("phase.tx", &[("bytes", transfer.bytes_sent)]);
+    driver_track.event(
+        "phase.restore",
+        &[
+            ("bytes_in", dst_out.restore_stats.bytes_in),
+            ("blocks", dst_out.restore_stats.blocks_restored),
+        ],
+    );
     let pipeline = PipelineStats {
         chunks: wire_frames as u64,
         chunk_bytes: config.chunk_bytes as u64,
@@ -846,6 +1027,8 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         restore_time: dst_out.restore_time,
         restore_stall: dst_out.restore_stall,
         e2e_time,
+        encode_lat: encode_lat.snapshot(),
+        decode_lat: decode_lat.snapshot(),
     };
     let report = MigrationReport {
         image_bytes: prefix_len + collect_stats.bytes_out,
@@ -864,11 +1047,14 @@ pub fn run_migrating_pipelined<P: MigratableProgram + Send>(
         pipeline: Some(pipeline),
         recovery: None,
         registry_audit: Some(registry_audit),
+        shards: None,
+        flight: None,
     };
-    Ok(MigrationRun {
+    Ok(report_migration(
+        &Tracer::disabled(),
         report,
-        results: dst_out.results,
-    })
+        dst_out.results,
+    ))
 }
 
 /// What to do when the migration stream cannot be repaired.
@@ -932,6 +1118,10 @@ pub struct RecoveryStats {
     pub modeled_backoff_nanos: u64,
     /// Modeled time charged to injected link delays.
     pub modeled_delay_nanos: u64,
+    /// Distribution of per-chunk retransmission counts (observed when a
+    /// chunk leaves the send window, or when retries are exhausted).
+    /// Seed-deterministic like every other field here.
+    pub retry_hist: HistogramSnapshot,
 }
 
 impl RecoveryStats {
@@ -960,6 +1150,7 @@ impl RecoveryStats {
             faults_injected: faults.faults_injected(),
             modeled_backoff_nanos: sender.modeled_backoff_nanos,
             modeled_delay_nanos: faults.modeled_delay_nanos,
+            retry_hist: sender.retry_hist,
         }
     }
 }
@@ -981,6 +1172,9 @@ impl StatGroup for RecoveryStats {
             StatField::count("nacks_sent", self.nacks_sent),
             StatField::count("faults_injected", self.faults_injected),
             StatField::duration("recovery_overhead", self.recovery_overhead()),
+            StatField::count("retry_p50", self.retry_hist.p50()),
+            StatField::count("retry_p99", self.retry_hist.p99()),
+            StatField::count("retry_max", self.retry_hist.max),
         ]
     }
 
@@ -996,19 +1190,29 @@ impl StatGroup for RecoveryStats {
         self.faults_injected += other.faults_injected;
         self.modeled_backoff_nanos += other.modeled_backoff_nanos;
         self.modeled_delay_nanos += other.modeled_delay_nanos;
+        self.retry_hist.merge(&other.retry_hist);
     }
 }
 
-/// Adapter: the ARQ receiver as the restorer's [`ChunkSource`].
+/// Adapter: the ARQ receiver as the restorer's [`ChunkSource`], with the
+/// same per-chunk decode-latency accounting as [`NetChunkSource`].
 struct ReliableNetChunkSource {
     rx: ReliableChunkReceiver,
+    decode_lat: Arc<Histogram>,
+    last_return: Option<Instant>,
 }
 
 impl ChunkSource for ReliableNetChunkSource {
     fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, CoreError> {
-        self.rx
+        if let Some(t) = self.last_return.take() {
+            self.decode_lat.observe(t.elapsed().as_nanos() as u64);
+        }
+        let r = self
+            .rx
             .recv_chunk()
-            .map_err(|e| CoreError::Source(e.to_string()))
+            .map_err(|e| CoreError::Source(e.to_string()));
+        self.last_return = Some(Instant::now());
+        r
     }
 }
 
@@ -1046,33 +1250,62 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
     plan: FaultPlan,
     policy: RecoveryPolicy,
 ) -> Result<MigrationRun, MigError> {
+    let recorder = FlightRecorder::new();
+    run_migrating_resilient_recorded(
+        make, src_arch, dst_arch, link, trigger, config, plan, policy, &recorder,
+    )
+    .inspect_err(|_| persist_flight_dump(&recorder.dump()))
+}
+
+/// [`run_migrating_resilient`] with a caller-supplied [`FlightRecorder`].
+///
+/// Every recovery component logs to its own track (`arq.tx`, `arq.rx`,
+/// `fault`, `collect`, `restore`, `driver`), and when the attempt dies
+/// the driver notes the failure and — on a source-resume fallback —
+/// attaches the full [`FlightDump`] to the report, so the failing seed
+/// itself names the exact chunk, attempt, and phase.
+#[allow(clippy::too_many_arguments)]
+pub fn run_migrating_resilient_recorded<P: MigratableProgram + Send>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    config: PipelineConfig,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    recorder: &FlightRecorder,
+) -> Result<MigrationRun, MigError> {
+    let driver_track = recorder.track("driver");
+    let collect_track = recorder.track("collect");
+    let arq_tx_track = recorder.track("arq.tx");
+    let arq_rx_track = recorder.track("arq.rx");
+    let fault_track = recorder.track("fault");
+    let restore_track = recorder.track("restore");
+    let encode_lat = Arc::new(Histogram::new());
+    let decode_lat = Arc::new(Histogram::new());
+
     // --- source side: run to the migration point ---
     let mut src_prog = make();
     let mut src = Process::new(src_prog.name(), src_arch.clone());
     src.set_trigger(trigger);
     src_prog.setup(&mut src)?;
-    let mut ctx = MigCtx::new_run(&mut src);
-    let flow = src_prog.run(&mut ctx)?;
-    if flow == Flow::Done {
-        return Err(MigError::Protocol(
-            "trigger never fired; program completed on the source".into(),
-        ));
-    }
-    let (proc, pending) = ctx.into_parts()?;
+    let (proc, pending) = run_to_parts(&mut src_prog, &mut src)?;
     let registry_audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
 
-    let header = ImageHeader {
-        version: IMAGE_VERSION,
-        source_arch: proc.space.arch().name.to_string(),
-        source_pointer_size: proc.space.arch().pointer_size as u32,
-        program: proc.program().to_string(),
-        registered_bytes: proc.msrlt.registered_bytes(),
-    };
+    let header = image_header(proc);
     let exec = pending_exec_state(proc, &pending);
     let chain_depth = exec.depth();
     let prefix = frame_image_prefix(&header, &exec.encode());
     let prefix_len = prefix.len() as u64;
+    driver_track.event(
+        "phase.collect",
+        &[
+            ("prefix_bytes", prefix_len),
+            ("chain_depth", chain_depth as u64),
+        ],
+    );
 
     let arq = ArqConfig {
         window: 32,
@@ -1080,8 +1313,8 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         base_backoff: policy.backoff,
     };
     let (src_end, dst_end) = channel_pair(link);
-    let endpoint = FaultyEndpoint::new(src_end, plan);
-    let mut rx = ReliableChunkReceiver::new(dst_end, arq);
+    let endpoint = FaultyEndpoint::new(src_end, plan).with_flight(fault_track);
+    let mut rx = ReliableChunkReceiver::new(dst_end, arq).with_flight(arq_rx_track);
     let rx_counters = rx.counters();
     let mut dst_prog = make();
     let (chunk_tx, chunk_rx) = std::sync::mpsc::channel::<Vec<u8>>();
@@ -1091,7 +1324,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         // Wire stage: pace, then push each chunk through the ARQ sender
         // over the fault-injected endpoint. Stats survive failure.
         let wire = s.spawn(move || {
-            let mut tx = ReliableChunkSender::new(endpoint, arq);
+            let mut tx = ReliableChunkSender::new(endpoint, arq).with_flight(arq_tx_track);
             let mut err = None;
             while let Ok(chunk) = chunk_rx.recv() {
                 if config.pace {
@@ -1123,6 +1356,7 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
 
         // Destination stage: identical to the pipelined path but fed by
         // the ARQ receiver.
+        let dst_decode_lat = Arc::clone(&decode_lat);
         let dst = s.spawn(move || -> Result<DstOutcome, MigError> {
             let first = rx
                 .recv_chunk()
@@ -1141,9 +1375,16 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
             proc.space.reserve_heap_bytes(header.registered_bytes);
             dst_prog.setup(&mut proc)?;
             proc.msrlt.reset_stats();
-            let chunks =
-                ChunkPayload::with_initial(Box::new(ReliableNetChunkSource { rx }), leftover);
+            let chunks = ChunkPayload::with_initial(
+                Box::new(ReliableNetChunkSource {
+                    rx,
+                    decode_lat: dst_decode_lat,
+                    last_return: None,
+                }),
+                leftover,
+            );
             let mut ctx = MigCtx::new_resume_streaming(&mut proc, exec, chunks);
+            ctx.set_flight(restore_track);
             match dst_prog.run(&mut ctx)? {
                 Flow::Done => {}
                 Flow::Migrate => {
@@ -1173,17 +1414,22 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
                 "chunk sink disconnected".into(),
             )))
         } else {
+            let enc = Arc::clone(&encode_lat);
             let t_collect = Instant::now();
-            let r = collect_pending_streamed(
+            let mut last_flush = Instant::now();
+            let r = collect_pending_streamed_flight(
                 proc,
                 &pending,
                 config.chunk_bytes,
                 &Tracer::disabled(),
                 Box::new(|c| {
+                    enc.observe(last_flush.elapsed().as_nanos() as u64);
+                    last_flush = Instant::now();
                     chunk_tx
                         .send(c)
                         .map_err(|_| CoreError::Source("chunk sink disconnected".into()))
                 }),
+                Some(collect_track),
             );
             collect_time = t_collect.elapsed();
             r
@@ -1235,22 +1481,25 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
     );
 
     if let Some(err) = attempt.error {
+        // Note the failure on the driver track, then freeze the recorder
+        // state: every worker has joined, so the dump is complete and —
+        // per-track — deterministic for a given fault-plan seed.
+        driver_track.event_note("attempt.failed", &[], &err.to_string());
+        let dump = recorder.dump();
         match policy.fallback {
-            FallbackPolicy::Fail => return Err(err),
+            FallbackPolicy::Fail => {
+                persist_flight_dump(&dump);
+                return Err(err);
+            }
             FallbackPolicy::SourceResume => {
+                persist_flight_dump(&dump);
                 // The source process was never mutated by collection:
                 // collect locally and resume on the source architecture,
                 // discarding whatever the destination half-built.
                 let t_collect = Instant::now();
                 let (payload, exec, collect_stats) = collect_pending(&mut src, &pending)?;
                 let collect_time = t_collect.elapsed();
-                let header = ImageHeader {
-                    version: IMAGE_VERSION,
-                    source_arch: src.space.arch().name.to_string(),
-                    source_pointer_size: src.space.arch().pointer_size as u32,
-                    program: src.program().to_string(),
-                    registered_bytes: src.msrlt.registered_bytes(),
-                };
+                let header = image_header(&src);
                 let image = frame_image(&header, &exec.encode(), &payload);
                 let mut resumed = make();
                 let (results, local, restore_stats, restore_time) =
@@ -1277,6 +1526,8 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
                         ..recovery_base
                     }),
                     registry_audit: Some(registry_audit),
+                    shards: None,
+                    flight: Some(dump),
                 };
                 return Ok(MigrationRun { report, results });
             }
@@ -1294,6 +1545,14 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         .map(|t| t.saturating_duration_since(t_start))
         .unwrap_or_default();
     let tx_time = attempt.transfer.modeled_tx_time();
+    driver_track.event("phase.tx", &[("bytes", attempt.transfer.bytes_sent)]);
+    driver_track.event(
+        "phase.restore",
+        &[
+            ("bytes_in", dst_out.restore_stats.bytes_in),
+            ("blocks", dst_out.restore_stats.blocks_restored),
+        ],
+    );
     let pipeline = PipelineStats {
         chunks: attempt.wire_frames as u64,
         chunk_bytes: config.chunk_bytes as u64,
@@ -1302,6 +1561,8 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         restore_time: dst_out.restore_time,
         restore_stall: dst_out.restore_stall,
         e2e_time,
+        encode_lat: encode_lat.snapshot(),
+        decode_lat: decode_lat.snapshot(),
     };
     let report = MigrationReport {
         image_bytes: prefix_len + collect_stats.bytes_out,
@@ -1320,11 +1581,14 @@ pub fn run_migrating_resilient<P: MigratableProgram + Send>(
         pipeline: Some(pipeline),
         recovery: Some(recovery_base),
         registry_audit: Some(registry_audit),
+        shards: None,
+        flight: None,
     };
-    Ok(MigrationRun {
+    Ok(report_migration(
+        &Tracer::disabled(),
         report,
-        results: dst_out.results,
-    })
+        dst_out.results,
+    ))
 }
 
 #[cfg(test)]

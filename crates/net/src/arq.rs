@@ -28,6 +28,7 @@
 
 use crate::channel::{Channel, NetError};
 use crate::fault::FrameLink;
+use hpm_obs::{FlightTrack, Histogram, HistogramSnapshot};
 use hpm_xdr::{frame_chunk_v2, frame_control, unframe_chunk_any, unframe_control, Control};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +71,10 @@ pub struct ArqSenderStats {
     pub nacks_processed: u64,
     /// Modeled nanoseconds spent in backoff waits.
     pub modeled_backoff_nanos: u64,
+    /// Per-chunk retransmission-count distribution, observed as each
+    /// chunk retires from the replay window (acked) or exhausts its
+    /// budget. Deterministic for a given seed, like every field above.
+    pub retry_hist: HistogramSnapshot,
 }
 
 struct WindowEntry {
@@ -91,6 +96,10 @@ pub struct ReliableChunkSender<L: FrameLink> {
     /// the intact-delivery count the ack ledger balances against).
     wire_sends: u64,
     stats: ArqSenderStats,
+    /// Live retry-count distribution, snapshotted into
+    /// [`ArqSenderStats::retry_hist`] on [`Self::stats`].
+    retry_hist: Histogram,
+    flight: Option<FlightTrack>,
 }
 
 impl<L: FrameLink> ReliableChunkSender<L> {
@@ -103,12 +112,29 @@ impl<L: FrameLink> ReliableChunkSender<L> {
             window: VecDeque::new(),
             wire_sends: 0,
             stats: ArqSenderStats::default(),
+            retry_hist: Histogram::new(),
+            flight: None,
+        }
+    }
+
+    /// Record protocol events on `track` (`chunk.sent`, `chunk.retried`,
+    /// `ack`, `nack`, `retries.exhausted`).
+    pub fn with_flight(mut self, track: FlightTrack) -> Self {
+        self.flight = Some(track);
+        self
+    }
+
+    fn flight_event(&self, kind: &'static str, args: &[(&'static str, u64)]) {
+        if let Some(t) = &self.flight {
+            t.event(kind, args);
         }
     }
 
     /// Protocol counters so far.
     pub fn stats(&self) -> ArqSenderStats {
-        self.stats
+        let mut s = self.stats;
+        s.retry_hist = self.retry_hist.snapshot();
+        s
     }
 
     /// Sequence number the next chunk will carry.
@@ -150,6 +176,10 @@ impl<L: FrameLink> ReliableChunkSender<L> {
             frame,
             retries: 0,
         });
+        self.flight_event(
+            "chunk.sent",
+            &[("chunk", seq as u64), ("window", self.window.len() as u64)],
+        );
         // Control frames are processed ONLY inside `await_progress`,
         // exactly one per call — never drained opportunistically here.
         // An opportunistic drain would process a race-dependent number
@@ -170,23 +200,42 @@ impl<L: FrameLink> ReliableChunkSender<L> {
         match ctrl {
             Control::Ack { next } => {
                 self.stats.acks_processed += 1;
+                let mut pruned = 0u64;
                 while self.window.front().is_some_and(|w| w.seq < next) {
-                    self.window.pop_front();
+                    let entry = self.window.pop_front().expect("front checked");
+                    // The chunk retires: its retry count is final.
+                    self.retry_hist.observe(entry.retries as u64);
+                    pruned += 1;
                 }
+                self.flight_event("ack", &[("next", next as u64), ("pruned", pruned)]);
             }
             Control::Nack { seq } => {
                 self.stats.nacks_processed += 1;
                 // Stale NACKs (frame already acked and pruned) are ignored.
                 if let Some(entry) = self.window.iter_mut().find(|w| w.seq == seq) {
                     entry.retries += 1;
-                    if entry.retries > self.cfg.max_retries {
+                    let retries = entry.retries;
+                    if retries > self.cfg.max_retries {
+                        self.retry_hist.observe(retries as u64);
+                        self.flight_event(
+                            "retries.exhausted",
+                            &[("chunk", seq as u64), ("attempts", retries as u64)],
+                        );
                         return Err(NetError::RetriesExhausted {
                             chunk: seq,
-                            attempts: entry.retries,
+                            attempts: retries,
                         });
                     }
                     let frame = entry.frame.clone();
                     self.stats.retransmits += 1;
+                    self.flight_event(
+                        "chunk.retried",
+                        &[
+                            ("chunk", seq as u64),
+                            ("retry", retries as u64),
+                            ("cause_nack", 1),
+                        ],
+                    );
                     self.retransmit_frame(frame)?;
                 }
             }
@@ -267,6 +316,11 @@ impl<L: FrameLink> ReliableChunkSender<L> {
             self.stats.modeled_backoff_nanos += wait.as_nanos() as u64;
             let retries = base_retries + 1;
             if retries > self.cfg.max_retries {
+                self.retry_hist.observe(retries as u64);
+                self.flight_event(
+                    "retries.exhausted",
+                    &[("chunk", base_seq as u64), ("attempts", retries as u64)],
+                );
                 return Err(NetError::RetriesExhausted {
                     chunk: base_seq,
                     attempts: retries,
@@ -276,6 +330,14 @@ impl<L: FrameLink> ReliableChunkSender<L> {
             front.retries = retries;
             let frame = front.frame.clone();
             self.stats.retransmits += 1;
+            self.flight_event(
+                "chunk.retried",
+                &[
+                    ("chunk", base_seq as u64),
+                    ("retry", retries as u64),
+                    ("cause_timeout", 1),
+                ],
+            );
             self.retransmit_frame(frame)?;
         }
     }
@@ -342,6 +404,7 @@ pub struct ReliableChunkReceiver {
     nacked: HashSet<u32>,
     done: bool,
     counters: Arc<ArqReceiverCounters>,
+    flight: Option<FlightTrack>,
 }
 
 impl ReliableChunkReceiver {
@@ -357,6 +420,20 @@ impl ReliableChunkReceiver {
             nacked: HashSet::new(),
             done: false,
             counters: Arc::new(ArqReceiverCounters::default()),
+            flight: None,
+        }
+    }
+
+    /// Record protocol events on `track` (`chunk.recv`, `crc.fail`,
+    /// `dup`, `reorder`, `nack.sent`).
+    pub fn with_flight(mut self, track: FlightTrack) -> Self {
+        self.flight = Some(track);
+        self
+    }
+
+    fn flight_event(&self, kind: &'static str, args: &[(&'static str, u64)]) {
+        if let Some(t) = &self.flight {
+            t.event(kind, args);
         }
     }
 
@@ -412,10 +489,12 @@ impl ReliableChunkReceiver {
                 // at a wall-clock-dependent wire position and make the
                 // reorder counter irreproducible.
                 ArqReceiverCounters::bump(&self.counters.corrupt_caught);
+                self.flight_event("crc.fail", &[("chunk", seq as u64)]);
                 continue;
             }
             if seq < self.next {
                 ArqReceiverCounters::bump(&self.counters.dups_absorbed);
+                self.flight_event("dup", &[("chunk", seq as u64)]);
                 // Re-ack so a sender that missed the original ack prunes.
                 self.send_control(Control::Ack { next: self.next })?;
                 ArqReceiverCounters::bump(&self.counters.acks_sent);
@@ -434,6 +513,7 @@ impl ReliableChunkReceiver {
             if seq == self.next {
                 if late {
                     ArqReceiverCounters::bump(&self.counters.reorders_absorbed);
+                    self.flight_event("reorder", &[("chunk", seq as u64)]);
                 }
                 self.accept(parsed.last, parsed.payload);
                 while let Some((l, p)) = self.ooo.remove(&self.next) {
@@ -452,6 +532,10 @@ impl ReliableChunkReceiver {
                     }
                 }
             }
+            self.flight_event(
+                "chunk.recv",
+                &[("chunk", seq as u64), ("next", self.next as u64)],
+            );
             self.max_seen = Some(self.max_seen.map_or(seq, |m| m.max(seq)));
             self.send_control(Control::Ack { next: self.next })?;
             ArqReceiverCounters::bump(&self.counters.acks_sent);
@@ -459,6 +543,7 @@ impl ReliableChunkReceiver {
             if !self.ooo.is_empty() && self.nacked.insert(self.next) {
                 self.send_control(Control::Nack { seq: self.next })?;
                 ArqReceiverCounters::bump(&self.counters.nacks_sent);
+                self.flight_event("nack.sent", &[("chunk", self.next as u64)]);
             }
         }
     }

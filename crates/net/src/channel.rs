@@ -1,7 +1,7 @@
 //! Reliable in-process message channels between simulated machines.
 
 use crate::model::NetworkModel;
-use hpm_obs::{StatField, StatGroup, Tracer};
+use hpm_obs::{Histogram, HistogramSnapshot, StatField, StatGroup, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -72,6 +72,8 @@ pub struct TransferStats {
     bytes_sent: AtomicU64,
     messages_sent: AtomicU64,
     modeled_tx_nanos: AtomicU64,
+    /// Per-message modeled wire latency distribution (nanoseconds).
+    wire_lat: Histogram,
 }
 
 impl TransferStats {
@@ -95,12 +97,18 @@ impl TransferStats {
         Duration::from_nanos(self.modeled_tx_nanos())
     }
 
+    /// Per-message modeled wire latency distribution.
+    pub fn wire_latency(&self) -> HistogramSnapshot {
+        self.wire_lat.snapshot()
+    }
+
     /// Point-in-time copy, detached from the live atomics.
     pub fn snapshot(&self) -> TransferSnapshot {
         TransferSnapshot {
             bytes_sent: self.bytes_sent(),
             messages_sent: self.messages_sent(),
             modeled_tx_nanos: self.modeled_tx_nanos(),
+            wire_lat: self.wire_lat.snapshot(),
         }
     }
 }
@@ -114,6 +122,8 @@ pub struct TransferSnapshot {
     pub messages_sent: u64,
     /// Sum of modeled transmission times in nanoseconds.
     pub modeled_tx_nanos: u64,
+    /// Per-message modeled wire latency distribution (nanoseconds).
+    pub wire_lat: HistogramSnapshot,
 }
 
 impl TransferSnapshot {
@@ -133,6 +143,10 @@ impl StatGroup for TransferSnapshot {
             StatField::bytes("bytes_sent", self.bytes_sent),
             StatField::count("messages_sent", self.messages_sent),
             StatField::duration("modeled_tx_time", self.modeled_tx_time()),
+            StatField::duration("wire_p50", Duration::from_nanos(self.wire_lat.p50())),
+            StatField::duration("wire_p90", Duration::from_nanos(self.wire_lat.p90())),
+            StatField::duration("wire_p99", Duration::from_nanos(self.wire_lat.p99())),
+            StatField::duration("wire_max", Duration::from_nanos(self.wire_lat.max)),
         ]
     }
 
@@ -140,6 +154,7 @@ impl StatGroup for TransferSnapshot {
         self.bytes_sent += other.bytes_sent;
         self.messages_sent += other.messages_sent;
         self.modeled_tx_nanos += other.modeled_tx_nanos;
+        self.wire_lat.merge(&other.wire_lat);
     }
 }
 
@@ -209,6 +224,7 @@ impl Channel {
         self.stats
             .modeled_tx_nanos
             .fetch_add(tx_time.as_nanos() as u64, Ordering::Relaxed);
+        self.stats.wire_lat.observe(tx_time.as_nanos() as u64);
         let r = self.tx.send(payload).map_err(|_| NetError::Disconnected);
         self.tracer.end("net.send");
         r
@@ -293,11 +309,13 @@ mod tests {
             bytes_sent: 10,
             messages_sent: 1,
             modeled_tx_nanos: 100,
+            ..Default::default()
         };
         let b = TransferSnapshot {
             bytes_sent: 5,
             messages_sent: 2,
             modeled_tx_nanos: 50,
+            ..Default::default()
         };
         a.merge_from(&b);
         assert_eq!(
@@ -305,9 +323,27 @@ mod tests {
             TransferSnapshot {
                 bytes_sent: 15,
                 messages_sent: 3,
-                modeled_tx_nanos: 150
+                modeled_tx_nanos: 150,
+                ..Default::default()
             }
         );
+    }
+
+    #[test]
+    fn wire_latency_distribution_tracks_sends() {
+        let (a, b) = channel_pair(NetworkModel::ethernet_10());
+        a.send(vec![0; 64]).unwrap();
+        a.send(vec![0; 64 * 1024]).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        let snap = a.stats().snapshot();
+        assert_eq!(snap.wire_lat.count, 2);
+        assert!(snap.wire_lat.max > 0);
+        assert!(snap.wire_lat.p99() <= snap.wire_lat.max);
+        // The big message dominates: p99 lands well above p50's bucket.
+        assert!(snap.wire_lat.p99() >= snap.wire_lat.p50());
+        let fields = snap.fields();
+        assert!(fields.iter().any(|f| f.name == "wire_p99"));
     }
 
     #[test]

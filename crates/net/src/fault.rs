@@ -16,6 +16,7 @@
 //! reproducible run-to-run.
 
 use crate::channel::{Channel, NetError};
+use hpm_obs::FlightTrack;
 use hpm_xdr::unframe_chunk_any;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -249,6 +250,7 @@ pub struct FaultyEndpoint {
     /// Copies delivered undamaged — what the peer will acknowledge.
     intact_delivered: u64,
     stats: FaultStats,
+    flight: Option<FlightTrack>,
 }
 
 impl FaultyEndpoint {
@@ -266,6 +268,24 @@ impl FaultyEndpoint {
             disconnected: false,
             intact_delivered: 0,
             stats: FaultStats::default(),
+            flight: None,
+        }
+    }
+
+    /// Record injected faults on `track` (`fault.injected` with the
+    /// sequence, attempt, and action code).
+    pub fn with_flight(mut self, track: FlightTrack) -> Self {
+        self.flight = Some(track);
+        self
+    }
+
+    fn flight_fault(&self, action: &'static str, seq: u32, attempt: u32) {
+        if let Some(t) = &self.flight {
+            t.event_note(
+                "fault.injected",
+                &[("chunk", seq as u64), ("attempt", attempt as u64)],
+                action,
+            );
         }
     }
 
@@ -312,6 +332,7 @@ impl FrameLink for FaultyEndpoint {
                 self.disconnected = true;
                 self.stats.disconnected = true;
                 self.stats.blackholed += 1;
+                self.flight_fault("disconnect", seq, attempt);
                 return Ok(());
             }
             self.distinct_seen += 1;
@@ -323,6 +344,7 @@ impl FrameLink for FaultyEndpoint {
         let result = match action {
             FaultAction::Drop => {
                 self.stats.dropped += 1;
+                self.flight_fault("drop", seq, attempt);
                 Ok(())
             }
             FaultAction::Corrupt if data_len > 0 => {
@@ -333,22 +355,26 @@ impl FrameLink for FaultyEndpoint {
                 let idx = damaged.len() - hpm_xdr::padded_len(data_len) + off;
                 damaged[idx] ^= mask;
                 self.stats.corrupted += 1;
+                self.flight_fault("corrupt", seq, attempt);
                 // A damaged copy reaches the peer but earns no ack.
                 self.deliver(damaged, false)
             }
             FaultAction::Duplicate => {
                 self.stats.duplicated += 1;
+                self.flight_fault("duplicate", seq, attempt);
                 self.deliver(frame.clone(), true)?;
                 self.deliver(frame, true)
             }
             FaultAction::Reorder if fresh && self.held.is_none() => {
                 self.stats.reordered += 1;
+                self.flight_fault("reorder", seq, attempt);
                 self.held = Some(frame);
                 return Ok(()); // flushed after the next fresh frame
             }
             FaultAction::Delay => {
                 self.stats.delayed += 1;
                 self.stats.modeled_delay_nanos += self.link_delay.as_nanos() as u64;
+                self.flight_fault("delay", seq, attempt);
                 self.deliver(frame, true)
             }
             // Corrupt on an empty payload or Reorder while one frame is

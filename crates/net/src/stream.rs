@@ -7,6 +7,7 @@
 //! sequence numbers, and latches end-of-stream at the LAST flag.
 
 use crate::channel::{Channel, NetError};
+use hpm_obs::FlightTrack;
 use hpm_xdr::{frame_chunk_v2, unframe_chunk_any};
 
 /// Sending side of a chunked stream: frames each payload with a
@@ -15,17 +16,34 @@ use hpm_xdr::{frame_chunk_v2, unframe_chunk_any};
 pub struct ChunkSender<'a> {
     ch: &'a Channel,
     seq: u32,
+    flight: Option<FlightTrack>,
 }
 
 impl<'a> ChunkSender<'a> {
     /// A fresh stream over `ch`, starting at sequence 0.
     pub fn new(ch: &'a Channel) -> Self {
-        ChunkSender { ch, seq: 0 }
+        ChunkSender {
+            ch,
+            seq: 0,
+            flight: None,
+        }
+    }
+
+    /// Record chunk events on `track` (`chunk.sent`, `stream.finish`).
+    pub fn with_flight(mut self, track: FlightTrack) -> Self {
+        self.flight = Some(track);
+        self
     }
 
     /// Frame and send one payload chunk.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
         let frame = frame_chunk_v2(self.seq, false, payload);
+        if let Some(t) = &self.flight {
+            t.event(
+                "chunk.sent",
+                &[("chunk", self.seq as u64), ("bytes", payload.len() as u64)],
+            );
+        }
         self.seq += 1;
         self.ch.send(frame)
     }
@@ -34,6 +52,9 @@ impl<'a> ChunkSender<'a> {
     /// number of frames sent, terminator included.
     pub fn finish(self) -> Result<u32, NetError> {
         let frame = frame_chunk_v2(self.seq, true, &[]);
+        if let Some(t) = &self.flight {
+            t.event("stream.finish", &[("chunks", self.seq as u64 + 1)]);
+        }
         self.ch.send(frame)?;
         Ok(self.seq + 1)
     }
@@ -49,6 +70,7 @@ pub struct ChunkReceiver {
     ch: Channel,
     next_seq: u32,
     done: bool,
+    flight: Option<FlightTrack>,
 }
 
 impl ChunkReceiver {
@@ -58,6 +80,20 @@ impl ChunkReceiver {
             ch,
             next_seq: 0,
             done: false,
+            flight: None,
+        }
+    }
+
+    /// Record chunk events on `track` (`chunk.recv`, `crc.fail`,
+    /// `frame.bad`, `stream.done`).
+    pub fn with_flight(mut self, track: FlightTrack) -> Self {
+        self.flight = Some(track);
+        self
+    }
+
+    fn flight_event(&self, kind: &'static str, args: &[(&'static str, u64)]) {
+        if let Some(t) = &self.flight {
+            t.event(kind, args);
         }
     }
 
@@ -75,23 +111,42 @@ impl ChunkReceiver {
                 return Ok(None);
             };
             let seq = unframe_chunk_any(&frame).map(|f| f.seq).unwrap_or(0);
+            self.flight_event("frame.bad", &[("chunk", seq as u64)]);
             return Err(NetError::ChunkFraming {
                 chunk: seq,
                 reason: format!("frame {seq} arrived after the LAST frame"),
             });
         }
         let frame = self.ch.recv()?;
-        let parsed = unframe_chunk_any(&frame).map_err(|e| NetError::ChunkFraming {
-            chunk: self.next_seq,
-            reason: e.to_string(),
+        let parsed = unframe_chunk_any(&frame).map_err(|e| {
+            self.flight_event("frame.bad", &[("chunk", self.next_seq as u64)]);
+            NetError::ChunkFraming {
+                chunk: self.next_seq,
+                reason: e.to_string(),
+            }
         })?;
         if parsed.seq != self.next_seq {
+            self.flight_event(
+                "frame.gap",
+                &[
+                    ("expected", self.next_seq as u64),
+                    ("got", parsed.seq as u64),
+                ],
+            );
             return Err(NetError::ChunkFraming {
                 chunk: self.next_seq,
                 reason: format!("expected sequence {}, got {}", self.next_seq, parsed.seq),
             });
         }
         if let Err(found) = parsed.verify_crc() {
+            self.flight_event(
+                "crc.fail",
+                &[
+                    ("chunk", parsed.seq as u64),
+                    ("expected_crc", parsed.crc.unwrap_or(0) as u64),
+                    ("found_crc", found as u64),
+                ],
+            );
             return Err(NetError::Corrupt {
                 chunk: parsed.seq,
                 expected_crc: parsed.crc.unwrap_or(0),
@@ -99,8 +154,16 @@ impl ChunkReceiver {
             });
         }
         self.next_seq += 1;
+        self.flight_event(
+            "chunk.recv",
+            &[
+                ("chunk", parsed.seq as u64),
+                ("bytes", parsed.payload.len() as u64),
+            ],
+        );
         if parsed.last {
             self.done = true;
+            self.flight_event("stream.done", &[("chunks", self.next_seq as u64)]);
             if parsed.payload.is_empty() {
                 return Ok(None);
             }

@@ -12,8 +12,17 @@
 //! are emitted via [`fmt_f64`] so output is locale-independent and
 //! round-trippable.
 
-use crate::stats::{render_groups, StatValue};
+use crate::stats::{render_groups, StatField, StatValue};
 use crate::trace::{EventKind, TraceLog};
+
+/// Attached stat groups in a deterministic order: sorted by group name
+/// (stable for equal names), independent of attach order — so exports of
+/// the same logical state are byte-identical across runs.
+fn sorted_stats(log: &TraceLog) -> Vec<&(String, Vec<StatField>)> {
+    let mut groups: Vec<&(String, Vec<StatField>)> = log.stats.iter().collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    groups
+}
 
 /// Escape a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -104,7 +113,7 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
         }
     }
 
-    for (group, fields) in &log.stats {
+    for (group, fields) in sorted_stats(log) {
         let args: Vec<String> = fields
             .iter()
             .map(|f| format!("\"{}\":{}", esc(f.name), f.value.raw()))
@@ -154,7 +163,7 @@ pub fn jsonl(log: &TraceLog) -> String {
             args_json(&ev.args)
         ));
     }
-    for (group, fields) in &log.stats {
+    for (group, fields) in sorted_stats(log) {
         let args: Vec<String> = fields
             .iter()
             .map(|f| format!("\"{}\":{}", esc(f.name), f.value.raw()))
@@ -197,7 +206,9 @@ pub fn summary(log: &TraceLog) -> String {
     }
     if !log.stats.is_empty() {
         out.push_str("stats:\n");
-        for line in render_groups(&log.stats).lines() {
+        let mut groups = log.stats.clone();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        for line in render_groups(&groups).lines() {
             out.push_str("  ");
             out.push_str(line);
             out.push('\n');
@@ -299,6 +310,29 @@ mod tests {
         assert!(text.contains("collect"));
         assert!(text.contains("msrlt.search"));
         assert!(text.contains("collect.blocks_saved"));
+    }
+
+    #[test]
+    fn stat_groups_export_sorted_regardless_of_attach_order() {
+        let mk = |first_zeta: bool| {
+            let t = Tracer::new();
+            let mut log = t.take_log();
+            let groups: Vec<(&str, u64)> = if first_zeta {
+                vec![("zeta", 1), ("alpha", 2)]
+            } else {
+                vec![("alpha", 2), ("zeta", 1)]
+            };
+            for (name, v) in groups {
+                log.attach_stats(name, vec![StatField::count("v", v)]);
+            }
+            log
+        };
+        let (a, b) = (mk(true), mk(false));
+        assert_eq!(jsonl(&a), jsonl(&b));
+        assert_eq!(chrome_trace_json(&a), chrome_trace_json(&b));
+        assert_eq!(summary(&a), summary(&b));
+        let text = jsonl(&a);
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
     }
 
     #[test]

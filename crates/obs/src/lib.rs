@@ -22,6 +22,10 @@
 //! * [`export`] — machine-readable exporters for a finished [`TraceLog`]:
 //!   Chrome trace-event JSON (loadable in `chrome://tracing` / Perfetto),
 //!   a JSONL event log, and a human summary table.
+//! * [`recorder`] — an always-on bounded flight recorder: the last N
+//!   structured protocol events per component track (chunk sent/acked/
+//!   nacked/retried, CRC failures, fault injections, phase transitions),
+//!   dumpable as deterministic JSONL for post-mortems of failed runs.
 //!
 //! ## Event volume and bounded memory
 //!
@@ -34,10 +38,14 @@
 
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod stats;
 pub mod trace;
 
 pub use export::{chrome_trace_json, jsonl, summary};
-pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use recorder::{FlightDump, FlightEvent, FlightRecorder, FlightTrack};
 pub use stats::{render_groups, snapshot, StatField, StatGroup, StatValue, TranslateStats};
 pub use trace::{EventKind, Span, TraceEvent, TraceLog, Tracer};

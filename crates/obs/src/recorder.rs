@@ -1,0 +1,353 @@
+//! Always-on bounded flight recorder for migration post-mortems.
+//!
+//! A 300-seed fault soak that fails on seed 217 is useless if diagnosing
+//! it means rerunning with ad-hoc printlns. The [`FlightRecorder`] keeps
+//! the last N structured events per *track* (one track per component:
+//! `arq.send`, `arq.recv`, `stream.send`, `fault`, `driver`, …) in fixed
+//! memory, always on, so the failing run itself names the exact chunk,
+//! attempt, and phase.
+//!
+//! ## Determinism
+//!
+//! Dumps must be byte-identical across two runs of the same seed, even
+//! though sender and receiver live on different threads. Two rules make
+//! that hold:
+//!
+//! 1. **No wall-clock timestamps.** Events carry a per-track sequence
+//!    number, never a time. Anything time-like in an event is *modeled*
+//!    time, which is seed-deterministic.
+//! 2. **Per-track ordering only.** Each track is written by one logical
+//!    component whose event order is a pure function of the seed (the
+//!    ARQ ledger, the fault plan). The dump emits tracks sorted by name,
+//!    events in per-track sequence order — cross-track interleaving,
+//!    which *is* scheduling-dependent, never appears in the output.
+//!
+//! Hot-path cost when enabled is one mutex on a short critical section
+//! per event — and events fire per chunk/control frame, not per byte.
+//! A disabled recorder costs one relaxed atomic load per event site.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-track ring capacity: enough to hold every chunk event of
+/// the paper workloads' transfers while bounding a pathological run.
+pub const DEFAULT_TRACK_CAPACITY: usize = 512;
+
+/// One recorded event: a kind tag plus small named integer arguments
+/// (chunk index, attempt number, byte count, …) in call-site order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Per-track sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Event kind, e.g. `"chunk.sent"`, `"crc.fail"`, `"phase"`.
+    pub kind: &'static str,
+    /// Named integer arguments, in the order the call site gave them.
+    pub args: Vec<(&'static str, u64)>,
+    /// Optional free-form detail (phase name, error text). Must be
+    /// deterministic for the dump to be reproducible.
+    pub note: Option<String>,
+}
+
+struct TrackInner {
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<FlightEvent>,
+}
+
+struct RecorderInner {
+    enabled: AtomicBool,
+    capacity: usize,
+    tracks: Mutex<BTreeMap<&'static str, Arc<Mutex<TrackInner>>>>,
+}
+
+/// Shared handle to a bounded multi-track event recorder. Clone freely;
+/// clones share state.
+#[derive(Clone)]
+pub struct FlightRecorder(Arc<RecorderInner>);
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// An enabled recorder with [`DEFAULT_TRACK_CAPACITY`] events/track.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACK_CAPACITY)
+    }
+
+    /// An enabled recorder keeping the last `capacity` events per track.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder(Arc::new(RecorderInner {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            tracks: Mutex::new(BTreeMap::new()),
+        }))
+    }
+
+    /// A recorder whose event sites are single-branch no-ops. Tracks can
+    /// still be handed out; they record nothing.
+    pub fn disabled() -> Self {
+        let r = Self::with_capacity(1);
+        r.0.enabled.store(false, Ordering::Relaxed);
+        r
+    }
+
+    /// Whether event sites currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.0.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Get-or-create the track named `name`. Handles are cheap clones of
+    /// shared state, so a component can hold its track across calls.
+    pub fn track(&self, name: &'static str) -> FlightTrack {
+        let mut tracks = self.0.tracks.lock().unwrap();
+        let inner = tracks
+            .entry(name)
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(TrackInner {
+                    next_seq: 0,
+                    dropped: 0,
+                    ring: VecDeque::with_capacity(self.0.capacity.min(64)),
+                }))
+            })
+            .clone();
+        FlightTrack {
+            recorder: Arc::clone(&self.0),
+            name,
+            inner,
+        }
+    }
+
+    /// Snapshot every track into a [`FlightDump`]: tracks sorted by
+    /// name, events in per-track order.
+    pub fn dump(&self) -> FlightDump {
+        let tracks = self.0.tracks.lock().unwrap();
+        let mut out = Vec::with_capacity(tracks.len());
+        for (&name, inner) in tracks.iter() {
+            let t = inner.lock().unwrap();
+            out.push(TrackDump {
+                name,
+                dropped: t.dropped,
+                events: t.ring.iter().cloned().collect(),
+            });
+        }
+        FlightDump { tracks: out }
+    }
+}
+
+/// Writing handle for one track of a [`FlightRecorder`].
+#[derive(Clone)]
+pub struct FlightTrack {
+    recorder: Arc<RecorderInner>,
+    name: &'static str,
+    inner: Arc<Mutex<TrackInner>>,
+}
+
+impl FlightTrack {
+    /// Track name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record an event with named integer arguments.
+    #[inline]
+    pub fn event(&self, kind: &'static str, args: &[(&'static str, u64)]) {
+        self.push(kind, args, None);
+    }
+
+    /// Record an event carrying a free-form (deterministic!) note.
+    #[inline]
+    pub fn event_note(&self, kind: &'static str, args: &[(&'static str, u64)], note: &str) {
+        self.push(kind, args, Some(note.to_string()));
+    }
+
+    fn push(&self, kind: &'static str, args: &[(&'static str, u64)], note: Option<String>) {
+        if !self.recorder.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut t = self.inner.lock().unwrap();
+        let seq = t.next_seq;
+        t.next_seq += 1;
+        if t.ring.len() >= self.recorder.capacity {
+            t.ring.pop_front();
+            t.dropped += 1;
+        }
+        t.ring.push_back(FlightEvent {
+            seq,
+            kind,
+            args: args.to_vec(),
+            note,
+        });
+    }
+}
+
+/// One track's portion of a dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackDump {
+    /// Track name.
+    pub name: &'static str,
+    /// Events evicted from the ring before this dump was taken.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// A deterministic snapshot of a [`FlightRecorder`], renderable as JSONL
+/// for post-mortem grep/jq. Two dumps of runs with the same seed are
+/// byte-identical (see the module docs for why).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightDump {
+    /// Per-track dumps, sorted by track name.
+    pub tracks: Vec<TrackDump>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl FlightDump {
+    /// Total retained events across tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// True when no track retained any event.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Find events of `kind` across all tracks.
+    pub fn events_of(&self, kind: &str) -> Vec<(&'static str, &FlightEvent)> {
+        self.tracks
+            .iter()
+            .flat_map(|t| {
+                t.events
+                    .iter()
+                    .filter(move |e| e.kind == kind)
+                    .map(move |e| (t.name, e))
+            })
+            .collect()
+    }
+
+    /// Render as JSONL: one header object per track (with drop
+    /// accounting), then one object per event. Deterministic field
+    /// order; no timestamps.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tracks {
+            out.push_str(&format!(
+                "{{\"track\":\"{}\",\"events\":{},\"dropped\":{}}}\n",
+                esc(t.name),
+                t.events.len(),
+                t.dropped
+            ));
+            for e in &t.events {
+                out.push_str(&format!(
+                    "{{\"track\":\"{}\",\"seq\":{},\"kind\":\"{}\"",
+                    esc(t.name),
+                    e.seq,
+                    esc(e.kind)
+                ));
+                for (k, v) in &e.args {
+                    out.push_str(&format!(",\"{}\":{v}", esc(k)));
+                }
+                if let Some(note) = &e.note {
+                    out.push_str(&format!(",\"note\":\"{}\"", esc(note)));
+                }
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ring_bounded_with_drop_accounting() {
+        let rec = FlightRecorder::with_capacity(4);
+        let t = rec.track("arq.send");
+        for i in 0..10u64 {
+            t.event("chunk.sent", &[("chunk", i)]);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.tracks.len(), 1);
+        let td = &dump.tracks[0];
+        assert_eq!(td.events.len(), 4);
+        assert_eq!(td.dropped, 6);
+        // Oldest retained event is seq 6 (0..=5 were evicted).
+        assert_eq!(td.events[0].seq, 6);
+        assert_eq!(td.events[3].seq, 9);
+        assert_eq!(td.events[3].args, vec![("chunk", 9)]);
+    }
+
+    #[test]
+    fn dump_sorts_tracks_and_is_deterministic() {
+        let rec = FlightRecorder::new();
+        rec.track("zeta").event("b", &[]);
+        rec.track("alpha").event("a", &[("x", 1)]);
+        let d1 = rec.dump().to_jsonl();
+        let d2 = rec.dump().to_jsonl();
+        assert_eq!(d1, d2);
+        let lines: Vec<&str> = d1.lines().collect();
+        assert!(lines[0].contains("\"track\":\"alpha\""));
+        assert!(d1.find("alpha").unwrap() < d1.find("zeta").unwrap());
+        assert!(d1.contains("\"x\":1"));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder::disabled();
+        let t = rec.track("driver");
+        t.event("phase", &[]);
+        t.event_note("phase", &[], "collect");
+        assert!(rec.dump().is_empty());
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn shared_track_handles_share_sequence_numbers() {
+        let rec = FlightRecorder::new();
+        let a = rec.track("t");
+        let b = rec.track("t");
+        a.event("x", &[]);
+        b.event("y", &[]);
+        let dump = rec.dump();
+        assert_eq!(dump.tracks[0].events.len(), 2);
+        assert_eq!(dump.tracks[0].events[1].seq, 1);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_finds_events() {
+        let rec = FlightRecorder::new();
+        rec.track("t")
+            .event_note("err", &[("chunk", 9)], "a\"quote\" and\nnewline");
+        let dump = rec.dump();
+        let found = dump.events_of("err");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1.args[0], ("chunk", 9));
+        let text = dump.to_jsonl();
+        assert!(text.contains("\\\"quote\\\""));
+        assert!(text.contains("\\n"));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

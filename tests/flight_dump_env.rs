@@ -1,0 +1,67 @@
+//! `HPM_FLIGHT_DUMP` is the CI hook: when a driver errors (or falls back)
+//! with the variable set, the flight dump is written there as JSONL so
+//! the workflow can upload it as an artifact. This lives in its own test
+//! binary because environment variables are process-global.
+
+use hpm_arch::Architecture;
+use hpm_migrate::{
+    run_migrating_resilient, FallbackPolicy, PipelineConfig, RecoveryPolicy, Trigger,
+};
+use hpm_net::{FaultPlan, NetworkModel};
+use hpm_workloads::TestPointer;
+use std::time::Duration;
+
+#[test]
+fn driver_error_writes_the_dump_where_ci_expects_it() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("hpm_flight_dump_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("HPM_FLIGHT_DUMP", &path);
+
+    let err = run_migrating_resilient(
+        TestPointer::new,
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        NetworkModel::ethernet_10(),
+        Trigger::AtPollCount(8),
+        PipelineConfig {
+            chunk_bytes: 65536,
+            pace: false,
+            pace_scale: 0.0,
+        },
+        FaultPlan {
+            seed: 0xDEAD11,
+            drop_per_mille: 0,
+            corrupt_per_mille: 0,
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            delay_per_mille: 0,
+            disconnect_at: Some(1),
+        },
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            fallback: FallbackPolicy::Fail,
+        },
+    )
+    .expect_err("dead link with Fail policy errors");
+    assert!(err.to_string().contains("retries exhausted"), "{err}");
+
+    let body = std::fs::read_to_string(&path).expect("dump file written on driver error");
+    std::env::remove_var("HPM_FLIGHT_DUMP");
+    assert!(
+        body.contains("\"kind\":\"retries.exhausted\""),
+        "dump names the exhaustion event:\n{body}"
+    );
+    assert!(
+        body.contains("\"track\":\"arq.tx\"") && body.contains("\"track\":\"driver\""),
+        "dump carries the per-component tracks:\n{body}"
+    );
+    for line in body.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSONL: every line is one object: {line}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
