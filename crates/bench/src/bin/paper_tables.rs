@@ -7,8 +7,15 @@
 //! ```
 //!
 //! Subcommands: `validation`, `table1`, `fig2a`, `fig2b`, `complexity`,
-//! `overhead`, `ablation`, `translate`, `pipeline`, `faults`,
+//! `overhead`, `ablation`, `translate`, `wire`, `pipeline`, `faults`,
 //! `telemetry`, `lint`, `all` — plus `bench-diff` (below).
+//!
+//! `wire` is the wire-optimisation gate: per paper workload it prints
+//! the v3 compression ratio, the forced 4-shard restore timing, and the
+//! adaptive planner's choice, and **always** exits 1 if any forced arm
+//! diverges from the sequential run, compression fails to shrink
+//! linpack's image, or the planner shards a sub-cutoff workload —
+//! CI's perf-smoke line alongside `translate`.
 //!
 //! `telemetry` prints the percentile wire telemetry: per-chunk
 //! encode/wire/decode latency distributions and the ARQ retry-count
@@ -122,6 +129,9 @@ fn main() {
     if want("translate") {
         translate();
     }
+    if want("wire") {
+        wire();
+    }
     if want("pipeline") {
         pipeline();
     }
@@ -139,6 +149,50 @@ fn main() {
     }
     if let Some(path) = json_out {
         json(&path);
+    }
+}
+
+fn wire() {
+    hr("Wire optimisation — v3 compression, sharded restore, adaptive plan (gated)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>11} {:>11} {:>9} {:>9} {:>8} {:>11}",
+        "workload",
+        "raw",
+        "wire",
+        "ratio",
+        "seq-rst(s)",
+        "par-rst(s)",
+        "speedup",
+        "adaptive",
+        "workers",
+        "identical"
+    );
+    let rows = wire_rows();
+    for r in &rows {
+        println!(
+            "{:<16} {:>10} {:>10} {:>7.3} {:>11} {:>11} {:>8.2}x {:>9} {:>8} {:>11}",
+            r.label,
+            r.raw_bytes,
+            r.wire_bytes,
+            r.ratio,
+            secs(r.seq_restore),
+            secs(r.par_restore),
+            r.restore_speedup,
+            if r.adaptive_compressed { "v3" } else { "v2" },
+            r.adaptive_workers,
+            r.restored_identical && r.par_restore_identical
+        );
+    }
+    println!(
+        "(forced arms answer-checked against the sequential driver; the planner keeps \
+         sub-cutoff workloads sequential, so the adaptive path never loses to it)"
+    );
+    let violations = wire_gate(&rows);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("paper_tables wire: gate: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -289,6 +289,13 @@ const GATES: &[(&str, &str, Direction, bool)] = &[
     ("lint", "errors", Direction::MoreIsWorse, true),
     ("telemetry", "retransmits", Direction::MoreIsWorse, false),
     ("telemetry", "retry_max", Direction::MoreIsWorse, false),
+    // Wire bytes are a pure function of the collector output and the
+    // compressor, so a ratio regression is a real codec change — and
+    // the identity booleans gate via the true->false rule.
+    ("wire", "raw_bytes", Direction::MoreIsWorse, false),
+    ("wire", "wire_bytes", Direction::MoreIsWorse, false),
+    ("wire", "ratio", Direction::MoreIsWorse, false),
+    ("wire", "adaptive_workers", Direction::MoreIsWorse, false),
 ];
 
 /// One numeric metric compared across the two artifacts.

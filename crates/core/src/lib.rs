@@ -35,6 +35,7 @@ pub mod image;
 pub mod msrlt;
 pub mod parallel;
 pub mod restore;
+pub mod restore_parallel;
 pub mod stream;
 
 pub use audit::{audit_registry, RegistryAuditStats, RegistryFinding};
@@ -45,6 +46,7 @@ pub use image::{ImageHeader, IMAGE_MAGIC, IMAGE_VERSION};
 pub use msrlt::{LogicalId, Msrlt, MsrltEntry, MsrltStats, SearchStrategy};
 pub use parallel::{collect_parallel, collect_parallel_flight, ShardReport, SharedVisited};
 pub use restore::{RestoreStats, Restorer};
+pub use restore_parallel::{restore_parallel, restore_parallel_flight, restore_parallel_section};
 pub use stream::{ChunkPayload, ChunkSource};
 
 use hpm_memory::MemError;

@@ -178,6 +178,17 @@ pub struct Restorer<'a> {
     /// a post-mortem names how far restoration got. `None` costs one
     /// branch per variable.
     flight: Option<FlightTrack>,
+    /// Skim mode: consume and validate every stream item and perform the
+    /// MSRLT updates (heap allocation + registration in stream order),
+    /// but skip all block-content writes. This is the pre-pass of
+    /// [`restore_parallel`](crate::restore_parallel::restore_parallel):
+    /// it reproduces the exact addresses a sequential restore would
+    /// assign while costing only the stream walk.
+    skim: bool,
+    /// Blocks whose contents the stream fills, as `(addr, bytes)` in
+    /// stream order (skim mode only) — the parallel splice's ownership
+    /// record.
+    filled: Vec<(u64, u64)>,
 }
 
 impl<'a> Restorer<'a> {
@@ -221,7 +232,21 @@ impl<'a> Restorer<'a> {
             tracer: Tracer::disabled(),
             mode: TranslationMode::default(),
             flight: None,
+            skim: false,
+            filled: Vec::new(),
         }
+    }
+
+    /// Switch to skim mode: the stream is consumed, validated, and its
+    /// MSRLT side effects applied, but no block contents are written.
+    pub(crate) fn skim_mode(mut self) -> Self {
+        self.skim = true;
+        self
+    }
+
+    /// Blocks the stream has filled so far (skim mode), in stream order.
+    pub(crate) fn filled_blocks(&self) -> &[(u64, u64)] {
+        &self.filled
     }
 
     /// Attach a flight-recorder track: every `restore_variable` emits a
@@ -388,6 +413,9 @@ impl<'a> Restorer<'a> {
         self.tracer
             .instant_args("restore.block", &[("count", count as f64)]);
         let plan = self.space.plan_for(ty)?;
+        if self.skim {
+            self.filled.push((addr, plan.size * count));
+        }
         if !plan.has_pointers {
             return self.decode_block_bulk(addr, &plan, count);
         }
@@ -432,7 +460,9 @@ impl<'a> Restorer<'a> {
             while off < total {
                 let len = (total - off).min(BULK_SLICE as usize);
                 let raw = self.dec.take(len)?;
-                bytes[off..off + len].copy_from_slice(raw);
+                if !self.skim {
+                    bytes[off..off + len].copy_from_slice(raw);
+                }
                 off += len;
             }
             self.stats.scalars_decoded += per_elem * count;
@@ -461,14 +491,18 @@ impl<'a> Restorer<'a> {
                     let at = elem_base + *offset as usize;
                     let len = (*rc as usize) * size;
                     let raw = self.dec.take(len)?;
-                    bytes[at..at + len].copy_from_slice(raw);
+                    if !self.skim {
+                        bytes[at..at + len].copy_from_slice(raw);
+                    }
                 } else {
                     for k in 0..*rc {
                         let v = get_scalar_xdr(&mut self.dec, *kind)?;
-                        native.clear();
-                        arch.encode_scalar(*kind, v, &mut native);
-                        let at = elem_base + (*offset + k * *stride) as usize;
-                        bytes[at..at + native.len()].copy_from_slice(&native);
+                        if !self.skim {
+                            native.clear();
+                            arch.encode_scalar(*kind, v, &mut native);
+                            let at = elem_base + (*offset + k * *stride) as usize;
+                            bytes[at..at + native.len()].copy_from_slice(&native);
+                        }
                     }
                 }
                 scalars += *rc;
@@ -535,15 +569,19 @@ impl<'a> Restorer<'a> {
         {
             let len = (count as usize) * size;
             let raw = self.dec.take(len)?;
-            self.space.write_bytes(block_addr + offset, raw)?;
+            if !self.skim {
+                self.space.write_bytes(block_addr + offset, raw)?;
+            }
         } else {
             let mut native = Vec::with_capacity(8);
             for k in 0..count {
                 let v = get_scalar_xdr(&mut self.dec, kind)?;
-                native.clear();
-                arch.encode_scalar(kind, v, &mut native);
-                self.space
-                    .write_bytes(block_addr + offset + k * stride, &native)?;
+                if !self.skim {
+                    native.clear();
+                    arch.encode_scalar(kind, v, &mut native);
+                    self.space
+                        .write_bytes(block_addr + offset + k * stride, &native)?;
+                }
             }
         }
         self.stats.scalars_decoded += count;
@@ -552,6 +590,9 @@ impl<'a> Restorer<'a> {
     }
 
     fn write_ptr(&mut self, block_addr: u64, offset: u64, ptr: u64) -> Result<(), CoreError> {
+        if self.skim {
+            return Ok(());
+        }
         let mut native = Vec::with_capacity(8);
         self.space
             .arch()
@@ -643,6 +684,9 @@ impl<'a> Restorer<'a> {
         self.tracer
             .instant_args("restore.block", &[("count", count as f64)]);
         let plan = self.space.plan_for(ty)?;
+        if self.skim {
+            self.filled.push((addr, plan.size * count));
+        }
         if !plan.has_pointers {
             // The stream inlines the whole block right here; decode it
             // now so the parent cursor resumes at the right offset.

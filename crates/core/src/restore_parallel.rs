@@ -1,0 +1,440 @@
+//! Sharded parallel restoration — the mirror of
+//! [`parallel`](crate::parallel) for the receiving side.
+//!
+//! The sequential [`Restorer`] consumes one contiguous stream segment
+//! per root (`restore_variable` call). Segments interact through two
+//! kinds of shared state: the MSRLT (a `PTR_REF` in a later segment
+//! resolves a block a former segment allocated) and the allocator (heap
+//! addresses depend on allocation order). Both are handled by a cheap
+//! sequential pre-pass, after which the expensive work — decode and
+//! copy, the dominant term of §4.2's `Restore = MSRLT_update +
+//! Decode_and_Copy` — shards cleanly:
+//!
+//! 1. **Skim pass** (sequential, no data writes): run the restorer in
+//!    skim mode over the whole payload. It consumes and validates every
+//!    item, performs `malloc` + MSRLT registration for unseen `PTR_NEW`
+//!    blocks *in stream order* — reproducing exactly the addresses a
+//!    sequential restore would assign — and records each root's byte
+//!    range plus which blocks its segment fills (its *owned* blocks;
+//!    every block is filled by exactly one segment, because the
+//!    collector emits a block's contents only at its first encounter).
+//! 2. **Fill pass** (parallel): `std::thread::scope` workers take roots
+//!    round-robin, each with its own clone of the post-skim space and
+//!    MSRLT, and run a real restorer over their segments' byte ranges.
+//!    Every block already exists in the clone, so `PTR_NEW` takes the
+//!    validate-and-fill-in-place path; clones share the real space's
+//!    addresses, so every decoded pointer value is globally correct.
+//! 3. **Splice** (deterministic): copy each owned block's bytes from
+//!    its owner's clone into the real space, in global root order. The
+//!    result is byte-identical to a sequential restore — verified by
+//!    `tests/parallel_restore.rs`.
+//!
+//! Streamed (chunked) payloads restore while still arriving and have no
+//! complete byte range to shard; they keep the sequential path.
+
+use crate::collect::TranslationMode;
+use crate::msrlt::Msrlt;
+use crate::parallel::ShardReport;
+use crate::restore::{RestoreStats, Restorer};
+use crate::CoreError;
+use hpm_memory::AddressSpace;
+use hpm_obs::{FlightTrack, StatGroup};
+use std::ops::Range;
+
+/// Restore `payload` into `space` with `workers` shards, byte-identical
+/// to calling [`Restorer::restore_variable`] on each root in order. The
+/// returned [`ShardReport`] carries per-worker segment bytes and root
+/// counts, comparable with the collection side's report.
+pub fn restore_parallel(
+    space: &mut AddressSpace,
+    msrlt: &mut Msrlt,
+    payload: &[u8],
+    roots: &[u64],
+    workers: usize,
+    mode: TranslationMode,
+) -> Result<(RestoreStats, ShardReport), CoreError> {
+    restore_parallel_flight(space, msrlt, payload, roots, workers, mode, None)
+}
+
+/// [`restore_parallel`] plus flight-recorder events (`skim.done`,
+/// `shard.restored`, `splice.done`). Shard events are emitted after the
+/// join, in worker order, so the recorded sequence is independent of
+/// thread scheduling.
+pub fn restore_parallel_flight(
+    space: &mut AddressSpace,
+    msrlt: &mut Msrlt,
+    payload: &[u8],
+    roots: &[u64],
+    workers: usize,
+    mode: TranslationMode,
+    flight: Option<&FlightTrack>,
+) -> Result<(RestoreStats, ShardReport), CoreError> {
+    let (stats, _, report) =
+        restore_parallel_inner(space, msrlt, payload, roots, workers, mode, flight, true)?;
+    Ok((stats, report))
+}
+
+/// [`restore_parallel_flight`] over a stream *section*: restores `roots`
+/// from the front of `payload` and returns how many bytes they consumed,
+/// tolerating trailing payload (later frames' sections). This is what a
+/// per-frame caller — one `restore_frame` of several — uses; the caller
+/// is responsible for any end-of-stream exactness check.
+pub fn restore_parallel_section(
+    space: &mut AddressSpace,
+    msrlt: &mut Msrlt,
+    payload: &[u8],
+    roots: &[u64],
+    workers: usize,
+    mode: TranslationMode,
+    flight: Option<&FlightTrack>,
+) -> Result<(RestoreStats, usize, ShardReport), CoreError> {
+    restore_parallel_inner(space, msrlt, payload, roots, workers, mode, flight, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn restore_parallel_inner(
+    space: &mut AddressSpace,
+    msrlt: &mut Msrlt,
+    payload: &[u8],
+    roots: &[u64],
+    workers: usize,
+    mode: TranslationMode,
+    flight: Option<&FlightTrack>,
+    drain: bool,
+) -> Result<(RestoreStats, usize, ShardReport), CoreError> {
+    let workers = workers.max(1).min(roots.len().max(1));
+
+    // Skim pass: validate the whole stream, allocate in stream order,
+    // and learn each root's byte range and owned blocks.
+    let mut segments: Vec<(Range<usize>, Range<usize>)> = Vec::with_capacity(roots.len());
+    let (filled, blocks_allocated, consumed) = {
+        let mut skim = Restorer::new(space, msrlt, payload)
+            .with_translation(mode)
+            .skim_mode();
+        for &root in roots {
+            let b0 = skim.consumed();
+            let f0 = skim.filled_blocks().len();
+            skim.restore_variable(root)?;
+            segments.push((b0..skim.consumed(), f0..skim.filled_blocks().len()));
+        }
+        let filled = skim.filled_blocks().to_vec();
+        let consumed = skim.consumed();
+        let stats = if drain {
+            skim.finish()? // trailing-byte check
+        } else {
+            skim.take_stats()
+        };
+        (filled, stats.blocks_allocated, consumed)
+    };
+    if let Some(t) = flight {
+        t.event(
+            "skim.done",
+            &[
+                ("roots", roots.len() as u64),
+                ("workers", workers as u64),
+                ("blocks", filled.len() as u64),
+                ("allocated", blocks_allocated),
+            ],
+        );
+    }
+
+    struct Shard {
+        space: AddressSpace,
+        stats: RestoreStats,
+        bytes: u64,
+        roots: u64,
+    }
+
+    // Fill pass: workers decode their segments into private clones of
+    // the post-skim space (every block already exists at its final
+    // address, so the clones agree on all pointer values).
+    let snap: &AddressSpace = space;
+    let table: &Msrlt = msrlt;
+    let shards: Vec<Shard> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let segments = &segments;
+                s.spawn(move || -> Result<Shard, CoreError> {
+                    let mut wspace = snap.clone();
+                    let mut wmsrlt = table.clone();
+                    let mut stats = RestoreStats::default();
+                    let mut bytes = 0u64;
+                    let mut nroots = 0u64;
+                    for (ri, &root) in roots.iter().enumerate() {
+                        if ri % workers != w {
+                            continue;
+                        }
+                        let seg = &payload[segments[ri].0.clone()];
+                        let mut r =
+                            Restorer::new(&mut wspace, &mut wmsrlt, seg).with_translation(mode);
+                        r.restore_variable(root)?;
+                        stats.merge_from(&r.finish()?);
+                        bytes += seg.len() as u64;
+                        nroots += 1;
+                    }
+                    Ok(Shard {
+                        space: wspace,
+                        stats,
+                        bytes,
+                        roots: nroots,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("restore worker panicked"))
+            .collect::<Result<Vec<_>, CoreError>>()
+    })?;
+
+    // Splice: each block's contents come from the clone of the worker
+    // whose segment fills it, applied in global root order.
+    for (ri, (_, frange)) in segments.iter().enumerate() {
+        let owner = &shards[ri % workers];
+        for &(addr, size) in &filled[frange.clone()] {
+            let data = owner.space.read_bytes(addr, size)?;
+            // One write borrow per block; `data` borrows the clone, not
+            // the destination space, so the copy needs no staging.
+            let copied = data.to_vec();
+            space.write_bytes(addr, &copied)?;
+        }
+    }
+
+    let mut stats = RestoreStats::default();
+    let mut report = ShardReport::default();
+    for (w, sh) in shards.iter().enumerate() {
+        stats.merge_from(&sh.stats);
+        report.shard_bytes.push(sh.bytes);
+        report.shard_roots.push(sh.roots);
+        if let Some(t) = flight {
+            t.event(
+                "shard.restored",
+                &[
+                    ("shard", w as u64),
+                    ("roots", sh.roots),
+                    ("bytes", sh.bytes),
+                ],
+            );
+        }
+    }
+    // Workers never allocate (the skim pass owns every MSRLT update);
+    // report the allocations the full restore performed.
+    stats.blocks_allocated = blocks_allocated;
+    stats.bytes_in = consumed as u64;
+    if let Some(t) = flight {
+        t.event(
+            "splice.done",
+            &[
+                ("payload_bytes", consumed as u64),
+                ("blocks", filled.len() as u64),
+                ("shards", report.workers()),
+            ],
+        );
+    }
+    Ok((stats, consumed, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Collector;
+    use crate::msrlt::LogicalId;
+    use hpm_arch::Architecture;
+    use hpm_types::Field;
+
+    fn register(space: &AddressSpace, msrlt: &mut Msrlt, addr: u64) -> LogicalId {
+        let info = space.info_at(addr).expect("block exists");
+        msrlt.register(&info)
+    }
+
+    /// Same program image on any machine: a cell chain with two
+    /// mid-chain heads, mirroring the collection-side shard test.
+    fn program(arch: Architecture) -> (AddressSpace, Msrlt, Vec<u64>) {
+        let mut space = AddressSpace::new(arch);
+        let node = space.types_mut().declare_struct("cell");
+        let pnode = space.types_mut().pointer_to(node);
+        let int = space.types_mut().int();
+        space
+            .types_mut()
+            .define_struct(node, vec![Field::new("v", int), Field::new("next", pnode)])
+            .unwrap();
+        let mut msrlt = Msrlt::new();
+        let mut roots = Vec::new();
+        for name in ["h0", "h1", "head", "tail"] {
+            let h = space.define_global(name, pnode, 1).unwrap();
+            register(&space, &mut msrlt, h);
+            roots.push(h);
+        }
+        (space, msrlt, roots)
+    }
+
+    /// Source side: build the chain, point the heads into it, collect.
+    fn collected_payload() -> (Vec<u8>, Vec<u8>) {
+        let (mut space, mut msrlt, roots) = program(Architecture::dec5000());
+        let node = space.types().struct_by_name("cell").unwrap();
+        let mut nodes = Vec::new();
+        for i in 0..24 {
+            let n = space.malloc(node, 1).unwrap();
+            register(&space, &mut msrlt, n);
+            let v = space.elem_addr(n, 0).unwrap();
+            space.store_int(v, i * 3 - 7).unwrap();
+            if let Some(&prev) = nodes.last() {
+                let next = space.elem_addr(prev, 1).unwrap();
+                space.store_ptr(next, n).unwrap();
+            }
+            nodes.push(n);
+        }
+        space.store_ptr(roots[0], nodes[5]).unwrap();
+        space.store_ptr(roots[1], nodes[15]).unwrap();
+        space.store_ptr(roots[2], nodes[0]).unwrap();
+        space.store_ptr(roots[3], nodes[23]).unwrap();
+        let mut c = Collector::new(&mut space, &mut msrlt);
+        for &r in &roots {
+            c.save_variable(r).unwrap();
+        }
+        let (payload, _) = c.finish();
+        let digest = digest(&space);
+        (payload, digest)
+    }
+
+    /// Every registered block's bytes, in address order.
+    fn digest(space: &AddressSpace) -> Vec<u8> {
+        let mut infos = space.block_infos();
+        infos.sort_by_key(|i| i.addr);
+        let mut out = Vec::new();
+        for i in infos {
+            out.extend_from_slice(&i.addr.to_be_bytes());
+            out.extend_from_slice(space.read_bytes(i.addr, i.size).unwrap());
+        }
+        out
+    }
+
+    fn sequential_restore(payload: &[u8]) -> (Vec<u8>, RestoreStats) {
+        let (mut dst, mut dst_lt, roots) = program(Architecture::sparc20());
+        let mut r = Restorer::new(&mut dst, &mut dst_lt, payload);
+        for &root in &roots {
+            r.restore_variable(root).unwrap();
+        }
+        let stats = r.finish().unwrap();
+        (digest(&dst), stats)
+    }
+
+    #[test]
+    fn parallel_restore_matches_sequential_across_worker_counts() {
+        let (payload, _) = collected_payload();
+        let (seq_digest, seq_stats) = sequential_restore(&payload);
+        for workers in [1, 2, 4, 8] {
+            let (mut dst, mut dst_lt, roots) = program(Architecture::sparc20());
+            let (stats, report) = restore_parallel(
+                &mut dst,
+                &mut dst_lt,
+                &payload,
+                &roots,
+                workers,
+                TranslationMode::default(),
+            )
+            .unwrap();
+            assert_eq!(digest(&dst), seq_digest, "{workers} workers diverged");
+            assert_eq!(stats.blocks_restored, seq_stats.blocks_restored);
+            assert_eq!(stats.blocks_allocated, seq_stats.blocks_allocated);
+            assert_eq!(stats.scalars_decoded, seq_stats.scalars_decoded);
+            assert_eq!(stats.ptr_ref, seq_stats.ptr_ref);
+            assert_eq!(stats.ptr_new, seq_stats.ptr_new);
+            assert_eq!(stats.bytes_in, payload.len() as u64);
+            assert_eq!(report.workers(), workers.min(4) as u64);
+            assert_eq!(report.shard_roots.iter().sum::<u64>(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_restore_is_repeatable() {
+        let (payload, _) = collected_payload();
+        let run = || {
+            let (mut dst, mut dst_lt, roots) = program(Architecture::x86_64_sim());
+            restore_parallel(
+                &mut dst,
+                &mut dst_lt,
+                &payload,
+                &roots,
+                3,
+                TranslationMode::default(),
+            )
+            .unwrap();
+            digest(&dst)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn heterogeneous_parallel_restore_translates() {
+        // dec5000 (LE/ILP32) → x86_64_sim (LE/LP64): addresses and
+        // layouts differ, values must survive.
+        let (payload, _) = collected_payload();
+        let (mut dst, mut dst_lt, roots) = program(Architecture::x86_64_sim());
+        restore_parallel(
+            &mut dst,
+            &mut dst_lt,
+            &payload,
+            &roots,
+            4,
+            TranslationMode::default(),
+        )
+        .unwrap();
+        // Walk the chain from `head` and check the stored values.
+        let mut at = dst.load_ptr(roots[2]).unwrap();
+        let mut i = 0i64;
+        while at != 0 {
+            let v = dst.elem_addr(at, 0).unwrap();
+            assert_eq!(dst.load_int(v).unwrap(), i * 3 - 7);
+            let next = dst.elem_addr(at, 1).unwrap();
+            at = dst.load_ptr(next).unwrap();
+            i += 1;
+        }
+        assert_eq!(i, 24, "whole chain reachable");
+        // h0 and h1 alias into the same chain.
+        assert_ne!(dst.load_ptr(roots[0]).unwrap(), 0);
+        assert_ne!(dst.load_ptr(roots[1]).unwrap(), 0);
+    }
+
+    #[test]
+    fn section_restore_reports_consumed_and_tolerates_trailing_payload() {
+        let (payload, _) = collected_payload();
+        let real_len = payload.len();
+        // A later frame's section would follow ours on the wire; the
+        // section API must stop at our roots' end and say where.
+        let mut padded = payload.clone();
+        padded.extend_from_slice(&[7, 7, 7, 7, 7, 7, 7, 7]);
+        let (seq_digest, _) = sequential_restore(&payload);
+        let (mut dst, mut dst_lt, roots) = program(Architecture::sparc20());
+        let (stats, consumed, report) = restore_parallel_section(
+            &mut dst,
+            &mut dst_lt,
+            &padded,
+            &roots,
+            3,
+            TranslationMode::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(consumed, real_len);
+        assert_eq!(stats.bytes_in, real_len as u64);
+        assert_eq!(digest(&dst), seq_digest);
+        assert_eq!(report.shard_roots.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn trailing_garbage_still_detected() {
+        let (mut payload, _) = collected_payload();
+        payload.extend_from_slice(&[0, 0, 0, 0]);
+        let (mut dst, mut dst_lt, roots) = program(Architecture::sparc20());
+        let err = restore_parallel(
+            &mut dst,
+            &mut dst_lt,
+            &payload,
+            &roots,
+            2,
+            TranslationMode::default(),
+        );
+        assert!(matches!(err, Err(CoreError::TrailingBytes { .. })));
+    }
+}

@@ -22,7 +22,7 @@ use hpm_core::{
 use hpm_net::{
     channel_pair, ArqConfig, ArqSenderStats, ChunkReceiver, ChunkSender, FaultPlan, FaultStats,
     FaultyEndpoint, NetError, NetworkModel, ReliableChunkReceiver, ReliableChunkSender,
-    TransferSnapshot,
+    TransferSnapshot, WireCodec,
 };
 use hpm_obs::{
     render_groups, snapshot, FlightDump, FlightRecorder, Histogram, HistogramSnapshot, StatField,
@@ -73,6 +73,12 @@ pub struct MigrationReport {
     /// Per-shard parallel-collection accounting, for runs through
     /// [`run_migrating_parallel`]; `None` for sequential collection.
     pub shards: Option<ShardReport>,
+    /// Per-shard parallel-restoration accounting; `None` when every
+    /// frame restored sequentially.
+    pub restore_shards: Option<ShardReport>,
+    /// What the adaptive planner decided for this run; `None` for
+    /// drivers that don't consult it.
+    pub plan: Option<MigrationPlan>,
     /// Flight-recorder dump captured when the run hit a fallback path;
     /// `None` for clean runs (the recorder stays bounded and unread).
     pub flight: Option<FlightDump>,
@@ -109,6 +115,11 @@ impl MigrationReport {
         }
         if let Some(s) = &self.shards {
             groups.push(snapshot(s));
+        }
+        if let Some(s) = &self.restore_shards {
+            // Rename the group so collect- and restore-side shard
+            // accounting stay distinguishable in one report.
+            groups.push(("parallel.restore".to_string(), s.fields()));
         }
         groups
     }
@@ -553,16 +564,119 @@ pub fn run_migrating_recorded<P: MigratableProgram>(
         recovery: None,
         registry_audit: Some(registry_audit),
         shards: None,
+        restore_shards: None,
+        plan: None,
         flight: None,
     };
     Ok(report_migration(tracer, report, results))
 }
 
-/// [`run_migrating`] with sharded parallel collection: the MSR graph
-/// roots are partitioned across `workers` `std::thread::scope` workers
-/// whose streams are spliced deterministically, so the shipped image is
-/// byte-identical to the sequential driver's — only the Collect wall
-/// time changes. Transmission and restoration are unchanged.
+/// Registered-bytes floor for sharded collection *and* restoration.
+///
+/// Calibrated from the checked-in benchmarks: with 4 workers, thread
+/// spawn plus the claim pre-pass and deterministic splice cost more
+/// than the whole sequential DFS on every paper workload (all well
+/// under this mark) — `BENCH_2e672c5` records 4-shard collection losing
+/// to sequential across the board. Above the cutoff, per-block encode
+/// work dominates and sharding wins.
+pub const PARALLEL_BYTES_CUTOFF: u64 = 8 * 1024 * 1024;
+
+/// Registered-bytes floor for v3 (compressed) framing: an image smaller
+/// than this saves too few wire bytes to pay the per-frame `raw_len`
+/// header and compressor latency.
+pub const COMPRESS_BYTES_CUTOFF: u64 = 4 * 1024;
+
+/// Payload bytes per wire frame on the monolithic chunked path.
+pub const WIRE_CHUNK_BYTES: usize = 32 * 1024;
+
+/// What the adaptive planner decided for one migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Registered bytes the decision was made from (known before
+    /// collection starts; the image header carries the same number).
+    pub registered_bytes: u64,
+    /// Collection/restoration shards (1 = sequential).
+    pub workers: usize,
+    /// Frame codec for the shipped image.
+    pub codec: WireCodec,
+}
+
+impl MigrationPlan {
+    /// A fixed plan that bypasses the adaptive cutoffs — benchmarks and
+    /// tests use this to exercise a specific arm (e.g. forced 4-shard
+    /// compressed) regardless of workload size.
+    pub fn forced(workers: usize, codec: WireCodec) -> Self {
+        MigrationPlan {
+            registered_bytes: 0,
+            workers: workers.max(1),
+            codec,
+        }
+    }
+}
+
+/// The adaptive planner: choose sequential-vs-sharded and
+/// stored-vs-compressed per migration from the registered-byte count.
+pub fn plan_migration(registered_bytes: u64, requested_workers: usize) -> MigrationPlan {
+    let workers = if registered_bytes >= PARALLEL_BYTES_CUTOFF {
+        requested_workers.max(1)
+    } else {
+        1
+    };
+    let codec = if registered_bytes >= COMPRESS_BYTES_CUTOFF {
+        WireCodec::V3
+    } else {
+        WireCodec::V2
+    };
+    MigrationPlan {
+        registered_bytes,
+        workers,
+        codec,
+    }
+}
+
+/// [`resume_from_image`] with monolithic restoration sharded across
+/// `workers` threads (see [`MigCtx::set_restore_workers`]); the restored
+/// process is byte-identical to the sequential path's. Also returns the
+/// per-shard accounting when any frame actually sharded.
+pub fn resume_from_image_parallel<P: MigratableProgram>(
+    program: &mut P,
+    arch: Architecture,
+    image: &[u8],
+    workers: usize,
+) -> Result<(ResumeOutcome, Option<ShardReport>), MigError> {
+    let (header, exec_bytes, payload) = unframe_image(image)?;
+    if header.program != program.name() {
+        return Err(MigError::Protocol(format!(
+            "image is for program '{}', not '{}'",
+            header.program,
+            program.name()
+        )));
+    }
+    let exec = ExecutionState::decode(&exec_bytes)?;
+    let mut proc = Process::new(program.name(), arch);
+    proc.space.reserve_heap_bytes(header.registered_bytes);
+    program.setup(&mut proc)?;
+    proc.msrlt.reset_stats();
+    let mut ctx = MigCtx::new_resume(&mut proc, exec, payload);
+    ctx.set_restore_workers(workers);
+    match program.run(&mut ctx)? {
+        Flow::Done => {}
+        Flow::Migrate => return Err(MigError::Protocol("resumed program migrated again".into())),
+    }
+    let (rstats, rtime) = ctx.restore_totals().ok_or_else(|| {
+        MigError::Protocol("program finished without restoring all frames".into())
+    })?;
+    let shards = ctx.restore_shards();
+    let results = program.results(&mut proc)?;
+    Ok(((results, proc, rstats, rtime), shards))
+}
+
+/// [`run_migrating`] with sharded parallel collection *and* restoration,
+/// gated by the adaptive planner: below [`PARALLEL_BYTES_CUTOFF`] both
+/// phases fall back to the sequential path (where sharding's spawn and
+/// splice overhead loses), and the image ships v3-compressed once past
+/// [`COMPRESS_BYTES_CUTOFF`]. The shipped image and the restored process
+/// are byte-identical to the sequential driver's in every configuration.
 pub fn run_migrating_parallel<P: MigratableProgram>(
     make: impl Fn() -> P,
     src_arch: Architecture,
@@ -586,6 +700,72 @@ pub fn run_migrating_parallel_recorded<P: MigratableProgram>(
     workers: usize,
     recorder: &FlightRecorder,
 ) -> Result<MigrationRun, MigError> {
+    run_migrating_with_plan(
+        make,
+        src_arch,
+        dst_arch,
+        link,
+        trigger,
+        workers,
+        plan_migration,
+        recorder,
+    )
+}
+
+/// [`run_migrating_parallel`] with a caller-fixed [`MigrationPlan`]
+/// instead of the adaptive planner: benchmarks and tests use this to
+/// measure or exercise one specific arm regardless of workload size.
+/// The plan's `registered_bytes` is replaced with the actual count.
+pub fn run_migrating_planned<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    plan: MigrationPlan,
+) -> Result<MigrationRun, MigError> {
+    let recorder = FlightRecorder::new();
+    run_migrating_planned_recorded(make, src_arch, dst_arch, link, trigger, plan, &recorder)
+        .inspect_err(|_| persist_flight_dump(&recorder.dump()))
+}
+
+/// [`run_migrating_planned`] with a caller-supplied [`FlightRecorder`].
+pub fn run_migrating_planned_recorded<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    plan: MigrationPlan,
+    recorder: &FlightRecorder,
+) -> Result<MigrationRun, MigError> {
+    run_migrating_with_plan(
+        make,
+        src_arch,
+        dst_arch,
+        link,
+        trigger,
+        plan.workers,
+        move |bytes, _| MigrationPlan {
+            registered_bytes: bytes,
+            ..plan
+        },
+        recorder,
+    )
+}
+
+/// Shared body of the adaptive/planned monolithic drivers.
+#[allow(clippy::too_many_arguments)]
+fn run_migrating_with_plan<P: MigratableProgram>(
+    make: impl Fn() -> P,
+    src_arch: Architecture,
+    dst_arch: Architecture,
+    link: NetworkModel,
+    trigger: Trigger,
+    workers: usize,
+    planner: impl FnOnce(u64, usize) -> MigrationPlan,
+    recorder: &FlightRecorder,
+) -> Result<MigrationRun, MigError> {
     let driver_track = recorder.track("driver");
     let collect_track = recorder.track("collect");
     // --- source side ---
@@ -596,9 +776,26 @@ pub fn run_migrating_parallel_recorded<P: MigratableProgram>(
     let (proc, pending) = run_to_parts(&mut src_prog, &mut src)?;
     let registry_audit = require_clean_registry(proc)?;
     proc.msrlt.reset_stats();
+    let plan = planner(proc.msrlt.registered_bytes(), workers);
+    driver_track.event(
+        "plan",
+        &[
+            ("registered_bytes", plan.registered_bytes),
+            ("workers", plan.workers as u64),
+            ("compressed", (plan.codec == WireCodec::V3) as u64),
+        ],
+    );
     let t0 = Instant::now();
-    let (payload, exec, collect_stats, shards) =
-        collect_pending_parallel_flight(proc, &pending, workers, Some(&collect_track))?;
+    let (payload, exec, collect_stats, shards) = if plan.workers > 1 {
+        let (p, e, c, s) =
+            collect_pending_parallel_flight(proc, &pending, plan.workers, Some(&collect_track))?;
+        (p, e, c, Some(s))
+    } else {
+        // Below the planner's cutoff the sharded path loses to the
+        // plain DFS: collect sequentially.
+        let (p, e, c) = collect_pending(proc, &pending)?;
+        (p, e, c, None)
+    };
     let collect_time = t0.elapsed();
     let header = image_header(proc);
     let image = frame_image(&header, &exec.encode(), &payload);
@@ -606,7 +803,7 @@ pub fn run_migrating_parallel_recorded<P: MigratableProgram>(
         "phase.collect",
         &[
             ("image_bytes", image.len() as u64),
-            ("workers", shards.workers()),
+            ("workers", plan.workers as u64),
         ],
     );
     let src_msrlt = src.msrlt.stats();
@@ -614,23 +811,40 @@ pub fn run_migrating_parallel_recorded<P: MigratableProgram>(
     let chain_depth = exec.depth();
     let memory_bytes = collect_stats.bytes_out;
 
-    // --- the wire ---
+    // --- the wire: the image ships in fixed-size chunks so the plan's
+    // codec applies per frame; concatenating the received chunks
+    // reproduces the image byte-for-byte. ---
     let (src_end, dst_end) = channel_pair(link);
-    src_end.send(image)?;
-    let image = dst_end.recv()?;
+    let mut sender = ChunkSender::new(&src_end).with_codec(plan.codec);
+    for part in image.chunks(WIRE_CHUNK_BYTES) {
+        sender.send(part)?;
+    }
+    sender.finish()?;
+    let mut rx = ChunkReceiver::new(dst_end);
+    let mut shipped = Vec::with_capacity(image.len());
+    while let Some(chunk) = rx.recv_chunk().map_err(MigError::from)? {
+        shipped.extend_from_slice(&chunk);
+    }
     let transfer = src_end.stats().snapshot();
     let tx_time = transfer.modeled_tx_time();
-    driver_track.event("phase.tx", &[("bytes", transfer.bytes_sent)]);
+    driver_track.event(
+        "phase.tx",
+        &[
+            ("bytes", transfer.bytes_sent),
+            ("raw_payload", transfer.raw_payload_bytes),
+            ("wire_payload", transfer.wire_payload_bytes),
+        ],
+    );
 
     // --- destination side ---
     let mut dst_prog = make();
-    let (results, dst, restore_stats, restore_time) =
-        resume_from_image(&mut dst_prog, dst_arch, &image)?;
+    let ((results, dst, restore_stats, restore_time), restore_shards) =
+        resume_from_image_parallel(&mut dst_prog, dst_arch, &shipped, plan.workers)?;
     let dst_msrlt = dst.msrlt.stats();
     driver_track.event("phase.restore", &[("bytes_in", restore_stats.bytes_in)]);
 
     let report = MigrationReport {
-        image_bytes: image.len() as u64,
+        image_bytes: shipped.len() as u64,
         memory_bytes,
         collect_time,
         tx_time,
@@ -646,7 +860,9 @@ pub fn run_migrating_parallel_recorded<P: MigratableProgram>(
         pipeline: None,
         recovery: None,
         registry_audit: Some(registry_audit),
-        shards: Some(shards),
+        shards,
+        restore_shards,
+        plan: Some(plan),
         flight: None,
     };
     Ok(report_migration(&Tracer::disabled(), report, results))
@@ -664,6 +880,9 @@ pub struct PipelineConfig {
     /// Scale on the per-chunk pacing sleep (`0.01` runs a 10 Mb/s
     /// experiment 100× faster while preserving relative timing).
     pub pace_scale: f64,
+    /// Frame codec for the chunk stream (default v2/stored; pass
+    /// [`WireCodec::V3`] to compress each chunk on the wire).
+    pub codec: WireCodec,
 }
 
 impl Default for PipelineConfig {
@@ -672,7 +891,16 @@ impl Default for PipelineConfig {
             chunk_bytes: 32 * 1024,
             pace: true,
             pace_scale: 1.0,
+            codec: WireCodec::default(),
         }
+    }
+}
+
+impl PipelineConfig {
+    /// This configuration with v3 (compressed) framing.
+    pub fn compressed(mut self) -> Self {
+        self.codec = WireCodec::V3;
+        self
     }
 }
 
@@ -875,7 +1103,9 @@ pub fn run_migrating_pipelined_recorded<P: MigratableProgram + Send>(
             // Wire stage: pace each chunk by its modeled transmission
             // time, then frame and forward it.
             let wire = s.spawn(move || -> Result<(u32, TransferSnapshot), NetError> {
-                let mut sender = ChunkSender::new(&src_end).with_flight(tx_track);
+                let mut sender = ChunkSender::new(&src_end)
+                    .with_codec(config.codec)
+                    .with_flight(tx_track);
                 while let Ok(chunk) = chunk_rx.recv() {
                     if config.pace {
                         let d = link.tx_time(chunk.len() as u64).mul_f64(config.pace_scale);
@@ -1048,6 +1278,8 @@ pub fn run_migrating_pipelined_recorded<P: MigratableProgram + Send>(
         recovery: None,
         registry_audit: Some(registry_audit),
         shards: None,
+        restore_shards: None,
+        plan: None,
         flight: None,
     };
     Ok(report_migration(
@@ -1324,7 +1556,9 @@ pub fn run_migrating_resilient_recorded<P: MigratableProgram + Send>(
         // Wire stage: pace, then push each chunk through the ARQ sender
         // over the fault-injected endpoint. Stats survive failure.
         let wire = s.spawn(move || {
-            let mut tx = ReliableChunkSender::new(endpoint, arq).with_flight(arq_tx_track);
+            let mut tx = ReliableChunkSender::new(endpoint, arq)
+                .with_codec(config.codec)
+                .with_flight(arq_tx_track);
             let mut err = None;
             while let Ok(chunk) = chunk_rx.recv() {
                 if config.pace {
@@ -1527,6 +1761,8 @@ pub fn run_migrating_resilient_recorded<P: MigratableProgram + Send>(
                     }),
                     registry_audit: Some(registry_audit),
                     shards: None,
+                    restore_shards: None,
+                    plan: None,
                     flight: Some(dump),
                 };
                 return Ok(MigrationRun { report, results });
@@ -1582,6 +1818,8 @@ pub fn run_migrating_resilient_recorded<P: MigratableProgram + Send>(
         recovery: Some(recovery_base),
         registry_audit: Some(registry_audit),
         shards: None,
+        restore_shards: None,
+        plan: None,
         flight: None,
     };
     Ok(report_migration(
@@ -1707,6 +1945,7 @@ mod tests {
             chunk_bytes: 64,
             pace: false,
             pace_scale: 0.0,
+            codec: WireCodec::default(),
         };
         let run = run_migrating_pipelined(
             || Summer::new(500),
@@ -1785,6 +2024,7 @@ mod tests {
             chunk_bytes: 64,
             pace: false,
             pace_scale: 0.0,
+            codec: WireCodec::default(),
         }
     }
 
@@ -1997,6 +2237,7 @@ mod tests {
                     chunk_bytes: 128,
                     pace: false,
                     pace_scale: 0.0,
+                    codec: WireCodec::default(),
                 },
             );
             let _ = done_tx.send(r);
@@ -2026,6 +2267,7 @@ mod tests {
                     chunk_bytes: 128,
                     pace: false,
                     pace_scale: 0.0,
+                    codec: WireCodec::default(),
                 },
                 FaultPlan::none(),
                 quick_policy(),

@@ -50,12 +50,14 @@ pub use ctx::{
     pending_exec_state, Flow, MigCtx, MigratableProgram, PendingFrame,
 };
 pub use driver::{
-    collect_image, collect_image_traced, preflight_audit, resume_from_image,
-    resume_from_image_traced, run_migrating, run_migrating_parallel,
+    collect_image, collect_image_traced, plan_migration, preflight_audit, resume_from_image,
+    resume_from_image_parallel, resume_from_image_traced, run_migrating, run_migrating_parallel,
     run_migrating_parallel_recorded, run_migrating_pipelined, run_migrating_pipelined_recorded,
-    run_migrating_recorded, run_migrating_resilient, run_migrating_resilient_recorded,
-    run_migrating_traced, run_straight, run_to_migration, FallbackPolicy, MigratedSource,
-    MigrationReport, MigrationRun, PipelineConfig, PipelineStats, RecoveryPolicy, RecoveryStats,
+    run_migrating_planned, run_migrating_planned_recorded, run_migrating_recorded,
+    run_migrating_resilient, run_migrating_resilient_recorded, run_migrating_traced, run_straight,
+    run_to_migration, FallbackPolicy, MigratedSource, MigrationPlan, MigrationReport, MigrationRun,
+    PipelineConfig, PipelineStats, RecoveryPolicy, RecoveryStats, COMPRESS_BYTES_CUTOFF,
+    PARALLEL_BYTES_CUTOFF, WIRE_CHUNK_BYTES,
 };
 pub use exec::{ExecutionState, FrameState};
 pub use process::{Process, Trigger};

@@ -28,8 +28,9 @@
 
 use crate::channel::{Channel, NetError};
 use crate::fault::FrameLink;
+use crate::stream::{expand_incoming, frame_outgoing, WireCodec};
 use hpm_obs::{FlightTrack, Histogram, HistogramSnapshot};
-use hpm_xdr::{frame_chunk_v2, frame_control, unframe_chunk_any, unframe_control, Control};
+use hpm_xdr::{frame_control, unframe_chunk_any, unframe_control, Control};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +91,7 @@ struct WindowEntry {
 pub struct ReliableChunkSender<L: FrameLink> {
     link: L,
     cfg: ArqConfig,
+    codec: WireCodec,
     next_seq: u32,
     window: VecDeque<WindowEntry>,
     /// Frame copies accepted by the link (for lossless links this *is*
@@ -108,6 +110,7 @@ impl<L: FrameLink> ReliableChunkSender<L> {
         ReliableChunkSender {
             link,
             cfg,
+            codec: WireCodec::default(),
             next_seq: 0,
             window: VecDeque::new(),
             wire_sends: 0,
@@ -121,6 +124,14 @@ impl<L: FrameLink> ReliableChunkSender<L> {
     /// `ack`, `nack`, `retries.exhausted`).
     pub fn with_flight(mut self, track: FlightTrack) -> Self {
         self.flight = Some(track);
+        self
+    }
+
+    /// Choose the frame version this stream ships (default: v2). The
+    /// compressed frame is built once and kept in the replay window, so
+    /// retransmissions resend the same wire bytes without recompressing.
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -150,14 +161,28 @@ impl<L: FrameLink> ReliableChunkSender<L> {
     /// Frame, window, and ship one payload chunk; blocks while the
     /// replay window is full.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
-        self.ship(frame_chunk_v2(self.next_seq, false, payload))
+        let (frame, _) = frame_outgoing(
+            self.codec,
+            self.link.transfer_stats(),
+            self.next_seq,
+            false,
+            payload,
+        );
+        self.ship(frame)
     }
 
     /// Terminate the stream with an empty LAST frame and wait until the
     /// peer has acknowledged everything. Returns the total number of
     /// distinct frames sent, terminator included.
     pub fn finish(&mut self) -> Result<u32, NetError> {
-        self.ship(frame_chunk_v2(self.next_seq, true, &[]))?;
+        let (frame, _) = frame_outgoing(
+            self.codec,
+            self.link.transfer_stats(),
+            self.next_seq,
+            true,
+            &[],
+        );
+        self.ship(frame)?;
         self.link.flush()?;
         while !self.window.is_empty() {
             self.await_progress()?;
@@ -510,12 +535,17 @@ impl ReliableChunkReceiver {
                 });
             }
             let late = self.max_seen.is_some_and(|m| m > seq);
+            // The CRC (over the wire bytes) has passed, so a v3 payload
+            // that fails to expand was framed wrong at the source — a
+            // hard error, not retransmittable corruption.
+            let last = parsed.last;
+            let payload = expand_incoming(self.ch.stats(), parsed)?;
             if seq == self.next {
                 if late {
                     ArqReceiverCounters::bump(&self.counters.reorders_absorbed);
                     self.flight_event("reorder", &[("chunk", seq as u64)]);
                 }
-                self.accept(parsed.last, parsed.payload);
+                self.accept(last, payload);
                 while let Some((l, p)) = self.ooo.remove(&self.next) {
                     self.accept(l, p);
                 }
@@ -528,7 +558,7 @@ impl ReliableChunkReceiver {
                         if late {
                             ArqReceiverCounters::bump(&self.counters.reorders_absorbed);
                         }
-                        v.insert((parsed.last, parsed.payload));
+                        v.insert((last, payload));
                     }
                 }
             }
@@ -729,6 +759,107 @@ mod tests {
             assert_eq!(s, s0, "sender stats must be reproducible");
             assert_eq!(r, r0, "receiver counters must be reproducible");
             assert_eq!(f, f0, "fault stats must be reproducible");
+        }
+    }
+
+    #[test]
+    fn v3_codec_survives_a_fault_storm_and_shrinks_the_wire() {
+        let plan = FaultPlan {
+            seed: 21,
+            drop_per_mille: 80,
+            corrupt_per_mille: 80,
+            duplicate_per_mille: 80,
+            reorder_per_mille: 80,
+            ..FaultPlan::none()
+        };
+        // Runs of one byte compress well; the ARQ must deliver the
+        // expanded payloads exactly despite drops/corruption of the
+        // compressed frames.
+        let data: Vec<Vec<u8>> = (0..60).map(|i| vec![(i % 251) as u8; 400]).collect();
+        let (src, dst) = channel_pair(NetworkModel::instant());
+        let stats = {
+            let link = FaultyEndpoint::new(src, plan);
+            let expect = data.clone();
+            let handle = std::thread::spawn(move || {
+                let mut rx = ReliableChunkReceiver::new(dst, cfg());
+                let mut got = Vec::new();
+                while let Some(p) = rx.recv_chunk().unwrap() {
+                    got.push(p);
+                }
+                assert_eq!(got, expect);
+            });
+            let mut tx = ReliableChunkSender::new(link, cfg()).with_codec(crate::WireCodec::V3);
+            for p in &data {
+                tx.send(p).unwrap();
+            }
+            tx.finish().unwrap();
+            let link = tx.into_link();
+            assert!(link.stats().faults_injected() > 0, "storm injected nothing");
+            let snap = link.channel().stats().snapshot();
+            drop(link);
+            handle.join().expect("receiver failed");
+            snap
+        };
+        assert_eq!(stats.raw_payload_bytes, 60 * 400);
+        assert!(stats.wire_payload_bytes < stats.raw_payload_bytes);
+        assert_eq!(stats.chunks_compressed, 60);
+    }
+
+    #[test]
+    fn v3_codec_counters_are_reproducible() {
+        let plan = FaultPlan {
+            seed: 0xC0DEC,
+            drop_per_mille: 60,
+            corrupt_per_mille: 60,
+            duplicate_per_mille: 60,
+            reorder_per_mille: 60,
+            delay_per_mille: 60,
+            disconnect_at: None,
+        };
+        let data = payloads(50);
+        let run = |_: usize| {
+            let (src, dst) = channel_pair(NetworkModel::instant());
+            let link = FaultyEndpoint::new(src, plan);
+            let expect = data.clone();
+            let handle = std::thread::spawn(move || {
+                let mut rx = ReliableChunkReceiver::new(dst, cfg());
+                let counters = rx.counters();
+                let mut got = Vec::new();
+                while let Some(p) = rx.recv_chunk().unwrap() {
+                    got.push(p);
+                }
+                assert_eq!(got, expect);
+                counters.snapshot()
+            });
+            let mut tx = ReliableChunkSender::new(link, cfg()).with_codec(crate::WireCodec::V3);
+            for p in &data {
+                tx.send(p).unwrap();
+            }
+            tx.finish().unwrap();
+            let sstats = tx.stats();
+            let link = tx.into_link();
+            let fstats = link.stats();
+            let snap = link.channel().stats().snapshot();
+            drop(link);
+            let rsnap = handle.join().expect("receiver failed");
+            (
+                sstats,
+                rsnap,
+                fstats,
+                snap.raw_payload_bytes,
+                snap.wire_payload_bytes,
+                snap.chunks_compressed,
+            )
+        };
+        let first = run(0);
+        for i in 1..3 {
+            let again = run(i);
+            assert_eq!(again.0, first.0, "sender stats");
+            assert_eq!(again.1, first.1, "receiver counters");
+            assert_eq!(again.2, first.2, "fault stats");
+            assert_eq!(again.3, first.3, "raw bytes");
+            assert_eq!(again.4, first.4, "wire bytes");
+            assert_eq!(again.5, first.5, "compressed chunks");
         }
     }
 

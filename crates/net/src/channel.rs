@@ -72,8 +72,18 @@ pub struct TransferStats {
     bytes_sent: AtomicU64,
     messages_sent: AtomicU64,
     modeled_tx_nanos: AtomicU64,
+    /// Pre-compression chunk-payload bytes offered to the stream layer.
+    raw_payload_bytes: AtomicU64,
+    /// Post-compression chunk-payload bytes actually framed for the wire.
+    wire_payload_bytes: AtomicU64,
+    /// Chunks whose payload went out compressed (vs stored).
+    chunks_compressed: AtomicU64,
     /// Per-message modeled wire latency distribution (nanoseconds).
     wire_lat: Histogram,
+    /// Per-chunk compression latency distribution (nanoseconds).
+    compress_lat: Histogram,
+    /// Per-chunk decompression latency distribution (nanoseconds).
+    decompress_lat: Histogram,
 }
 
 impl TransferStats {
@@ -102,13 +112,39 @@ impl TransferStats {
         self.wire_lat.snapshot()
     }
 
+    /// Account one chunk payload leaving the stream layer: `raw` bytes
+    /// offered and `wire` bytes framed after the codec ran (equal when
+    /// the chunk went out stored).
+    pub fn observe_chunk_out(&self, raw: u64, wire: u64, compressed: bool) {
+        self.raw_payload_bytes.fetch_add(raw, Ordering::Relaxed);
+        self.wire_payload_bytes.fetch_add(wire, Ordering::Relaxed);
+        if compressed {
+            self.chunks_compressed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Account one chunk payload being compressed on the send side.
+    pub fn observe_compress(&self, nanos: u64) {
+        self.compress_lat.observe(nanos);
+    }
+
+    /// Account one chunk payload being expanded on the receive side.
+    pub fn observe_decompress(&self, nanos: u64) {
+        self.decompress_lat.observe(nanos);
+    }
+
     /// Point-in-time copy, detached from the live atomics.
     pub fn snapshot(&self) -> TransferSnapshot {
         TransferSnapshot {
             bytes_sent: self.bytes_sent(),
             messages_sent: self.messages_sent(),
             modeled_tx_nanos: self.modeled_tx_nanos(),
+            raw_payload_bytes: self.raw_payload_bytes.load(Ordering::Relaxed),
+            wire_payload_bytes: self.wire_payload_bytes.load(Ordering::Relaxed),
+            chunks_compressed: self.chunks_compressed.load(Ordering::Relaxed),
             wire_lat: self.wire_lat.snapshot(),
+            compress_lat: self.compress_lat.snapshot(),
+            decompress_lat: self.decompress_lat.snapshot(),
         }
     }
 }
@@ -122,14 +158,34 @@ pub struct TransferSnapshot {
     pub messages_sent: u64,
     /// Sum of modeled transmission times in nanoseconds.
     pub modeled_tx_nanos: u64,
+    /// Pre-compression chunk-payload bytes offered to the stream layer.
+    pub raw_payload_bytes: u64,
+    /// Post-compression chunk-payload bytes actually framed for the wire.
+    pub wire_payload_bytes: u64,
+    /// Chunks whose payload went out compressed (vs stored).
+    pub chunks_compressed: u64,
     /// Per-message modeled wire latency distribution (nanoseconds).
     pub wire_lat: HistogramSnapshot,
+    /// Per-chunk compression latency distribution (nanoseconds).
+    pub compress_lat: HistogramSnapshot,
+    /// Per-chunk decompression latency distribution (nanoseconds).
+    pub decompress_lat: HistogramSnapshot,
 }
 
 impl TransferSnapshot {
     /// Modeled transmission time as a [`Duration`].
     pub fn modeled_tx_time(&self) -> Duration {
         Duration::from_nanos(self.modeled_tx_nanos)
+    }
+
+    /// Wire-to-raw payload ratio (1.0 = no shrink, smaller is better);
+    /// 1.0 when no chunk payloads were accounted.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_payload_bytes == 0 {
+            1.0
+        } else {
+            self.wire_payload_bytes as f64 / self.raw_payload_bytes as f64
+        }
     }
 }
 
@@ -143,10 +199,30 @@ impl StatGroup for TransferSnapshot {
             StatField::bytes("bytes_sent", self.bytes_sent),
             StatField::count("messages_sent", self.messages_sent),
             StatField::duration("modeled_tx_time", self.modeled_tx_time()),
+            StatField::bytes("raw_payload_bytes", self.raw_payload_bytes),
+            StatField::bytes("wire_payload_bytes", self.wire_payload_bytes),
+            StatField::count("chunks_compressed", self.chunks_compressed),
+            StatField::ratio("compression_ratio", self.compression_ratio()),
             StatField::duration("wire_p50", Duration::from_nanos(self.wire_lat.p50())),
             StatField::duration("wire_p90", Duration::from_nanos(self.wire_lat.p90())),
             StatField::duration("wire_p99", Duration::from_nanos(self.wire_lat.p99())),
             StatField::duration("wire_max", Duration::from_nanos(self.wire_lat.max)),
+            StatField::duration(
+                "compress_p50",
+                Duration::from_nanos(self.compress_lat.p50()),
+            ),
+            StatField::duration(
+                "compress_p99",
+                Duration::from_nanos(self.compress_lat.p99()),
+            ),
+            StatField::duration(
+                "decompress_p50",
+                Duration::from_nanos(self.decompress_lat.p50()),
+            ),
+            StatField::duration(
+                "decompress_p99",
+                Duration::from_nanos(self.decompress_lat.p99()),
+            ),
         ]
     }
 
@@ -154,7 +230,12 @@ impl StatGroup for TransferSnapshot {
         self.bytes_sent += other.bytes_sent;
         self.messages_sent += other.messages_sent;
         self.modeled_tx_nanos += other.modeled_tx_nanos;
+        self.raw_payload_bytes += other.raw_payload_bytes;
+        self.wire_payload_bytes += other.wire_payload_bytes;
+        self.chunks_compressed += other.chunks_compressed;
         self.wire_lat.merge(&other.wire_lat);
+        self.compress_lat.merge(&other.compress_lat);
+        self.decompress_lat.merge(&other.decompress_lat);
     }
 }
 

@@ -15,7 +15,7 @@
 //! function of the plan only, which is what makes `RecoveryStats`
 //! reproducible run-to-run.
 
-use crate::channel::{Channel, NetError};
+use crate::channel::{Channel, NetError, TransferStats};
 use hpm_obs::FlightTrack;
 use hpm_xdr::unframe_chunk_any;
 use std::collections::HashMap;
@@ -218,6 +218,13 @@ pub trait FrameLink {
     fn intact_deliveries(&self) -> Option<u64> {
         None
     }
+    /// Transfer accounting for the underlying channel, when the link has
+    /// one — lets the ARQ sender report raw-vs-wire payload volume and
+    /// compression latency through the same counters as the plain
+    /// chunked stream.
+    fn transfer_stats(&self) -> Option<&TransferStats> {
+        None
+    }
 }
 
 impl FrameLink for Channel {
@@ -231,6 +238,10 @@ impl FrameLink for Channel {
 
     fn recv_control_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, NetError> {
         self.recv_timeout(timeout)
+    }
+
+    fn transfer_stats(&self) -> Option<&TransferStats> {
+        Some(self.stats())
     }
 }
 
@@ -416,6 +427,10 @@ impl FrameLink for FaultyEndpoint {
 
     fn intact_deliveries(&self) -> Option<u64> {
         Some(self.intact_delivered)
+    }
+
+    fn transfer_stats(&self) -> Option<&TransferStats> {
+        Some(self.ch.stats())
     }
 }
 

@@ -29,7 +29,7 @@ pub use channel::{channel_pair, Channel, NetError, TransferSnapshot, TransferSta
 pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyEndpoint, FrameLink};
 pub use file::FileTransport;
 pub use model::{Link, NetworkModel};
-pub use stream::{ChunkReceiver, ChunkSender};
+pub use stream::{ChunkReceiver, ChunkSender, WireCodec};
 
 #[cfg(test)]
 mod model_tests {

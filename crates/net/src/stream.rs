@@ -6,16 +6,88 @@
 //! [`ChunkSender`] frames and sends; [`ChunkReceiver`] unframes, checks
 //! sequence numbers, and latches end-of-stream at the LAST flag.
 
-use crate::channel::{Channel, NetError};
+use crate::channel::{Channel, NetError, TransferStats};
 use hpm_obs::FlightTrack;
-use hpm_xdr::{frame_chunk_v2, unframe_chunk_any};
+use hpm_xdr::{frame_chunk_v2, frame_chunk_v3, unframe_chunk_any, ChunkFrame};
+use std::time::Instant;
+
+/// Which chunk-frame version a sender puts on the wire. Receivers need
+/// no configuration — [`unframe_chunk_any`] detects the version by
+/// magic, which is how a v3 sender interoperates with v2-era peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// v2 frames: stored payload, CRC-protected.
+    #[default]
+    V2,
+    /// v3 frames: per-chunk compression with a stored fallback for
+    /// incompressible chunks; CRC over the wire (compressed) bytes.
+    V3,
+}
+
+/// Frame one outgoing chunk under `codec`, accounting raw-vs-wire
+/// payload volume (and compression latency for v3) into `stats` when
+/// the link exposes one. Shared by [`ChunkSender`] and the ARQ sender
+/// so both paths report identical counters.
+pub(crate) fn frame_outgoing(
+    codec: WireCodec,
+    stats: Option<&TransferStats>,
+    seq: u32,
+    last: bool,
+    payload: &[u8],
+) -> (Vec<u8>, usize) {
+    match codec {
+        WireCodec::V2 => {
+            if let Some(s) = stats {
+                s.observe_chunk_out(payload.len() as u64, payload.len() as u64, false);
+            }
+            (frame_chunk_v2(seq, last, payload), payload.len())
+        }
+        WireCodec::V3 => {
+            let t0 = Instant::now();
+            let (frame, wire_len) = frame_chunk_v3(seq, last, payload);
+            if let Some(s) = stats {
+                s.observe_chunk_out(
+                    payload.len() as u64,
+                    wire_len as u64,
+                    wire_len < payload.len(),
+                );
+                s.observe_compress(t0.elapsed().as_nanos() as u64);
+            }
+            (frame, wire_len)
+        }
+    }
+}
+
+/// Expand one verified incoming frame under whatever codec the sender
+/// chose, accounting decompression latency into `stats`. Fails with
+/// [`NetError::ChunkFraming`] when a compressed payload does not expand
+/// to its declared size (corruption the CRC cannot see: the sender
+/// framed garbage).
+pub(crate) fn expand_incoming(
+    stats: &TransferStats,
+    frame: ChunkFrame,
+) -> Result<Vec<u8>, NetError> {
+    if !frame.compressed {
+        return Ok(frame.payload);
+    }
+    let seq = frame.seq;
+    let t0 = Instant::now();
+    let payload = frame.into_payload().map_err(|e| NetError::ChunkFraming {
+        chunk: seq,
+        reason: format!("compressed payload failed to expand: {e}"),
+    })?;
+    stats.observe_decompress(t0.elapsed().as_nanos() as u64);
+    Ok(payload)
+}
 
 /// Sending side of a chunked stream: frames each payload with a
-/// sequence number and a payload CRC-32, and terminates the stream with
-/// an empty LAST frame.
+/// sequence number and a payload CRC-32 (compressing under
+/// [`WireCodec::V3`]), and terminates the stream with an empty LAST
+/// frame.
 pub struct ChunkSender<'a> {
     ch: &'a Channel,
     seq: u32,
+    codec: WireCodec,
     flight: Option<FlightTrack>,
 }
 
@@ -25,8 +97,15 @@ impl<'a> ChunkSender<'a> {
         ChunkSender {
             ch,
             seq: 0,
+            codec: WireCodec::default(),
             flight: None,
         }
+    }
+
+    /// Choose the frame version this stream ships (default: v2).
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Record chunk events on `track` (`chunk.sent`, `stream.finish`).
@@ -37,11 +116,16 @@ impl<'a> ChunkSender<'a> {
 
     /// Frame and send one payload chunk.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
-        let frame = frame_chunk_v2(self.seq, false, payload);
+        let (frame, wire_len) =
+            frame_outgoing(self.codec, Some(self.ch.stats()), self.seq, false, payload);
         if let Some(t) = &self.flight {
             t.event(
                 "chunk.sent",
-                &[("chunk", self.seq as u64), ("bytes", payload.len() as u64)],
+                &[
+                    ("chunk", self.seq as u64),
+                    ("bytes", payload.len() as u64),
+                    ("wire_bytes", wire_len as u64),
+                ],
             );
         }
         self.seq += 1;
@@ -51,7 +135,7 @@ impl<'a> ChunkSender<'a> {
     /// Terminate the stream with an empty LAST frame; returns the total
     /// number of frames sent, terminator included.
     pub fn finish(self) -> Result<u32, NetError> {
-        let frame = frame_chunk_v2(self.seq, true, &[]);
+        let (frame, _) = frame_outgoing(self.codec, Some(self.ch.stats()), self.seq, true, &[]);
         if let Some(t) = &self.flight {
             t.event("stream.finish", &[("chunks", self.seq as u64 + 1)]);
         }
@@ -158,18 +242,21 @@ impl ChunkReceiver {
             "chunk.recv",
             &[
                 ("chunk", parsed.seq as u64),
-                ("bytes", parsed.payload.len() as u64),
+                ("wire_bytes", parsed.payload.len() as u64),
+                ("compressed", parsed.compressed as u64),
             ],
         );
-        if parsed.last {
+        let last = parsed.last;
+        let payload = expand_incoming(self.ch.stats(), parsed)?;
+        if last {
             self.done = true;
             self.flight_event("stream.done", &[("chunks", self.next_seq as u64)]);
-            if parsed.payload.is_empty() {
+            if payload.is_empty() {
                 return Ok(None);
             }
-            return Ok(Some(parsed.payload));
+            return Ok(Some(payload));
         }
-        Ok(Some(parsed.payload))
+        Ok(Some(payload))
     }
 
     /// Chunks received so far (terminator included once seen).
@@ -323,6 +410,103 @@ mod tests {
         let mut rx = ChunkReceiver::new(b);
         assert_eq!(rx.recv_chunk().unwrap(), Some(vec![1, 2, 3, 4]));
         assert_eq!(rx.recv_chunk().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn v3_codec_shrinks_compressible_chunks_and_accounts_them() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut tx = ChunkSender::new(&a).with_codec(WireCodec::V3);
+        let compressible = vec![7u8; 8 * 1024];
+        tx.send(&compressible).unwrap();
+        tx.finish().unwrap();
+
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(compressible.clone()));
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+
+        let snap = a.stats().snapshot();
+        assert_eq!(snap.raw_payload_bytes, compressible.len() as u64);
+        assert!(
+            snap.wire_payload_bytes < snap.raw_payload_bytes,
+            "wire {} not below raw {}",
+            snap.wire_payload_bytes,
+            snap.raw_payload_bytes
+        );
+        assert_eq!(snap.chunks_compressed, 1);
+        assert!(
+            snap.compression_ratio() < 0.1,
+            "{}",
+            snap.compression_ratio()
+        );
+        assert_eq!(snap.compress_lat.count, 2); // data chunk + terminator
+        assert_eq!(snap.decompress_lat.count, 1);
+    }
+
+    #[test]
+    fn v3_codec_stores_incompressible_chunks_without_expansion() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut tx = ChunkSender::new(&a).with_codec(WireCodec::V3);
+        // splitmix-style noise defeats both the RLE and match finders.
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                s = s.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                (z ^ (z >> 31)) as u8
+            })
+            .collect();
+        tx.send(&noise).unwrap();
+        tx.finish().unwrap();
+
+        let mut rx = ChunkReceiver::new(b);
+        assert_eq!(rx.recv_chunk().unwrap(), Some(noise.clone()));
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+
+        let snap = a.stats().snapshot();
+        // Stored fallback: the wire payload never exceeds the raw bytes.
+        assert_eq!(snap.wire_payload_bytes, snap.raw_payload_bytes);
+        assert_eq!(snap.chunks_compressed, 0);
+        assert_eq!(snap.decompress_lat.count, 0);
+    }
+
+    #[test]
+    fn v3_mixed_stream_roundtrips_byte_identically() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let mut tx = ChunkSender::new(&a).with_codec(WireCodec::V3);
+        let chunks: Vec<Vec<u8>> = vec![
+            vec![0u8; 1000],
+            (0..=255u8).cycle().take(3000).collect(),
+            b"short".to_vec(),
+            vec![],
+            vec![0xAB; 7777],
+        ];
+        for c in &chunks {
+            tx.send(c).unwrap();
+        }
+        tx.finish().unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        for c in &chunks {
+            assert_eq!(rx.recv_chunk().unwrap().as_ref(), Some(c));
+        }
+        assert_eq!(rx.recv_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_v3_compressed_payload_is_caught_by_crc() {
+        let (a, b) = channel_pair(NetworkModel::instant());
+        let (mut frame, wire_len) = hpm_xdr::frame_chunk_v3(0, false, &[9u8; 512]);
+        assert!(wire_len < 512, "test payload must actually compress");
+        // Damage a byte inside the compressed data region (padding must
+        // stay zero so the frame still parses and names its sequence).
+        let data_start = frame.len() - hpm_xdr::padded_len(wire_len);
+        frame[data_start + wire_len / 2] ^= 0x40;
+        a.send(frame).unwrap();
+        let mut rx = ChunkReceiver::new(b);
+        match rx.recv_chunk() {
+            Err(NetError::Corrupt { chunk, .. }) => assert_eq!(chunk, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

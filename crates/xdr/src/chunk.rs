@@ -3,21 +3,39 @@
 //! The pipelined migration path ships the XDR image stream in framed
 //! chunks so transfer can start while collection is still traversing the
 //! MSR graph. Each chunk on the wire is itself a tiny XDR document.
-//! Two frame versions coexist:
+//! Three frame versions coexist:
 //!
 //! ```text
-//! v1 (legacy, no integrity check)      v2 (current)
+//! v1 (legacy, no integrity check)      v2 (CRC-protected)
 //! u32 magic  = 0x4850_4D43 ("HPMC")    u32 magic  = 0x4850_4D44 ("HPMD")
 //! u32 seq    = 0, 1, 2, ...            u32 seq    = 0, 1, 2, ...
 //! u32 flags  = bit 0 on final chunk    u32 flags  = bit 0 on final chunk
 //! opaque_var payload (4-byte aligned)  u32 crc    = CRC-32 of the payload
 //!                                      opaque_var payload (4-byte aligned)
+//!
+//! v3 (compressed)
+//! u32 magic   = 0x4850_4D45 ("HPME")
+//! u32 seq     = 0, 1, 2, ...
+//! u32 flags   = bit 0 final chunk, bit 1 payload is compressed
+//! u32 raw_len = payload size before compression
+//! u32 crc     = CRC-32 of the *wire* payload (post-compression)
+//! opaque_var wire payload (4-byte aligned)
 //! ```
 //!
-//! [`unframe_chunk_any`] decodes both versions, so receivers keep
-//! understanding v1 streams; the CRC is reported, not verified, here —
-//! the transport layer decides how to react to a mismatch (the framing
-//! layer has no notion of retransmission).
+//! A v3 sender compresses each chunk with [`crate::compress`] and falls
+//! back to a stored block (bit 1 clear, wire payload = raw payload)
+//! whenever compression would not shrink the chunk — incompressible
+//! data never expands beyond the fixed 4-byte `raw_len` overhead. The
+//! CRC always covers the bytes actually on the wire, so the transport
+//! can verify integrity *before* spending decompression work, and a
+//! corrupt compressed chunk is caught exactly like a corrupt stored one.
+//!
+//! [`unframe_chunk_any`] decodes all three versions — receiver-side
+//! auto-detection by magic is the negotiation mechanism, so a v3 sender
+//! interoperates with v1/v2 peers simply by being configured down, and a
+//! receiver understands whatever arrives. The CRC is reported, not
+//! verified, here — the transport layer decides how to react to a
+//! mismatch (the framing layer has no notion of retransmission).
 //!
 //! The reverse direction of an ARQ link carries tiny control frames
 //! ([`frame_control`] / [`unframe_control`]): cumulative ACKs and
@@ -27,6 +45,7 @@
 //! concatenation of the chunk payloads, in sequence order, is the exact
 //! monolithic image, byte for byte.
 
+use crate::compress::{compress, decompress};
 use crate::{XdrDecoder, XdrEncoder, XdrError};
 
 /// Magic number opening every v1 chunk frame: "HPMC" in ASCII.
@@ -35,11 +54,17 @@ pub const CHUNK_MAGIC: u32 = 0x4850_4D43;
 /// Magic number opening every v2 (CRC-carrying) chunk frame: "HPMD".
 pub const CHUNK_MAGIC_V2: u32 = 0x4850_4D44;
 
+/// Magic number opening every v3 (compression-capable) chunk frame: "HPME".
+pub const CHUNK_MAGIC_V3: u32 = 0x4850_4D45;
+
 /// Magic number opening every ARQ control frame: "HPMA".
 pub const CONTROL_MAGIC: u32 = 0x4850_4D41;
 
 /// Flag bit marking the final chunk of a stream.
 pub const CHUNK_FLAG_LAST: u32 = 1;
+
+/// Flag bit (v3 only) marking a chunk whose wire payload is compressed.
+pub const CHUNK_FLAG_COMPRESSED: u32 = 2;
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data` — the per-chunk
 /// integrity check carried by v2 frames.
@@ -94,23 +119,55 @@ pub fn frame_chunk_v2(seq: u32, last: bool, payload: &[u8]) -> Vec<u8> {
     enc.into_bytes()
 }
 
-/// One decoded chunk frame, either version.
+/// Frame one chunk with the v3 layout, compressing the payload when
+/// that shrinks it and storing it raw otherwise. Returns the frame and
+/// the number of wire-payload bytes actually shipped (compressed size
+/// for compressed chunks, raw size for stored ones) so senders can
+/// account raw-vs-wire volume without re-parsing their own frames.
+pub fn frame_chunk_v3(seq: u32, last: bool, payload: &[u8]) -> (Vec<u8>, usize) {
+    let comp = compress(payload);
+    let (wire, compressed): (&[u8], bool) = if comp.len() < payload.len() {
+        (&comp, true)
+    } else {
+        (payload, false)
+    };
+    let mut flags = if last { CHUNK_FLAG_LAST } else { 0 };
+    if compressed {
+        flags |= CHUNK_FLAG_COMPRESSED;
+    }
+    let mut enc = XdrEncoder::with_capacity(24 + wire.len());
+    enc.put_u32(CHUNK_MAGIC_V3);
+    enc.put_u32(seq);
+    enc.put_u32(flags);
+    enc.put_u32(payload.len() as u32);
+    enc.put_u32(crc32(wire));
+    enc.put_opaque_var(wire);
+    (enc.into_bytes(), wire.len())
+}
+
+/// One decoded chunk frame, any version.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkFrame {
     /// Sequence number.
     pub seq: u32,
     /// Final-chunk flag.
     pub last: bool,
-    /// The chunk payload as it arrived (possibly corrupted in transit).
-    /// Verification against `crc` is the receiver's job.
+    /// The wire payload as it arrived (possibly corrupted in transit;
+    /// still compressed for compressed v3 frames). Verification against
+    /// `crc` is the receiver's job, *before* decompression.
     pub payload: Vec<u8>,
     /// The CRC-32 the sender stamped; `None` for v1 frames.
     pub crc: Option<u32>,
+    /// Whether `payload` is compressed (v3 frames with bit 1 set).
+    pub compressed: bool,
+    /// Pre-compression payload size carried by v3 frames; `None` for
+    /// v1/v2 frames, whose payload is always stored.
+    pub raw_len: Option<u32>,
 }
 
 impl ChunkFrame {
-    /// Whether the payload matches the stamped CRC (vacuously true for
-    /// CRC-less v1 frames). On mismatch returns the computed CRC.
+    /// Whether the wire payload matches the stamped CRC (vacuously true
+    /// for CRC-less v1 frames). On mismatch returns the computed CRC.
     pub fn verify_crc(&self) -> Result<(), u32> {
         match self.crc {
             None => Ok(()),
@@ -123,6 +180,17 @@ impl ChunkFrame {
                 }
             }
         }
+    }
+
+    /// The decoded (post-decompression) payload. For stored frames this
+    /// is the wire payload as-is; for compressed v3 frames the token
+    /// stream is expanded and checked against the declared `raw_len`.
+    pub fn into_payload(self) -> Result<Vec<u8>, XdrError> {
+        if !self.compressed {
+            return Ok(self.payload);
+        }
+        let raw_len = self.raw_len.unwrap_or(0) as usize;
+        decompress(&self.payload, raw_len)
     }
 }
 
@@ -148,21 +216,32 @@ pub fn unframe_chunk(frame: &[u8]) -> Result<(u32, bool, Vec<u8>), XdrError> {
     Ok((seq, flags & CHUNK_FLAG_LAST != 0, payload))
 }
 
-/// Unframe a chunk of either version. The CRC (if present) is returned
+/// Unframe a chunk of any version. The CRC (if present) is returned
 /// unverified so the transport can distinguish "corrupt payload" (known
-/// sequence number, retransmittable) from "unparseable frame".
+/// sequence number, retransmittable) from "unparseable frame", and the
+/// payload stays compressed so verification precedes decompression.
 pub fn unframe_chunk_any(frame: &[u8]) -> Result<ChunkFrame, XdrError> {
     let mut dec = XdrDecoder::new(frame);
     let magic = dec.get_u32()?;
-    if magic != CHUNK_MAGIC && magic != CHUNK_MAGIC_V2 {
+    if magic != CHUNK_MAGIC && magic != CHUNK_MAGIC_V2 && magic != CHUNK_MAGIC_V3 {
         return Err(XdrError::BadMagic(magic));
     }
     let seq = dec.get_u32()?;
     let flags = dec.get_u32()?;
-    if flags & !CHUNK_FLAG_LAST != 0 {
+    let known = if magic == CHUNK_MAGIC_V3 {
+        CHUNK_FLAG_LAST | CHUNK_FLAG_COMPRESSED
+    } else {
+        CHUNK_FLAG_LAST
+    };
+    if flags & !known != 0 {
         return Err(XdrError::BadMagic(flags));
     }
-    let crc = if magic == CHUNK_MAGIC_V2 {
+    let raw_len = if magic == CHUNK_MAGIC_V3 {
+        Some(dec.get_u32()?)
+    } else {
+        None
+    };
+    let crc = if magic != CHUNK_MAGIC {
         Some(dec.get_u32()?)
     } else {
         None
@@ -176,6 +255,8 @@ pub fn unframe_chunk_any(frame: &[u8]) -> Result<ChunkFrame, XdrError> {
         last: flags & CHUNK_FLAG_LAST != 0,
         payload,
         crc,
+        compressed: flags & CHUNK_FLAG_COMPRESSED != 0,
+        raw_len,
     })
 }
 
@@ -362,6 +443,97 @@ mod tests {
         assert!(unframe_control(&trailing).is_err());
         // Control frames are not chunks and vice versa.
         assert!(unframe_chunk_any(&frame_control(Control::Ack { next: 0 })).is_err());
+    }
+
+    #[test]
+    fn v3_compressible_payload_shrinks_and_roundtrips() {
+        let payload = vec![0u8; 4096];
+        let (frame, wire_len) = frame_chunk_v3(11, false, &payload);
+        assert!(wire_len < payload.len(), "zeros must compress");
+        assert!(frame.len() < 64, "frame is {} bytes", frame.len());
+        assert_eq!(frame.len() % 4, 0);
+        let f = unframe_chunk_any(&frame).unwrap();
+        assert_eq!(f.seq, 11);
+        assert!(!f.last);
+        assert!(f.compressed);
+        assert_eq!(f.raw_len, Some(4096));
+        assert!(f.verify_crc().is_ok());
+        assert_eq!(f.into_payload().unwrap(), payload);
+    }
+
+    #[test]
+    fn v3_incompressible_payload_is_stored_not_expanded() {
+        // splitmix64 noise does not compress.
+        let mut s = 42u64;
+        let payload: Vec<u8> = (0..512)
+            .map(|_| {
+                s = s.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                (z ^ (z >> 27)) as u8
+            })
+            .collect();
+        let (frame, wire_len) = frame_chunk_v3(0, true, &payload);
+        assert_eq!(wire_len, payload.len(), "stored fallback ships raw bytes");
+        // v3 overhead over v2 is exactly the 4-byte raw_len word.
+        assert_eq!(frame.len(), frame_chunk_v2(0, true, &payload).len() + 4);
+        let f = unframe_chunk_any(&frame).unwrap();
+        assert!(!f.compressed);
+        assert!(f.last);
+        assert_eq!(f.raw_len, Some(payload.len() as u32));
+        assert!(f.verify_crc().is_ok());
+        assert_eq!(f.into_payload().unwrap(), payload);
+    }
+
+    #[test]
+    fn v3_crc_covers_the_compressed_bytes() {
+        let payload = vec![7u8; 1024];
+        let (mut frame, wire_len) = frame_chunk_v3(3, false, &payload);
+        assert!(wire_len < payload.len());
+        // Flip one bit inside the compressed wire payload.
+        let payload_start = 24; // magic+seq+flags+raw_len+crc+opaque len
+        frame[payload_start] ^= 0x01;
+        let f = unframe_chunk_any(&frame).unwrap();
+        let computed = f.verify_crc().unwrap_err();
+        assert_eq!(computed, crc32(&f.payload));
+        assert_ne!(Some(computed), f.crc);
+    }
+
+    #[test]
+    fn v3_empty_payload_roundtrips() {
+        let (frame, wire_len) = frame_chunk_v3(5, true, &[]);
+        assert_eq!(wire_len, 0);
+        let f = unframe_chunk_any(&frame).unwrap();
+        assert!(f.last);
+        assert!(!f.compressed);
+        assert_eq!(f.into_payload().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_v3_frame_rejected() {
+        let (frame, _) = frame_chunk_v3(0, true, &[9; 40]);
+        for cut in [0, 4, 8, 12, 16, 20, frame.len() - 1] {
+            assert!(unframe_chunk_any(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_unframes_reject_v3_magic() {
+        let (frame, _) = frame_chunk_v3(0, false, &[1, 2, 3, 4]);
+        assert!(matches!(unframe_chunk(&frame), Err(XdrError::BadMagic(_))));
+    }
+
+    #[test]
+    fn v1_v2_frames_decode_as_stored_via_any() {
+        for frame in [
+            frame_chunk(2, false, &[1, 2, 3, 4]),
+            frame_chunk_v2(2, false, &[1, 2, 3, 4]),
+        ] {
+            let f = unframe_chunk_any(&frame).unwrap();
+            assert!(!f.compressed);
+            assert_eq!(f.raw_len, None);
+            assert_eq!(f.into_payload().unwrap(), vec![1, 2, 3, 4]);
+        }
     }
 
     #[test]

@@ -27,15 +27,17 @@
 //! ```
 
 pub mod chunk;
+pub mod compress;
 mod decode;
 mod encode;
 mod error;
 
 pub use chunk::{
-    crc32, frame_chunk, frame_chunk_v2, frame_control, unframe_chunk, unframe_chunk_any,
-    unframe_control, ChunkFrame, Control, CHUNK_FLAG_LAST, CHUNK_MAGIC, CHUNK_MAGIC_V2,
-    CONTROL_MAGIC,
+    crc32, frame_chunk, frame_chunk_v2, frame_chunk_v3, frame_control, unframe_chunk,
+    unframe_chunk_any, unframe_control, ChunkFrame, Control, CHUNK_FLAG_COMPRESSED,
+    CHUNK_FLAG_LAST, CHUNK_MAGIC, CHUNK_MAGIC_V2, CHUNK_MAGIC_V3, CONTROL_MAGIC,
 };
+pub use compress::{compress, decompress};
 pub use decode::XdrDecoder;
 pub use encode::XdrEncoder;
 pub use error::XdrError;

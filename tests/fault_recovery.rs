@@ -1,5 +1,6 @@
 //! Seeded fault-injection soak: hundreds of [`FaultPlan`]s against the
-//! resilient migration driver, across three paper workloads.
+//! resilient migration driver, across three paper workloads — each plan
+//! run over both the stored (v2) and compressed (v3) wire.
 //!
 //! The contract under test is the robustness tentpole's acceptance bar:
 //! every run either restores on the destination byte-identically (the
@@ -22,6 +23,7 @@ fn soak_cfg() -> PipelineConfig {
         chunk_bytes: 256,
         pace: false,
         pace_scale: 0.0,
+        ..PipelineConfig::default()
     }
 }
 
@@ -42,6 +44,7 @@ fn run_one<P: MigratableProgram + Send>(
     dst: Architecture,
     trigger: u64,
     plan: FaultPlan,
+    cfg: PipelineConfig,
 ) -> (Vec<(String, String)>, RecoveryStats) {
     let run = run_migrating_resilient(
         make,
@@ -49,7 +52,7 @@ fn run_one<P: MigratableProgram + Send>(
         dst,
         NetworkModel::ethernet_10(),
         Trigger::AtPollCount(trigger),
-        soak_cfg(),
+        cfg,
         plan,
         soak_policy(),
     )
@@ -69,6 +72,7 @@ fn soak<P, F>(
     dst: Architecture,
     trigger: u64,
     seeds: u64,
+    cfg: PipelineConfig,
 ) where
     P: MigratableProgram + Send,
     F: Fn() -> P + Send + 'static,
@@ -81,7 +85,7 @@ fn soak<P, F>(
         let mut fallbacks = 0u64;
         for i in 0..seeds {
             let plan = FaultPlan::from_seed(0x50AC_0000_0000_0000 | (label.len() as u64) << 32 | i);
-            let (results, stats) = run_one(&make, src.clone(), dst.clone(), trigger, plan);
+            let (results, stats) = run_one(&make, src.clone(), dst.clone(), trigger, plan, cfg);
             assert!(
                 diff_results(&expect, &results).is_none(),
                 "{label} seed {:#x}: WRONG ANSWER (fallback={})",
@@ -91,7 +95,8 @@ fn soak<P, F>(
             faulty_runs += (stats.faults_injected > 0) as u64;
             fallbacks += stats.fallback_taken as u64;
             if i % 25 == 0 {
-                let (results2, stats2) = run_one(&make, src.clone(), dst.clone(), trigger, plan);
+                let (results2, stats2) =
+                    run_one(&make, src.clone(), dst.clone(), trigger, plan, cfg);
                 assert_eq!(
                     results2, results,
                     "{label} seed {:#x}: results drifted",
@@ -132,6 +137,7 @@ fn soak_test_pointer() {
         Architecture::sparc20(),
         8,
         100,
+        soak_cfg(),
     );
 }
 
@@ -144,6 +150,7 @@ fn soak_linpack() {
         Architecture::dec5000(),
         2,
         100,
+        soak_cfg(),
     );
 }
 
@@ -157,6 +164,54 @@ fn soak_bitonic() {
         Architecture::sparc20(),
         n,
         100,
+        soak_cfg(),
+    );
+}
+
+// ---------------------------------------------------------------------
+// The same 300 plans rerun over the compressed (v3) wire: identical
+// labels keep the seed stream identical, so every fault that hurt a
+// stored frame now lands on a compressed one — CRC checks, NACKs, and
+// retransmits all run against token streams instead of raw payload.
+// ---------------------------------------------------------------------
+
+#[test]
+fn soak_test_pointer_compressed() {
+    soak(
+        "test_pointer",
+        TestPointer::new,
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        8,
+        100,
+        soak_cfg().compressed(),
+    );
+}
+
+#[test]
+fn soak_linpack_compressed() {
+    soak(
+        "linpack",
+        || Linpack::truncated(120, 4),
+        Architecture::ultra5(),
+        Architecture::dec5000(),
+        2,
+        100,
+        soak_cfg().compressed(),
+    );
+}
+
+#[test]
+fn soak_bitonic_compressed() {
+    let n = 512u64;
+    soak(
+        "bitonic",
+        move || BitonicSort::new(n),
+        Architecture::ultra5(),
+        Architecture::sparc20(),
+        n,
+        100,
+        soak_cfg().compressed(),
     );
 }
 

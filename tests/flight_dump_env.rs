@@ -28,6 +28,7 @@ fn driver_error_writes_the_dump_where_ci_expects_it() {
             chunk_bytes: 65536,
             pace: false,
             pace_scale: 0.0,
+            ..PipelineConfig::default()
         },
         FaultPlan {
             seed: 0xDEAD11,

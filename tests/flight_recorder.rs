@@ -6,10 +6,10 @@
 
 use hpm_arch::Architecture;
 use hpm_migrate::{
-    run_migrating_parallel_recorded, run_migrating_resilient_recorded, run_straight,
-    FallbackPolicy, MigError, PipelineConfig, RecoveryPolicy, Trigger,
+    run_migrating_planned_recorded, run_migrating_resilient_recorded, run_straight, FallbackPolicy,
+    MigError, MigrationPlan, PipelineConfig, RecoveryPolicy, Trigger,
 };
-use hpm_net::{FaultPlan, NetworkModel};
+use hpm_net::{FaultPlan, NetworkModel, WireCodec};
 use hpm_obs::{FlightDump, FlightRecorder};
 use hpm_workloads::{diff_results, TestPointer};
 use std::time::Duration;
@@ -37,6 +37,7 @@ fn big_chunk_cfg() -> PipelineConfig {
         chunk_bytes: 65536,
         pace: false,
         pace_scale: 0.0,
+        ..PipelineConfig::default()
     }
 }
 
@@ -164,14 +165,16 @@ fn disabled_recorder_stays_silent_and_changes_nothing() {
 
 #[test]
 fn parallel_driver_reports_shards_and_collect_events() {
+    // Forced plan: the workload sits below the adaptive planner's byte
+    // cutoff, and this test is about shard reporting, not the planner.
     let recorder = FlightRecorder::new();
-    let run = run_migrating_parallel_recorded(
+    let run = run_migrating_planned_recorded(
         TestPointer::new,
         Architecture::dec5000(),
         Architecture::sparc20(),
         NetworkModel::ethernet_10(),
         Trigger::AtPollCount(8),
-        4,
+        MigrationPlan::forced(4, WireCodec::V2),
         &recorder,
     )
     .expect("parallel migration succeeds");

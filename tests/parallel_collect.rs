@@ -4,8 +4,11 @@
 //! restored process) cannot depend on how collection was parallelized.
 
 use hpm::arch::Architecture;
-use hpm::migrate::{run_migrating, run_migrating_parallel, run_to_migration, Trigger};
-use hpm::net::NetworkModel;
+use hpm::migrate::{
+    run_migrating, run_migrating_parallel, run_migrating_planned, run_to_migration, MigrationPlan,
+    Trigger,
+};
+use hpm::net::{NetworkModel, WireCodec};
 use hpm::workloads::{BitonicSort, Linpack, TestPointer};
 
 fn check_workload(name: &str, freeze: impl Fn() -> hpm::migrate::MigratedSource) {
@@ -82,4 +85,85 @@ fn parallel_driver_migrates_end_to_end() {
         par.report.collect_stats.blocks_saved,
         seq.report.collect_stats.blocks_saved
     );
+    // TestPointer sits far below the planner's byte cutoffs, so the
+    // adaptive run must have chosen the sequential/stored arm.
+    let plan = par.report.plan.expect("planned drivers report the plan");
+    assert_eq!(plan.workers, 1, "small workload stays sequential");
+    assert_eq!(
+        par.report.transfer.raw_payload_bytes, par.report.transfer.wire_payload_bytes,
+        "stored framing never rewrites payload bytes"
+    );
+}
+
+#[test]
+fn forced_parallel_compressed_driver_matches_sequential() {
+    // Satellite coverage: force every planner arm and diff the whole run
+    // against the plain sequential driver. The restored results, image
+    // size, and collect accounting may not depend on worker count or
+    // codec; the compressed arm must actually shrink the wire.
+    let seq = run_migrating(
+        TestPointer::new,
+        Architecture::ultra5(),
+        Architecture::dec5000(),
+        NetworkModel::instant(),
+        Trigger::AtPollCount(8),
+    )
+    .unwrap();
+    for workers in [1usize, 2, 4] {
+        for codec in [WireCodec::V2, WireCodec::V3] {
+            let run = run_migrating_planned(
+                TestPointer::new,
+                Architecture::ultra5(),
+                Architecture::dec5000(),
+                NetworkModel::instant(),
+                Trigger::AtPollCount(8),
+                MigrationPlan::forced(workers, codec),
+            )
+            .unwrap();
+            let tag = format!("workers={workers} codec={codec:?}");
+            assert_eq!(run.results, seq.results, "{tag}: answers diverge");
+            assert_eq!(
+                run.report.image_bytes, seq.report.image_bytes,
+                "{tag}: reassembled image size changed"
+            );
+            assert_eq!(
+                run.report.collect_stats.bytes_out, seq.report.collect_stats.bytes_out,
+                "{tag}: collected payload size changed"
+            );
+            assert_eq!(
+                run.report.restore_stats.blocks_allocated,
+                seq.report.restore_stats.blocks_allocated,
+                "{tag}: restore allocation count changed"
+            );
+            let t = &run.report.transfer;
+            assert_eq!(
+                t.raw_payload_bytes, run.report.image_bytes,
+                "{tag}: every image byte crosses the wire exactly once"
+            );
+            match codec {
+                WireCodec::V2 => {
+                    assert_eq!(t.chunks_compressed, 0, "{tag}: v2 never compresses");
+                    assert_eq!(t.raw_payload_bytes, t.wire_payload_bytes, "{tag}");
+                }
+                WireCodec::V3 => {
+                    assert!(
+                        t.wire_payload_bytes < t.raw_payload_bytes,
+                        "{tag}: compression must shrink the image payload \
+                         ({} wire vs {} raw)",
+                        t.wire_payload_bytes,
+                        t.raw_payload_bytes
+                    );
+                    assert!(t.chunks_compressed > 0, "{tag}: no chunk compressed");
+                }
+            }
+            if workers > 1 {
+                let shards = run
+                    .report
+                    .shards
+                    .as_ref()
+                    .expect("forced multi-worker runs report collect shards");
+                assert_eq!(shards.workers(), workers as u64, "{tag}");
+            }
+        }
+    }
 }

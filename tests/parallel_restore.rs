@@ -1,0 +1,95 @@
+//! Sharded parallel restoration must be invisible at the migration
+//! level: resuming a frozen image with restore workers 1, 2, and 4
+//! answers exactly like the sequential resume — same results, same
+//! restore accounting — across the paper workloads and a heterogeneous
+//! preset pair. (The byte-level digest identity of the restored address
+//! space is pinned by the unit tests in `hpm_core::restore_parallel`.)
+
+use hpm::arch::Architecture;
+use hpm::migrate::{
+    resume_from_image, resume_from_image_parallel, run_to_migration, MigratableProgram, Trigger,
+};
+use hpm::workloads::{BitonicSort, Linpack, TestPointer};
+
+fn check<P: MigratableProgram>(
+    name: &str,
+    make: impl Fn() -> P,
+    src: Architecture,
+    dst: Architecture,
+    trigger: u64,
+) {
+    let mut p = make();
+    let mut frozen = run_to_migration(&mut p, src, Trigger::AtPollCount(trigger)).unwrap();
+    let image = frozen.to_image().unwrap();
+
+    let mut seq_prog = make();
+    let (seq_results, _, seq_stats, _) =
+        resume_from_image(&mut seq_prog, dst.clone(), &image).unwrap();
+
+    for workers in [1usize, 2, 4] {
+        let mut par_prog = make();
+        let ((results, _, stats, _), _shards) =
+            resume_from_image_parallel(&mut par_prog, dst.clone(), &image, workers).unwrap();
+        assert_eq!(
+            results, seq_results,
+            "{name}: {workers}-worker restore answers diverge"
+        );
+        assert_eq!(
+            stats.blocks_restored, seq_stats.blocks_restored,
+            "{name}: {workers} workers"
+        );
+        assert_eq!(
+            stats.blocks_allocated, seq_stats.blocks_allocated,
+            "{name}: {workers} workers"
+        );
+        assert_eq!(
+            stats.scalars_decoded, seq_stats.scalars_decoded,
+            "{name}: {workers} workers"
+        );
+        assert_eq!(
+            stats.ptr_new, seq_stats.ptr_new,
+            "{name}: {workers} workers"
+        );
+        assert_eq!(
+            stats.ptr_ref, seq_stats.ptr_ref,
+            "{name}: {workers} workers"
+        );
+        assert_eq!(
+            stats.bytes_in, seq_stats.bytes_in,
+            "{name}: {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn test_pointer_parallel_restore_equals_sequential() {
+    check(
+        "test_pointer",
+        TestPointer::new,
+        Architecture::ultra5(),
+        Architecture::dec5000(),
+        8,
+    );
+}
+
+#[test]
+fn linpack_parallel_restore_equals_sequential() {
+    check(
+        "linpack",
+        || Linpack::truncated(300, 2),
+        Architecture::ultra5(),
+        Architecture::x86_64_sim(),
+        1,
+    );
+}
+
+#[test]
+fn bitonic_parallel_restore_equals_sequential() {
+    check(
+        "bitonic",
+        || BitonicSort::new(5_000),
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        5_000,
+    );
+}

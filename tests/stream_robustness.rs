@@ -182,6 +182,62 @@ fn corrupted_payload_mid_stream_is_caught_by_crc() {
     }
 }
 
+/// The same wire damage on a *compressed* v3 chunk: the CRC is stamped
+/// over the compressed bytes, so corruption is caught by the checksum —
+/// named by chunk index — before any decompression is attempted, never
+/// surfacing as a garbled token stream.
+#[test]
+fn corrupted_compressed_chunk_is_caught_by_crc() {
+    let mut src = freeze_test_pointer();
+    let (chunks, _) = src.to_chunks(64).unwrap();
+    assert!(chunks.len() >= 4, "need several chunks to damage one");
+
+    let mut frames: Vec<Vec<u8>> = chunks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| hpm::xdr::frame_chunk_v3(i as u32, false, c).0)
+        .collect();
+    // Pick a mid-stream chunk the codec actually compressed, so the
+    // flipped byte lands inside token data rather than stored payload.
+    let victim = frames
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(_, f)| hpm::xdr::unframe_chunk_any(f).unwrap().compressed)
+        .map(|(i, _)| i as u32)
+        .expect("64-byte image chunks must include a compressible one");
+    // The v3 header is 24 bytes (magic, seq, flags, raw_len, crc, payload
+    // length), so byte 24 is the first byte of the compressed payload.
+    frames[victim as usize][24] ^= 0x40;
+
+    let (a, b) = channel_pair(NetworkModel::instant());
+    for f in frames {
+        a.send(f).unwrap();
+    }
+    a.send(hpm::xdr::frame_chunk_v3(chunks.len() as u32, true, &[]).0)
+        .unwrap();
+
+    let mut rx = ChunkReceiver::new(b);
+    let prefix = rx.recv_chunk().unwrap().expect("prefix chunk");
+    let mut dst = TestPointer::new();
+    let err = streaming_resume(
+        &mut dst,
+        Architecture::sparc20(),
+        &prefix,
+        Box::new(NetSource { rx }),
+    )
+    .unwrap_err();
+    match err {
+        MigError::Core(m) => {
+            assert!(
+                m.contains(&format!("chunk {victim} corrupt")),
+                "CRC failure must name chunk {victim}: {m}"
+            );
+        }
+        other => panic!("expected the CRC to catch the damage, got {other:?}"),
+    }
+}
+
 /// Program identity travels in chunk 0: a destination running a
 /// different program refuses the stream before touching any state.
 #[test]

@@ -1,0 +1,115 @@
+//! Wire-codec round-trip sweep: every architecture preset pair, with the
+//! image shipped stored (v2) and compressed (v3).
+//!
+//! The codec is transport dressing only. Whatever pair of machines the
+//! image travels between and whichever framing the planner picked, the
+//! reassembled image must be bit-identical to the frozen one and the
+//! restored run must answer exactly like the uncompressed sequential
+//! driver.
+
+use hpm::arch::Architecture;
+use hpm::migrate::{
+    run_migrating, run_migrating_planned, run_to_migration, MigrationPlan, Trigger,
+};
+use hpm::net::{channel_pair, ChunkReceiver, ChunkSender, NetworkModel, WireCodec};
+use hpm::workloads::TestPointer;
+
+fn presets() -> [Architecture; 4] {
+    [
+        Architecture::dec5000(),
+        Architecture::sparc20(),
+        Architecture::ultra5(),
+        Architecture::x86_64_sim(),
+    ]
+}
+
+/// Codec-level bit identity: a real frozen image framed chunk-by-chunk
+/// through each codec comes out of the receiver byte-for-byte intact —
+/// compression is invisible above the stream layer.
+#[test]
+fn shipped_image_is_bit_identical_under_both_codecs() {
+    for arch in presets() {
+        let mut p = TestPointer::new();
+        let mut src = run_to_migration(&mut p, arch.clone(), Trigger::AtPollCount(8)).unwrap();
+        let image = src.to_image().unwrap();
+        for codec in [WireCodec::V2, WireCodec::V3] {
+            let (a, b) = channel_pair(NetworkModel::instant());
+            let mut tx = ChunkSender::new(&a).with_codec(codec);
+            for part in image.chunks(512) {
+                tx.send(part).unwrap();
+            }
+            tx.finish().unwrap();
+            let mut rx = ChunkReceiver::new(b);
+            let mut shipped = Vec::new();
+            while let Some(c) = rx.recv_chunk().unwrap() {
+                shipped.extend_from_slice(&c);
+            }
+            assert_eq!(
+                shipped, image,
+                "{} via {codec:?}: wire changed the image bytes",
+                arch.name
+            );
+        }
+    }
+}
+
+/// Driver-level sweep: all 16 preset pairs, each shipped stored and
+/// compressed, diffed against the plain sequential driver on the same
+/// pair. The stored arm must never rewrite payload bytes; the
+/// compressed arm must never *expand* them (stored fallback).
+#[test]
+fn every_preset_pair_roundtrips_stored_and_compressed() {
+    for src in presets() {
+        for dst in presets() {
+            let seq = run_migrating(
+                TestPointer::new,
+                src.clone(),
+                dst.clone(),
+                NetworkModel::instant(),
+                Trigger::AtPollCount(8),
+            )
+            .unwrap();
+            for codec in [WireCodec::V2, WireCodec::V3] {
+                let run = run_migrating_planned(
+                    TestPointer::new,
+                    src.clone(),
+                    dst.clone(),
+                    NetworkModel::instant(),
+                    Trigger::AtPollCount(8),
+                    MigrationPlan::forced(1, codec),
+                )
+                .unwrap();
+                let tag = format!("{} -> {} via {codec:?}", src.name, dst.name);
+                assert_eq!(run.results, seq.results, "{tag}: answers diverge");
+                assert_eq!(
+                    run.report.image_bytes, seq.report.image_bytes,
+                    "{tag}: image size changed"
+                );
+                assert_eq!(
+                    run.report.collect_stats.bytes_out, seq.report.collect_stats.bytes_out,
+                    "{tag}: collected payload size changed"
+                );
+                let t = &run.report.transfer;
+                assert_eq!(
+                    t.raw_payload_bytes, run.report.image_bytes,
+                    "{tag}: every image byte crosses the wire exactly once"
+                );
+                match codec {
+                    WireCodec::V2 => {
+                        assert_eq!(t.chunks_compressed, 0, "{tag}: v2 never compresses");
+                        assert_eq!(t.raw_payload_bytes, t.wire_payload_bytes, "{tag}");
+                    }
+                    WireCodec::V3 => {
+                        assert!(
+                            t.wire_payload_bytes <= t.raw_payload_bytes,
+                            "{tag}: the stored fallback must keep v3 from expanding \
+                             ({} wire vs {} raw)",
+                            t.wire_payload_bytes,
+                            t.raw_payload_bytes
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
